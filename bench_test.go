@@ -1,0 +1,324 @@
+package handshakejoin
+
+// Benchmarks, one per table and figure of the paper's evaluation (§7).
+// Each testing.B bench runs a scaled-down configuration of the
+// corresponding experiment and reports the paper's metric through
+// b.ReportMetric; cmd/llhjbench runs the same experiments at full
+// simulated scale and prints the complete series. EXPERIMENTS.md maps
+// both to the paper's numbers.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/experiments"
+	"handshakejoin/internal/kang"
+	"handshakejoin/internal/pipeline"
+	"handshakejoin/internal/store"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// latencyBench runs one simulated latency experiment per iteration and
+// reports steady-state average and maximum latency.
+func latencyBench(b *testing.B, algo experiments.Algo, winR, winS int64, batch int) {
+	b.Helper()
+	var avg, max float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(experiments.Params{
+			Algo: algo, Nodes: 8, RatePerSec: 100,
+			WindowR: winR, WindowS: winS, Batch: batch,
+			Duration: 5 * winR / 2, Domain: 300,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = res.SteadyAvg
+		max = float64(res.SteadyMax)
+	}
+	b.ReportMetric(avg/1e6, "avg-latency-ms")
+	b.ReportMetric(max/1e6, "max-latency-ms")
+}
+
+// BenchmarkFig5HSJLatency regenerates Figure 5: handshake join latency
+// approaches WR·WS/(WR+WS) — here 2 s for symmetric 4 s windows (the
+// paper's 200 s windows give 100 s).
+func BenchmarkFig5HSJLatency(b *testing.B) {
+	b.Run("WR=WS=4s", func(b *testing.B) {
+		latencyBench(b, experiments.AlgoHSJ, 4e9, 4e9, 64)
+	})
+	b.Run("WR=2s,WS=4s", func(b *testing.B) {
+		latencyBench(b, experiments.AlgoHSJ, 2e9, 4e9, 64)
+	})
+}
+
+// BenchmarkFig19LLHJLatency regenerates Figure 19: LLHJ latency stays at
+// the batching delay regardless of the window configuration.
+func BenchmarkFig19LLHJLatency(b *testing.B) {
+	b.Run("WR=WS=4s", func(b *testing.B) {
+		latencyBench(b, experiments.AlgoLLHJ, 4e9, 4e9, 64)
+	})
+	b.Run("WR=2s,WS=4s", func(b *testing.B) {
+		latencyBench(b, experiments.AlgoLLHJ, 2e9, 4e9, 64)
+	})
+}
+
+// BenchmarkFig20SmallBatch regenerates Figure 20: batch size 4 divides
+// the LLHJ latency by ~16 compared to batch 64.
+func BenchmarkFig20SmallBatch(b *testing.B) {
+	latencyBench(b, experiments.AlgoLLHJ, 4e9, 4e9, 4)
+}
+
+// BenchmarkFig17Throughput regenerates Figure 17: the maximum
+// sustainable per-stream rate for HSJ, LLHJ and punctuated LLHJ at
+// several pipeline widths (≈√n scaling, all three overlapping).
+func BenchmarkFig17Throughput(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		for _, algo := range []experiments.Algo{experiments.AlgoHSJ, experiments.AlgoLLHJ, experiments.AlgoLLHJPunct} {
+			b.Run(fmt.Sprintf("%v/cores=%d", algo, n), func(b *testing.B) {
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					p := experiments.Params{
+						Algo: algo, Nodes: n, WindowR: 1e9, WindowS: 1e9,
+						Batch: 16, Duration: 2e9, Cost: pipeline.CoarseCostModel(),
+					}
+					if algo == experiments.AlgoLLHJPunct {
+						p.CollectPeriod = 50e6
+					}
+					r, err := experiments.MaxRate(p, 50, 6000, 5)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rate = r
+				}
+				b.ReportMetric(rate, "tuples/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkFig18LatencyVsCores regenerates Figure 18: average latency
+// by core count for both algorithms (HSJ window-bound, LLHJ flat).
+func BenchmarkFig18LatencyVsCores(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		for _, algo := range []experiments.Algo{experiments.AlgoHSJ, experiments.AlgoLLHJ} {
+			b.Run(fmt.Sprintf("%v/cores=%d", algo, n), func(b *testing.B) {
+				var avg float64
+				for i := 0; i < b.N; i++ {
+					res, err := experiments.Run(experiments.Params{
+						Algo: algo, Nodes: n, RatePerSec: 150,
+						WindowR: 3e9, WindowS: 3e9, Batch: 64,
+						Duration: 75e8, Domain: 300,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					avg = res.SteadyAvg
+				}
+				b.ReportMetric(avg/1e6, "avg-latency-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkFig21SortBuffer regenerates Figure 21: the maximum buffer of
+// the punctuation-driven sorting operator, by core count.
+func BenchmarkFig21SortBuffer(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			var buf float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Run(experiments.Params{
+					Algo: experiments.AlgoLLHJPunct, Nodes: n, RatePerSec: 200,
+					WindowR: 3e9, WindowS: 3e9, Batch: 64,
+					Duration: 9e9, Domain: 100, CollectPeriod: 50e6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = float64(res.MaxSortBuffer)
+			}
+			b.ReportMetric(buf, "max-buffer-tuples")
+		})
+	}
+}
+
+// BenchmarkTable2Index regenerates Table 2: sustainable throughput with
+// and without node-local hash indexes (paper: 5117 vs 225,234
+// tuples/sec at 40 cores — a 44x speedup).
+func BenchmarkTable2Index(b *testing.B) {
+	for _, algo := range []experiments.Algo{experiments.AlgoHSJ, experiments.AlgoLLHJ, experiments.AlgoLLHJIndex} {
+		b.Run(algo.String(), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.MaxRate(experiments.Params{
+					Algo: algo, Nodes: 8, WindowR: 1e9, WindowS: 1e9,
+					Batch: 16, Duration: 2e9, Cost: pipeline.CoarseCostModel(),
+				}, 50, 60000, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = r
+			}
+			b.ReportMetric(rate, "tuples/sec")
+		})
+	}
+}
+
+// BenchmarkLivePipelineThroughput measures the real (wall-clock) tuple
+// rate of the live goroutine runtime on this machine — not a paper
+// figure, but the end-to-end cost of the Go implementation.
+func BenchmarkLivePipelineThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var out sink[workload.RTuple, workload.STuple]
+			eng, err := New(Config[workload.RTuple, workload.STuple]{
+				Workers:     workers,
+				Predicate:   workload.BandPredicate,
+				WindowR:     Window{Count: 512},
+				WindowS:     Window{Count: 512},
+				Batch:       64,
+				MaxInFlight: 8,
+				OnOutput:    out.add,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGenerator(workload.DefaultConfig(1e6))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := gen.NextR()
+				s := gen.NextS()
+				eng.PushR(r.Payload, r.TS)
+				eng.PushS(s.Payload, s.TS)
+			}
+			b.StopTimer()
+			eng.Close()
+			b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+		})
+	}
+}
+
+// BenchmarkNodeScan measures the raw per-arrival cost of an LLHJ node
+// scanning its window fragment (the inner loop of everything above).
+func BenchmarkNodeScan(b *testing.B) {
+	for _, winSize := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("window=%d", winSize), func(b *testing.B) {
+			cfg := &core.Config[workload.RTuple, workload.STuple]{Nodes: 1, Pred: workload.BandPredicate}
+			node := core.NewNode(cfg, 0)
+			gen := workload.NewGenerator(workload.DefaultConfig(1000))
+			em := discard{}
+			for i := 0; i < winSize; i++ {
+				s := gen.NextS()
+				node.HandleRight(core.Msg[workload.RTuple, workload.STuple]{
+					Kind: core.KindArrival, Side: stream.S,
+					S: []stream.Tuple[workload.STuple]{s},
+				}, em)
+			}
+			rs := make([]stream.Tuple[workload.RTuple], b.N)
+			for i := range rs {
+				rs[i] = gen.NextR()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				node.HandleLeft(core.Msg[workload.RTuple, workload.STuple]{
+					Kind: core.KindArrival, Side: stream.R,
+					R: rs[i : i+1],
+				}, em)
+			}
+		})
+	}
+}
+
+// discard is a no-op emitter for micro-benchmarks.
+type discard struct{}
+
+func (discard) EmitLeft(core.Msg[workload.RTuple, workload.STuple])  {}
+func (discard) EmitRight(core.Msg[workload.RTuple, workload.STuple]) {}
+func (discard) EmitResult(stream.Pair[workload.RTuple, workload.STuple]) {
+}
+func (discard) StreamEnd(stream.Side, int64) {}
+func (discard) Cost(int)                     {}
+
+// BenchmarkKangBaseline measures the sequential three-step procedure for
+// reference (the single-core lower bound every parallel operator is
+// compared against).
+func BenchmarkKangBaseline(b *testing.B) {
+	for _, winSize := range []int{512, 4096} {
+		b.Run(fmt.Sprintf("window=%d", winSize), func(b *testing.B) {
+			j := kang.New(workload.BandPredicate, func(stream.Pair[workload.RTuple, workload.STuple]) {})
+			gen := workload.NewGenerator(workload.DefaultConfig(1000))
+			for i := 0; i < winSize; i++ {
+				j.ProcessS(gen.NextS())
+			}
+			rs := make([]stream.Tuple[workload.RTuple], b.N)
+			for i := range rs {
+				rs[i] = gen.NextR()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.ProcessR(rs[i])
+				j.ExpireR(rs[i].Seq) // keep the R window flat
+			}
+		})
+	}
+}
+
+// BenchmarkStoreIndexes compares the three node-local access paths on
+// one window fragment (the ablation behind Table 2 and §9's future
+// work).
+func BenchmarkStoreIndexes(b *testing.B) {
+	const n = 4096
+	gen := workload.NewGenerator(workload.DefaultConfig(1000))
+	ss := make([]stream.Tuple[workload.STuple], n)
+	for i := range ss {
+		ss[i] = gen.NextS()
+	}
+	probe := gen.NextR()
+
+	b.Run("scan", func(b *testing.B) {
+		w := store.NewWindow[workload.STuple]()
+		for _, s := range ss {
+			w.InsertSettled(s)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.ScanAll(func(s stream.Tuple[workload.STuple]) {
+				_ = workload.BandPredicate(probe.Payload, s.Payload)
+			})
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		w := store.NewWindow(store.WithHashIndex(workload.SKey))
+		for _, s := range ss {
+			w.InsertSettled(s)
+		}
+		key := workload.RKey(probe.Payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Probe(key, false, func(s stream.Tuple[workload.STuple]) {
+				_ = workload.EquiPredicate(probe.Payload, s.Payload)
+			})
+		}
+	})
+	b.Run("btree-band", func(b *testing.B) {
+		w := store.NewWindow(store.WithBTreeIndex(workload.SKey))
+		for _, s := range ss {
+			w.InsertSettled(s)
+		}
+		key := workload.RKey(probe.Payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := uint64(0)
+			if key > 10 {
+				lo = key - 10
+			}
+			w.RangeProbe(lo, key+10, false, func(s stream.Tuple[workload.STuple]) {
+				_ = workload.BandPredicate(probe.Payload, s.Payload)
+			})
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Command llhjlive runs the live (goroutine) engine against a real-time
+// paced benchmark workload and reports wall-clock throughput and result
+// latency — the end-to-end behaviour of this Go implementation on the
+// current machine, as opposed to the simulator's paper-scale virtual
+// runs in cmd/llhjbench.
+//
+// Usage:
+//
+//	llhjlive [-algo llhj|hsj] [-workers N] [-rate TPS] [-window D]
+//	         [-batch N] [-duration D] [-ordered] [-index]
+//
+// Example: compare the two operators at 2000 tuples/s over 5-second
+// windows:
+//
+//	llhjlive -algo hsj  -rate 2000 -window 5s -duration 20s
+//	llhjlive -algo llhj -rate 2000 -window 5s -duration 20s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"handshakejoin"
+	"handshakejoin/internal/metrics"
+	"handshakejoin/internal/workload"
+)
+
+func main() {
+	algo := flag.String("algo", "llhj", "llhj or hsj")
+	workers := flag.Int("workers", 4, "pipeline workers")
+	rate := flag.Float64("rate", 1000, "tuples/second per stream")
+	window := flag.Duration("window", 5*time.Second, "sliding window length")
+	batch := flag.Int("batch", 64, "driver batch size")
+	duration := flag.Duration("duration", 15*time.Second, "run length")
+	ordered := flag.Bool("ordered", false, "punctuated ordered output (llhj only)")
+	index := flag.Bool("index", false, "node-local hash index, equi-join predicate (llhj only)")
+	flag.Parse()
+
+	cfg := handshakejoin.Config[workload.RTuple, workload.STuple]{
+		Workers:      *workers,
+		WindowR:      handshakejoin.Window{Duration: *window},
+		WindowS:      handshakejoin.Window{Duration: *window},
+		Batch:        *batch,
+		ExpectedRate: *rate,
+	}
+	switch *algo {
+	case "llhj":
+		cfg.Algorithm = handshakejoin.LLHJ
+	case "hsj":
+		cfg.Algorithm = handshakejoin.HSJ
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		os.Exit(2)
+	}
+	cfg.Predicate = workload.BandPredicate
+	if *index {
+		cfg.Predicate = workload.EquiPredicate
+		cfg.Index = handshakejoin.HashIndex
+		cfg.KeyR = workload.RKey
+		cfg.KeyS = workload.SKey
+	}
+	cfg.Ordered = *ordered
+
+	var mu sync.Mutex
+	var hist metrics.Histogram
+	var puncts uint64
+	cfg.OnOutput = func(it handshakejoin.Item[workload.RTuple, workload.STuple]) {
+		mu.Lock()
+		defer mu.Unlock()
+		if it.Punct {
+			puncts++
+			return
+		}
+		hist.Add(it.Result.Latency())
+	}
+
+	eng, err := handshakejoin.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := workload.NewGenerator(workload.Config{Seed: 42, Domain: 10000, RatePerSec: *rate})
+	period := time.Duration(float64(time.Second) / *rate)
+	start := time.Now()
+	ticker := time.NewTicker(maxDur(period, 100*time.Microsecond))
+	defer ticker.Stop()
+
+	var pushed uint64
+	fmt.Printf("running %v: %d workers, %.0f tuples/s/stream, %v windows, batch %d, for %v\n",
+		cfg.Algorithm, *workers, *rate, *window, *batch, *duration)
+	for now := range ticker.C {
+		elapsed := now.Sub(start)
+		if elapsed > *duration {
+			break
+		}
+		// Push every tuple whose schedule time has passed (the ticker
+		// may fire less often than the tuple period).
+		due := uint64(elapsed.Seconds() * *rate)
+		for pushed < due {
+			ts := now.UnixNano()
+			r := gen.NextR()
+			s := gen.NextS()
+			if err := eng.PushR(r.Payload, ts); err != nil {
+				log.Fatal(err)
+			}
+			if err := eng.PushS(s.Payload, ts); err != nil {
+				log.Fatal(err)
+			}
+			pushed++
+		}
+	}
+	wall := time.Since(start)
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := eng.Stats()
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\npushed %d tuples/stream in %v (%.0f tuples/s achieved)\n",
+		st.RIn, wall.Round(time.Millisecond), float64(st.RIn)/wall.Seconds())
+	fmt.Printf("results: %d (%d window-entry inspections)\n", st.Results, st.Comparisons)
+	if hist.Count() > 0 {
+		fmt.Printf("latency: avg %.2fms  p50 %.2fms  p99 %.2fms  max %.2fms\n",
+			hist.Mean()/1e6,
+			float64(hist.Quantile(0.50))/1e6,
+			float64(hist.Quantile(0.99))/1e6,
+			float64(hist.Max())/1e6)
+	}
+	if *ordered {
+		fmt.Printf("punctuations: %d, max sort buffer: %d tuples\n", puncts, st.MaxSortBuffer)
+	}
+	if st.PendingExpiries > 0 {
+		fmt.Printf("warning: %d pending expiries (window too small for the in-flight volume)\n",
+			st.PendingExpiries)
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

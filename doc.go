@@ -1,0 +1,45 @@
+// Package handshakejoin implements low-latency handshake join (LLHJ),
+// the sliding-window stream-join operator of Roy, Teubner and Gemulla,
+// "Low-Latency Handshake Join", PVLDB 7(9), 2014 — together with the
+// original handshake join it improves upon, the CellJoin and Kang
+// baselines it is compared against, and the punctuation machinery that
+// turns its output into a deterministically ordered stream.
+//
+// # Model
+//
+// A stream join continuously matches tuples from two unbounded streams
+// R and S whose "current" contents are defined by sliding windows
+// (time-based, tuple-count-based, or both). Handshake join evaluates
+// the join by letting the two streams flow past each other through a
+// pipeline of processing cores — all communication is between
+// neighbouring cores, which is what makes the operator scale on NUMA
+// hardware. Low-latency handshake join keeps that communication
+// pattern but expedites tuples through the pipeline instead of letting
+// them queue, cutting result latency from the scale of the window size
+// (minutes) to the scale of the driver's batching delay (milliseconds),
+// and its high-water-mark punctuations allow exact output ordering with
+// a buffer of only thousands of tuples.
+//
+// # Usage
+//
+// Construct an Engine with two payload types, a predicate and window
+// specifications, then push tuples in timestamp order:
+//
+//	eng, err := handshakejoin.New(handshakejoin.Config[Trade, Quote]{
+//		Workers:   8,
+//		Predicate: func(t Trade, q Quote) bool { return t.Sym == q.Sym },
+//		WindowR:   handshakejoin.Window{Duration: time.Minute},
+//		WindowS:   handshakejoin.Window{Duration: time.Minute},
+//		OnOutput:  func(it handshakejoin.Item[Trade, Quote]) { ... },
+//	})
+//	...
+//	eng.PushR(trade, ts)
+//	eng.PushS(quote, ts)
+//	eng.Close()
+//
+// The engine runs one goroutine per worker plus a collector; results
+// and (optionally) punctuations arrive on the OnOutput callback.
+// Everything under internal/ — the protocol state machines, the
+// discrete-event simulator used by the experiment harness, and the
+// baselines — is exercised through cmd/llhjbench and the test suite.
+package handshakejoin

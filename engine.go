@@ -1,0 +1,290 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"handshakejoin/internal/clock"
+	"handshakejoin/internal/collect"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/hsj"
+	"handshakejoin/internal/order"
+	"handshakejoin/internal/pipeline"
+	"handshakejoin/internal/stream"
+)
+
+// Engine is a running stream-join pipeline: Workers node goroutines, a
+// collector goroutine, and a driver embodied by the PushR/PushS calls.
+//
+// Tuples of each stream must be pushed in non-decreasing timestamp
+// order (the punctuation mechanism relies on monotonic streams). PushR,
+// PushS, Tick and Close must be called from a single goroutine; the
+// OnOutput callback runs on the collector goroutine.
+type Engine[L, RT any] struct {
+	cfg Config[L, RT]
+	lv  *pipeline.Live[L, RT]
+
+	rSeq, sSeq uint64
+	rLastTS    int64
+	sLastTS    int64
+	rBatch     []stream.Tuple[L]
+	sBatch     []stream.Tuple[RT]
+	rExp, sExp expiryQueue // pending time/count expiries per side
+	rWin, sWin windowTracker
+
+	collector *collect.Collector[L, RT]
+	sorter    *order.Sorter[L, RT]
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// expiryQueue holds (seq, due) pairs in due order.
+type expiryQueue []expiryEntry
+
+type expiryEntry struct {
+	seq uint64
+	due int64
+}
+
+// windowTracker turns one stream's arrivals into expiry entries
+// according to the window specification.
+type windowTracker struct {
+	spec     Window
+	inWindow []uint64
+}
+
+func (w *windowTracker) onArrival(seq uint64, ts int64, out *expiryQueue) {
+	if w.spec.Duration > 0 {
+		*out = append(*out, expiryEntry{seq: seq, due: ts + int64(w.spec.Duration)})
+	}
+	if c := w.spec.Count; c > 0 {
+		w.inWindow = append(w.inWindow, seq)
+		for len(w.inWindow) > c {
+			*out = append(*out, expiryEntry{seq: w.inWindow[0], due: ts})
+			w.inWindow = w.inWindow[1:]
+		}
+	}
+}
+
+// popDue removes and returns the seqs of all entries due at or before t.
+func (q *expiryQueue) popDue(t int64) []uint64 {
+	var seqs []uint64
+	for len(*q) > 0 && (*q)[0].due <= t {
+		seqs = append(seqs, (*q)[0].seq)
+		*q = (*q)[1:]
+	}
+	return seqs
+}
+
+// New builds and starts an Engine.
+func New[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var build core.Builder[L, RT]
+	switch cfg.Algorithm {
+	case LLHJ:
+		ccfg := &core.Config[L, RT]{
+			Nodes: cfg.Workers,
+			Pred:  cfg.Predicate,
+			Index: core.IndexKind(cfg.Index),
+			KeyR:  cfg.KeyR,
+			KeyS:  cfg.KeyS,
+			Band:  cfg.Band,
+		}
+		build = func(k int) core.NodeLogic[L, RT] { return core.NewNode(ccfg, k) }
+	case HSJ:
+		hcfg := &hsj.Config[L, RT]{
+			Nodes: cfg.Workers,
+			Pred:  cfg.Predicate,
+			CapR:  windowCapacity(cfg.WindowR, cfg.ExpectedRate),
+			CapS:  windowCapacity(cfg.WindowS, cfg.ExpectedRate),
+		}
+		build = func(k int) core.NodeLogic[L, RT] { return hsj.NewNode(hcfg, k) }
+	default:
+		return nil, fmt.Errorf("handshakejoin: unknown algorithm %v", cfg.Algorithm)
+	}
+
+	e := &Engine[L, RT]{
+		cfg:     cfg,
+		rLastTS: -1 << 62,
+		sLastTS: -1 << 62,
+		rWin:    windowTracker{spec: cfg.WindowR},
+		sWin:    windowTracker{spec: cfg.WindowS},
+	}
+	e.lv = pipeline.NewLive(cfg.Workers, build, clock.NewWall(), pipeline.LiveConfig{DepthCap: cfg.MaxInFlight})
+
+	out := cfg.OnOutput
+	if cfg.Ordered {
+		final := cfg.OnOutput
+		e.sorter = order.NewSorter(func(r Result[L, RT]) {
+			final(Item[L, RT]{Result: r})
+		})
+		out = func(it Item[L, RT]) {
+			e.sorter.Push(it)
+			if it.Punct {
+				// Forward the punctuation after its release so
+				// downstream consumers keep the ordering guarantee.
+				final(it)
+			}
+		}
+	}
+	e.collector = collect.New(e.lv.ResultQueues(), func() (int64, int64) {
+		return e.lv.HWMR(), e.lv.HWMS()
+	}, out, collect.Config{Punctuate: cfg.Punctuate})
+
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.collector.Run(func() { time.Sleep(cfg.CollectPeriod) })
+	}()
+	return e, nil
+}
+
+// windowCapacity converts a window spec to a tuple capacity for the
+// original handshake join's segmented pipeline.
+func windowCapacity(w Window, rate float64) int {
+	cap := w.Count
+	if w.Duration > 0 {
+		byRate := int(float64(w.Duration) / 1e9 * rate)
+		if cap == 0 || byRate < cap {
+			cap = byRate
+		}
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// PushR submits an R tuple with the given timestamp (nanoseconds, any
+// monotonic origin). Timestamps must be non-decreasing per stream.
+func (e *Engine[L, RT]) PushR(payload L, ts int64) error {
+	if e.closed {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if ts < e.rLastTS {
+		return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", ts, e.rLastTS)
+	}
+	e.rLastTS = ts
+	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: clockNow(), Home: stream.NoHome, Payload: payload}
+	e.rSeq++
+	e.rWin.onArrival(t.Seq, ts, &e.rExp)
+	e.rBatch = append(e.rBatch, t)
+	if len(e.rBatch) >= e.cfg.Batch {
+		e.flushR()
+	}
+	return nil
+}
+
+// PushS submits an S tuple with the given timestamp.
+func (e *Engine[L, RT]) PushS(payload RT, ts int64) error {
+	if e.closed {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if ts < e.sLastTS {
+		return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", ts, e.sLastTS)
+	}
+	e.sLastTS = ts
+	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: clockNow(), Home: stream.NoHome, Payload: payload}
+	e.sSeq++
+	e.sWin.onArrival(t.Seq, ts, &e.sExp)
+	e.sBatch = append(e.sBatch, t)
+	if len(e.sBatch) >= e.cfg.Batch {
+		e.flushS()
+	}
+	return nil
+}
+
+var engineEpoch = time.Now()
+
+func clockNow() int64 { return int64(time.Since(engineEpoch)) }
+
+// flushR injects pending S expiries (left end, so that R tuples behind
+// them no longer join the expired S tuples) followed by the buffered R
+// batch.
+func (e *Engine[L, RT]) flushR() {
+	if len(e.rBatch) == 0 {
+		return
+	}
+	due := e.rBatch[len(e.rBatch)-1].TS
+	if seqs := e.sExp.popDue(due); len(seqs) > 0 {
+		e.lv.Inject(pipeline.LeftEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+	}
+	e.lv.Inject(pipeline.LeftEnd, core.Msg[L, RT]{Kind: core.KindArrival, Side: stream.R, R: e.rBatch})
+	e.rBatch = nil
+}
+
+// flushS injects pending R expiries (right end) followed by the
+// buffered S batch.
+func (e *Engine[L, RT]) flushS() {
+	if len(e.sBatch) == 0 {
+		return
+	}
+	due := e.sBatch[len(e.sBatch)-1].TS
+	if seqs := e.rExp.popDue(due); len(seqs) > 0 {
+		e.lv.Inject(pipeline.RightEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+	}
+	e.lv.Inject(pipeline.RightEnd, core.Msg[L, RT]{Kind: core.KindArrival, Side: stream.S, S: e.sBatch})
+	e.sBatch = nil
+}
+
+// Tick advances stream time to ts without submitting a tuple: partial
+// batches are flushed, the pipeline is allowed to settle, and expiries
+// due by ts are injected. Use it on idle streams so windows keep
+// sliding. Because Tick waits for in-flight messages to drain before
+// expiring, its window boundaries are exact even when stream time
+// advances much faster than real time (batch flushes on the hot path
+// do not wait; their boundaries are exact in the paper's operating
+// regime, windows far larger than the in-flight volume).
+func (e *Engine[L, RT]) Tick(ts int64) {
+	if e.closed {
+		return
+	}
+	e.flushR()
+	e.flushS()
+	e.lv.Quiesce()
+	if seqs := e.sExp.popDue(ts); len(seqs) > 0 {
+		e.lv.Inject(pipeline.LeftEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+	}
+	if seqs := e.rExp.popDue(ts); len(seqs) > 0 {
+		e.lv.Inject(pipeline.RightEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+	}
+}
+
+// Close flushes buffered batches, waits for the pipeline to quiesce,
+// stops all goroutines and releases remaining ordered output. The
+// engine cannot be reused afterwards.
+func (e *Engine[L, RT]) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.flushR()
+	e.flushS()
+	e.lv.Quiesce()
+	e.lv.Stop()
+	e.wg.Wait() // collector drains the closed queues, then exits
+	if e.sorter != nil {
+		e.sorter.Flush()
+	}
+	return nil
+}
+
+// Stats returns run counters; call after Close for exact values.
+func (e *Engine[L, RT]) Stats() Stats {
+	agg := e.lv.Stats()
+	st := Stats{
+		RIn:             e.rSeq,
+		SIn:             e.sSeq,
+		Results:         e.collector.Collected(),
+		Punctuations:    e.collector.Punctuations(),
+		Comparisons:     agg.Comparisons,
+		PendingExpiries: agg.PendingExpiries,
+	}
+	if e.sorter != nil {
+		st.MaxSortBuffer = e.sorter.MaxBuffer()
+	}
+	return st
+}

@@ -1,0 +1,77 @@
+package handshakejoin
+
+import (
+	"testing"
+)
+
+// reading/level exercise the B-tree band index through the public API:
+// join readings with alert levels within ±10 of the reading's value —
+// the paper benchmark's band shape on its first dimension.
+type reading struct {
+	V int32
+}
+
+type level struct {
+	L int32
+}
+
+func bandPred(r reading, l level) bool {
+	return r.V >= l.L-10 && r.V <= l.L+10
+}
+
+func TestEngineBTreeBandJoin(t *testing.T) {
+	run := func(idx IndexKind) (results map[[2]uint64]bool, comparisons uint64) {
+		results = make(map[[2]uint64]bool)
+		cfg := Config[reading, level]{
+			Workers:     3,
+			Predicate:   bandPred,
+			WindowR:     Window{Count: 120},
+			WindowS:     Window{Count: 120},
+			Batch:       4,
+			MaxInFlight: 4,
+			Index:       idx,
+			OnOutput: func(it Item[reading, level]) {
+				k := [2]uint64{it.Result.Pair.R.Seq, it.Result.Pair.S.Seq}
+				if results[k] {
+					t.Errorf("duplicate pair %v", k)
+				}
+				results[k] = true
+			},
+		}
+		if idx == BTreeIndex {
+			cfg.KeyR = func(r reading) uint64 { return uint64(uint32(r.V)) }
+			cfg.KeyS = func(l level) uint64 { return uint64(uint32(l.L)) }
+			cfg.Band = 10
+		}
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			ts := int64(i) * 1e6
+			eng.PushR(reading{V: int32((i * 37) % 500)}, ts)
+			eng.PushS(level{L: int32((i * 53) % 500)}, ts)
+		}
+		eng.Close()
+		return results, eng.Stats().Comparisons
+	}
+
+	scanRes, scanWork := run(ScanIndex)
+	treeRes, treeWork := run(BTreeIndex)
+
+	if len(scanRes) == 0 {
+		t.Fatal("band join found nothing; workload broken")
+	}
+	if len(scanRes) != len(treeRes) {
+		t.Fatalf("b-tree band join found %d results, scan found %d", len(treeRes), len(scanRes))
+	}
+	for k := range scanRes {
+		if !treeRes[k] {
+			t.Fatalf("b-tree path missed pair %v", k)
+		}
+	}
+	if treeWork >= scanWork {
+		t.Errorf("b-tree inspected %d entries, scan %d; range probes should inspect fewer",
+			treeWork, scanWork)
+	}
+}

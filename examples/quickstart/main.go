@@ -1,0 +1,65 @@
+// Quickstart: join two small synthetic streams with low-latency
+// handshake join and print every match as it is found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"handshakejoin"
+)
+
+// Reading is a sensor sample on stream R.
+type Reading struct {
+	Sensor int
+	Value  float64
+}
+
+// Alert is a threshold event on stream S.
+type Alert struct {
+	Sensor    int
+	Threshold float64
+}
+
+func main() {
+	// Join readings with alerts for the same sensor whose threshold the
+	// reading exceeds, over 1-second sliding windows.
+	eng, err := handshakejoin.New(handshakejoin.Config[Reading, Alert]{
+		Workers: 4,
+		Predicate: func(r Reading, a Alert) bool {
+			return r.Sensor == a.Sensor && r.Value >= a.Threshold
+		},
+		WindowR:  handshakejoin.Window{Duration: time.Second},
+		WindowS:  handshakejoin.Window{Duration: time.Second},
+		Batch:    4, // small batches = low latency (§7.3.1 of the paper)
+		OnOutput: printMatch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now().UnixNano()
+	for i := 0; i < 200; i++ {
+		ts := start + int64(i)*int64(time.Millisecond)
+		eng.PushR(Reading{Sensor: i % 8, Value: float64(i % 100)}, ts)
+		if i%10 == 0 {
+			eng.PushS(Alert{Sensor: i % 8, Threshold: 50}, ts)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\nprocessed %d readings, %d alerts -> %d matches (%d window-entry inspections)\n",
+		st.RIn, st.SIn, st.Results, st.Comparisons)
+}
+
+func printMatch(it handshakejoin.Item[Reading, Alert]) {
+	r, a := it.Result.Pair.R, it.Result.Pair.S
+	fmt.Printf("sensor %d: reading %.0f >= threshold %.0f  (reading seq %d, alert seq %d)\n",
+		r.Payload.Sensor, r.Payload.Value, a.Payload.Threshold, r.Seq, a.Seq)
+}

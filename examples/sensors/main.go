@@ -1,0 +1,79 @@
+// Sensors: a time-window equi-join accelerated by node-local hash
+// indexes — the configuration of the paper's Table 2, where indexing
+// raised throughput 44x. Low-latency handshake join enables this
+// because every tuple rests on exactly one home node (§4.1), so each
+// worker can maintain a local index over its window fragment.
+//
+// The example joins a high-rate measurement stream with a calibration
+// stream on sensor id and reports how much scan work the index saved.
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"handshakejoin"
+)
+
+// Measurement is a sample on stream R.
+type Measurement struct {
+	Sensor uint32
+	Value  float64
+}
+
+// Calibration is a correction factor on stream S.
+type Calibration struct {
+	Sensor uint32
+	Offset float64
+}
+
+func run(index handshakejoin.IndexKind) (matches uint64, comparisons uint64) {
+	cfg := handshakejoin.Config[Measurement, Calibration]{
+		Workers: 4,
+		Predicate: func(m Measurement, c Calibration) bool {
+			return m.Sensor == c.Sensor
+		},
+		WindowR:  handshakejoin.Window{Duration: 500 * time.Millisecond},
+		WindowS:  handshakejoin.Window{Duration: 500 * time.Millisecond},
+		Batch:    16,
+		Index:    index,
+		OnOutput: func(handshakejoin.Item[Measurement, Calibration]) {},
+	}
+	if index == handshakejoin.HashIndex {
+		cfg.KeyR = func(m Measurement) uint64 { return uint64(m.Sensor) }
+		cfg.KeyS = func(c Calibration) uint64 { return uint64(c.Sensor) }
+	}
+	eng, err := handshakejoin.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now().UnixNano()
+	for i := 0; i < 4000; i++ {
+		ts := start + int64(i)*int64(100*time.Microsecond)
+		eng.PushR(Measurement{Sensor: uint32(i % 256), Value: float64(i)}, ts)
+		if i%8 == 0 {
+			eng.PushS(Calibration{Sensor: uint32(i % 256), Offset: 0.5}, ts)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	return st.Results, st.Comparisons
+}
+
+func main() {
+	scanMatches, scanWork := run(handshakejoin.ScanIndex)
+	idxMatches, idxWork := run(handshakejoin.HashIndex)
+
+	fmt.Printf("full scans:  %6d matches, %9d window entries inspected\n", scanMatches, scanWork)
+	fmt.Printf("hash index:  %6d matches, %9d window entries inspected\n", idxMatches, idxWork)
+	if scanMatches != idxMatches {
+		log.Fatalf("index changed the result set: %d vs %d", idxMatches, scanMatches)
+	}
+	fmt.Printf("\nidentical results with %.0fx less scan work — the Table 2 effect\n",
+		float64(scanWork)/float64(idxWork))
+}

@@ -1,0 +1,204 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"time"
+
+	"handshakejoin/internal/collect"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+)
+
+// Side identifies one of the two join inputs.
+type Side = stream.Side
+
+// Sides of the join.
+const (
+	R = stream.R
+	S = stream.S
+)
+
+// Tuple is a stream element: payload plus sequence number and
+// timestamps. Engines assign Seq; callers supply TS.
+type Tuple[T any] = stream.Tuple[T]
+
+// Pair is one join match.
+type Pair[L, R any] = stream.Pair[L, R]
+
+// Result couples a match with its emission time.
+type Result[L, R any] = core.Result[L, R]
+
+// Item is one element of the engine output: a Result, or — when
+// punctuation is enabled — a punctuation carrying the guarantee that no
+// later result has a smaller timestamp.
+type Item[L, R any] = collect.Item[L, R]
+
+// Algorithm selects the join operator an Engine runs.
+type Algorithm uint8
+
+const (
+	// LLHJ is low-latency handshake join (§4 of the paper) — the
+	// default and the recommended operator.
+	LLHJ Algorithm = iota
+	// HSJ is the original handshake join (Teubner & Mueller, SIGMOD
+	// 2011): same throughput and scaling, but latency proportional to
+	// the window size and no punctuation support. Provided as the
+	// paper's baseline.
+	HSJ
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case LLHJ:
+		return "low-latency handshake join"
+	case HSJ:
+		return "handshake join"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// IndexKind selects the node-local access path of LLHJ workers.
+type IndexKind uint8
+
+const (
+	// ScanIndex scans node-local windows linearly (default).
+	ScanIndex IndexKind = iota
+	// HashIndex probes node-local hash tables on KeyR/KeyS — the
+	// index acceleration of §7.6 (Table 2) for equi-join predicates.
+	HashIndex
+	// BTreeIndex probes node-local B-trees with the band
+	// [key−Band, key+Band] — for band predicates on an integer key.
+	BTreeIndex
+)
+
+// Window specifies one stream's sliding window. Duration and Count may
+// be combined; a tuple leaves the window as soon as either bound is
+// crossed.
+type Window struct {
+	// Duration keeps a tuple for this long after its timestamp.
+	Duration time.Duration
+	// Count keeps the last Count tuples.
+	Count int
+}
+
+func (w Window) valid() bool { return w.Duration > 0 || w.Count > 0 }
+
+// Config parameterizes an Engine joining payloads of type L (stream R)
+// and RT (stream S).
+type Config[L, RT any] struct {
+	// Algorithm selects the operator; default LLHJ.
+	Algorithm Algorithm
+	// Workers is the pipeline length in processing nodes (the paper's
+	// "cores"). Default 4.
+	Workers int
+	// Predicate is the join condition p(r, s). Required.
+	Predicate func(L, RT) bool
+	// WindowR and WindowS define the sliding windows. Required.
+	WindowR Window
+	// WindowS is the S-side window.
+	WindowS Window
+	// Batch is the driver batch size (the paper uses 64 by default and
+	// evaluates 4 in §7.3.1; smaller batches mean lower latency).
+	// Default 64.
+	Batch int
+	// Punctuate enables punctuation generation (LLHJ only).
+	Punctuate bool
+	// Ordered sorts the output by result timestamp using punctuations
+	// (implies Punctuate; LLHJ only). Results are then delayed until
+	// the next punctuation.
+	Ordered bool
+	// OnOutput receives every output item from the collector
+	// goroutine. Required.
+	OnOutput func(Item[L, RT])
+
+	// Index selects the node-local access path (LLHJ only).
+	Index IndexKind
+	// KeyR extracts the join key of an R payload (HashIndex/BTreeIndex).
+	KeyR func(L) uint64
+	// KeyS extracts the join key of an S payload.
+	KeyS func(RT) uint64
+	// Band is the half-width of the BTreeIndex key range probe.
+	Band uint64
+
+	// CollectPeriod is how often the collector vacuums the result
+	// queues (and punctuates). Default 1ms.
+	CollectPeriod time.Duration
+	// MaxInFlight bounds the number of messages in flight inside the
+	// pipeline; Push blocks when it is reached. It must stay far below
+	// the window sizes in tuples (window semantics are defined at the
+	// pipeline entries, so an in-flight volume approaching the window
+	// length blurs the window boundary). Default 16.
+	MaxInFlight int
+	// ExpectedRate, in tuples/second/stream, sizes the original
+	// handshake join's window segments for Duration windows (the
+	// pipeline-as-window model needs a tuple capacity). Ignored by
+	// LLHJ. Default 1000.
+	ExpectedRate float64
+}
+
+func (c *Config[L, RT]) validate() error {
+	if c.Predicate == nil {
+		return fmt.Errorf("handshakejoin: Predicate is required")
+	}
+	if c.OnOutput == nil {
+		return fmt.Errorf("handshakejoin: OnOutput is required")
+	}
+	if !c.WindowR.valid() || !c.WindowS.valid() {
+		return fmt.Errorf("handshakejoin: both windows need a Duration or Count bound")
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("handshakejoin: Workers must be >= 1, got %d", c.Workers)
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("handshakejoin: Batch must be >= 1, got %d", c.Batch)
+	}
+	if c.CollectPeriod == 0 {
+		c.CollectPeriod = time.Millisecond
+	}
+	if c.ExpectedRate == 0 {
+		c.ExpectedRate = 1000
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxInFlight < 1 {
+		return fmt.Errorf("handshakejoin: MaxInFlight must be >= 1, got %d", c.MaxInFlight)
+	}
+	if c.Algorithm == HSJ && (c.Punctuate || c.Ordered || c.Index != ScanIndex) {
+		return fmt.Errorf("handshakejoin: punctuation, ordering and indexes require the LLHJ algorithm")
+	}
+	if c.Index != ScanIndex && (c.KeyR == nil || c.KeyS == nil) {
+		return fmt.Errorf("handshakejoin: Index requires KeyR and KeyS")
+	}
+	if c.Ordered {
+		c.Punctuate = true
+	}
+	return nil
+}
+
+// Stats summarizes an engine run.
+type Stats struct {
+	// RIn and SIn count pushed tuples.
+	RIn, SIn uint64
+	// Results counts emitted matches.
+	Results uint64
+	// Punctuations counts emitted punctuations.
+	Punctuations uint64
+	// Comparisons counts window entries inspected across all workers.
+	Comparisons uint64
+	// MaxSortBuffer is the ordered-output buffer high-water mark
+	// (meaningful with Ordered; the quantity of Figure 21).
+	MaxSortBuffer int
+	// PendingExpiries counts expiry messages that raced ahead of their
+	// tuple; non-zero values indicate the window is shorter than the
+	// pipeline transit time.
+	PendingExpiries uint64
+}

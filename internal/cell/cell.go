@@ -1,0 +1,190 @@
+// Package cell implements CellJoin (Gedik et al., VLDB Journal 2009),
+// the parallel version of Kang's three-step procedure described in
+// §2.2.1 of the paper: upon every tuple arrival, the opposite window is
+// re-partitioned across the available workers, which perform the window
+// scan in parallel; a barrier completes the arrival before the next one
+// is admitted.
+//
+// CellJoin inherits Kang's low latency but pays a re-partitioning and
+// coordination cost on every arrival, which is the scalability
+// limitation that motivated handshake join. The implementation keeps
+// both windows in shared slices (CellJoin assumes globally shared
+// memory — the very assumption handshake join drops).
+package cell
+
+import (
+	"sync"
+
+	"handshakejoin/internal/stream"
+)
+
+// Join is a CellJoin instance with a fixed worker pool.
+type Join[L, R any] struct {
+	pred    stream.Predicate[L, R]
+	workers int
+	out     func(stream.Pair[L, R])
+
+	wR []stream.Tuple[L]
+	wS []stream.Tuple[R]
+
+	comparisons uint64
+
+	// Per-arrival scatter/gather machinery: reused channels keep the
+	// per-tuple coordination overhead visible but bounded.
+	tasks   chan task
+	results chan []stream.Pair[L, R]
+	wg      sync.WaitGroup
+	scanR   stream.Tuple[L] // the probing R tuple for the current scan
+	scanS   stream.Tuple[R]
+	side    stream.Side
+	closed  bool
+}
+
+type task struct {
+	lo, hi int
+}
+
+// New starts a CellJoin with the given number of scan workers; matches
+// are passed to out in arrival order completion (one arrival at a time,
+// as the three-step procedure requires).
+func New[L, R any](pred stream.Predicate[L, R], workers int, out func(stream.Pair[L, R])) *Join[L, R] {
+	if workers < 1 {
+		workers = 1
+	}
+	j := &Join[L, R]{
+		pred:    pred,
+		workers: workers,
+		out:     out,
+		tasks:   make(chan task),
+		results: make(chan []stream.Pair[L, R]),
+	}
+	j.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go j.worker()
+	}
+	return j
+}
+
+func (j *Join[L, R]) worker() {
+	defer j.wg.Done()
+	for t := range j.tasks {
+		var found []stream.Pair[L, R]
+		if j.side == stream.R {
+			r := j.scanR
+			for _, s := range j.wS[t.lo:t.hi] {
+				if j.pred(r.Payload, s.Payload) {
+					found = append(found, stream.Pair[L, R]{R: r, S: s})
+				}
+			}
+		} else {
+			s := j.scanS
+			for _, r := range j.wR[t.lo:t.hi] {
+				if j.pred(r.Payload, s.Payload) {
+					found = append(found, stream.Pair[L, R]{R: r, S: s})
+				}
+			}
+		}
+		j.results <- found
+	}
+}
+
+// scatterGather re-partitions the window [0, n) across the workers and
+// collects their matches — the per-arrival cost CellJoin pays.
+func (j *Join[L, R]) scatterGather(n int) {
+	j.comparisons += uint64(n)
+	parts := j.workers
+	if n < parts {
+		parts = n
+	}
+	if parts == 0 {
+		return
+	}
+	chunk := (n + parts - 1) / parts
+	issued := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		// Workers run concurrently with this loop; tasks is unbuffered
+		// so this scatters as workers become free.
+		go func(t task) { j.tasks <- t }(task{lo: lo, hi: hi})
+		issued++
+	}
+	var all []stream.Pair[L, R]
+	for i := 0; i < issued; i++ {
+		all = append(all, <-j.results...)
+	}
+	// Deterministic output order within one arrival.
+	sortPairs(all)
+	for _, p := range all {
+		j.out(p)
+	}
+}
+
+func sortPairs[L, R any](ps []stream.Pair[L, R]) {
+	// Insertion sort by (RSeq, SSeq): windows are scanned in order, so
+	// the slices are nearly sorted already and small.
+	for i := 1; i < len(ps); i++ {
+		for k := i; k > 0 && less(ps[k], ps[k-1]); k-- {
+			ps[k], ps[k-1] = ps[k-1], ps[k]
+		}
+	}
+}
+
+func less[L, R any](a, b stream.Pair[L, R]) bool {
+	if a.R.Seq != b.R.Seq {
+		return a.R.Seq < b.R.Seq
+	}
+	return a.S.Seq < b.S.Seq
+}
+
+// ProcessR handles an arriving R tuple: parallel scan of the S window,
+// then insertion into the R window.
+func (j *Join[L, R]) ProcessR(r stream.Tuple[L]) {
+	j.side = stream.R
+	j.scanR = r
+	j.scatterGather(len(j.wS))
+	j.wR = append(j.wR, r)
+}
+
+// ProcessS handles an arriving S tuple.
+func (j *Join[L, R]) ProcessS(s stream.Tuple[R]) {
+	j.side = stream.S
+	j.scanS = s
+	j.scatterGather(len(j.wR))
+	j.wS = append(j.wS, s)
+}
+
+// ExpireR removes the R tuple with the given sequence number.
+func (j *Join[L, R]) ExpireR(seq uint64) {
+	for i := range j.wR {
+		if j.wR[i].Seq == seq {
+			j.wR = append(j.wR[:i], j.wR[i+1:]...)
+			return
+		}
+	}
+}
+
+// ExpireS removes the S tuple with the given sequence number.
+func (j *Join[L, R]) ExpireS(seq uint64) {
+	for i := range j.wS {
+		if j.wS[i].Seq == seq {
+			j.wS = append(j.wS[:i], j.wS[i+1:]...)
+			return
+		}
+	}
+}
+
+// Comparisons returns the number of predicate evaluations performed.
+func (j *Join[L, R]) Comparisons() uint64 { return j.comparisons }
+
+// Close shuts the worker pool down.
+func (j *Join[L, R]) Close() {
+	if j.closed {
+		return
+	}
+	j.closed = true
+	close(j.tasks)
+	j.wg.Wait()
+}

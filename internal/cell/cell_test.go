@@ -1,0 +1,75 @@
+package cell
+
+import (
+	"fmt"
+	"testing"
+
+	"handshakejoin/internal/kang"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// TestCellJoinMatchesKang verifies that the parallel scan produces
+// exactly the sequential three-step results, in deterministic order per
+// arrival, across worker counts.
+func TestCellJoinMatchesKang(t *testing.T) {
+	cfg := workload.DefaultConfig(1000)
+	cfg.Domain = 40
+	for _, workers := range []int{1, 2, 4, 9} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			gen := workload.NewGenerator(cfg)
+			rs, ss := gen.Batch(400)
+
+			var want []stream.PairKey
+			oracle := kang.New(workload.BandPredicate, func(p stream.Pair[workload.RTuple, workload.STuple]) {
+				want = append(want, p.Key())
+			})
+			var got []stream.PairKey
+			cj := New(workload.BandPredicate, workers, func(p stream.Pair[workload.RTuple, workload.STuple]) {
+				got = append(got, p.Key())
+			})
+			defer cj.Close()
+
+			const win = 120
+			for i := range rs {
+				oracle.ProcessR(rs[i])
+				cj.ProcessR(rs[i])
+				oracle.ProcessS(ss[i])
+				cj.ProcessS(ss[i])
+				if i >= win {
+					oracle.ExpireR(rs[i-win].Seq)
+					cj.ExpireR(rs[i-win].Seq)
+					oracle.ExpireS(ss[i-win].Seq)
+					cj.ExpireS(ss[i-win].Seq)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("results = %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("result %d = %+v, want %+v (order must be deterministic)", i, got[i], want[i])
+				}
+			}
+			if cj.Comparisons() != oracle.Comparisons() {
+				t.Fatalf("comparisons %d vs oracle %d", cj.Comparisons(), oracle.Comparisons())
+			}
+		})
+	}
+}
+
+func TestCellJoinEmptyWindows(t *testing.T) {
+	cj := New(func(r, s int) bool { return true }, 3, func(stream.Pair[int, int]) {
+		t.Fatal("match from empty window")
+	})
+	defer cj.Close()
+	cj.ProcessR(stream.Tuple[int]{Seq: 0})
+	cj.ExpireR(0)
+	cj.ProcessR(stream.Tuple[int]{Seq: 1}) // S window still empty
+}
+
+func TestCellJoinCloseIdempotent(t *testing.T) {
+	cj := New(func(r, s int) bool { return true }, 2, func(stream.Pair[int, int]) {})
+	cj.Close()
+	cj.Close()
+}

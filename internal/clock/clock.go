@@ -1,0 +1,57 @@
+// Package clock abstracts time so the same join operators can run against
+// the wall clock (live runtime) or a virtual clock (discrete-event
+// simulation). All times are int64 nanoseconds.
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the current time in nanoseconds.
+type Clock interface {
+	// Now returns the current time in nanoseconds. The origin is
+	// implementation-defined; only differences are meaningful.
+	Now() int64
+}
+
+// Wall is a Clock backed by the monotonic wall clock.
+type Wall struct{ origin time.Time }
+
+// NewWall returns a wall clock whose origin is the moment of creation.
+func NewWall() *Wall { return &Wall{origin: time.Now()} }
+
+// Now implements Clock.
+func (w *Wall) Now() int64 { return int64(time.Since(w.origin)) }
+
+// Virtual is a manually advanced Clock. It is safe for concurrent use;
+// Advance never moves time backwards.
+type Virtual struct{ now atomic.Int64 }
+
+// NewVirtual returns a virtual clock starting at start nanoseconds.
+func NewVirtual(start int64) *Virtual {
+	v := &Virtual{}
+	v.now.Store(start)
+	return v
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() int64 { return v.now.Load() }
+
+// AdvanceTo moves the clock forward to t; it is a no-op if t is in the
+// past.
+func (v *Virtual) AdvanceTo(t int64) {
+	for {
+		cur := v.now.Load()
+		if t <= cur {
+			return
+		}
+		if v.now.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Advance moves the clock forward by d nanoseconds and returns the new
+// time.
+func (v *Virtual) Advance(d int64) int64 { return v.now.Add(d) }

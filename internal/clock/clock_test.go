@@ -1,0 +1,56 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallAdvances(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := w.Now()
+	if b <= a {
+		t.Fatalf("wall clock did not advance: %d -> %d", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("origin should be at creation; got %d", a)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(100)
+	if v.Now() != 100 {
+		t.Fatalf("start = %d", v.Now())
+	}
+	if got := v.Advance(50); got != 150 || v.Now() != 150 {
+		t.Fatalf("Advance = %d, Now = %d", got, v.Now())
+	}
+	v.AdvanceTo(140) // backwards: no-op
+	if v.Now() != 150 {
+		t.Fatalf("AdvanceTo went backwards: %d", v.Now())
+	}
+	v.AdvanceTo(200)
+	if v.Now() != 200 {
+		t.Fatalf("AdvanceTo = %d", v.Now())
+	}
+}
+
+func TestVirtualConcurrentMonotonic(t *testing.T) {
+	v := NewVirtual(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				v.AdvanceTo(base + i)
+			}
+		}(int64(w * 300))
+	}
+	wg.Wait()
+	if v.Now() != 1899 {
+		t.Fatalf("final = %d, want max of all targets 1899", v.Now())
+	}
+}

@@ -1,0 +1,129 @@
+package collect
+
+import (
+	"testing"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/fifo"
+	"handshakejoin/internal/stream"
+)
+
+func mkQueues(n int) []*fifo.Chan[core.Result[int, int]] {
+	qs := make([]*fifo.Chan[core.Result[int, int]], n)
+	for i := range qs {
+		qs[i] = fifo.NewChan[core.Result[int, int]](64)
+	}
+	return qs
+}
+
+func put(q *fifo.Chan[core.Result[int, int]], rSeq uint64, ts int64) {
+	q.TryPut(core.Result[int, int]{
+		Pair: stream.Pair[int, int]{R: stream.Tuple[int]{Seq: rSeq, TS: ts}},
+	})
+}
+
+func TestCollectorVacuumsAllQueues(t *testing.T) {
+	qs := mkQueues(3)
+	put(qs[0], 1, 10)
+	put(qs[2], 2, 20)
+	put(qs[2], 3, 30)
+
+	var items []Item[int, int]
+	c := New(qs, nil, func(it Item[int, int]) { items = append(items, it) }, Config{})
+	c.RunOnce()
+	if len(items) != 3 {
+		t.Fatalf("collected %d, want 3", len(items))
+	}
+	if c.Collected() != 3 {
+		t.Fatalf("Collected = %d", c.Collected())
+	}
+	if c.Punctuations() != 0 {
+		t.Fatal("punctuation emitted while disabled")
+	}
+}
+
+func TestCollectorPunctuationOrderAndMonotonicity(t *testing.T) {
+	qs := mkQueues(2)
+	hwmR, hwmS := int64(0), int64(0)
+	hwm := func() (int64, int64) { return hwmR, hwmS }
+
+	var items []Item[int, int]
+	c := New(qs, hwm, func(it Item[int, int]) { items = append(items, it) }, Config{Punctuate: true})
+
+	hwmR, hwmS = 100, 80
+	put(qs[0], 1, 90)
+	c.RunOnce()
+	// One result, then a punctuation at min(100, 80) = 80.
+	if len(items) != 2 || items[0].Punct || !items[1].Punct || items[1].TS != 80 {
+		t.Fatalf("items = %+v", items)
+	}
+
+	// Unchanged HWM: no duplicate punctuation.
+	c.RunOnce()
+	if len(items) != 2 {
+		t.Fatalf("duplicate punctuation emitted: %+v", items)
+	}
+
+	hwmS = 150
+	c.RunOnce()
+	if len(items) != 3 || !items[2].Punct || items[2].TS != 100 {
+		t.Fatalf("punctuation did not advance to 100: %+v", items)
+	}
+	if c.Punctuations() != 2 {
+		t.Fatalf("Punctuations = %d", c.Punctuations())
+	}
+}
+
+func TestCollectorRunTerminatesWhenQueuesClose(t *testing.T) {
+	qs := mkQueues(2)
+	put(qs[0], 1, 10)
+	qs[0].Close()
+	qs[1].Close()
+	var items []Item[int, int]
+	c := New(qs, nil, func(it Item[int, int]) { items = append(items, it) }, Config{})
+	done := make(chan struct{})
+	go func() {
+		c.Run(nil)
+		close(done)
+	}()
+	<-done
+	if len(items) != 1 {
+		t.Fatalf("collected %d before termination, want 1", len(items))
+	}
+}
+
+// TestCollectorPunctuationInvariant feeds results whose timestamps obey
+// the high-water-mark contract and asserts the output invariant: no
+// result after a punctuation ⌈tp⌉ has ts < tp.
+func TestCollectorPunctuationInvariant(t *testing.T) {
+	qs := mkQueues(2)
+	var hwmR, hwmS int64
+	c := New(qs, func() (int64, int64) { return hwmR, hwmS }, nil, Config{Punctuate: true})
+
+	var lastPunct int64 = -1
+	violated := false
+	c.out = func(it Item[int, int]) {
+		if it.Punct {
+			lastPunct = it.TS
+			return
+		}
+		if ts := it.Result.Pair.TS(); ts < lastPunct {
+			violated = true
+		}
+	}
+
+	for step := 0; step < 200; step++ {
+		// Streams advance; results carry ts >= current min HWM.
+		hwmR += int64(step % 7)
+		hwmS += int64(step % 5)
+		min := hwmR
+		if hwmS < min {
+			min = hwmS
+		}
+		put(qs[step%2], uint64(step), min+int64(step%13))
+		c.RunOnce()
+	}
+	if violated {
+		t.Fatal("punctuation invariant violated")
+	}
+}

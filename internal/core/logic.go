@@ -1,0 +1,24 @@
+package core
+
+// NodeLogic is the contract between a pipeline node's protocol state
+// machine and the runtime executing it. Both the live goroutine runtime
+// and the discrete-event simulator drive implementations of this
+// interface; the LLHJ node in this package and the original
+// handshake-join node in internal/hsj both implement it.
+//
+// A runtime guarantees that all calls into one NodeLogic value are
+// serialized (each node is single-threaded, as in the paper's
+// one-thread-per-core event loop of Figure 12) and that messages
+// emitted on one link are delivered in emission order (strict FIFO).
+type NodeLogic[L, R any] interface {
+	// HandleLeft processes one message from the left input channel.
+	HandleLeft(m Msg[L, R], em Emitter[L, R])
+	// HandleRight processes one message from the right input channel.
+	HandleRight(m Msg[L, R], em Emitter[L, R])
+	// Stats returns a snapshot of the node's counters.
+	Stats() Stats
+}
+
+// Builder constructs the node logic for position k of an n-node
+// pipeline; runtimes use it to instantiate pipelines generically.
+type Builder[L, R any] func(k int) NodeLogic[L, R]

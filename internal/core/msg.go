@@ -1,0 +1,129 @@
+// Package core implements the paper's primary contribution: the
+// low-latency handshake join (LLHJ) per-node protocol of §4 (Figures
+// 12–14), including tuple expedition, home-node assignment, the
+// fresh/stored case handling of Table 1, the one-sided acknowledgement
+// buffer IWS, expedition-end messages, externally driven expiry
+// (§4.2.4), and the high-water marks that feed punctuation generation
+// (§6.1).
+//
+// The node logic is a pure state machine: it consumes messages and emits
+// messages, results and accounting through an Emitter. Two runtimes
+// execute it — a live runtime (one goroutine per node, FIFO links) and a
+// deterministic discrete-event simulator — without any change to the
+// protocol code. See package runtime for both.
+package core
+
+import "handshakejoin/internal/stream"
+
+// Kind enumerates the message types that travel between neighbouring
+// pipeline nodes. All kinds share each directed link's single FIFO
+// channel; the protocol's correctness depends on that strict ordering
+// (§4.2.3: "the above mechanism takes advantage of the strict FIFO
+// ordering in the system").
+type Kind uint8
+
+const (
+	// KindArrival carries a batch of newly arrived tuples. R arrivals
+	// travel left-to-right, S arrivals right-to-left.
+	KindArrival Kind = iota
+	// KindAck acknowledges receipt of forwarded S tuples; it travels
+	// left-to-right, opposite to the S flow (§4.2.2). The
+	// acknowledgement mechanism runs on one side only.
+	KindAck
+	// KindExpEnd signals that an R tuple has completed its expedition;
+	// it travels right-to-left and clears the expedition flag at the
+	// tuple's home node (§4.2.3, Figure 10).
+	KindExpEnd
+	// KindExpiry removes tuples from the sliding window. R expiries
+	// enter at the right end, S expiries at the left end (§4.2.4).
+	KindExpiry
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindArrival:
+		return "arrival"
+	case KindAck:
+		return "ack"
+	case KindExpEnd:
+		return "expedition-end"
+	case KindExpiry:
+		return "expiry"
+	default:
+		return "unknown"
+	}
+}
+
+// Msg is one message on a neighbour link. Arrival messages carry a batch
+// of tuples of exactly one side (R or S, never mixed); the other kinds
+// reference tuples by sequence number.
+//
+// Arrival batches are tagged with home nodes by the pipeline entry node
+// and are immutable afterwards; downstream nodes share the same backing
+// slice.
+type Msg[L, R any] struct {
+	Kind Kind
+	Side stream.Side
+	// R holds the batch for KindArrival with Side == stream.R.
+	R []stream.Tuple[L]
+	// S holds the batch for KindArrival with Side == stream.S.
+	S []stream.Tuple[R]
+	// Seqs identifies the subject tuples of KindAck, KindExpEnd and
+	// KindExpiry messages.
+	Seqs []uint64
+}
+
+// Len returns the number of tuples or references the message carries.
+func (m *Msg[L, R]) Len() int {
+	if m.Kind == KindArrival {
+		if m.Side == stream.R {
+			return len(m.R)
+		}
+		return len(m.S)
+	}
+	return len(m.Seqs)
+}
+
+// Emitter receives everything a node produces while handling one
+// message. Implementations decide what "emit" means: the live runtime
+// enqueues into neighbour FIFOs immediately (minimizing latency), the
+// simulator schedules delivery events on the virtual clock.
+type Emitter[L, R any] interface {
+	// EmitLeft sends m to the left neighbour (or, from node 0, to the
+	// left pipeline exit, where S tuples are discarded).
+	EmitLeft(m Msg[L, R])
+	// EmitRight sends m to the right neighbour (or, from node n−1, to
+	// the right pipeline exit, where R tuples are discarded).
+	EmitRight(m Msg[L, R])
+	// EmitResult reports one join match.
+	EmitResult(p stream.Pair[L, R])
+	// StreamEnd reports that a tuple of the given side has reached its
+	// pipeline end; ts is its timestamp. The runtime maintains the
+	// per-stream high-water marks tmax,R / tmax,S from these calls
+	// (§6.1.1).
+	StreamEnd(side stream.Side, ts int64)
+	// Cost accounts protocol work: the number of window entries
+	// inspected while handling the current message. The simulator's
+	// cost model turns this into virtual time.
+	Cost(entries int)
+}
+
+// Result couples a join pair with the time at which it was emitted;
+// runtimes produce Results by stamping Emitter.EmitResult calls.
+type Result[L, R any] struct {
+	Pair stream.Pair[L, R]
+	// At is the emission time: wall nanoseconds in live runs, virtual
+	// nanoseconds in simulated runs.
+	At int64
+}
+
+// Latency returns the result latency as defined in §3: emission time
+// minus the arrival time of the later input tuple.
+func (r Result[L, R]) Latency() int64 {
+	later := r.Pair.R.Wall
+	if r.Pair.S.Wall > later {
+		later = r.Pair.S.Wall
+	}
+	return r.At - later
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+
+	"handshakejoin/internal/store"
+	"handshakejoin/internal/stream"
+)
+
+// IndexKind selects the access path for node-local window scans.
+type IndexKind uint8
+
+const (
+	// IndexNone scans node-local windows linearly (the paper's default
+	// configuration).
+	IndexNone IndexKind = iota
+	// IndexHash probes a node-local hash table on the equi-join key
+	// (§7.6, Table 2). Config.KeyR/KeyS must be set; the predicate is
+	// still applied to candidates as a residual.
+	IndexHash
+	// IndexBTree probes a node-local B-tree with the band
+	// [key−Band, key+Band] (the index-acceleration direction named as
+	// future work in §9, applied to the benchmark's band predicate).
+	IndexBTree
+)
+
+// Config parameterizes a low-latency handshake join pipeline. The zero
+// value is not usable; use Validate to check a configuration.
+type Config[L, R any] struct {
+	// Nodes is the number of processing nodes (CPU cores in the paper).
+	Nodes int
+	// Pred is the join predicate p(r, s).
+	Pred stream.Predicate[L, R]
+
+	// Index selects the node-local access path.
+	Index IndexKind
+	// KeyR and KeyS extract the join key for IndexHash / IndexBTree.
+	KeyR stream.KeyFunc[L]
+	// KeyS extracts the S-side key.
+	KeyS stream.KeyFunc[R]
+	// Band is the half-width of the key range probed by IndexBTree.
+	Band uint64
+
+	// DisableAck turns off the acknowledgement mechanism of §4.2.2
+	// (no IWS buffer, no ack messages). Used only by ablation
+	// experiments: without it, tuples that cross "in flight" miss each
+	// other.
+	DisableAck bool
+	// DisableExpEnd turns off expedition-end messages (§4.2.3).
+	// Used only by ablation experiments: stored copies then stay
+	// flagged forever and S arrivals can never match them.
+	DisableExpEnd bool
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c *Config[L, R]) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("core: Nodes must be >= 1, got %d", c.Nodes)
+	}
+	if c.Pred == nil {
+		return fmt.Errorf("core: Pred must be set")
+	}
+	if c.Index != IndexNone && (c.KeyR == nil || c.KeyS == nil) {
+		return fmt.Errorf("core: Index %d requires KeyR and KeyS", c.Index)
+	}
+	return nil
+}
+
+// HomeOf returns the home node assigned to the tuple with the given
+// sequence number. Home nodes are assigned round-robin "to ensure even
+// load balancing" (§4.3); making the assignment a pure function of the
+// sequence number lets expiry and expedition-end handlers route
+// deterministically.
+func (c *Config[L, R]) HomeOf(seq uint64) int { return int(seq % uint64(c.Nodes)) }
+
+// Stats are per-node counters, aggregated by the runtimes.
+type Stats struct {
+	RArrivals   uint64 // R tuples processed at this node
+	SArrivals   uint64 // S tuples processed at this node
+	Comparisons uint64 // window entries inspected during scans/probes
+	Results     uint64 // join pairs emitted by this node
+	// PendingExpiries counts expiry messages that arrived at the home
+	// node before the tuple itself. This only happens when the window
+	// is shorter than the pipeline transit time — a pathological
+	// configuration; a non-zero value flags it.
+	PendingExpiries uint64
+	MaxWR           int // high-water mark of the node-local R window
+	MaxWS           int // high-water mark of the node-local S window
+	MaxIWS          int // high-water mark of the in-flight S buffer
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.RArrivals += other.RArrivals
+	s.SArrivals += other.SArrivals
+	s.Comparisons += other.Comparisons
+	s.Results += other.Results
+	s.PendingExpiries += other.PendingExpiries
+	if other.MaxWR > s.MaxWR {
+		s.MaxWR = other.MaxWR
+	}
+	if other.MaxWS > s.MaxWS {
+		s.MaxWS = other.MaxWS
+	}
+	if other.MaxIWS > s.MaxIWS {
+		s.MaxIWS = other.MaxIWS
+	}
+}
+
+// Node is one processing core of the LLHJ pipeline, holding the
+// node-local windows WRk and WSk, the in-flight buffer IWSk, and the
+// pending-expiry sets. A Node is driven by exactly one runtime thread;
+// it is not safe for concurrent use.
+type Node[L, R any] struct {
+	cfg *Config[L, R]
+	k   int // position in the pipeline, 0-based
+
+	wR  *store.Window[L]  // node-local window of R (with expedition flags)
+	wS  *store.Window[R]  // node-local window of S
+	iwS []stream.Tuple[R] // forwarded-but-unacknowledged S tuples (tiny)
+
+	pendExpR map[uint64]struct{} // expiries that raced ahead of their tuple
+	pendExpS map[uint64]struct{}
+
+	stats Stats
+}
+
+// NewNode returns node k of an n-node pipeline configured by cfg.
+func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if k < 0 || k >= cfg.Nodes {
+		panic(fmt.Sprintf("core: node index %d out of range [0,%d)", k, cfg.Nodes))
+	}
+	var optsR []store.Option[L]
+	var optsS []store.Option[R]
+	switch cfg.Index {
+	case IndexHash:
+		optsR = append(optsR, store.WithHashIndex(cfg.KeyR))
+		optsS = append(optsS, store.WithHashIndex(cfg.KeyS))
+	case IndexBTree:
+		optsR = append(optsR, store.WithBTreeIndex(cfg.KeyR))
+		optsS = append(optsS, store.WithBTreeIndex(cfg.KeyS))
+	}
+	return &Node[L, R]{
+		cfg:      cfg,
+		k:        k,
+		wR:       store.NewWindow(optsR...),
+		wS:       store.NewWindow(optsS...),
+		pendExpR: make(map[uint64]struct{}),
+		pendExpS: make(map[uint64]struct{}),
+	}
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node[L, R]) Stats() Stats { return n.stats }
+
+// WindowSizes returns the current sizes of the node-local windows.
+func (n *Node[L, R]) WindowSizes() (wr, ws int) { return n.wR.Len(), n.wS.Len() }
+
+func (n *Node[L, R]) leftmost() bool  { return n.k == 0 }
+func (n *Node[L, R]) rightmost() bool { return n.k == n.cfg.Nodes-1 }
+
+// HandleLeft processes one message received from the left neighbour
+// (or, at node 0, from the driver): R arrivals, S acknowledgements and
+// S expiries (Figure 13).
+func (n *Node[L, R]) HandleLeft(m Msg[L, R], em Emitter[L, R]) {
+	switch m.Kind {
+	case KindArrival:
+		n.handleArrivalR(m, em)
+	case KindAck:
+		n.handleAckS(m)
+	case KindExpiry:
+		n.handleExpiryS(m, em)
+	default:
+		panic(fmt.Sprintf("core: node %d: unexpected %v from the left", n.k, m.Kind))
+	}
+}
+
+// HandleRight processes one message received from the right neighbour
+// (or, at node n−1, from the driver): S arrivals, R expedition-end
+// messages and R expiries (Figure 14).
+func (n *Node[L, R]) HandleRight(m Msg[L, R], em Emitter[L, R]) {
+	switch m.Kind {
+	case KindArrival:
+		n.handleArrivalS(m, em)
+	case KindExpEnd:
+		n.handleExpEndR(m, em)
+	case KindExpiry:
+		n.handleExpiryR(m, em)
+	default:
+		panic(fmt.Sprintf("core: node %d: unexpected %v from the right", n.k, m.Kind))
+	}
+}
+
+// handleArrivalR implements the arrival branch of Figure 13: tag home
+// nodes at the entry node, expedite (forward before scanning), scan
+// WSk and IWSk, store at the home node, and at the pipeline end update
+// the high-water mark and emit the expedition-end message.
+func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
+	rs := m.R
+	if n.leftmost() {
+		for i := range rs {
+			rs[i].Home = n.cfg.HomeOf(rs[i].Seq)
+		}
+	}
+	// Expedition: forward the batch immediately, before any local work
+	// (Figure 13 forwards on line 7, before the scan on line 8).
+	if !n.rightmost() {
+		em.EmitRight(m)
+	}
+	var expEnds []uint64
+	for i := range rs {
+		r := rs[i]
+		n.stats.RArrivals++
+		n.scanForR(r, em)
+		if r.Home == n.k {
+			if _, pending := n.pendExpR[r.Seq]; pending {
+				// The expiry overtook the tuple (pathological window);
+				// honour it by never storing the copy.
+				delete(n.pendExpR, r.Seq)
+			} else {
+				n.wR.Insert(r)
+				if n.wR.Len() > n.stats.MaxWR {
+					n.stats.MaxWR = n.wR.Len()
+				}
+			}
+		}
+		if n.rightmost() {
+			em.StreamEnd(stream.R, r.TS)
+			if !n.cfg.DisableExpEnd {
+				if r.Home == n.k {
+					// Self-delivery of the expedition-end message
+					// (Figure 13 line 12) resolves locally.
+					n.wR.ClearExpedition(r.Seq)
+				} else {
+					expEnds = append(expEnds, r.Seq)
+				}
+			}
+		}
+	}
+	if len(expEnds) > 0 {
+		em.EmitLeft(Msg[L, R]{Kind: KindExpEnd, Side: stream.R, Seqs: expEnds})
+	}
+}
+
+// scanForR finds matches for r in the node-local S window and the
+// in-flight buffer (Figure 13 line 8).
+func (n *Node[L, R]) scanForR(r stream.Tuple[L], em Emitter[L, R]) {
+	inspected := 0
+	emit := func(s stream.Tuple[R]) {
+		if n.cfg.Pred(r.Payload, s.Payload) {
+			n.stats.Results++
+			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
+		}
+	}
+	switch n.cfg.Index {
+	case IndexHash:
+		inspected += n.wS.Probe(n.cfg.KeyR(r.Payload), false, emit)
+	case IndexBTree:
+		key := n.cfg.KeyR(r.Payload)
+		lo := uint64(0)
+		if key > n.cfg.Band {
+			lo = key - n.cfg.Band
+		}
+		inspected += n.wS.RangeProbe(lo, key+n.cfg.Band, false, emit)
+	default:
+		inspected += n.wS.ScanAll(emit)
+	}
+	for _, s := range n.iwS {
+		inspected++
+		emit(s)
+	}
+	n.stats.Comparisons += uint64(inspected)
+	em.Cost(inspected)
+}
+
+// handleArrivalS implements the arrival branch of Figure 14: tag homes
+// at the entry node, forward immediately, scan only non-expedited WRk
+// entries (avoiding stored/stored double matches), keep fresh tuples in
+// IWSk until acknowledged (avoiding stored/fresh misses), store at the
+// home node, and acknowledge the batch to the sender.
+func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
+	ss := m.S
+	if n.rightmost() {
+		for i := range ss {
+			ss[i].Home = n.cfg.HomeOf(ss[i].Seq)
+		}
+	}
+	if !n.leftmost() {
+		em.EmitLeft(m)
+	}
+	for i := range ss {
+		s := ss[i]
+		n.stats.SArrivals++
+		n.scanForS(s, em)
+		if !n.cfg.DisableAck && n.k > s.Home {
+			// s is fresh here: keep it visible until the left
+			// neighbour confirms receipt (Figure 14 lines 9–10).
+			n.iwS = append(n.iwS, s)
+			if len(n.iwS) > n.stats.MaxIWS {
+				n.stats.MaxIWS = len(n.iwS)
+			}
+		}
+		if s.Home == n.k {
+			if _, pending := n.pendExpS[s.Seq]; pending {
+				delete(n.pendExpS, s.Seq)
+			} else {
+				n.wS.InsertSettled(s)
+				if n.wS.Len() > n.stats.MaxWS {
+					n.stats.MaxWS = n.wS.Len()
+				}
+			}
+		}
+		if n.leftmost() {
+			em.StreamEnd(stream.S, s.TS)
+		}
+	}
+	if !n.cfg.DisableAck && !n.rightmost() {
+		// Acknowledge the whole batch to the sender (Figure 14 line 13).
+		// The rightmost node received the batch from the driver, which
+		// needs no acknowledgement.
+		seqs := make([]uint64, len(ss))
+		for i := range ss {
+			seqs[i] = ss[i].Seq
+		}
+		em.EmitRight(Msg[L, R]{Kind: KindAck, Side: stream.S, Seqs: seqs})
+	}
+}
+
+// scanForS finds matches for s among the *non-expedited* entries of the
+// node-local R window (Figure 14 line 8).
+func (n *Node[L, R]) scanForS(s stream.Tuple[R], em Emitter[L, R]) {
+	inspected := 0
+	emit := func(r stream.Tuple[L]) {
+		if n.cfg.Pred(r.Payload, s.Payload) {
+			n.stats.Results++
+			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
+		}
+	}
+	switch n.cfg.Index {
+	case IndexHash:
+		inspected += n.wR.Probe(n.cfg.KeyS(s.Payload), true, emit)
+	case IndexBTree:
+		key := n.cfg.KeyS(s.Payload)
+		lo := uint64(0)
+		if key > n.cfg.Band {
+			lo = key - n.cfg.Band
+		}
+		inspected += n.wR.RangeProbe(lo, key+n.cfg.Band, true, emit)
+	default:
+		inspected += n.wR.ScanSettled(emit)
+	}
+	n.stats.Comparisons += uint64(inspected)
+	em.Cost(inspected)
+}
+
+// handleAckS removes acknowledged tuples from the in-flight buffer
+// (Figure 13 lines 13–14).
+func (n *Node[L, R]) handleAckS(m Msg[L, R]) {
+	for _, seq := range m.Seqs {
+		for i := range n.iwS {
+			if n.iwS[i].Seq == seq {
+				n.iwS = append(n.iwS[:i], n.iwS[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// handleExpEndR clears expedition flags at each tuple's home node
+// (Figure 14 lines 14–19). Deterministic home assignment lets every
+// node decide locally whether to consume or forward each entry.
+func (n *Node[L, R]) handleExpEndR(m Msg[L, R], em Emitter[L, R]) {
+	var forward []uint64
+	for _, seq := range m.Seqs {
+		if n.cfg.HomeOf(seq) == n.k {
+			// Consume even if the copy is gone (already expired).
+			n.wR.ClearExpedition(seq)
+		} else {
+			forward = append(forward, seq)
+		}
+	}
+	if len(forward) > 0 && !n.leftmost() {
+		em.EmitLeft(Msg[L, R]{Kind: KindExpEnd, Side: stream.R, Seqs: forward})
+	}
+}
+
+// handleExpiryR removes expired R tuples from their home node
+// (Figure 14 lines 20–25, with deterministic routing).
+func (n *Node[L, R]) handleExpiryR(m Msg[L, R], em Emitter[L, R]) {
+	var forward []uint64
+	for _, seq := range m.Seqs {
+		if n.cfg.HomeOf(seq) == n.k {
+			if _, ok := n.wR.Remove(seq); !ok {
+				n.pendExpR[seq] = struct{}{}
+				n.stats.PendingExpiries++
+			}
+		} else {
+			forward = append(forward, seq)
+		}
+	}
+	if len(forward) > 0 && !n.leftmost() {
+		em.EmitLeft(Msg[L, R]{Kind: KindExpiry, Side: stream.R, Seqs: forward})
+	}
+}
+
+// handleExpiryS removes expired S tuples from their home node
+// (Figure 13 lines 15–20, with deterministic routing).
+func (n *Node[L, R]) handleExpiryS(m Msg[L, R], em Emitter[L, R]) {
+	var forward []uint64
+	for _, seq := range m.Seqs {
+		if n.cfg.HomeOf(seq) == n.k {
+			if _, ok := n.wS.Remove(seq); !ok {
+				n.pendExpS[seq] = struct{}{}
+				n.stats.PendingExpiries++
+			}
+		} else {
+			forward = append(forward, seq)
+		}
+	}
+	if len(forward) > 0 && !n.rightmost() {
+		em.EmitRight(Msg[L, R]{Kind: KindExpiry, Side: stream.S, Seqs: forward})
+	}
+}
+
+// IWSLen returns the current size of the in-flight S buffer; it must be
+// zero whenever the pipeline is quiescent (every forwarded tuple has
+// been acknowledged).
+func (n *Node[L, R]) IWSLen() int { return len(n.iwS) }
+
+// PendingExpiryLen returns how many expiries are parked waiting for
+// their tuple (non-zero only in pathological window configurations).
+func (n *Node[L, R]) PendingExpiryLen() int { return len(n.pendExpR) + len(n.pendExpS) }

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+
+	"handshakejoin/internal/stream"
+)
+
+// capture is a scripted Emitter recording everything a node emits.
+type capture struct {
+	left, right []Msg[int, int]
+	results     []stream.Pair[int, int]
+	endR, endS  []int64
+	cost        int
+}
+
+func (c *capture) EmitLeft(m Msg[int, int])  { c.left = append(c.left, m) }
+func (c *capture) EmitRight(m Msg[int, int]) { c.right = append(c.right, m) }
+func (c *capture) EmitResult(p stream.Pair[int, int]) {
+	c.results = append(c.results, p)
+}
+func (c *capture) StreamEnd(side stream.Side, ts int64) {
+	if side == stream.R {
+		c.endR = append(c.endR, ts)
+	} else {
+		c.endS = append(c.endS, ts)
+	}
+}
+func (c *capture) Cost(n int) { c.cost += n }
+
+func eqPred(r, s int) bool { return r == s }
+
+func cfg3() *Config[int, int] { return &Config[int, int]{Nodes: 3, Pred: eqPred} }
+
+func rArr(tuples ...stream.Tuple[int]) Msg[int, int] {
+	return Msg[int, int]{Kind: KindArrival, Side: stream.R, R: tuples}
+}
+
+func sArr(tuples ...stream.Tuple[int]) Msg[int, int] {
+	return Msg[int, int]{Kind: KindArrival, Side: stream.S, S: tuples}
+}
+
+func tpl(seq uint64, v int, home int) stream.Tuple[int] {
+	return stream.Tuple[int]{Seq: seq, TS: int64(seq) * 100, Home: home, Payload: v}
+}
+
+func TestEntryNodeTagsHomesRoundRobin(t *testing.T) {
+	c := cfg3()
+	n0 := NewNode(c, 0)
+	var em capture
+	batch := rArr(tpl(0, 1, stream.NoHome), tpl(1, 2, stream.NoHome), tpl(2, 3, stream.NoHome), tpl(3, 4, stream.NoHome))
+	n0.HandleLeft(batch, &em)
+	if len(em.right) != 1 {
+		t.Fatalf("forwarded %d messages, want the batch", len(em.right))
+	}
+	for i, r := range em.right[0].R {
+		if r.Home != i%3 {
+			t.Fatalf("tuple %d tagged home %d, want %d", i, r.Home, i%3)
+		}
+	}
+	// Node 0 stored only its own home tuples (seq 0 and 3).
+	if wr, _ := n0.WindowSizes(); wr != 2 {
+		t.Fatalf("node 0 stored %d R tuples, want 2", wr)
+	}
+}
+
+func TestArrivalForwardedBeforeScanOrder(t *testing.T) {
+	// The emitter sees the forward before any result: expedition means
+	// forwarding happens first (Figure 13 line 7 before line 8).
+	c := cfg3()
+	n1 := NewNode(c, 1)
+	var em capture
+	// Preload an S copy at node 1 (home 1) so the R arrival matches.
+	n1.HandleRight(sArr(tpl(1, 42, 1)), &em)
+	em = capture{}
+	n1.HandleLeft(rArr(tpl(0, 42, 0)), &em)
+	if len(em.right) == 0 || em.right[0].Kind != KindArrival {
+		t.Fatal("R batch not forwarded")
+	}
+	if len(em.results) != 1 {
+		t.Fatalf("results = %d, want 1", len(em.results))
+	}
+}
+
+func TestRightmostEmitsExpEndAndHWM(t *testing.T) {
+	c := cfg3()
+	n2 := NewNode(c, 2)
+	var em capture
+	// seq 0 homes at node 0: the rightmost node must emit an
+	// expedition-end leftward. seq 2 homes here: resolved locally.
+	n2.HandleLeft(rArr(tpl(0, 1, 0), tpl(2, 3, 2)), &em)
+	if len(em.endR) != 2 {
+		t.Fatalf("HWM updates = %d, want 2", len(em.endR))
+	}
+	var expEnds []Msg[int, int]
+	for _, m := range em.left {
+		if m.Kind == KindExpEnd {
+			expEnds = append(expEnds, m)
+		}
+	}
+	if len(expEnds) != 1 || len(expEnds[0].Seqs) != 1 || expEnds[0].Seqs[0] != 0 {
+		t.Fatalf("expedition ends = %+v, want one for seq 0", expEnds)
+	}
+	// seq 2's copy must already be settled (self-delivered exp-end).
+	if n2.wR.SettledLen() != 1 {
+		t.Fatalf("settled = %d, want 1", n2.wR.SettledLen())
+	}
+}
+
+func TestSettledScanAvoidsStoredStoredDoubleMatch(t *testing.T) {
+	// An S arrival must not match an expedited (still travelling) R
+	// copy — that pair will be evaluated when the R tuple passes the S
+	// tuple's home (Table 1, stored/stored row).
+	c := cfg3()
+	n1 := NewNode(c, 1)
+	var em capture
+	n1.HandleLeft(rArr(tpl(1, 7, 1)), &em) // stored at home, expedited
+	em = capture{}
+	n1.HandleRight(sArr(tpl(0, 7, 2)), &em)
+	if len(em.results) != 0 {
+		t.Fatal("matched an expedited copy: stored/stored double match")
+	}
+	// After the expedition-end arrives, later S arrivals do match.
+	n1.HandleRight(Msg[int, int]{Kind: KindExpEnd, Side: stream.R, Seqs: []uint64{1}}, &em)
+	em = capture{}
+	n1.HandleRight(sArr(tpl(3, 7, 2)), &em)
+	if len(em.results) != 1 {
+		t.Fatalf("settled copy not matched: %d results", len(em.results))
+	}
+}
+
+func TestFreshSInIWSMatchedByR(t *testing.T) {
+	// A fresh S tuple (home not yet reached) stays visible in IWS until
+	// acknowledged, so a crossing R arrival finds it (avoids the
+	// stored/fresh miss).
+	c := cfg3()
+	n1 := NewNode(c, 1)
+	var em capture
+	n1.HandleRight(sArr(tpl(5, 9, 0)), &em) // home 0 < 1: fresh here
+	if n1.IWSLen() != 1 {
+		t.Fatalf("IWS = %d, want 1", n1.IWSLen())
+	}
+	// The batch was forwarded left and acknowledged right.
+	ackSeen := false
+	for _, m := range em.right {
+		if m.Kind == KindAck {
+			ackSeen = true
+		}
+	}
+	if !ackSeen {
+		t.Fatal("no acknowledgement emitted")
+	}
+	em = capture{}
+	n1.HandleLeft(rArr(tpl(0, 9, 0)), &em)
+	if len(em.results) != 1 {
+		t.Fatalf("crossing R missed the in-flight S tuple: %d results", len(em.results))
+	}
+	// Ack from the left neighbour clears IWS; afterwards no re-match.
+	n1.HandleLeft(Msg[int, int]{Kind: KindAck, Side: stream.S, Seqs: []uint64{5}}, &em)
+	if n1.IWSLen() != 0 {
+		t.Fatal("ack did not clear IWS")
+	}
+	em = capture{}
+	n1.HandleLeft(rArr(tpl(3, 9, 0)), &em)
+	if len(em.results) != 0 {
+		t.Fatal("acked in-flight tuple still matched (would duplicate at its home)")
+	}
+}
+
+func TestExpiryRoutedToHome(t *testing.T) {
+	c := cfg3()
+	n1 := NewNode(c, 1)
+	var em capture
+	n1.HandleLeft(rArr(tpl(1, 7, 1)), &em)
+	// Expiry for seq 2 (home 2) passes through leftward; expiry for
+	// seq 1 is consumed here.
+	em = capture{}
+	n1.HandleRight(Msg[int, int]{Kind: KindExpiry, Side: stream.R, Seqs: []uint64{1, 2}}, &em)
+	if wr, _ := n1.WindowSizes(); wr != 0 {
+		t.Fatalf("home copy not removed: wR=%d", wr)
+	}
+	if len(em.left) != 1 || em.left[0].Kind != KindExpiry || len(em.left[0].Seqs) != 1 || em.left[0].Seqs[0] != 2 {
+		t.Fatalf("forwarded expiries = %+v, want only seq 2", em.left)
+	}
+}
+
+func TestExpiryBeforeArrivalParksPending(t *testing.T) {
+	c := cfg3()
+	n1 := NewNode(c, 1)
+	var em capture
+	n1.HandleRight(Msg[int, int]{Kind: KindExpiry, Side: stream.R, Seqs: []uint64{1}}, &em)
+	if n1.Stats().PendingExpiries != 1 || n1.PendingExpiryLen() != 1 {
+		t.Fatal("early expiry not parked")
+	}
+	// When the tuple finally arrives, it must not be stored.
+	n1.HandleLeft(rArr(tpl(1, 7, 1)), &em)
+	if wr, _ := n1.WindowSizes(); wr != 0 {
+		t.Fatal("expired tuple was stored anyway")
+	}
+	if n1.PendingExpiryLen() != 0 {
+		t.Fatal("pending entry not consumed")
+	}
+}
+
+func TestSingleNodePipelineDegeneratesToKang(t *testing.T) {
+	c := &Config[int, int]{Nodes: 1, Pred: eqPred}
+	n := NewNode(c, 0)
+	var em capture
+	n.HandleLeft(rArr(stream.Tuple[int]{Seq: 0, TS: 0, Home: stream.NoHome, Payload: 4}), &em)
+	n.HandleRight(sArr(stream.Tuple[int]{Seq: 0, TS: 10, Home: stream.NoHome, Payload: 4}), &em)
+	if len(em.results) != 1 {
+		t.Fatalf("results = %d, want 1", len(em.results))
+	}
+	if len(em.endR) != 1 || len(em.endS) != 1 {
+		t.Fatal("single node must update both high-water marks")
+	}
+	// No messages can leave a single-node pipeline.
+	if len(em.left) != 0 || len(em.right) != 0 {
+		t.Fatalf("single node emitted messages: left=%d right=%d", len(em.left), len(em.right))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (&Config[int, int]{Nodes: 0, Pred: eqPred}).Validate(); err == nil {
+		t.Fatal("accepted 0 nodes")
+	}
+	if err := (&Config[int, int]{Nodes: 2}).Validate(); err == nil {
+		t.Fatal("accepted nil predicate")
+	}
+	bad := &Config[int, int]{Nodes: 2, Pred: eqPred, Index: IndexHash}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted hash index without key functions")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{RArrivals: 1, Comparisons: 10, MaxWR: 5}
+	b := Stats{RArrivals: 2, Comparisons: 20, MaxWR: 3, MaxIWS: 7}
+	a.Add(b)
+	if a.RArrivals != 3 || a.Comparisons != 30 || a.MaxWR != 5 || a.MaxIWS != 7 {
+		t.Fatalf("Add result = %+v", a)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindArrival: "arrival", KindAck: "ack",
+		KindExpEnd: "expedition-end", KindExpiry: "expiry", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestResultLatency(t *testing.T) {
+	r := Result[int, int]{
+		Pair: stream.Pair[int, int]{
+			R: stream.Tuple[int]{Wall: 100},
+			S: stream.Tuple[int]{Wall: 300},
+		},
+		At: 450,
+	}
+	if r.Latency() != 150 {
+		t.Fatalf("Latency = %d, want 150 (from the later tuple)", r.Latency())
+	}
+}

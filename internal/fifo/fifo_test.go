@@ -1,0 +1,239 @@
+package fifo
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// queues under test, constructed fresh per case.
+func implementations(capacity int) map[string]Queue[int] {
+	return map[string]Queue[int]{
+		"ring":  NewRing[int](capacity),
+		"deque": NewDeque[int](capacity),
+		"chan":  NewChan[int](capacity),
+	}
+}
+
+func TestQueueBasicFIFO(t *testing.T) {
+	for name, q := range implementations(8) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, _ := q.TryGet(); ok {
+				t.Fatal("empty queue returned a value")
+			}
+			for i := 0; i < 5; i++ {
+				if ok, err := q.TryPut(i); !ok || err != nil {
+					t.Fatalf("put %d failed: ok=%v err=%v", i, ok, err)
+				}
+			}
+			if q.Len() != 5 {
+				t.Fatalf("Len = %d, want 5", q.Len())
+			}
+			for i := 0; i < 5; i++ {
+				v, ok, _ := q.TryGet()
+				if !ok || v != i {
+					t.Fatalf("get %d: got (%v, %v)", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestQueueBoundedCapacity(t *testing.T) {
+	// Ring and Chan are bounded; Deque is not.
+	for _, name := range []string{"ring", "chan"} {
+		q := implementations(4)[name]
+		t.Run(name, func(t *testing.T) {
+			puts := 0
+			for i := 0; i < 100; i++ {
+				ok, err := q.TryPut(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					puts++
+				}
+			}
+			if puts != q.Cap() {
+				t.Fatalf("accepted %d puts, want capacity %d", puts, q.Cap())
+			}
+		})
+	}
+	t.Run("deque", func(t *testing.T) {
+		q := NewDeque[int](4)
+		for i := 0; i < 1000; i++ {
+			if err := q.Put(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if q.Len() != 1000 {
+			t.Fatalf("Len = %d, want 1000 (unbounded)", q.Len())
+		}
+		for i := 0; i < 1000; i++ {
+			v, ok, _ := q.TryGet()
+			if !ok || v != i {
+				t.Fatalf("get %d: got (%v, %v) — wraparound growth broke FIFO order", i, v, ok)
+			}
+		}
+	})
+}
+
+func TestQueueClose(t *testing.T) {
+	for name, q := range implementations(8) {
+		t.Run(name, func(t *testing.T) {
+			q.TryPut(1)
+			q.TryPut(2)
+			q.Close()
+			if _, err := q.TryPut(3); err != ErrClosed {
+				t.Fatalf("put after close: err = %v, want ErrClosed", err)
+			}
+			// Pending values still drain.
+			v, ok, _ := q.TryGet()
+			if !ok || v != 1 {
+				t.Fatalf("drain after close: got (%v, %v)", v, ok)
+			}
+			q.TryGet()
+			if _, ok, closed := q.TryGet(); ok || !closed {
+				t.Fatalf("exhausted closed queue: ok=%v closed=%v, want closed signal", ok, closed)
+			}
+		})
+	}
+}
+
+func TestRingSPSCOrderUnderConcurrency(t *testing.T) {
+	// One producer, one consumer, full speed: the consumer must see
+	// exactly 0..n-1 in order. This is the property the pipeline links
+	// rely on.
+	const n = 50000
+	q := NewRing[int](256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if ok, _ := q.TryPut(i); ok {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	next := 0
+	for next < n {
+		v, ok, _ := q.TryGet()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != next {
+			t.Fatalf("out of order: got %d, want %d", v, next)
+		}
+		next++
+	}
+	wg.Wait()
+}
+
+func TestDequeConcurrentProducerConsumer(t *testing.T) {
+	const n = 50000
+	q := NewDeque[int](8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := q.Put(i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	next := 0
+	for next < n {
+		v, ok, _ := q.TryGet()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != next {
+			t.Fatalf("out of order: got %d, want %d", v, next)
+		}
+		next++
+	}
+	wg.Wait()
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, c := range []int{1, 2, 3, 5, 16, 100} {
+		r := NewRing[int](c)
+		if r.Cap() < c || r.Cap()&(r.Cap()-1) != 0 {
+			t.Errorf("NewRing(%d).Cap() = %d, want power of two >= %d", c, r.Cap(), c)
+		}
+	}
+}
+
+func TestQueuePropertyRandomOps(t *testing.T) {
+	// Property: for any sequence of put/get operations, a Queue behaves
+	// exactly like a slice-backed reference FIFO (Ring modulo its
+	// capacity bound, Deque exactly).
+	checkRing := func(ops []uint8) bool {
+		q := NewRing[int](16)
+		var ref []int
+		counter := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				ok, _ := q.TryPut(counter)
+				if ok {
+					ref = append(ref, counter)
+				} else if len(ref) < q.Cap() {
+					return false // rejected although not full
+				}
+				counter++
+			} else {
+				v, ok, _ := q.TryGet()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+		}
+		return q.Len() == len(ref)
+	}
+	checkDeque := func(ops []uint8) bool {
+		q := NewDeque[int](2)
+		var ref []int
+		counter := 0
+		for _, op := range ops {
+			if op%3 != 0 { // bias toward puts to force growth
+				q.Put(counter)
+				ref = append(ref, counter)
+				counter++
+			} else {
+				v, ok, _ := q.TryGet()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+		}
+		return q.Len() == len(ref)
+	}
+	if err := quick.Check(checkRing, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	if err := quick.Check(checkDeque, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("deque: %v", err)
+	}
+}

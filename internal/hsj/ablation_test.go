@@ -1,0 +1,81 @@
+package hsj
+
+import (
+	"testing"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+)
+
+// TestDisableAckDropsInFlightVisibility verifies the ablation knob: with
+// acknowledgements off, popped tuples leave no in-flight trace, so an
+// arrival crossing them finds nothing — the §4.2.2 "missed join pairs"
+// hazard, reproduced deliberately.
+func TestDisableAckDropsInFlightVisibility(t *testing.T) {
+	c := cfg()
+	c.DisableAck = true
+	n1 := NewNode(c, 1)
+	var em capture
+	for i := 0; i < 3; i++ {
+		n1.HandleRight(sArr(tpl(uint64(i), i)), &em)
+	}
+	if len(n1.iwS) != 0 {
+		t.Fatal("in-flight buffer populated despite DisableAck")
+	}
+	// The popped tuple (seq 0) is invisible here now.
+	em = capture{}
+	n1.HandleLeft(rArr(tpl(0, 0)), &em)
+	if len(em.results) != 0 {
+		t.Fatal("match found without the in-flight buffer; ablation ineffective")
+	}
+	// No acknowledgements are emitted either.
+	em = capture{}
+	n1.HandleRight(sArr(tpl(9, 9)), &em)
+	for _, m := range em.right {
+		if m.Kind == core.KindAck {
+			t.Fatal("ack emitted despite DisableAck")
+		}
+	}
+}
+
+// TestExpiryForUnknownTupleTravelsOn exercises expiry forwarding across
+// multiple nodes: an expiry whose tuple lives at the far end must pass
+// through every segment unharmed.
+func TestExpiryForUnknownTupleTravelsOn(t *testing.T) {
+	n1 := NewNode(cfg(), 1)
+	var em capture
+	// R expiry entering from the right, tuple not here and not in
+	// flight: forwarded left.
+	n1.HandleRight(core.Msg[int, int]{Kind: core.KindExpiry, Side: stream.R, Seqs: []uint64{42}}, &em)
+	if len(em.left) != 1 || em.left[0].Kind != core.KindExpiry || em.left[0].Seqs[0] != 42 {
+		t.Fatalf("R expiry not forwarded left: %+v", em.left)
+	}
+	// At the leftmost node an unknown R expiry is dropped (nothing to
+	// the left of node 0).
+	n0 := NewNode(cfg(), 0)
+	em = capture{}
+	n0.HandleRight(core.Msg[int, int]{Kind: core.KindExpiry, Side: stream.R, Seqs: []uint64{42}}, &em)
+	if len(em.left) != 0 && len(em.right) != 0 {
+		t.Fatalf("expiry leaked off the pipeline end: %+v %+v", em.left, em.right)
+	}
+}
+
+// TestBatchArrivalScansEveryTuple checks per-tuple scanning within one
+// batch message: every tuple of an R batch matches independently.
+func TestBatchArrivalScansEveryTuple(t *testing.T) {
+	n1 := NewNode(cfg(), 1)
+	var em capture
+	n1.HandleRight(sArr(tpl(0, 7)), &em)
+	em = capture{}
+	n1.HandleLeft(rArr(tpl(0, 7), tpl(1, 8), tpl(2, 7)), &em)
+	if len(em.results) != 2 {
+		t.Fatalf("results = %d, want 2 (tuples 0 and 2 match)", len(em.results))
+	}
+	if em.results[0].R.Seq != 0 || em.results[1].R.Seq != 2 {
+		t.Fatalf("unexpected matching tuples: %+v", em.results)
+	}
+	st := n1.Stats()
+	if st.RArrivals != 3 {
+		t.Fatalf("RArrivals = %d, want 3", st.RArrivals)
+	}
+}

@@ -1,0 +1,416 @@
+// Package hsj implements the original handshake join of Teubner and
+// Mueller (SIGMOD 2011, reference [20] of the paper) as the baseline
+// that low-latency handshake join is measured against.
+//
+// Tuples enter at the pipeline ends and queue through per-core window
+// segments: a new arrival is stored in the node-local segment and, when
+// the segment exceeds its capacity, the oldest tuple is popped and
+// forwarded to the neighbour. This queueing is the source of the
+// latency analysed in §3 of the paper: a tuple needs about one full
+// window's worth of subsequent arrivals to traverse the pipeline, so
+// two tuples meet only after travelling ~α·|W| of their windows.
+//
+// Matching follows Kang's scan discipline per segment: an arriving R
+// tuple scans the local S segment (plus the in-flight buffer IWS, the
+// one-sided acknowledgement mechanism of §4.2.2), an arriving S tuple
+// scans the local R segment. Expiry messages enter at the opposite
+// pipeline end (§4.2.4) and delete the tuple wherever it rests; a
+// sender-side in-flight buffer on each stream lets an expiry that races
+// with its tuple park and resume in the tuple's direction of travel
+// ("expiry chase"), so no ghost tuples or leaks remain. The in-flight
+// R buffer is bookkeeping for the chase only and is never scanned —
+// scanning both in-flight buffers would re-introduce the double-match
+// race that the paper's asymmetric design avoids.
+//
+// Output order is non-deterministic and latency is high — by design;
+// this is the behaviour Figures 5, 17 and 18 quantify.
+package hsj
+
+import (
+	"fmt"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/store"
+	"handshakejoin/internal/stream"
+)
+
+// Config parameterizes an original-handshake-join pipeline.
+type Config[L, R any] struct {
+	// Nodes is the number of processing cores in the pipeline.
+	Nodes int
+	// Pred is the join predicate p(r, s).
+	Pred stream.Predicate[L, R]
+	// CapR and CapS are the total window capacities in tuples. Each
+	// interior node holds a segment of ⌈Cap/Nodes⌉ tuples; the exit
+	// node of each stream holds the remainder until expiry messages
+	// delete it. For time-based windows the driver derives the
+	// capacity from the expected rate (rate × window duration).
+	CapR int
+	// CapS is the S-side total window capacity in tuples.
+	CapS int
+	// DisableAck turns off the acknowledgement mechanism (ablation
+	// only: crossing tuples then miss each other).
+	DisableAck bool
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c *Config[L, R]) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("hsj: Nodes must be >= 1, got %d", c.Nodes)
+	}
+	if c.Pred == nil {
+		return fmt.Errorf("hsj: Pred must be set")
+	}
+	if c.CapR < 1 || c.CapS < 1 {
+		return fmt.Errorf("hsj: window capacities must be >= 1, got R=%d S=%d", c.CapR, c.CapS)
+	}
+	return nil
+}
+
+// SegCapR returns the per-node R segment capacity.
+func (c *Config[L, R]) SegCapR() int { return (c.CapR + c.Nodes - 1) / c.Nodes }
+
+// SegCapS returns the per-node S segment capacity.
+func (c *Config[L, R]) SegCapS() int { return (c.CapS + c.Nodes - 1) / c.Nodes }
+
+// Node is one processing core of the original handshake join pipeline.
+// It is driven by exactly one runtime thread.
+type Node[L, R any] struct {
+	cfg *Config[L, R]
+	k   int
+
+	wR *store.Window[L]
+	wS *store.Window[R]
+
+	iwS []stream.Tuple[R] // forwarded-but-unacked S (scanned by R arrivals)
+	iwR []stream.Tuple[L] // forwarded-but-unacked R (expiry chase only, never scanned)
+
+	// Expiries parked on an in-flight tuple: when the ack for the seq
+	// arrives, the expiry resumes in the tuple's travel direction.
+	chaseR map[uint64]struct{}
+	chaseS map[uint64]struct{}
+
+	stats core.Stats
+}
+
+// NewNode returns node k of the pipeline configured by cfg.
+func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if k < 0 || k >= cfg.Nodes {
+		panic(fmt.Sprintf("hsj: node index %d out of range [0,%d)", k, cfg.Nodes))
+	}
+	return &Node[L, R]{
+		cfg:    cfg,
+		k:      k,
+		wR:     store.NewWindow[L](),
+		wS:     store.NewWindow[R](),
+		chaseR: make(map[uint64]struct{}),
+		chaseS: make(map[uint64]struct{}),
+	}
+}
+
+// Stats implements core.NodeLogic.
+func (n *Node[L, R]) Stats() core.Stats { return n.stats }
+
+// WindowSizes returns the current sizes of the node-local segments.
+func (n *Node[L, R]) WindowSizes() (wr, ws int) { return n.wR.Len(), n.wS.Len() }
+
+func (n *Node[L, R]) leftmost() bool  { return n.k == 0 }
+func (n *Node[L, R]) rightmost() bool { return n.k == n.cfg.Nodes-1 }
+
+// HandleLeft processes R arrivals, R acknowledgements, S expiries
+// (entering at the left end) and reversed R expiries (chasing their
+// tuple rightward).
+func (n *Node[L, R]) HandleLeft(m core.Msg[L, R], em core.Emitter[L, R]) {
+	switch {
+	case m.Kind == core.KindArrival && m.Side == stream.R:
+		n.handleArrivalR(m, em)
+	case m.Kind == core.KindAck && m.Side == stream.S:
+		// S tuples flow right-to-left, so their acknowledgements flow
+		// left-to-right and arrive on the left channel.
+		n.handleAckS(m, em)
+	case m.Kind == core.KindExpiry && m.Side == stream.S:
+		n.handleExpiry(m, em, false)
+	case m.Kind == core.KindExpiry && m.Side == stream.R:
+		// Reversed R expiry resuming a chase toward the right.
+		n.handleExpiry(m, em, true)
+	default:
+		panic(fmt.Sprintf("hsj: node %d: unexpected %v/%v from the left", n.k, m.Kind, m.Side))
+	}
+}
+
+// HandleRight processes S arrivals, S acknowledgements, R expiries
+// (entering at the right end) and reversed S expiries.
+func (n *Node[L, R]) HandleRight(m core.Msg[L, R], em core.Emitter[L, R]) {
+	switch {
+	case m.Kind == core.KindArrival && m.Side == stream.S:
+		n.handleArrivalS(m, em)
+	case m.Kind == core.KindAck && m.Side == stream.R:
+		// R tuples flow left-to-right, so their acknowledgements flow
+		// right-to-left and arrive on the right channel.
+		n.handleAckR(m, em)
+	case m.Kind == core.KindExpiry && m.Side == stream.R:
+		n.handleExpiry(m, em, false)
+	case m.Kind == core.KindExpiry && m.Side == stream.S:
+		// Reversed S expiry resuming a chase toward the left.
+		n.handleExpiry(m, em, true)
+	default:
+		panic(fmt.Sprintf("hsj: node %d: unexpected %v/%v from the right", n.k, m.Kind, m.Side))
+	}
+}
+
+// handleArrivalR stores arriving R tuples in the local segment, scans
+// the local S state for matches, and pops segment overflow to the right
+// neighbour.
+func (n *Node[L, R]) handleArrivalR(m core.Msg[L, R], em core.Emitter[L, R]) {
+	rs := m.R
+	for i := range rs {
+		r := rs[i]
+		n.stats.RArrivals++
+		n.scanForR(r, em)
+		n.wR.InsertSettled(r)
+	}
+	if n.wR.Len() > n.stats.MaxWR {
+		n.stats.MaxWR = n.wR.Len()
+	}
+	if !n.cfg.DisableAck && !n.leftmost() {
+		seqs := make([]uint64, len(rs))
+		for i := range rs {
+			seqs[i] = rs[i].Seq
+		}
+		em.EmitLeft(core.Msg[L, R]{Kind: core.KindAck, Side: stream.R, Seqs: seqs})
+	}
+	// Pop overflow. The rightmost node holds R until expiry deletes it
+	// (the pipeline exit is where the oldest window portion lives).
+	if n.rightmost() {
+		return
+	}
+	var popped []stream.Tuple[L]
+	for n.wR.Len() > n.cfg.SegCapR() {
+		t, ok := n.popOldestR()
+		if !ok {
+			break
+		}
+		popped = append(popped, t)
+	}
+	if len(popped) > 0 {
+		if !n.cfg.DisableAck {
+			n.iwR = append(n.iwR, popped...)
+		}
+		em.EmitRight(core.Msg[L, R]{Kind: core.KindArrival, Side: stream.R, R: popped})
+	}
+}
+
+// handleArrivalS mirrors handleArrivalR for the S stream (flowing
+// right-to-left).
+func (n *Node[L, R]) handleArrivalS(m core.Msg[L, R], em core.Emitter[L, R]) {
+	ss := m.S
+	for i := range ss {
+		s := ss[i]
+		n.stats.SArrivals++
+		n.scanForS(s, em)
+		n.wS.InsertSettled(s)
+	}
+	if n.wS.Len() > n.stats.MaxWS {
+		n.stats.MaxWS = n.wS.Len()
+	}
+	if !n.cfg.DisableAck && !n.rightmost() {
+		seqs := make([]uint64, len(ss))
+		for i := range ss {
+			seqs[i] = ss[i].Seq
+		}
+		em.EmitRight(core.Msg[L, R]{Kind: core.KindAck, Side: stream.S, Seqs: seqs})
+	}
+	if n.leftmost() {
+		return
+	}
+	var popped []stream.Tuple[R]
+	for n.wS.Len() > n.cfg.SegCapS() {
+		t, ok := n.popOldestS()
+		if !ok {
+			break
+		}
+		popped = append(popped, t)
+	}
+	if len(popped) > 0 {
+		if !n.cfg.DisableAck {
+			n.iwS = append(n.iwS, popped...)
+			if len(n.iwS) > n.stats.MaxIWS {
+				n.stats.MaxIWS = len(n.iwS)
+			}
+		}
+		em.EmitLeft(core.Msg[L, R]{Kind: core.KindArrival, Side: stream.S, S: popped})
+	}
+}
+
+func (n *Node[L, R]) scanForR(r stream.Tuple[L], em core.Emitter[L, R]) {
+	inspected := n.wS.ScanAll(func(s stream.Tuple[R]) {
+		if n.cfg.Pred(r.Payload, s.Payload) {
+			n.stats.Results++
+			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
+		}
+	})
+	for _, s := range n.iwS {
+		inspected++
+		if n.cfg.Pred(r.Payload, s.Payload) {
+			n.stats.Results++
+			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
+		}
+	}
+	n.stats.Comparisons += uint64(inspected)
+	em.Cost(inspected)
+}
+
+func (n *Node[L, R]) scanForS(s stream.Tuple[R], em core.Emitter[L, R]) {
+	// The in-flight R buffer is deliberately not scanned: the
+	// acknowledgement mechanism is one-sided (§4.2.2), and scanning
+	// both buffers would allow the same pair to match twice.
+	inspected := n.wR.ScanAll(func(r stream.Tuple[L]) {
+		if n.cfg.Pred(r.Payload, s.Payload) {
+			n.stats.Results++
+			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
+		}
+	})
+	n.stats.Comparisons += uint64(inspected)
+	em.Cost(inspected)
+}
+
+// handleAckR drops acknowledged tuples from the in-flight R buffer and
+// resumes any expiry chase parked on them (rightward, the direction the
+// tuple travelled).
+func (n *Node[L, R]) handleAckR(m core.Msg[L, R], em core.Emitter[L, R]) {
+	var resume []uint64
+	for _, seq := range m.Seqs {
+		for i := range n.iwR {
+			if n.iwR[i].Seq == seq {
+				n.iwR = append(n.iwR[:i], n.iwR[i+1:]...)
+				break
+			}
+		}
+		if _, ok := n.chaseR[seq]; ok {
+			delete(n.chaseR, seq)
+			resume = append(resume, seq)
+		}
+	}
+	if len(resume) > 0 {
+		em.EmitRight(core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: resume})
+	}
+}
+
+// handleAckS mirrors handleAckR for the S stream (chase resumes
+// leftward).
+func (n *Node[L, R]) handleAckS(m core.Msg[L, R], em core.Emitter[L, R]) {
+	var resume []uint64
+	for _, seq := range m.Seqs {
+		for i := range n.iwS {
+			if n.iwS[i].Seq == seq {
+				n.iwS = append(n.iwS[:i], n.iwS[i+1:]...)
+				break
+			}
+		}
+		if _, ok := n.chaseS[seq]; ok {
+			delete(n.chaseS, seq)
+			resume = append(resume, seq)
+		}
+	}
+	if len(resume) > 0 {
+		em.EmitLeft(core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: resume})
+	}
+}
+
+// handleExpiry deletes expired tuples. An expiry consumed here removes
+// the tuple from the resident segment. If the tuple is in flight (in
+// the sender-side buffer) the expiry parks and resumes when the ack
+// arrives. Otherwise the expiry travels on: forward in its entry
+// direction, or — for reversed expiries — in the tuple's travel
+// direction.
+func (n *Node[L, R]) handleExpiry(m core.Msg[L, R], em core.Emitter[L, R], reversed bool) {
+	var forward []uint64
+	if m.Side == stream.R {
+		for _, seq := range m.Seqs {
+			if _, ok := n.wR.Remove(seq); ok {
+				continue
+			}
+			if n.inFlightR(seq) {
+				n.chaseR[seq] = struct{}{}
+				n.stats.PendingExpiries++
+				continue
+			}
+			forward = append(forward, seq)
+		}
+		if len(forward) == 0 {
+			return
+		}
+		out := core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: forward}
+		if reversed {
+			// Chasing rightward, the direction R tuples travel.
+			if !n.rightmost() {
+				em.EmitRight(out)
+			}
+		} else if !n.leftmost() {
+			em.EmitLeft(out)
+		}
+		return
+	}
+	for _, seq := range m.Seqs {
+		if _, ok := n.wS.Remove(seq); ok {
+			continue
+		}
+		if n.inFlightS(seq) {
+			n.chaseS[seq] = struct{}{}
+			n.stats.PendingExpiries++
+			continue
+		}
+		forward = append(forward, seq)
+	}
+	if len(forward) == 0 {
+		return
+	}
+	out := core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: forward}
+	if reversed {
+		// Chasing leftward, the direction S tuples travel.
+		if !n.leftmost() {
+			em.EmitLeft(out)
+		}
+	} else if !n.rightmost() {
+		em.EmitRight(out)
+	}
+}
+
+func (n *Node[L, R]) inFlightR(seq uint64) bool {
+	for i := range n.iwR {
+		if n.iwR[i].Seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node[L, R]) inFlightS(seq uint64) bool {
+	for i := range n.iwS {
+		if n.iwS[i].Seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node[L, R]) popOldestR() (stream.Tuple[L], bool) {
+	seq, ok := n.wR.OldestSeq()
+	if !ok {
+		var zero stream.Tuple[L]
+		return zero, false
+	}
+	return n.wR.Remove(seq)
+}
+
+func (n *Node[L, R]) popOldestS() (stream.Tuple[R], bool) {
+	seq, ok := n.wS.OldestSeq()
+	if !ok {
+		var zero stream.Tuple[R]
+		return zero, false
+	}
+	return n.wS.Remove(seq)
+}

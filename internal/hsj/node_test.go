@@ -1,0 +1,190 @@
+package hsj
+
+import (
+	"testing"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+)
+
+type capture struct {
+	left, right []core.Msg[int, int]
+	results     []stream.Pair[int, int]
+}
+
+func (c *capture) EmitLeft(m core.Msg[int, int])  { c.left = append(c.left, m) }
+func (c *capture) EmitRight(m core.Msg[int, int]) { c.right = append(c.right, m) }
+func (c *capture) EmitResult(p stream.Pair[int, int]) {
+	c.results = append(c.results, p)
+}
+func (c *capture) StreamEnd(stream.Side, int64) {}
+func (c *capture) Cost(int)                     {}
+
+func tpl(seq uint64, v int) stream.Tuple[int] {
+	return stream.Tuple[int]{Seq: seq, TS: int64(seq) * 100, Payload: v}
+}
+
+func rArr(ts ...stream.Tuple[int]) core.Msg[int, int] {
+	return core.Msg[int, int]{Kind: core.KindArrival, Side: stream.R, R: ts}
+}
+
+func sArr(ts ...stream.Tuple[int]) core.Msg[int, int] {
+	return core.Msg[int, int]{Kind: core.KindArrival, Side: stream.S, S: ts}
+}
+
+// cfg builds a 3-node pipeline with total capacities 6/6 (2 per node).
+func cfg() *Config[int, int] {
+	return &Config[int, int]{Nodes: 3, Pred: func(r, s int) bool { return r == s }, CapR: 6, CapS: 6}
+}
+
+func TestSegmentOverflowPopsOldest(t *testing.T) {
+	n0 := NewNode(cfg(), 0)
+	var em capture
+	for i := 0; i < 2; i++ {
+		n0.HandleLeft(rArr(tpl(uint64(i), i)), &em)
+	}
+	if len(em.right) != 0 {
+		t.Fatal("popped before exceeding the segment capacity")
+	}
+	n0.HandleLeft(rArr(tpl(2, 2)), &em)
+	if len(em.right) != 1 || em.right[0].Kind != core.KindArrival {
+		t.Fatalf("overflow not forwarded: %+v", em.right)
+	}
+	if em.right[0].R[0].Seq != 0 {
+		t.Fatalf("popped seq %d, want the oldest (0)", em.right[0].R[0].Seq)
+	}
+	if wr, _ := n0.WindowSizes(); wr != 2 {
+		t.Fatalf("segment size = %d, want capacity 2", wr)
+	}
+}
+
+func TestRightmostNeverPopsR(t *testing.T) {
+	n2 := NewNode(cfg(), 2)
+	var em capture
+	for i := 0; i < 10; i++ {
+		n2.HandleLeft(rArr(tpl(uint64(i), i)), &em)
+	}
+	if len(em.right) != 0 {
+		t.Fatal("rightmost node forwarded R tuples off the pipeline")
+	}
+	if wr, _ := n2.WindowSizes(); wr != 10 {
+		t.Fatalf("rightmost holds %d, want all 10 until expiry", wr)
+	}
+}
+
+func TestMatchingWithinSegment(t *testing.T) {
+	n1 := NewNode(cfg(), 1)
+	var em capture
+	n1.HandleRight(sArr(tpl(0, 42)), &em)
+	n1.HandleLeft(rArr(tpl(0, 42)), &em)
+	if len(em.results) != 1 {
+		t.Fatalf("results = %d, want 1", len(em.results))
+	}
+	// The reverse direction must not re-match the same pair: an S
+	// arrival scans the R segment, but the pair already matched when
+	// the R tuple arrived; a new S tuple with the same value creates a
+	// distinct pair.
+	em = capture{}
+	n1.HandleRight(sArr(tpl(1, 42)), &em)
+	if len(em.results) != 1 {
+		t.Fatalf("new S tuple should match the resident R tuple once, got %d", len(em.results))
+	}
+}
+
+func TestAcksMaintainInFlightBuffers(t *testing.T) {
+	n1 := NewNode(cfg(), 1)
+	var em capture
+	// Fill the S segment and overflow one tuple leftward.
+	for i := 0; i < 3; i++ {
+		n1.HandleRight(sArr(tpl(uint64(i), i)), &em)
+	}
+	if len(n1.iwS) != 1 || n1.iwS[0].Seq != 0 {
+		t.Fatalf("iwS = %+v, want popped seq 0 awaiting ack", n1.iwS)
+	}
+	// An R arrival still sees the in-flight S tuple.
+	em = capture{}
+	n1.HandleLeft(rArr(tpl(0, 0)), &em)
+	if len(em.results) != 1 {
+		t.Fatal("R arrival missed the in-flight S tuple")
+	}
+	// Ack arrives from the left neighbour: buffer clears.
+	n1.HandleLeft(core.Msg[int, int]{Kind: core.KindAck, Side: stream.S, Seqs: []uint64{0}}, &em)
+	if len(n1.iwS) != 0 {
+		t.Fatal("ack did not clear iwS")
+	}
+}
+
+func TestExpiryConsumedWhereResident(t *testing.T) {
+	n1 := NewNode(cfg(), 1)
+	var em capture
+	n1.HandleRight(sArr(tpl(0, 5)), &em)
+	em = capture{}
+	// S expiry travels left-to-right and finds the tuple here.
+	n1.HandleLeft(core.Msg[int, int]{Kind: core.KindExpiry, Side: stream.S, Seqs: []uint64{0}}, &em)
+	if _, ws := n1.WindowSizes(); ws != 0 {
+		t.Fatal("expiry did not delete the resident tuple")
+	}
+	if len(em.right) != 0 {
+		t.Fatal("consumed expiry was still forwarded")
+	}
+	// Unknown seq: forwarded along.
+	em = capture{}
+	n1.HandleLeft(core.Msg[int, int]{Kind: core.KindExpiry, Side: stream.S, Seqs: []uint64{9}}, &em)
+	if len(em.right) != 1 || em.right[0].Seqs[0] != 9 {
+		t.Fatalf("missing tuple's expiry not forwarded: %+v", em.right)
+	}
+}
+
+func TestExpiryChaseParksOnInFlightAndResumes(t *testing.T) {
+	n1 := NewNode(cfg(), 1)
+	var em capture
+	// Overflow S tuple 0 into flight (toward node 0).
+	for i := 0; i < 3; i++ {
+		n1.HandleRight(sArr(tpl(uint64(i), i)), &em)
+	}
+	em = capture{}
+	// The expiry for the in-flight tuple parks.
+	n1.HandleLeft(core.Msg[int, int]{Kind: core.KindExpiry, Side: stream.S, Seqs: []uint64{0}}, &em)
+	if len(em.right) != 0 && len(em.left) != 0 {
+		t.Fatalf("parked expiry emitted messages: %+v / %+v", em.left, em.right)
+	}
+	if n1.Stats().PendingExpiries != 1 {
+		t.Fatal("chase not recorded")
+	}
+	// The ack for the tuple resumes the chase in the tuple's direction
+	// of travel (leftward for S).
+	em = capture{}
+	n1.HandleLeft(core.Msg[int, int]{Kind: core.KindAck, Side: stream.S, Seqs: []uint64{0}}, &em)
+	if len(em.left) != 1 || em.left[0].Kind != core.KindExpiry || em.left[0].Seqs[0] != 0 {
+		t.Fatalf("chase did not resume leftward: %+v", em.left)
+	}
+	// The reversed expiry is handled by the receiving node via its
+	// right channel and deletes the now-resident tuple there.
+	n0 := NewNode(cfg(), 0)
+	var em0 capture
+	n0.HandleRight(sArr(tpl(0, 0)), &em0)
+	n0.HandleRight(core.Msg[int, int]{Kind: core.KindExpiry, Side: stream.S, Seqs: []uint64{0}}, &em0)
+	if _, ws := n0.WindowSizes(); ws != 0 {
+		t.Fatal("reversed expiry did not delete the tuple")
+	}
+}
+
+func TestConfigValidateAndSegCaps(t *testing.T) {
+	c := cfg()
+	if c.SegCapR() != 2 || c.SegCapS() != 2 {
+		t.Fatalf("seg caps = (%d, %d), want (2, 2)", c.SegCapR(), c.SegCapS())
+	}
+	c.CapR = 7
+	if c.SegCapR() != 3 {
+		t.Fatalf("ceil(7/3) = %d, want 3", c.SegCapR())
+	}
+	if err := (&Config[int, int]{Nodes: 0}).Validate(); err == nil {
+		t.Fatal("accepted 0 nodes")
+	}
+	if err := (&Config[int, int]{Nodes: 1, CapR: 1, CapS: 1}).Validate(); err == nil {
+		t.Fatal("accepted nil predicate")
+	}
+	if err := (&Config[int, int]{Nodes: 1, Pred: func(int, int) bool { return true }}).Validate(); err == nil {
+		t.Fatal("accepted zero capacities")
+	}
+}

@@ -1,0 +1,83 @@
+// Package kang implements the three-step procedure of Kang et al.
+// (ICDE 2003), described in §2.1 of the paper: for each arriving tuple,
+// (1) scan the opposite window for matches, (2) invalidate expired
+// tuples, (3) insert the tuple into its own window.
+//
+// The implementation is strictly sequential and therefore offers the
+// optimal latency reference (§2.1: "Kang's procedure offers optimal
+// latency characteristics") — and, more importantly for this
+// repository, it is simple enough to serve as the semantic oracle that
+// every parallel operator is tested against: for identical inputs and
+// window specifications, handshake join and low-latency handshake join
+// must produce exactly the same multiset of result pairs.
+package kang
+
+import (
+	"handshakejoin/internal/stream"
+)
+
+// Join is a sequential sliding-window join. It consumes interleaved
+// arrivals through ProcessR/ProcessS and expirations through
+// ExpireR/ExpireS, mirroring the driver protocol of §4.2.4 so that the
+// oracle sees exactly the window boundaries the pipelines see.
+type Join[L, R any] struct {
+	pred stream.Predicate[L, R]
+	wR   []stream.Tuple[L]
+	wS   []stream.Tuple[R]
+	out  func(stream.Pair[L, R])
+
+	comparisons uint64
+}
+
+// New returns a Join emitting matches to out.
+func New[L, R any](pred stream.Predicate[L, R], out func(stream.Pair[L, R])) *Join[L, R] {
+	return &Join[L, R]{pred: pred, out: out}
+}
+
+// ProcessR runs the three-step procedure for an arriving R tuple.
+func (j *Join[L, R]) ProcessR(r stream.Tuple[L]) {
+	for _, s := range j.wS {
+		j.comparisons++
+		if j.pred(r.Payload, s.Payload) {
+			j.out(stream.Pair[L, R]{R: r, S: s})
+		}
+	}
+	j.wR = append(j.wR, r)
+}
+
+// ProcessS runs the three-step procedure for an arriving S tuple.
+func (j *Join[L, R]) ProcessS(s stream.Tuple[R]) {
+	for _, r := range j.wR {
+		j.comparisons++
+		if j.pred(r.Payload, s.Payload) {
+			j.out(stream.Pair[L, R]{R: r, S: s})
+		}
+	}
+	j.wS = append(j.wS, s)
+}
+
+// ExpireR removes the R tuple with the given sequence number.
+func (j *Join[L, R]) ExpireR(seq uint64) {
+	for i := range j.wR {
+		if j.wR[i].Seq == seq {
+			j.wR = append(j.wR[:i], j.wR[i+1:]...)
+			return
+		}
+	}
+}
+
+// ExpireS removes the S tuple with the given sequence number.
+func (j *Join[L, R]) ExpireS(seq uint64) {
+	for i := range j.wS {
+		if j.wS[i].Seq == seq {
+			j.wS = append(j.wS[:i], j.wS[i+1:]...)
+			return
+		}
+	}
+}
+
+// WindowSizes returns the current window sizes.
+func (j *Join[L, R]) WindowSizes() (r, s int) { return len(j.wR), len(j.wS) }
+
+// Comparisons returns the number of predicate evaluations performed.
+func (j *Join[L, R]) Comparisons() uint64 { return j.comparisons }

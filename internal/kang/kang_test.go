@@ -1,0 +1,74 @@
+package kang
+
+import (
+	"testing"
+
+	"handshakejoin/internal/stream"
+)
+
+func rt(seq uint64, v int) stream.Tuple[int] {
+	return stream.Tuple[int]{Seq: seq, TS: int64(seq), Payload: v}
+}
+
+func TestThreeStepProcedure(t *testing.T) {
+	var out []stream.Pair[int, int]
+	j := New(func(r, s int) bool { return r == s }, func(p stream.Pair[int, int]) {
+		out = append(out, p)
+	})
+
+	j.ProcessR(rt(0, 5))
+	if len(out) != 0 {
+		t.Fatal("match against empty window")
+	}
+	j.ProcessS(rt(0, 5)) // matches r0
+	j.ProcessS(rt(1, 6))
+	j.ProcessR(rt(1, 6)) // matches s1
+	j.ProcessR(rt(2, 5)) // matches s0
+	if len(out) != 3 {
+		t.Fatalf("results = %d, want 3", len(out))
+	}
+	// A tuple must not match itself-side or already-processed pairs twice.
+	keys := map[stream.PairKey]bool{}
+	for _, p := range out {
+		if keys[p.Key()] {
+			t.Fatalf("duplicate pair %+v", p.Key())
+		}
+		keys[p.Key()] = true
+	}
+	if r, s := j.WindowSizes(); r != 3 || s != 2 {
+		t.Fatalf("windows = (%d, %d), want (3, 2)", r, s)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	var out []stream.Pair[int, int]
+	j := New(func(r, s int) bool { return true }, func(p stream.Pair[int, int]) {
+		out = append(out, p)
+	})
+	j.ProcessR(rt(0, 1))
+	j.ProcessR(rt(1, 2))
+	j.ExpireR(0)
+	j.ExpireR(0) // idempotent
+	j.ProcessS(rt(0, 3))
+	if len(out) != 1 || out[0].R.Seq != 1 {
+		t.Fatalf("expired tuple still matched: %+v", out)
+	}
+	j.ExpireS(0)
+	if r, s := j.WindowSizes(); r != 1 || s != 0 {
+		t.Fatalf("windows = (%d, %d)", r, s)
+	}
+}
+
+func TestComparisonsCount(t *testing.T) {
+	j := New(func(r, s int) bool { return false }, func(stream.Pair[int, int]) {})
+	for i := 0; i < 10; i++ {
+		j.ProcessR(rt(uint64(i), i))
+	}
+	for i := 0; i < 5; i++ {
+		j.ProcessS(rt(uint64(i), i))
+	}
+	// Each S arrival scanned the full R window of 10.
+	if got := j.Comparisons(); got != 50 {
+		t.Fatalf("comparisons = %d, want 50", got)
+	}
+}

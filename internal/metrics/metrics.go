@@ -1,0 +1,236 @@
+// Package metrics implements the measurement machinery used by the
+// experiment harness: streaming latency statistics (average, standard
+// deviation, maximum) over fixed-size buckets of output tuples — the
+// paper plots one data point per 200,000 output tuples —, a logarithmic
+// latency histogram, and throughput meters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LatencyPoint is one point of a latency-over-time series: statistics of
+// the latencies of Count output tuples, positioned at the wall-clock time
+// At (nanoseconds since the start of the run) of the last tuple in the
+// bucket.
+type LatencyPoint struct {
+	At    int64
+	Count int
+	Avg   float64
+	Std   float64
+	Max   int64
+	Min   int64
+}
+
+// Series accumulates latency samples and cuts a LatencyPoint every
+// BucketSize samples, mirroring the paper's plots ("each data point
+// represents 200,000 output tuples").
+type Series struct {
+	BucketSize int
+
+	points []LatencyPoint
+	// running bucket state
+	n          int
+	sum, sumSq float64
+	max, min   int64
+	lastAt     int64
+}
+
+// NewSeries returns a Series cutting one point per bucketSize samples.
+func NewSeries(bucketSize int) *Series {
+	if bucketSize < 1 {
+		bucketSize = 1
+	}
+	return &Series{BucketSize: bucketSize, min: math.MaxInt64}
+}
+
+// Add records one latency sample (nanoseconds) observed at time at.
+func (s *Series) Add(at, latency int64) {
+	s.n++
+	f := float64(latency)
+	s.sum += f
+	s.sumSq += f * f
+	if latency > s.max {
+		s.max = latency
+	}
+	if latency < s.min {
+		s.min = latency
+	}
+	s.lastAt = at
+	if s.n >= s.BucketSize {
+		s.cut()
+	}
+}
+
+func (s *Series) cut() {
+	if s.n == 0 {
+		return
+	}
+	mean := s.sum / float64(s.n)
+	variance := s.sumSq/float64(s.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.points = append(s.points, LatencyPoint{
+		At:    s.lastAt,
+		Count: s.n,
+		Avg:   mean,
+		Std:   math.Sqrt(variance),
+		Max:   s.max,
+		Min:   s.min,
+	})
+	s.n, s.sum, s.sumSq, s.max, s.min = 0, 0, 0, 0, math.MaxInt64
+}
+
+// Flush cuts a final partial bucket, if any.
+func (s *Series) Flush() { s.cut() }
+
+// Points returns the series cut so far.
+func (s *Series) Points() []LatencyPoint { return s.points }
+
+// Summary aggregates every recorded sample of a Series.
+type Summary struct {
+	Count int
+	Avg   float64
+	Max   int64
+}
+
+// Summarize combines all points (plus the open bucket) into one Summary.
+func (s *Series) Summarize() Summary {
+	var out Summary
+	var sum float64
+	for _, p := range s.points {
+		out.Count += p.Count
+		sum += p.Avg * float64(p.Count)
+		if p.Max > out.Max {
+			out.Max = p.Max
+		}
+	}
+	if s.n > 0 {
+		out.Count += s.n
+		sum += s.sum
+		if s.max > out.Max {
+			out.Max = s.max
+		}
+	}
+	if out.Count > 0 {
+		out.Avg = sum / float64(out.Count)
+	}
+	return out
+}
+
+// Histogram is a base-2 logarithmic latency histogram covering
+// [1ns, ~292years] in 64 buckets. The zero value is ready to use.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     int64
+	max     int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return 63 - leadingZeros64(uint64(v))
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) with
+// base-2 resolution.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return int64(1) << uint(i+1)
+		}
+	}
+	return h.max
+}
+
+// Throughput measures sustained tuples/second over a run.
+type Throughput struct {
+	Tuples  uint64
+	Elapsed int64 // nanoseconds
+}
+
+// PerSecond returns tuples per second, or 0 for an empty interval.
+func (t Throughput) PerSecond() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Tuples) / (float64(t.Elapsed) / 1e9)
+}
+
+// String implements fmt.Stringer.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.0f tuples/sec", t.PerSecond())
+}
+
+// MaxInt64 returns the maximum of a slice, 0 when empty.
+func MaxInt64(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile computes the p-th percentile (0–100) of xs by sorting a
+// copy; intended for small result sets in tests and reports.
+func Percentile(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int64(nil), xs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(p / 100 * float64(len(cp)-1))
+	return cp[idx]
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBucketsAndStats(t *testing.T) {
+	s := NewSeries(4)
+	for i, lat := range []int64{10, 20, 30, 40, 100, 200} {
+		s.Add(int64(i)*1000, lat)
+	}
+	pts := s.Points()
+	if len(pts) != 1 {
+		t.Fatalf("points = %d, want 1 full bucket", len(pts))
+	}
+	p := pts[0]
+	if p.Count != 4 || p.Avg != 25 || p.Max != 40 || p.Min != 10 || p.At != 3000 {
+		t.Fatalf("bucket = %+v", p)
+	}
+	wantStd := math.Sqrt((225 + 25 + 25 + 225) / 4.0)
+	if math.Abs(p.Std-wantStd) > 1e-9 {
+		t.Fatalf("std = %v, want %v", p.Std, wantStd)
+	}
+	s.Flush()
+	pts = s.Points()
+	if len(pts) != 2 || pts[1].Count != 2 || pts[1].Avg != 150 {
+		t.Fatalf("after flush: %+v", pts)
+	}
+}
+
+func TestSeriesSummarize(t *testing.T) {
+	s := NewSeries(3)
+	var sum float64
+	var max int64
+	for i := int64(1); i <= 10; i++ {
+		s.Add(i, i*7)
+		sum += float64(i * 7)
+		if i*7 > max {
+			max = i * 7
+		}
+	}
+	sm := s.Summarize()
+	if sm.Count != 10 || sm.Max != max {
+		t.Fatalf("summary = %+v", sm)
+	}
+	if math.Abs(sm.Avg-sum/10) > 1e-9 {
+		t.Fatalf("avg = %v, want %v", sm.Avg, sum/10)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-500.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Median of 1..1000 is ~500; the log2 histogram reports an upper
+	// bound of the containing bucket (512..1023 → 1024).
+	if q := h.Quantile(0.5); q < 500 || q > 1024 {
+		t.Fatalf("p50 = %d, want in [500, 1024]", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Fatalf("p100 = %d, want >= max", q)
+	}
+}
+
+func TestHistogramPropertyQuantileBounds(t *testing.T) {
+	// Property: for any samples, Quantile(q) upper-bounds at least a q
+	// fraction of them, within bucket resolution (2x).
+	check := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(int64(v % 100000))
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99} {
+			bound := h.Quantile(q)
+			covered := 0
+			for _, v := range raw {
+				if int64(v%100000) <= bound {
+					covered++
+				}
+			}
+			if float64(covered) < q*float64(len(raw)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Tuples: 3000, Elapsed: 2e9}
+	if got := tp.PerSecond(); got != 1500 {
+		t.Fatalf("PerSecond = %v", got)
+	}
+	if (Throughput{}).PerSecond() != 0 {
+		t.Fatal("zero throughput not 0")
+	}
+	if s := tp.String(); s != "1500 tuples/sec" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPercentileAndMax(t *testing.T) {
+	xs := []int64{5, 1, 9, 3, 7}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %d", p)
+	}
+	if p := Percentile(xs, 100); p != 9 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	if MaxInt64(xs) != 9 || MaxInt64(nil) != 0 {
+		t.Fatal("MaxInt64")
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}

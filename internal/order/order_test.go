@@ -1,0 +1,122 @@
+package order
+
+import (
+	"testing"
+	"testing/quick"
+
+	"handshakejoin/internal/collect"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+func res(rSeq, sSeq uint64, rTS, sTS int64) core.Result[int, int] {
+	return core.Result[int, int]{
+		Pair: stream.Pair[int, int]{
+			R: stream.Tuple[int]{Seq: rSeq, TS: rTS},
+			S: stream.Tuple[int]{Seq: sSeq, TS: sTS},
+		},
+	}
+}
+
+func item(r core.Result[int, int]) collect.Item[int, int] {
+	return collect.Item[int, int]{Result: r}
+}
+
+func punct(ts int64) collect.Item[int, int] {
+	return collect.Item[int, int]{Punct: true, TS: ts}
+}
+
+func TestSorterReleasesOnPunctuation(t *testing.T) {
+	var out []int64
+	s := NewSorter(func(r core.Result[int, int]) { out = append(out, r.Pair.TS()) })
+
+	s.Push(item(res(1, 1, 50, 40))) // result ts 50
+	s.Push(item(res(2, 2, 30, 20))) // result ts 30
+	s.Push(item(res(3, 3, 90, 10))) // result ts 90
+	if len(out) != 0 {
+		t.Fatal("released before punctuation")
+	}
+	s.Push(punct(60))
+	if len(out) != 2 || out[0] != 30 || out[1] != 50 {
+		t.Fatalf("released %v, want [30 50] sorted", out)
+	}
+	if s.Buffered() != 1 {
+		t.Fatalf("buffered = %d, want 1 (ts 90 waits)", s.Buffered())
+	}
+	s.Flush()
+	if len(out) != 3 || out[2] != 90 {
+		t.Fatalf("after flush: %v", out)
+	}
+	if !s.Monotonic() {
+		t.Fatal("output not monotonic")
+	}
+	if s.Released() != 3 {
+		t.Fatalf("Released = %d", s.Released())
+	}
+}
+
+func TestSorterStalePunctuationIgnored(t *testing.T) {
+	var out []int64
+	s := NewSorter(func(r core.Result[int, int]) { out = append(out, r.Pair.TS()) })
+	s.Push(punct(100))
+	s.Push(item(res(1, 1, 150, 0)))
+	s.Push(punct(90)) // stale: must not release anything
+	if len(out) != 0 {
+		t.Fatal("stale punctuation released results")
+	}
+	s.Push(punct(200))
+	if len(out) != 1 {
+		t.Fatal("fresh punctuation failed to release")
+	}
+}
+
+func TestSorterMaxBufferTracksHighWater(t *testing.T) {
+	s := NewSorter(func(core.Result[int, int]) {})
+	for i := 0; i < 10; i++ {
+		s.Push(item(res(uint64(i), uint64(i), int64(i*10), 0)))
+	}
+	s.Push(punct(1000))
+	s.Push(item(res(99, 99, 2000, 0)))
+	if s.MaxBuffer() != 10 {
+		t.Fatalf("MaxBuffer = %d, want 10", s.MaxBuffer())
+	}
+}
+
+// TestSorterPropertyOrderedOutput: for any interleaving of results and
+// increasing punctuations where results respect the punctuation
+// contract (a result's ts is >= the latest punctuation at emission
+// time), the sorter's output is globally ts-ordered and complete after
+// Flush.
+func TestSorterPropertyOrderedOutput(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		rnd := workload.NewRand(seed)
+		var out []int64
+		s := NewSorter(func(r core.Result[int, int]) { out = append(out, r.Pair.TS()) })
+		lastPunct := int64(0)
+		results := 0
+		for i := 0; i < int(n)+5; i++ {
+			if rnd.Intn(4) == 0 {
+				lastPunct += int64(rnd.Intn(50))
+				s.Push(punct(lastPunct))
+			} else {
+				ts := lastPunct + int64(rnd.Intn(100))
+				s.Push(item(res(uint64(i), uint64(i), ts, 0)))
+				results++
+			}
+		}
+		s.Flush()
+		if len(out) != results {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1] {
+				return false
+			}
+		}
+		return s.Monotonic()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

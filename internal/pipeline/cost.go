@@ -1,0 +1,50 @@
+package pipeline
+
+// CostModel translates protocol work into virtual time for the
+// discrete-event simulator. The defaults approximate the paper's
+// hardware (2.2 GHz Opteron "Magny Cours"): a handful of nanoseconds per
+// window entry inspected, sub-microsecond per-message overhead, and a
+// core-to-core hop latency of about one microsecond ("Baumann et al.
+// report a single-hop latency below 1 µs", §7.3.1).
+type CostModel struct {
+	// PerEntry is the virtual cost (ns) of inspecting one window entry
+	// during a scan or probe.
+	PerEntry int64
+	// PerTuple is the fixed virtual cost (ns) of handling one tuple in
+	// an arrival message (copy, bookkeeping, window insert).
+	PerTuple int64
+	// PerMsg is the fixed virtual cost (ns) of dequeuing one message.
+	PerMsg int64
+	// Hop is the virtual link delay (ns) between neighbouring cores.
+	Hop int64
+	// Jitter, when non-zero, adds a pseudo-random extra delay in
+	// [0, Jitter) ns to every message delivery. Deterministic given
+	// JitterSeed; used by correctness tests to explore interleavings.
+	Jitter int64
+	// JitterSeed seeds the jitter PRNG.
+	JitterSeed uint64
+}
+
+// DefaultCostModel returns the Magny-Cours-flavoured defaults.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerEntry: 5,
+		PerTuple: 25,
+		PerMsg:   200,
+		Hop:      1000,
+	}
+}
+
+// CoarseCostModel returns a model with microsecond-scale per-entry cost.
+// Sustainable-throughput searches use it so that window sizes (in
+// tuples) stay small enough to simulate quickly while preserving the
+// scan-dominated cost structure that shapes the paper's throughput
+// curves.
+func CoarseCostModel() CostModel {
+	return CostModel{
+		PerEntry: 1000,
+		PerTuple: 2000,
+		PerMsg:   4000,
+		Hop:      1000,
+	}
+}

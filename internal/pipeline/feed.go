@@ -1,0 +1,294 @@
+// Package pipeline executes handshake-join pipelines. Two runtimes drive
+// the same protocol state machines (core.NodeLogic):
+//
+//   - Live: one goroutine per pipeline node connected by bounded FIFO
+//     links, measuring real wall-clock behaviour (package-level doc in
+//     live.go);
+//   - Sim: a deterministic discrete-event simulator with a per-node cost
+//     model and virtual clock, able to run paper-scale configurations
+//     (40 cores) on any machine (sim.go).
+//
+// The Feed in this file implements the paper's external driver
+// (§4.2.4 and Figure 15): it is aware of the sliding-window
+// specification and produces the interleaved schedule of arrival
+// batches and expiry messages for both pipeline ends; the join pipeline
+// itself stays window-type agnostic.
+package pipeline
+
+import (
+	"fmt"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+)
+
+// WindowSpec describes one stream's sliding window.
+type WindowSpec struct {
+	// Duration is the time-based window length in nanoseconds
+	// (tuples expire Duration after their timestamp). Zero disables
+	// time-based expiry.
+	Duration int64
+	// Count is the tuple-based window length (the last Count tuples).
+	// Zero disables count-based expiry. Duration and Count may be
+	// combined; a tuple expires when either bound is crossed.
+	Count int
+}
+
+// expiryDue returns when the tuple (seq, ts) leaves the window given the
+// side's arrival progress, under the time-based bound only; count-based
+// expiry is handled by arrival counting.
+func (w WindowSpec) expiryDue(ts int64) (int64, bool) {
+	if w.Duration <= 0 {
+		return 0, false
+	}
+	return ts + w.Duration, true
+}
+
+// FeedConfig parameterizes the driver schedule.
+type FeedConfig[L, R any] struct {
+	// NextR and NextS produce the input streams in timestamp order;
+	// they return ok=false when the stream is exhausted.
+	NextR func() (stream.Tuple[L], bool)
+	// NextS produces the S stream.
+	NextS func() (stream.Tuple[R], bool)
+	// WindowR and WindowS are the sliding-window specifications.
+	WindowR WindowSpec
+	// WindowS is the S-side window specification.
+	WindowS WindowSpec
+	// Batch is the number of tuples the driver groups per arrival
+	// message (the paper's driver batches 64 tuples by default; §7.3.1
+	// evaluates a batch size of 4). Minimum 1.
+	Batch int
+}
+
+// End identifies a pipeline end for injection.
+type End uint8
+
+const (
+	// LeftEnd is where R arrivals and S expiries enter.
+	LeftEnd End = iota
+	// RightEnd is where S arrivals and R expiries enter.
+	RightEnd
+)
+
+// Action is one injection the driver performs: deliver Msg to the given
+// pipeline end no earlier than Due (virtual nanoseconds).
+type Action[L, R any] struct {
+	Due int64
+	End End
+	Msg core.Msg[L, R]
+}
+
+type pendingExpiry struct {
+	seq uint64
+	due int64
+}
+
+// Feed produces the interleaved injection schedule for both pipeline
+// ends in global timestamp order. Expiries due at time t are scheduled
+// before arrivals with timestamp t: the window bounds are exclusive at
+// the trailing edge.
+type Feed[L, R any] struct {
+	cfg FeedConfig[L, R]
+
+	rBatch []stream.Tuple[L] // next pending R batch (already generated)
+	sBatch []stream.Tuple[R]
+	rDone  bool
+	sDone  bool
+
+	// Time-based expiry queues (FIFO: arrivals are in ts order, so
+	// expiry due times are monotonic too).
+	rExp []pendingExpiry
+	sExp []pendingExpiry
+	// Count-based windows: ring of sequence numbers currently inside.
+	rInWindow []uint64
+	sInWindow []uint64
+
+	rCount, sCount uint64
+	lastDue        int64 // monotonic clamp: actions never go back in time
+}
+
+// NewFeed validates cfg and returns a Feed.
+func NewFeed[L, R any](cfg FeedConfig[L, R]) (*Feed[L, R], error) {
+	if cfg.NextR == nil || cfg.NextS == nil {
+		return nil, fmt.Errorf("runtime: feed requires NextR and NextS")
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	f := &Feed[L, R]{cfg: cfg}
+	f.refillR()
+	f.refillS()
+	return f, nil
+}
+
+func (f *Feed[L, R]) refillR() {
+	if f.rDone || len(f.rBatch) > 0 {
+		return
+	}
+	for len(f.rBatch) < f.cfg.Batch {
+		t, ok := f.cfg.NextR()
+		if !ok {
+			f.rDone = true
+			break
+		}
+		f.rBatch = append(f.rBatch, t)
+	}
+}
+
+func (f *Feed[L, R]) refillS() {
+	if f.sDone || len(f.sBatch) > 0 {
+		return
+	}
+	for len(f.sBatch) < f.cfg.Batch {
+		t, ok := f.cfg.NextS()
+		if !ok {
+			f.sDone = true
+			break
+		}
+		f.sBatch = append(f.sBatch, t)
+	}
+}
+
+// batchDue returns the injection time of a batch: the timestamp of its
+// last tuple (the driver has to wait for the batch to fill; this is the
+// batching delay the paper identifies as the dominant latency source of
+// LLHJ, §7.3).
+func batchDueR[L any](b []stream.Tuple[L]) int64 { return b[len(b)-1].TS }
+
+// Next returns the next injection in schedule order; ok is false when
+// both streams are exhausted and all expiries have been delivered.
+// Action due times are non-decreasing: emission order is the semantic
+// order, and a runtime that delivers by time must never reorder it.
+func (f *Feed[L, R]) Next() (Action[L, R], bool) {
+	a, ok := f.next()
+	if !ok {
+		return a, false
+	}
+	if a.Due < f.lastDue {
+		a.Due = f.lastDue
+	}
+	f.lastDue = a.Due
+	return a, true
+}
+
+func (f *Feed[L, R]) next() (Action[L, R], bool) {
+	f.refillR()
+	f.refillS()
+
+	const never = int64(1) << 62
+	rArr, sArr, rExpDue, sExpDue := never, never, never, never
+	if len(f.rBatch) > 0 {
+		rArr = batchDueR(f.rBatch)
+	}
+	if len(f.sBatch) > 0 {
+		sArr = batchDueR(f.sBatch)
+	}
+	if len(f.rExp) > 0 {
+		rExpDue = f.rExp[0].due
+	}
+	if len(f.sExp) > 0 {
+		sExpDue = f.sExp[0].due
+	}
+
+	// Expiries win ties so that an arrival at time t does not join
+	// tuples expiring at t.
+	switch {
+	case rExpDue <= sExpDue && rExpDue <= rArr && rExpDue <= sArr && rExpDue != never:
+		return f.popExpiryR(rExpDue), true
+	case sExpDue <= rArr && sExpDue <= sArr && sExpDue != never:
+		return f.popExpiryS(sExpDue), true
+	case rArr <= sArr && rArr != never:
+		return f.popArrivalR(), true
+	case sArr != never:
+		return f.popArrivalS(), true
+	default:
+		return Action[L, R]{}, false
+	}
+}
+
+// popExpiryR drains all R expiries due at or before t into one message.
+// R expiries enter at the right end (§4.2.4).
+func (f *Feed[L, R]) popExpiryR(t int64) Action[L, R] {
+	var seqs []uint64
+	for len(f.rExp) > 0 && f.rExp[0].due <= t {
+		seqs = append(seqs, f.rExp[0].seq)
+		f.rExp = f.rExp[1:]
+	}
+	return Action[L, R]{
+		Due: t,
+		End: RightEnd,
+		Msg: core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs},
+	}
+}
+
+// popExpiryS drains all S expiries due at or before t into one message.
+// S expiries enter at the left end.
+func (f *Feed[L, R]) popExpiryS(t int64) Action[L, R] {
+	var seqs []uint64
+	for len(f.sExp) > 0 && f.sExp[0].due <= t {
+		seqs = append(seqs, f.sExp[0].seq)
+		f.sExp = f.sExp[1:]
+	}
+	return Action[L, R]{
+		Due: t,
+		End: LeftEnd,
+		Msg: core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs},
+	}
+}
+
+func (f *Feed[L, R]) popArrivalR() Action[L, R] {
+	batch := f.rBatch
+	f.rBatch = nil
+	due := batchDueR(batch)
+	for _, t := range batch {
+		f.rCount++
+		if d, ok := f.cfg.WindowR.expiryDue(t.TS); ok {
+			f.rExp = append(f.rExp, pendingExpiry{seq: t.Seq, due: d})
+		}
+		if c := f.cfg.WindowR.Count; c > 0 {
+			f.rInWindow = append(f.rInWindow, t.Seq)
+			// Count-based expiry: the arrival of tuple w pushes tuple
+			// w−Count out. The expiry becomes due when the batch
+			// carrying w is injected (the batch due), never earlier —
+			// an earlier due time would let the expiry overtake
+			// arrival batches that were already emitted.
+			for len(f.rInWindow) > c {
+				f.rExp = append(f.rExp, pendingExpiry{seq: f.rInWindow[0], due: due})
+				f.rInWindow = f.rInWindow[1:]
+			}
+		}
+	}
+	return Action[L, R]{
+		Due: due,
+		End: LeftEnd,
+		Msg: core.Msg[L, R]{Kind: core.KindArrival, Side: stream.R, R: batch},
+	}
+}
+
+func (f *Feed[L, R]) popArrivalS() Action[L, R] {
+	batch := f.sBatch
+	f.sBatch = nil
+	due := batchDueR(batch)
+	for _, t := range batch {
+		f.sCount++
+		if d, ok := f.cfg.WindowS.expiryDue(t.TS); ok {
+			f.sExp = append(f.sExp, pendingExpiry{seq: t.Seq, due: d})
+		}
+		if c := f.cfg.WindowS.Count; c > 0 {
+			f.sInWindow = append(f.sInWindow, t.Seq)
+			for len(f.sInWindow) > c {
+				f.sExp = append(f.sExp, pendingExpiry{seq: f.sInWindow[0], due: due})
+				f.sInWindow = f.sInWindow[1:]
+			}
+		}
+	}
+	return Action[L, R]{
+		Due: due,
+		End: RightEnd,
+		Msg: core.Msg[L, R]{Kind: core.KindArrival, Side: stream.S, S: batch},
+	}
+}
+
+// Counts returns how many tuples of each stream have been scheduled.
+func (f *Feed[L, R]) Counts() (r, s uint64) { return f.rCount, f.sCount }

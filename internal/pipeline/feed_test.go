@@ -1,0 +1,206 @@
+package pipeline
+
+import (
+	"testing"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+)
+
+func intTuples(n int, periodNs int64) []stream.Tuple[int] {
+	ts := make([]stream.Tuple[int], n)
+	for i := range ts {
+		ts[i] = stream.Tuple[int]{Seq: uint64(i), TS: int64(i) * periodNs, Wall: int64(i) * periodNs, Payload: i}
+	}
+	return ts
+}
+
+func intFeed(t *testing.T, rs, ss []stream.Tuple[int], winR, winS WindowSpec, batch int) *Feed[int, int] {
+	t.Helper()
+	f, err := NewFeed(FeedConfig[int, int]{
+		NextR:   sliceGen(rs),
+		NextS:   sliceGen(ss),
+		WindowR: winR,
+		WindowS: winS,
+		Batch:   batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func drain(t *testing.T, f *Feed[int, int]) []Action[int, int] {
+	t.Helper()
+	var out []Action[int, int]
+	for {
+		a, ok := f.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+func TestFeedBatchingAndDueTimes(t *testing.T) {
+	rs := intTuples(8, 100)
+	ss := intTuples(8, 100)
+	f := intFeed(t, rs, ss, WindowSpec{}, WindowSpec{}, 4)
+	acts := drain(t, f)
+	// 8 tuples per side, batch 4: two R batches and two S batches.
+	if len(acts) != 4 {
+		t.Fatalf("actions = %d, want 4", len(acts))
+	}
+	for _, a := range acts {
+		if a.Msg.Kind != core.KindArrival {
+			t.Fatalf("unexpected kind %v without windows", a.Msg.Kind)
+		}
+		if got := a.Msg.Len(); got != 4 {
+			t.Fatalf("batch size %d, want 4", got)
+		}
+		// Batch due = timestamp of its last tuple (the batching delay
+		// the paper analyses).
+		var last int64
+		if a.Msg.Side == stream.R {
+			last = a.Msg.R[len(a.Msg.R)-1].TS
+		} else {
+			last = a.Msg.S[len(a.Msg.S)-1].TS
+		}
+		if a.Due != last {
+			t.Fatalf("due %d != last tuple ts %d", a.Due, last)
+		}
+	}
+	r, s := f.Counts()
+	if r != 8 || s != 8 {
+		t.Fatalf("counts = (%d, %d)", r, s)
+	}
+}
+
+func TestFeedActionsMonotonic(t *testing.T) {
+	rs := intTuples(200, 70)
+	ss := intTuples(200, 110)
+	f := intFeed(t, rs, ss, WindowSpec{Duration: 900}, WindowSpec{Count: 13}, 3)
+	last := int64(-1)
+	for _, a := range drain(t, f) {
+		if a.Due < last {
+			t.Fatalf("due times regressed: %d after %d", a.Due, last)
+		}
+		last = a.Due
+	}
+}
+
+func TestFeedExpiryBeforeArrivalOnTie(t *testing.T) {
+	// An expiry due at time t must be scheduled before an arrival with
+	// timestamp t (exclusive trailing window edge).
+	rs := intTuples(6, 100)
+	ss := intTuples(6, 100)
+	f := intFeed(t, rs, ss, WindowSpec{Duration: 150}, WindowSpec{Duration: 150}, 1)
+	acts := drain(t, f)
+	for i := 1; i < len(acts); i++ {
+		if acts[i].Due == acts[i-1].Due &&
+			acts[i].Msg.Kind == core.KindExpiry && acts[i-1].Msg.Kind == core.KindArrival &&
+			acts[i].End == acts[i-1].End {
+			// Same end, same due: the expiry came after an arrival —
+			// only acceptable if the expiry's subjects arrived at that
+			// very arrival (count windows); with duration windows this
+			// is a scheduling bug.
+			t.Fatalf("expiry scheduled after arrival at the same due %d", acts[i].Due)
+		}
+	}
+}
+
+func TestFeedEndsRouting(t *testing.T) {
+	rs := intTuples(4, 100)
+	ss := intTuples(4, 100)
+	f := intFeed(t, rs, ss, WindowSpec{Count: 2}, WindowSpec{Count: 2}, 1)
+	for _, a := range drain(t, f) {
+		switch {
+		case a.Msg.Kind == core.KindArrival && a.Msg.Side == stream.R:
+			if a.End != LeftEnd {
+				t.Fatal("R arrival not at left end")
+			}
+		case a.Msg.Kind == core.KindArrival && a.Msg.Side == stream.S:
+			if a.End != RightEnd {
+				t.Fatal("S arrival not at right end")
+			}
+		case a.Msg.Kind == core.KindExpiry && a.Msg.Side == stream.R:
+			if a.End != RightEnd {
+				t.Fatal("R expiry must enter at the right end (§4.2.4)")
+			}
+		case a.Msg.Kind == core.KindExpiry && a.Msg.Side == stream.S:
+			if a.End != LeftEnd {
+				t.Fatal("S expiry must enter at the left end (§4.2.4)")
+			}
+		}
+	}
+}
+
+func TestFeedCountWindowExpiresExactly(t *testing.T) {
+	rs := intTuples(10, 100)
+	ss := intTuples(0, 100)
+	f := intFeed(t, rs, ss, WindowSpec{Count: 3}, WindowSpec{}, 1)
+	var expired []uint64
+	for _, a := range drain(t, f) {
+		if a.Msg.Kind == core.KindExpiry {
+			if a.Msg.Side != stream.R {
+				t.Fatal("S expiry without S tuples")
+			}
+			expired = append(expired, a.Msg.Seqs...)
+		}
+	}
+	// Tuples 0..6 are pushed out by arrivals 3..9; 7, 8, 9 stay.
+	if len(expired) != 7 {
+		t.Fatalf("expired %v, want seqs 0..6", expired)
+	}
+	for i, seq := range expired {
+		if seq != uint64(i) {
+			t.Fatalf("expiry order %v, want ascending seqs", expired)
+		}
+	}
+}
+
+func TestFeedDurationWindowExpiry(t *testing.T) {
+	rs := intTuples(5, 100) // ts 0,100,...,400
+	ss := intTuples(5, 100)
+	f := intFeed(t, rs, ss, WindowSpec{Duration: 250}, WindowSpec{Duration: 250}, 1)
+	var dues []int64
+	for _, a := range drain(t, f) {
+		if a.Msg.Kind == core.KindExpiry && a.Msg.Side == stream.R {
+			dues = append(dues, a.Due)
+		}
+	}
+	// Tuple at ts T expires at T+250; all five eventually expire.
+	if len(dues) == 0 {
+		t.Fatal("no duration expiries emitted")
+	}
+	if dues[0] != 250 {
+		t.Fatalf("first expiry due %d, want 250", dues[0])
+	}
+}
+
+func TestFeedValidation(t *testing.T) {
+	if _, err := NewFeed(FeedConfig[int, int]{}); err == nil {
+		t.Fatal("feed without generators accepted")
+	}
+}
+
+func TestFeedUnevenStreams(t *testing.T) {
+	// R exhausts first; S keeps flowing and R expiries still drain.
+	rs := intTuples(4, 100)
+	ss := intTuples(40, 100)
+	f := intFeed(t, rs, ss, WindowSpec{Duration: 200}, WindowSpec{Duration: 200}, 2)
+	rArr, sArr, rExpd := 0, 0, 0
+	for _, a := range drain(t, f) {
+		switch {
+		case a.Msg.Kind == core.KindArrival && a.Msg.Side == stream.R:
+			rArr += len(a.Msg.R)
+		case a.Msg.Kind == core.KindArrival && a.Msg.Side == stream.S:
+			sArr += len(a.Msg.S)
+		case a.Msg.Kind == core.KindExpiry && a.Msg.Side == stream.R:
+			rExpd += len(a.Msg.Seqs)
+		}
+	}
+	if rArr != 4 || sArr != 40 || rExpd != 4 {
+		t.Fatalf("rArr=%d sArr=%d rExpd=%d", rArr, sArr, rExpd)
+	}
+}

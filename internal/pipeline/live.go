@@ -1,0 +1,301 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"handshakejoin/internal/clock"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/fifo"
+	"handshakejoin/internal/stream"
+)
+
+// Live executes a pipeline with one goroutine per node, connected by
+// bounded lock-free FIFO links — the Go analogue of the paper's
+// one-thread-per-core deployment with Multikernel-style asynchronous
+// channels. Each directed link carries every message kind in strict
+// FIFO order, which the protocol's correctness requires.
+//
+// Results are written to per-node queues (Q1..Qn in Figure 15) and
+// drained by a collector (package collect). High-water marks for
+// punctuation generation are published through atomics by the pipeline
+// end nodes.
+type Live[L, R any] struct {
+	nodes []core.NodeLogic[L, R]
+	clk   clock.Clock
+
+	// links[i][0] = messages travelling rightward into node i
+	// (HandleLeft); links[i][1] = leftward into node i (HandleRight).
+	// Interior links are unbounded so that neighbouring nodes can never
+	// deadlock on mutual back-pressure; the entry links are bounded by
+	// entryCap through Inject.
+	links  [][2]*fifo.Deque[core.Msg[L, R]]
+	notify []chan struct{} // wake-up doorbell per node
+	idle   []atomic.Bool
+
+	resultQ  []*fifo.Chan[core.Result[L, R]]
+	entryCap int
+	depthCap int
+
+	hwmR, hwmS atomic.Int64
+
+	depth atomic.Int64 // messages in flight across all links
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// LiveConfig tunes the live runtime.
+type LiveConfig struct {
+	// LinkCap bounds the number of messages the driver may have pending
+	// at a pipeline entry (back-pressure point). Default 1024.
+	LinkCap int
+	// DepthCap bounds the total number of messages in flight across all
+	// links; Inject blocks while the pipeline is deeper. This is the
+	// analogue of the paper's bounded FIFO channels: it keeps the
+	// in-flight volume far below the window size, which the window
+	// semantics require (an expiry must never race a whole window of
+	// in-flight tuples to its home node). Default 128.
+	DepthCap int
+	// ResultCap is the capacity of each per-node result queue.
+	// Default 65536.
+	ResultCap int
+}
+
+func (c *LiveConfig) defaults() {
+	if c.LinkCap < 1 {
+		c.LinkCap = 1024
+	}
+	if c.ResultCap < 1 {
+		c.ResultCap = 65536
+	}
+	if c.DepthCap < 1 {
+		c.DepthCap = 128
+	}
+}
+
+// NewLive builds the pipeline and starts one goroutine per node.
+func NewLive[L, R any](n int, build core.Builder[L, R], clk clock.Clock, cfg LiveConfig) *Live[L, R] {
+	if n < 1 {
+		panic(fmt.Sprintf("runtime: pipeline needs >= 1 node, got %d", n))
+	}
+	cfg.defaults()
+	if clk == nil {
+		clk = clock.NewWall()
+	}
+	lv := &Live[L, R]{
+		clk:      clk,
+		entryCap: cfg.LinkCap,
+		depthCap: cfg.DepthCap,
+		links:    make([][2]*fifo.Deque[core.Msg[L, R]], n),
+		notify:   make([]chan struct{}, n),
+		idle:     make([]atomic.Bool, n),
+		resultQ:  make([]*fifo.Chan[core.Result[L, R]], n),
+	}
+	for k := 0; k < n; k++ {
+		lv.nodes = append(lv.nodes, build(k))
+		lv.links[k][0] = fifo.NewDeque[core.Msg[L, R]](64)
+		lv.links[k][1] = fifo.NewDeque[core.Msg[L, R]](64)
+		lv.notify[k] = make(chan struct{}, 1)
+		lv.resultQ[k] = fifo.NewChan[core.Result[L, R]](cfg.ResultCap)
+	}
+	lv.wg.Add(n)
+	for k := 0; k < n; k++ {
+		go lv.nodeLoop(k)
+	}
+	return lv
+}
+
+// HWMR returns the R-side high-water mark tmax,R (§6.1.1).
+func (lv *Live[L, R]) HWMR() int64 { return lv.hwmR.Load() }
+
+// HWMS returns the S-side high-water mark tmax,S.
+func (lv *Live[L, R]) HWMS() int64 { return lv.hwmS.Load() }
+
+// ResultQueues exposes the per-node result queues for the collector.
+func (lv *Live[L, R]) ResultQueues() []*fifo.Chan[core.Result[L, R]] { return lv.resultQ }
+
+// Inject delivers msg to a pipeline end, blocking while the entry link
+// holds more than the configured bound (driver back-pressure). It
+// returns false after Stop.
+func (lv *Live[L, R]) Inject(end End, msg core.Msg[L, R]) bool {
+	node, dir := 0, 0
+	if end == RightEnd {
+		node, dir = len(lv.nodes)-1, 1
+	}
+	q := lv.links[node][dir]
+	for q.Len() >= lv.entryCap || int(lv.depth.Load()) >= lv.depthCap {
+		if lv.stop.Load() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return lv.put(node, dir, msg)
+}
+
+// put enqueues msg into links[node][dir] and rings the doorbell.
+// Interior links are unbounded, so put never blocks — a requirement,
+// because a node blocking on its neighbour while the neighbour blocks
+// back would deadlock the pipeline.
+func (lv *Live[L, R]) put(node, dir int, msg core.Msg[L, R]) bool {
+	if err := lv.links[node][dir].Put(msg); err != nil {
+		return false
+	}
+	lv.depth.Add(1)
+	select {
+	case lv.notify[node] <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// nodeLoop is the per-core event loop of Figure 12: alternately poll the
+// left and right input channels and dispatch to the handlers.
+func (lv *Live[L, R]) nodeLoop(k int) {
+	defer lv.wg.Done()
+	defer lv.resultQ[k].Close()
+	em := &liveEmitter[L, R]{lv: lv, k: k}
+	left, right := lv.links[k][0], lv.links[k][1]
+	for {
+		progress := false
+		if m, ok, _ := left.TryGet(); ok {
+			lv.nodes[k].HandleLeft(m, em)
+			lv.depth.Add(-1)
+			progress = true
+		}
+		if m, ok, _ := right.TryGet(); ok {
+			lv.nodes[k].HandleRight(m, em)
+			lv.depth.Add(-1)
+			progress = true
+		}
+		if progress {
+			continue
+		}
+		if lv.stop.Load() {
+			return
+		}
+		// Idle: block on the doorbell after re-checking emptiness.
+		lv.idle[k].Store(true)
+		if left.Len() > 0 || right.Len() > 0 || lv.stop.Load() {
+			lv.idle[k].Store(false)
+			continue
+		}
+		<-lv.notify[k]
+		lv.idle[k].Store(false)
+	}
+}
+
+// liveEmitter implements core.Emitter for node k.
+type liveEmitter[L, R any] struct {
+	lv *Live[L, R]
+	k  int
+}
+
+func (e *liveEmitter[L, R]) EmitLeft(m core.Msg[L, R]) {
+	if e.k == 0 {
+		return // pipeline exit
+	}
+	e.lv.put(e.k-1, 1, m)
+}
+
+func (e *liveEmitter[L, R]) EmitRight(m core.Msg[L, R]) {
+	if e.k == len(e.lv.nodes)-1 {
+		return // pipeline exit
+	}
+	e.lv.put(e.k+1, 0, m)
+}
+
+func (e *liveEmitter[L, R]) EmitResult(p stream.Pair[L, R]) {
+	r := core.Result[L, R]{Pair: p, At: e.lv.clk.Now()}
+	q := e.lv.resultQ[e.k]
+	for {
+		ok, err := q.TryPut(r)
+		if ok || err != nil {
+			return
+		}
+		runtime.Gosched() // collector must catch up
+	}
+}
+
+func (e *liveEmitter[L, R]) StreamEnd(side stream.Side, ts int64) {
+	hwm := &e.lv.hwmR
+	if side == stream.S {
+		hwm = &e.lv.hwmS
+	}
+	for {
+		cur := hwm.Load()
+		if ts <= cur {
+			return
+		}
+		if hwm.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+func (e *liveEmitter[L, R]) Cost(int) {} // live time is real time
+
+// QueueDepth returns the total number of messages currently queued on
+// all links.
+func (lv *Live[L, R]) QueueDepth() int { return int(lv.depth.Load()) }
+
+// Quiesce blocks until the pipeline has no in-flight messages and all
+// nodes are idle (two consecutive observations), then returns. Call
+// after the driver has injected everything and before reading final
+// state.
+func (lv *Live[L, R]) Quiesce() {
+	stable := 0
+	for stable < 2 {
+		if lv.quiet() {
+			stable++
+		} else {
+			stable = 0
+		}
+		runtime.Gosched()
+	}
+}
+
+func (lv *Live[L, R]) quiet() bool {
+	for k := range lv.nodes {
+		if !lv.idle[k].Load() {
+			return false
+		}
+	}
+	for k := range lv.links {
+		if lv.links[k][0].Len() > 0 || lv.links[k][1].Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop terminates the node goroutines (after draining pending link
+// messages) and closes the result queues. It does not wait for a
+// quiescent protocol state; call Quiesce first when exact results
+// matter.
+func (lv *Live[L, R]) Stop() {
+	lv.stop.Store(true)
+	for k := range lv.notify {
+		select {
+		case lv.notify[k] <- struct{}{}:
+		default:
+		}
+	}
+	lv.wg.Wait()
+}
+
+// Stats aggregates all node counters. Only meaningful after Stop or
+// Quiesce.
+func (lv *Live[L, R]) Stats() core.Stats {
+	var agg core.Stats
+	for _, n := range lv.nodes {
+		agg.Add(n.Stats())
+	}
+	return agg
+}
+
+// Nodes returns the node logic values (for white-box tests; access only
+// when quiescent).
+func (lv *Live[L, R]) Nodes() []core.NodeLogic[L, R] { return lv.nodes }

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"handshakejoin/internal/clock"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// liveRun drains the feed through a live goroutine pipeline and returns
+// the result multiset and stats. Feed actions are injected in order; due
+// times are ignored (the live runtime measures real time, and for
+// correctness only the injection order matters).
+func liveRun(t *testing.T, n int, build core.Builder[workload.RTuple, workload.STuple], cfg FeedConfig[workload.RTuple, workload.STuple]) (map[stream.PairKey]int, core.Stats) {
+	t.Helper()
+	feed, err := NewFeed(cfg)
+	if err != nil {
+		t.Fatalf("NewFeed: %v", err)
+	}
+	// Keep the in-flight volume far below the window sizes, as the
+	// window semantics require (see LiveConfig.DepthCap): the tests use
+	// windows of ~100 tuples, so a handful of in-flight messages is the
+	// sane regime. Real deployments get this for free from arrival
+	// pacing.
+	lv := NewLive(n, build, clock.NewWall(), LiveConfig{DepthCap: 6})
+
+	got := make(map[stream.PairKey]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stopDrain := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			idle := true
+			for _, q := range lv.ResultQueues() {
+				for {
+					r, ok, _ := q.TryGet()
+					if !ok {
+						break
+					}
+					idle = false
+					mu.Lock()
+					got[r.Pair.Key()]++
+					mu.Unlock()
+				}
+			}
+			if idle {
+				select {
+				case <-stopDrain:
+					// Final sweep after the pipeline stopped.
+					for _, q := range lv.ResultQueues() {
+						for {
+							r, ok, _ := q.TryGet()
+							if !ok {
+								break
+							}
+							mu.Lock()
+							got[r.Pair.Key()]++
+							mu.Unlock()
+						}
+					}
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+
+	for {
+		a, ok := feed.Next()
+		if !ok {
+			break
+		}
+		if !lv.Inject(a.End, a.Msg) {
+			t.Fatalf("inject failed")
+		}
+	}
+	lv.Quiesce()
+	stats := lv.Stats()
+	lv.Stop()
+	close(stopDrain)
+	wg.Wait()
+	return got, stats
+}
+
+func TestLLHJLiveMatchesOracleExactly(t *testing.T) {
+	pred := workload.BandPredicate
+	// Live runs need window ≫ batch × in-flight depth (the paper's
+	// configurations have window:batch ratios above 40,000:1); batch 64
+	// against a 140-tuple window is inherently pathological and is
+	// covered by the simulator, which paces injections in virtual time.
+	rs, ss := genStreams(400, 1000, 31)
+	for _, n := range []int{1, 2, 4, 7} {
+		for _, batch := range []int{1, 8} {
+			t.Run(fmt.Sprintf("n=%d/batch=%d", n, batch), func(t *testing.T) {
+				winR, winS := WindowSpec{Count: 140}, WindowSpec{Count: 100}
+				want := oracleRun(t, feedConfig(rs, ss, winR, winS, batch), pred)
+				got, stats := liveRun(t, n, llhjBuilder(n, pred), feedConfig(rs, ss, winR, winS, batch))
+				missing, extra, dups := diffMultiset(want, got)
+				if missing != 0 || extra != 0 || dups != 0 {
+					t.Fatalf("live LLHJ vs oracle: %d missing, %d extra, %d dups (oracle %d, got %d)",
+						missing, extra, dups, len(want), len(got))
+				}
+				if stats.PendingExpiries != 0 {
+					t.Errorf("pending expiries in live run: %d", stats.PendingExpiries)
+				}
+			})
+		}
+	}
+}
+
+func TestLLHJLiveRepeatedStress(t *testing.T) {
+	// Repeat a medium-size live run several times: goroutine scheduling
+	// differs run to run, so this explores real interleavings of the
+	// ack / expedition-end machinery under the race detector.
+	pred := workload.BandPredicate
+	rs, ss := genStreams(300, 1000, 13)
+	cfgF := func() FeedConfig[workload.RTuple, workload.STuple] {
+		return feedConfig(rs, ss, WindowSpec{Count: 80}, WindowSpec{Count: 80}, 2)
+	}
+	want := oracleRun(t, cfgF(), pred)
+	reps := 6
+	if testing.Short() {
+		reps = 2
+	}
+	for i := 0; i < reps; i++ {
+		got, _ := liveRun(t, 5, llhjBuilder(5, pred), cfgF())
+		missing, extra, dups := diffMultiset(want, got)
+		if missing != 0 || extra != 0 || dups != 0 {
+			t.Fatalf("rep %d: %d missing, %d extra, %d dups", i, missing, extra, dups)
+		}
+	}
+}
+
+func TestHSJLiveNoDuplicatesAndContained(t *testing.T) {
+	pred := workload.BandPredicate
+	const tuples = 600
+	rs, ss := genStreams(tuples, 1000, 77)
+	const win = 200
+	const batch = 4
+	delta := 6*batch + 16 // live scheduling adds slack over the sim bound
+	may := oracleRun(t, feedConfig(rs, ss, WindowSpec{Count: win + delta}, WindowSpec{Count: win + delta}, batch), pred)
+	must := oracleRun(t, feedConfig(rs, ss, WindowSpec{Count: win - delta}, WindowSpec{Count: win - delta}, batch), pred)
+
+	got, _ := liveRun(t, 4, hsjBuilder(4, pred, win, win),
+		feedConfig(rs, ss, WindowSpec{Count: win}, WindowSpec{Count: win}, batch))
+
+	for k, c := range got {
+		if c > 1 {
+			t.Fatalf("duplicate result %+v emitted %d times", k, c)
+		}
+		if may[k] == 0 {
+			t.Errorf("result %+v outside the grown window", k)
+		}
+	}
+	cutoff := uint64(tuples - win - delta)
+	for k := range must {
+		if k.RSeq >= cutoff || k.SSeq >= cutoff {
+			continue
+		}
+		if got[k] == 0 {
+			t.Errorf("missing result %+v", k)
+		}
+	}
+}
+
+func TestLiveQuiesceIdlePipeline(t *testing.T) {
+	// Quiesce on a pipeline that never received input must return.
+	lv := NewLive(3, llhjBuilder(3, workload.BandPredicate), clock.NewWall(), LiveConfig{})
+	lv.Quiesce()
+	lv.Stop()
+	if st := lv.Stats(); st.RArrivals != 0 || st.SArrivals != 0 {
+		t.Fatalf("idle pipeline processed tuples: %+v", st)
+	}
+}
+
+func TestLiveHighWaterMarks(t *testing.T) {
+	// After quiescing, the high-water marks must equal the last
+	// timestamps of each stream (every tuple reached its pipeline end).
+	pred := workload.BandPredicate
+	rs, ss := genStreams(200, 1000, 3)
+	feed, err := NewFeed(feedConfig(rs, ss, WindowSpec{Count: 50}, WindowSpec{Count: 50}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := NewLive(4, llhjBuilder(4, pred), clock.NewWall(), LiveConfig{})
+	for {
+		a, ok := feed.Next()
+		if !ok {
+			break
+		}
+		lv.Inject(a.End, a.Msg)
+	}
+	lv.Quiesce()
+	defer lv.Stop()
+	wantR := rs[len(rs)-1].TS
+	wantS := ss[len(ss)-1].TS
+	if lv.HWMR() != wantR || lv.HWMS() != wantS {
+		t.Fatalf("HWM = (%d, %d), want (%d, %d)", lv.HWMR(), lv.HWMS(), wantR, wantS)
+	}
+}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// TestLLHJOracleProperty is the system-level property test: for *any*
+// pipeline width, batch size, window configuration, delivery jitter and
+// workload seed (within the sane regime window ≫ in-flight), the
+// simulated LLHJ pipeline produces exactly the oracle's result
+// multiset. testing/quick draws the configurations.
+func TestLLHJOracleProperty(t *testing.T) {
+	pred := workload.BandPredicate
+	check := func(seed uint64, rawNodes, rawBatch, rawWin, rawJitter uint16, timeWindow bool) bool {
+		nodes := int(rawNodes%7) + 1 // 1..7
+		batch := int(rawBatch%8) + 1 // 1..8
+		winCount := int(rawWin%120) + 60
+		jitter := int64(rawJitter % 4000)
+
+		cfg := workload.DefaultConfig(1000)
+		cfg.Seed = seed
+		cfg.Domain = 50
+		gen := workload.NewGenerator(cfg)
+		rs, ss := gen.Batch(250)
+
+		var winR, winS WindowSpec
+		if timeWindow {
+			// Window duration derived from the count at the 1000/s rate.
+			winR = WindowSpec{Duration: int64(winCount) * 1e6}
+			winS = WindowSpec{Duration: int64(winCount) * 2e6 / 3}
+		} else {
+			winR = WindowSpec{Count: winCount}
+			winS = WindowSpec{Count: winCount * 2 / 3}
+		}
+
+		mk := func() FeedConfig[workload.RTuple, workload.STuple] {
+			return FeedConfig[workload.RTuple, workload.STuple]{
+				NextR:   sliceGen(rs),
+				NextS:   sliceGen(ss),
+				WindowR: winR,
+				WindowS: winS,
+				Batch:   batch,
+			}
+		}
+		want := make(map[stream.PairKey]int)
+		{
+			feed, err := NewFeed(mk())
+			if err != nil {
+				return false
+			}
+			oracle := newOracle(pred, want)
+			for {
+				a, ok := feed.Next()
+				if !ok {
+					break
+				}
+				oracle.apply(a)
+			}
+		}
+
+		feed, err := NewFeed(mk())
+		if err != nil {
+			return false
+		}
+		cost := DefaultCostModel()
+		cost.Jitter = jitter
+		cost.JitterSeed = seed ^ 0xBEEF
+		ncfg := &core.Config[workload.RTuple, workload.STuple]{Nodes: nodes, Pred: pred}
+		sim := NewSim(nodes, func(k int) core.NodeLogic[workload.RTuple, workload.STuple] {
+			return core.NewNode(ncfg, k)
+		}, cost)
+		got := make(map[stream.PairKey]int)
+		sim.OnResult(func(_ int, r core.Result[workload.RTuple, workload.STuple]) {
+			got[r.Pair.Key()]++
+		})
+		sim.Drain(feed)
+
+		missing, extra, dups := diffMultiset(want, got)
+		if missing != 0 || extra != 0 || dups != 0 {
+			t.Logf("config nodes=%d batch=%d win=%d jitter=%d time=%v seed=%d: %d missing %d extra %d dups",
+				nodes, batch, winCount, jitter, timeWindow, seed, missing, extra, dups)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oracle wraps the Kang-style reference replay used by property tests.
+type oracle struct {
+	processR func(stream.Tuple[workload.RTuple])
+	processS func(stream.Tuple[workload.STuple])
+	expireR  func(uint64)
+	expireS  func(uint64)
+}
+
+func newOracle(pred stream.Predicate[workload.RTuple, workload.STuple], out map[stream.PairKey]int) *oracle {
+	var wR []stream.Tuple[workload.RTuple]
+	var wS []stream.Tuple[workload.STuple]
+	return &oracle{
+		processR: func(r stream.Tuple[workload.RTuple]) {
+			for _, s := range wS {
+				if pred(r.Payload, s.Payload) {
+					out[stream.PairKey{RSeq: r.Seq, SSeq: s.Seq}]++
+				}
+			}
+			wR = append(wR, r)
+		},
+		processS: func(s stream.Tuple[workload.STuple]) {
+			for _, r := range wR {
+				if pred(r.Payload, s.Payload) {
+					out[stream.PairKey{RSeq: r.Seq, SSeq: s.Seq}]++
+				}
+			}
+			wS = append(wS, s)
+		},
+		expireR: func(seq uint64) {
+			for i := range wR {
+				if wR[i].Seq == seq {
+					wR = append(wR[:i], wR[i+1:]...)
+					return
+				}
+			}
+		},
+		expireS: func(seq uint64) {
+			for i := range wS {
+				if wS[i].Seq == seq {
+					wS = append(wS[:i], wS[i+1:]...)
+					return
+				}
+			}
+		},
+	}
+}
+
+func (o *oracle) apply(a Action[workload.RTuple, workload.STuple]) {
+	switch a.Msg.Kind {
+	case core.KindArrival:
+		if a.Msg.Side == stream.R {
+			for _, r := range a.Msg.R {
+				o.processR(r)
+			}
+		} else {
+			for _, s := range a.Msg.S {
+				o.processS(s)
+			}
+		}
+	case core.KindExpiry:
+		for _, seq := range a.Msg.Seqs {
+			if a.Msg.Side == stream.R {
+				o.expireR(seq)
+			} else {
+				o.expireS(seq)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"testing"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/workload"
+)
+
+// TestLiveQuiescentState checks pipeline invariants after a live run
+// has quiesced: the round-robin home assignment distributes both
+// windows evenly across nodes, and every in-flight buffer has drained
+// (all forwarded tuples were acknowledged).
+func TestLiveQuiescentState(t *testing.T) {
+	pred := workload.BandPredicate
+	const nodes, win = 5, 80
+	rs, ss := genStreams(300, 1000, 13)
+	feed, err := NewFeed(feedConfig(rs, ss, WindowSpec{Count: win}, WindowSpec{Count: win}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := NewLive(nodes, llhjBuilder(nodes, pred), nil, LiveConfig{DepthCap: 6})
+	for {
+		a, ok := feed.Next()
+		if !ok {
+			break
+		}
+		lv.Inject(a.End, a.Msg)
+	}
+	lv.Quiesce()
+	defer lv.Stop()
+
+	perNode := win / nodes
+	for k, n := range lv.Nodes() {
+		node := n.(*core.Node[workload.RTuple, workload.STuple])
+		wr, ws := node.WindowSizes()
+		if wr != perNode || ws != perNode {
+			t.Errorf("node %d: window sizes (%d, %d), want (%d, %d) from round-robin homes",
+				k, wr, ws, perNode, perNode)
+		}
+		if l := node.IWSLen(); l != 0 {
+			t.Errorf("node %d: %d unacknowledged in-flight tuples after quiesce", k, l)
+		}
+		st := node.Stats()
+		if st.RArrivals != 300 || st.SArrivals != 300 {
+			t.Errorf("node %d: processed (%d, %d) arrivals, want every tuple at every node (300, 300)",
+				k, st.RArrivals, st.SArrivals)
+		}
+	}
+}

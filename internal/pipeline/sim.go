@@ -1,0 +1,342 @@
+package pipeline
+
+import (
+	"container/heap"
+	"fmt"
+
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// Sim executes a pipeline of core.NodeLogic nodes under a deterministic
+// discrete-event simulation: virtual clock, per-node serialization, FIFO
+// links with hop latency, and a CostModel that converts protocol work
+// (messages handled, window entries inspected) into virtual time.
+//
+// The simulator reproduces the paper's experiments at paper scale
+// (40 cores, minutes-long windows) on machines with any core count —
+// the substitution DESIGN.md documents for the 48-core NUMA testbed.
+// Given identical inputs it is fully deterministic, which the
+// correctness suite exploits: randomized delivery jitter (seeded)
+// explores message interleavings while keeping failures reproducible.
+type Sim[L, R any] struct {
+	nodes []core.NodeLogic[L, R]
+	cost  CostModel
+	rng   *workload.Rand
+
+	pq       eventHeap[L, R]
+	seq      uint64 // tie-breaker for deterministic heap order
+	now      int64
+	freeAt   []int64    // per-node: virtual time the node becomes idle
+	busy     []int64    // per-node: accumulated busy virtual time
+	lastSend [][2]int64 // per-node per-direction: last delivery time on the outgoing link (FIFO enforcement)
+
+	hwmR, hwmS int64 // high-water marks (§6.1.1)
+
+	// Results are collected per emitting node, mirroring the per-worker
+	// result queues Q1..Qn of Figure 15; the Collector drains them.
+	resultQ  [][]core.Result[L, R]
+	onResult func(node int, r core.Result[L, R])
+
+	// collector modelling (punctuated vacuuming, §6.1.3)
+	collectEvery int64
+	onVacuum     func(punct int64, batch []core.Result[L, R])
+
+	maxQueueLen int
+	queued      int
+}
+
+type event[L, R any] struct {
+	at   int64
+	seq  uint64
+	node int
+	// fromLeft: deliver via HandleLeft (message travelling rightward).
+	fromLeft bool
+	msg      core.Msg[L, R]
+	// vacuum marks a collector tick instead of a message delivery.
+	vacuum bool
+}
+
+type eventHeap[L, R any] []event[L, R]
+
+func (h eventHeap[L, R]) Len() int { return len(h) }
+func (h eventHeap[L, R]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap[L, R]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap[L, R]) Push(x any)   { *h = append(*h, x.(event[L, R])) }
+func (h *eventHeap[L, R]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewSim builds an n-node pipeline from the builder under the given cost
+// model.
+func NewSim[L, R any](n int, build core.Builder[L, R], cost CostModel) *Sim[L, R] {
+	if n < 1 {
+		panic(fmt.Sprintf("runtime: pipeline needs >= 1 node, got %d", n))
+	}
+	s := &Sim[L, R]{
+		cost:     cost,
+		rng:      workload.NewRand(cost.JitterSeed),
+		freeAt:   make([]int64, n),
+		busy:     make([]int64, n),
+		lastSend: make([][2]int64, n),
+		resultQ:  make([][]core.Result[L, R], n),
+	}
+	for k := 0; k < n; k++ {
+		s.nodes = append(s.nodes, build(k))
+	}
+	return s
+}
+
+// OnResult registers a callback invoked for every result at emission
+// time (before any collector vacuuming). Optional.
+func (s *Sim[L, R]) OnResult(fn func(node int, r core.Result[L, R])) { s.onResult = fn }
+
+// EnableCollector models the collector thread of §6.1.3: every period
+// (virtual ns) it reads the high-water marks, vacuums all per-node
+// result queues, and reports the batch together with the punctuation
+// timestamp tp = min(tmax,R, tmax,S).
+func (s *Sim[L, R]) EnableCollector(period int64, fn func(punct int64, batch []core.Result[L, R])) {
+	s.collectEvery = period
+	s.onVacuum = fn
+	s.schedule(event[L, R]{at: period, vacuum: true})
+}
+
+// Inject delivers msg to the given pipeline end at virtual time at.
+func (s *Sim[L, R]) Inject(at int64, end End, msg core.Msg[L, R]) {
+	node, fromLeft := 0, true
+	if end == RightEnd {
+		node, fromLeft = len(s.nodes)-1, false
+	}
+	s.schedule(event[L, R]{at: at, node: node, fromLeft: fromLeft, msg: msg})
+}
+
+func (s *Sim[L, R]) schedule(e event[L, R]) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.pq, e)
+	if !e.vacuum {
+		s.queued++
+		if s.queued > s.maxQueueLen {
+			s.maxQueueLen = s.queued
+		}
+	}
+}
+
+// simEmitter implements core.Emitter for one message handling; it
+// buffers emissions and the runtime schedules them afterwards with the
+// correct virtual timing.
+type simEmitter[L, R any] struct {
+	sim     *Sim[L, R]
+	node    int
+	entries int64
+	tuples  int64
+	left    []core.Msg[L, R]
+	right   []core.Msg[L, R]
+	results []stream.Pair[L, R]
+}
+
+func (e *simEmitter[L, R]) EmitLeft(m core.Msg[L, R])  { e.left = append(e.left, m) }
+func (e *simEmitter[L, R]) EmitRight(m core.Msg[L, R]) { e.right = append(e.right, m) }
+func (e *simEmitter[L, R]) EmitResult(p stream.Pair[L, R]) {
+	e.results = append(e.results, p)
+}
+func (e *simEmitter[L, R]) StreamEnd(side stream.Side, ts int64) {
+	if side == stream.R {
+		if ts > e.sim.hwmR {
+			e.sim.hwmR = ts
+		}
+	} else if ts > e.sim.hwmS {
+		e.sim.hwmS = ts
+	}
+}
+func (e *simEmitter[L, R]) Cost(entries int) { e.entries += int64(entries) }
+
+// RunUntil processes events until the virtual clock passes deadline or
+// no events remain. The feed, if non-nil, is drained lazily: its next
+// action is kept scheduled alongside pipeline-internal events so
+// injections interleave correctly. It reports whether the run fully
+// drained (feed exhausted and no pending events) before the deadline —
+// false means the pipeline could not keep up.
+func (s *Sim[L, R]) RunUntil(deadline int64, feed *Feed[L, R]) bool {
+	pendingFeed := false
+	var nextAction Action[L, R]
+	if feed != nil {
+		if a, ok := feed.Next(); ok {
+			nextAction, pendingFeed = a, true
+		}
+	}
+	for {
+		// Inject feed actions that are due before the next event.
+		for pendingFeed && (s.pq.Len() == 0 || nextAction.Due <= s.pq[0].at) {
+			if nextAction.Due > deadline {
+				pendingFeed = false
+				break
+			}
+			s.Inject(nextAction.Due, nextAction.End, nextAction.Msg)
+			if a, ok := feed.Next(); ok {
+				nextAction = a
+			} else {
+				pendingFeed = false
+			}
+		}
+		if s.pq.Len() == 0 {
+			if !pendingFeed {
+				return true
+			}
+			continue
+		}
+		if s.pq[0].at > deadline {
+			return false
+		}
+		e := heap.Pop(&s.pq).(event[L, R])
+		if e.at > s.now {
+			s.now = e.at
+		}
+		if e.vacuum {
+			s.vacuum()
+			if s.collectEvery > 0 && (s.pq.Len() > 0 || pendingFeed) {
+				s.schedule(event[L, R]{at: s.now + s.collectEvery, vacuum: true})
+			}
+			continue
+		}
+		s.queued--
+		s.deliver(e)
+	}
+}
+
+// deliver processes one message at its destination node, advancing the
+// node's busy time by the modelled cost and scheduling emissions.
+func (s *Sim[L, R]) deliver(e event[L, R]) {
+	start := e.at
+	if f := s.freeAt[e.node]; f > start {
+		start = f
+	}
+	em := &simEmitter[L, R]{sim: s, node: e.node}
+	em.tuples = int64(e.msg.Len())
+	if e.fromLeft {
+		s.nodes[e.node].HandleLeft(e.msg, em)
+	} else {
+		s.nodes[e.node].HandleRight(e.msg, em)
+	}
+	dur := s.cost.PerMsg + s.cost.PerTuple*em.tuples + s.cost.PerEntry*em.entries
+	done := start + dur
+	s.freeAt[e.node] = done
+	s.busy[e.node] += dur
+
+	for _, p := range em.results {
+		r := core.Result[L, R]{Pair: p, At: done}
+		s.resultQ[e.node] = append(s.resultQ[e.node], r)
+		if s.onResult != nil {
+			s.onResult(e.node, r)
+		}
+	}
+	for _, m := range em.left {
+		s.send(e.node, e.node-1, false, m, done)
+	}
+	for _, m := range em.right {
+		s.send(e.node, e.node+1, true, m, done)
+	}
+}
+
+// send schedules delivery of m from node `from` to node `to`,
+// preserving FIFO order per directed link even under jitter.
+func (s *Sim[L, R]) send(from, to int, fromLeft bool, m core.Msg[L, R], at int64) {
+	if to < 0 || to >= len(s.nodes) {
+		return // pipeline exit: discard
+	}
+	delay := s.cost.Hop
+	if s.cost.Jitter > 0 {
+		delay += int64(s.rng.Uint64() % uint64(s.cost.Jitter))
+	}
+	deliver := at + delay
+	dir := 0
+	if !fromLeft {
+		dir = 1
+	}
+	if last := s.lastSend[from][dir]; deliver < last {
+		deliver = last // never overtake an earlier message on this link
+	}
+	s.lastSend[from][dir] = deliver
+	s.schedule(event[L, R]{at: deliver, node: to, fromLeft: fromLeft, msg: m})
+}
+
+// vacuum models one collector pass: read high-water marks first, then
+// drain all result queues (§6.1.3 — this order makes the punctuation
+// correct).
+func (s *Sim[L, R]) vacuum() {
+	punct := s.hwmR
+	if s.hwmS < punct {
+		punct = s.hwmS
+	}
+	var batch []core.Result[L, R]
+	for k := range s.resultQ {
+		batch = append(batch, s.resultQ[k]...)
+		s.resultQ[k] = s.resultQ[k][:0]
+	}
+	if s.onVacuum != nil {
+		s.onVacuum(punct, batch)
+	}
+}
+
+// Drain runs until no events remain (unbounded deadline).
+func (s *Sim[L, R]) Drain(feed *Feed[L, R]) { _ = s.RunUntil(int64(1)<<62-1, feed) }
+
+// FlushResults performs a final vacuum and returns nothing; results
+// reach the registered callbacks.
+func (s *Sim[L, R]) FlushResults() { s.vacuum() }
+
+// Now returns the current virtual time.
+func (s *Sim[L, R]) Now() int64 { return s.now }
+
+// Utilization returns each node's busy fraction of the virtual interval
+// [0, s.Now()].
+func (s *Sim[L, R]) Utilization() []float64 {
+	out := make([]float64, len(s.nodes))
+	if s.now == 0 {
+		return out
+	}
+	for k, b := range s.busy {
+		out[k] = float64(b) / float64(s.now)
+	}
+	return out
+}
+
+// MaxUtilization returns the highest per-node busy fraction.
+func (s *Sim[L, R]) MaxUtilization() float64 {
+	var m float64
+	for _, u := range s.Utilization() {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// MaxQueuedEvents returns the high-water mark of in-flight messages, a
+// proxy for queue backlog when probing sustainability.
+func (s *Sim[L, R]) MaxQueuedEvents() int { return s.maxQueueLen }
+
+// Stats aggregates all node counters.
+func (s *Sim[L, R]) Stats() core.Stats {
+	var agg core.Stats
+	for _, n := range s.nodes {
+		agg.Add(n.Stats())
+	}
+	return agg
+}
+
+// HWM returns the current high-water marks (tmax,R, tmax,S).
+func (s *Sim[L, R]) HWM() (r, sHWM int64) { return s.hwmR, s.hwmS }
+
+// Nodes returns the node logic values (for white-box tests).
+func (s *Sim[L, R]) Nodes() []core.NodeLogic[L, R] { return s.nodes }

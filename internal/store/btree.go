@@ -1,0 +1,309 @@
+package store
+
+// BTreeIndex is an in-memory B-tree multimap from join key to tuple
+// sequence numbers. It supports the ordered range probes needed to
+// accelerate band predicates (the paper's benchmark join is a band join;
+// §4.1 names "temporary hash or B-tree indexes" as the structures that
+// low-latency handshake join's single-home-node design enables, and §9
+// lists studying such indexes as future work — we implement it).
+//
+// Duplicate keys are allowed; (key, seq) pairs are unique and fully
+// ordered, which makes removal exact. Deletion follows the classic CLRS
+// algorithm (borrow from siblings or merge on underflow). The tree is
+// not safe for concurrent use.
+type BTreeIndex struct {
+	root   *btreeNode
+	degree int // minimum items per non-root node = degree-1
+	size   int
+}
+
+type btreeItem struct {
+	key uint64
+	seq uint64
+}
+
+type btreeNode struct {
+	items    []btreeItem
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// NewBTreeIndex returns an empty tree with the given minimum degree t
+// (every non-root node holds between t−1 and 2t−1 items); values < 2 are
+// raised to 2.
+func NewBTreeIndex(degree int) *BTreeIndex {
+	if degree < 2 {
+		degree = 2
+	}
+	return &BTreeIndex{degree: degree}
+}
+
+// Len returns the number of entries.
+func (t *BTreeIndex) Len() int { return t.size }
+
+func (t *BTreeIndex) maxItems() int { return 2*t.degree - 1 }
+func (t *BTreeIndex) minItems() int { return t.degree - 1 }
+
+// itemLess orders items by key, breaking ties by sequence number.
+func itemLess(a, b btreeItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// findPos returns the index of the first item in items that is not less
+// than it.
+func findPos(items []btreeItem, it btreeItem) int {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if itemLess(items[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports whether (k, seq) is present.
+func (t *BTreeIndex) Contains(k, seq uint64) bool {
+	it := btreeItem{key: k, seq: seq}
+	n := t.root
+	for n != nil {
+		pos := findPos(n.items, it)
+		if pos < len(n.items) && n.items[pos] == it {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[pos]
+	}
+	return false
+}
+
+// Insert adds seq under key k.
+func (t *BTreeIndex) Insert(k, seq uint64) {
+	it := btreeItem{key: k, seq: seq}
+	if t.root == nil {
+		t.root = &btreeNode{items: []btreeItem{it}}
+		t.size++
+		return
+	}
+	if len(t.root.items) >= t.maxItems() {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, it)
+	t.size++
+}
+
+func (t *BTreeIndex) splitChild(parent *btreeNode, i int) {
+	child := parent.children[i]
+	mid := len(child.items) / 2
+	midItem := child.items[mid]
+	right := &btreeNode{
+		items: append([]btreeItem(nil), child.items[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+	parent.items = append(parent.items, btreeItem{})
+	copy(parent.items[i+1:], parent.items[i:])
+	parent.items[i] = midItem
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (t *BTreeIndex) insertNonFull(n *btreeNode, it btreeItem) {
+	for {
+		pos := findPos(n.items, it)
+		if n.leaf() {
+			n.items = append(n.items, btreeItem{})
+			copy(n.items[pos+1:], n.items[pos:])
+			n.items[pos] = it
+			return
+		}
+		if len(n.children[pos].items) >= t.maxItems() {
+			t.splitChild(n, pos)
+			if itemLess(n.items[pos], it) {
+				pos++
+			}
+		}
+		n = n.children[pos]
+	}
+}
+
+// Remove deletes the entry (k, seq); it reports whether it was present.
+func (t *BTreeIndex) Remove(k, seq uint64) bool {
+	if t.root == nil {
+		return false
+	}
+	it := btreeItem{key: k, seq: seq}
+	if !t.Contains(k, seq) {
+		return false
+	}
+	t.remove(t.root, it)
+	t.size--
+	if len(t.root.items) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	return true
+}
+
+// remove deletes it from the subtree rooted at n. Precondition: it is
+// present in the subtree, and n has more than minItems() items unless n
+// is the root.
+func (t *BTreeIndex) remove(n *btreeNode, it btreeItem) {
+	pos := findPos(n.items, it)
+	if pos < len(n.items) && n.items[pos] == it {
+		if n.leaf() {
+			n.items = append(n.items[:pos], n.items[pos+1:]...)
+			return
+		}
+		left, right := n.children[pos], n.children[pos+1]
+		switch {
+		case len(left.items) > t.minItems():
+			pred := t.maxItem(left)
+			n.items[pos] = pred
+			t.remove(left, pred)
+		case len(right.items) > t.minItems():
+			succ := t.minItem(right)
+			n.items[pos] = succ
+			t.remove(right, succ)
+		default:
+			t.mergeChildren(n, pos)
+			t.remove(n.children[pos], it)
+		}
+		return
+	}
+	if n.leaf() {
+		return // not present; callers guarantee presence
+	}
+	pos = t.ensureChild(n, pos, it)
+	t.remove(n.children[pos], it)
+}
+
+// ensureChild guarantees that children[pos] has more than minItems()
+// items before descending, borrowing from a sibling or merging. It
+// returns the (possibly shifted) child index to descend into for it.
+func (t *BTreeIndex) ensureChild(n *btreeNode, pos int, it btreeItem) int {
+	child := n.children[pos]
+	if len(child.items) > t.minItems() {
+		return pos
+	}
+	if pos > 0 && len(n.children[pos-1].items) > t.minItems() {
+		// Borrow from left sibling through the separator.
+		left := n.children[pos-1]
+		child.items = append(child.items, btreeItem{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[pos-1]
+		n.items[pos-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+		return pos
+	}
+	if pos < len(n.children)-1 && len(n.children[pos+1].items) > t.minItems() {
+		// Borrow from right sibling through the separator.
+		right := n.children[pos+1]
+		child.items = append(child.items, n.items[pos])
+		n.items[pos] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			moved := right.children[0]
+			right.children = append(right.children[:0], right.children[1:]...)
+			child.children = append(child.children, moved)
+		}
+		return pos
+	}
+	// Merge with a sibling.
+	if pos == len(n.children)-1 {
+		pos--
+	}
+	t.mergeChildren(n, pos)
+	return pos
+}
+
+// mergeChildren merges children[pos], items[pos] and children[pos+1]
+// into children[pos].
+func (t *BTreeIndex) mergeChildren(n *btreeNode, pos int) {
+	left, right := n.children[pos], n.children[pos+1]
+	left.items = append(left.items, n.items[pos])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:pos], n.items[pos+1:]...)
+	n.children = append(n.children[:pos+1], n.children[pos+2:]...)
+}
+
+func (t *BTreeIndex) maxItem(n *btreeNode) btreeItem {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (t *BTreeIndex) minItem(n *btreeNode) btreeItem {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// Range calls fn for every entry with lo ≤ key ≤ hi, in (key, seq) order.
+func (t *BTreeIndex) Range(lo, hi uint64, fn func(key, seq uint64)) {
+	if t.root == nil || lo > hi {
+		return
+	}
+	t.rangeNode(t.root, lo, hi, fn)
+}
+
+func (t *BTreeIndex) rangeNode(n *btreeNode, lo, hi uint64, fn func(key, seq uint64)) {
+	i := findPos(n.items, btreeItem{key: lo, seq: 0})
+	if !n.leaf() {
+		t.rangeNode(n.children[i], lo, hi, fn)
+	}
+	for ; i < len(n.items); i++ {
+		if n.items[i].key > hi {
+			return
+		}
+		fn(n.items[i].key, n.items[i].seq)
+		if !n.leaf() {
+			t.rangeNode(n.children[i+1], lo, hi, fn)
+		}
+	}
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (t *BTreeIndex) Min() (key uint64, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	it := t.minItem(t.root)
+	return it.key, true
+}
+
+// Max returns the largest key, or ok=false when empty.
+func (t *BTreeIndex) Max() (key uint64, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	it := t.maxItem(t.root)
+	return it.key, true
+}

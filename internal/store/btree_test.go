@@ -1,0 +1,235 @@
+package store
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"handshakejoin/internal/workload"
+)
+
+func TestBTreeInsertRange(t *testing.T) {
+	bt := NewBTreeIndex(2) // tiny degree exercises splits aggressively
+	for i := 0; i < 1000; i++ {
+		bt.Insert(uint64(i%97), uint64(i))
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", bt.Len())
+	}
+	type kv struct{ k, seq uint64 }
+	var got []kv
+	bt.Range(10, 12, func(k, seq uint64) {
+		if k < 10 || k > 12 {
+			t.Fatalf("Range leaked key %d", k)
+		}
+		got = append(got, kv{k, seq})
+	})
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if k := i % 97; k >= 10 && k <= 12 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Range(10,12) returned %d entries, want %d", len(got), want)
+	}
+	sorted := sort.SliceIsSorted(got, func(i, j int) bool {
+		if got[i].k != got[j].k {
+			return got[i].k < got[j].k
+		}
+		return got[i].seq < got[j].seq
+	})
+	if !sorted {
+		t.Fatal("Range output not in (key, seq) order")
+	}
+}
+
+func TestBTreeRemoveAll(t *testing.T) {
+	bt := NewBTreeIndex(2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		bt.Insert(uint64(i*7%101), uint64(i))
+	}
+	for i := 0; i < n; i++ {
+		if !bt.Remove(uint64(i*7%101), uint64(i)) {
+			t.Fatalf("Remove(%d, %d) failed", i*7%101, i)
+		}
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("Len = %d after removing everything", bt.Len())
+	}
+	if bt.Remove(1, 1) {
+		t.Fatal("Remove on empty tree succeeded")
+	}
+	if _, ok := bt.Min(); ok {
+		t.Fatal("Min on empty tree reported a key")
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := NewBTreeIndex(4)
+	for _, k := range []uint64{50, 10, 90, 30, 70} {
+		bt.Insert(k, k)
+	}
+	if mn, _ := bt.Min(); mn != 10 {
+		t.Fatalf("Min = %d, want 10", mn)
+	}
+	if mx, _ := bt.Max(); mx != 90 {
+		t.Fatalf("Max = %d, want 90", mx)
+	}
+	bt.Remove(10, 10)
+	bt.Remove(90, 90)
+	if mn, _ := bt.Min(); mn != 30 {
+		t.Fatalf("Min after removals = %d, want 30", mn)
+	}
+	if mx, _ := bt.Max(); mx != 70 {
+		t.Fatalf("Max after removals = %d, want 70", mx)
+	}
+}
+
+// btreeInvariant checks the structural B-tree invariants: sorted items,
+// child counts, and item counts per node.
+func btreeInvariant(t *BTreeIndex) bool {
+	if t.root == nil {
+		return t.size == 0
+	}
+	var walk func(n *btreeNode, depth int) (int, bool)
+	walk = func(n *btreeNode, depth int) (int, bool) {
+		for i := 1; i < len(n.items); i++ {
+			if !itemLess(n.items[i-1], n.items[i]) {
+				return 0, false
+			}
+		}
+		if n != t.root && (len(n.items) < t.minItems() || len(n.items) > t.maxItems()) {
+			return 0, false
+		}
+		if n.leaf() {
+			return depth, true
+		}
+		if len(n.children) != len(n.items)+1 {
+			return 0, false
+		}
+		leafDepth := -1
+		for _, c := range n.children {
+			d, ok := walk(c, depth+1)
+			if !ok {
+				return 0, false
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if leafDepth != d {
+				return 0, false // leaves at different depths
+			}
+		}
+		return leafDepth, true
+	}
+	_, ok := walk(t.root, 0)
+	return ok
+}
+
+// TestBTreePropertyAgainstSortedSlice drives the tree and a sorted
+// reference with identical random operations.
+func TestBTreePropertyAgainstSortedSlice(t *testing.T) {
+	type kv struct{ k, seq uint64 }
+	check := func(seed uint64, opCount uint16) bool {
+		rnd := workload.NewRand(seed)
+		bt := NewBTreeIndex(2)
+		var ref []kv
+		n := int(opCount%400) + 50
+		for i := 0; i < n; i++ {
+			switch rnd.Intn(3) {
+			case 0, 1: // insert
+				k := uint64(rnd.Intn(40))
+				seq := uint64(i)
+				bt.Insert(k, seq)
+				ref = append(ref, kv{k, seq})
+			case 2: // remove random existing
+				if len(ref) == 0 {
+					continue
+				}
+				i := rnd.Intn(len(ref))
+				e := ref[i]
+				if !bt.Remove(e.k, e.seq) {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			if bt.Len() != len(ref) {
+				return false
+			}
+			if !btreeInvariant(bt) {
+				return false
+			}
+		}
+		// Full-range readback must equal the sorted reference.
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].k != ref[b].k {
+				return ref[a].k < ref[b].k
+			}
+			return ref[a].seq < ref[b].seq
+		})
+		var got []kv
+		bt.Range(0, ^uint64(0), func(k, seq uint64) { got = append(got, kv{k, seq}) })
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		// Spot-check a few sub-ranges.
+		for lo := uint64(0); lo < 40; lo += 13 {
+			hi := lo + 7
+			var want []kv
+			for _, e := range ref {
+				if e.k >= lo && e.k <= hi {
+					want = append(want, e)
+				}
+			}
+			var sub []kv
+			bt.Range(lo, hi, func(k, seq uint64) { sub = append(sub, kv{k, seq}) })
+			if len(sub) != len(want) {
+				return false
+			}
+			for i := range sub {
+				if sub[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashIndexBasics(t *testing.T) {
+	h := NewHashIndex()
+	h.Insert(5, 100)
+	h.Insert(5, 101)
+	h.Insert(7, 102)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	var got []uint64
+	h.Lookup(5, func(seq uint64) { got = append(got, seq) })
+	if len(got) != 2 || got[0] != 100 || got[1] != 101 {
+		t.Fatalf("Lookup(5) = %v, want [100 101] in insertion order", got)
+	}
+	h.Remove(5, 100)
+	h.Remove(5, 100) // idempotent
+	got = nil
+	h.Lookup(5, func(seq uint64) { got = append(got, seq) })
+	if len(got) != 1 || got[0] != 101 {
+		t.Fatalf("Lookup(5) after remove = %v", got)
+	}
+	h.Remove(5, 101)
+	if _, ok := h.m[5]; ok {
+		t.Fatal("empty key not deleted from map")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+}

@@ -1,0 +1,51 @@
+package store
+
+// HashIndex is a multimap from join key to tuple sequence numbers,
+// backing the node-local hash acceleration of §7.6 (Table 2). Collisions
+// within one key keep arrival order, so probes emit matches in a
+// deterministic order.
+type HashIndex struct {
+	m    map[uint64][]uint64
+	size int
+}
+
+// NewHashIndex returns an empty index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{m: make(map[uint64][]uint64)}
+}
+
+// Insert adds seq under key k.
+func (h *HashIndex) Insert(k, seq uint64) {
+	h.m[k] = append(h.m[k], seq)
+	h.size++
+}
+
+// Remove deletes seq from key k, if present.
+func (h *HashIndex) Remove(k, seq uint64) {
+	seqs, ok := h.m[k]
+	if !ok {
+		return
+	}
+	for i, s := range seqs {
+		if s == seq {
+			seqs = append(seqs[:i], seqs[i+1:]...)
+			h.size--
+			break
+		}
+	}
+	if len(seqs) == 0 {
+		delete(h.m, k)
+	} else {
+		h.m[k] = seqs
+	}
+}
+
+// Lookup calls fn for every seq stored under k, in insertion order.
+func (h *HashIndex) Lookup(k uint64, fn func(seq uint64)) {
+	for _, s := range h.m[k] {
+		fn(s)
+	}
+}
+
+// Len returns the number of (key, seq) entries.
+func (h *HashIndex) Len() int { return h.size }

@@ -1,0 +1,272 @@
+// Package store implements the node-local tuple stores of (low-latency)
+// handshake join: per-core sliding-window fragments with expedition
+// flags, plus optional secondary indexes (hash for equi-joins, B-tree
+// for range/band predicates) as envisioned in §4.1 and evaluated in
+// §7.6 of the paper.
+//
+// A Window keeps tuples in arrival order. Each entry carries the
+// expedition flag of §4.2.3: a stored R tuple stays "expedited" until its
+// expedition-end message reaches the home node; scans on behalf of S
+// arrivals must skip expedited entries to avoid stored/stored double
+// matches. Expiry may remove entries anywhere (normally near the front,
+// since expiries arrive in arrival order); removal uses tombstones with
+// amortized compaction so that secondary indexes stay valid.
+package store
+
+import "handshakejoin/internal/stream"
+
+type entry[T any] struct {
+	tuple     stream.Tuple[T]
+	expedited bool
+	dead      bool
+}
+
+// Window is a node-local window fragment for one stream on one core.
+// It is not safe for concurrent use; each pipeline node owns its windows.
+type Window[T any] struct {
+	entries []entry[T]
+	head    int            // first live slot candidate
+	slots   map[uint64]int // seq → slot (live entries only)
+	live    int
+	settled int // live entries with expedition flag cleared
+
+	hash  *HashIndex
+	btree *BTreeIndex
+	key   stream.KeyFunc[T]
+}
+
+// Option configures a Window.
+type Option[T any] func(*Window[T])
+
+// WithHashIndex attaches a hash index over key(payload); Probe becomes
+// available.
+func WithHashIndex[T any](key stream.KeyFunc[T]) Option[T] {
+	return func(w *Window[T]) {
+		w.key = key
+		w.hash = NewHashIndex()
+	}
+}
+
+// WithBTreeIndex attaches an ordered index over key(payload); RangeProbe
+// becomes available. It may be combined with WithHashIndex.
+func WithBTreeIndex[T any](key stream.KeyFunc[T]) Option[T] {
+	return func(w *Window[T]) {
+		w.key = key
+		w.btree = NewBTreeIndex(32)
+	}
+}
+
+// NewWindow returns an empty window.
+func NewWindow[T any](opts ...Option[T]) *Window[T] {
+	w := &Window[T]{slots: make(map[uint64]int)}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Len returns the number of live entries.
+func (w *Window[T]) Len() int { return w.live }
+
+// SettledLen returns the number of live entries whose expedition flag has
+// been cleared.
+func (w *Window[T]) SettledLen() int { return w.settled }
+
+// Insert stores t with the expedition flag set.
+func (w *Window[T]) Insert(t stream.Tuple[T]) {
+	slot := len(w.entries)
+	w.entries = append(w.entries, entry[T]{tuple: t, expedited: true})
+	w.slots[t.Seq] = slot
+	w.live++
+	if w.key != nil {
+		k := w.key(t.Payload)
+		if w.hash != nil {
+			w.hash.Insert(k, t.Seq)
+		}
+		if w.btree != nil {
+			w.btree.Insert(k, t.Seq)
+		}
+	}
+	w.maybeCompact()
+}
+
+// InsertSettled stores t with the expedition flag already cleared (used
+// for the S side, which carries no flags, and by baseline operators).
+func (w *Window[T]) InsertSettled(t stream.Tuple[T]) {
+	w.Insert(t)
+	w.entries[w.slots[t.Seq]].expedited = false
+	w.settled++
+}
+
+// ClearExpedition clears the flag of the entry with the given sequence
+// number; it reports whether the entry was present (and flagged).
+func (w *Window[T]) ClearExpedition(seq uint64) bool {
+	slot, ok := w.slots[seq]
+	if !ok {
+		return false
+	}
+	e := &w.entries[slot]
+	if e.dead || !e.expedited {
+		return !e.dead // present but already settled: still "found"
+	}
+	e.expedited = false
+	w.settled++
+	return true
+}
+
+// Remove deletes the entry with the given sequence number, returning the
+// tuple and whether it was present.
+func (w *Window[T]) Remove(seq uint64) (stream.Tuple[T], bool) {
+	slot, ok := w.slots[seq]
+	if !ok {
+		var zero stream.Tuple[T]
+		return zero, false
+	}
+	e := &w.entries[slot]
+	t := e.tuple
+	e.dead = true
+	delete(w.slots, seq)
+	w.live--
+	if !e.expedited {
+		w.settled--
+	}
+	if w.key != nil {
+		k := w.key(t.Payload)
+		if w.hash != nil {
+			w.hash.Remove(k, seq)
+		}
+		if w.btree != nil {
+			w.btree.Remove(k, seq)
+		}
+	}
+	w.maybeCompact()
+	return t, true
+}
+
+// OldestSeq returns the sequence number of the oldest live entry, in
+// arrival order; ok is false when the window is empty. Amortized O(1):
+// the head pointer skips leading tombstones.
+func (w *Window[T]) OldestSeq() (seq uint64, ok bool) {
+	for w.head < len(w.entries) && w.entries[w.head].dead {
+		w.head++
+	}
+	if w.head >= len(w.entries) {
+		return 0, false
+	}
+	return w.entries[w.head].tuple.Seq, true
+}
+
+// Get returns the live tuple with the given sequence number.
+func (w *Window[T]) Get(seq uint64) (stream.Tuple[T], bool) {
+	slot, ok := w.slots[seq]
+	if !ok {
+		var zero stream.Tuple[T]
+		return zero, false
+	}
+	return w.entries[slot].tuple, true
+}
+
+// ScanAll calls fn for every live entry in arrival order. Comparisons
+// performed by fn are the caller's business; ScanAll itself reports the
+// number of entries visited so cost models can account for scan work.
+func (w *Window[T]) ScanAll(fn func(stream.Tuple[T])) int {
+	n := 0
+	for i := w.head; i < len(w.entries); i++ {
+		e := &w.entries[i]
+		if e.dead {
+			continue
+		}
+		fn(e.tuple)
+		n++
+	}
+	return n
+}
+
+// ScanSettled calls fn for every live entry whose expedition flag is
+// cleared, in arrival order, and returns the number of entries visited
+// (settled or not — a scan must inspect the flag of every live entry).
+func (w *Window[T]) ScanSettled(fn func(stream.Tuple[T])) int {
+	n := 0
+	for i := w.head; i < len(w.entries); i++ {
+		e := &w.entries[i]
+		if e.dead {
+			continue
+		}
+		n++
+		if e.expedited {
+			continue
+		}
+		fn(e.tuple)
+	}
+	return n
+}
+
+// Probe calls fn for every live entry whose key equals k, optionally
+// restricted to settled entries. It returns the number of index entries
+// inspected. Requires WithHashIndex.
+func (w *Window[T]) Probe(k uint64, settledOnly bool, fn func(stream.Tuple[T])) int {
+	if w.hash == nil {
+		panic("store: Probe without WithHashIndex")
+	}
+	n := 0
+	w.hash.Lookup(k, func(seq uint64) {
+		n++
+		slot, ok := w.slots[seq]
+		if !ok {
+			return
+		}
+		e := &w.entries[slot]
+		if e.dead || (settledOnly && e.expedited) {
+			return
+		}
+		fn(e.tuple)
+	})
+	return n
+}
+
+// RangeProbe calls fn for every live entry with lo ≤ key ≤ hi, optionally
+// restricted to settled entries. It returns the number of index entries
+// inspected. Requires WithBTreeIndex.
+func (w *Window[T]) RangeProbe(lo, hi uint64, settledOnly bool, fn func(stream.Tuple[T])) int {
+	if w.btree == nil {
+		panic("store: RangeProbe without WithBTreeIndex")
+	}
+	n := 0
+	w.btree.Range(lo, hi, func(_ uint64, seq uint64) {
+		n++
+		slot, ok := w.slots[seq]
+		if !ok {
+			return
+		}
+		e := &w.entries[slot]
+		if e.dead || (settledOnly && e.expedited) {
+			return
+		}
+		fn(e.tuple)
+	})
+	return n
+}
+
+// maybeCompact rebuilds the entry slice when more than half the slots are
+// tombstones, keeping memory and scan cost proportional to live entries.
+func (w *Window[T]) maybeCompact() {
+	// Advance head over leading tombstones first (the common case:
+	// expiries remove oldest entries).
+	for w.head < len(w.entries) && w.entries[w.head].dead {
+		w.head++
+	}
+	if len(w.entries)-w.head <= 2*w.live || len(w.entries) < 64 {
+		return
+	}
+	fresh := make([]entry[T], 0, w.live)
+	for i := w.head; i < len(w.entries); i++ {
+		if !w.entries[i].dead {
+			fresh = append(fresh, w.entries[i])
+		}
+	}
+	w.entries = fresh
+	w.head = 0
+	for i := range w.entries {
+		w.slots[w.entries[i].tuple.Seq] = i
+	}
+}

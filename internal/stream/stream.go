@@ -1,0 +1,92 @@
+// Package stream defines the tuple model shared by every join operator in
+// this repository: sides, sequence numbers, timestamps, tuples with a
+// generic payload, and batches as they travel through a join pipeline.
+//
+// Timestamps are virtual nanoseconds. In live runs they are derived from
+// the wall clock; in simulated runs they are assigned by the virtual
+// clock. All operators require timestamps to be non-decreasing per input
+// stream ("monotonic streams"); the punctuation mechanism of §6 of the
+// paper depends on this.
+package stream
+
+import "fmt"
+
+// Side identifies one of the two join inputs. Following the paper, R
+// tuples flow left-to-right through a pipeline and S tuples right-to-left.
+type Side uint8
+
+const (
+	// R is the left input stream.
+	R Side = 0
+	// S is the right input stream.
+	S Side = 1
+)
+
+// Opposite returns the other side.
+func (sd Side) Opposite() Side { return sd ^ 1 }
+
+// String implements fmt.Stringer.
+func (sd Side) String() string {
+	switch sd {
+	case R:
+		return "R"
+	case S:
+		return "S"
+	default:
+		return fmt.Sprintf("Side(%d)", uint8(sd))
+	}
+}
+
+// NoHome marks a tuple that has not been assigned a home node yet.
+const NoHome = -1
+
+// Tuple is a stream element carrying a payload of type T.
+//
+// Seq is the position of the tuple within its own input stream (0-based,
+// dense). TS is the logical arrival timestamp in virtual nanoseconds.
+// Wall is the injection time used for latency accounting; in live mode it
+// equals the wall-clock nanotime at which the driver pushed the tuple
+// into the pipeline, in simulated mode it equals TS.
+//
+// Home is the pipeline node on which the tuple's stored copy lives
+// (low-latency handshake join only); it is NoHome until the entry node
+// tags the tuple.
+type Tuple[T any] struct {
+	Seq     uint64
+	TS      int64
+	Wall    int64
+	Home    int
+	Payload T
+}
+
+// Pair is a join result: the matching R and S tuples.
+type Pair[L, R any] struct {
+	R Tuple[L]
+	S Tuple[R]
+}
+
+// TS returns the result timestamp as defined in §6.1.2 of the paper:
+// the later of the two input timestamps.
+func (p Pair[L, R]) TS() int64 {
+	if p.R.TS >= p.S.TS {
+		return p.R.TS
+	}
+	return p.S.TS
+}
+
+// Key returns a canonical identifier for the pair, used by tests to
+// compare result multisets across operators.
+func (p Pair[L, R]) Key() PairKey { return PairKey{RSeq: p.R.Seq, SSeq: p.S.Seq} }
+
+// PairKey identifies a join pair by the sequence numbers of its inputs.
+type PairKey struct {
+	RSeq uint64
+	SSeq uint64
+}
+
+// Predicate decides whether an R payload joins with an S payload.
+type Predicate[L, R any] func(L, R) bool
+
+// KeyFunc extracts an equi-join key from a payload; used to enable
+// node-local hash indexes (§7.6 of the paper).
+type KeyFunc[T any] func(T) uint64

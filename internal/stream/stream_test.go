@@ -1,0 +1,39 @@
+package stream
+
+import "testing"
+
+func TestSideOppositeAndString(t *testing.T) {
+	if R.Opposite() != S || S.Opposite() != R {
+		t.Fatal("Opposite broken")
+	}
+	if R.String() != "R" || S.String() != "S" {
+		t.Fatalf("String: %s %s", R, S)
+	}
+	if Side(9).String() == "R" {
+		t.Fatal("unknown side stringifies as R")
+	}
+}
+
+func TestPairTS(t *testing.T) {
+	p := Pair[int, int]{
+		R: Tuple[int]{Seq: 1, TS: 100},
+		S: Tuple[int]{Seq: 2, TS: 250},
+	}
+	if p.TS() != 250 {
+		t.Fatalf("TS = %d, want the later timestamp 250", p.TS())
+	}
+	p.R.TS = 300
+	if p.TS() != 300 {
+		t.Fatalf("TS = %d, want 300", p.TS())
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	p := Pair[string, bool]{
+		R: Tuple[string]{Seq: 7},
+		S: Tuple[bool]{Seq: 9},
+	}
+	if k := p.Key(); k.RSeq != 7 || k.SSeq != 9 {
+		t.Fatalf("Key = %+v", k)
+	}
+}

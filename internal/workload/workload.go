@@ -1,0 +1,192 @@
+// Package workload generates the benchmark inputs used throughout the
+// paper's evaluation (§7.1), which in turn reuses the CellJoin benchmark
+// of Gedik et al.:
+//
+//	stream R = ⟨ x:int, y:float, z:char[20] ⟩
+//	stream S = ⟨ a:int, b:float, c:double, d:bool ⟩
+//
+// joined by the two-dimensional band predicate
+//
+//	r.x BETWEEN s.a−10 AND s.a+10  AND  r.y BETWEEN s.b−10 AND s.b+10
+//
+// with join attributes drawn uniformly from 1–10,000, giving a join hit
+// rate of about 1:250,000. An equi-join variant (used for the
+// index-acceleration experiment, Table 2) is also provided.
+//
+// The generator is deterministic given a seed, so every experiment and
+// test in this repository is reproducible.
+package workload
+
+import (
+	"handshakejoin/internal/stream"
+)
+
+// RTuple is the payload of stream R in the benchmark schema.
+type RTuple struct {
+	X int32
+	Y float32
+	Z [20]byte
+}
+
+// STuple is the payload of stream S in the benchmark schema.
+type STuple struct {
+	A int32
+	B float32
+	C float64
+	D bool
+}
+
+// BandPredicate is the paper's two-dimensional band join condition.
+func BandPredicate(r RTuple, s STuple) bool {
+	return r.X >= s.A-10 && r.X <= s.A+10 &&
+		r.Y >= s.B-10 && r.Y <= s.B+10
+}
+
+// EquiPredicate is the hash-friendly variant used for Table 2: equality
+// on the integer attribute.
+func EquiPredicate(r RTuple, s STuple) bool { return r.X == s.A }
+
+// RKey and SKey extract the equi-join key, enabling node-local hash
+// indexes.
+func RKey(r RTuple) uint64 { return uint64(uint32(r.X)) }
+
+// SKey extracts the equi-join key of an S tuple.
+func SKey(s STuple) uint64 { return uint64(uint32(s.A)) }
+
+// Rand is a small deterministic xorshift64* PRNG. We avoid math/rand so
+// that generator state is a plain value that can be embedded, copied and
+// replayed cheaply.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator; a zero seed is replaced by a fixed constant.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	Seed uint64
+	// Domain is the size of the uniform join-attribute domain
+	// (paper: 10,000 → band hit rate 1:250,000).
+	Domain int
+	// RatePerSec is the per-stream input rate in tuples/second used to
+	// assign timestamps (|R| = |S| as in §7.1).
+	RatePerSec float64
+}
+
+// DefaultConfig returns the paper's benchmark configuration at the given
+// rate.
+func DefaultConfig(rate float64) Config {
+	return Config{Seed: 42, Domain: 10000, RatePerSec: rate}
+}
+
+// Generator produces the two benchmark streams with monotonically
+// increasing timestamps at the configured rate. R and S are interleaved
+// by timestamp, alternating deterministically.
+type Generator struct {
+	cfg     Config
+	rnd     *Rand
+	rSeq    uint64
+	sSeq    uint64
+	periodN float64 // nanoseconds between consecutive tuples of one stream
+}
+
+// NewGenerator returns a deterministic Generator for cfg.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.Domain <= 0 {
+		cfg.Domain = 10000
+	}
+	if cfg.RatePerSec <= 0 {
+		cfg.RatePerSec = 1000
+	}
+	return &Generator{
+		cfg:     cfg,
+		rnd:     NewRand(cfg.Seed),
+		periodN: 1e9 / cfg.RatePerSec,
+	}
+}
+
+// NextR produces the next R tuple.
+func (g *Generator) NextR() stream.Tuple[RTuple] {
+	ts := int64(float64(g.rSeq) * g.periodN)
+	t := stream.Tuple[RTuple]{
+		Seq:  g.rSeq,
+		TS:   ts,
+		Wall: ts,
+		Home: stream.NoHome,
+		Payload: RTuple{
+			X: int32(1 + g.rnd.Intn(g.cfg.Domain)),
+			Y: float32(1 + g.rnd.Intn(g.cfg.Domain)),
+		},
+	}
+	copy(t.Payload.Z[:], "celljoin-benchmark")
+	g.rSeq++
+	return t
+}
+
+// NextS produces the next S tuple.
+func (g *Generator) NextS() stream.Tuple[STuple] {
+	ts := int64(float64(g.sSeq) * g.periodN)
+	t := stream.Tuple[STuple]{
+		Seq:  g.sSeq,
+		TS:   ts,
+		Wall: ts,
+		Home: stream.NoHome,
+		Payload: STuple{
+			A: int32(1 + g.rnd.Intn(g.cfg.Domain)),
+			B: float32(1 + g.rnd.Intn(g.cfg.Domain)),
+			C: g.rnd.Float64(),
+			D: g.rnd.Uint64()&1 == 0,
+		},
+	}
+	g.sSeq++
+	return t
+}
+
+// Batch generates n tuples of each stream.
+func (g *Generator) Batch(n int) (rs []stream.Tuple[RTuple], ss []stream.Tuple[STuple]) {
+	rs = make([]stream.Tuple[RTuple], n)
+	ss = make([]stream.Tuple[STuple], n)
+	for i := 0; i < n; i++ {
+		rs[i] = g.NextR()
+		ss[i] = g.NextS()
+	}
+	return rs, ss
+}
+
+// ExpectedHitRate returns the analytic probability that a random (r, s)
+// pair under cfg satisfies the band predicate.
+func (c Config) ExpectedHitRate() float64 {
+	d := float64(c.Domain)
+	// For each dimension, P(|u−v| ≤ 10) with u,v uniform on 1..d is
+	// approximately 21/d (exact: (21d − 110 − 10)/d² for d > 21; the
+	// approximation is what the paper's 1:250,000 figure uses).
+	p := 21.0 / d
+	return p * p
+}

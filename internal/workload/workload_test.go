@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(DefaultConfig(1000))
+	g2 := NewGenerator(DefaultConfig(1000))
+	for i := 0; i < 100; i++ {
+		a, b := g1.NextR(), g2.NextR()
+		if a != b {
+			t.Fatalf("R tuple %d differs: %+v vs %+v", i, a, b)
+		}
+		c, d := g1.NextS(), g2.NextS()
+		if c != d {
+			t.Fatalf("S tuple %d differs", i)
+		}
+	}
+}
+
+func TestGeneratorTimestampsAndSeqs(t *testing.T) {
+	g := NewGenerator(DefaultConfig(2000)) // 0.5 ms period
+	var lastTS int64 = -1
+	for i := 0; i < 50; i++ {
+		r := g.NextR()
+		if r.Seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", r.Seq, i)
+		}
+		if r.TS < lastTS {
+			t.Fatalf("timestamps regressed at %d", i)
+		}
+		lastTS = r.TS
+	}
+	if lastTS != int64(49*5e5) {
+		t.Fatalf("ts of tuple 49 = %d, want %d", lastTS, int64(49*5e5))
+	}
+}
+
+func TestAttributeDomain(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	g := NewGenerator(cfg)
+	for i := 0; i < 5000; i++ {
+		r := g.NextR()
+		if r.Payload.X < 1 || r.Payload.X > int32(cfg.Domain) {
+			t.Fatalf("X = %d outside 1..%d", r.Payload.X, cfg.Domain)
+		}
+		s := g.NextS()
+		if s.Payload.A < 1 || s.Payload.A > int32(cfg.Domain) {
+			t.Fatalf("A = %d outside domain", s.Payload.A)
+		}
+	}
+}
+
+func TestBandHitRateApproximatesPaper(t *testing.T) {
+	// The paper reports a 1:250,000 hit rate for the band join on the
+	// 1..10,000 domain. Sample random pairs and compare within noise.
+	cfg := DefaultConfig(1000)
+	g := NewGenerator(cfg)
+	rs, ss := g.Batch(3000)
+	hits := 0
+	for _, r := range rs {
+		for _, s := range ss {
+			if BandPredicate(r.Payload, s.Payload) {
+				hits++
+			}
+		}
+	}
+	got := float64(hits) / float64(len(rs)*len(ss))
+	want := cfg.ExpectedHitRate() // ≈ 4.4e-6 ≈ 1:227,000
+	if got < want/3 || got > want*3 {
+		t.Fatalf("hit rate %.2e, want within 3x of %.2e", got, want)
+	}
+	if math.Abs(want-1/250000.0) > want {
+		t.Fatalf("ExpectedHitRate %.2e too far from the paper's 1:250,000", want)
+	}
+}
+
+func TestPredicatesConsistency(t *testing.T) {
+	r := RTuple{X: 100, Y: 50}
+	if !BandPredicate(r, STuple{A: 105, B: 45}) {
+		t.Fatal("band predicate rejected in-band pair")
+	}
+	if BandPredicate(r, STuple{A: 111, B: 50}) {
+		t.Fatal("band predicate accepted out-of-band x")
+	}
+	if BandPredicate(r, STuple{A: 100, B: 61}) {
+		t.Fatal("band predicate accepted out-of-band y")
+	}
+	if !EquiPredicate(r, STuple{A: 100}) || EquiPredicate(r, STuple{A: 101}) {
+		t.Fatal("equi predicate wrong")
+	}
+	if RKey(r) != SKey(STuple{A: 100}) {
+		t.Fatal("keys of matching tuples differ")
+	}
+}
+
+func TestEquiPredicateAgreesWithKeys(t *testing.T) {
+	check := func(x, a int32) bool {
+		r, s := RTuple{X: x}, STuple{A: a}
+		return EquiPredicate(r, s) == (RKey(r) == SKey(s))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandStatistics(t *testing.T) {
+	r := NewRand(7)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+		buckets[int(f*10)]++
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		if c < n/10*8/10 || c > n/10*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform %d", i, c, n/10)
+		}
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Fatal("zero seed not replaced")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("Intn of non-positive n should be 0")
+	}
+}
