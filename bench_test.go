@@ -11,6 +11,8 @@ package handshakejoin
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"testing"
 
 	"handshakejoin/internal/core"
@@ -198,6 +200,119 @@ func BenchmarkLivePipelineThroughput(b *testing.B) {
 			b.StopTimer()
 			eng.Close()
 			b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+		})
+	}
+}
+
+// shardedBenchConfig builds the equi-join configuration the sharded
+// scaling benchmarks share: `shards` hash-partitioned pipelines of
+// totalWorkers/shards nodes each, so every variant spends the same
+// total worker budget.
+func shardedBenchConfig(totalWorkers, shards int, idx IndexKind, out func(Item[workload.RTuple, workload.STuple])) Config[workload.RTuple, workload.STuple] {
+	cfg := Config[workload.RTuple, workload.STuple]{
+		Workers:     totalWorkers / shards,
+		Shards:      shards,
+		Predicate:   workload.EquiPredicate,
+		WindowR:     Window{Count: 2048},
+		WindowS:     Window{Count: 2048},
+		Batch:       64,
+		MaxInFlight: 8,
+		Index:       idx,
+		KeyR:        workload.RKey,
+		KeyS:        workload.SKey,
+		OnOutput:    out,
+	}
+	return cfg
+}
+
+// BenchmarkShardedThroughput compares the single-pipeline engine with
+// the hash-sharded engine at equal total worker count on the equi-join
+// workload — the scaling axis the paper does not explore (it scales one
+// pipeline; sharding multiplies pipelines). cmd/llhjbench's `shard`
+// experiment runs the same comparison at larger scale and records
+// BENCH_shard.json.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const totalWorkers = 8
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, idx := range []IndexKind{ScanIndex, HashIndex} {
+			idxName := "scan"
+			if idx == HashIndex {
+				idxName = "hash"
+			}
+			name := fmt.Sprintf("shards=%d/workers=%d/index=%s", shards, totalWorkers/shards, idxName)
+			b.Run(name, func(b *testing.B) {
+				var out sink[workload.RTuple, workload.STuple]
+				eng, err := New(shardedBenchConfig(totalWorkers, shards, idx, out.add))
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := workload.NewGenerator(workload.DefaultConfig(1e6))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r := gen.NextR()
+					s := gen.NextS()
+					eng.PushR(r.Payload, r.TS)
+					eng.PushS(s.Payload, s.TS)
+				}
+				b.StopTimer()
+				eng.Close()
+				b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkShardedLatencyP99 measures the tail of the result latency
+// distribution (emit wall time minus the later input's push wall time)
+// under saturation, single-pipeline vs sharded at equal total workers.
+func BenchmarkShardedLatencyP99(b *testing.B) {
+	const totalWorkers = 8
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, totalWorkers/shards), func(b *testing.B) {
+			var mu sync.Mutex
+			var lats []int64
+			out := func(it Item[workload.RTuple, workload.STuple]) {
+				if it.Punct {
+					return
+				}
+				p := it.Result.Pair
+				in := p.R.Wall
+				if p.S.Wall > in {
+					in = p.S.Wall
+				}
+				mu.Lock()
+				lats = append(lats, it.Result.At-in)
+				mu.Unlock()
+			}
+			eng, err := New(shardedBenchConfig(totalWorkers, shards, ScanIndex, out))
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGenerator(workload.DefaultConfig(1e6))
+			// The metrics are percentiles over the result stream, not
+			// per-op times, so make sure enough tuples flow even when
+			// the harness probes with a tiny b.N.
+			n := b.N
+			if n < 50000 {
+				n = 50000
+			}
+			b.ResetTimer()
+			for i := 0; i < n; i++ {
+				r := gen.NextR()
+				s := gen.NextS()
+				eng.PushR(r.Payload, r.TS)
+				eng.PushS(s.Payload, s.TS)
+			}
+			b.StopTimer()
+			eng.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			if len(lats) == 0 {
+				b.Fatal("workload produced no results; latency undefined")
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			b.ReportMetric(float64(lats[len(lats)/2])/1e6, "p50-latency-ms")
+			b.ReportMetric(float64(lats[len(lats)*99/100])/1e6, "p99-latency-ms")
 		})
 	}
 }

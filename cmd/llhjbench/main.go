@@ -18,6 +18,9 @@
 //	fig20    LLHJ latency over time (batch 4)
 //	fig21    max sort-buffer size vs cores (punctuated ordered output)
 //	table2   throughput at max cores: HSJ, LLHJ, LLHJ+hash-index
+//	shard    live sharded vs single-pipeline equi-join scaling (-shards,
+//	         -json BENCH_shard.json) — this repository's scaling curve
+//	         beyond the paper, not a paper figure
 //	all      run everything
 //
 // Common flags: -scale, -quick, -csv (see -h).
@@ -34,9 +37,11 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "smaller parameters: faster, coarser shapes")
-	csv   = flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
-	cores = flag.String("cores", "4,8,12,16,20,24,28,32,36,40", "core counts for the scaling experiments")
+	quick      = flag.Bool("quick", false, "smaller parameters: faster, coarser shapes")
+	csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+	cores      = flag.String("cores", "4,8,12,16,20,24,28,32,36,40", "core counts for the scaling experiments")
+	shardsFlag = flag.String("shards", "1,2,4,8", "shard counts for the shard experiment (must divide the worker budget)")
+	jsonOut    = flag.String("json", "", "write the shard experiment report to this JSON file (e.g. BENCH_shard.json)")
 )
 
 func main() {
@@ -55,9 +60,10 @@ func main() {
 		"fig20":  fig20,
 		"fig21":  fig21,
 		"table2": table2,
+		"shard":  shardScaling,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2"} {
+		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := run[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "llhjbench %s: %v\n", name, err)
@@ -82,7 +88,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `llhjbench — reproduce the evaluation of "Low-Latency Handshake Join" (PVLDB 7(9), 2014)
 
-usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|all> [flags]
+usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|all> [flags]
 
 flags:
 `)

@@ -42,4 +42,44 @@
 // Everything under internal/ — the protocol state machines, the
 // discrete-event simulator used by the experiment harness, and the
 // baselines — is exercised through cmd/llhjbench and the test suite.
+//
+// # Sharding
+//
+// The paper scales one pipeline by adding cores; this repository also
+// scales across pipelines. Setting Config.Shards > 1 (LLHJ only)
+// hash-partitions both streams by join key (Config.KeyR/KeyS) over
+// that many independent pipelines of Config.Workers nodes each — New
+// then returns a ShardedEngine instead of an Engine, behind the same
+// Joiner interface.
+//
+// Sharding applies when the predicate implies key equality — a plain
+// equi-join, or any extra condition nested under it (same symbol and
+// price within a band, say). Tuples of equal keys always land in the
+// same shard, so the sharded result multiset is exactly the
+// single-pipeline one; tuples of different keys are never compared,
+// which is where the throughput multiplication comes from. Windows
+// stay global: a Count window bounds in-window tuples across all
+// shards, and expiries are routed to the shard owning each tuple.
+//
+// Ordering survives sharding. Each shard's collector punctuates from
+// its own pipeline's high-water marks; a merge stage folds the
+// per-shard punctuation streams by taking the minimum promise across
+// shards (internal/shard.Merge over internal/order.PunctFloor), and
+// the downstream sorter releases results in exact global timestamp
+// order — the same deterministic sequence for every shard count. A
+// shard that receives no traffic holds the merged punctuation back;
+// Close releases everything still buffered, in order.
+//
+// The sharded driver, unlike the single-pipeline Engine, accepts
+// PushR/PushS from concurrent goroutines: each side is serialized
+// internally, then fans out to the owning shard with only a key hash
+// on the hot path.
+//
+// Window boundaries remain batch-granular, and the granularity grows
+// with the fan-out: each shard flushes after collecting Batch of its
+// own tuples, so boundaries blur by up to Shards*Batch tuples of the
+// global stream. Keep windows much larger than Shards*Batch (and than
+// Shards*Batch*MaxInFlight, which bounds the in-flight volume expiries
+// must never race) — the same windows-dominate-batching regime the
+// paper's single pipeline assumes.
 package handshakejoin

@@ -2,87 +2,76 @@ package handshakejoin
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"handshakejoin/internal/clock"
 	"handshakejoin/internal/collect"
 	"handshakejoin/internal/core"
 	"handshakejoin/internal/hsj"
 	"handshakejoin/internal/order"
-	"handshakejoin/internal/pipeline"
+	"handshakejoin/internal/shard"
 	"handshakejoin/internal/stream"
 )
 
-// Engine is a running stream-join pipeline: Workers node goroutines, a
-// collector goroutine, and a driver embodied by the PushR/PushS calls.
+// Engine is a running single-pipeline stream join: Workers node
+// goroutines, a collector goroutine, and a driver embodied by the
+// PushR/PushS calls.
 //
 // Tuples of each stream must be pushed in non-decreasing timestamp
 // order (the punctuation mechanism relies on monotonic streams). PushR,
 // PushS, Tick and Close must be called from a single goroutine; the
-// OnOutput callback runs on the collector goroutine.
+// OnOutput callback runs on the collector goroutine. For a driver that
+// accepts concurrent pushes, see ShardedEngine (Config.Shards).
 type Engine[L, RT any] struct {
-	cfg Config[L, RT]
-	lv  *pipeline.Live[L, RT]
+	lane *shard.Lane[L, RT]
+	clk  clock.Clock
 
 	rSeq, sSeq uint64
 	rLastTS    int64
 	sLastTS    int64
-	rBatch     []stream.Tuple[L]
-	sBatch     []stream.Tuple[RT]
-	rExp, sExp expiryQueue // pending time/count expiries per side
 	rWin, sWin windowTracker
 
-	collector *collect.Collector[L, RT]
-	sorter    *order.Sorter[L, RT]
-	wg        sync.WaitGroup
-	closed    bool
-}
-
-// expiryQueue holds (seq, due) pairs in due order.
-type expiryQueue []expiryEntry
-
-type expiryEntry struct {
-	seq uint64
-	due int64
+	sorter *order.Sorter[L, RT]
+	closed bool
 }
 
 // windowTracker turns one stream's arrivals into expiry entries
-// according to the window specification.
+// according to the window specification. Each arrival is attributed to
+// the lane (shard) that received the tuple, so count-bound expiries
+// can be routed back to the lane owning the overflowed tuple. The
+// expire callback receives (lane, seq, due, counted); with both bounds
+// active a tuple is scheduled once per bound and the lane's expiry
+// queue deduplicates (earliest due wins).
 type windowTracker struct {
 	spec     Window
-	inWindow []uint64
+	inWindow []windowEntry
 }
 
-func (w *windowTracker) onArrival(seq uint64, ts int64, out *expiryQueue) {
+type windowEntry struct {
+	seq  uint64
+	lane int
+}
+
+func (w *windowTracker) onArrival(seq uint64, ts int64, lane int, expire func(lane int, seq uint64, due int64, counted bool)) {
 	if w.spec.Duration > 0 {
-		*out = append(*out, expiryEntry{seq: seq, due: ts + int64(w.spec.Duration)})
+		expire(lane, seq, ts+int64(w.spec.Duration), false)
 	}
 	if c := w.spec.Count; c > 0 {
-		w.inWindow = append(w.inWindow, seq)
+		w.inWindow = append(w.inWindow, windowEntry{seq: seq, lane: lane})
 		for len(w.inWindow) > c {
-			*out = append(*out, expiryEntry{seq: w.inWindow[0], due: ts})
+			e := w.inWindow[0]
 			w.inWindow = w.inWindow[1:]
+			expire(e.lane, e.seq, ts, true)
 		}
 	}
 }
 
-// popDue removes and returns the seqs of all entries due at or before t.
-func (q *expiryQueue) popDue(t int64) []uint64 {
-	var seqs []uint64
-	for len(*q) > 0 && (*q)[0].due <= t {
-		seqs = append(seqs, (*q)[0].seq)
-		*q = (*q)[1:]
-	}
-	return seqs
-}
+// dualBound reports whether the window needs exactly-once expiry
+// deduplication (both bounds schedule every tuple).
+func (w Window) dualBound() bool { return w.Duration > 0 && w.Count > 0 }
 
-// New builds and starts an Engine.
-func New[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	var build core.Builder[L, RT]
+// builderFor translates the public configuration into the node logic
+// builder of the selected algorithm.
+func builderFor[L, RT any](cfg *Config[L, RT]) (core.Builder[L, RT], error) {
 	switch cfg.Algorithm {
 	case LLHJ:
 		ccfg := &core.Config[L, RT]{
@@ -93,7 +82,7 @@ func New[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 			KeyS:  cfg.KeyS,
 			Band:  cfg.Band,
 		}
-		build = func(k int) core.NodeLogic[L, RT] { return core.NewNode(ccfg, k) }
+		return func(k int) core.NodeLogic[L, RT] { return core.NewNode(ccfg, k) }, nil
 	case HSJ:
 		hcfg := &hsj.Config[L, RT]{
 			Nodes: cfg.Workers,
@@ -101,44 +90,64 @@ func New[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 			CapR:  windowCapacity(cfg.WindowR, cfg.ExpectedRate),
 			CapS:  windowCapacity(cfg.WindowS, cfg.ExpectedRate),
 		}
-		build = func(k int) core.NodeLogic[L, RT] { return hsj.NewNode(hcfg, k) }
+		return func(k int) core.NodeLogic[L, RT] { return hsj.NewNode(hcfg, k) }, nil
 	default:
 		return nil, fmt.Errorf("handshakejoin: unknown algorithm %v", cfg.Algorithm)
 	}
+}
 
+// laneConfig translates the public configuration into the per-lane
+// driver configuration.
+func laneConfig[L, RT any](cfg *Config[L, RT], clk clock.Clock, punctuate bool) shard.LaneConfig {
+	return shard.LaneConfig{
+		Workers:       cfg.Workers,
+		Batch:         cfg.Batch,
+		MaxInFlight:   cfg.MaxInFlight,
+		CollectPeriod: cfg.CollectPeriod,
+		Punctuate:     punctuate,
+		Clock:         clk,
+		DedupeR:       cfg.WindowR.dualBound(),
+		DedupeS:       cfg.WindowS.dualBound(),
+	}
+}
+
+// sortedOutput wraps the user callback with the downstream sorting
+// operator of §6.2: results are buffered and released in timestamp
+// order on punctuations, and punctuations are forwarded after their
+// release so downstream consumers keep the ordering guarantee. It
+// returns the wrapped callback and the sorter (for Flush and stats).
+func sortedOutput[L, RT any](final func(Item[L, RT])) (func(Item[L, RT]), *order.Sorter[L, RT]) {
+	sorter := order.NewSorter(func(r Result[L, RT]) {
+		final(Item[L, RT]{Result: r})
+	})
+	return func(it Item[L, RT]) {
+		sorter.Push(it)
+		if it.Punct {
+			final(it)
+		}
+	}, sorter
+}
+
+// newEngine builds and starts a single-pipeline Engine from a
+// validated configuration.
+func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
+	build, err := builderFor(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine[L, RT]{
-		cfg:     cfg,
+		clk:     clock.NewWall(),
 		rLastTS: -1 << 62,
 		sLastTS: -1 << 62,
 		rWin:    windowTracker{spec: cfg.WindowR},
 		sWin:    windowTracker{spec: cfg.WindowS},
 	}
-	e.lv = pipeline.NewLive(cfg.Workers, build, clock.NewWall(), pipeline.LiveConfig{DepthCap: cfg.MaxInFlight})
-
 	out := cfg.OnOutput
 	if cfg.Ordered {
-		final := cfg.OnOutput
-		e.sorter = order.NewSorter(func(r Result[L, RT]) {
-			final(Item[L, RT]{Result: r})
-		})
-		out = func(it Item[L, RT]) {
-			e.sorter.Push(it)
-			if it.Punct {
-				// Forward the punctuation after its release so
-				// downstream consumers keep the ordering guarantee.
-				final(it)
-			}
-		}
+		out, e.sorter = sortedOutput(cfg.OnOutput)
 	}
-	e.collector = collect.New(e.lv.ResultQueues(), func() (int64, int64) {
-		return e.lv.HWMR(), e.lv.HWMS()
-	}, out, collect.Config{Punctuate: cfg.Punctuate})
-
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		e.collector.Run(func() { time.Sleep(cfg.CollectPeriod) })
-	}()
+	e.lane = shard.NewLane(laneConfig(&cfg, e.clk, cfg.Punctuate), build,
+		func(it collect.Item[L, RT]) { out(it) })
 	return e, nil
 }
 
@@ -168,13 +177,12 @@ func (e *Engine[L, RT]) PushR(payload L, ts int64) error {
 		return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", ts, e.rLastTS)
 	}
 	e.rLastTS = ts
-	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: clockNow(), Home: stream.NoHome, Payload: payload}
+	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.rSeq++
-	e.rWin.onArrival(t.Seq, ts, &e.rExp)
-	e.rBatch = append(e.rBatch, t)
-	if len(e.rBatch) >= e.cfg.Batch {
-		e.flushR()
-	}
+	e.rWin.onArrival(t.Seq, ts, 0, func(_ int, seq uint64, due int64, counted bool) {
+		e.lane.QueueExpiry(stream.R, seq, due, counted)
+	})
+	e.lane.PushR(t)
 	return nil
 }
 
@@ -187,47 +195,13 @@ func (e *Engine[L, RT]) PushS(payload RT, ts int64) error {
 		return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", ts, e.sLastTS)
 	}
 	e.sLastTS = ts
-	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: clockNow(), Home: stream.NoHome, Payload: payload}
+	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.sSeq++
-	e.sWin.onArrival(t.Seq, ts, &e.sExp)
-	e.sBatch = append(e.sBatch, t)
-	if len(e.sBatch) >= e.cfg.Batch {
-		e.flushS()
-	}
+	e.sWin.onArrival(t.Seq, ts, 0, func(_ int, seq uint64, due int64, counted bool) {
+		e.lane.QueueExpiry(stream.S, seq, due, counted)
+	})
+	e.lane.PushS(t)
 	return nil
-}
-
-var engineEpoch = time.Now()
-
-func clockNow() int64 { return int64(time.Since(engineEpoch)) }
-
-// flushR injects pending S expiries (left end, so that R tuples behind
-// them no longer join the expired S tuples) followed by the buffered R
-// batch.
-func (e *Engine[L, RT]) flushR() {
-	if len(e.rBatch) == 0 {
-		return
-	}
-	due := e.rBatch[len(e.rBatch)-1].TS
-	if seqs := e.sExp.popDue(due); len(seqs) > 0 {
-		e.lv.Inject(pipeline.LeftEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
-	}
-	e.lv.Inject(pipeline.LeftEnd, core.Msg[L, RT]{Kind: core.KindArrival, Side: stream.R, R: e.rBatch})
-	e.rBatch = nil
-}
-
-// flushS injects pending R expiries (right end) followed by the
-// buffered S batch.
-func (e *Engine[L, RT]) flushS() {
-	if len(e.sBatch) == 0 {
-		return
-	}
-	due := e.sBatch[len(e.sBatch)-1].TS
-	if seqs := e.rExp.popDue(due); len(seqs) > 0 {
-		e.lv.Inject(pipeline.RightEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
-	}
-	e.lv.Inject(pipeline.RightEnd, core.Msg[L, RT]{Kind: core.KindArrival, Side: stream.S, S: e.sBatch})
-	e.sBatch = nil
 }
 
 // Tick advances stream time to ts without submitting a tuple: partial
@@ -242,15 +216,7 @@ func (e *Engine[L, RT]) Tick(ts int64) {
 	if e.closed {
 		return
 	}
-	e.flushR()
-	e.flushS()
-	e.lv.Quiesce()
-	if seqs := e.sExp.popDue(ts); len(seqs) > 0 {
-		e.lv.Inject(pipeline.LeftEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
-	}
-	if seqs := e.rExp.popDue(ts); len(seqs) > 0 {
-		e.lv.Inject(pipeline.RightEnd, core.Msg[L, RT]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
-	}
+	e.lane.Tick(ts)
 }
 
 // Close flushes buffered batches, waits for the pipeline to quiesce,
@@ -261,11 +227,7 @@ func (e *Engine[L, RT]) Close() error {
 		return nil
 	}
 	e.closed = true
-	e.flushR()
-	e.flushS()
-	e.lv.Quiesce()
-	e.lv.Stop()
-	e.wg.Wait() // collector drains the closed queues, then exits
+	e.lane.Close()
 	if e.sorter != nil {
 		e.sorter.Flush()
 	}
@@ -274,12 +236,12 @@ func (e *Engine[L, RT]) Close() error {
 
 // Stats returns run counters; call after Close for exact values.
 func (e *Engine[L, RT]) Stats() Stats {
-	agg := e.lv.Stats()
+	agg := e.lane.PipelineStats()
 	st := Stats{
 		RIn:             e.rSeq,
 		SIn:             e.sSeq,
-		Results:         e.collector.Collected(),
-		Punctuations:    e.collector.Punctuations(),
+		Results:         e.lane.Collected(),
+		Punctuations:    e.lane.Punctuations(),
 		Comparisons:     agg.Comparisons,
 		PendingExpiries: agg.PendingExpiries,
 	}

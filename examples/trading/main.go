@@ -5,6 +5,12 @@
 // punctuated, strictly ordered output so a downstream strategy sees
 // events in timestamp order.
 //
+// The join is symbol-sharded: the predicate only matches ticks of the
+// same symbol, so the engine hash-partitions both streams by symbol
+// across four independent pipelines (Config.Shards) — and the merged
+// output is still in exact global timestamp order, because per-shard
+// punctuation streams are folded into a global guarantee.
+//
 //	go run ./examples/trading
 package main
 
@@ -35,9 +41,13 @@ func main() {
 	monotonic := true
 
 	eng, err := handshakejoin.New(handshakejoin.Config[Trade, Quote]{
-		Workers: 6,
+		Workers: 2, // per shard; 4 shards * 2 workers = 8 nodes total
+		Shards:  4, // hash-partition both tick streams by symbol
+		KeyR:    func(t Trade) uint64 { return uint64(t.Sym) },
+		KeyS:    func(q Quote) uint64 { return uint64(q.Sym) },
 		// A trade "crosses" a quote when it executes at or below a
 		// recent bid for the same symbol — a simple anomaly signal.
+		// The symbol equality makes the predicate shardable.
 		Predicate: func(t Trade, q Quote) bool {
 			return t.Sym == q.Sym && t.Px <= q.Bid
 		},
@@ -92,6 +102,7 @@ func main() {
 	fmt.Printf("\n%d anomalies in order, %d punctuations, monotonic=%v\n", ordered, puncts, monotonic)
 	fmt.Printf("sort buffer peaked at %d results (Figure 21's quantity: thousands, not millions)\n",
 		st.MaxSortBuffer)
+	fmt.Printf("results per symbol shard: %v\n", st.ShardResults)
 	if !monotonic {
 		log.Fatal("output order violated — punctuation bug")
 	}

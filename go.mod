@@ -1,0 +1,3 @@
+module handshakejoin
+
+go 1.24

@@ -85,14 +85,22 @@ type Window struct {
 
 func (w Window) valid() bool { return w.Duration > 0 || w.Count > 0 }
 
-// Config parameterizes an Engine joining payloads of type L (stream R)
+// Config parameterizes an engine joining payloads of type L (stream R)
 // and RT (stream S).
 type Config[L, RT any] struct {
 	// Algorithm selects the operator; default LLHJ.
 	Algorithm Algorithm
 	// Workers is the pipeline length in processing nodes (the paper's
-	// "cores"). Default 4.
+	// "cores"). With Shards > 1 it is the length of each shard's
+	// pipeline, so the total worker count is Shards*Workers. Default 4.
 	Workers int
+	// Shards > 1 hash-partitions both streams by join key across that
+	// many independent LLHJ pipelines (see ShardedEngine). It requires
+	// KeyR/KeyS and a predicate that implies key equality — tuples
+	// whose keys differ are never compared, because they are routed to
+	// (potentially) different shards. 0 or 1 selects the classic
+	// single-pipeline Engine. LLHJ only.
+	Shards int
 	// Predicate is the join condition p(r, s). Required.
 	Predicate func(L, RT) bool
 	// WindowR and WindowS define the sliding windows. Required.
@@ -178,10 +186,55 @@ func (c *Config[L, RT]) validate() error {
 	if c.Index != ScanIndex && (c.KeyR == nil || c.KeyS == nil) {
 		return fmt.Errorf("handshakejoin: Index requires KeyR and KeyS")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("handshakejoin: Shards must be >= 0, got %d", c.Shards)
+	}
+	if c.Shards > 1 {
+		if c.Algorithm != LLHJ {
+			return fmt.Errorf("handshakejoin: sharding requires the LLHJ algorithm")
+		}
+		if c.KeyR == nil || c.KeyS == nil {
+			return fmt.Errorf("handshakejoin: Shards > 1 requires KeyR and KeyS")
+		}
+	}
 	if c.Ordered {
 		c.Punctuate = true
 	}
 	return nil
+}
+
+// Joiner is the driver interface shared by the single-pipeline Engine
+// and the hash-sharded ShardedEngine; New returns whichever Config
+// selects. Push tuples in non-decreasing timestamp order per stream;
+// results (and, when enabled, punctuations) arrive on the OnOutput
+// callback.
+type Joiner[L, RT any] interface {
+	// PushR submits an R tuple with the given timestamp (nanoseconds,
+	// any monotonic origin).
+	PushR(payload L, ts int64) error
+	// PushS submits an S tuple.
+	PushS(payload RT, ts int64) error
+	// Tick advances stream time without submitting a tuple, so windows
+	// keep sliding on idle streams.
+	Tick(ts int64)
+	// Close flushes, stops all goroutines and releases remaining
+	// ordered output.
+	Close() error
+	// Stats returns run counters; call after Close for exact values.
+	Stats() Stats
+}
+
+// New builds and starts the engine selected by cfg: a single-pipeline
+// Engine, or — when cfg.Shards > 1 — a ShardedEngine fanning out over
+// hash-partitioned pipelines.
+func New[L, RT any](cfg Config[L, RT]) (Joiner[L, RT], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return newSharded(cfg)
+	}
+	return newEngine(cfg)
 }
 
 // Stats summarizes an engine run.
@@ -201,4 +254,8 @@ type Stats struct {
 	// tuple; non-zero values indicate the window is shorter than the
 	// pipeline transit time.
 	PendingExpiries uint64
+	// ShardResults counts results per shard (ShardedEngine only; nil
+	// for single-pipeline engines). Skew across entries reveals key
+	// distributions the partitioner cannot balance.
+	ShardResults []uint64
 }

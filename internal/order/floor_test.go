@@ -1,0 +1,52 @@
+package order
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPunctFloorAdvancesOnMin(t *testing.T) {
+	f := NewPunctFloor(3)
+	if f.Floor() != math.MinInt64 {
+		t.Fatalf("initial floor = %d", f.Floor())
+	}
+	if _, adv := f.Advance(0, 10); adv {
+		t.Fatal("floor advanced before every source punctuated")
+	}
+	if _, adv := f.Advance(1, 20); adv {
+		t.Fatal("floor advanced before every source punctuated")
+	}
+	floor, adv := f.Advance(2, 5)
+	if !adv || floor != 5 {
+		t.Fatalf("floor = %d advanced=%v, want 5 true", floor, adv)
+	}
+	// Raising a non-minimum source does not advance the floor.
+	if floor, adv := f.Advance(0, 30); adv {
+		t.Fatalf("floor advanced to %d on non-min source", floor)
+	}
+	// Raising the minimum source advances to the new minimum.
+	floor, adv = f.Advance(2, 25)
+	if !adv || floor != 20 {
+		t.Fatalf("floor = %d advanced=%v, want 20 true", floor, adv)
+	}
+}
+
+func TestPunctFloorMonotonicAndIdempotent(t *testing.T) {
+	f := NewPunctFloor(2)
+	f.Advance(0, 100)
+	f.Advance(1, 50)
+	// Stale and repeated punctuations never move the floor backwards.
+	for _, tp := range []int64{50, 40, 10} {
+		if floor, adv := f.Advance(1, tp); adv || floor != 50 {
+			t.Fatalf("Advance(1, %d) -> floor %d advanced=%v", tp, floor, adv)
+		}
+	}
+	prev := f.Floor()
+	for i := int64(0); i < 100; i++ {
+		floor, _ := f.Advance(int(i)%2, 60+i)
+		if floor < prev {
+			t.Fatalf("floor regressed: %d after %d", floor, prev)
+		}
+		prev = floor
+	}
+}

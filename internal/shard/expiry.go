@@ -1,0 +1,95 @@
+package shard
+
+// ExpiryEntry schedules the removal of one tuple: the tuple leaves the
+// window as soon as stream time reaches Due.
+type ExpiryEntry struct {
+	Seq uint64
+	Due int64
+}
+
+// ExpiryQueue holds the pending expiries of one stream side of one
+// pipeline. Duration-bound and count-bound expiries are kept in
+// separate queues because each is non-decreasing in Due on its own
+// (timestamps are monotonic per stream) but their interleaving is not;
+// PopDue drains both.
+//
+// When a window combines a Duration and a Count bound, every tuple is
+// scheduled twice — once per bound — and must still expire exactly
+// once (a second expiry for the same sequence number would register at
+// the pipeline as a pending expiry and pollute the stats). A queue
+// constructed with dedupe tracks seen sequence numbers so whichever
+// bound fires first wins and the later entry is dropped.
+type ExpiryQueue struct {
+	dur, cnt []ExpiryEntry
+	seen     map[uint64]struct{}
+}
+
+// NewExpiryQueue returns an empty queue. Pass dedupe when both window
+// bounds are active, so each tuple expires exactly once.
+func NewExpiryQueue(dedupe bool) *ExpiryQueue {
+	q := &ExpiryQueue{}
+	if dedupe {
+		q.seen = map[uint64]struct{}{}
+	}
+	return q
+}
+
+// PushDur schedules a duration-bound expiry. Calls must carry
+// non-decreasing due times.
+func (q *ExpiryQueue) PushDur(seq uint64, due int64) {
+	q.dur = append(q.dur, ExpiryEntry{Seq: seq, Due: due})
+}
+
+// PushCnt schedules a count-bound expiry. Calls must carry
+// non-decreasing due times.
+func (q *ExpiryQueue) PushCnt(seq uint64, due int64) {
+	q.cnt = append(q.cnt, ExpiryEntry{Seq: seq, Due: due})
+}
+
+// PopDue removes and returns the sequence numbers of all entries due
+// at or before t, each at most once across the queue's lifetime.
+//
+// injectedBelow is the exclusive upper bound of sequence numbers whose
+// arrival has already been injected into the pipeline: an expiry whose
+// tuple is still sitting in a driver batch buffer stays queued, so an
+// expiry message can never overtake its own tuple at the pipeline
+// entry (the pending-expiry pathology). Entries within each queue
+// carry non-decreasing sequence numbers as well as due times (both
+// follow arrival order), so holding back the head holds back only
+// tuples that are equally uninjected.
+func (q *ExpiryQueue) PopDue(t int64, injectedBelow uint64) []uint64 {
+	var seqs []uint64
+	for len(q.dur) > 0 && q.dur[0].Due <= t && q.dur[0].Seq < injectedBelow {
+		if q.take(q.dur[0].Seq) {
+			seqs = append(seqs, q.dur[0].Seq)
+		}
+		q.dur = q.dur[1:]
+	}
+	for len(q.cnt) > 0 && q.cnt[0].Due <= t && q.cnt[0].Seq < injectedBelow {
+		if q.take(q.cnt[0].Seq) {
+			seqs = append(seqs, q.cnt[0].Seq)
+		}
+		q.cnt = q.cnt[1:]
+	}
+	return seqs
+}
+
+// take reports whether seq should be emitted. With dedupe on, the
+// first of the two scheduled entries per tuple emits and the second is
+// consumed silently (clearing the bookkeeping, since no third entry
+// can exist).
+func (q *ExpiryQueue) take(seq uint64) bool {
+	if q.seen == nil {
+		return true
+	}
+	if _, dup := q.seen[seq]; dup {
+		delete(q.seen, seq)
+		return false
+	}
+	q.seen[seq] = struct{}{}
+	return true
+}
+
+// Len returns the number of queued entries (including entries that
+// dedupe will drop).
+func (q *ExpiryQueue) Len() int { return len(q.dur) + len(q.cnt) }

@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"handshakejoin/internal/clock"
+	"handshakejoin/internal/collect"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/pipeline"
+	"handshakejoin/internal/stream"
+)
+
+// LaneConfig parameterizes a Lane. All fields are required (the engine
+// layer applies defaults before construction).
+type LaneConfig struct {
+	// Workers is the pipeline length of this lane.
+	Workers int
+	// Batch is the driver batch size.
+	Batch int
+	// MaxInFlight bounds the messages in flight inside this lane's
+	// pipeline.
+	MaxInFlight int
+	// CollectPeriod is the collector vacuum interval.
+	CollectPeriod time.Duration
+	// Punctuate enables punctuation generation on this lane's collector.
+	Punctuate bool
+	// Clock stamps results; sharded engines share one clock across
+	// lanes so latencies are comparable.
+	Clock clock.Clock
+	// DedupeR / DedupeS enable exactly-once expiry per tuple on the
+	// respective side (needed when that window combines Duration and
+	// Count bounds).
+	DedupeR, DedupeS bool
+}
+
+// Lane is one shard of a sharded engine — or the single pipeline of an
+// unsharded one: the per-pipeline driver state (batch buffers and
+// expiry queues), one live pipeline, and its collector goroutine.
+//
+// All driver entry points are serialized by an internal mutex, so a
+// Lane may be fed concurrently from both stream sides; the fan-out
+// engine above it only has to route tuples and expiries to the right
+// lane.
+type Lane[L, R any] struct {
+	cfg  LaneConfig
+	lv   *pipeline.Live[L, R]
+	coll *collect.Collector[L, R]
+	wg   sync.WaitGroup
+
+	mu         sync.Mutex
+	rBatch     []stream.Tuple[L]
+	sBatch     []stream.Tuple[R]
+	rExp, sExp *ExpiryQueue
+	rInj, sInj uint64 // exclusive seq high-water mark of injected arrivals
+}
+
+// NewLane builds a lane and starts its pipeline and collector
+// goroutines. Output items are delivered to out from the lane's
+// collector goroutine.
+func NewLane[L, R any](cfg LaneConfig, build core.Builder[L, R], out func(collect.Item[L, R])) *Lane[L, R] {
+	l := &Lane[L, R]{
+		cfg:  cfg,
+		rExp: NewExpiryQueue(cfg.DedupeR),
+		sExp: NewExpiryQueue(cfg.DedupeS),
+	}
+	l.lv = pipeline.NewLive(cfg.Workers, build, cfg.Clock, pipeline.LiveConfig{DepthCap: cfg.MaxInFlight})
+	l.coll = collect.New(l.lv.ResultQueues(), func() (int64, int64) {
+		return l.lv.HWMR(), l.lv.HWMS()
+	}, out, collect.Config{Punctuate: cfg.Punctuate})
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.coll.Run(func() { time.Sleep(cfg.CollectPeriod) })
+	}()
+	return l
+}
+
+// PushR submits one R tuple; a full batch is flushed into the
+// pipeline.
+func (l *Lane[L, R]) PushR(t stream.Tuple[L]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rBatch = append(l.rBatch, t)
+	if len(l.rBatch) >= l.cfg.Batch {
+		l.flushR()
+	}
+}
+
+// PushS submits one S tuple.
+func (l *Lane[L, R]) PushS(t stream.Tuple[R]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sBatch = append(l.sBatch, t)
+	if len(l.sBatch) >= l.cfg.Batch {
+		l.flushS()
+	}
+}
+
+// QueueExpiry schedules the removal of tuple seq of the given side at
+// stream time due. counted marks a count-bound (as opposed to
+// duration-bound) expiry. Due times must be non-decreasing per
+// (side, counted) pair — which routing monotonic streams guarantees.
+func (l *Lane[L, R]) QueueExpiry(side stream.Side, seq uint64, due int64, counted bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.rExp
+	if side == stream.S {
+		q = l.sExp
+	}
+	if counted {
+		q.PushCnt(seq, due)
+	} else {
+		q.PushDur(seq, due)
+	}
+}
+
+// flushR injects pending S expiries (left end, so that R tuples behind
+// them no longer join the expired S tuples) followed by the buffered R
+// batch. Callers hold l.mu.
+func (l *Lane[L, R]) flushR() {
+	if len(l.rBatch) == 0 {
+		return
+	}
+	due := l.rBatch[len(l.rBatch)-1].TS
+	if seqs := l.sExp.PopDue(due, l.sInj); len(seqs) > 0 {
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+	}
+	l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.R, R: l.rBatch})
+	l.rInj = l.rBatch[len(l.rBatch)-1].Seq + 1
+	l.rBatch = nil
+}
+
+// flushS injects pending R expiries (right end) followed by the
+// buffered S batch. Callers hold l.mu.
+func (l *Lane[L, R]) flushS() {
+	if len(l.sBatch) == 0 {
+		return
+	}
+	due := l.sBatch[len(l.sBatch)-1].TS
+	if seqs := l.rExp.PopDue(due, l.rInj); len(seqs) > 0 {
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+	}
+	l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.S, S: l.sBatch})
+	l.sInj = l.sBatch[len(l.sBatch)-1].Seq + 1
+	l.sBatch = nil
+}
+
+// Tick advances stream time to ts without submitting a tuple: partial
+// batches are flushed, the pipeline settles, and expiries due by ts
+// are injected, so windows keep sliding on an idle shard.
+func (l *Lane[L, R]) Tick(ts int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flushR()
+	l.flushS()
+	l.lv.Quiesce()
+	if seqs := l.sExp.PopDue(ts, l.sInj); len(seqs) > 0 {
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+	}
+	if seqs := l.rExp.PopDue(ts, l.rInj); len(seqs) > 0 {
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+	}
+}
+
+// Close flushes buffered batches, waits for the pipeline to quiesce,
+// and stops the node and collector goroutines. The lane cannot be
+// reused afterwards; the engine layer guards against further pushes.
+func (l *Lane[L, R]) Close() {
+	l.mu.Lock()
+	l.flushR()
+	l.flushS()
+	l.mu.Unlock()
+	l.lv.Quiesce()
+	l.lv.Stop()
+	l.wg.Wait() // collector drains the closed queues, then exits
+}
+
+// PipelineStats aggregates this lane's node counters; exact after
+// Close or Tick.
+func (l *Lane[L, R]) PipelineStats() core.Stats { return l.lv.Stats() }
+
+// Collected returns the number of results this lane's collector
+// assembled.
+func (l *Lane[L, R]) Collected() uint64 { return l.coll.Collected() }
+
+// Punctuations returns the number of punctuations this lane emitted.
+func (l *Lane[L, R]) Punctuations() uint64 { return l.coll.Punctuations() }

@@ -1,0 +1,47 @@
+// Package shard implements the building blocks of the hash-sharded
+// engine layer: a key Partitioner, the per-pipeline driver Lane (batch
+// buffers, expiry queues, one live pipeline plus its collector), and
+// the punctuation-aware Merge that folds per-shard output streams into
+// a single, globally punctuated stream.
+//
+// Sharding multiplies the throughput of an equi-join by running N
+// independent low-latency handshake join pipelines side by side: every
+// tuple is routed to the pipeline owning its join key, so tuples that
+// could ever join always meet in the same pipeline. Each pipeline keeps
+// the latency and punctuation guarantees of the single-pipeline
+// operator; Merge restores a global punctuation guarantee by tracking
+// the minimum punctuation high-water mark across shards.
+package shard
+
+// mix is the splitmix64 finalizer — a full-avalanche mixer so that
+// join keys drawn from small or structured domains (symbol ids,
+// sensor numbers) still spread evenly across shards.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Partitioner maps join keys to shard indices. It is a pure value:
+// copies partition identically, and the mapping is stable for the life
+// of an engine (tuples of equal keys always share a shard).
+type Partitioner struct {
+	shards uint64
+}
+
+// NewPartitioner returns a Partitioner over n shards. n must be >= 1.
+func NewPartitioner(n int) Partitioner {
+	if n < 1 {
+		panic("shard: Partitioner needs >= 1 shard")
+	}
+	return Partitioner{shards: uint64(n)}
+}
+
+// Shards returns the shard count.
+func (p Partitioner) Shards() int { return int(p.shards) }
+
+// Of returns the shard owning the given join key.
+func (p Partitioner) Of(key uint64) int { return int(mix(key) % p.shards) }

@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"testing"
+
+	"handshakejoin/internal/collect"
+)
+
+func TestPartitionerDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 13} {
+		p := NewPartitioner(n)
+		if p.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", p.Shards(), n)
+		}
+		for key := uint64(0); key < 1000; key++ {
+			s := p.Of(key)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d key=%d: shard %d out of range", n, key, s)
+			}
+			if s != p.Of(key) {
+				t.Fatalf("n=%d key=%d: non-deterministic", n, key)
+			}
+		}
+	}
+}
+
+func TestPartitionerBalancesSequentialKeys(t *testing.T) {
+	// Join keys are often small sequential ints (symbols, sensor ids);
+	// the mixer must spread them evenly anyway.
+	const n, keys = 8, 8000
+	p := NewPartitioner(n)
+	counts := make([]int, n)
+	for key := uint64(0); key < keys; key++ {
+		counts[p.Of(key)]++
+	}
+	want := keys / n
+	for s, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("shard %d holds %d of %d keys (want ~%d)", s, c, keys, want)
+		}
+	}
+}
+
+func TestExpiryQueuePopsInDueOrder(t *testing.T) {
+	q := NewExpiryQueue(false)
+	q.PushDur(1, 10)
+	q.PushDur(2, 20)
+	q.PushCnt(3, 15)
+	if got := q.PopDue(5, 100); len(got) != 0 {
+		t.Fatalf("PopDue(5) = %v", got)
+	}
+	got := q.PopDue(15, 100)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("PopDue(15) = %v, want [1 3]", got)
+	}
+	if got := q.PopDue(100, 100); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("PopDue(100) = %v, want [2]", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d entries left", q.Len())
+	}
+}
+
+func TestExpiryQueueDedupeExactlyOnce(t *testing.T) {
+	// Dual-bound windows schedule every tuple twice; whichever bound
+	// fires first must win, and the later entry must vanish silently.
+	q := NewExpiryQueue(true)
+	q.PushDur(7, 100) // duration bound, later
+	q.PushCnt(7, 30)  // count bound fires first
+	if got := q.PopDue(30, 100); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("PopDue(30) = %v, want [7]", got)
+	}
+	if got := q.PopDue(200, 100); len(got) != 0 {
+		t.Fatalf("duplicate expiry emitted: %v", got)
+	}
+	if len(q.seen) != 0 {
+		t.Fatalf("dedupe bookkeeping leaked: %v", q.seen)
+	}
+
+	// And the other way around: duration first, count later.
+	q.PushDur(8, 40)
+	q.PushCnt(8, 60)
+	if got := q.PopDue(50, 100); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("PopDue(50) = %v, want [8]", got)
+	}
+	if got := q.PopDue(80, 100); len(got) != 0 {
+		t.Fatalf("duplicate expiry emitted: %v", got)
+	}
+}
+
+func TestExpiryQueueHoldsBackUninjectedTuples(t *testing.T) {
+	// An expiry must never be released before its tuple's arrival has
+	// been injected — otherwise the expiry message overtakes the tuple
+	// at the pipeline entry and the tuple is dropped on arrival.
+	q := NewExpiryQueue(false)
+	q.PushCnt(5, 10)
+	if got := q.PopDue(50, 5); len(got) != 0 {
+		t.Fatalf("expiry for uninjected tuple released: %v", got)
+	}
+	if got := q.PopDue(50, 6); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("PopDue after injection = %v, want [5]", got)
+	}
+}
+
+type item = collect.Item[int, int]
+
+func punct(ts int64) item { return item{Punct: true, TS: ts} }
+
+func result() item { return item{} } // zero-value Result, Punct = false
+
+func TestMergeGlobalPunctuationIsMinOverShards(t *testing.T) {
+	var got []item
+	m := NewMerge[int, int](2, func(it item) { got = append(got, it) })
+
+	m.FromShard(0, punct(10))
+	if len(got) != 0 {
+		t.Fatal("merged punctuation before every shard punctuated")
+	}
+	m.FromShard(1, punct(4))
+	if len(got) != 1 || !got[0].Punct || got[0].TS != 4 {
+		t.Fatalf("got %+v, want punct 4", got)
+	}
+	// Shard 1 catches up: floor moves to shard 0's promise.
+	m.FromShard(1, punct(25))
+	if len(got) != 2 || got[1].TS != 10 {
+		t.Fatalf("got %+v, want punct 10", got)
+	}
+	// Stale punctuation from shard 0 changes nothing.
+	m.FromShard(0, punct(10))
+	if len(got) != 2 {
+		t.Fatalf("stale punctuation emitted: %+v", got[len(got)-1])
+	}
+	if m.Punctuations() != 2 {
+		t.Fatalf("Punctuations() = %d, want 2", m.Punctuations())
+	}
+}
+
+func TestMergeCountsResultsPerShard(t *testing.T) {
+	var results int
+	m := NewMerge[int, int](3, func(it item) {
+		if !it.Punct {
+			results++
+		}
+	})
+	m.FromShard(0, result())
+	m.FromShard(2, result())
+	m.FromShard(2, result())
+	if results != 3 || m.Results() != 3 {
+		t.Fatalf("results = %d / %d, want 3", results, m.Results())
+	}
+	per := m.ShardResults()
+	if per[0] != 1 || per[1] != 0 || per[2] != 2 {
+		t.Fatalf("ShardResults() = %v", per)
+	}
+}

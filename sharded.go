@@ -1,0 +1,231 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"handshakejoin/internal/clock"
+	"handshakejoin/internal/collect"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/order"
+	"handshakejoin/internal/shard"
+	"handshakejoin/internal/stream"
+)
+
+// ShardedEngine scales an equi-join across pipelines: both streams are
+// hash-partitioned by join key (Config.KeyR/KeyS) over Shards
+// independent LLHJ pipelines, each with its own driver state and
+// collector, multiplying throughput while every pipeline keeps the
+// latency and punctuation guarantees of the single-pipeline operator.
+//
+// # Semantics
+//
+// Because the predicate must imply key equality, tuples that could
+// ever join are always routed to the same shard, so the sharded result
+// multiset is exactly the single-pipeline one. Windows remain global:
+// a Count window bounds the total number of in-window tuples across
+// all shards, and expiries are routed to the shard owning the tuple.
+//
+// In Ordered mode, per-shard punctuation streams are merged on their
+// high-water marks (internal/shard.Merge over order.PunctFloor): a
+// global punctuation ⌈tp⌉ is emitted once every shard has promised tp,
+// and the downstream sorter then releases results in exact global
+// timestamp order — the same deterministic sequence, independent of
+// shard count and scheduling. A shard that receives no traffic holds
+// the global punctuation back (its promise cannot advance); Close
+// releases everything that is still buffered, in order.
+//
+// # Concurrency
+//
+// Unlike Engine, the sharded driver accepts concurrent PushR/PushS
+// calls from multiple goroutines: each side is serialized internally
+// (sequence numbers, monotonic-timestamp checks and window accounting
+// need a total order per stream) and then fans out to the owning
+// shard with only a key hash on the hot path. The OnOutput callback
+// is serialized by the merge stage but may run on any shard's
+// collector goroutine.
+type ShardedEngine[L, RT any] struct {
+	keyR  func(L) uint64
+	keyS  func(RT) uint64
+	part  shard.Partitioner
+	lanes []*shard.Lane[L, RT]
+	merge *shard.Merge[L, RT]
+
+	clk clock.Clock
+
+	rmu        sync.Mutex // serializes the R side: seq, ts check, window accounting
+	smu        sync.Mutex // serializes the S side
+	rSeq, sSeq uint64
+	rLastTS    int64
+	sLastTS    int64
+	rWin, sWin windowTracker
+
+	sorter  *order.Sorter[L, RT]
+	sortMu  sync.Mutex // sorter access: merge callbacks vs Close's final Flush
+	closed  atomic.Bool
+	closeMu sync.Mutex
+}
+
+// newSharded builds and starts a ShardedEngine from a validated
+// configuration with cfg.Shards > 1.
+func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
+	build, err := builderFor(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &ShardedEngine[L, RT]{
+		keyR:    cfg.KeyR,
+		keyS:    cfg.KeyS,
+		part:    shard.NewPartitioner(cfg.Shards),
+		clk:     clock.NewWall(),
+		rLastTS: -1 << 62,
+		sLastTS: -1 << 62,
+		rWin:    windowTracker{spec: cfg.WindowR},
+		sWin:    windowTracker{spec: cfg.WindowS},
+	}
+	out := cfg.OnOutput
+	if cfg.Ordered {
+		var sorted func(Item[L, RT])
+		sorted, e.sorter = sortedOutput(cfg.OnOutput)
+		out = func(it Item[L, RT]) {
+			e.sortMu.Lock()
+			defer e.sortMu.Unlock()
+			sorted(it)
+		}
+	}
+	e.merge = shard.NewMerge[L, RT](cfg.Shards, func(it collect.Item[L, RT]) { out(it) })
+	e.lanes = make([]*shard.Lane[L, RT], cfg.Shards)
+	lcfg := laneConfig(&cfg, e.clk, cfg.Punctuate)
+	for i := range e.lanes {
+		i := i
+		e.lanes[i] = shard.NewLane(lcfg, build, func(it collect.Item[L, RT]) {
+			e.merge.FromShard(i, it)
+		})
+	}
+	return e, nil
+}
+
+// PushR submits an R tuple. Safe for concurrent use; concurrent
+// callers must still jointly respect the per-stream timestamp
+// monotonicity (the driver serializes them in lock-acquisition order).
+func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	if e.closed.Load() {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if ts < e.rLastTS {
+		return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", ts, e.rLastTS)
+	}
+	e.rLastTS = ts
+	lane := e.part.Of(e.keyR(payload))
+	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
+	e.rSeq++
+	e.rWin.onArrival(t.Seq, ts, lane, e.expireR)
+	e.lanes[lane].PushR(t)
+	return nil
+}
+
+// PushS submits an S tuple. Safe for concurrent use.
+func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
+	e.smu.Lock()
+	defer e.smu.Unlock()
+	if e.closed.Load() {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if ts < e.sLastTS {
+		return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", ts, e.sLastTS)
+	}
+	e.sLastTS = ts
+	lane := e.part.Of(e.keyS(payload))
+	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
+	e.sSeq++
+	e.sWin.onArrival(t.Seq, ts, lane, e.expireS)
+	e.lanes[lane].PushS(t)
+	return nil
+}
+
+func (e *ShardedEngine[L, RT]) expireR(lane int, seq uint64, due int64, counted bool) {
+	e.lanes[lane].QueueExpiry(stream.R, seq, due, counted)
+}
+
+func (e *ShardedEngine[L, RT]) expireS(lane int, seq uint64, due int64, counted bool) {
+	e.lanes[lane].QueueExpiry(stream.S, seq, due, counted)
+}
+
+// Tick advances stream time to ts on every shard without submitting a
+// tuple: partial batches are flushed, the pipelines settle, and
+// expiries due by ts are injected. Safe for concurrent use with
+// pushes.
+func (e *ShardedEngine[L, RT]) Tick(ts int64) {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	e.smu.Lock()
+	defer e.smu.Unlock()
+	if e.closed.Load() {
+		return
+	}
+	for _, l := range e.lanes {
+		l.Tick(ts)
+	}
+}
+
+// Close flushes buffered batches on every shard, waits for the
+// pipelines to quiesce, stops all goroutines and releases remaining
+// ordered output. The engine cannot be reused afterwards.
+func (e *ShardedEngine[L, RT]) Close() error {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed.Load() {
+		return nil
+	}
+	e.rmu.Lock()
+	e.smu.Lock()
+	e.closed.Store(true)
+	e.rmu.Unlock()
+	e.smu.Unlock()
+	for _, l := range e.lanes {
+		l.Close()
+	}
+	if e.sorter != nil {
+		e.sortMu.Lock()
+		e.sorter.Flush()
+		e.sortMu.Unlock()
+	}
+	return nil
+}
+
+// Stats aggregates run counters across shards; call after Close for
+// exact values.
+func (e *ShardedEngine[L, RT]) Stats() Stats {
+	var agg core.Stats
+	for _, l := range e.lanes {
+		a := l.PipelineStats()
+		agg.Add(a)
+	}
+	e.rmu.Lock()
+	rIn := e.rSeq
+	e.rmu.Unlock()
+	e.smu.Lock()
+	sIn := e.sSeq
+	e.smu.Unlock()
+	st := Stats{
+		RIn:             rIn,
+		SIn:             sIn,
+		Results:         e.merge.Results(),
+		Punctuations:    e.merge.Punctuations(),
+		Comparisons:     agg.Comparisons,
+		PendingExpiries: agg.PendingExpiries,
+		ShardResults:    e.merge.ShardResults(),
+	}
+	if e.sorter != nil {
+		e.sortMu.Lock()
+		st.MaxSortBuffer = e.sorter.MaxBuffer()
+		e.sortMu.Unlock()
+	}
+	return st
+}
+
+// Shards returns the shard count.
+func (e *ShardedEngine[L, RT]) Shards() int { return e.part.Shards() }

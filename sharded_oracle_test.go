@@ -1,0 +1,438 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/kang"
+	"handshakejoin/internal/shard"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// The tests in this file establish the correctness claim of the
+// sharded engine layer: for any shard count, the hash-sharded engine
+// produces exactly the multiset of pairs that a sequential reference
+// (Kang's three-step procedure, driven shard-by-shard with the exact
+// same routing and window-boundary schedule) produces — and in Ordered
+// mode, the exact globally sorted sequence. The oracle reuses the real
+// windowTracker, shard.Partitioner and shard.ExpiryQueue, so the only
+// thing under test is the pipeline + merge machinery.
+
+// okR / okS are key-carrying payloads for the sharded oracle workloads.
+type okR struct {
+	Key uint64
+	Val int32
+}
+
+type okS struct {
+	Key uint64
+	Val int32
+}
+
+func okRKey(r okR) uint64 { return r.Key }
+func okSKey(s okS) uint64 { return s.Key }
+
+// shardedEqui is the plain equi-join predicate.
+func shardedEqui(r okR, s okS) bool { return r.Key == s.Key }
+
+// shardedBandWithinKey joins tuples of equal key whose values lie
+// within a band — the "band within key" shape sharding supports
+// (the predicate still implies key equality).
+func shardedBandWithinKey(r okR, s okS) bool {
+	if r.Key != s.Key {
+		return false
+	}
+	d := r.Val - s.Val
+	if d < 0 {
+		d = -d
+	}
+	return d <= 3
+}
+
+// oracleShard replays one shard's exact driver schedule — batch
+// buffers, expiry queues and flush rules mirror shard.Lane — into a
+// sequential Kang join.
+type oracleShard struct {
+	batch      int
+	rBatch     []stream.Tuple[okR]
+	sBatch     []stream.Tuple[okS]
+	rExp, sExp *shard.ExpiryQueue
+	rInj, sInj uint64
+	j          *kang.Join[okR, okS]
+}
+
+func (o *oracleShard) queueExpiry(side stream.Side, seq uint64, due int64, counted bool) {
+	q := o.rExp
+	if side == stream.S {
+		q = o.sExp
+	}
+	if counted {
+		q.PushCnt(seq, due)
+	} else {
+		q.PushDur(seq, due)
+	}
+}
+
+func (o *oracleShard) pushR(t stream.Tuple[okR]) {
+	o.rBatch = append(o.rBatch, t)
+	if len(o.rBatch) >= o.batch {
+		o.flushR()
+	}
+}
+
+func (o *oracleShard) pushS(t stream.Tuple[okS]) {
+	o.sBatch = append(o.sBatch, t)
+	if len(o.sBatch) >= o.batch {
+		o.flushS()
+	}
+}
+
+func (o *oracleShard) flushR() {
+	if len(o.rBatch) == 0 {
+		return
+	}
+	due := o.rBatch[len(o.rBatch)-1].TS
+	for _, seq := range o.sExp.PopDue(due, o.sInj) {
+		o.j.ExpireS(seq)
+	}
+	for _, t := range o.rBatch {
+		o.j.ProcessR(t)
+	}
+	o.rInj = o.rBatch[len(o.rBatch)-1].Seq + 1
+	o.rBatch = nil
+}
+
+func (o *oracleShard) flushS() {
+	if len(o.sBatch) == 0 {
+		return
+	}
+	due := o.sBatch[len(o.sBatch)-1].TS
+	for _, seq := range o.rExp.PopDue(due, o.rInj) {
+		o.j.ExpireR(seq)
+	}
+	for _, t := range o.sBatch {
+		o.j.ProcessS(t)
+	}
+	o.sInj = o.sBatch[len(o.sBatch)-1].Seq + 1
+	o.sBatch = nil
+}
+
+func (o *oracleShard) tick(ts int64) {
+	o.flushR()
+	o.flushS()
+	for _, seq := range o.sExp.PopDue(ts, o.sInj) {
+		o.j.ExpireS(seq)
+	}
+	for _, seq := range o.rExp.PopDue(ts, o.rInj) {
+		o.j.ExpireR(seq)
+	}
+}
+
+func (o *oracleShard) close() {
+	o.flushR()
+	o.flushS()
+}
+
+// orderedKey identifies a result in the deterministic global order.
+type orderedKey struct {
+	TS         int64
+	RSeq, SSeq uint64
+}
+
+// oracleEngine mirrors the sharded driver: global sequence numbers,
+// global window accounting, hash routing — feeding oracleShards.
+type oracleEngine struct {
+	part       shard.Partitioner
+	shards     []*oracleShard
+	rSeq, sSeq uint64
+	rWin, sWin windowTracker
+
+	pairs   map[stream.PairKey]int
+	results []orderedKey
+}
+
+func newOracleEngine(cfg Config[okR, okS], pred stream.Predicate[okR, okS]) *oracleEngine {
+	o := &oracleEngine{
+		part:  shard.NewPartitioner(max(cfg.Shards, 1)),
+		rWin:  windowTracker{spec: cfg.WindowR},
+		sWin:  windowTracker{spec: cfg.WindowS},
+		pairs: map[stream.PairKey]int{},
+	}
+	for i := 0; i < o.part.Shards(); i++ {
+		sh := &oracleShard{
+			batch: cfg.Batch,
+			rExp:  shard.NewExpiryQueue(cfg.WindowR.dualBound()),
+			sExp:  shard.NewExpiryQueue(cfg.WindowS.dualBound()),
+		}
+		sh.j = kang.New(pred, func(p stream.Pair[okR, okS]) {
+			o.pairs[p.Key()]++
+			o.results = append(o.results, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+		})
+		o.shards = append(o.shards, sh)
+	}
+	return o
+}
+
+func (o *oracleEngine) pushR(payload okR, ts int64) {
+	lane := o.part.Of(payload.Key)
+	t := stream.Tuple[okR]{Seq: o.rSeq, TS: ts, Wall: ts, Home: stream.NoHome, Payload: payload}
+	o.rSeq++
+	o.rWin.onArrival(t.Seq, ts, lane, func(lane int, seq uint64, due int64, counted bool) {
+		o.shards[lane].queueExpiry(stream.R, seq, due, counted)
+	})
+	o.shards[lane].pushR(t)
+}
+
+func (o *oracleEngine) pushS(payload okS, ts int64) {
+	lane := o.part.Of(payload.Key)
+	t := stream.Tuple[okS]{Seq: o.sSeq, TS: ts, Wall: ts, Home: stream.NoHome, Payload: payload}
+	o.sSeq++
+	o.sWin.onArrival(t.Seq, ts, lane, func(lane int, seq uint64, due int64, counted bool) {
+		o.shards[lane].queueExpiry(stream.S, seq, due, counted)
+	})
+	o.shards[lane].pushS(t)
+}
+
+func (o *oracleEngine) tick(ts int64) {
+	for _, sh := range o.shards {
+		sh.tick(ts)
+	}
+}
+
+func (o *oracleEngine) close() {
+	for _, sh := range o.shards {
+		sh.close()
+	}
+}
+
+// orderedResults returns the deterministic global output order: by
+// result timestamp, ties broken by input sequence numbers — exactly
+// the order the punctuation-driven sorter guarantees.
+func (o *oracleEngine) orderedResults() []orderedKey {
+	out := append([]orderedKey(nil), o.results...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].RSeq != out[j].RSeq {
+			return out[i].RSeq < out[j].RSeq
+		}
+		return out[i].SSeq < out[j].SSeq
+	})
+	return out
+}
+
+// shardedSchedule drives identical push/tick schedules into the engine
+// under test and the oracle. The workload interleaves both streams
+// with a mild rate skew, shared timestamps (equality edge cases) and
+// periodic idle ticks.
+func shardedSchedule(t *testing.T, tuples int, seed uint64, eng Joiner[okR, okS], o *oracleEngine) {
+	t.Helper()
+	rnd := workload.NewRand(seed)
+	const step = int64(1e6)
+	const keys = 24
+	ts := int64(0)
+	for i := 0; i < tuples; i++ {
+		ts += int64(rnd.Intn(3)) * step / 2
+		r := okR{Key: uint64(rnd.Intn(keys)), Val: int32(rnd.Intn(12))}
+		if err := eng.PushR(r, ts); err != nil {
+			t.Fatal(err)
+		}
+		o.pushR(r, ts)
+		if i%3 != 0 { // mild rate skew between the streams
+			s := okS{Key: uint64(rnd.Intn(keys)), Val: int32(rnd.Intn(12))}
+			if err := eng.PushS(s, ts); err != nil {
+				t.Fatal(err)
+			}
+			o.pushS(s, ts)
+		}
+		if i%97 == 96 { // idle period: advance stream time without tuples
+			ts += 20 * step
+			eng.Tick(ts)
+			o.tick(ts)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	o.close()
+}
+
+func diffPairMultiset(want, got map[stream.PairKey]int) (missing, extra, dups int) {
+	for k, w := range want {
+		if g := got[k]; g < w {
+			missing += w - g
+		}
+	}
+	for k, g := range got {
+		if w := want[k]; g > w {
+			extra += g - w
+		}
+		if g > 1 {
+			dups += g - 1
+		}
+	}
+	return
+}
+
+func TestShardedMatchesOracleExactly(t *testing.T) {
+	// Window sizes respect the operator's contract (Config.MaxInFlight
+	// docs): the in-flight volume must stay far below the per-shard
+	// window span, or expiries race their tuples through the pipeline.
+	// With 8 shards, batch 4 and MaxInFlight 2, safety needs window
+	// >= shards*batch*MaxInFlight = 64 tuples; the sizes below keep a
+	// ~3x margin. The schedule pushes ~2 R and ~1.3 S tuples per step.
+	const step = int64(1e6)
+	windows := []struct {
+		name       string
+		winR, winS Window
+	}{
+		{"count", Window{Count: 200}, Window{Count: 190}},
+		{"time", Window{Duration: time.Duration(120 * step)}, Window{Duration: time.Duration(160 * step)}},
+		{"both", Window{Duration: time.Duration(140 * step), Count: 210}, Window{Duration: time.Duration(160 * step), Count: 190}},
+	}
+	preds := []struct {
+		name string
+		pred func(okR, okS) bool
+	}{
+		{"equi", shardedEqui},
+		{"band-within-key", shardedBandWithinKey},
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, win := range windows {
+			for _, pc := range preds {
+				for _, batch := range []int{1, 4} {
+					name := fmt.Sprintf("shards=%d/%s/%s/batch=%d", shards, win.name, pc.name, batch)
+					t.Run(name, func(t *testing.T) {
+						cfg := Config[okR, okS]{
+							Workers:     3,
+							Shards:      shards,
+							Predicate:   pc.pred,
+							WindowR:     win.winR,
+							WindowS:     win.winS,
+							Batch:       batch,
+							MaxInFlight: 2,
+							KeyR:        okRKey,
+							KeyS:        okSKey,
+						}
+						var mu sync.Mutex
+						got := map[stream.PairKey]int{}
+						cfg.OnOutput = func(it Item[okR, okS]) {
+							if it.Punct {
+								return
+							}
+							mu.Lock()
+							got[it.Result.Pair.Key()]++
+							mu.Unlock()
+						}
+						eng, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						o := newOracleEngine(cfg, pc.pred)
+						shardedSchedule(t, 900, uint64(shards*1000+batch), eng, o)
+
+						missing, extra, dups := diffPairMultiset(o.pairs, got)
+						if missing != 0 || extra != 0 || dups != 0 {
+							t.Fatalf("sharded vs oracle: %d missing, %d extra, %d duplicates (oracle %d distinct, got %d distinct)",
+								missing, extra, dups, len(o.pairs), len(got))
+						}
+						st := eng.Stats()
+						if st.Results != sum(o.pairs) {
+							t.Fatalf("Stats.Results = %d, oracle produced %d", st.Results, sum(o.pairs))
+						}
+						if st.PendingExpiries != 0 {
+							t.Errorf("pending expiries: %d (duplicate or racing expiry)", st.PendingExpiries)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func sum(m map[stream.PairKey]int) uint64 {
+	var n uint64
+	for _, c := range m {
+		n += uint64(c)
+	}
+	return n
+}
+
+func TestShardedOrderedExactSequence(t *testing.T) {
+	// In Ordered mode the merged, punctuation-sorted output must be the
+	// exact deterministic sequence — global timestamp order with
+	// sequence-number tie-breaks — regardless of shard count.
+	const step = int64(1e6)
+	for _, shards := range []int{2, 4, 8} {
+		for _, pc := range []struct {
+			name string
+			pred func(okR, okS) bool
+		}{
+			{"equi", shardedEqui},
+			{"band-within-key", shardedBandWithinKey},
+		} {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, pc.name), func(t *testing.T) {
+				cfg := Config[okR, okS]{
+					Workers:       3,
+					Shards:        shards,
+					Predicate:     pc.pred,
+					WindowR:       Window{Duration: time.Duration(120 * step), Count: 200},
+					WindowS:       Window{Duration: time.Duration(160 * step), Count: 200},
+					Batch:         4,
+					MaxInFlight:   2,
+					Ordered:       true,
+					CollectPeriod: 200 * time.Microsecond,
+					KeyR:          okRKey,
+					KeyS:          okSKey,
+				}
+				var mu sync.Mutex
+				var gotSeq []orderedKey
+				puncts := 0
+				cfg.OnOutput = func(it Item[okR, okS]) {
+					mu.Lock()
+					defer mu.Unlock()
+					if it.Punct {
+						puncts++
+						return
+					}
+					p := it.Result.Pair
+					gotSeq = append(gotSeq, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+				}
+				eng, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := eng.(*ShardedEngine[okR, okS]); !ok {
+					t.Fatalf("New with Shards=%d returned %T, want *ShardedEngine", shards, eng)
+				}
+				o := newOracleEngine(cfg, pc.pred)
+				shardedSchedule(t, 900, uint64(shards*31), eng, o)
+
+				want := o.orderedResults()
+				if len(gotSeq) != len(want) {
+					t.Fatalf("emitted %d results, oracle expects %d", len(gotSeq), len(want))
+				}
+				for i := range want {
+					if gotSeq[i] != want[i] {
+						t.Fatalf("position %d: got %+v, want %+v", i, gotSeq[i], want[i])
+					}
+				}
+				if len(want) == 0 {
+					t.Fatal("workload produced no results; test has no teeth")
+				}
+			})
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package handshakejoin
+
+import (
+	"sync"
+	"testing"
+)
+
+// cid payloads carry a unique per-side id so results can be identified
+// independently of the engine-assigned sequence numbers.
+type cidR struct {
+	Key uint64
+	ID  int
+}
+
+type cidS struct {
+	Key uint64
+	ID  int
+}
+
+// TestShardedConcurrentPushers drives PushR/PushS from several
+// goroutines each through the sharded driver — the concurrency mode the
+// single-pipeline Engine forbids — and verifies under -race that no
+// results are dropped or duplicated. Windows hold every tuple (Count >=
+// total) and all tuples share one timestamp, so the expected output is
+// exactly one result per key-matching (R, S) pair regardless of the
+// interleaving the scheduler picks.
+func TestShardedConcurrentPushers(t *testing.T) {
+	const (
+		pushers = 4
+		perSide = 600 // per pusher goroutine
+		keys    = 16
+		totalR  = pushers * perSide
+		totalS  = pushers * perSide
+	)
+	var mu sync.Mutex
+	seen := make(map[[2]int]int)
+	cfg := Config[cidR, cidS]{
+		Workers:     2,
+		Shards:      4,
+		Predicate:   func(r cidR, s cidS) bool { return r.Key == s.Key },
+		WindowR:     Window{Count: totalR},
+		WindowS:     Window{Count: totalS},
+		Batch:       8,
+		MaxInFlight: 4,
+		Punctuate:   true,
+		KeyR:        func(r cidR) uint64 { return r.Key },
+		KeyS:        func(s cidS) uint64 { return s.Key },
+		OnOutput: func(it Item[cidR, cidS]) {
+			if it.Punct {
+				return
+			}
+			mu.Lock()
+			seen[[2]int{it.Result.Pair.R.Payload.ID, it.Result.Pair.S.Payload.ID}]++
+			mu.Unlock()
+		},
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSide; i++ {
+				id := p*perSide + i
+				if err := eng.PushR(cidR{Key: uint64(id % keys), ID: id}, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSide; i++ {
+				id := p*perSide + i
+				if err := eng.PushS(cidS{Key: uint64((id * 7) % keys), ID: id}, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent ticks exercise the flush/expiry path against pushes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			eng.Tick(0)
+		}
+	}()
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected: every (R, S) pair with matching keys, exactly once.
+	var want uint64
+	rPerKey := make(map[uint64]int)
+	sPerKey := make(map[uint64]int)
+	for id := 0; id < totalR; id++ {
+		rPerKey[uint64(id%keys)]++
+	}
+	for id := 0; id < totalS; id++ {
+		sPerKey[uint64((id*7)%keys)]++
+	}
+	for k, nr := range rPerKey {
+		want += uint64(nr * sPerKey[k])
+	}
+	var got uint64
+	for pair, n := range seen {
+		if n != 1 {
+			t.Fatalf("pair %v emitted %d times", pair, n)
+		}
+		got += uint64(n)
+	}
+	if got != want {
+		t.Fatalf("collected %d results, want %d (dropped %d)", got, want, int64(want)-int64(got))
+	}
+	st := eng.Stats()
+	if st.Results != want {
+		t.Fatalf("Stats.Results = %d, want %d", st.Results, want)
+	}
+	if st.RIn != totalR || st.SIn != totalS {
+		t.Fatalf("Stats in = (%d, %d), want (%d, %d)", st.RIn, st.SIn, totalR, totalS)
+	}
+	if len(st.ShardResults) != 4 {
+		t.Fatalf("ShardResults = %v, want 4 entries", st.ShardResults)
+	}
+	var shardSum uint64
+	for _, n := range st.ShardResults {
+		shardSum += n
+	}
+	if shardSum != want {
+		t.Fatalf("per-shard results sum to %d, want %d", shardSum, want)
+	}
+}

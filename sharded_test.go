@@ -1,0 +1,229 @@
+package handshakejoin
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardedValidation(t *testing.T) {
+	var out sink[trade, quote]
+	key := func(t trade) uint64 { return uint64(t.Sym) }
+	keyS := func(q quote) uint64 { return uint64(q.Sym) }
+	base := Config[trade, quote]{
+		Predicate: symPred,
+		WindowR:   Window{Count: 50},
+		WindowS:   Window{Count: 50},
+		OnOutput:  out.add,
+	}
+	noKeys := base
+	noKeys.Shards = 4
+	hsjSharded := base
+	hsjSharded.Shards = 4
+	hsjSharded.Algorithm = HSJ
+	hsjSharded.KeyR, hsjSharded.KeyS = key, keyS
+	negative := base
+	negative.Shards = -1
+	for i, cfg := range []Config[trade, quote]{noKeys, hsjSharded, negative} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid sharded config accepted", i)
+		}
+	}
+
+	ok := base
+	ok.Shards = 4
+	ok.KeyR, ok.KeyS = key, keyS
+	eng, err := New(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, isSharded := eng.(*ShardedEngine[trade, quote])
+	if !isSharded {
+		t.Fatalf("New with Shards=4 returned %T", eng)
+	}
+	if se.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", se.Shards())
+	}
+	eng.Close()
+
+	// Shards 0 and 1 select the single-pipeline engine.
+	for _, n := range []int{0, 1} {
+		one := ok
+		one.Shards = n
+		eng, err := New(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, isSharded := eng.(*ShardedEngine[trade, quote]); isSharded {
+			t.Fatalf("New with Shards=%d returned a ShardedEngine", n)
+		}
+		eng.Close()
+	}
+}
+
+func TestShardedTickSlidesWindows(t *testing.T) {
+	var out sink[trade, quote]
+	eng, err := New(Config[trade, quote]{
+		Workers:     2,
+		Shards:      2,
+		Predicate:   symPred,
+		WindowR:     Window{Duration: 10 * time.Millisecond},
+		WindowS:     Window{Duration: 10 * time.Millisecond},
+		Batch:       1,
+		MaxInFlight: 4,
+		KeyR:        func(t trade) uint64 { return uint64(t.Sym) },
+		KeyS:        func(q quote) uint64 { return uint64(q.Sym) },
+		OnOutput:    out.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushS(quote{Sym: 1}, 0)
+	eng.PushS(quote{Sym: 2}, 0)
+	// Advance stream time past the quotes' expiry on every shard, then
+	// push matching trades: they must not join.
+	eng.Tick(20e6)
+	eng.PushR(trade{Sym: 1}, 25e6)
+	eng.PushR(trade{Sym: 2}, 25e6)
+	eng.Close()
+	for _, it := range out.snapshot() {
+		if !it.Punct {
+			t.Fatalf("expired tuple joined: %+v", it.Result.Pair)
+		}
+	}
+}
+
+func TestShardedPushAfterCloseAndIdempotentClose(t *testing.T) {
+	eng, err := New(Config[trade, quote]{
+		Shards:    2,
+		Predicate: symPred,
+		WindowR:   Window{Count: 10},
+		WindowS:   Window{Count: 10},
+		KeyR:      func(t trade) uint64 { return uint64(t.Sym) },
+		KeyS:      func(q quote) uint64 { return uint64(q.Sym) },
+		OnOutput:  func(Item[trade, quote]) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if err := eng.PushR(trade{}, 1); err == nil {
+		t.Fatal("push after close accepted")
+	}
+	if err := eng.PushS(quote{}, 1); err == nil {
+		t.Fatal("S push after close accepted")
+	}
+}
+
+func TestShardedTimestampRegressionRejected(t *testing.T) {
+	eng, err := New(Config[trade, quote]{
+		Shards:    2,
+		Predicate: symPred,
+		WindowR:   Window{Count: 10},
+		WindowS:   Window{Count: 10},
+		KeyR:      func(t trade) uint64 { return uint64(t.Sym) },
+		KeyS:      func(q quote) uint64 { return uint64(q.Sym) },
+		OnOutput:  func(Item[trade, quote]) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.PushR(trade{}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.PushR(trade{}, 99); err == nil {
+		t.Fatal("regressed R timestamp accepted")
+	}
+	if err := eng.PushS(quote{}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.PushS(quote{}, 50); err == nil {
+		t.Fatal("regressed S timestamp accepted")
+	}
+}
+
+// TestShardedOrderedMonotonicUnderConcurrency drives the ordered
+// sharded engine from concurrent pushers (coordinating timestamps via
+// a shared lock) and verifies the merged output never regresses.
+func TestShardedOrderedMonotonicUnderConcurrency(t *testing.T) {
+	var mu sync.Mutex
+	var lastTS int64 = -1 << 62
+	violations := 0
+	results := 0
+	eng, err := New(Config[trade, quote]{
+		Workers:       2,
+		Shards:        4,
+		Predicate:     symPred,
+		WindowR:       Window{Count: 4000},
+		WindowS:       Window{Count: 4000},
+		Batch:         8,
+		MaxInFlight:   4,
+		Ordered:       true,
+		CollectPeriod: 200 * time.Microsecond,
+		KeyR:          func(t trade) uint64 { return uint64(t.Sym) },
+		KeyS:          func(q quote) uint64 { return uint64(q.Sym) },
+		OnOutput: func(it Item[trade, quote]) {
+			if it.Punct {
+				return
+			}
+			mu.Lock()
+			results++
+			if ts := it.Result.Pair.TS(); ts < lastTS {
+				violations++
+			} else {
+				lastTS = ts
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsMu sync.Mutex
+	var clock int64
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tsMu.Lock()
+				clock += 1e5
+				ts := clock
+				sym := (p*500 + i) % 16
+				// Push under the timestamp lock so concurrent pushers
+				// jointly keep each stream monotonic.
+				if err := eng.PushR(trade{Sym: sym}, ts); err != nil {
+					tsMu.Unlock()
+					t.Error(err)
+					return
+				}
+				if err := eng.PushS(quote{Sym: sym}, ts); err != nil {
+					tsMu.Unlock()
+					t.Error(err)
+					return
+				}
+				tsMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if results == 0 {
+		t.Fatal("no results")
+	}
+	if violations != 0 {
+		t.Fatalf("%d ordering violations in %d results", violations, results)
+	}
+}
