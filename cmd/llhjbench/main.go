@@ -21,6 +21,9 @@
 //	shard    live sharded vs single-pipeline equi-join scaling (-shards,
 //	         -json BENCH_shard.json) — this repository's scaling curve
 //	         beyond the paper, not a paper figure
+//	skew     uniform vs Zipf-skewed keys, static vs adaptive routing
+//	         (-json BENCH_skew.json) — what the adaptive shard runtime
+//	         recovers when hot keys collide on one shard
 //	all      run everything
 //
 // Common flags: -scale, -quick, -csv (see -h).
@@ -61,9 +64,10 @@ func main() {
 		"fig21":  fig21,
 		"table2": table2,
 		"shard":  shardScaling,
+		"skew":   skewExperiment,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard"} {
+		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := run[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "llhjbench %s: %v\n", name, err)
@@ -88,7 +92,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `llhjbench — reproduce the evaluation of "Low-Latency Handshake Join" (PVLDB 7(9), 2014)
 
-usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|all> [flags]
+usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|skew|all> [flags]
 
 flags:
 `)

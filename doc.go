@@ -71,9 +71,50 @@
 // Close releases everything still buffered, in order.
 //
 // The sharded driver, unlike the single-pipeline Engine, accepts
-// PushR/PushS from concurrent goroutines: each side is serialized
-// internally, then fans out to the owning shard with only a key hash
-// on the hot path.
+// PushR/PushS from concurrent goroutines: each side takes a short
+// serial section (sequence numbers, timestamp checks, window
+// accounting, routing), then hands the tuple to the owning shard
+// through a per-shard ingress gate, so a push blocked on one saturated
+// shard's back-pressure does not stall pushers bound for other shards.
+//
+// # Adaptive shard runtime
+//
+// Routing goes through a key-group indirection: a key hashes onto one
+// of many key-groups (G ≫ shard count) and a table maps groups to
+// shards. Config.Adapt turns the static table into a live control
+// loop (internal/adapt): a sampler collects per-group load and
+// per-shard probes every period, a planner moves groups off
+// overloaded shards, and the router cuts each move over only when the
+// group provably has no joinable window state left on its old shard —
+// every count-bound tuple has left its window and stream time has
+// passed every recorded expiry deadline, so no tuple routed anywhere
+// afterwards could have joined state stranded on the old shard. Under
+// that protocol rebalancing is invisible in the output: the result
+// multiset and the Ordered-mode sequence are exactly those of a fixed
+// table.
+//
+// The same protocol implies a planning constraint: a continuously hot
+// group's window never empties, so it can never be moved (that would
+// require state migration, which this design deliberately avoids).
+// The planner therefore relieves an overloaded shard by evacuating
+// its colder co-resident groups, which converges to the same balanced
+// assignment — the hot group ends up owning its shard while the
+// movable mass spreads across the rest. A shard whose load is one
+// giant key cannot be split below key granularity by any
+// partition-level scheme.
+//
+// Idle-shard heartbeats run independently of rebalancing (and are on
+// by default): a shard that received no tuples for a collect period
+// is ticked with the engine-wide ingress floor — sound because every
+// future tuple of either side carries a timestamp at or above the
+// floor, and a result's timestamp is the later of its inputs — so its
+// punctuation promise, and with it Ordered-mode output, keeps flowing
+// when parts of the key space go quiet. Heartbeats flush partial
+// batches on wall-clock time (the equivalent of a Tick), which keeps
+// batch-granular window boundaries within the documented
+// Shards*Batch blur but makes them wall-clock-dependent; set
+// Adapt.DisableHeartbeat (or Batch 1, where boundaries are exact) if
+// bit-for-bit schedule determinism matters more than idle latency.
 //
 // Window boundaries remain batch-granular, and the granularity grows
 // with the fan-out: each shard flushes after collecting Batch of its

@@ -37,30 +37,33 @@ type Engine[L, RT any] struct {
 // windowTracker turns one stream's arrivals into expiry entries
 // according to the window specification. Each arrival is attributed to
 // the lane (shard) that received the tuple, so count-bound expiries
-// can be routed back to the lane owning the overflowed tuple. The
-// expire callback receives (lane, seq, due, counted); with both bounds
-// active a tuple is scheduled once per bound and the lane's expiry
-// queue deduplicates (earliest due wins).
+// can be routed back to the lane owning the overflowed tuple, and to
+// its key-group, so the adaptive router can release the group's live
+// count when the tuple leaves the window. The expire callback receives
+// (lane, group, seq, due, counted); with both bounds active a tuple is
+// scheduled once per bound and the lane's expiry queue deduplicates
+// (earliest due wins).
 type windowTracker struct {
 	spec     Window
 	inWindow []windowEntry
 }
 
 type windowEntry struct {
-	seq  uint64
-	lane int
+	seq   uint64
+	lane  int
+	group uint32
 }
 
-func (w *windowTracker) onArrival(seq uint64, ts int64, lane int, expire func(lane int, seq uint64, due int64, counted bool)) {
+func (w *windowTracker) onArrival(seq uint64, ts int64, lane int, group uint32, expire func(lane int, group uint32, seq uint64, due int64, counted bool)) {
 	if w.spec.Duration > 0 {
-		expire(lane, seq, ts+int64(w.spec.Duration), false)
+		expire(lane, group, seq, ts+int64(w.spec.Duration), false)
 	}
 	if c := w.spec.Count; c > 0 {
-		w.inWindow = append(w.inWindow, windowEntry{seq: seq, lane: lane})
+		w.inWindow = append(w.inWindow, windowEntry{seq: seq, lane: lane, group: group})
 		for len(w.inWindow) > c {
 			e := w.inWindow[0]
 			w.inWindow = w.inWindow[1:]
-			expire(e.lane, e.seq, ts, true)
+			expire(e.lane, e.group, e.seq, ts, true)
 		}
 	}
 }
@@ -179,7 +182,7 @@ func (e *Engine[L, RT]) PushR(payload L, ts int64) error {
 	e.rLastTS = ts
 	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.rSeq++
-	e.rWin.onArrival(t.Seq, ts, 0, func(_ int, seq uint64, due int64, counted bool) {
+	e.rWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted bool) {
 		e.lane.QueueExpiry(stream.R, seq, due, counted)
 	})
 	e.lane.PushR(t)
@@ -197,7 +200,7 @@ func (e *Engine[L, RT]) PushS(payload RT, ts int64) error {
 	e.sLastTS = ts
 	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.sSeq++
-	e.sWin.onArrival(t.Seq, ts, 0, func(_ int, seq uint64, due int64, counted bool) {
+	e.sWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted bool) {
 		e.lane.QueueExpiry(stream.S, seq, due, counted)
 	})
 	e.lane.PushS(t)

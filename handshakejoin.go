@@ -130,6 +130,12 @@ type Config[L, RT any] struct {
 	// Band is the half-width of the BTreeIndex key range probe.
 	Band uint64
 
+	// Adapt tunes the adaptive shard runtime (ShardedEngine only):
+	// idle-shard heartbeats and, when enabled, skew-aware key-group
+	// rebalancing. The zero value keeps heartbeats on and rebalancing
+	// off.
+	Adapt AdaptConfig
+
 	// CollectPeriod is how often the collector vacuums the result
 	// queues (and punctuates). Default 1ms.
 	CollectPeriod time.Duration
@@ -144,6 +150,51 @@ type Config[L, RT any] struct {
 	// pipeline-as-window model needs a tuple capacity). Ignored by
 	// LLHJ. Default 1000.
 	ExpectedRate float64
+}
+
+// AdaptConfig tunes the adaptive shard runtime of a ShardedEngine.
+//
+// The runtime has two independent parts. Idle-shard heartbeats (on by
+// default) let a shard that received no tuples for a collect period
+// promise the engine-wide ingress floor, so the merged punctuation —
+// and with it Ordered-mode output — keeps flowing when one shard's key
+// range goes quiet. Skew-aware rebalancing (off by default, Enable)
+// samples per-key-group load on SamplePeriod, plans key-group moves
+// off overloaded shards, and cuts each move over only once the group
+// provably has no joinable window state left on its old shard, so the
+// result multiset — and the exact Ordered-mode sequence — is the same
+// as if the move had never happened.
+type AdaptConfig struct {
+	// Enable turns on skew-aware key-group rebalancing.
+	Enable bool
+	// SamplePeriod is the control-loop cadence. Default 2ms. A
+	// negative period disables the background loop; rebalancing then
+	// runs only when ShardedEngine.Rebalance is called.
+	SamplePeriod time.Duration
+	// SkewThreshold is the max/mean per-shard load ratio above which
+	// the planner starts moving key-groups. Default 1.25.
+	SkewThreshold float64
+	// MaxMovesPerCycle bounds the group moves proposed per control
+	// cycle. Default Shards.
+	MaxMovesPerCycle int
+	// StaleMoveCycles is how many control cycles a proposed move may
+	// wait for its safe cut-over before it is cancelled. It should
+	// comfortably exceed the window residence time of a tuple measured
+	// in control cycles, or moves are cancelled before their group
+	// could possibly drain. Default 64.
+	StaleMoveCycles int
+	// KeyGroups is the size of the key-group indirection table the
+	// router partitions through. More groups move load in finer slices
+	// at slightly more bookkeeping. Default 64 per shard (bounded to
+	// 64..4096); must be >= Shards when set.
+	KeyGroups int
+	// HeartbeatPeriod overrides the idle-shard heartbeat cadence.
+	// Default CollectPeriod.
+	HeartbeatPeriod time.Duration
+	// DisableHeartbeat turns idle-shard heartbeats off, restoring the
+	// PR-1 behaviour in which a quiet shard holds back the merged
+	// punctuation floor until Close.
+	DisableHeartbeat bool
 }
 
 func (c *Config[L, RT]) validate() error {
@@ -196,6 +247,15 @@ func (c *Config[L, RT]) validate() error {
 		if c.KeyR == nil || c.KeyS == nil {
 			return fmt.Errorf("handshakejoin: Shards > 1 requires KeyR and KeyS")
 		}
+		if c.Adapt.KeyGroups != 0 && c.Adapt.KeyGroups < c.Shards {
+			return fmt.Errorf("handshakejoin: Adapt.KeyGroups (%d) must be >= Shards (%d)", c.Adapt.KeyGroups, c.Shards)
+		}
+	}
+	if c.Adapt.Enable && c.Shards <= 1 {
+		return fmt.Errorf("handshakejoin: Adapt.Enable requires Shards > 1")
+	}
+	if c.Adapt.SkewThreshold != 0 && c.Adapt.SkewThreshold < 1 {
+		return fmt.Errorf("handshakejoin: Adapt.SkewThreshold must be >= 1, got %g", c.Adapt.SkewThreshold)
 	}
 	if c.Ordered {
 		c.Punctuate = true
@@ -258,4 +318,14 @@ type Stats struct {
 	// for single-pipeline engines). Skew across entries reveals key
 	// distributions the partitioner cannot balance.
 	ShardResults []uint64
+	// ShardIngress counts tuples routed to each shard (ShardedEngine
+	// only) — the load-balance view of the routing table. Compare
+	// max/mean across entries (metrics.Imbalance) before and after
+	// enabling Adapt to see what rebalancing recovered.
+	ShardIngress []uint64
+	// Rebalances counts control cycles that proposed key-group moves
+	// (ShardedEngine with Adapt.Enable only).
+	Rebalances uint64
+	// KeyGroupMoves counts key-group cut-overs actually applied.
+	KeyGroupMoves uint64
 }

@@ -1,0 +1,184 @@
+package adapt
+
+import (
+	"testing"
+
+	"handshakejoin/internal/shard"
+	"handshakejoin/internal/stream"
+)
+
+func newTestRouter(shards, groups int, floor *int64) *Router {
+	p := shard.NewPartitionerGroups(shards, groups)
+	return NewRouter(p, true, func() int64 { return *floor })
+}
+
+// keyInGroup finds a join key hashing to group g (groups are dense and
+// small in tests, so a linear probe terminates quickly).
+func keyInGroup(r *Router, g uint32) uint64 {
+	for k := uint64(0); ; k++ {
+		if r.GroupOf(k) == g {
+			return k
+		}
+	}
+}
+
+func TestRouterCutoverWaitsForCountDrain(t *testing.T) {
+	floor := int64(0)
+	r := newTestRouter(2, 8, &floor)
+	g := uint32(0)
+	key := keyInGroup(r, g)
+	from := r.Of(key)
+	to := 1 - from
+
+	// A count-bound tuple is admitted: the group has live state.
+	lane, _ := r.Admit(stream.R, key, true, 0, false)
+	if lane != from {
+		t.Fatalf("Admit routed to %d, want %d", lane, from)
+	}
+	if n := r.Propose([]Move{{Group: g, From: from, To: to}}); n != 1 {
+		t.Fatalf("Propose registered %d moves, want 1", n)
+	}
+	if r.TryApply() != 0 {
+		t.Fatal("cut-over applied while a count-bound tuple is live")
+	}
+	if r.Of(key) != from {
+		t.Fatal("routing changed before the cut-over was safe")
+	}
+
+	// The tuple leaves its window at stream time 100; the cut-over must
+	// additionally wait for both ingress sides to pass that deadline.
+	r.ObserveCountExpire(stream.R, g, 100)
+	if r.TryApply() != 0 {
+		t.Fatal("cut-over applied before stream time reached the expiry deadline")
+	}
+	floor = 100
+	if r.TryApply() != 1 {
+		t.Fatal("cut-over not applied after the group drained")
+	}
+	if r.Of(key) != to {
+		t.Fatalf("after cut-over Of = %d, want %d", r.Of(key), to)
+	}
+	if r.Applied() != 1 || r.Rebalances() != 1 {
+		t.Fatalf("counters = (%d applied, %d rebalances), want (1, 1)", r.Applied(), r.Rebalances())
+	}
+}
+
+func TestRouterCutoverWaitsForDurationDeadline(t *testing.T) {
+	floor := int64(0)
+	r := newTestRouter(2, 8, &floor)
+	g := uint32(1)
+	key := keyInGroup(r, g)
+	from := r.Of(key)
+	to := 1 - from
+
+	// A duration-bound tuple admitted at ts 10 with a window reaching
+	// to ts 60 pins the group until the floor passes 60.
+	_, _ = r.Admit(stream.S, key, false, 60, true)
+	r.Propose([]Move{{Group: g, From: from, To: to}})
+	floor = 59
+	if r.TryApply() != 0 {
+		t.Fatal("cut-over applied while the duration window could still hold the tuple")
+	}
+	floor = 60
+	if r.TryApply() != 1 {
+		t.Fatal("cut-over not applied once the floor passed the deadline")
+	}
+}
+
+func TestRouterExpiryHookAppliesPendingMove(t *testing.T) {
+	// The drain moment itself must trigger the cut-over: no controller
+	// cycle runs here.
+	floor := int64(50)
+	r := newTestRouter(2, 8, &floor)
+	g := uint32(2)
+	key := keyInGroup(r, g)
+	from := r.Of(key)
+	to := 1 - from
+
+	_, _ = r.Admit(stream.R, key, true, 0, false)
+	r.Propose([]Move{{Group: g, From: from, To: to}})
+	r.ObserveCountExpire(stream.R, g, 40) // deadline 40 <= floor 50: drained
+	if r.Of(key) != to {
+		t.Fatal("expiry hook did not apply the pending cut-over")
+	}
+	if r.PendingMoves() != 0 {
+		t.Fatalf("PendingMoves = %d, want 0", r.PendingMoves())
+	}
+}
+
+func TestRouterStaleMovesCancelled(t *testing.T) {
+	floor := int64(0)
+	r := newTestRouter(2, 8, &floor)
+	g := uint32(3)
+	key := keyInGroup(r, g)
+	from := r.Of(key)
+
+	_, _ = r.Admit(stream.R, key, true, 0, false) // never drained
+	r.Propose([]Move{{Group: g, From: from, To: 1 - from}})
+	for i := 0; i < 2; i++ {
+		if n := r.AdvanceCycle(2); n != 0 {
+			t.Fatalf("cycle %d cancelled %d moves prematurely", i, n)
+		}
+	}
+	if n := r.AdvanceCycle(2); n != 1 {
+		t.Fatalf("stale move not cancelled (got %d)", n)
+	}
+	if r.PendingMoves() != 0 {
+		t.Fatalf("PendingMoves = %d after cancellation", r.PendingMoves())
+	}
+}
+
+func TestPlanMovesLoadOffHottestShard(t *testing.T) {
+	// 4 groups on shard 0 with loads 50/30/10/10, shards 1..3 empty.
+	assign := []uint32{0, 0, 0, 0}
+	load := []uint64{50, 30, 10, 10}
+	moves := Plan(assign, load, nil, 4, 1.1, 8, func(uint32) bool { return false })
+	if len(moves) == 0 {
+		t.Fatal("no moves planned for a fully skewed assignment")
+	}
+	shardLoad := []uint64{100, 0, 0, 0}
+	for _, m := range moves {
+		if m.From != 0 {
+			t.Fatalf("move %+v does not come from the hot shard", m)
+		}
+		shardLoad[m.From] -= load[m.Group]
+		shardLoad[m.To] += load[m.Group]
+	}
+	var max uint64
+	for _, l := range shardLoad {
+		if l > max {
+			max = l
+		}
+	}
+	// The dominant 50-load group should have stayed put (moving it just
+	// relocates the hotspot); everything else should have spread out.
+	if max != 50 {
+		t.Fatalf("post-plan max shard load = %d, want 50 (shardLoad %v, moves %+v)", max, shardLoad, moves)
+	}
+}
+
+func TestPlanRespectsPendingAndThreshold(t *testing.T) {
+	assign := []uint32{0, 0, 1, 1}
+	load := []uint64{30, 30, 25, 25}
+	// Balanced within threshold 1.5: no moves.
+	if moves := Plan(assign, load, nil, 2, 1.5, 8, func(uint32) bool { return false }); len(moves) != 0 {
+		t.Fatalf("planned %+v on a balanced assignment", moves)
+	}
+	// Skewed, but every donor group pending: no moves.
+	load = []uint64{60, 30, 5, 5}
+	if moves := Plan(assign, load, nil, 2, 1.2, 8, func(uint32) bool { return true }); len(moves) != 0 {
+		t.Fatalf("planned %+v despite pending groups", moves)
+	}
+}
+
+func TestPlanCountsQueueDepthAsLoad(t *testing.T) {
+	// Routed counts alone are balanced, but shard 0 has a deep backlog;
+	// the planner should still move work off it.
+	assign := []uint32{0, 0, 1, 1}
+	load := []uint64{20, 20, 20, 20}
+	extra := []uint64{200, 0}
+	moves := Plan(assign, load, extra, 2, 1.2, 8, func(uint32) bool { return false })
+	if len(moves) == 0 || moves[0].From != 0 {
+		t.Fatalf("backlogged shard not relieved: %+v", moves)
+	}
+}

@@ -1,0 +1,237 @@
+package adapt
+
+import (
+	"sync"
+	"time"
+)
+
+// Probe exposes the race-safe load signals of one shard lane to the
+// sampler. (Per-node comparison counters are deliberately absent: they
+// are plain ints owned by the pipeline goroutines and are only exact
+// after a quiesce, so a live control loop must not read them.)
+type Probe interface {
+	// Results returns the number of results the lane has assembled.
+	Results() uint64
+	// QueueDepth returns the messages in flight inside the lane's
+	// pipeline — the back-pressure signal of a saturated shard.
+	QueueDepth() int
+}
+
+// LaneSample is one shard's load sample over a collect period.
+type LaneSample struct {
+	// Routed counts tuples routed to the shard during the period.
+	Routed uint64
+	// Results is the lane's cumulative assembled-result count.
+	Results uint64
+	// QueueDepth is the in-flight message count at sample time.
+	QueueDepth int
+	// LastAdvance is the latest ingress timestamp routed to the shard
+	// (the lane's watermark; a stale value marks an idle shard).
+	LastAdvance int64
+}
+
+// Config tunes a Controller.
+type Config struct {
+	// SamplePeriod is the control-loop cadence.
+	SamplePeriod time.Duration
+	// SkewThreshold is the max/mean shard-load ratio above which the
+	// planner starts moving groups.
+	SkewThreshold float64
+	// MaxMovesPerCycle bounds how many group moves one cycle may
+	// propose.
+	MaxMovesPerCycle int
+	// MinCycleTuples is the minimum number of tuples a period must
+	// route before its sample is considered significant enough to plan
+	// from.
+	MinCycleTuples uint64
+	// StaleMoveCycles is how many cycles a proposed move may stay
+	// unsafe before it is cancelled. It must comfortably exceed the
+	// window residence time of a group's tuples in control cycles —
+	// cancelling before the group's window could possibly empty
+	// livelocks the plan-propose-cancel loop. Default 64.
+	StaleMoveCycles uint64
+}
+
+// Controller runs the sample → plan → cut-over loop against a Router.
+// Step may be driven by the background Run loop or called directly
+// (the engine's Rebalance method does); both paths serialize on an
+// internal mutex.
+type Controller struct {
+	r   *Router
+	cfg Config
+
+	probes []Probe
+	lastTS func(lane int) int64 // per-lane routed-timestamp watermark
+
+	mu       sync.Mutex
+	prevLoad []uint64
+	curLoad  []uint64 // scratch, reused across cycles
+	delta    []uint64
+	extra    []uint64
+	sample   []LaneSample
+
+	// Plan backoff: when full staleness horizons pass with proposals
+	// but no applied cut-over, the skew is beyond what safe moves can
+	// fix (an immovable hot group) and planning every cycle is wasted
+	// work. The interval doubles up to a cap and resets on the first
+	// applied move.
+	cycle        uint64
+	planInterval uint64
+	misses       uint64
+
+	// Hysteresis: planning engages when the smoothed shard imbalance
+	// exceeds SkewThreshold, then keeps balancing down to a lower
+	// watermark before going quiet. Without it the loop converges to
+	// exactly the threshold and oscillates there, planning every cycle
+	// forever.
+	imbEwma  float64
+	planning bool
+}
+
+// NewController returns a Controller over the router and one probe per
+// shard. lastTS supplies the per-lane ingress watermark and may be nil.
+func NewController(r *Router, probes []Probe, lastTS func(lane int) int64, cfg Config) *Controller {
+	if cfg.SkewThreshold < 1 {
+		cfg.SkewThreshold = 1.25
+	}
+	if cfg.MaxMovesPerCycle < 1 {
+		cfg.MaxMovesPerCycle = r.Shards()
+	}
+	if cfg.MinCycleTuples == 0 {
+		cfg.MinCycleTuples = 128
+	}
+	if cfg.StaleMoveCycles == 0 {
+		cfg.StaleMoveCycles = 64
+	}
+	return &Controller{r: r, cfg: cfg, probes: probes, lastTS: lastTS}
+}
+
+// Step runs one control cycle: sample per-group load deltas and lane
+// probes, plan moves if the period saw enough traffic and skew exceeds
+// the threshold, register them, and attempt every pending cut-over.
+// It returns the number of moves proposed and applied this cycle.
+func (c *Controller) Step() (proposed, applied int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	groups := c.r.Groups()
+	shards := c.r.Shards()
+	if c.curLoad == nil {
+		c.curLoad = make([]uint64, groups)
+		c.delta = make([]uint64, groups)
+		c.extra = make([]uint64, shards)
+		c.sample = make([]LaneSample, shards)
+	}
+	c.r.SampleLoadsInto(c.curLoad)
+	var total uint64
+	for i, l := range c.curLoad {
+		if c.prevLoad != nil {
+			c.delta[i] = l - c.prevLoad[i]
+		} else {
+			c.delta[i] = l
+		}
+		total += c.delta[i]
+	}
+	c.prevLoad, c.curLoad = c.curLoad, c.prevLoad
+	if c.curLoad == nil {
+		c.curLoad = make([]uint64, groups)
+	}
+
+	assign := c.r.AssignmentView() // immutable snapshot; never mutated here
+	for s := range c.sample {
+		c.sample[s] = LaneSample{}
+	}
+	for g, s := range assign {
+		c.sample[s].Routed += c.delta[g]
+	}
+	for s := 0; s < shards; s++ {
+		c.extra[s] = 0
+		if s < len(c.probes) && c.probes[s] != nil {
+			c.sample[s].Results = c.probes[s].Results()
+			c.sample[s].QueueDepth = c.probes[s].QueueDepth()
+			c.extra[s] = uint64(c.sample[s].QueueDepth)
+		}
+		if c.lastTS != nil {
+			c.sample[s].LastAdvance = c.lastTS(s)
+		}
+	}
+
+	c.r.AdvanceCycle(c.cfg.StaleMoveCycles)
+	c.cycle++
+	if c.planInterval == 0 {
+		c.planInterval = 1
+	}
+	if total >= c.cfg.MinCycleTuples {
+		var maxLoad, sumLoad uint64
+		for s := 0; s < shards; s++ {
+			l := c.sample[s].Routed + c.extra[s]
+			sumLoad += l
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		imb := float64(maxLoad) * float64(shards) / float64(sumLoad)
+		if c.imbEwma == 0 {
+			c.imbEwma = imb
+		}
+		c.imbEwma = 0.8*c.imbEwma + 0.2*imb
+		high := c.cfg.SkewThreshold
+		low := 1 + (high-1)*0.5
+		if !c.planning && c.imbEwma > high {
+			c.planning = true
+		} else if c.planning && c.imbEwma < low {
+			c.planning = false
+		}
+		if c.planning && c.cycle%c.planInterval == 0 {
+			pending := c.r.PendingSnapshot()
+			inFlight := func(g uint32) bool { _, ok := pending[g]; return ok }
+			moves := Plan(assign, c.delta, c.extra, shards, low, c.cfg.MaxMovesPerCycle, inFlight)
+			proposed = c.r.Propose(moves)
+		}
+	}
+	applied = c.r.TryApply()
+	switch {
+	case applied > 0:
+		// Halve rather than reset: during real convergence applies come
+		// every cycle and the interval stays at 1, while a trickle of
+		// applies against a mostly-immovable skew does not re-arm
+		// full-rate planning.
+		c.planInterval = max(1, c.planInterval/2)
+		c.misses = 0
+	case proposed > 0 || c.r.PendingMoves() > 0:
+		c.misses++
+		if c.misses >= c.cfg.StaleMoveCycles {
+			c.misses = 0
+			if c.planInterval < 64 {
+				c.planInterval *= 2
+			}
+		}
+	}
+	return proposed, applied
+}
+
+// LastSample returns the per-shard samples of the most recent cycle.
+func (c *Controller) LastSample() []LaneSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]LaneSample(nil), c.sample...)
+}
+
+// Run loops Step every SamplePeriod until stop is closed. It is meant
+// to run on its own goroutine.
+func (c *Controller) Run(stop <-chan struct{}) {
+	period := c.cfg.SamplePeriod
+	if period <= 0 {
+		period = 2 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			c.Step()
+		}
+	}
+}

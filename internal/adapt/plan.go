@@ -1,0 +1,122 @@
+package adapt
+
+import "sort"
+
+// Move reassigns one key-group to a new shard.
+type Move struct {
+	Group    uint32
+	From, To int
+}
+
+// Plan detects load skew across shards and picks up to maxMoves group
+// moves that shrink it.
+//
+// assign is the current group → shard table, groupLoad the per-group
+// tuple counts observed this cycle, and shardExtra a per-shard load
+// bias (the controller passes pipeline queue depths, so a shard with a
+// standing backlog reads as hotter than its routed count alone).
+// threshold is the max/mean ratio above which a shard counts as
+// overloaded; pending reports groups that already have a move in
+// flight and must not be re-planned.
+//
+// The plan is greedy: repeatedly take the most loaded shard and move
+// its largest group that (a) fits under the gap to the least loaded
+// shard — so the maximum strictly decreases — and (b) is not the
+// donor's dominant hot group when moving it could not help. A group
+// hotter than the donor/receiver gap is skipped rather than bounced
+// between shards; relieving a skewed shard then proceeds by
+// evacuating its colder co-resident groups, which is also the only
+// kind of move the cut-over protocol can apply while the group's
+// window keeps refilling (see the package comment).
+func Plan(assign []uint32, groupLoad []uint64, shardExtra []uint64, shards int, threshold float64, maxMoves int, pending func(uint32) bool) []Move {
+	if shards < 2 || maxMoves < 1 || len(assign) != len(groupLoad) {
+		return nil
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	shardLoad := make([]uint64, shards)
+	var total uint64
+	for g, s := range assign {
+		shardLoad[s] += groupLoad[g]
+		total += groupLoad[g]
+	}
+	for s := 0; s < shards && s < len(shardExtra); s++ {
+		shardLoad[s] += shardExtra[s]
+		total += shardExtra[s]
+	}
+	if total == 0 {
+		return nil
+	}
+	mean := float64(total) / float64(shards)
+	var maxLoad uint64
+	for _, l := range shardLoad {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if float64(maxLoad) <= threshold*mean {
+		return nil // balanced: skip the per-group work entirely
+	}
+
+	// Groups per shard, hottest first, immovables excluded.
+	byShard := make([][]uint32, shards)
+	for g, s := range assign {
+		if groupLoad[g] == 0 || pending(uint32(g)) {
+			continue
+		}
+		byShard[s] = append(byShard[s], uint32(g))
+	}
+	for s := range byShard {
+		gs := byShard[s]
+		sort.Slice(gs, func(i, j int) bool { return groupLoad[gs[i]] > groupLoad[gs[j]] })
+	}
+
+	var moves []Move
+	exhausted := make([]bool, shards) // donors with no helpful candidate left
+	for len(moves) < maxMoves {
+		donor, recv := -1, -1
+		for s := 0; s < shards; s++ {
+			if !exhausted[s] && len(byShard[s]) > 0 && (donor == -1 || shardLoad[s] > shardLoad[donor]) {
+				donor = s
+			}
+			if recv == -1 || shardLoad[s] < shardLoad[recv] {
+				recv = s
+			}
+		}
+		if donor == -1 || donor == recv || float64(shardLoad[donor]) <= threshold*mean {
+			break
+		}
+		gap := shardLoad[donor] - shardLoad[recv]
+		pick := -1
+		for i, g := range byShard[donor] {
+			if groupLoad[g] < gap {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			// Every remaining candidate is at least as large as the
+			// gap — moving one would just relocate the hotspot.
+			exhausted[donor] = true
+			continue
+		}
+		g := byShard[donor][pick]
+		byShard[donor] = append(byShard[donor][:pick], byShard[donor][pick+1:]...)
+		moves = append(moves, Move{Group: g, From: donor, To: recv})
+		byShard[recv] = insertByLoad(byShard[recv], g, groupLoad)
+		shardLoad[donor] -= groupLoad[g]
+		shardLoad[recv] += groupLoad[g]
+	}
+	return moves
+}
+
+// insertByLoad keeps a shard's candidate list sorted hottest-first
+// when a group lands on it mid-plan.
+func insertByLoad(gs []uint32, g uint32, load []uint64) []uint32 {
+	i := sort.Search(len(gs), func(i int) bool { return load[gs[i]] < load[g] })
+	gs = append(gs, 0)
+	copy(gs[i+1:], gs[i:])
+	gs[i] = g
+	return gs
+}

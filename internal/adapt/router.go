@@ -1,0 +1,408 @@
+// Package adapt turns the statically partitioned sharded engine into a
+// self-balancing runtime: a Router routes join keys through the
+// key-group indirection of shard.Partitioner and tracks each group's
+// residency footprint; a Planner (Plan) detects load skew across
+// shards and picks group moves that shrink it; and a Controller runs
+// the sample → plan → cut-over loop on a configurable period.
+//
+// # Safety of a cut-over
+//
+// Moving a key-group while the join is running must not change the
+// result multiset. The hazard: tuples of the moving group that are
+// still inside a sliding window on the old shard would never meet
+// tuples routed to the new shard. The Router therefore treats a move
+// as *pending* until the group provably has no joinable state left on
+// its old shard:
+//
+//   - every count-bound tuple of the group has left its window
+//     (per-side live counters, maintained by the engine's window
+//     accounting), and
+//   - stream time has passed dueBound, the largest expiry deadline any
+//     routed tuple of the group ever had — duration-bound deadlines
+//     are recorded at admission (arrival ts + window duration),
+//     count-bound deadlines when the window overflow schedules the
+//     expiry. "Stream time" is the floor over both ingress sides, so
+//     every future tuple of either side carries a timestamp >= floor.
+//
+// Once both hold, any tuple of the group still stored on the old shard
+// has an expiry deadline <= floor, and the driver expires due tuples
+// before processing any arrival with an equal-or-later timestamp — so
+// no future tuple, routed anywhere, could have joined it. Cutting the
+// group over to the new shard is then invisible in the output. The
+// punctuation merge is routing-agnostic (the floor over per-shard
+// promises stays sound for any tuple placement), so Ordered-mode
+// output order is preserved as well.
+//
+// A consequence: a group that is *continuously* hot never drains — its
+// window always holds recent tuples — so it can never be moved without
+// state migration, which this design deliberately avoids. The planner
+// works with, not against, that constraint: it relieves an overloaded
+// shard by evacuating the shard's colder co-resident groups (whose
+// windows empty out all the time) rather than by moving the hot group
+// itself. Under a Zipf-skewed key distribution that converges to the
+// same balanced assignment — the hot group ends up owning its shard
+// while the movable mass spreads over the others.
+//
+// Cut-overs are attempted the moment a group's live count drops to
+// zero (the expiry hook is exactly when a drain condition can newly
+// hold) and by the controller on every cycle, so duration-bound drains
+// are caught too. Move intents that stay unsafe for many cycles are
+// cancelled so the pending set tracks the current plan.
+package adapt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"handshakejoin/internal/shard"
+	"handshakejoin/internal/stream"
+)
+
+// stripeCount is the number of locks the per-group accounting is
+// striped over. Admission of two groups in different stripes never
+// contends; the critical section is a handful of integer updates.
+const stripeCount = 64
+
+// Router routes join keys to shards through an atomically swappable
+// Partitioner snapshot and maintains the per-group state the cut-over
+// safety protocol needs. The data plane (Of, Admit, ObserveCountExpire)
+// is called by the engine under its per-side stream locks; the control
+// plane (Propose, TryApply, SampleLoads) by the controller.
+type Router struct {
+	adaptive bool
+	groups   uint64
+	shards   int
+	table    atomic.Pointer[shard.Partitioner]
+
+	// floor reports the minimum ingress timestamp over both stream
+	// sides: every future tuple of either side is stamped >= floor().
+	floor func() int64
+
+	stripes [stripeCount]sync.Mutex
+
+	// Per-group accounting, indexed by group. load counts routed
+	// tuples (atomic; read by the sampler). rLive/sLive count
+	// count-bound tuples currently inside their window; dueBound is
+	// the largest stream time at which any routed tuple of the group
+	// may still occupy a window. All three are guarded by the group's
+	// stripe.
+	load     []uint64
+	rLive    []int64
+	sLive    []int64
+	dueBound []int64
+
+	mu       sync.Mutex      // control plane: pending moves, table swaps
+	moves    map[uint32]move // group → pending cut-over
+	pendingN atomic.Int32    // len(moves); fast-path gate for the expiry hook
+	moveSeq  uint64          // control cycle stamp for stale-move cancellation
+	cycles   atomic.Uint64   // control cycles that registered >= 1 move
+	applied  atomic.Uint64   // key-group moves cut over
+}
+
+// move is one pending cut-over: the target shard and the control cycle
+// that proposed it (for staleness cancellation).
+type move struct {
+	to  int
+	seq uint64
+}
+
+// NewRouter returns a Router over the given initial partitioning.
+// adaptive enables the per-group footprint accounting (and its small
+// admission cost); a non-adaptive router is a plain table lookup.
+// floor supplies the both-sides ingress timestamp floor and is only
+// consulted when adaptive.
+func NewRouter(p shard.Partitioner, adaptive bool, floor func() int64) *Router {
+	r := &Router{
+		adaptive: adaptive,
+		groups:   uint64(p.Groups()),
+		shards:   p.Shards(),
+		floor:    floor,
+	}
+	r.table.Store(&p)
+	if adaptive {
+		g := p.Groups()
+		r.load = make([]uint64, g)
+		r.rLive = make([]int64, g)
+		r.sLive = make([]int64, g)
+		r.dueBound = make([]int64, g)
+		for i := range r.dueBound {
+			r.dueBound[i] = -1 << 62
+		}
+		r.moves = map[uint32]move{}
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Groups returns the key-group count.
+func (r *Router) Groups() int { return int(r.groups) }
+
+// Adaptive reports whether footprint accounting is enabled.
+func (r *Router) Adaptive() bool { return r.adaptive }
+
+// Partitioner returns the current routing snapshot.
+func (r *Router) Partitioner() shard.Partitioner { return *r.table.Load() }
+
+// Assignment returns a copy of the current group → shard table.
+func (r *Router) Assignment() []uint32 { return r.table.Load().Assignment() }
+
+// AssignmentView returns the current group → shard table without
+// copying. Snapshots are immutable (cut-overs install new tables), so
+// the view is safe to read but must never be mutated; the control loop
+// uses it to avoid re-allocating a table-sized copy every cycle.
+func (r *Router) AssignmentView() []uint32 { return r.table.Load().AssignmentView() }
+
+// SampleLoadsInto fills dst (length Groups) with the cumulative
+// per-group routed-tuple counters, avoiding the allocation of
+// SampleLoads for per-cycle callers.
+func (r *Router) SampleLoadsInto(dst []uint64) {
+	for i := range r.load {
+		dst[i] = atomic.LoadUint64(&r.load[i])
+	}
+}
+
+// GroupOf returns the key-group of a join key (independent of the
+// current assignment).
+func (r *Router) GroupOf(key uint64) uint32 { return r.table.Load().GroupOf(key) }
+
+// Of routes a key through the current table without accounting — the
+// non-adaptive fast path.
+func (r *Router) Of(key uint64) int { return r.table.Load().Of(key) }
+
+// Admit routes one admitted tuple and records its residency footprint;
+// the engine calls it under the pushing side's stream lock, after
+// updating that side's ingress timestamp. countBound marks a side
+// whose window has a Count bound (the tuple's live count is released
+// by ObserveCountExpire); durDue is the tuple's duration-window expiry
+// deadline, recorded when hasDur.
+//
+// The footprint is recorded and the table read under the group's
+// stripe lock, so a concurrent cut-over of the same group (which also
+// holds the stripe) either sees the tuple's footprint — and defers —
+// or routes the tuple to the group's new shard. Both orders preserve
+// the result multiset; no tuple can slip to the old shard unseen.
+func (r *Router) Admit(side stream.Side, key uint64, countBound bool, durDue int64, hasDur bool) (lane int, group uint32) {
+	g := r.table.Load().GroupOf(key)
+	st := &r.stripes[g%stripeCount]
+	st.Lock()
+	if countBound {
+		if side == stream.R {
+			r.rLive[g]++
+		} else {
+			r.sLive[g]++
+		}
+	}
+	if hasDur && durDue > r.dueBound[g] {
+		r.dueBound[g] = durDue
+	}
+	atomic.AddUint64(&r.load[g], 1)
+	lane = r.table.Load().ShardOfGroup(g)
+	st.Unlock()
+	return lane, g
+}
+
+// ObserveCountExpire releases the live count a count-bound tuple of
+// the group acquired at admission and raises the group's due bound to
+// the expiry deadline: the tuple leaves its window only once stream
+// time reaches due, so a cut-over before that could still lose joins
+// against the lagging side.
+//
+// When the release empties the group and a move is pending for it, the
+// cut-over is attempted immediately — the expiry hook is the instant a
+// drain condition can newly become true, and waiting for the next
+// control cycle would miss short-lived empty windows on busier groups.
+func (r *Router) ObserveCountExpire(side stream.Side, g uint32, due int64) {
+	st := &r.stripes[g%stripeCount]
+	st.Lock()
+	if side == stream.R {
+		r.rLive[g]--
+	} else {
+		r.sLive[g]--
+	}
+	if due > r.dueBound[g] {
+		r.dueBound[g] = due
+	}
+	drained := r.rLive[g] == 0 && r.sLive[g] == 0
+	st.Unlock()
+	if drained && r.pendingN.Load() > 0 {
+		r.tryApplyGroup(g)
+	}
+}
+
+// tryApplyGroup attempts the pending cut-over of one group, if any.
+// Lock order is mu → stripe, matching TryApply; callers must hold
+// neither.
+func (r *Router) tryApplyGroup(g uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mv, ok := r.moves[g]
+	if !ok {
+		return
+	}
+	floor := r.floor()
+	if r.applyIfSafe(g, mv.to, floor) {
+		r.applied.Add(1)
+	}
+}
+
+// applyIfSafe cuts group g over to shard to when its drain conditions
+// hold. Callers hold r.mu; the group's stripe is taken here so the
+// check and the table swap are atomic with respect to admissions of
+// the same group.
+func (r *Router) applyIfSafe(g uint32, to int, floor int64) bool {
+	st := &r.stripes[g%stripeCount]
+	st.Lock()
+	defer st.Unlock()
+	if r.rLive[g] != 0 || r.sLive[g] != 0 || r.dueBound[g] > floor {
+		return false
+	}
+	next := r.table.Load().Move(g, to)
+	r.table.Store(&next)
+	delete(r.moves, g)
+	r.pendingN.Store(int32(len(r.moves)))
+	return true
+}
+
+// SampleLoads returns the cumulative per-group routed-tuple counters;
+// the controller diffs consecutive samples.
+func (r *Router) SampleLoads() []uint64 {
+	out := make([]uint64, len(r.load))
+	for i := range r.load {
+		out[i] = atomic.LoadUint64(&r.load[i])
+	}
+	return out
+}
+
+// PendingMoves returns the number of registered, not yet applied moves.
+func (r *Router) PendingMoves() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.moves)
+}
+
+// Propose registers planned moves for safe cut-over, skipping groups
+// that already have one pending or whose target matches their current
+// shard. Returns the number registered; a cycle registering at least
+// one move counts as a rebalance.
+func (r *Router) Propose(moves []Move) int {
+	if !r.adaptive || len(moves) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	added := 0
+	cur := r.table.Load()
+	for _, m := range moves {
+		if _, dup := r.moves[m.Group]; dup {
+			continue
+		}
+		if m.To < 0 || m.To >= r.shards || cur.ShardOfGroup(m.Group) == m.To {
+			continue
+		}
+		r.moves[m.Group] = move{to: m.To, seq: r.moveSeq}
+		added++
+	}
+	r.pendingN.Store(int32(len(r.moves)))
+	if added > 0 {
+		r.cycles.Add(1)
+	}
+	return added
+}
+
+// TryApply attempts to cut over every pending move whose group has
+// provably no joinable state left on its old shard, and returns the
+// number applied.
+//
+// The safety check and the table swap must be atomic with respect to
+// admissions of each moved group, so the batch takes every stripe once
+// and installs a single rewired table — one O(groups) copy per control
+// cycle instead of one per move, and the ingress path is blocked for
+// one bounded interval rather than once per cut-over. Lock order is
+// mu → stripes (ascending), consistent with applyIfSafe; admissions
+// take a single stripe and never the control mutex, so no cycle
+// exists.
+func (r *Router) TryApply() int {
+	if !r.adaptive {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.moves) == 0 {
+		return 0
+	}
+	floor := r.floor()
+	for i := range r.stripes {
+		r.stripes[i].Lock()
+	}
+	cur := r.table.Load()
+	var assign []uint32
+	applied := 0
+	for g, mv := range r.moves {
+		if r.rLive[g] != 0 || r.sLive[g] != 0 || r.dueBound[g] > floor {
+			continue
+		}
+		if assign == nil {
+			assign = cur.Assignment()
+		}
+		assign[g] = uint32(mv.to)
+		delete(r.moves, g)
+		applied++
+	}
+	if assign != nil {
+		next := cur.Rewire(assign)
+		r.table.Store(&next)
+		r.pendingN.Store(int32(len(r.moves)))
+	}
+	for i := len(r.stripes) - 1; i >= 0; i-- {
+		r.stripes[i].Unlock()
+	}
+	if applied > 0 {
+		r.applied.Add(uint64(applied))
+	}
+	return applied
+}
+
+// PendingSnapshot returns the groups with registered moves, as one
+// locked copy — planners iterate many groups per cycle and must not
+// take the control mutex per group.
+func (r *Router) PendingSnapshot() map[uint32]struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[uint32]struct{}, len(r.moves))
+	for g := range r.moves {
+		out[g] = struct{}{}
+	}
+	return out
+}
+
+// AdvanceCycle stamps the start of a new control cycle and cancels
+// pending moves that have stayed unsafe for more than maxAge cycles —
+// the load pattern that motivated them has usually shifted, and a
+// stale intent applied much later could move a group onto what has
+// since become the hottest shard. Returns the number cancelled.
+func (r *Router) AdvanceCycle(maxAge uint64) int {
+	if !r.adaptive {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.moveSeq++
+	cancelled := 0
+	for g, mv := range r.moves {
+		if r.moveSeq-mv.seq > maxAge {
+			delete(r.moves, g)
+			cancelled++
+		}
+	}
+	r.pendingN.Store(int32(len(r.moves)))
+	return cancelled
+}
+
+// Rebalances returns the number of control cycles that registered
+// moves.
+func (r *Router) Rebalances() uint64 { return r.cycles.Load() }
+
+// Applied returns the number of key-group moves cut over.
+func (r *Router) Applied() uint64 { return r.applied.Load() }

@@ -212,6 +212,27 @@ func (t Throughput) String() string {
 	return fmt.Sprintf("%.0f tuples/sec", t.PerSecond())
 }
 
+// Imbalance returns the max/mean ratio of a set of per-shard counts —
+// 1.0 is a perfectly balanced fan-out, Shards is the worst case (all
+// load on one shard). Returns 0 for an empty or all-zero input.
+func Imbalance(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var max, sum uint64
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(max) / mean
+}
+
 // MaxInt64 returns the maximum of a slice, 0 when empty.
 func MaxInt64(xs []int64) int64 {
 	var m int64

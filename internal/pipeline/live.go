@@ -220,9 +220,21 @@ func (e *liveEmitter[L, R]) EmitResult(p stream.Pair[L, R]) {
 }
 
 func (e *liveEmitter[L, R]) StreamEnd(side stream.Side, ts int64) {
-	hwm := &e.lv.hwmR
+	e.lv.AdvanceHWM(side, ts)
+}
+
+// AdvanceHWM raises one side's high-water mark to ts (never lowers
+// it). Besides the pipeline-end StreamEnd path, drivers call this to
+// promise stream progress on an idle, quiescent pipeline: when the
+// driver knows every future tuple of both sides carries a timestamp
+// >= ts and the pipeline holds no in-flight arrivals, no future result
+// can have a timestamp below ts (a result's timestamp is the later of
+// its two inputs), so the promise is sound even though no tuple
+// carried it through the pipeline.
+func (lv *Live[L, R]) AdvanceHWM(side stream.Side, ts int64) {
+	hwm := &lv.hwmR
 	if side == stream.S {
-		hwm = &e.lv.hwmS
+		hwm = &lv.hwmS
 	}
 	for {
 		cur := hwm.Load()

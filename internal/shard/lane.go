@@ -41,18 +41,25 @@ type LaneConfig struct {
 // All driver entry points are serialized by an internal mutex, so a
 // Lane may be fed concurrently from both stream sides; the fan-out
 // engine above it only has to route tuples and expiries to the right
-// lane.
+// lane. Expiry scheduling takes a separate, finer lock: QueueExpiry is
+// called by the engine while it holds a stream-side lock, and must not
+// wait behind a flush that is blocked on pipeline back-pressure (which
+// holds the main mutex), or one saturated lane would stall every
+// pusher.
 type Lane[L, R any] struct {
 	cfg  LaneConfig
 	lv   *pipeline.Live[L, R]
 	coll *collect.Collector[L, R]
 	wg   sync.WaitGroup
 
-	mu         sync.Mutex
-	rBatch     []stream.Tuple[L]
-	sBatch     []stream.Tuple[R]
+	mu     sync.Mutex // batches, inj marks, flushes, tick/heartbeat
+	rBatch []stream.Tuple[L]
+	sBatch []stream.Tuple[R]
+	rInj   uint64 // exclusive seq high-water mark of injected arrivals
+	sInj   uint64
+
+	expMu      sync.Mutex // expiry queues only; never held across Inject
 	rExp, sExp *ExpiryQueue
-	rInj, sInj uint64 // exclusive seq high-water mark of injected arrivals
 }
 
 // NewLane builds a lane and starts its pipeline and collector
@@ -102,8 +109,8 @@ func (l *Lane[L, R]) PushS(t stream.Tuple[R]) {
 // duration-bound) expiry. Due times must be non-decreasing per
 // (side, counted) pair — which routing monotonic streams guarantees.
 func (l *Lane[L, R]) QueueExpiry(side stream.Side, seq uint64, due int64, counted bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.expMu.Lock()
+	defer l.expMu.Unlock()
 	q := l.rExp
 	if side == stream.S {
 		q = l.sExp
@@ -115,6 +122,21 @@ func (l *Lane[L, R]) QueueExpiry(side stream.Side, seq uint64, due int64, counte
 	}
 }
 
+// popDueR / popDueS drain the due expiries of one side under the
+// expiry lock, so the subsequent Inject (which may block on pipeline
+// back-pressure) never holds it.
+func (l *Lane[L, R]) popDueR(t int64) []uint64 {
+	l.expMu.Lock()
+	defer l.expMu.Unlock()
+	return l.rExp.PopDue(t, l.rInj)
+}
+
+func (l *Lane[L, R]) popDueS(t int64) []uint64 {
+	l.expMu.Lock()
+	defer l.expMu.Unlock()
+	return l.sExp.PopDue(t, l.sInj)
+}
+
 // flushR injects pending S expiries (left end, so that R tuples behind
 // them no longer join the expired S tuples) followed by the buffered R
 // batch. Callers hold l.mu.
@@ -123,7 +145,7 @@ func (l *Lane[L, R]) flushR() {
 		return
 	}
 	due := l.rBatch[len(l.rBatch)-1].TS
-	if seqs := l.sExp.PopDue(due, l.sInj); len(seqs) > 0 {
+	if seqs := l.popDueS(due); len(seqs) > 0 {
 		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
 	}
 	l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.R, R: l.rBatch})
@@ -138,7 +160,7 @@ func (l *Lane[L, R]) flushS() {
 		return
 	}
 	due := l.sBatch[len(l.sBatch)-1].TS
-	if seqs := l.rExp.PopDue(due, l.rInj); len(seqs) > 0 {
+	if seqs := l.popDueR(due); len(seqs) > 0 {
 		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
 	}
 	l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.S, S: l.sBatch})
@@ -152,16 +174,47 @@ func (l *Lane[L, R]) flushS() {
 func (l *Lane[L, R]) Tick(ts int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.tickLocked(ts)
+}
+
+func (l *Lane[L, R]) tickLocked(ts int64) {
 	l.flushR()
 	l.flushS()
 	l.lv.Quiesce()
-	if seqs := l.sExp.PopDue(ts, l.sInj); len(seqs) > 0 {
+	if seqs := l.popDueS(ts); len(seqs) > 0 {
 		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
 	}
-	if seqs := l.rExp.PopDue(ts, l.rInj); len(seqs) > 0 {
+	if seqs := l.popDueR(ts); len(seqs) > 0 {
 		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
 	}
 }
+
+// Heartbeat advances stream time to ts like Tick and additionally
+// promises ts on both high-water marks, so the lane's collector can
+// punctuate even though no tuple flowed through the pipeline.
+//
+// The caller must guarantee that every tuple it will ever push to this
+// lane afterwards — on either side — carries a timestamp >= ts (the
+// sharded engine passes the minimum of the per-side ingress
+// timestamps). Under that guarantee the promise is sound: after the
+// flush-and-quiesce below, every result derivable from the lane's
+// current window contents has been emitted to the result queues, and
+// any future result involves at least one future arrival, whose
+// timestamp — and therefore the result's (the later of the pair) — is
+// >= ts. The collector reads high-water marks before vacuuming the
+// result queues, so results emitted before the promise always precede
+// the punctuation that carries it.
+func (l *Lane[L, R]) Heartbeat(ts int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tickLocked(ts)
+	l.lv.AdvanceHWM(stream.R, ts)
+	l.lv.AdvanceHWM(stream.S, ts)
+}
+
+// QueueDepth reports the number of messages currently in flight inside
+// the lane's pipeline — the back-pressure signal load samplers read.
+func (l *Lane[L, R]) QueueDepth() int { return l.lv.QueueDepth() }
 
 // Close flushes buffered batches, waits for the pipeline to quiesce,
 // and stops the node and collector goroutines. The lane cannot be

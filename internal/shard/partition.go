@@ -15,7 +15,7 @@ package shard
 
 // mix is the splitmix64 finalizer — a full-avalanche mixer so that
 // join keys drawn from small or structured domains (symbol ids,
-// sensor numbers) still spread evenly across shards.
+// sensor numbers) still spread evenly across key-groups.
 func mix(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -25,23 +25,109 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// Partitioner maps join keys to shard indices. It is a pure value:
-// copies partition identically, and the mapping is stable for the life
-// of an engine (tuples of equal keys always share a shard).
+// Mix exposes the key mixer so that routing layers built on top of the
+// Partitioner (internal/adapt) group keys identically.
+func Mix(x uint64) uint64 { return mix(x) }
+
+// Partitioner maps join keys to shard indices through a two-level
+// indirection: a key hashes onto one of G key-groups (G ≫ shard
+// count), and an assignment table maps each group to the shard
+// currently owning it. The extra level is what makes load-aware
+// rebalancing possible — moving one group re-routes a 1/G slice of the
+// key space without touching the hash function — while a fresh
+// Partitioner still spreads uniform keys evenly (the initial
+// assignment is round-robin, so group balance implies shard balance).
+//
+// A Partitioner is an immutable snapshot: copies partition
+// identically, Move returns a new snapshot instead of mutating, and
+// the mapping only changes when a routing layer installs a new
+// snapshot. Tuples of equal keys always share a group, hence a shard.
 type Partitioner struct {
-	shards uint64
+	shards int
+	groups uint64
+	assign []uint32 // group → shard; never mutated after construction
 }
 
-// NewPartitioner returns a Partitioner over n shards. n must be >= 1.
+// DefaultGroups returns the default key-group count for n shards:
+// enough groups that each shard owns many (so load moves in fine
+// slices), bounded so per-group bookkeeping stays small.
+func DefaultGroups(n int) int {
+	g := 64 * n
+	if g < 64 {
+		g = 64
+	}
+	if g > 4096 {
+		g = 4096
+	}
+	if g < n {
+		g = n
+	}
+	return g
+}
+
+// NewPartitioner returns a Partitioner over n shards with the default
+// group count. n must be >= 1.
 func NewPartitioner(n int) Partitioner {
+	return NewPartitionerGroups(n, DefaultGroups(n))
+}
+
+// NewPartitionerGroups returns a Partitioner over n shards and g
+// key-groups, with groups assigned round-robin (group i → shard i mod
+// n). Requires n >= 1 and g >= n.
+func NewPartitionerGroups(n, g int) Partitioner {
 	if n < 1 {
 		panic("shard: Partitioner needs >= 1 shard")
 	}
-	return Partitioner{shards: uint64(n)}
+	if g < n {
+		panic("shard: Partitioner needs at least one group per shard")
+	}
+	assign := make([]uint32, g)
+	for i := range assign {
+		assign[i] = uint32(i % n)
+	}
+	return Partitioner{shards: n, groups: uint64(g), assign: assign}
 }
 
 // Shards returns the shard count.
-func (p Partitioner) Shards() int { return int(p.shards) }
+func (p Partitioner) Shards() int { return p.shards }
+
+// Groups returns the key-group count.
+func (p Partitioner) Groups() int { return int(p.groups) }
+
+// GroupOf returns the key-group owning the given join key.
+func (p Partitioner) GroupOf(key uint64) uint32 { return uint32(mix(key) % p.groups) }
+
+// ShardOfGroup returns the shard a key-group is assigned to.
+func (p Partitioner) ShardOfGroup(g uint32) int { return int(p.assign[g]) }
 
 // Of returns the shard owning the given join key.
-func (p Partitioner) Of(key uint64) int { return int(mix(key) % p.shards) }
+func (p Partitioner) Of(key uint64) int { return int(p.assign[mix(key)%p.groups]) }
+
+// Move returns a new snapshot with group g reassigned to shard to;
+// the receiver is unchanged.
+func (p Partitioner) Move(g uint32, to int) Partitioner {
+	if to < 0 || to >= p.shards {
+		panic("shard: Move target out of range")
+	}
+	assign := append([]uint32(nil), p.assign...)
+	assign[g] = uint32(to)
+	return Partitioner{shards: p.shards, groups: p.groups, assign: assign}
+}
+
+// Rewire returns a snapshot routing through the given assignment
+// table, taking ownership of the slice — the caller must not mutate it
+// afterwards (snapshots are immutable). It is the bulk counterpart of
+// Move: copy the assignment once, edit many groups, rewire once.
+func (p Partitioner) Rewire(assign []uint32) Partitioner {
+	if len(assign) != int(p.groups) {
+		panic("shard: Rewire assignment length mismatch")
+	}
+	return Partitioner{shards: p.shards, groups: p.groups, assign: assign}
+}
+
+// Assignment returns a copy of the group → shard table.
+func (p Partitioner) Assignment() []uint32 { return append([]uint32(nil), p.assign...) }
+
+// AssignmentView returns the group → shard table without copying; the
+// slice is immutable by construction and must not be mutated.
+func (p Partitioner) AssignmentView() []uint32 { return p.assign }

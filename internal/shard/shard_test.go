@@ -41,6 +41,43 @@ func TestPartitionerBalancesSequentialKeys(t *testing.T) {
 	}
 }
 
+func TestPartitionerGroupIndirection(t *testing.T) {
+	const n = 4
+	p := NewPartitionerGroups(n, 64)
+	if p.Groups() != 64 {
+		t.Fatalf("Groups() = %d, want 64", p.Groups())
+	}
+	for key := uint64(0); key < 2000; key++ {
+		g := p.GroupOf(key)
+		if p.Of(key) != p.ShardOfGroup(g) {
+			t.Fatalf("key %d: Of = %d, but group %d is assigned to %d",
+				key, p.Of(key), g, p.ShardOfGroup(g))
+		}
+	}
+}
+
+func TestPartitionerMoveReroutesExactlyOneGroup(t *testing.T) {
+	const n, keys = 4, 4000
+	p := NewPartitionerGroups(n, 64)
+	var g uint32 = p.GroupOf(12345)
+	from := p.ShardOfGroup(g)
+	to := (from + 1) % n
+	q := p.Move(g, to)
+
+	if p.ShardOfGroup(g) == to {
+		t.Fatal("Move mutated the receiver snapshot")
+	}
+	for key := uint64(0); key < keys; key++ {
+		want := p.Of(key)
+		if p.GroupOf(key) == g {
+			want = to
+		}
+		if got := q.Of(key); got != want {
+			t.Fatalf("key %d: moved snapshot routes to %d, want %d", key, got, want)
+		}
+	}
+}
+
 func TestExpiryQueuePopsInDueOrder(t *testing.T) {
 	q := NewExpiryQueue(false)
 	q.PushDur(1, 10)

@@ -18,6 +18,8 @@
 package workload
 
 import (
+	"math"
+
 	"handshakejoin/internal/stream"
 )
 
@@ -87,6 +89,51 @@ func (r *Rand) Intn(n int) int {
 // Float64 returns a value in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Zipf draws values from {0, …, n−1} with P(k) ∝ 1/(k+1)^theta — the
+// skewed key distribution of the adaptive-sharding experiments. It
+// inverts the exact cumulative distribution with a binary search per
+// draw (O(n) floats of setup, O(log n) per value), so any theta > 0
+// works, including theta >= 1 where the Gray et al. closed form does
+// not apply. Deterministic given the Rand it draws from.
+type Zipf struct {
+	rnd *Rand
+	cdf []float64
+}
+
+// NewZipf returns a Zipf distribution over n values with exponent
+// theta, drawing randomness from rnd. n must be >= 1; theta <= 0
+// degenerates to uniform.
+func NewZipf(rnd *Rand, theta float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), theta)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{rnd: rnd, cdf: cdf}
+}
+
+// Next draws the next value; 0 is the most frequent.
+func (z *Zipf) Next() uint64 {
+	u := z.rnd.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
 }
 
 // Config parameterizes a Generator.

@@ -144,3 +144,46 @@ func TestIntnBounds(t *testing.T) {
 		t.Fatal("Intn of non-positive n should be 0")
 	}
 }
+
+func TestZipfSkewAndDeterminism(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipf(NewRand(7), 1.0, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// At theta=1 over n=1000, P(0) = 1/H(1000) ≈ 13.4%; allow wide
+	// sampling slack but require clear skew and a 1/k-ish decay.
+	if frac := float64(counts[0]) / draws; frac < 0.10 || frac > 0.17 {
+		t.Fatalf("P(hottest) = %.3f, want ≈ 0.134", frac)
+	}
+	if counts[0] < 8*counts[9] {
+		t.Fatalf("decay too shallow: counts[0]=%d counts[9]=%d (want ≈10x)", counts[0], counts[9])
+	}
+
+	// Same seed, same sequence.
+	a, b := NewZipf(NewRand(11), 1.5, 64), NewZipf(NewRand(11), 1.5, 64)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("Zipf not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestZipfThetaZeroIsUniformish(t *testing.T) {
+	const n, draws = 16, 160000
+	z := NewZipf(NewRand(5), 0, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Fatalf("theta=0 bucket %d count %d far from uniform %d", i, c, draws/n)
+		}
+	}
+}

@@ -2,9 +2,12 @@ package handshakejoin
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"handshakejoin/internal/adapt"
 	"handshakejoin/internal/clock"
 	"handshakejoin/internal/collect"
 	"handshakejoin/internal/core"
@@ -13,11 +16,23 @@ import (
 	"handshakejoin/internal/stream"
 )
 
+// minTS is the "no tuple seen yet" ingress timestamp.
+const minTS = -1 << 62
+
 // ShardedEngine scales an equi-join across pipelines: both streams are
-// hash-partitioned by join key (Config.KeyR/KeyS) over Shards
-// independent LLHJ pipelines, each with its own driver state and
-// collector, multiplying throughput while every pipeline keeps the
-// latency and punctuation guarantees of the single-pipeline operator.
+// partitioned by join key (Config.KeyR/KeyS) over Shards independent
+// LLHJ pipelines, each with its own driver state and collector,
+// multiplying throughput while every pipeline keeps the latency and
+// punctuation guarantees of the single-pipeline operator.
+//
+// Routing goes through a key-group indirection table (internal/adapt
+// over internal/shard.Partitioner): a key hashes onto one of many
+// key-groups, and the table maps groups to shards. With Adapt.Enable a
+// control loop samples per-group load, detects skew, and moves groups
+// off overloaded shards — cutting each move over only when the group
+// provably has no joinable window state left on its old shard, so
+// rebalancing never changes the result multiset nor the Ordered-mode
+// sequence.
 //
 // # Semantics
 //
@@ -32,39 +47,109 @@ import (
 // global punctuation ⌈tp⌉ is emitted once every shard has promised tp,
 // and the downstream sorter then releases results in exact global
 // timestamp order — the same deterministic sequence, independent of
-// shard count and scheduling. A shard that receives no traffic holds
-// the global punctuation back (its promise cannot advance); Close
-// releases everything that is still buffered, in order.
+// shard count, scheduling and rebalancing. A shard that receives no
+// traffic no longer holds the global punctuation back: a heartbeat
+// ticks idle shards with the engine-wide ingress floor each collect
+// period (see AdaptConfig), so their promises keep advancing; Close
+// still releases everything that is buffered, in order.
 //
 // # Concurrency
 //
 // Unlike Engine, the sharded driver accepts concurrent PushR/PushS
-// calls from multiple goroutines: each side is serialized internally
-// (sequence numbers, monotonic-timestamp checks and window accounting
-// need a total order per stream) and then fans out to the owning
-// shard with only a key hash on the hot path. The OnOutput callback
-// is serialized by the merge stage but may run on any shard's
-// collector goroutine.
+// calls from multiple goroutines. Each side takes a short serial
+// section (sequence numbers, monotonic-timestamp checks, window
+// accounting and routing need a total order per stream) and then hands
+// the tuple to the owning shard through a per-shard, per-side ingress
+// gate: pushes to the same shard stay in stream order, while pushes to
+// different shards — including one blocked on a saturated shard's
+// back-pressure — proceed in parallel. The OnOutput callback is
+// serialized by the merge stage but may run on any shard's collector
+// goroutine.
 type ShardedEngine[L, RT any] struct {
-	keyR  func(L) uint64
-	keyS  func(RT) uint64
-	part  shard.Partitioner
-	lanes []*shard.Lane[L, RT]
-	merge *shard.Merge[L, RT]
+	keyR   func(L) uint64
+	keyS   func(RT) uint64
+	router *adapt.Router
+	lanes  []*shard.Lane[L, RT]
+	merge  *shard.Merge[L, RT]
 
 	clk clock.Clock
 
-	rmu        sync.Mutex // serializes the R side: seq, ts check, window accounting
+	rmu        sync.Mutex // serializes the R side: seq, ts check, window accounting, routing
 	smu        sync.Mutex // serializes the S side
 	rSeq, sSeq uint64
 	rLastTS    int64
 	sLastTS    int64
 	rWin, sWin windowTracker
 
+	// Atomic mirrors of the per-side ingress timestamps: any load is a
+	// sound lower bound on every future push of that side, which is
+	// what the heartbeat floor and the cut-over protocol rely on.
+	rLastAt, sLastAt atomic.Int64
+
+	rDur, sDur int64 // duration window spans (0 when absent)
+	rCnt, sCnt bool  // count bounds active
+
+	adaptive bool
+	gates    [][2]*ingressGate // per (lane, side) ingress ordering
+	activity []atomic.Uint64   // pushes routed per lane (idle detection)
+	laneTS   []atomic.Int64    // latest ingress ts routed per lane
+
+	ctrl     *adapt.Controller
+	hbPeriod time.Duration
+	stop     chan struct{}
+	bg       sync.WaitGroup
+
 	sorter  *order.Sorter[L, RT]
 	sortMu  sync.Mutex // sorter access: merge callbacks vs Close's final Flush
 	closed  atomic.Bool
 	closeMu sync.Mutex
+}
+
+// ingressGate serializes same-lane pushes of one stream side in ticket
+// order. Tickets are issued under the side lock (establishing the
+// stream order); the push then enters the gate outside that lock, so
+// the lane append — which can block on a saturated pipeline's
+// back-pressure — stalls only pushers of the same lane instead of the
+// whole stream side. Waiting spins through the scheduler, the same
+// discipline the pipeline's Inject back-pressure uses: the uncontended
+// path is two atomic operations, and a waiter is by definition behind
+// a peer that is actively appending.
+type ingressGate struct {
+	tail atomic.Uint64 // tickets issued; written under the side lock
+	next atomic.Uint64 // tickets completed
+}
+
+func newIngressGate() *ingressGate { return &ingressGate{} }
+
+// issue hands out the next ticket; callers hold the side lock.
+func (g *ingressGate) issue() uint64 {
+	t := g.tail.Load()
+	g.tail.Store(t + 1)
+	return t
+}
+
+// enter blocks until ticket t's turn.
+func (g *ingressGate) enter(t uint64) {
+	for g.next.Load() != t {
+		runtime.Gosched()
+	}
+}
+
+// leave completes the current ticket.
+func (g *ingressGate) leave() { g.next.Add(1) }
+
+// drained reports whether every issued ticket has completed. Exact
+// only while no new tickets can be issued; otherwise a conservative
+// snapshot.
+func (g *ingressGate) drained() bool { return g.next.Load() == g.tail.Load() }
+
+// waitDrained blocks until every issued ticket has completed; callers
+// must prevent new tickets (hold the side lock, or have marked the
+// engine closed).
+func (g *ingressGate) waitDrained() {
+	for !g.drained() {
+		runtime.Gosched()
+	}
 }
 
 // newSharded builds and starts a ShardedEngine from a validated
@@ -74,16 +159,29 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &ShardedEngine[L, RT]{
-		keyR:    cfg.KeyR,
-		keyS:    cfg.KeyS,
-		part:    shard.NewPartitioner(cfg.Shards),
-		clk:     clock.NewWall(),
-		rLastTS: -1 << 62,
-		sLastTS: -1 << 62,
-		rWin:    windowTracker{spec: cfg.WindowR},
-		sWin:    windowTracker{spec: cfg.WindowS},
+	groups := cfg.Adapt.KeyGroups
+	if groups == 0 {
+		groups = shard.DefaultGroups(cfg.Shards)
 	}
+	e := &ShardedEngine[L, RT]{
+		keyR:     cfg.KeyR,
+		keyS:     cfg.KeyS,
+		clk:      clock.NewWall(),
+		rLastTS:  minTS,
+		sLastTS:  minTS,
+		rWin:     windowTracker{spec: cfg.WindowR},
+		sWin:     windowTracker{spec: cfg.WindowS},
+		rDur:     int64(cfg.WindowR.Duration),
+		sDur:     int64(cfg.WindowS.Duration),
+		rCnt:     cfg.WindowR.Count > 0,
+		sCnt:     cfg.WindowS.Count > 0,
+		adaptive: cfg.Adapt.Enable,
+		stop:     make(chan struct{}),
+	}
+	e.rLastAt.Store(minTS)
+	e.sLastAt.Store(minTS)
+	part := shard.NewPartitionerGroups(cfg.Shards, groups)
+	e.router = adapt.NewRouter(part, cfg.Adapt.Enable, e.ingressFloor)
 	out := cfg.OnOutput
 	if cfg.Ordered {
 		var sorted func(Item[L, RT])
@@ -96,14 +194,64 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 	}
 	e.merge = shard.NewMerge[L, RT](cfg.Shards, func(it collect.Item[L, RT]) { out(it) })
 	e.lanes = make([]*shard.Lane[L, RT], cfg.Shards)
+	e.gates = make([][2]*ingressGate, cfg.Shards)
+	e.activity = make([]atomic.Uint64, cfg.Shards)
+	e.laneTS = make([]atomic.Int64, cfg.Shards)
 	lcfg := laneConfig(&cfg, e.clk, cfg.Punctuate)
 	for i := range e.lanes {
 		i := i
 		e.lanes[i] = shard.NewLane(lcfg, build, func(it collect.Item[L, RT]) {
 			e.merge.FromShard(i, it)
 		})
+		e.gates[i] = [2]*ingressGate{newIngressGate(), newIngressGate()}
+		e.laneTS[i].Store(minTS)
+	}
+	if !cfg.Adapt.DisableHeartbeat {
+		e.hbPeriod = cfg.Adapt.HeartbeatPeriod
+		if e.hbPeriod <= 0 {
+			e.hbPeriod = cfg.CollectPeriod
+		}
+		e.bg.Add(1)
+		go e.heartbeatLoop()
+	}
+	if cfg.Adapt.Enable {
+		probes := make([]adapt.Probe, cfg.Shards)
+		for i, l := range e.lanes {
+			probes[i] = laneProbe[L, RT]{l: l}
+		}
+		e.ctrl = adapt.NewController(e.router, probes,
+			func(lane int) int64 { return e.laneTS[lane].Load() },
+			adapt.Config{
+				SamplePeriod:     cfg.Adapt.SamplePeriod,
+				SkewThreshold:    cfg.Adapt.SkewThreshold,
+				MaxMovesPerCycle: cfg.Adapt.MaxMovesPerCycle,
+				StaleMoveCycles:  uint64(max(cfg.Adapt.StaleMoveCycles, 0)),
+			})
+		if cfg.Adapt.SamplePeriod >= 0 {
+			e.bg.Add(1)
+			go func() {
+				defer e.bg.Done()
+				e.ctrl.Run(e.stop)
+			}()
+		}
 	}
 	return e, nil
+}
+
+// laneProbe adapts a Lane to the adapt.Probe sampling interface.
+type laneProbe[L, RT any] struct{ l *shard.Lane[L, RT] }
+
+func (p laneProbe[L, RT]) Results() uint64 { return p.l.Collected() }
+func (p laneProbe[L, RT]) QueueDepth() int { return p.l.QueueDepth() }
+
+// ingressFloor returns the minimum ingress timestamp over both sides:
+// every future tuple of either side is stamped at or above it.
+func (e *ShardedEngine[L, RT]) ingressFloor() int64 {
+	r, s := e.rLastAt.Load(), e.sLastAt.Load()
+	if s < r {
+		r = s
+	}
+	return r
 }
 
 // PushR submits an R tuple. Safe for concurrent use; concurrent
@@ -111,47 +259,153 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 // monotonicity (the driver serializes them in lock-acquisition order).
 func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 	e.rmu.Lock()
-	defer e.rmu.Unlock()
 	if e.closed.Load() {
+		e.rmu.Unlock()
 		return fmt.Errorf("handshakejoin: engine closed")
 	}
 	if ts < e.rLastTS {
+		e.rmu.Unlock()
 		return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", ts, e.rLastTS)
 	}
 	e.rLastTS = ts
-	lane := e.part.Of(e.keyR(payload))
+	e.rLastAt.Store(ts)
+	var lane int
+	var group uint32
+	if e.adaptive {
+		lane, group = e.router.Admit(stream.R, e.keyR(payload), e.rCnt, ts+e.rDur, e.rDur > 0)
+	} else {
+		lane = e.router.Of(e.keyR(payload))
+	}
 	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.rSeq++
-	e.rWin.onArrival(t.Seq, ts, lane, e.expireR)
+	e.rWin.onArrival(t.Seq, ts, lane, group, e.expireR)
+	e.activity[lane].Add(1)
+	raiseInt64(&e.laneTS[lane], ts)
+	gate := e.gates[lane][0]
+	ticket := gate.issue()
+	e.rmu.Unlock()
+
+	gate.enter(ticket)
 	e.lanes[lane].PushR(t)
+	gate.leave()
 	return nil
 }
 
 // PushS submits an S tuple. Safe for concurrent use.
 func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	e.smu.Lock()
-	defer e.smu.Unlock()
 	if e.closed.Load() {
+		e.smu.Unlock()
 		return fmt.Errorf("handshakejoin: engine closed")
 	}
 	if ts < e.sLastTS {
+		e.smu.Unlock()
 		return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", ts, e.sLastTS)
 	}
 	e.sLastTS = ts
-	lane := e.part.Of(e.keyS(payload))
+	e.sLastAt.Store(ts)
+	var lane int
+	var group uint32
+	if e.adaptive {
+		lane, group = e.router.Admit(stream.S, e.keyS(payload), e.sCnt, ts+e.sDur, e.sDur > 0)
+	} else {
+		lane = e.router.Of(e.keyS(payload))
+	}
 	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.sSeq++
-	e.sWin.onArrival(t.Seq, ts, lane, e.expireS)
+	e.sWin.onArrival(t.Seq, ts, lane, group, e.expireS)
+	e.activity[lane].Add(1)
+	raiseInt64(&e.laneTS[lane], ts)
+	gate := e.gates[lane][1]
+	ticket := gate.issue()
+	e.smu.Unlock()
+
+	gate.enter(ticket)
 	e.lanes[lane].PushS(t)
+	gate.leave()
 	return nil
 }
 
-func (e *ShardedEngine[L, RT]) expireR(lane int, seq uint64, due int64, counted bool) {
-	e.lanes[lane].QueueExpiry(stream.R, seq, due, counted)
+// raiseInt64 lifts an atomic to ts if larger (lane watermarks are fed
+// by both sides, whose timestamps are only monotonic separately).
+func raiseInt64(a *atomic.Int64, ts int64) {
+	for {
+		cur := a.Load()
+		if ts <= cur || a.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
 }
 
-func (e *ShardedEngine[L, RT]) expireS(lane int, seq uint64, due int64, counted bool) {
+func (e *ShardedEngine[L, RT]) expireR(lane int, group uint32, seq uint64, due int64, counted bool) {
+	e.lanes[lane].QueueExpiry(stream.R, seq, due, counted)
+	if counted && e.adaptive {
+		e.router.ObserveCountExpire(stream.R, group, due)
+	}
+}
+
+func (e *ShardedEngine[L, RT]) expireS(lane int, group uint32, seq uint64, due int64, counted bool) {
 	e.lanes[lane].QueueExpiry(stream.S, seq, due, counted)
+	if counted && e.adaptive {
+		e.router.ObserveCountExpire(stream.S, group, due)
+	}
+}
+
+// heartbeatLoop ticks idle lanes with the engine-wide ingress floor so
+// their punctuation promises — and their windows — keep advancing
+// without traffic. The floor is snapshotted before the per-lane
+// activity counters: a push that slips past the activity check was
+// necessarily admitted after the snapshot, so its timestamp is >= the
+// floor and the heartbeat's promise stays sound.
+func (e *ShardedEngine[L, RT]) heartbeatLoop() {
+	defer e.bg.Done()
+	t := time.NewTicker(e.hbPeriod)
+	defer t.Stop()
+	prev := make([]uint64, len(e.lanes))
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+		}
+		floor := e.ingressFloor()
+		if floor == minTS {
+			continue // a side has not pushed yet: no promise possible
+		}
+		for i, l := range e.lanes {
+			if cur := e.activity[i].Load(); cur != prev[i] {
+				prev[i] = cur // lane saw traffic this period
+				continue
+			}
+			if !e.gates[i][0].drained() || !e.gates[i][1].drained() {
+				continue // an admitted push is still entering the lane
+			}
+			l.Heartbeat(floor)
+		}
+	}
+}
+
+// Rebalance runs one adaptive control cycle synchronously — sample,
+// plan, and attempt pending cut-overs — and reports how many key-group
+// moves it proposed and applied. It is a no-op unless Adapt.Enable is
+// set; with a negative Adapt.SamplePeriod it is the only driver of the
+// control loop, which makes rebalancing points deterministic for tests
+// and batch loads.
+func (e *ShardedEngine[L, RT]) Rebalance() (proposed, applied int) {
+	if e.ctrl == nil || e.closed.Load() {
+		return 0, 0
+	}
+	return e.ctrl.Step()
+}
+
+// drainGates waits until every issued ingress ticket has completed.
+// Callers must prevent new tickets from being issued (hold both side
+// locks, or have marked the engine closed).
+func (e *ShardedEngine[L, RT]) drainGates() {
+	for i := range e.gates {
+		e.gates[i][0].waitDrained()
+		e.gates[i][1].waitDrained()
+	}
 }
 
 // Tick advances stream time to ts on every shard without submitting a
@@ -166,14 +420,16 @@ func (e *ShardedEngine[L, RT]) Tick(ts int64) {
 	if e.closed.Load() {
 		return
 	}
+	e.drainGates() // in-flight pushes precede the tick in stream order
 	for _, l := range e.lanes {
 		l.Tick(ts)
 	}
 }
 
 // Close flushes buffered batches on every shard, waits for the
-// pipelines to quiesce, stops all goroutines and releases remaining
-// ordered output. The engine cannot be reused afterwards.
+// pipelines to quiesce, stops the control loops and all goroutines,
+// and releases remaining ordered output. The engine cannot be reused
+// afterwards.
 func (e *ShardedEngine[L, RT]) Close() error {
 	e.closeMu.Lock()
 	defer e.closeMu.Unlock()
@@ -185,6 +441,9 @@ func (e *ShardedEngine[L, RT]) Close() error {
 	e.closed.Store(true)
 	e.rmu.Unlock()
 	e.smu.Unlock()
+	e.drainGates()
+	close(e.stop)
+	e.bg.Wait() // heartbeat and controller must not touch closing lanes
 	for _, l := range e.lanes {
 		l.Close()
 	}
@@ -218,6 +477,12 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 		Comparisons:     agg.Comparisons,
 		PendingExpiries: agg.PendingExpiries,
 		ShardResults:    e.merge.ShardResults(),
+		Rebalances:      e.router.Rebalances(),
+		KeyGroupMoves:   e.router.Applied(),
+	}
+	st.ShardIngress = make([]uint64, len(e.lanes))
+	for i := range e.activity {
+		st.ShardIngress[i] = e.activity[i].Load()
 	}
 	if e.sorter != nil {
 		e.sortMu.Lock()
@@ -228,4 +493,7 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 }
 
 // Shards returns the shard count.
-func (e *ShardedEngine[L, RT]) Shards() int { return e.part.Shards() }
+func (e *ShardedEngine[L, RT]) Shards() int { return e.router.Shards() }
+
+// KeyGroups returns the size of the routing indirection table.
+func (e *ShardedEngine[L, RT]) KeyGroups() int { return e.router.Groups() }

@@ -1,0 +1,347 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// The tests in this file establish the correctness claims of the
+// adaptive shard runtime: under Zipf-skewed key distributions, with
+// rebalancing cutting key-groups over between shards mid-stream and
+// heartbeats ticking idle shards, the result multiset — and in Ordered
+// mode the exact global sequence — still matches the sequential Kang
+// oracle.
+//
+// They run with Batch: 1, where window boundaries are exact (every
+// flush carries its own tuple's timestamp, so expiries apply at
+// precisely the stream time the window specifies). Exact boundaries
+// make the multiset independent of tuple placement, which is what lets
+// one sequential oracle stand in for an engine whose routing table
+// changes at wall-clock-dependent moments. The safe-cut-over protocol
+// guarantees the same independence at the engine side: a group moves
+// only when no joinable state remains on its old shard.
+
+// zipfSchedule drives identical Zipf-keyed push/tick schedules into
+// the engine under test and the oracle.
+func zipfSchedule(t *testing.T, tuples int, theta float64, keys int, seed uint64, eng Joiner[okR, okS], o *oracleEngine, between func(i int)) {
+	t.Helper()
+	rnd := workload.NewRand(seed)
+	zr := workload.NewZipf(workload.NewRand(seed+1), theta, keys)
+	zs := workload.NewZipf(workload.NewRand(seed+2), theta, keys)
+	const step = int64(1e6)
+	ts := int64(0)
+	for i := 0; i < tuples; i++ {
+		ts += int64(rnd.Intn(3)) * step / 2
+		r := okR{Key: zr.Next(), Val: int32(rnd.Intn(12))}
+		if err := eng.PushR(r, ts); err != nil {
+			t.Fatal(err)
+		}
+		o.pushR(r, ts)
+		if i%3 != 0 {
+			s := okS{Key: zs.Next(), Val: int32(rnd.Intn(12))}
+			if err := eng.PushS(s, ts); err != nil {
+				t.Fatal(err)
+			}
+			o.pushS(s, ts)
+		}
+		if i%97 == 96 { // idle period: advance stream time without tuples
+			ts += 20 * step
+			eng.Tick(ts)
+			o.tick(ts)
+		}
+		if between != nil {
+			between(i)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	o.close()
+}
+
+func TestShardedZipfMatchesOracle(t *testing.T) {
+	// Skewed keys, shards 2/4/8, adaptive off and on (background
+	// control loop at a tight period, so cut-overs happen at arbitrary
+	// wall-clock points mid-run). Exact multiset either way.
+	const step = int64(1e6)
+	for _, shards := range []int{2, 4, 8} {
+		for _, theta := range []float64{1.0, 1.5} {
+			for _, adaptive := range []bool{false, true} {
+				name := fmt.Sprintf("shards=%d/theta=%.1f/adaptive=%v", shards, theta, adaptive)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config[okR, okS]{
+						Workers:     3,
+						Shards:      shards,
+						Predicate:   shardedEqui,
+						WindowR:     Window{Duration: time.Duration(120 * step), Count: 200},
+						WindowS:     Window{Count: 190},
+						Batch:       1,
+						MaxInFlight: 2,
+						KeyR:        okRKey,
+						KeyS:        okSKey,
+						Adapt: AdaptConfig{
+							Enable:           adaptive,
+							SamplePeriod:     200 * time.Microsecond,
+							SkewThreshold:    1.05,
+							MaxMovesPerCycle: 16,
+							KeyGroups:        8 * shards,
+						},
+					}
+					var mu sync.Mutex
+					got := map[stream.PairKey]int{}
+					cfg.OnOutput = func(it Item[okR, okS]) {
+						if it.Punct {
+							return
+						}
+						mu.Lock()
+						got[it.Result.Pair.Key()]++
+						mu.Unlock()
+					}
+					eng, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o := newOracleEngine(cfg, shardedEqui)
+					zipfSchedule(t, 1200, theta, 256, uint64(shards)*77+uint64(theta*10), eng, o, nil)
+
+					missing, extra, dups := diffPairMultiset(o.pairs, got)
+					if missing != 0 || extra != 0 || dups != 0 {
+						t.Fatalf("sharded vs oracle: %d missing, %d extra, %d duplicates (oracle %d distinct)",
+							missing, extra, dups, len(o.pairs))
+					}
+					st := eng.Stats()
+					if st.Results != sum(o.pairs) {
+						t.Fatalf("Stats.Results = %d, oracle produced %d", st.Results, sum(o.pairs))
+					}
+					if st.PendingExpiries != 0 {
+						t.Errorf("pending expiries: %d", st.PendingExpiries)
+					}
+					if !adaptive && (st.Rebalances != 0 || st.KeyGroupMoves != 0) {
+						t.Fatalf("static engine reported rebalancing: %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestShardedAdaptiveRebalancesDeterministically(t *testing.T) {
+	// Manual control mode (negative SamplePeriod): Rebalance() is the
+	// only driver of the control loop, so the cut-over points are a
+	// pure function of the push schedule — the test can assert that
+	// moves actually happened and that the output is still exact.
+	const shards = 4
+	cfg := Config[okR, okS]{
+		Workers:     2,
+		Shards:      shards,
+		Predicate:   shardedEqui,
+		WindowR:     Window{Count: 48},
+		WindowS:     Window{Count: 48},
+		Batch:       1,
+		MaxInFlight: 2,
+		KeyR:        okRKey,
+		KeyS:        okSKey,
+		Adapt: AdaptConfig{
+			Enable:           true,
+			SamplePeriod:     -1, // manual Rebalance only
+			SkewThreshold:    1.05,
+			MaxMovesPerCycle: 8,
+			KeyGroups:        32,
+		},
+	}
+	var mu sync.Mutex
+	got := map[stream.PairKey]int{}
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		got[it.Result.Pair.Key()]++
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, ok := eng.(*ShardedEngine[okR, okS])
+	if !ok {
+		t.Fatalf("New returned %T, want *ShardedEngine", eng)
+	}
+	o := newOracleEngine(cfg, shardedEqui)
+	zipfSchedule(t, 4000, 1.5, 256, 99, eng, o, func(i int) {
+		if i%250 == 249 {
+			se.Rebalance()
+		}
+	})
+
+	missing, extra, dups := diffPairMultiset(o.pairs, got)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("adaptive vs oracle: %d missing, %d extra, %d duplicates", missing, extra, dups)
+	}
+	st := eng.Stats()
+	if st.Rebalances == 0 || st.KeyGroupMoves == 0 {
+		t.Fatalf("skewed workload triggered no rebalancing: %d cycles, %d moves", st.Rebalances, st.KeyGroupMoves)
+	}
+}
+
+func TestShardedOrderedAdaptiveExactSequence(t *testing.T) {
+	// Ordered mode across rebalance cut-overs: the merged, punctuation
+	// sorted output must still be the exact deterministic sequence.
+	const step = int64(1e6)
+	for _, shards := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := Config[okR, okS]{
+				Workers:       2,
+				Shards:        shards,
+				Predicate:     shardedEqui,
+				WindowR:       Window{Duration: time.Duration(100 * step), Count: 64},
+				WindowS:       Window{Duration: time.Duration(100 * step), Count: 64},
+				Batch:         1,
+				MaxInFlight:   2,
+				Ordered:       true,
+				CollectPeriod: 200 * time.Microsecond,
+				KeyR:          okRKey,
+				KeyS:          okSKey,
+				Adapt: AdaptConfig{
+					Enable:           true,
+					SamplePeriod:     -1,
+					SkewThreshold:    1.05,
+					MaxMovesPerCycle: 8,
+					KeyGroups:        8 * shards,
+				},
+			}
+			var mu sync.Mutex
+			var gotSeq []orderedKey
+			cfg.OnOutput = func(it Item[okR, okS]) {
+				mu.Lock()
+				defer mu.Unlock()
+				if it.Punct {
+					return
+				}
+				p := it.Result.Pair
+				gotSeq = append(gotSeq, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se := eng.(*ShardedEngine[okR, okS])
+			o := newOracleEngine(cfg, shardedEqui)
+			zipfSchedule(t, 3000, 1.5, 256, uint64(shards)*13, eng, o, func(i int) {
+				if i%200 == 199 {
+					se.Rebalance()
+				}
+			})
+
+			st := eng.Stats()
+			if st.KeyGroupMoves == 0 {
+				t.Fatalf("no cut-overs happened; the ordered-across-rebalance claim was not exercised")
+			}
+			want := o.orderedResults()
+			if len(gotSeq) != len(want) {
+				t.Fatalf("emitted %d results, oracle expects %d (moves %d)", len(gotSeq), len(want), st.KeyGroupMoves)
+			}
+			for i := range want {
+				if gotSeq[i] != want[i] {
+					t.Fatalf("position %d: got %+v, want %+v", i, gotSeq[i], want[i])
+				}
+			}
+			if len(want) == 0 {
+				t.Fatal("workload produced no results; test has no teeth")
+			}
+		})
+	}
+}
+
+func TestShardedIdleShardHeartbeatReleasesOrderedOutput(t *testing.T) {
+	// One hot key: every tuple routes to a single shard, the others
+	// never see traffic. Without heartbeats, the idle shards' promises
+	// stay at their initial high-water mark, the merged punctuation
+	// floor cannot advance, and Ordered output is withheld until Close.
+	// With heartbeats (the default), results must flow while the engine
+	// is still running — and still in the exact oracle order.
+	const step = int64(1e6)
+	run := func(t *testing.T, heartbeat bool) (beforeClose int, total int, want []orderedKey) {
+		cfg := Config[okR, okS]{
+			Workers:       2,
+			Shards:        4,
+			Predicate:     shardedEqui,
+			WindowR:       Window{Count: 32},
+			WindowS:       Window{Count: 32},
+			Batch:         1,
+			MaxInFlight:   2,
+			Ordered:       true,
+			CollectPeriod: 200 * time.Microsecond,
+			KeyR:          okRKey,
+			KeyS:          okSKey,
+			Adapt:         AdaptConfig{DisableHeartbeat: !heartbeat},
+		}
+		var mu sync.Mutex
+		var gotSeq []orderedKey
+		cfg.OnOutput = func(it Item[okR, okS]) {
+			mu.Lock()
+			defer mu.Unlock()
+			if it.Punct {
+				return
+			}
+			p := it.Result.Pair
+			gotSeq = append(gotSeq, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+		}
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newOracleEngine(cfg, shardedEqui)
+		ts := int64(0)
+		const hot = uint64(7)
+		for i := 0; i < 400; i++ {
+			ts += step
+			r := okR{Key: hot, Val: int32(i % 5)}
+			s := okS{Key: hot, Val: int32(i % 7)}
+			if err := eng.PushR(r, ts); err != nil {
+				t.Fatal(err)
+			}
+			o.pushR(r, ts)
+			if err := eng.PushS(s, ts); err != nil {
+				t.Fatal(err)
+			}
+			o.pushS(s, ts)
+		}
+		// Give collectors and (when enabled) heartbeats time to run.
+		time.Sleep(60 * time.Millisecond)
+		mu.Lock()
+		beforeClose = len(gotSeq)
+		mu.Unlock()
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		o.close()
+		mu.Lock()
+		defer mu.Unlock()
+		return beforeClose, len(gotSeq), o.orderedResults()
+	}
+
+	t.Run("heartbeat-off-holds-output", func(t *testing.T) {
+		before, total, want := run(t, false)
+		if before != 0 {
+			t.Fatalf("ordered output flowed (%d results) despite idle shards and no heartbeat", before)
+		}
+		if total != len(want) || total == 0 {
+			t.Fatalf("Close released %d results, oracle expects %d", total, len(want))
+		}
+	})
+	t.Run("heartbeat-on-releases-output", func(t *testing.T) {
+		before, total, want := run(t, true)
+		if before == 0 {
+			t.Fatal("no ordered output before Close: idle-shard heartbeat did not advance the punctuation floor")
+		}
+		if total != len(want) || total == 0 {
+			t.Fatalf("released %d results, oracle expects %d", total, len(want))
+		}
+	})
+}

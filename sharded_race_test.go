@@ -3,6 +3,7 @@ package handshakejoin
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 // cid payloads carry a unique per-side id so results can be identified
@@ -25,6 +26,26 @@ type cidS struct {
 // exactly one result per key-matching (R, S) pair regardless of the
 // interleaving the scheduler picks.
 func TestShardedConcurrentPushers(t *testing.T) {
+	runShardedConcurrentPushers(t, AdaptConfig{})
+}
+
+// TestShardedConcurrentPushersAdaptive repeats the concurrent-pusher
+// workload with the adaptive runtime fully on — background control
+// loop at a tight period plus heartbeats — so the race detector
+// exercises the router's admission accounting, the sampler and the
+// heartbeat path against concurrent pushers. (Windows hold every
+// tuple, so no cut-over can become safe; single-threaded schedules
+// with live cut-overs are covered by the adapt oracle tests.)
+func TestShardedConcurrentPushersAdaptive(t *testing.T) {
+	runShardedConcurrentPushers(t, AdaptConfig{
+		Enable:           true,
+		SamplePeriod:     100 * time.Microsecond,
+		SkewThreshold:    1.01,
+		MaxMovesPerCycle: 8,
+	})
+}
+
+func runShardedConcurrentPushers(t *testing.T, acfg AdaptConfig) {
 	const (
 		pushers = 4
 		perSide = 600 // per pusher goroutine
@@ -43,6 +64,7 @@ func TestShardedConcurrentPushers(t *testing.T) {
 		Batch:       8,
 		MaxInFlight: 4,
 		Punctuate:   true,
+		Adapt:       acfg,
 		KeyR:        func(r cidR) uint64 { return r.Key },
 		KeyS:        func(s cidS) uint64 { return s.Key },
 		OnOutput: func(it Item[cidR, cidS]) {
