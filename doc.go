@@ -94,14 +94,51 @@
 // table.
 //
 // The same protocol implies a planning constraint: a continuously hot
-// group's window never empties, so it can never be moved (that would
-// require state migration, which this design deliberately avoids).
-// The planner therefore relieves an overloaded shard by evacuating
-// its colder co-resident groups, which converges to the same balanced
-// assignment — the hot group ends up owning its shard while the
-// movable mass spreads across the rest. A shard whose load is one
-// giant key cannot be split below key granularity by any
-// partition-level scheme.
+// group's window never empties, so the drain path alone can never
+// move it. The planner therefore first relieves an overloaded shard
+// by evacuating its colder co-resident groups; when a planned move
+// stalls for Adapt.Migration.AfterCycles control cycles while the
+// group's load EWMA stays high — proof the group will never drain —
+// and Adapt.Migration is enabled, the move escalates to a live state
+// migration (see below). A shard whose load is one giant key still
+// cannot be split below key granularity by any partition-level
+// scheme, but migration lets that key's group claim a shard of its
+// own and lets every hot co-resident move out of its way.
+//
+// # Live state migration
+//
+// State migration moves a key-group's live window state between
+// pipelines mid-stream, extending the paper's per-node protocol
+// (§4, Table 1) with two arrival flavors (internal/core.ArrivalMode):
+// a store-only arrival enters the window at its home node and
+// participates in every future probe but performs no probe of its own
+// — its past joins were already emitted on the pipeline it came from
+// — and a probe-only arrival probes without ever entering a window.
+// A migration (ShardedEngine.Migrate, or the control loop's
+// escalation) freezes both ingress sides briefly, flushes and
+// quiesces the old shard's pipeline, extracts the group's window
+// tuples and their pending expiry-queue entries under that consistent
+// cut, swaps the routing table, replays the tuples into the new
+// shard's pipeline as store-only arrivals, re-binds the expiries
+// there (and re-attributes the global count-window accounting), and
+// quiesces the destination before unfreezing.
+//
+// Safety: at the cut, every pair among the group's extracted tuples
+// has already been emitted (the old pipeline was quiescent), and no
+// tuple of the group is in flight anywhere. Store-only re-insertion
+// emits nothing, so nothing is emitted twice; every future arrival of
+// the group routes to the new shard and traverses its whole pipeline,
+// so it probes the migrated copies exactly once — nothing is missed.
+// Expiries move with their tuples and keep firing before the group's
+// next arrival with an equal-or-later timestamp, so window semantics
+// are unchanged. The punctuation floor cannot regress: store-only
+// arrivals do not advance the stream high-water marks, and any future
+// result involving a migrated tuple pairs it with a future arrival
+// whose timestamp bounds the result's from below — hence the Ordered
+// sequence is exactly that of a fixed table. A per-cycle tuple budget
+// (Adapt.Migration.MaxTuplesPerCycle) refuses over-budget moves
+// before any state is touched, bounding the ingress stall;
+// Stats.StateMigrations and Stats.MigratedTuples report the traffic.
 //
 // Idle-shard heartbeats run independently of rebalancing (and are on
 // by default): a shard that received no tuples for a collect period

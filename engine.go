@@ -52,18 +52,42 @@ type windowEntry struct {
 	seq   uint64
 	lane  int
 	group uint32
+	// settled marks a tuple that entered its current lane by state
+	// migration: its future count expiry must bypass the lane's
+	// injection gate, whose high-water mark never covered the tuple.
+	settled bool
 }
 
-func (w *windowTracker) onArrival(seq uint64, ts int64, lane int, group uint32, expire func(lane int, group uint32, seq uint64, due int64, counted bool)) {
+func (w *windowTracker) onArrival(seq uint64, ts int64, lane int, group uint32, expire func(lane int, group uint32, seq uint64, due int64, counted, settled bool)) {
 	if w.spec.Duration > 0 {
-		expire(lane, group, seq, ts+int64(w.spec.Duration), false)
+		expire(lane, group, seq, ts+int64(w.spec.Duration), false, false)
 	}
 	if c := w.spec.Count; c > 0 {
 		w.inWindow = append(w.inWindow, windowEntry{seq: seq, lane: lane, group: group})
 		for len(w.inWindow) > c {
 			e := w.inWindow[0]
 			w.inWindow = w.inWindow[1:]
-			expire(e.lane, e.group, e.seq, ts, true)
+			expire(e.lane, e.group, e.seq, ts, true, e.settled)
+		}
+	}
+}
+
+// rebind re-attributes the in-window entries of the given sequence
+// numbers to a new lane, so future count-bound expiries route to the
+// shard that now owns the tuples — the window-accounting half of a
+// state migration — and marks them settled (the tuples are in the new
+// lane's windows, which its injection high-water mark cannot know).
+// The group assignment is untouched: entries of already-dead tuples
+// (expired on the old lane via the other bound) keep their old lane,
+// where their dedupe bookkeeping lives.
+func (w *windowTracker) rebind(seqs map[uint64]struct{}, lane int) {
+	if len(seqs) == 0 {
+		return
+	}
+	for i := range w.inWindow {
+		if _, ok := seqs[w.inWindow[i].seq]; ok {
+			w.inWindow[i].lane = lane
+			w.inWindow[i].settled = true
 		}
 	}
 }
@@ -182,8 +206,8 @@ func (e *Engine[L, RT]) PushR(payload L, ts int64) error {
 	e.rLastTS = ts
 	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.rSeq++
-	e.rWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted bool) {
-		e.lane.QueueExpiry(stream.R, seq, due, counted)
+	e.rWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted, settled bool) {
+		e.lane.QueueExpiry(stream.R, seq, due, counted, settled)
 	})
 	e.lane.PushR(t)
 	return nil
@@ -200,8 +224,8 @@ func (e *Engine[L, RT]) PushS(payload RT, ts int64) error {
 	e.sLastTS = ts
 	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.sSeq++
-	e.sWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted bool) {
-		e.lane.QueueExpiry(stream.S, seq, due, counted)
+	e.sWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted, settled bool) {
+		e.lane.QueueExpiry(stream.S, seq, due, counted, settled)
 	})
 	e.lane.PushS(t)
 	return nil

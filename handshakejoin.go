@@ -183,6 +183,17 @@ type AdaptConfig struct {
 	// in control cycles, or moves are cancelled before their group
 	// could possibly drain. Default 64.
 	StaleMoveCycles int
+	// EngageThreshold is the smoothed shard-imbalance watermark at
+	// which the controller starts planning. Default SkewThreshold.
+	EngageThreshold float64
+	// DisengageRatio positions the low hysteresis watermark between 1
+	// (perfect balance) and EngageThreshold: planning goes quiet below
+	// 1 + (EngageThreshold-1)*DisengageRatio. Must be in (0, 1];
+	// default 0.5.
+	DisengageRatio float64
+	// Migration tunes live key-group state migration, the second
+	// rebalancing path for groups whose windows never drain.
+	Migration MigrationConfig
 	// KeyGroups is the size of the key-group indirection table the
 	// router partitions through. More groups move load in finer slices
 	// at slightly more bookkeeping. Default 64 per shard (bounded to
@@ -195,6 +206,36 @@ type AdaptConfig struct {
 	// PR-1 behaviour in which a quiet shard holds back the merged
 	// punctuation floor until Close.
 	DisableHeartbeat bool
+}
+
+// MigrationConfig tunes live key-group state migration (ShardedEngine
+// with Adapt.Enable). The drain-based cut-over can never move a
+// continuously hot key-group — its window always holds fresh tuples —
+// so the runtime escalates long-stalled moves to a migration: both
+// ingress sides are frozen briefly, the group's live window tuples and
+// pending expiries are extracted from the old shard's pipeline under a
+// consistent cut, the routing table is swapped, and the state replays
+// into the new shard's pipeline as store-only arrivals that enter the
+// windows without re-probing. The result multiset and the Ordered-mode
+// sequence are exactly as if the group had always lived on its new
+// shard; see the package documentation for the safety argument.
+type MigrationConfig struct {
+	// Enable turns migration escalation on.
+	Enable bool
+	// MaxTuplesPerCycle is the tuple budget one control cycle may
+	// migrate; a group whose live state exceeds the remaining budget
+	// is refused (before any state is touched), so a mega-group copy
+	// cannot stall ingress unboundedly. Default 4096.
+	MaxTuplesPerCycle int
+	// AfterCycles is how many control cycles a planned move must have
+	// stalled before it escalates to a migration. Keep it well below
+	// Adapt.StaleMoveCycles, or intents are cancelled before they can
+	// escalate. Default 4.
+	AfterCycles int
+	// MinGroupLoad is the per-cycle load EWMA above which a stalled
+	// group counts as never-draining and worth migrating; colder
+	// groups drain on their own eventually. Default 1.
+	MinGroupLoad float64
 }
 
 func (c *Config[L, RT]) validate() error {
@@ -256,6 +297,18 @@ func (c *Config[L, RT]) validate() error {
 	}
 	if c.Adapt.SkewThreshold != 0 && c.Adapt.SkewThreshold < 1 {
 		return fmt.Errorf("handshakejoin: Adapt.SkewThreshold must be >= 1, got %g", c.Adapt.SkewThreshold)
+	}
+	if c.Adapt.EngageThreshold != 0 && c.Adapt.EngageThreshold < 1 {
+		return fmt.Errorf("handshakejoin: Adapt.EngageThreshold must be >= 1, got %g", c.Adapt.EngageThreshold)
+	}
+	if c.Adapt.DisengageRatio != 0 && (c.Adapt.DisengageRatio < 0 || c.Adapt.DisengageRatio > 1) {
+		return fmt.Errorf("handshakejoin: Adapt.DisengageRatio must be in (0, 1], got %g", c.Adapt.DisengageRatio)
+	}
+	if c.Adapt.Migration.Enable && !c.Adapt.Enable {
+		return fmt.Errorf("handshakejoin: Adapt.Migration.Enable requires Adapt.Enable")
+	}
+	if c.Adapt.Migration.MaxTuplesPerCycle < 0 || c.Adapt.Migration.AfterCycles < 0 || c.Adapt.Migration.MinGroupLoad < 0 {
+		return fmt.Errorf("handshakejoin: Adapt.Migration knobs must be >= 0")
 	}
 	if c.Ordered {
 		c.Punctuate = true
@@ -326,6 +379,14 @@ type Stats struct {
 	// Rebalances counts control cycles that proposed key-group moves
 	// (ShardedEngine with Adapt.Enable only).
 	Rebalances uint64
-	// KeyGroupMoves counts key-group cut-overs actually applied.
+	// KeyGroupMoves counts key-group cut-overs actually applied
+	// through the drain path (the group had no joinable state left).
 	KeyGroupMoves uint64
+	// StateMigrations counts live key-group state migrations: moves
+	// executed by extracting the group's window state and replaying it
+	// on the new shard as store-only arrivals (Adapt.Migration, or
+	// explicit ShardedEngine.Migrate calls).
+	StateMigrations uint64
+	// MigratedTuples counts window tuples carried by state migrations.
+	MigratedTuples uint64
 }

@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -50,6 +51,39 @@ type Config struct {
 	// cancelling before the group's window could possibly empty
 	// livelocks the plan-propose-cancel loop. Default 64.
 	StaleMoveCycles uint64
+
+	// EngageThreshold is the smoothed imbalance at which planning
+	// engages. Defaults to SkewThreshold (the historical behavior);
+	// setting it higher makes the controller slower to wake while
+	// SkewThreshold keeps governing the per-cycle Plan threshold.
+	EngageThreshold float64
+	// DisengageRatio positions the disengage watermark between 1
+	// (perfect balance) and EngageThreshold: planning goes quiet when
+	// the smoothed imbalance falls below
+	// 1 + (EngageThreshold-1)*DisengageRatio. Default 0.5; must be in
+	// (0, 1]. A ratio of 1 collapses the hysteresis band.
+	DisengageRatio float64
+
+	// Migrator, when set, executes a state migration of one group to a
+	// target shard under the given tuple budget, returning the number
+	// of tuples moved and whether the migration ran (false: refused,
+	// e.g. over budget). Migration escalation is disabled when nil or
+	// when MigrateBudget is 0.
+	Migrator func(group uint32, to int, budget int) (tuples int, ok bool)
+	// MigrateBudget is the per-cycle tuple budget for migrations; a
+	// single move may finish the budget but never start beyond it, so
+	// ingress stalls stay bounded.
+	MigrateBudget int
+	// MigrateAfterCycles is how long a pending move must have waited
+	// for its drain-based cut-over before it escalates to migration.
+	// It must be well below StaleMoveCycles, or intents are cancelled
+	// before they can escalate. Default 4.
+	MigrateAfterCycles uint64
+	// MinMigrateLoad is the per-cycle load EWMA above which a stalled
+	// group is considered never-draining (its window always holds
+	// fresh tuples) and worth a migration; colder stalled groups drain
+	// eventually on their own. Default 1.
+	MinMigrateLoad float64
 }
 
 // Controller runs the sample → plan → cut-over loop against a Router.
@@ -67,8 +101,17 @@ type Controller struct {
 	prevLoad []uint64
 	curLoad  []uint64 // scratch, reused across cycles
 	delta    []uint64
+	live     []uint64  // residual window footprint per group
+	planLoad []uint64  // what the planner samples; see refreshPlanLoad
+	gEwma    []float64 // smoothed per-group per-cycle load
 	extra    []uint64
 	sample   []LaneSample
+
+	// migDeferred maps a group whose migration was refused (over
+	// budget) to the cycle at which it may be retried, so a too-big
+	// group does not pay the freeze-and-count probe every cycle.
+	migDeferred map[uint32]uint64
+	migrations  uint64
 
 	// Plan backoff: when full staleness horizons pass with proposals
 	// but no applied cut-over, the skew is beyond what safe moves can
@@ -103,6 +146,18 @@ func NewController(r *Router, probes []Probe, lastTS func(lane int) int64, cfg C
 	if cfg.StaleMoveCycles == 0 {
 		cfg.StaleMoveCycles = 64
 	}
+	if cfg.EngageThreshold < 1 {
+		cfg.EngageThreshold = cfg.SkewThreshold
+	}
+	if cfg.DisengageRatio <= 0 || cfg.DisengageRatio > 1 {
+		cfg.DisengageRatio = 0.5
+	}
+	if cfg.MigrateAfterCycles == 0 {
+		cfg.MigrateAfterCycles = 4
+	}
+	if cfg.MinMigrateLoad <= 0 {
+		cfg.MinMigrateLoad = 1
+	}
 	return &Controller{r: r, cfg: cfg, probes: probes, lastTS: lastTS}
 }
 
@@ -119,8 +174,12 @@ func (c *Controller) Step() (proposed, applied int) {
 	if c.curLoad == nil {
 		c.curLoad = make([]uint64, groups)
 		c.delta = make([]uint64, groups)
+		c.live = make([]uint64, groups)
+		c.planLoad = make([]uint64, groups)
+		c.gEwma = make([]float64, groups)
 		c.extra = make([]uint64, shards)
 		c.sample = make([]LaneSample, shards)
+		c.migDeferred = map[uint32]uint64{}
 	}
 	c.r.SampleLoadsInto(c.curLoad)
 	var total uint64
@@ -131,6 +190,13 @@ func (c *Controller) Step() (proposed, applied int) {
 			c.delta[i] = l
 		}
 		total += c.delta[i]
+	}
+	if c.cfg.Migrator != nil {
+		// Per-group EWMAs exist to prove a group never drains; the
+		// O(groups) float pass is only paid when migration can use it.
+		for i, d := range c.delta {
+			c.gEwma[i] = 0.8*c.gEwma[i] + 0.2*float64(d)
+		}
 	}
 	c.prevLoad, c.curLoad = c.curLoad, c.prevLoad
 	if c.curLoad == nil {
@@ -175,8 +241,8 @@ func (c *Controller) Step() (proposed, applied int) {
 			c.imbEwma = imb
 		}
 		c.imbEwma = 0.8*c.imbEwma + 0.2*imb
-		high := c.cfg.SkewThreshold
-		low := 1 + (high-1)*0.5
+		high := c.cfg.EngageThreshold
+		low := 1 + (high-1)*c.cfg.DisengageRatio
 		if !c.planning && c.imbEwma > high {
 			c.planning = true
 		} else if c.planning && c.imbEwma < low {
@@ -185,13 +251,16 @@ func (c *Controller) Step() (proposed, applied int) {
 		if c.planning && c.cycle%c.planInterval == 0 {
 			pending := c.r.PendingSnapshot()
 			inFlight := func(g uint32) bool { _, ok := pending[g]; return ok }
-			moves := Plan(assign, c.delta, c.extra, shards, low, c.cfg.MaxMovesPerCycle, inFlight)
+			planThresh := 1 + (c.cfg.SkewThreshold-1)*c.cfg.DisengageRatio
+			c.refreshPlanLoad()
+			moves := Plan(assign, c.planLoad, c.extra, shards, planThresh, c.cfg.MaxMovesPerCycle, inFlight)
 			proposed = c.r.Propose(moves)
 		}
 	}
 	applied = c.r.TryApply()
+	migrated := c.migrate(applied)
 	switch {
-	case applied > 0:
+	case applied > 0 || migrated > 0:
 		// Halve rather than reset: during real convergence applies come
 		// every cycle and the interval stays at 1, while a trickle of
 		// applies against a mostly-immovable skew does not re-arm
@@ -208,6 +277,123 @@ func (c *Controller) Step() (proposed, applied int) {
 		}
 	}
 	return proposed, applied
+}
+
+// refreshPlanLoad rebuilds the planner's load sample: this cycle's
+// traffic deltas, with a cold group's residual window footprint
+// standing in where the delta is zero. Residuals substitute rather
+// than add, so a hot group's signal stays the pure arrival rate (the
+// dynamics the drain planner converged with), while a group that went
+// cold still parking tuples on a hot shard stays visible — without
+// that, only groups with fresh deltas are ever planned, and a stalled
+// group relies solely on the expiry hook to leave an overloaded
+// shard. O(groups), so it runs only on cycles that actually plan or
+// migrate. Callers hold c.mu.
+func (c *Controller) refreshPlanLoad() {
+	c.r.LiveLoadInto(c.live)
+	for i, d := range c.delta {
+		if d > 0 {
+			c.planLoad[i] = d
+		} else {
+			c.planLoad[i] = c.live[i]
+		}
+	}
+}
+
+// migrate escalates long-stalled pending moves to state migrations,
+// hottest group first, spending at most MigrateBudget tuples this
+// cycle. A refused migration (over budget) is deferred for
+// MigrateAfterCycles cycles so a too-big group does not pay the
+// freeze-and-count probe every cycle. Callers hold c.mu.
+//
+// A migration freezes both ingress sides and quiesces two pipelines —
+// milliseconds of stall — so unlike the free drain cut-over it is a
+// last resort, and the scan itself must stay off the steady-state
+// path:
+//
+//   - It only runs on cycles where the drain path applied nothing, and
+//     only every MigrateAfterCycles-th cycle: while drains make
+//     progress, or between paced scans, migration costs zero (under a
+//     churning mild skew the pending set holds thousands of in-flight
+//     drain moves, and even enumerating them every cycle measurably
+//     stalls ingress).
+//   - Candidates are filtered by load EWMA and per-group cooldown
+//     before any sorting, then re-validated against the current
+//     cycle's load sample and executed only if moving them still
+//     strictly shrinks the donor/receiver gap. Without re-validation,
+//     moves planned several cycles ago (before earlier migrations
+//     rebalanced the table) ping-pong hot groups between shards
+//     forever, and the steady state freezes ingress every cycle.
+//   - Successful migrations start the same per-group cooldown as
+//     refusals, so a group settles before it can be judged
+//     hot-and-misplaced again.
+func (c *Controller) migrate(appliedThisCycle int) int {
+	if c.cfg.Migrator == nil || c.cfg.MigrateBudget <= 0 {
+		return 0
+	}
+	if appliedThisCycle > 0 || c.cycle%c.cfg.MigrateAfterCycles != 0 {
+		return 0
+	}
+	cands := c.r.MigrationCandidates(c.cfg.MigrateAfterCycles)
+	hot := cands[:0]
+	for _, mv := range cands {
+		if c.gEwma[mv.Group] < c.cfg.MinMigrateLoad {
+			continue
+		}
+		if next, ok := c.migDeferred[mv.Group]; ok && c.cycle < next {
+			continue
+		}
+		hot = append(hot, mv)
+	}
+	if len(hot) == 0 {
+		return 0
+	}
+	// Hottest first: these are the groups the drain path can least
+	// help. Ties keep the candidates' deterministic group order.
+	sort.SliceStable(hot, func(i, j int) bool {
+		return c.gEwma[hot[i].Group] > c.gEwma[hot[j].Group]
+	})
+	c.refreshPlanLoad()
+	assign := c.r.AssignmentView()
+	shards := c.r.Shards()
+	shardLoad := make([]uint64, shards)
+	for g, s := range assign {
+		shardLoad[s] += c.planLoad[g]
+	}
+	budget := c.cfg.MigrateBudget
+	migrated := 0
+	for _, mv := range hot {
+		if budget <= 0 {
+			break
+		}
+		from := int(assign[mv.Group])
+		gl := c.planLoad[mv.Group]
+		if mv.To == from || mv.To < 0 || mv.To >= shards ||
+			shardLoad[from] <= shardLoad[mv.To] || shardLoad[from]-shardLoad[mv.To] <= gl {
+			// The intent went stale: the move no longer shrinks the
+			// donor/receiver gap. Leave it to the drain path (or to
+			// stale-move cancellation).
+			continue
+		}
+		n, ok := c.cfg.Migrator(mv.Group, mv.To, budget)
+		c.migDeferred[mv.Group] = c.cycle + c.cfg.MigrateAfterCycles
+		if ok {
+			budget -= n
+			migrated++
+			shardLoad[from] -= gl
+			shardLoad[mv.To] += gl
+		}
+	}
+	c.migrations += uint64(migrated)
+	return migrated
+}
+
+// Migrations returns the number of state migrations this controller
+// has executed.
+func (c *Controller) Migrations() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrations
 }
 
 // LastSample returns the per-shard samples of the most recent cycle.

@@ -34,23 +34,33 @@
 // output order is preserved as well.
 //
 // A consequence: a group that is *continuously* hot never drains — its
-// window always holds recent tuples — so it can never be moved without
-// state migration, which this design deliberately avoids. The planner
-// works with, not against, that constraint: it relieves an overloaded
-// shard by evacuating the shard's colder co-resident groups (whose
-// windows empty out all the time) rather than by moving the hot group
-// itself. Under a Zipf-skewed key distribution that converges to the
-// same balanced assignment — the hot group ends up owning its shard
-// while the movable mass spreads over the others.
+// window always holds recent tuples — so the drain path alone can
+// never move it. For those groups the runtime has a second path, state
+// migration: the engine freezes both ingress sides, extracts the
+// group's live window tuples and pending expiries from the old shard's
+// pipeline under a consistent cut, swaps the routing table (Relocate),
+// and replays the state into the new shard's pipeline as store-only
+// arrivals (internal/core's ArriveStoreOnly), which enter the windows
+// without re-probing — so nothing is emitted twice and nothing is
+// missed. The planner still prefers drain-based moves (they cost
+// nothing on the data path) and relieves an overloaded shard by
+// evacuating its colder co-resident groups; a pending move whose group
+// provably never drains (it has waited MigrateAfterCycles control
+// cycles while its load EWMA stays high) escalates to migration, under
+// a per-cycle tuple budget so a mega-group copy cannot stall ingress
+// for long.
 //
 // Cut-overs are attempted the moment a group's live count drops to
 // zero (the expiry hook is exactly when a drain condition can newly
 // hold) and by the controller on every cycle, so duration-bound drains
 // are caught too. Move intents that stay unsafe for many cycles are
-// cancelled so the pending set tracks the current plan.
+// cancelled so the pending set tracks the current plan — in-flight
+// migration intents included, since migration candidates are drawn
+// from the same pending set.
 package adapt
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -263,6 +273,76 @@ func (r *Router) applyIfSafe(g uint32, to int, floor int64) bool {
 	delete(r.moves, g)
 	r.pendingN.Store(int32(len(r.moves)))
 	return true
+}
+
+// LiveLoadInto fills dst (length Groups) with each group's residual
+// window footprint: the count-bound tuples currently inside their
+// windows. The planner lets it stand in for a group's load where the
+// per-cycle routed delta is zero (substitution, not addition — adding
+// it on top of hot groups' deltas measurably inflated move churn), so
+// a group that went cold this cycle but still occupies window space on
+// a hot shard remains a move candidate — without it, only groups with
+// fresh traffic are ever sampled and a stalled group relies solely on
+// the expiry hook to get off an overloaded shard.
+func (r *Router) LiveLoadInto(dst []uint64) {
+	for st := 0; st < stripeCount && st < len(r.rLive); st++ {
+		r.stripes[st].Lock()
+		for g := st; g < len(r.rLive); g += stripeCount {
+			live := r.rLive[g] + r.sLive[g]
+			if live < 0 {
+				live = 0
+			}
+			dst[g] = uint64(live)
+		}
+		r.stripes[st].Unlock()
+	}
+}
+
+// Relocate atomically reroutes group g to shard to, cancelling any
+// pending drain-based move for it — the table half of a state
+// migration. Unlike TryApply it performs no drain check: the caller
+// has frozen both ingress sides and is moving the group's live window
+// state along with the route, so the copy-on-write table swap is safe
+// by construction. It returns the group's previous shard.
+func (r *Router) Relocate(g uint32, to int) (from int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &r.stripes[g%stripeCount]
+	st.Lock()
+	defer st.Unlock()
+	cur := r.table.Load()
+	from = cur.ShardOfGroup(g)
+	if from != to {
+		next := cur.Move(g, to)
+		r.table.Store(&next)
+	}
+	if r.moves != nil {
+		delete(r.moves, g)
+		r.pendingN.Store(int32(len(r.moves)))
+	}
+	return from
+}
+
+// MigrationCandidates returns the pending moves that have waited at
+// least minAge control cycles for their drain-based cut-over — the
+// groups whose windows never empty, which only a state migration can
+// relocate. Results are ordered by group id for determinism; the
+// controller re-orders by load before spending its migration budget.
+func (r *Router) MigrationCandidates(minAge uint64) []Move {
+	if !r.adaptive {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Move
+	cur := r.table.Load()
+	for g, mv := range r.moves {
+		if r.moveSeq-mv.seq >= minAge {
+			out = append(out, Move{Group: g, From: cur.ShardOfGroup(g), To: mv.to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
 }
 
 // SampleLoads returns the cumulative per-group routed-tuple counters;

@@ -1,5 +1,7 @@
 package core
 
+import "handshakejoin/internal/stream"
+
 // NodeLogic is the contract between a pipeline node's protocol state
 // machine and the runtime executing it. Both the live goroutine runtime
 // and the discrete-event simulator drive implementations of this
@@ -22,3 +24,17 @@ type NodeLogic[L, R any] interface {
 // Builder constructs the node logic for position k of an n-node
 // pipeline; runtimes use it to instantiate pipelines generically.
 type Builder[L, R any] func(k int) NodeLogic[L, R]
+
+// StateExtractor is the optional NodeLogic extension that live state
+// migration requires: counting and removing a key-group's window
+// tuples under a quiescent pipeline. The LLHJ node implements it; the
+// original handshake join does not (its windows live in the pipeline
+// segments themselves), so migration drivers must probe for it.
+type StateExtractor[L, R any] interface {
+	// CountMatching counts live window tuples matching the payload
+	// predicates without modifying state.
+	CountMatching(matchR func(L) bool, matchS func(R) bool) (nr, ns int)
+	// ExtractMatching removes and returns the matching live window
+	// tuples of both sides.
+	ExtractMatching(matchR func(L) bool, matchS func(R) bool) ([]stream.Tuple[L], []stream.Tuple[R])
+}

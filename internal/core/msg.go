@@ -55,6 +55,55 @@ func (k Kind) String() string {
 	}
 }
 
+// ArrivalMode selects how a KindArrival batch interacts with the
+// node-local windows. It extends the paper's fresh/stored handling
+// (Table 1) with the two half-protocols that state migration needs:
+// an arrival that only stores, and an arrival that only probes.
+type ArrivalMode uint8
+
+const (
+	// ArriveFull is the normal protocol of Figures 13/14: probe the
+	// opposite windows, store at the home node, advance the stream
+	// high-water mark at the pipeline end.
+	ArriveFull ArrivalMode = iota
+	// ArriveStoreOnly enters the window at the tuple's home node and
+	// participates in all future probes, but performs no probe of its
+	// own and emits no result on insertion — its past joins were
+	// already emitted wherever it lived before (state migration hands
+	// live window tuples between pipelines this way). Store-only
+	// copies are stored settled (no expedition flag, no
+	// expedition-end round trip, no IWS retention, no ack) and do not
+	// advance the stream high-water marks: they are relocated state,
+	// not stream progress. The caller must inject store-only batches
+	// into a pipeline that holds no in-flight arrivals able to join
+	// them (the migration driver quiesces first); a settled stored
+	// copy is then found by every future opposite-side arrival, which
+	// traverses the whole pipeline.
+	ArriveStoreOnly
+	// ArriveProbeOnly probes the opposite windows and emits matches
+	// but never enters a window: no store, no expedition-end, no ack,
+	// no high-water-mark advance. Under the same quiescent-injection
+	// contract as ArriveStoreOnly, a probe-only arrival sees exactly
+	// the live window contents. Its results enter the ordinary result
+	// stream, so a probe-only tuple must carry a timestamp at or above
+	// the pipeline's current punctuation promise.
+	ArriveProbeOnly
+)
+
+// String implements fmt.Stringer.
+func (m ArrivalMode) String() string {
+	switch m {
+	case ArriveFull:
+		return "full"
+	case ArriveStoreOnly:
+		return "store-only"
+	case ArriveProbeOnly:
+		return "probe-only"
+	default:
+		return "unknown"
+	}
+}
+
 // Msg is one message on a neighbour link. Arrival messages carry a batch
 // of tuples of exactly one side (R or S, never mixed); the other kinds
 // reference tuples by sequence number.
@@ -65,6 +114,9 @@ func (k Kind) String() string {
 type Msg[L, R any] struct {
 	Kind Kind
 	Side stream.Side
+	// Mode selects the arrival flavor for KindArrival; the zero value
+	// is the normal full protocol.
+	Mode ArrivalMode
 	// R holds the batch for KindArrival with Side == stream.R.
 	R []stream.Tuple[L]
 	// S holds the batch for KindArrival with Side == stream.S.

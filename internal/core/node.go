@@ -84,9 +84,12 @@ type Stats struct {
 	// is shorter than the pipeline transit time — a pathological
 	// configuration; a non-zero value flags it.
 	PendingExpiries uint64
-	MaxWR           int // high-water mark of the node-local R window
-	MaxWS           int // high-water mark of the node-local S window
-	MaxIWS          int // high-water mark of the in-flight S buffer
+	// StoreOnly counts store-only tuples stored at this node (state
+	// migration hand-offs into this pipeline).
+	StoreOnly uint64
+	MaxWR     int // high-water mark of the node-local R window
+	MaxWS     int // high-water mark of the node-local S window
+	MaxIWS    int // high-water mark of the in-flight S buffer
 }
 
 // Add accumulates other into s.
@@ -96,6 +99,7 @@ func (s *Stats) Add(other Stats) {
 	s.Comparisons += other.Comparisons
 	s.Results += other.Results
 	s.PendingExpiries += other.PendingExpiries
+	s.StoreOnly += other.StoreOnly
 	if other.MaxWR > s.MaxWR {
 		s.MaxWR = other.MaxWR
 	}
@@ -198,9 +202,18 @@ func (n *Node[L, R]) HandleRight(m Msg[L, R], em Emitter[L, R]) {
 // nodes at the entry node, expedite (forward before scanning), scan
 // WSk and IWSk, store at the home node, and at the pipeline end update
 // the high-water mark and emit the expedition-end message.
+//
+// Store-only arrivals (state migration) skip the scan and store
+// settled — their past joins were emitted on the pipeline they came
+// from, and with no probing copy in flight the expedition flag would
+// protect against a double match that cannot happen. Probe-only
+// arrivals skip the store and everything that exists to manage stored
+// copies. Neither advances the high-water mark: they are not stream
+// progress.
 func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 	rs := m.R
-	if n.leftmost() {
+	mode := m.Mode
+	if n.leftmost() && mode != ArriveProbeOnly {
 		for i := range rs {
 			rs[i].Home = n.cfg.HomeOf(rs[i].Seq)
 		}
@@ -214,20 +227,27 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 	for i := range rs {
 		r := rs[i]
 		n.stats.RArrivals++
-		n.scanForR(r, em)
-		if r.Home == n.k {
+		if mode != ArriveStoreOnly {
+			n.scanForR(r, em)
+		}
+		if mode != ArriveProbeOnly && r.Home == n.k {
 			if _, pending := n.pendExpR[r.Seq]; pending {
 				// The expiry overtook the tuple (pathological window);
 				// honour it by never storing the copy.
 				delete(n.pendExpR, r.Seq)
 			} else {
-				n.wR.Insert(r)
+				if mode == ArriveStoreOnly {
+					n.stats.StoreOnly++
+					n.wR.InsertSettled(r)
+				} else {
+					n.wR.Insert(r)
+				}
 				if n.wR.Len() > n.stats.MaxWR {
 					n.stats.MaxWR = n.wR.Len()
 				}
 			}
 		}
-		if n.rightmost() {
+		if n.rightmost() && mode == ArriveFull {
 			em.StreamEnd(stream.R, r.TS)
 			if !n.cfg.DisableExpEnd {
 				if r.Home == n.k {
@@ -283,7 +303,8 @@ func (n *Node[L, R]) scanForR(r stream.Tuple[L], em Emitter[L, R]) {
 // home node, and acknowledge the batch to the sender.
 func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 	ss := m.S
-	if n.rightmost() {
+	mode := m.Mode
+	if n.rightmost() && mode != ArriveProbeOnly {
 		for i := range ss {
 			ss[i].Home = n.cfg.HomeOf(ss[i].Seq)
 		}
@@ -294,30 +315,38 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 	for i := range ss {
 		s := ss[i]
 		n.stats.SArrivals++
-		n.scanForS(s, em)
-		if !n.cfg.DisableAck && n.k > s.Home {
+		if mode != ArriveStoreOnly {
+			n.scanForS(s, em)
+		}
+		if mode == ArriveFull && !n.cfg.DisableAck && n.k > s.Home {
 			// s is fresh here: keep it visible until the left
 			// neighbour confirms receipt (Figure 14 lines 9–10).
+			// Store-only tuples need no IWS retention: they probe
+			// nothing and, under the quiescent-injection contract, no
+			// in-flight arrival can be crossing them.
 			n.iwS = append(n.iwS, s)
 			if len(n.iwS) > n.stats.MaxIWS {
 				n.stats.MaxIWS = len(n.iwS)
 			}
 		}
-		if s.Home == n.k {
+		if mode != ArriveProbeOnly && s.Home == n.k {
 			if _, pending := n.pendExpS[s.Seq]; pending {
 				delete(n.pendExpS, s.Seq)
 			} else {
+				if mode == ArriveStoreOnly {
+					n.stats.StoreOnly++
+				}
 				n.wS.InsertSettled(s)
 				if n.wS.Len() > n.stats.MaxWS {
 					n.stats.MaxWS = n.wS.Len()
 				}
 			}
 		}
-		if n.leftmost() {
+		if n.leftmost() && mode == ArriveFull {
 			em.StreamEnd(stream.S, s.TS)
 		}
 	}
-	if !n.cfg.DisableAck && !n.rightmost() {
+	if mode == ArriveFull && !n.cfg.DisableAck && !n.rightmost() {
 		// Acknowledge the whole batch to the sender (Figure 14 line 13).
 		// The rightmost node received the batch from the driver, which
 		// needs no acknowledgement.
@@ -423,6 +452,58 @@ func (n *Node[L, R]) handleExpiryS(m Msg[L, R], em Emitter[L, R]) {
 	if len(forward) > 0 && !n.rightmost() {
 		em.EmitRight(Msg[L, R]{Kind: KindExpiry, Side: stream.S, Seqs: forward})
 	}
+}
+
+// CountMatching reports how many live window tuples on each side match
+// the given payload predicates, without modifying any state. Call only
+// on a quiescent pipeline (migration drivers count before extracting,
+// so an over-budget move can be refused without touching anything).
+func (n *Node[L, R]) CountMatching(matchR func(L) bool, matchS func(R) bool) (nr, ns int) {
+	n.wR.ScanAll(func(t stream.Tuple[L]) {
+		if matchR(t.Payload) {
+			nr++
+		}
+	})
+	n.wS.ScanAll(func(t stream.Tuple[R]) {
+		if matchS(t.Payload) {
+			ns++
+		}
+	})
+	return nr, ns
+}
+
+// ExtractMatching removes and returns every live window tuple whose
+// payload matches the given predicate — the node-side half of a state
+// migration. Call only on a quiescent pipeline: all expedition flags
+// are then settled and the in-flight buffer is empty, so the returned
+// tuples are exactly the group's joinable state at this node, and every
+// pair among them has already been emitted. The extracted tuples keep
+// their sequence numbers and home assignment (homes are a pure function
+// of the sequence number, identical across equal-length pipelines), so
+// they can re-enter another pipeline as store-only arrivals.
+func (n *Node[L, R]) ExtractMatching(matchR func(L) bool, matchS func(R) bool) (rs []stream.Tuple[L], ss []stream.Tuple[R]) {
+	var rSeqs, sSeqs []uint64
+	n.wR.ScanAll(func(t stream.Tuple[L]) {
+		if matchR(t.Payload) {
+			rSeqs = append(rSeqs, t.Seq)
+		}
+	})
+	n.wS.ScanAll(func(t stream.Tuple[R]) {
+		if matchS(t.Payload) {
+			sSeqs = append(sSeqs, t.Seq)
+		}
+	})
+	for _, seq := range rSeqs {
+		if t, ok := n.wR.Remove(seq); ok {
+			rs = append(rs, t)
+		}
+	}
+	for _, seq := range sSeqs {
+		if t, ok := n.wS.Remove(seq); ok {
+			ss = append(ss, t)
+		}
+	}
+	return rs, ss
 }
 
 // IWSLen returns the current size of the in-flight S buffer; it must be

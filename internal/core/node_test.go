@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"handshakejoin/internal/kang"
 	"handshakejoin/internal/stream"
 )
 
@@ -263,5 +264,216 @@ func TestResultLatency(t *testing.T) {
 	}
 	if r.Latency() != 150 {
 		t.Fatalf("Latency = %d, want 150 (from the later tuple)", r.Latency())
+	}
+}
+
+// relay3 drives a message through a 3-node pipeline by hand, relaying
+// every emitted neighbour message in FIFO order, and returns one merged
+// capture of everything the pipeline emitted.
+func relay3(nodes [3]*Node[int, int], end int, m Msg[int, int]) *capture {
+	total := &capture{}
+	type hop struct {
+		k   int
+		dir int // 0: from the left (HandleLeft), 1: from the right
+		m   Msg[int, int]
+	}
+	var queue []hop
+	if end == 0 {
+		queue = append(queue, hop{k: 0, dir: 0, m: m})
+	} else {
+		queue = append(queue, hop{k: 2, dir: 1, m: m})
+	}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		var em capture
+		if h.dir == 0 {
+			nodes[h.k].HandleLeft(h.m, &em)
+		} else {
+			nodes[h.k].HandleRight(h.m, &em)
+		}
+		total.results = append(total.results, em.results...)
+		total.endR = append(total.endR, em.endR...)
+		total.endS = append(total.endS, em.endS...)
+		for _, out := range em.right {
+			if h.k < 2 {
+				queue = append(queue, hop{k: h.k + 1, dir: 0, m: out})
+			} else {
+				total.right = append(total.right, out)
+			}
+		}
+		for _, out := range em.left {
+			if h.k > 0 {
+				queue = append(queue, hop{k: h.k - 1, dir: 1, m: out})
+			} else {
+				total.left = append(total.left, out)
+			}
+		}
+	}
+	return total
+}
+
+func pipeline3(c *Config[int, int]) [3]*Node[int, int] {
+	return [3]*Node[int, int]{NewNode(c, 0), NewNode(c, 1), NewNode(c, 2)}
+}
+
+func windowTotal(nodes [3]*Node[int, int]) (wr, ws int) {
+	for _, n := range nodes {
+		r, s := n.WindowSizes()
+		wr += r
+		ws += s
+	}
+	return wr, ws
+}
+
+func TestStoreOnlyMatchesKangAcrossHandOff(t *testing.T) {
+	// Fill pipeline A with normal traffic, extract all of its window
+	// state, hand it to a fresh pipeline B as store-only arrivals, and
+	// keep pushing. A sequential Kang oracle that never migrated must
+	// see exactly the same result multiset: the hand-off emits nothing
+	// (those pairs already fired on A) and future arrivals on B find
+	// the migrated state as if it had always lived there.
+	c := cfg3()
+	a := pipeline3(c)
+	b := pipeline3(c)
+	var oracleN int
+	oracle := kang.New(eqPred, func(p stream.Pair[int, int]) { oracleN++ })
+
+	gotN := 0
+	pushR := func(nodes [3]*Node[int, int], seq uint64, v int) {
+		em := relay3(nodes, 0, rArr(stream.Tuple[int]{Seq: seq, TS: int64(seq), Home: stream.NoHome, Payload: v}))
+		gotN += len(em.results)
+		oracle.ProcessR(stream.Tuple[int]{Seq: seq, TS: int64(seq), Payload: v})
+	}
+	pushS := func(nodes [3]*Node[int, int], seq uint64, v int) {
+		em := relay3(nodes, 2, sArr(stream.Tuple[int]{Seq: seq, TS: int64(seq), Home: stream.NoHome, Payload: v}))
+		gotN += len(em.results)
+		oracle.ProcessS(stream.Tuple[int]{Seq: seq, TS: int64(seq), Payload: v})
+	}
+
+	for i := 0; i < 12; i++ {
+		pushR(a, uint64(i), i%4)
+		pushS(a, uint64(i), i%3)
+	}
+	phase1 := gotN
+	if phase1 != oracleN {
+		t.Fatalf("pre-migration results = %d, Kang oracle %d", phase1, oracleN)
+	}
+
+	// Hand off: extract everything from A, inject into B store-only.
+	all := func(int) bool { return true }
+	var rs []stream.Tuple[int]
+	var ss []stream.Tuple[int]
+	for _, n := range a {
+		nr, nsTuples := n.ExtractMatching(all, all)
+		rs = append(rs, nr...)
+		ss = append(ss, nsTuples...)
+	}
+	if wr, ws := windowTotal(a); wr != 0 || ws != 0 {
+		t.Fatalf("extraction left state behind: wR=%d wS=%d", wr, ws)
+	}
+	em := relay3(b, 0, Msg[int, int]{Kind: KindArrival, Side: stream.R, Mode: ArriveStoreOnly, R: rs})
+	if len(em.results) != 0 {
+		t.Fatalf("store-only R injection re-emitted %d prior results", len(em.results))
+	}
+	if len(em.endR) != 0 || len(em.endS) != 0 {
+		t.Fatal("store-only R injection advanced a high-water mark")
+	}
+	em = relay3(b, 2, Msg[int, int]{Kind: KindArrival, Side: stream.S, Mode: ArriveStoreOnly, S: ss})
+	if len(em.results) != 0 {
+		t.Fatalf("store-only S injection re-emitted %d prior results", len(em.results))
+	}
+	if len(em.endR) != 0 || len(em.endS) != 0 {
+		t.Fatal("store-only S injection advanced a high-water mark")
+	}
+	if wr, ws := windowTotal(b); wr != len(rs) || ws != len(ss) {
+		t.Fatalf("B holds (%d, %d) tuples, want (%d, %d)", wr, ws, len(rs), len(ss))
+	}
+	// Store-only copies must be settled immediately: future S arrivals
+	// probe settled entries only.
+	for _, n := range b {
+		if n.wR.Len() != n.wR.SettledLen() {
+			t.Fatalf("node %d: store-only R copies not settled (%d live, %d settled)", n.k, n.wR.Len(), n.wR.SettledLen())
+		}
+	}
+
+	for i := 12; i < 24; i++ {
+		pushR(b, uint64(i), i%4)
+		pushS(b, uint64(i), i%3)
+	}
+	if gotN != oracleN {
+		t.Fatalf("post-migration results = %d, Kang oracle (no migration) = %d", gotN, oracleN)
+	}
+	if gotN == phase1 {
+		t.Fatal("phase 2 produced no results; hand-off not exercised")
+	}
+	var stored uint64
+	for _, n := range b {
+		stored += n.Stats().StoreOnly
+	}
+	if stored != uint64(len(rs)+len(ss)) {
+		t.Fatalf("Stats.StoreOnly = %d, want %d", stored, len(rs)+len(ss))
+	}
+}
+
+func TestProbeOnlyMatchesKangWithoutEnteringWindow(t *testing.T) {
+	// A probe-only arrival emits exactly the matches a Kang scan of the
+	// current windows would, but is never stored: window sizes are
+	// unchanged, no protocol side effects (exp-end, ack, HWM) are
+	// produced, and later arrivals cannot match it.
+	c := cfg3()
+	nodes := pipeline3(c)
+	for i := 0; i < 9; i++ {
+		relay3(nodes, 0, rArr(stream.Tuple[int]{Seq: uint64(i), TS: int64(i), Home: stream.NoHome, Payload: i % 3}))
+		relay3(nodes, 2, sArr(stream.Tuple[int]{Seq: uint64(i), TS: int64(i), Home: stream.NoHome, Payload: i % 3}))
+	}
+	wr0, ws0 := windowTotal(nodes)
+
+	// Kang reference: matches of payload 1 against the S window (3 of
+	// the 9 stored S tuples carry payload 1).
+	em := relay3(nodes, 0, Msg[int, int]{Kind: KindArrival, Side: stream.R, Mode: ArriveProbeOnly,
+		R: []stream.Tuple[int]{{Seq: 100, TS: 100, Home: stream.NoHome, Payload: 1}}})
+	if len(em.results) != 3 {
+		t.Fatalf("probe-only R emitted %d results, Kang scan finds 3", len(em.results))
+	}
+	if len(em.endR) != 0 || len(em.endS) != 0 {
+		t.Fatal("probe-only advanced a high-water mark")
+	}
+	if wr, ws := windowTotal(nodes); wr != wr0 || ws != ws0 {
+		t.Fatalf("probe-only R changed windows: (%d,%d) -> (%d,%d)", wr0, ws0, wr, ws)
+	}
+
+	em = relay3(nodes, 2, Msg[int, int]{Kind: KindArrival, Side: stream.S, Mode: ArriveProbeOnly,
+		S: []stream.Tuple[int]{{Seq: 101, TS: 101, Home: stream.NoHome, Payload: 2}}})
+	if len(em.results) != 3 {
+		t.Fatalf("probe-only S emitted %d results, Kang scan finds 3", len(em.results))
+	}
+	if wr, ws := windowTotal(nodes); wr != wr0 || ws != ws0 {
+		t.Fatalf("probe-only S changed windows: (%d,%d) -> (%d,%d)", wr0, ws0, wr, ws)
+	}
+
+	// A later matching arrival must not find the probe-only tuples.
+	em = relay3(nodes, 2, sArr(stream.Tuple[int]{Seq: 102, TS: 102, Home: stream.NoHome, Payload: 1}))
+	for _, p := range em.results {
+		if p.R.Seq == 100 {
+			t.Fatal("probe-only R tuple entered the window: matched by a later S arrival")
+		}
+	}
+	em = relay3(nodes, 0, rArr(stream.Tuple[int]{Seq: 103, TS: 103, Home: stream.NoHome, Payload: 2}))
+	for _, p := range em.results {
+		if p.S.Seq == 101 {
+			t.Fatal("probe-only S tuple entered the window: matched by a later R arrival")
+		}
+	}
+}
+
+func TestArrivalModeString(t *testing.T) {
+	for m, want := range map[ArrivalMode]string{
+		ArriveFull: "full", ArriveStoreOnly: "store-only",
+		ArriveProbeOnly: "probe-only", ArrivalMode(9): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("ArrivalMode(%d).String() = %q, want %q", m, m.String(), want)
+		}
 	}
 }

@@ -5,6 +5,13 @@ package shard
 type ExpiryEntry struct {
 	Seq uint64
 	Due int64
+	// Settled marks an entry whose tuple is already inside the
+	// pipeline's windows, so the injection gate of PopDue does not
+	// apply. Entries absorbed from a state migration are settled: the
+	// tuple was re-injected store-only and quiesced before its expiry
+	// entries were absorbed, while the destination lane's own
+	// injection high-water mark knows nothing about it.
+	Settled bool
 }
 
 // ExpiryQueue holds the pending expiries of one stream side of one
@@ -35,15 +42,17 @@ func NewExpiryQueue(dedupe bool) *ExpiryQueue {
 }
 
 // PushDur schedules a duration-bound expiry. Calls must carry
-// non-decreasing due times.
-func (q *ExpiryQueue) PushDur(seq uint64, due int64) {
-	q.dur = append(q.dur, ExpiryEntry{Seq: seq, Due: due})
+// non-decreasing due times. settled marks an entry whose tuple is
+// already in the pipeline's windows (state migration), exempt from
+// PopDue's injection gate.
+func (q *ExpiryQueue) PushDur(seq uint64, due int64, settled bool) {
+	q.dur = append(q.dur, ExpiryEntry{Seq: seq, Due: due, Settled: settled})
 }
 
 // PushCnt schedules a count-bound expiry. Calls must carry
 // non-decreasing due times.
-func (q *ExpiryQueue) PushCnt(seq uint64, due int64) {
-	q.cnt = append(q.cnt, ExpiryEntry{Seq: seq, Due: due})
+func (q *ExpiryQueue) PushCnt(seq uint64, due int64, settled bool) {
+	q.cnt = append(q.cnt, ExpiryEntry{Seq: seq, Due: due, Settled: settled})
 }
 
 // PopDue removes and returns the sequence numbers of all entries due
@@ -59,19 +68,86 @@ func (q *ExpiryQueue) PushCnt(seq uint64, due int64) {
 // tuples that are equally uninjected.
 func (q *ExpiryQueue) PopDue(t int64, injectedBelow uint64) []uint64 {
 	var seqs []uint64
-	for len(q.dur) > 0 && q.dur[0].Due <= t && q.dur[0].Seq < injectedBelow {
+	for len(q.dur) > 0 && q.dur[0].Due <= t && (q.dur[0].Settled || q.dur[0].Seq < injectedBelow) {
 		if q.take(q.dur[0].Seq) {
 			seqs = append(seqs, q.dur[0].Seq)
 		}
 		q.dur = q.dur[1:]
 	}
-	for len(q.cnt) > 0 && q.cnt[0].Due <= t && q.cnt[0].Seq < injectedBelow {
+	for len(q.cnt) > 0 && q.cnt[0].Due <= t && (q.cnt[0].Settled || q.cnt[0].Seq < injectedBelow) {
 		if q.take(q.cnt[0].Seq) {
 			seqs = append(seqs, q.cnt[0].Seq)
 		}
 		q.cnt = q.cnt[1:]
 	}
 	return seqs
+}
+
+// TakeMatching removes and returns the pending entries whose sequence
+// number satisfies match, preserving the due order of both flavors —
+// the queue-side half of a state migration. Call it only for sequence
+// numbers of tuples that are live in the pipeline's windows: a live
+// tuple has fired neither bound, so no dedupe bookkeeping can exist
+// for it and none needs to move.
+func (q *ExpiryQueue) TakeMatching(match func(uint64) bool) (dur, cnt []ExpiryEntry) {
+	q.dur, dur = filterEntries(q.dur, match)
+	q.cnt, cnt = filterEntries(q.cnt, match)
+	return dur, cnt
+}
+
+// filterEntries splits entries into kept (match false) and taken
+// (match true), both in original order, reusing the backing array for
+// the kept slice.
+func filterEntries(entries []ExpiryEntry, match func(uint64) bool) (kept, taken []ExpiryEntry) {
+	kept = entries[:0]
+	for _, e := range entries {
+		if match(e.Seq) {
+			taken = append(taken, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	return kept, taken
+}
+
+// AbsorbDur merges migrated duration-bound entries into the queue,
+// marking them settled (their tuples are already in the windows, so
+// the injection gate must not hold them back). Both inputs are sorted
+// by due time; the merge keeps the queue sorted, which PopDue's
+// head-only drain requires.
+func (q *ExpiryQueue) AbsorbDur(entries []ExpiryEntry) { q.dur = mergeByDue(q.dur, entries) }
+
+// AbsorbCnt merges migrated count-bound entries into the queue,
+// marking them settled.
+func (q *ExpiryQueue) AbsorbCnt(entries []ExpiryEntry) { q.cnt = mergeByDue(q.cnt, entries) }
+
+// mergeByDue merges two due-sorted entry lists, marking the absorbed
+// list settled. Existing entries win ties, so an absorbed entry never
+// jumps ahead of a same-due entry already queued.
+func mergeByDue(have, add []ExpiryEntry) []ExpiryEntry {
+	if len(add) == 0 {
+		return have
+	}
+	out := make([]ExpiryEntry, 0, len(have)+len(add))
+	i, j := 0, 0
+	for i < len(have) && j < len(add) {
+		if have[i].Due <= add[j].Due {
+			out = append(out, have[i])
+			i++
+		} else {
+			e := add[j]
+			e.Settled = true
+			out = append(out, e)
+			j++
+		}
+	}
+	out = append(out, have[i:]...)
+	for ; j < len(add); j++ {
+		e := add[j]
+		e.Settled = true
+		out = append(out, e)
+	}
+	return out
 }
 
 // take reports whether seq should be emitted. With dedupe on, the

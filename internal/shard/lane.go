@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,6 +12,14 @@ import (
 	"handshakejoin/internal/pipeline"
 	"handshakejoin/internal/stream"
 )
+
+// ErrMigrationBudget is returned by Extract when the group's live
+// state exceeds the caller's tuple budget; nothing has been modified.
+var ErrMigrationBudget = errors.New("shard: group state exceeds migration budget")
+
+// ErrNoExtractor is returned by Extract when the lane's node logic
+// does not support state extraction (the original handshake join).
+var ErrNoExtractor = errors.New("shard: node logic does not support state extraction")
 
 // LaneConfig parameterizes a Lane. All fields are required (the engine
 // layer applies defaults before construction).
@@ -108,7 +118,14 @@ func (l *Lane[L, R]) PushS(t stream.Tuple[R]) {
 // stream time due. counted marks a count-bound (as opposed to
 // duration-bound) expiry. Due times must be non-decreasing per
 // (side, counted) pair — which routing monotonic streams guarantees.
-func (l *Lane[L, R]) QueueExpiry(side stream.Side, seq uint64, due int64, counted bool) {
+//
+// settled marks an expiry whose tuple is already inside this lane's
+// windows even though the lane's own injection high-water mark does
+// not cover its sequence number — the engine passes it for tuples
+// that entered by state migration. Without it, a count expiry routed
+// here after a migration could be gated behind the injection check
+// forever on a lane that never receives another arrival of that side.
+func (l *Lane[L, R]) QueueExpiry(side stream.Side, seq uint64, due int64, counted, settled bool) {
 	l.expMu.Lock()
 	defer l.expMu.Unlock()
 	q := l.rExp
@@ -116,9 +133,9 @@ func (l *Lane[L, R]) QueueExpiry(side stream.Side, seq uint64, due int64, counte
 		q = l.sExp
 	}
 	if counted {
-		q.PushCnt(seq, due)
+		q.PushCnt(seq, due, settled)
 	} else {
-		q.PushDur(seq, due)
+		q.PushDur(seq, due, settled)
 	}
 }
 
@@ -215,6 +232,117 @@ func (l *Lane[L, R]) Heartbeat(ts int64) {
 // QueueDepth reports the number of messages currently in flight inside
 // the lane's pipeline — the back-pressure signal load samplers read.
 func (l *Lane[L, R]) QueueDepth() int { return l.lv.QueueDepth() }
+
+// GroupState is one key-group's live state, extracted from a lane
+// under a consistent cut: the group's window tuples of both sides plus
+// their pending expiry-queue entries, by flavor. It is the unit of a
+// state migration — Inject replays it into another lane (or back into
+// the same one, to abort a move).
+type GroupState[L, R any] struct {
+	R []stream.Tuple[L]
+	S []stream.Tuple[R]
+	// RDur/RCnt and SDur/SCnt are the pending duration- and
+	// count-bound expiry entries of the extracted tuples, in due
+	// order.
+	RDur, RCnt []ExpiryEntry
+	SDur, SCnt []ExpiryEntry
+}
+
+// Tuples returns the number of window tuples the state carries.
+func (gs *GroupState[L, R]) Tuples() int { return len(gs.R) + len(gs.S) }
+
+// Extract snapshots and removes one key-group's live state from the
+// lane under a consistent cut: buffered batches are flushed, the
+// pipeline quiesces (so every pair among the group's tuples has been
+// emitted and all expedition flags are settled), and then the matching
+// window tuples and their pending expiry entries are taken out. The
+// caller must guarantee that no tuple is pushed into the lane for the
+// duration (the sharded engine holds both stream-side locks).
+//
+// With max > 0 the extraction is refused — before modifying anything —
+// when the group holds more than max tuples, returning the count and
+// ErrMigrationBudget; a mega-group move can so be declined without a
+// restart. The lane's punctuation state is untouched either way: high
+// water marks only ever advance, and extraction emits nothing.
+func (l *Lane[L, R]) Extract(matchR func(L) bool, matchS func(R) bool, max int) (*GroupState[L, R], int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flushR()
+	l.flushS()
+	l.lv.Quiesce()
+
+	nodes := make([]core.StateExtractor[L, R], 0, len(l.lv.Nodes()))
+	total := 0
+	for _, nl := range l.lv.Nodes() {
+		ex, ok := nl.(core.StateExtractor[L, R])
+		if !ok {
+			return nil, 0, ErrNoExtractor
+		}
+		nr, ns := ex.CountMatching(matchR, matchS)
+		total += nr + ns
+		nodes = append(nodes, ex)
+	}
+	if max > 0 && total > max {
+		return nil, total, ErrMigrationBudget
+	}
+
+	st := &GroupState[L, R]{}
+	for _, ex := range nodes {
+		rs, ss := ex.ExtractMatching(matchR, matchS)
+		st.R = append(st.R, rs...)
+		st.S = append(st.S, ss...)
+	}
+	// Tuples interleave across nodes; restore arrival order so the
+	// store-only batches (and any re-injection) are deterministic.
+	sort.Slice(st.R, func(i, j int) bool { return st.R[i].Seq < st.R[j].Seq })
+	sort.Slice(st.S, func(i, j int) bool { return st.S[i].Seq < st.S[j].Seq })
+
+	rSet := make(map[uint64]struct{}, len(st.R))
+	for _, t := range st.R {
+		rSet[t.Seq] = struct{}{}
+	}
+	sSet := make(map[uint64]struct{}, len(st.S))
+	for _, t := range st.S {
+		sSet[t.Seq] = struct{}{}
+	}
+	l.expMu.Lock()
+	st.RDur, st.RCnt = l.rExp.TakeMatching(func(seq uint64) bool { _, ok := rSet[seq]; return ok })
+	st.SDur, st.SCnt = l.sExp.TakeMatching(func(seq uint64) bool { _, ok := sSet[seq]; return ok })
+	l.expMu.Unlock()
+	return st, total, nil
+}
+
+// Inject replays an extracted key-group state into this lane: the
+// tuples enter the pipeline as store-only arrivals (they join nothing
+// on entry — their past joins were emitted on the lane they came from
+// — but participate in every future probe), the pipeline quiesces so
+// the copies are settled in their home windows before any new arrival
+// can cross them, and only then are the expiry entries absorbed, so an
+// expiry can never race its own tuple to the home node. The caller
+// must hold off pushes for the duration, as for Extract.
+//
+// Punctuation safety: store-only arrivals do not advance the stream
+// high-water marks, and every future result involving a migrated tuple
+// pairs it with a future arrival, whose timestamp bounds the result's
+// from below — so neither lane's promise is invalidated and the merged
+// punctuation floor never regresses.
+func (l *Lane[L, R]) Inject(st *GroupState[L, R]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(st.R) > 0 {
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveStoreOnly, Side: stream.R, R: st.R})
+	}
+	if len(st.S) > 0 {
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveStoreOnly, Side: stream.S, S: st.S})
+	}
+	l.lv.Quiesce()
+	l.expMu.Lock()
+	l.rExp.AbsorbDur(st.RDur)
+	l.rExp.AbsorbCnt(st.RCnt)
+	l.sExp.AbsorbDur(st.SDur)
+	l.sExp.AbsorbCnt(st.SCnt)
+	l.expMu.Unlock()
+}
 
 // Close flushes buffered batches, waits for the pipeline to quiesce,
 // and stops the node and collector goroutines. The lane cannot be

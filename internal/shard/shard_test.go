@@ -80,9 +80,9 @@ func TestPartitionerMoveReroutesExactlyOneGroup(t *testing.T) {
 
 func TestExpiryQueuePopsInDueOrder(t *testing.T) {
 	q := NewExpiryQueue(false)
-	q.PushDur(1, 10)
-	q.PushDur(2, 20)
-	q.PushCnt(3, 15)
+	q.PushDur(1, 10, false)
+	q.PushDur(2, 20, false)
+	q.PushCnt(3, 15, false)
 	if got := q.PopDue(5, 100); len(got) != 0 {
 		t.Fatalf("PopDue(5) = %v", got)
 	}
@@ -102,8 +102,8 @@ func TestExpiryQueueDedupeExactlyOnce(t *testing.T) {
 	// Dual-bound windows schedule every tuple twice; whichever bound
 	// fires first must win, and the later entry must vanish silently.
 	q := NewExpiryQueue(true)
-	q.PushDur(7, 100) // duration bound, later
-	q.PushCnt(7, 30)  // count bound fires first
+	q.PushDur(7, 100, false) // duration bound, later
+	q.PushCnt(7, 30, false)  // count bound fires first
 	if got := q.PopDue(30, 100); len(got) != 1 || got[0] != 7 {
 		t.Fatalf("PopDue(30) = %v, want [7]", got)
 	}
@@ -115,8 +115,8 @@ func TestExpiryQueueDedupeExactlyOnce(t *testing.T) {
 	}
 
 	// And the other way around: duration first, count later.
-	q.PushDur(8, 40)
-	q.PushCnt(8, 60)
+	q.PushDur(8, 40, false)
+	q.PushCnt(8, 60, false)
 	if got := q.PopDue(50, 100); len(got) != 1 || got[0] != 8 {
 		t.Fatalf("PopDue(50) = %v, want [8]", got)
 	}
@@ -130,7 +130,7 @@ func TestExpiryQueueHoldsBackUninjectedTuples(t *testing.T) {
 	// been injected — otherwise the expiry message overtakes the tuple
 	// at the pipeline entry and the tuple is dropped on arrival.
 	q := NewExpiryQueue(false)
-	q.PushCnt(5, 10)
+	q.PushCnt(5, 10, false)
 	if got := q.PopDue(50, 5); len(got) != 0 {
 		t.Fatalf("expiry for uninjected tuple released: %v", got)
 	}
@@ -188,5 +188,68 @@ func TestMergeCountsResultsPerShard(t *testing.T) {
 	per := m.ShardResults()
 	if per[0] != 1 || per[1] != 0 || per[2] != 2 {
 		t.Fatalf("ShardResults() = %v", per)
+	}
+}
+
+func TestExpiryQueueTakeMatchingAndAbsorb(t *testing.T) {
+	// TakeMatching pulls a group's entries out in due order; Absorb
+	// merges them into another queue whose own entries have different
+	// due times, keeping the head-only PopDue drain correct.
+	src := NewExpiryQueue(false)
+	src.PushDur(1, 10, false)
+	src.PushDur(2, 20, false)
+	src.PushDur(3, 30, false)
+	src.PushCnt(2, 5, false)
+	grp := map[uint64]struct{}{2: {}}
+	dur, cnt := src.TakeMatching(func(seq uint64) bool { _, ok := grp[seq]; return ok })
+	if len(dur) != 1 || dur[0].Seq != 2 || len(cnt) != 1 || cnt[0].Seq != 2 {
+		t.Fatalf("TakeMatching = %v / %v, want seq 2 in both", dur, cnt)
+	}
+	if src.Len() != 2 {
+		t.Fatalf("source queue holds %d entries, want 2", src.Len())
+	}
+
+	dst := NewExpiryQueue(false)
+	dst.PushDur(100, 15, false)
+	dst.PushDur(101, 25, false)
+	dst.AbsorbDur(dur)
+	dst.AbsorbCnt(cnt)
+	// The absorbed entries are settled: the destination's injection
+	// high-water mark (0: nothing injected) must not hold them back.
+	// The absorbed count entry heads its queue and drains immediately;
+	// the duration entry sits behind the destination's own (uninjected)
+	// head, which the head-only drain intentionally preserves.
+	if got := dst.PopDue(50, 0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("PopDue(50, uninjected) = %v, want absorbed seq 2 (cnt head)", got)
+	}
+	if got := dst.PopDue(50, 200); len(got) != 3 || got[0] != 100 || got[1] != 2 || got[2] != 101 {
+		t.Fatalf("PopDue(50, injected) = %v, want [100 2 101]", got)
+	}
+	// Due order across absorbed and native entries: absorbed due=20
+	// sits between native 15 and 25.
+	dst2 := NewExpiryQueue(false)
+	dst2.PushDur(100, 15, false)
+	dst2.PushDur(101, 25, false)
+	dst2.AbsorbDur([]ExpiryEntry{{Seq: 2, Due: 20}})
+	var order []uint64
+	order = append(order, dst2.PopDue(15, 200)...)
+	order = append(order, dst2.PopDue(20, 200)...)
+	order = append(order, dst2.PopDue(25, 200)...)
+	if len(order) != 3 || order[0] != 100 || order[1] != 2 || order[2] != 101 {
+		t.Fatalf("merged drain order = %v, want [100 2 101]", order)
+	}
+}
+
+func TestExpiryQueueAbsorbIntoDedupe(t *testing.T) {
+	// A migrated dual-bound tuple carries both entries; after absorption
+	// the destination's dedupe must still fire it exactly once.
+	dst := NewExpiryQueue(true)
+	dst.AbsorbDur([]ExpiryEntry{{Seq: 9, Due: 40}})
+	dst.AbsorbCnt([]ExpiryEntry{{Seq: 9, Due: 10}})
+	if got := dst.PopDue(10, 0); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("PopDue(10) = %v, want [9]", got)
+	}
+	if got := dst.PopDue(100, 0); len(got) != 0 {
+		t.Fatalf("migrated tuple expired twice: %v", got)
 	}
 }

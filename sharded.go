@@ -99,6 +99,9 @@ type ShardedEngine[L, RT any] struct {
 	stop     chan struct{}
 	bg       sync.WaitGroup
 
+	stateMigrations atomic.Uint64
+	migratedTuples  atomic.Uint64
+
 	sorter  *order.Sorter[L, RT]
 	sortMu  sync.Mutex // sorter access: merge callbacks vs Close's final Flush
 	closed  atomic.Bool
@@ -219,14 +222,29 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 		for i, l := range e.lanes {
 			probes[i] = laneProbe[L, RT]{l: l}
 		}
+		acfg := adapt.Config{
+			SamplePeriod:     cfg.Adapt.SamplePeriod,
+			SkewThreshold:    cfg.Adapt.SkewThreshold,
+			MaxMovesPerCycle: cfg.Adapt.MaxMovesPerCycle,
+			StaleMoveCycles:  uint64(max(cfg.Adapt.StaleMoveCycles, 0)),
+			EngageThreshold:  cfg.Adapt.EngageThreshold,
+			DisengageRatio:   cfg.Adapt.DisengageRatio,
+		}
+		if cfg.Adapt.Migration.Enable {
+			acfg.MigrateBudget = cfg.Adapt.Migration.MaxTuplesPerCycle
+			if acfg.MigrateBudget == 0 {
+				acfg.MigrateBudget = 4096
+			}
+			acfg.MigrateAfterCycles = uint64(max(cfg.Adapt.Migration.AfterCycles, 0))
+			acfg.MinMigrateLoad = cfg.Adapt.Migration.MinGroupLoad
+			acfg.Migrator = func(group uint32, to int, budget int) (int, bool) {
+				n, err := e.migrate(group, to, budget)
+				return n, err == nil
+			}
+		}
 		e.ctrl = adapt.NewController(e.router, probes,
 			func(lane int) int64 { return e.laneTS[lane].Load() },
-			adapt.Config{
-				SamplePeriod:     cfg.Adapt.SamplePeriod,
-				SkewThreshold:    cfg.Adapt.SkewThreshold,
-				MaxMovesPerCycle: cfg.Adapt.MaxMovesPerCycle,
-				StaleMoveCycles:  uint64(max(cfg.Adapt.StaleMoveCycles, 0)),
-			})
+			acfg)
 		if cfg.Adapt.SamplePeriod >= 0 {
 			e.bg.Add(1)
 			go func() {
@@ -337,15 +355,15 @@ func raiseInt64(a *atomic.Int64, ts int64) {
 	}
 }
 
-func (e *ShardedEngine[L, RT]) expireR(lane int, group uint32, seq uint64, due int64, counted bool) {
-	e.lanes[lane].QueueExpiry(stream.R, seq, due, counted)
+func (e *ShardedEngine[L, RT]) expireR(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
+	e.lanes[lane].QueueExpiry(stream.R, seq, due, counted, settled)
 	if counted && e.adaptive {
 		e.router.ObserveCountExpire(stream.R, group, due)
 	}
 }
 
-func (e *ShardedEngine[L, RT]) expireS(lane int, group uint32, seq uint64, due int64, counted bool) {
-	e.lanes[lane].QueueExpiry(stream.S, seq, due, counted)
+func (e *ShardedEngine[L, RT]) expireS(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
+	e.lanes[lane].QueueExpiry(stream.S, seq, due, counted, settled)
 	if counted && e.adaptive {
 		e.router.ObserveCountExpire(stream.S, group, due)
 	}
@@ -386,7 +404,8 @@ func (e *ShardedEngine[L, RT]) heartbeatLoop() {
 }
 
 // Rebalance runs one adaptive control cycle synchronously — sample,
-// plan, and attempt pending cut-overs — and reports how many key-group
+// plan, attempt pending cut-overs, and (with Adapt.Migration) escalate
+// stalled moves to state migrations — and reports how many key-group
 // moves it proposed and applied. It is a no-op unless Adapt.Enable is
 // set; with a negative Adapt.SamplePeriod it is the only driver of the
 // control loop, which makes rebalancing points deterministic for tests
@@ -396,6 +415,78 @@ func (e *ShardedEngine[L, RT]) Rebalance() (proposed, applied int) {
 		return 0, 0
 	}
 	return e.ctrl.Step()
+}
+
+// Migrate moves key-group group to shard to by live state migration,
+// without waiting for the group to drain: both ingress sides are
+// frozen, the group's window tuples and pending expiries leave the old
+// shard's pipeline under a consistent cut, the routing table is
+// swapped, and the state replays into the new shard's pipeline as
+// store-only arrivals. It returns the number of window tuples moved.
+// The result multiset and the Ordered-mode sequence are unaffected.
+//
+// Migrate is deterministic given the push schedule — the cut happens
+// exactly between the pushes that surround the call — which is what
+// the oracle test suites rely on. The adaptive control loop performs
+// the same operation autonomously when Adapt.Migration is enabled.
+func (e *ShardedEngine[L, RT]) Migrate(group uint32, to int) (int, error) {
+	return e.migrate(group, to, 0)
+}
+
+// migrate implements Migrate under an optional tuple budget (max > 0):
+// a group holding more than max live tuples is refused before any
+// state is touched, so the control loop's per-cycle budget bounds the
+// ingress stall.
+func (e *ShardedEngine[L, RT]) migrate(group uint32, to int, max int) (int, error) {
+	if int(group) >= e.router.Groups() {
+		return 0, fmt.Errorf("handshakejoin: Migrate: group %d out of range [0,%d)", group, e.router.Groups())
+	}
+	if to < 0 || to >= len(e.lanes) {
+		return 0, fmt.Errorf("handshakejoin: Migrate: shard %d out of range [0,%d)", to, len(e.lanes))
+	}
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	e.smu.Lock()
+	defer e.smu.Unlock()
+	if e.closed.Load() {
+		return 0, fmt.Errorf("handshakejoin: engine closed")
+	}
+	from := e.router.Partitioner().ShardOfGroup(group)
+	if from == to {
+		return 0, nil
+	}
+	// Freeze: with both side locks held no tuple can be admitted;
+	// drain the ingress gates so in-flight pushes have fully entered
+	// their lanes before the cut.
+	e.drainGates()
+	matchR := func(p L) bool { return e.router.GroupOf(e.keyR(p)) == group }
+	matchS := func(p RT) bool { return e.router.GroupOf(e.keyS(p)) == group }
+	st, n, err := e.lanes[from].Extract(matchR, matchS, max)
+	if err != nil {
+		return n, err
+	}
+	// Swap the route. A concurrent drain cut-over of the same group
+	// cannot interleave destructively: Relocate serializes on the
+	// router's control mutex and cancels the pending move.
+	e.router.Relocate(group, to)
+	if n > 0 {
+		rSeqs := make(map[uint64]struct{}, len(st.R))
+		for _, t := range st.R {
+			rSeqs[t.Seq] = struct{}{}
+		}
+		sSeqs := make(map[uint64]struct{}, len(st.S))
+		for _, t := range st.S {
+			sSeqs[t.Seq] = struct{}{}
+		}
+		// Future count-bound expiries of the moved tuples must route
+		// to the new lane.
+		e.rWin.rebind(rSeqs, to)
+		e.sWin.rebind(sSeqs, to)
+		e.lanes[to].Inject(st)
+	}
+	e.stateMigrations.Add(1)
+	e.migratedTuples.Add(uint64(n))
+	return n, nil
 }
 
 // drainGates waits until every issued ingress ticket has completed.
@@ -479,6 +570,8 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 		ShardResults:    e.merge.ShardResults(),
 		Rebalances:      e.router.Rebalances(),
 		KeyGroupMoves:   e.router.Applied(),
+		StateMigrations: e.stateMigrations.Load(),
+		MigratedTuples:  e.migratedTuples.Load(),
 	}
 	st.ShardIngress = make([]uint64, len(e.lanes))
 	for i := range e.activity {

@@ -1,0 +1,326 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/stream"
+)
+
+// The tests in this file establish the correctness claim of live state
+// migration: moving a key-group's window state between shards
+// mid-stream — through ShardedEngine.Migrate or the control loop's
+// migration escalation — changes neither the result multiset nor the
+// exact Ordered-mode sequence versus the sequential Kang oracle.
+//
+// Like the adaptive suite they run with Batch: 1, where window
+// boundaries are exact and the multiset is independent of tuple
+// placement; the migration protocol guarantees the same independence
+// on the engine side (extracted tuples re-enter as store-only
+// arrivals, so nothing is emitted twice, and re-bound expiries still
+// pop before the group's next arrival).
+
+// migrateCfg is the shared base configuration of the migration suites.
+func migrateCfg(shards int, theta float64) Config[okR, okS] {
+	const step = int64(1e6)
+	return Config[okR, okS]{
+		Workers:     3,
+		Shards:      shards,
+		Predicate:   shardedEqui,
+		WindowR:     Window{Duration: time.Duration(120 * step), Count: 200},
+		WindowS:     Window{Count: 190},
+		Batch:       1,
+		MaxInFlight: 2,
+		KeyR:        okRKey,
+		KeyS:        okSKey,
+		Adapt: AdaptConfig{
+			Enable:           true,
+			SamplePeriod:     -1, // manual control only: deterministic
+			SkewThreshold:    1.05,
+			MaxMovesPerCycle: 16,
+			KeyGroups:        8 * shards,
+		},
+	}
+}
+
+func TestShardedMigrateMatchesOracle(t *testing.T) {
+	// Forced migrations: every 150 pushes one key-group is moved to a
+	// rotating target shard, cycling through all groups — live window
+	// state moves constantly, under the heavy skew (θ=1.5) whose hot
+	// groups the drain path could never relocate. Exact multiset.
+	for _, shards := range []int{4, 8} {
+		t.Run(fmt.Sprintf("shards=%d/theta=1.5", shards), func(t *testing.T) {
+			cfg := migrateCfg(shards, 1.5)
+			var mu sync.Mutex
+			got := map[stream.PairKey]int{}
+			cfg.OnOutput = func(it Item[okR, okS]) {
+				if it.Punct {
+					return
+				}
+				mu.Lock()
+				got[it.Result.Pair.Key()]++
+				mu.Unlock()
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se := eng.(*ShardedEngine[okR, okS])
+			o := newOracleEngine(cfg, shardedEqui)
+			groups := se.KeyGroups()
+			move := 0
+			zipfSchedule(t, 2400, 1.5, 256, uint64(shards)*101, eng, o, func(i int) {
+				if i%150 == 149 {
+					g := uint32(move % groups)
+					to := (se.router.Partitioner().ShardOfGroup(g) + 1 + move%(shards-1)) % shards
+					if _, err := se.Migrate(g, to); err != nil {
+						t.Fatalf("Migrate(%d, %d): %v", g, to, err)
+					}
+					move++
+				}
+			})
+
+			missing, extra, dups := diffPairMultiset(o.pairs, got)
+			if missing != 0 || extra != 0 || dups != 0 {
+				t.Fatalf("migrated vs oracle: %d missing, %d extra, %d duplicates (oracle %d distinct)",
+					missing, extra, dups, len(o.pairs))
+			}
+			st := eng.Stats()
+			if st.Results != sum(o.pairs) {
+				t.Fatalf("Stats.Results = %d, oracle produced %d", st.Results, sum(o.pairs))
+			}
+			if st.PendingExpiries != 0 {
+				t.Errorf("pending expiries: %d (a migrated expiry raced its tuple)", st.PendingExpiries)
+			}
+			if st.StateMigrations == 0 || st.MigratedTuples == 0 {
+				t.Fatalf("no live state moved (migrations %d, tuples %d); test has no teeth",
+					st.StateMigrations, st.MigratedTuples)
+			}
+		})
+	}
+}
+
+func TestShardedOrderedMigrateExactSequence(t *testing.T) {
+	// Ordered mode across forced live migrations: the merged,
+	// punctuation-sorted output must still be the exact deterministic
+	// sequence.
+	for _, shards := range []int{4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := migrateCfg(shards, 1.5)
+			cfg.Ordered = true
+			cfg.CollectPeriod = 200 * time.Microsecond
+			var mu sync.Mutex
+			var gotSeq []orderedKey
+			cfg.OnOutput = func(it Item[okR, okS]) {
+				mu.Lock()
+				defer mu.Unlock()
+				if it.Punct {
+					return
+				}
+				p := it.Result.Pair
+				gotSeq = append(gotSeq, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se := eng.(*ShardedEngine[okR, okS])
+			o := newOracleEngine(cfg, shardedEqui)
+			groups := se.KeyGroups()
+			move := 0
+			zipfSchedule(t, 2000, 1.5, 256, uint64(shards)*7+3, eng, o, func(i int) {
+				if i%170 == 169 {
+					g := uint32(move % groups)
+					to := (se.router.Partitioner().ShardOfGroup(g) + 1 + move%(shards-1)) % shards
+					if _, err := se.Migrate(g, to); err != nil {
+						t.Fatalf("Migrate(%d, %d): %v", g, to, err)
+					}
+					move++
+				}
+			})
+
+			st := eng.Stats()
+			if st.MigratedTuples == 0 {
+				t.Fatal("no live state moved; the ordered-across-migration claim was not exercised")
+			}
+			want := o.orderedResults()
+			if len(gotSeq) != len(want) {
+				t.Fatalf("emitted %d results, oracle expects %d (migrations %d, tuples %d)",
+					len(gotSeq), len(want), st.StateMigrations, st.MigratedTuples)
+			}
+			for i := range want {
+				if gotSeq[i] != want[i] {
+					t.Fatalf("position %d: got %+v, want %+v", i, gotSeq[i], want[i])
+				}
+			}
+			if len(want) == 0 {
+				t.Fatal("workload produced no results; test has no teeth")
+			}
+		})
+	}
+}
+
+func TestShardedMigrationControlLoopEscalates(t *testing.T) {
+	// With Adapt.Migration enabled and manual Rebalance as the only
+	// control driver, hot groups under θ=1.5 skew stall their planned
+	// drain moves (their windows never empty) and must escalate to
+	// live migrations — while the output stays an exact multiset.
+	const shards = 4
+	cfg := migrateCfg(shards, 1.5)
+	cfg.Adapt.Migration = MigrationConfig{
+		Enable:            true,
+		MaxTuplesPerCycle: 4096,
+		AfterCycles:       3,
+	}
+	var mu sync.Mutex
+	got := map[stream.PairKey]int{}
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		got[it.Result.Pair.Key()]++
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+	o := newOracleEngine(cfg, shardedEqui)
+	zipfSchedule(t, 5000, 1.5, 256, 4242, eng, o, func(i int) {
+		if i%100 == 99 {
+			se.Rebalance()
+		}
+	})
+
+	missing, extra, dups := diffPairMultiset(o.pairs, got)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("control-loop migration vs oracle: %d missing, %d extra, %d duplicates", missing, extra, dups)
+	}
+	st := eng.Stats()
+	if st.StateMigrations == 0 {
+		t.Fatalf("θ=1.5 skew triggered no migration escalation (rebalances %d, drain moves %d, pending expiries %d)",
+			st.Rebalances, st.KeyGroupMoves, st.PendingExpiries)
+	}
+	if st.MigratedTuples == 0 {
+		t.Fatal("migrations fired but carried no live state")
+	}
+}
+
+func TestShardedMigrateValidation(t *testing.T) {
+	cfg := migrateCfg(2, 1.0)
+	cfg.OnOutput = func(Item[okR, okS]) {}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+	if _, err := se.Migrate(uint32(se.KeyGroups()), 0); err == nil {
+		t.Fatal("accepted out-of-range group")
+	}
+	if _, err := se.Migrate(0, 2); err == nil {
+		t.Fatal("accepted out-of-range shard")
+	}
+	// Moving a group onto its own shard is a no-op, not a migration.
+	cur := se.router.Partitioner().ShardOfGroup(3)
+	if n, err := se.Migrate(3, cur); err != nil || n != 0 {
+		t.Fatalf("self-move = (%d, %v), want (0, nil)", n, err)
+	}
+	if se.Stats().StateMigrations != 0 {
+		t.Fatal("self-move counted as a migration")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Migrate(0, 1); err == nil {
+		t.Fatal("Migrate succeeded on a closed engine")
+	}
+}
+
+func TestMigratedCountExpiryFiresOnQuietLane(t *testing.T) {
+	// A migrated tuple's future count-bound expiry routes to its new
+	// lane, whose injection high-water mark never covered the tuple's
+	// sequence number. On a lane that receives no further R arrivals,
+	// the expiry must fire anyway (the rebind marks it settled) — or
+	// the expired tuple overstays its window and a later S probe
+	// re-joins it.
+	cfg := Config[okR, okS]{
+		Workers:     1,
+		Shards:      2,
+		Predicate:   shardedEqui,
+		WindowR:     Window{Count: 3},
+		WindowS:     Window{Count: 64},
+		Batch:       1,
+		MaxInFlight: 2,
+		KeyR:        okRKey,
+		KeyS:        okSKey,
+		Adapt: AdaptConfig{
+			Enable:       true,
+			SamplePeriod: -1,
+			KeyGroups:    16,
+		},
+	}
+	var mu sync.Mutex
+	results := 0
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		results++
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+	part := se.router.Partitioner()
+	keyOnLane0 := func(not uint32) (uint64, uint32) {
+		for k := uint64(0); ; k++ {
+			if g := se.router.GroupOf(k); part.ShardOfGroup(g) == 0 && g != not {
+				return k, g
+			}
+		}
+	}
+	keyA, gA := keyOnLane0(1 << 30)
+	keyB, _ := keyOnLane0(gA)
+
+	// Fill the global R count window with key-A tuples, all on lane 0.
+	for i := 0; i < 3; i++ {
+		if err := eng.PushR(okR{Key: keyA}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move their live state to lane 1 — which will never see a native
+	// R flush, so its R injection mark stays at zero.
+	if n, err := se.Migrate(gA, 1); err != nil || n != 3 {
+		t.Fatalf("Migrate moved (%d, %v), want 3 tuples", n, err)
+	}
+	// Key-B arrivals on lane 0 overflow the window: the count expiries
+	// of the migrated key-A tuples are routed to lane 1.
+	for i := 3; i < 6; i++ {
+		if err := eng.PushR(okR{Key: keyB}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An S probe of key A on lane 1: its flush must first pop the due
+	// migrated expiries, so the expired tuples cannot match.
+	if err := eng.PushS(okS{Key: keyA}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if results != 0 {
+		t.Fatalf("S probe matched %d expired migrated tuples; their count expiries were gated on the quiet lane", results)
+	}
+	if st := eng.Stats(); st.PendingExpiries != 0 {
+		t.Fatalf("pending expiries: %d", st.PendingExpiries)
+	}
+}

@@ -71,9 +71,9 @@ func (o *oracleShard) queueExpiry(side stream.Side, seq uint64, due int64, count
 		q = o.sExp
 	}
 	if counted {
-		q.PushCnt(seq, due)
+		q.PushCnt(seq, due, false)
 	} else {
-		q.PushDur(seq, due)
+		q.PushDur(seq, due, false)
 	}
 }
 
@@ -181,7 +181,7 @@ func (o *oracleEngine) pushR(payload okR, ts int64) {
 	lane := o.part.Of(payload.Key)
 	t := stream.Tuple[okR]{Seq: o.rSeq, TS: ts, Wall: ts, Home: stream.NoHome, Payload: payload}
 	o.rSeq++
-	o.rWin.onArrival(t.Seq, ts, lane, 0, func(lane int, _ uint32, seq uint64, due int64, counted bool) {
+	o.rWin.onArrival(t.Seq, ts, lane, 0, func(lane int, _ uint32, seq uint64, due int64, counted, _ bool) {
 		o.shards[lane].queueExpiry(stream.R, seq, due, counted)
 	})
 	o.shards[lane].pushR(t)
@@ -191,7 +191,7 @@ func (o *oracleEngine) pushS(payload okS, ts int64) {
 	lane := o.part.Of(payload.Key)
 	t := stream.Tuple[okS]{Seq: o.sSeq, TS: ts, Wall: ts, Home: stream.NoHome, Payload: payload}
 	o.sSeq++
-	o.sWin.onArrival(t.Seq, ts, lane, 0, func(lane int, _ uint32, seq uint64, due int64, counted bool) {
+	o.sWin.onArrival(t.Seq, ts, lane, 0, func(lane int, _ uint32, seq uint64, due int64, counted, _ bool) {
 		o.shards[lane].queueExpiry(stream.S, seq, due, counted)
 	})
 	o.shards[lane].pushS(t)

@@ -45,6 +45,29 @@ func TestShardedConcurrentPushersAdaptive(t *testing.T) {
 	})
 }
 
+// TestShardedConcurrentPushersMigrating adds live state migration to
+// the concurrent-pusher workload: windows hold every tuple, so no
+// drain cut-over can ever become safe and every planned move stalls —
+// exactly the regime that escalates to migration. The background
+// control loop freezes ingress and moves live window state between
+// pipelines while pushers hammer both sides; the race detector
+// watches, and the result multiset must still be exact.
+func TestShardedConcurrentPushersMigrating(t *testing.T) {
+	runShardedConcurrentPushers(t, AdaptConfig{
+		Enable:           true,
+		SamplePeriod:     100 * time.Microsecond,
+		SkewThreshold:    1.01,
+		MaxMovesPerCycle: 8,
+		StaleMoveCycles:  1 << 20, // intents must survive to escalation
+		Migration: MigrationConfig{
+			Enable:            true,
+			MaxTuplesPerCycle: 1 << 20, // every group fits: maximal churn
+			AfterCycles:       2,
+			MinGroupLoad:      0.01,
+		},
+	})
+}
+
 func runShardedConcurrentPushers(t *testing.T, acfg AdaptConfig) {
 	const (
 		pushers = 4
