@@ -48,6 +48,7 @@ type skewRow struct {
 	Theta            float64 `json:"theta"`
 	Adaptive         bool    `json:"adaptive"`
 	Migrate          bool    `json:"migrate"`
+	Slice            bool    `json:"slice"`
 	TuplesPerSec     float64 `json:"tuples_per_sec"`
 	P99LatencyMs     float64 `json:"p99_latency_ms"`
 	IngressImbalance float64 `json:"ingress_imbalance"`
@@ -56,6 +57,14 @@ type skewRow struct {
 	KeyGroupMoves    uint64  `json:"key_group_moves"`
 	StateMigrations  uint64  `json:"state_migrations"`
 	MigratedTuples   uint64  `json:"migrated_tuples"`
+	SliceMigrations  uint64  `json:"slice_migrations"`
+	// SourceFreezeStalls counts migration ops that froze ingress for a
+	// whole-group extract on the source shard; slice rows must show 0.
+	SourceFreezeStalls uint64 `json:"source_freeze_stalls"`
+	// MaxStallUs is the longest single ingress freeze any migration
+	// operation held (µs) — for slice rows, bounded by one slice plus
+	// the in-flight cap instead of the hot group's window footprint.
+	MaxStallUs float64 `json:"max_stall_us"`
 }
 
 type skewReport struct {
@@ -129,7 +138,7 @@ func skewPerm(part shard.Partitioner, domain int) []uint64 {
 	return perm[:domain]
 }
 
-func runSkewRow(dist string, theta float64, adaptive, migrate bool, tuples int) (skewRow, error) {
+func runSkewRow(dist string, theta float64, adaptive, migrate, slice bool, tuples int) (skewRow, error) {
 	var mu sync.Mutex
 	var lats []int64
 	cfg := handshakejoin.Config[skR, skS]{
@@ -151,10 +160,14 @@ func runSkewRow(dist string, theta float64, adaptive, migrate bool, tuples int) 
 			KeyGroups:        skewGroups,
 			Migration: handshakejoin.MigrationConfig{
 				// The budget admits the heaviest hot groups (a 38%-mass
-				// rank holds ~0.38 * 2 * window live tuples) while still
-				// bounding any single ingress stall.
-				Enable:            migrate,
+				// rank holds ~0.38 * 2 * window live tuples). Freezing
+				// rows move each group in one frozen extract under it;
+				// slice rows move the same state in 2048-tuple hops
+				// with ingress live in between.
+				Enable:            migrate || slice,
 				MaxTuplesPerCycle: 16384,
+				Freezing:          migrate && !slice,
+				SliceTuples:       2048,
 			},
 		},
 		OnOutput: func(it handshakejoin.Item[skR, skS]) {
@@ -215,17 +228,21 @@ func runSkewRow(dist string, theta float64, adaptive, migrate bool, tuples int) 
 	}
 	st := eng.Stats()
 	row := skewRow{
-		Dist:             dist,
-		Theta:            theta,
-		Adaptive:         adaptive,
-		Migrate:          migrate,
-		TuplesPerSec:     float64(2*(tuples-warmup)) / elapsed.Seconds(),
-		IngressImbalance: metrics.Imbalance(st.ShardIngress),
-		Results:          st.Results,
-		Rebalances:       st.Rebalances,
-		KeyGroupMoves:    st.KeyGroupMoves,
-		StateMigrations:  st.StateMigrations,
-		MigratedTuples:   st.MigratedTuples,
+		Dist:               dist,
+		Theta:              theta,
+		Adaptive:           adaptive,
+		Migrate:            migrate,
+		Slice:              slice,
+		TuplesPerSec:       float64(2*(tuples-warmup)) / elapsed.Seconds(),
+		IngressImbalance:   metrics.Imbalance(st.ShardIngress),
+		Results:            st.Results,
+		Rebalances:         st.Rebalances,
+		KeyGroupMoves:      st.KeyGroupMoves,
+		StateMigrations:    st.StateMigrations,
+		MigratedTuples:     st.MigratedTuples,
+		SliceMigrations:    st.SliceMigrations,
+		SourceFreezeStalls: st.SourceFreezeStalls,
+		MaxStallUs:         float64(st.MaxMigrationStallNs) / 1e3,
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -256,14 +273,19 @@ func skewExperiment() error {
 			"whole skewed stream, the never-draining mega-key included. Static " +
 			"rows keep that table; adaptive rows let the control loop evacuate " +
 			"it by drain-based cut-overs (cold slices only); migrate rows " +
-			"additionally allow live state migration, which relocates the hot " +
-			"groups themselves. Throughput is timed after a 50% warm-up so all " +
-			"rows compare steady states. The hot-rank spread concession of PR 2 " +
-			"is gone, so Zipf rows are not comparable to PR 2 numbers.",
+			"additionally allow freezing live state migration, which relocates " +
+			"the hot groups themselves in one frozen extract each; slice rows " +
+			"relocate the same groups by incremental handoffs — bounded slice " +
+			"hops with ingress live in between and probe-only double-reads " +
+			"covering the split state — so source_freeze_stalls is 0 and " +
+			"max_stall_us is bounded by a slice, not by the hot group's window " +
+			"footprint. Throughput is timed after a 50% warm-up so all rows " +
+			"compare steady states. The hot-rank spread concession of PR 2 is " +
+			"gone, so Zipf rows are not comparable to PR 2 numbers.",
 	}
 	fmt.Printf("# skew recovery, %d shards x %d worker, count windows %d, %d tuples/stream\n",
 		rep.Shards, rep.WorkersPerShard, rep.WindowCount, tuples)
-	emit("dist", "adaptive", "migrate", "tuples/sec", "p99(ms)", "imbalance", "rebal", "moves", "migr", "mtuples", "results")
+	emit("dist", "adaptive", "migrate", "slice", "tuples/sec", "p99(ms)", "imbalance", "rebal", "moves", "migr", "mtuples", "hops", "freezes", "stallmax(us)", "results")
 	dists := []struct {
 		name  string
 		theta float64
@@ -273,14 +295,15 @@ func skewExperiment() error {
 		{"zipf", 1.0},
 		{"zipf", 1.5},
 	}
-	recovery := map[string][3]float64{}
+	recovery := map[string][4]float64{}
 	modes := []struct {
-		adaptive, migrate bool
-		slot              int
+		adaptive, migrate, slice bool
+		slot                     int
 	}{
-		{false, false, 0},
-		{true, false, 1},
-		{true, true, 2},
+		{false, false, false, 0},
+		{true, false, false, 1},
+		{true, true, false, 2},
+		{true, false, true, 3},
 	}
 	for _, d := range dists {
 		name := d.name
@@ -288,7 +311,7 @@ func skewExperiment() error {
 			name = fmt.Sprintf("zipf-%.1f", d.theta)
 		}
 		for _, m := range modes {
-			row, err := runSkewRow(d.name, d.theta, m.adaptive, m.migrate, tuples)
+			row, err := runSkewRow(d.name, d.theta, m.adaptive, m.migrate, m.slice, tuples)
 			if err != nil {
 				return err
 			}
@@ -296,11 +319,13 @@ func skewExperiment() error {
 			rec := recovery[name]
 			rec[m.slot] = row.TuplesPerSec
 			recovery[name] = rec
-			emit(name, m.adaptive, m.migrate,
+			emit(name, m.adaptive, m.migrate, m.slice,
 				fmt.Sprintf("%.0f", row.TuplesPerSec),
 				fmt.Sprintf("%.3f", row.P99LatencyMs),
 				fmt.Sprintf("%.2f", row.IngressImbalance),
-				row.Rebalances, row.KeyGroupMoves, row.StateMigrations, row.MigratedTuples, row.Results)
+				row.Rebalances, row.KeyGroupMoves, row.StateMigrations, row.MigratedTuples,
+				row.SliceMigrations, row.SourceFreezeStalls,
+				fmt.Sprintf("%.0f", row.MaxStallUs), row.Results)
 		}
 	}
 	for _, d := range dists {
@@ -309,8 +334,8 @@ func skewExperiment() error {
 			name = fmt.Sprintf("zipf-%.1f", d.theta)
 		}
 		if rec := recovery[name]; rec[0] > 0 {
-			fmt.Printf("# %s: adaptive/static = %.2fx, adaptive+migrate/static = %.2fx\n",
-				name, rec[1]/rec[0], rec[2]/rec[0])
+			fmt.Printf("# %s: adaptive/static = %.2fx, +migrate/static = %.2fx, +slice/static = %.2fx\n",
+				name, rec[1]/rec[0], rec[2]/rec[0], rec[3]/rec[0])
 		}
 	}
 	if *jsonOut != "" {

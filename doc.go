@@ -114,14 +114,16 @@
 // participates in every future probe but performs no probe of its own
 // — its past joins were already emitted on the pipeline it came from
 // — and a probe-only arrival probes without ever entering a window.
-// A migration (ShardedEngine.Migrate, or the control loop's
-// escalation) freezes both ingress sides briefly, flushes and
-// quiesces the old shard's pipeline, extracts the group's window
-// tuples and their pending expiry-queue entries under that consistent
-// cut, swaps the routing table, replays the tuples into the new
-// shard's pipeline as store-only arrivals, re-binds the expiries
-// there (and re-attributes the global count-window accounting), and
-// quiesces the destination before unfreezing.
+//
+// The freezing form (ShardedEngine.Migrate, or the control loop's
+// escalation with Adapt.Migration.Freezing) moves a group in one cut:
+// both ingress sides freeze, the old shard's pipeline flushes and
+// quiesces, the group's window tuples and their pending expiry-queue
+// entries are extracted under that consistent cut, the routing table
+// swaps, the tuples replay into the new shard's pipeline as
+// store-only arrivals, the expiries re-bind there (and the global
+// count-window accounting is re-attributed), and the destination
+// quiesces before unfreezing.
 //
 // Safety: at the cut, every pair among the group's extracted tuples
 // has already been emitted (the old pipeline was quiescent), and no
@@ -139,6 +141,53 @@
 // (Adapt.Migration.MaxTuplesPerCycle) refuses over-budget moves
 // before any state is touched, bounding the ingress stall;
 // Stats.StateMigrations and Stats.MigratedTuples report the traffic.
+//
+// # Incremental slice migration
+//
+// The freezing cut stalls exactly the shard that is already the
+// bottleneck, for as long as the whole group takes to move — the
+// worse the skew, the longer the freeze. Incremental migration (the
+// default escalation path, and ShardedEngine.MigrateIncremental /
+// BeginMigration / AdvanceMigration) removes that coupling with a
+// two-phase handoff. The commit phase swaps the group's route and
+// settles the old shard once (a wait bounded by the batch size plus
+// the pipeline's in-flight cap, independent of the group's windows):
+// from that instant, every arrival of the group lands on the new
+// shard as an ordinary full arrival, and — because the group's window
+// state is still split across two lanes — the router duplicates each
+// such arrival as a probe-only read to the old shard. The transfer
+// phase then moves the group's window tuples oldest-first in bounded
+// slices (Adapt.Migration.SliceTuples per hop): each hop retires the
+// in-flight double-reads, extracts one slice with its pending expiry
+// entries, settles the destination, and replays the slice there as
+// store-only arrivals. When the old shard holds nothing of the group,
+// the handoff record clears and the double-reads stop.
+//
+// The double-read dedup invariant carries the correctness argument:
+// every (arrival, stored-tuple) pair of the group is examined on
+// exactly one lane. A stored tuple lives on exactly one lane at any
+// instant, and a slice changes lanes only between full pipeline
+// settles — after every in-flight probe-only read has finished
+// probing it on the source, and before any in-flight full arrival
+// could meet its copy on the destination. An arrival's probe-only
+// copy therefore sees precisely the slices that had not yet moved
+// when it was admitted, its full copy sees precisely the slices (and
+// newer arrivals) already resident at the destination, and no pair is
+// seen twice or missed. Probe-only copies store nothing, acknowledge
+// nothing and never advance a high-water mark, so the punctuation
+// argument of the freezing form applies unchanged and the Ordered
+// sequence stays exact — the oracle suites pin this with handoffs
+// held open across hundreds of pushes. Stats.SliceMigrations counts
+// hops; Stats.SourceFreezeStalls stays zero on this path, and
+// Stats.MaxMigrationStallNs is bounded by one slice rather than one
+// group.
+//
+// Steady-state churn is governed by two Adapt.Migration knobs: a
+// noise floor (MinGapRatio) ignores donor/receiver gaps below a
+// fraction of the mean shard load — under heavy skew the load sample
+// jitters around the unsplittable hot groups, and without a floor
+// that jitter reads as actionable skew forever — and a rate limiter
+// (MaxMigrationsPerSec, burst one) caps migration starts outright.
 //
 // Idle-shard heartbeats run independently of rebalancing (and are on
 // by default): a shard that received no tuples for a collect period

@@ -1,0 +1,215 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// TestFuzzOracle is a randomized property suite over the whole engine
+// configuration space: each iteration draws a window configuration
+// (time / count / both, random bounds), a shard count, a key
+// distribution and an arrival-mode sequence — pushes, idle ticks and,
+// on sharded adaptive engines, live rebalance cycles, freezing
+// migrations or incremental handoffs held open across pushes — and
+// checks the exact result multiset (and, when Ordered, the exact
+// global sequence) against the sequential Kang oracle.
+//
+// Seeds are deterministic: a failure names its seed, and
+// `go test -run 'TestFuzzOracle/seed=<n>'` replays exactly that draw.
+func TestFuzzOracle(t *testing.T) {
+	const iters = 10
+	const base = uint64(0x5EED2026)
+	for it := 0; it < iters; it++ {
+		seed := base + uint64(it)*7919
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			fuzzOracleOnce(t, seed)
+		})
+	}
+}
+
+func fuzzOracleOnce(t *testing.T, seed uint64) {
+	rnd := workload.NewRand(seed)
+	const step = int64(1e6)
+
+	drawWindow := func() Window {
+		switch rnd.Intn(3) {
+		case 0:
+			return Window{Count: 160 + rnd.Intn(100)}
+		case 1:
+			return Window{Duration: time.Duration((100 + int64(rnd.Intn(120))) * step)}
+		default:
+			return Window{
+				Duration: time.Duration((100 + int64(rnd.Intn(120))) * step),
+				Count:    160 + rnd.Intn(100),
+			}
+		}
+	}
+
+	shards := []int{1, 2, 4, 8}[rnd.Intn(4)]
+	// Arrival-mode sequence: what besides plain pushes the schedule
+	// interleaves. Static engines may batch (window boundaries stay
+	// exact relative to the replica oracle); every live-mutation mode
+	// runs Batch 1, where boundaries are schedule-independent.
+	mode := 0
+	if shards > 1 {
+		mode = rnd.Intn(4)
+	}
+	theta := []float64{0, 1.0, 1.5}[rnd.Intn(3)]
+	ordered := rnd.Intn(2) == 0
+
+	cfg := Config[okR, okS]{
+		Workers:     1 + rnd.Intn(3),
+		Shards:      shards,
+		Predicate:   shardedEqui,
+		WindowR:     drawWindow(),
+		WindowS:     drawWindow(),
+		Batch:       1,
+		MaxInFlight: 2,
+		KeyR:        okRKey,
+		KeyS:        okSKey,
+		Adapt:       AdaptConfig{DisableHeartbeat: true},
+	}
+	if mode == 0 {
+		cfg.Batch = []int{1, 4}[rnd.Intn(2)]
+	} else {
+		cfg.Adapt = AdaptConfig{
+			Enable:           true,
+			SamplePeriod:     -1, // the schedule is the only control driver
+			SkewThreshold:    1.05,
+			MaxMovesPerCycle: 16,
+			KeyGroups:        8 * shards,
+			Migration:        MigrationConfig{SliceTuples: 8 + rnd.Intn(24)},
+		}
+	}
+	if ordered {
+		cfg.Ordered = true
+		cfg.CollectPeriod = 200 * time.Microsecond
+	}
+
+	var mu sync.Mutex
+	got := map[stream.PairKey]int{}
+	var gotSeq []orderedKey
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		got[it.Result.Pair.Key()]++
+		p := it.Result.Pair
+		gotSeq = append(gotSeq, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	var se *ShardedEngine[okR, okS]
+	if shards > 1 {
+		se = eng.(*ShardedEngine[okR, okS])
+	}
+	o := newOracleEngine(cfg, shardedEqui)
+
+	var zr, zs *workload.Zipf
+	if theta > 0 {
+		zr = workload.NewZipf(workload.NewRand(seed+1), theta, 256)
+		zs = workload.NewZipf(workload.NewRand(seed+2), theta, 256)
+	}
+	nextKey := func(z *workload.Zipf) uint64 {
+		if z == nil {
+			return uint64(rnd.Intn(64))
+		}
+		return z.Next()
+	}
+
+	// Live-mutation state for modes 1-3.
+	opEvery := 90 + rnd.Intn(120)
+	advEvery := 3 + rnd.Intn(9)
+	move := 0
+	active := -1
+	tuples := 600 + rnd.Intn(300)
+	ts := int64(0)
+	for i := 0; i < tuples; i++ {
+		ts += int64(rnd.Intn(3)) * step / 2
+		r := okR{Key: nextKey(zr), Val: int32(rnd.Intn(12))}
+		if err := eng.PushR(r, ts); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		o.pushR(r, ts)
+		if i%3 != 0 {
+			s := okS{Key: nextKey(zs), Val: int32(rnd.Intn(12))}
+			if err := eng.PushS(s, ts); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			o.pushS(s, ts)
+		}
+		if i%97 == 96 {
+			ts += 20 * step
+			eng.Tick(ts)
+			o.tick(ts)
+		}
+		switch mode {
+		case 1: // adaptive drain rebalancing at schedule-fixed points
+			if i%opEvery == opEvery-1 {
+				se.Rebalance()
+			}
+		case 2: // forced freezing migrations, cycling groups/targets
+			if i%opEvery == opEvery-1 {
+				g := uint32(move % se.KeyGroups())
+				to := (se.router.Partitioner().ShardOfGroup(g) + 1 + move%(shards-1)) % shards
+				if _, err := se.Migrate(g, to); err != nil {
+					t.Fatalf("seed %d: Migrate(%d, %d): %v", seed, g, to, err)
+				}
+				move++
+			}
+		case 3: // incremental handoffs held open across pushes
+			if active < 0 && i%opEvery == opEvery-1 {
+				g := uint32(move % se.KeyGroups())
+				to := (se.router.Partitioner().ShardOfGroup(g) + 1 + move%(shards-1)) % shards
+				if err := se.BeginMigration(g, to); err != nil {
+					t.Fatalf("seed %d: BeginMigration(%d, %d): %v", seed, g, to, err)
+				}
+				active = int(g)
+				move++
+			} else if active >= 0 && i%advEvery == advEvery-1 {
+				_, done, err := se.AdvanceMigration(uint32(active))
+				if err != nil {
+					t.Fatalf("seed %d: AdvanceMigration(%d): %v", seed, active, err)
+				}
+				if done {
+					active = -1
+				}
+			}
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	o.close()
+
+	missing, extra, dups := diffPairMultiset(o.pairs, got)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("seed %d (shards=%d mode=%d theta=%.1f ordered=%v): %d missing, %d extra, %d duplicates (oracle %d distinct)",
+			seed, shards, mode, theta, ordered, missing, extra, dups, len(o.pairs))
+	}
+	if st := eng.Stats(); st.Results != sum(o.pairs) {
+		t.Fatalf("seed %d: Stats.Results = %d, oracle produced %d", seed, st.Results, sum(o.pairs))
+	}
+	if ordered {
+		want := o.orderedResults()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(gotSeq) != len(want) {
+			t.Fatalf("seed %d: emitted %d ordered results, oracle expects %d", seed, len(gotSeq), len(want))
+		}
+		for i := range want {
+			if gotSeq[i] != want[i] {
+				t.Fatalf("seed %d: position %d: got %+v, want %+v", seed, i, gotSeq[i], want[i])
+			}
+		}
+	}
+}

@@ -211,21 +211,28 @@ type AdaptConfig struct {
 // MigrationConfig tunes live key-group state migration (ShardedEngine
 // with Adapt.Enable). The drain-based cut-over can never move a
 // continuously hot key-group — its window always holds fresh tuples —
-// so the runtime escalates long-stalled moves to a migration: both
-// ingress sides are frozen briefly, the group's live window tuples and
-// pending expiries are extracted from the old shard's pipeline under a
-// consistent cut, the routing table is swapped, and the state replays
-// into the new shard's pipeline as store-only arrivals that enter the
-// windows without re-probing. The result multiset and the Ordered-mode
-// sequence are exactly as if the group had always lived on its new
-// shard; see the package documentation for the safety argument.
+// so the runtime escalates long-stalled moves to a migration.
+//
+// The default escalation is incremental (slice) migration: a handoff
+// commits the group's route to the new shard — new arrivals land there
+// as ordinary full arrivals, and until the handoff finishes each of
+// the group's arrivals is duplicated as a probe-only read to the old
+// shard, so pairs against the not-yet-moved window state are still
+// found exactly once — and the group's window tuples then move in
+// bounded slices, oldest first, each hop freezing ingress only for one
+// slice plus the pipeline's in-flight cap. Setting Freezing restores
+// the all-or-nothing escalation: the whole group moves under a single
+// frozen consistent cut, refused when it exceeds the cycle budget.
+// Either way the result multiset and the Ordered-mode sequence are
+// exactly as if the group had always lived on its new shard; see the
+// package documentation for the safety argument.
 type MigrationConfig struct {
 	// Enable turns migration escalation on.
 	Enable bool
 	// MaxTuplesPerCycle is the tuple budget one control cycle may
-	// migrate; a group whose live state exceeds the remaining budget
-	// is refused (before any state is touched), so a mega-group copy
-	// cannot stall ingress unboundedly. Default 4096.
+	// migrate. Incremental migration spends it across slice hops; the
+	// freezing path refuses a group whose live state exceeds it
+	// (before any state is touched). Default 4096.
 	MaxTuplesPerCycle int
 	// AfterCycles is how many control cycles a planned move must have
 	// stalled before it escalates to a migration. Keep it well below
@@ -236,6 +243,26 @@ type MigrationConfig struct {
 	// group counts as never-draining and worth migrating; colder
 	// groups drain on their own eventually. Default 1.
 	MinGroupLoad float64
+	// SliceTuples bounds one slice hop of an incremental migration —
+	// the longest single ingress freeze a handoff may cost, in window
+	// tuples. Default 1024. Ignored with Freezing.
+	SliceTuples int
+	// MinGapRatio is a noise floor on the escalation gap check: a
+	// stalled group migrates only when the donor/receiver load gap
+	// also exceeds MinGapRatio times the mean shard load. Under heavy
+	// skew the steady-state sample jitters around the unsplittable hot
+	// groups; without a floor that jitter reads as an actionable gap
+	// and migrations churn forever. 0 disables the floor.
+	MinGapRatio float64
+	// MaxMigrationsPerSec rate-limits migration starts (burst one);
+	// 0 means unlimited. The churn cap for skew the noise floor does
+	// not catch.
+	MaxMigrationsPerSec float64
+	// Freezing selects the all-or-nothing escalation path instead of
+	// incremental slices: a stalled group moves in one freezing
+	// extract under MaxTuplesPerCycle, stalling the source shard's
+	// ingress for the whole copy.
+	Freezing bool
 }
 
 func (c *Config[L, RT]) validate() error {
@@ -307,7 +334,8 @@ func (c *Config[L, RT]) validate() error {
 	if c.Adapt.Migration.Enable && !c.Adapt.Enable {
 		return fmt.Errorf("handshakejoin: Adapt.Migration.Enable requires Adapt.Enable")
 	}
-	if c.Adapt.Migration.MaxTuplesPerCycle < 0 || c.Adapt.Migration.AfterCycles < 0 || c.Adapt.Migration.MinGroupLoad < 0 {
+	if c.Adapt.Migration.MaxTuplesPerCycle < 0 || c.Adapt.Migration.AfterCycles < 0 || c.Adapt.Migration.MinGroupLoad < 0 ||
+		c.Adapt.Migration.SliceTuples < 0 || c.Adapt.Migration.MinGapRatio < 0 || c.Adapt.Migration.MaxMigrationsPerSec < 0 {
 		return fmt.Errorf("handshakejoin: Adapt.Migration knobs must be >= 0")
 	}
 	if c.Ordered {
@@ -382,11 +410,28 @@ type Stats struct {
 	// KeyGroupMoves counts key-group cut-overs actually applied
 	// through the drain path (the group had no joinable state left).
 	KeyGroupMoves uint64
-	// StateMigrations counts live key-group state migrations: moves
-	// executed by extracting the group's window state and replaying it
-	// on the new shard as store-only arrivals (Adapt.Migration, or
-	// explicit ShardedEngine.Migrate calls).
+	// StateMigrations counts completed live key-group state
+	// migrations: moves executed by extracting the group's window
+	// state and replaying it on the new shard as store-only arrivals
+	// (Adapt.Migration escalation, explicit ShardedEngine.Migrate
+	// calls, or finished incremental handoffs).
 	StateMigrations uint64
 	// MigratedTuples counts window tuples carried by state migrations.
 	MigratedTuples uint64
+	// SliceMigrations counts bounded slice hops performed by
+	// incremental migrations; each moved at most
+	// Adapt.Migration.SliceTuples window tuples while both lanes
+	// stayed live.
+	SliceMigrations uint64
+	// SourceFreezeStalls counts migration operations that froze
+	// ingress to extract a whole group from its source shard in one
+	// cut (the freezing Migrate path). Incremental slice migration
+	// performs none: its per-hop stall is bounded by the slice size
+	// plus the pipeline's in-flight cap, never by the group's window
+	// footprint.
+	SourceFreezeStalls uint64
+	// MaxMigrationStallNs is the longest single ingress freeze any
+	// migration operation held, in nanoseconds (freezing extracts and
+	// slice hops alike).
+	MaxMigrationStallNs int64
 }

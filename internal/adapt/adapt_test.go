@@ -473,3 +473,362 @@ func TestControllerMigrationRefusalDeferred(t *testing.T) {
 		t.Fatalf("refused migration retried %d times in %d cycles; refusals must back off", attempts, cycles)
 	}
 }
+
+func TestRouterHandoffRoutesNewArrivalsAndDoublesProbes(t *testing.T) {
+	floor := int64(0)
+	r := newTestRouter(2, 8, &floor)
+	g := uint32(0)
+	key := keyInGroup(r, g)
+	from := r.Of(key)
+	to := 1 - from
+
+	if lane := r.ProbeLane(g); lane != -1 {
+		t.Fatalf("ProbeLane before handoff = %d, want -1", lane)
+	}
+	prev, ok := r.BeginHandoff(g, to)
+	if !ok || prev != from {
+		t.Fatalf("BeginHandoff = (%d, %v), want (%d, true)", prev, ok, from)
+	}
+	// New arrivals route to the destination; probes double to the
+	// source.
+	if lane, _ := r.Admit(stream.R, key, false, 0, false); lane != to {
+		t.Fatalf("post-handoff Admit routed to %d, want %d", lane, to)
+	}
+	if lane := r.ProbeLane(g); lane != from {
+		t.Fatalf("ProbeLane = %d, want source %d", lane, from)
+	}
+	if !r.InHandoff(g) || r.Handoffs() != 1 {
+		t.Fatalf("handoff state = (%v, %d), want (true, 1)", r.InHandoff(g), r.Handoffs())
+	}
+	// A second handoff for the same group must be refused.
+	if _, ok := r.BeginHandoff(g, from); ok {
+		t.Fatal("concurrent second handoff accepted for the same group")
+	}
+
+	r.FinishHandoff(g)
+	if r.InHandoff(g) || r.Handoffs() != 0 || r.ProbeLane(g) != -1 {
+		t.Fatal("FinishHandoff did not clear the handoff state")
+	}
+	// Finishing twice is a no-op, not a counter underflow.
+	r.FinishHandoff(g)
+	if r.Handoffs() != 0 {
+		t.Fatalf("double FinishHandoff left %d handoffs", r.Handoffs())
+	}
+	// A handoff onto the group's own shard is refused.
+	if _, ok := r.BeginHandoff(g, to); ok {
+		t.Fatal("self-handoff accepted")
+	}
+}
+
+func TestRouterHandoffBlocksDrainPathForTheGroup(t *testing.T) {
+	floor := int64(1000)
+	r := newTestRouter(2, 8, &floor)
+	g := uint32(0)
+	key := keyInGroup(r, g)
+	from := r.Of(key)
+	to := 1 - from
+
+	// Register a pending drain move, then commit a handoff: the pending
+	// move must be cancelled and no new one accepted while the handoff
+	// is in flight — the handoff owns the group's route.
+	r.Propose([]Move{{Group: g, From: from, To: to}})
+	if r.PendingMoves() != 1 {
+		t.Fatal("setup: drain move not pending")
+	}
+	prev, ok := r.BeginHandoff(g, to)
+	if !ok || prev != from {
+		t.Fatalf("BeginHandoff = (%d, %v), want (%d, true)", prev, ok, from)
+	}
+	if r.PendingMoves() != 0 {
+		t.Fatal("BeginHandoff did not cancel the pending drain move")
+	}
+	if r.Of(key) != to {
+		t.Fatal("BeginHandoff did not swap the route")
+	}
+	if n := r.Propose([]Move{{Group: g, From: to, To: from}}); n != 0 {
+		t.Fatalf("Propose accepted %d moves for an in-handoff group", n)
+	}
+	if len(r.MigrationCandidates(0)) != 0 {
+		t.Fatal("in-handoff group offered as a migration candidate")
+	}
+	if r.TryApply() != 0 {
+		t.Fatal("drain path applied a move for an in-handoff group")
+	}
+	r.FinishHandoff(g)
+}
+
+func TestControllerSliceSchedulerRunsHandoffToCompletion(t *testing.T) {
+	// A never-draining hot group escalates to an incremental handoff:
+	// Begin commits the route, then slices advance every cycle under
+	// the budget until done — regardless of drain-path progress.
+	floor := int64(0)
+	r := newTestRouter(2, 16, &floor)
+	g0 := uint32(0)
+	k0 := keyInGroup(r, g0)
+	from := r.Of(k0)
+	g1 := uint32(1)
+	for r.table.Load().ShardOfGroup(g1) != from || g1 == g0 {
+		g1++
+	}
+	k1 := keyInGroup(r, g1)
+
+	var begins []uint32
+	var sliceCaps []int
+	remaining := 250 // window tuples the group holds at escalation
+	c := NewController(r, nil, nil, Config{
+		SkewThreshold:      1.05,
+		MinCycleTuples:     1,
+		MigrateAfterCycles: 3,
+		MigrateBudget:      200,
+		SliceTuples:        64,
+		BeginHandoff: func(group uint32, to int) bool {
+			begins = append(begins, group)
+			_, ok := r.BeginHandoff(group, to)
+			return ok
+		},
+		AdvanceHandoff: func(group uint32, maxTuples int) (int, bool, bool) {
+			sliceCaps = append(sliceCaps, maxTuples)
+			n := maxTuples
+			if n > remaining {
+				n = remaining
+			}
+			remaining -= n
+			if remaining == 0 {
+				r.FinishHandoff(group)
+				return n, true, true
+			}
+			return n, false, false
+		},
+	})
+	stepN(c, 12, func() {
+		for i := 0; i < 32; i++ {
+			_, _ = r.Admit(stream.R, k0, true, 0, false)
+		}
+		for i := 0; i < 16; i++ {
+			_, _ = r.Admit(stream.R, k1, true, 0, false)
+		}
+	})
+	if len(begins) != 1 || begins[0] != g0 {
+		t.Fatalf("handoff begins = %v, want exactly one for group %d", begins, g0)
+	}
+	if remaining != 0 {
+		t.Fatalf("handoff never completed: %d tuples left", remaining)
+	}
+	if c.Migrations() != 1 {
+		t.Fatalf("Migrations() = %d, want 1 completed handoff", c.Migrations())
+	}
+	// Every hop respected the slice bound, and no hop exceeded the
+	// remaining per-cycle budget.
+	for i, cap := range sliceCaps {
+		if cap > 64 {
+			t.Fatalf("hop %d offered %d tuples, above SliceTuples 64", i, cap)
+		}
+	}
+	// 250 tuples at 64/hop, 200/cycle: 4 hops in cycle one (64+64+64+8),
+	// then the rest — more than one hop total proves slicing happened.
+	if len(sliceCaps) < 3 {
+		t.Fatalf("handoff advanced in %d hops, want several bounded slices", len(sliceCaps))
+	}
+}
+
+func TestControllerHandoffBeginRefusalDefers(t *testing.T) {
+	// BeginHandoff returning false (engine busy, group contested) must
+	// back the group off for MigrateAfterCycles, like a freezing
+	// refusal.
+	floor := int64(0)
+	r := newTestRouter(2, 16, &floor)
+	g0 := uint32(0)
+	k0 := keyInGroup(r, g0)
+	from := r.Of(k0)
+	g1 := uint32(1)
+	for r.table.Load().ShardOfGroup(g1) != from || g1 == g0 {
+		g1++
+	}
+	k1 := keyInGroup(r, g1)
+	attempts := 0
+	c := NewController(r, nil, nil, Config{
+		SkewThreshold:      1.05,
+		MinCycleTuples:     1,
+		MigrateAfterCycles: 2,
+		MigrateBudget:      100,
+		BeginHandoff:       func(uint32, int) bool { attempts++; return false },
+		AdvanceHandoff:     func(uint32, int) (int, bool, bool) { t.Fatal("advanced a refused handoff"); return 0, true, false },
+	})
+	const cycles = 12
+	stepN(c, cycles, func() {
+		for i := 0; i < 32; i++ {
+			_, _ = r.Admit(stream.R, k0, true, 0, false)
+		}
+		for i := 0; i < 16; i++ {
+			_, _ = r.Admit(stream.R, k1, true, 0, false)
+		}
+	})
+	if attempts == 0 {
+		t.Fatal("handoff never attempted")
+	}
+	// Two candidate groups over 12 cycles: without deferral the
+	// controller would attempt ~2 per eligible cycle indefinitely;
+	// with it each refused group backs off MigrateAfterCycles.
+	if attempts > cycles {
+		t.Fatalf("refused handoff retried %d times in %d cycles; refusals must back off", attempts, cycles)
+	}
+}
+
+func TestControllerMigrationRateLimiterCapsStarts(t *testing.T) {
+	// With a (near-)zero MaxMigrationsPerSec the token bucket's burst
+	// of one admits a single start; every later candidate in the test's
+	// runtime is rate-limited.
+	floor := int64(0)
+	r := newTestRouter(2, 16, &floor)
+	g0 := uint32(0)
+	k0 := keyInGroup(r, g0)
+	g1 := uint32(1)
+	for r.table.Load().ShardOfGroup(g1) != r.Of(k0) || g1 == g0 {
+		g1++
+	}
+	k1 := keyInGroup(r, g1)
+
+	begins := 0
+	c := NewController(r, nil, nil, Config{
+		SkewThreshold:       1.05,
+		MinCycleTuples:      1,
+		MigrateAfterCycles:  2,
+		MigrateBudget:       100,
+		MaxMigrationsPerSec: 1e-6,
+		BeginHandoff: func(group uint32, to int) bool {
+			begins++
+			_, ok := r.BeginHandoff(group, to)
+			return ok
+		},
+		AdvanceHandoff: func(group uint32, maxTuples int) (int, bool, bool) {
+			r.FinishHandoff(group)
+			return 1, true, true
+		},
+	})
+	stepN(c, 20, func() {
+		for i := 0; i < 32; i++ {
+			_, _ = r.Admit(stream.R, k0, true, 0, false)
+		}
+		for i := 0; i < 16; i++ {
+			_, _ = r.Admit(stream.R, k1, true, 0, false)
+		}
+	})
+	if begins != 1 {
+		t.Fatalf("migration starts = %d, want exactly the burst of 1", begins)
+	}
+}
+
+func TestControllerMinGapRatioNoiseFloor(t *testing.T) {
+	// Two stalled hot groups whose donor/receiver gap is real but small
+	// relative to the mean shard load: with a high MinGapRatio the gap
+	// reads as sample noise and no migration starts.
+	run := func(minGapRatio float64) int {
+		floor := int64(0)
+		r := newTestRouter(2, 16, &floor)
+		gS := uint32(0) // small co-resident group: the movable candidate
+		kS := keyInGroup(r, gS)
+		from := r.Of(kS)
+		gH := uint32(1) // hot immovable group on the same shard
+		for r.table.Load().ShardOfGroup(gH) != from || gH == gS {
+			gH++
+		}
+		kH := keyInGroup(r, gH)
+		// A key on the other shard keeps the mean shard load high, so
+		// the donor/receiver gap stays well below MinGapRatio x mean.
+		var kOther uint64
+		for k := uint64(0); ; k++ {
+			if r.Of(k) != from {
+				kOther = k
+				break
+			}
+		}
+		begins := 0
+		c := NewController(r, nil, nil, Config{
+			SkewThreshold:      1.05,
+			MinCycleTuples:     1,
+			MigrateAfterCycles: 2,
+			MigrateBudget:      100,
+			MinGapRatio:        minGapRatio,
+			BeginHandoff:       func(uint32, int) bool { begins++; return false },
+			AdvanceHandoff:     func(uint32, int) (int, bool, bool) { return 0, true, true },
+		})
+		stepN(c, 16, func() {
+			for i := 0; i < 100; i++ {
+				_, _ = r.Admit(stream.R, kH, true, 0, false)
+			}
+			for i := 0; i < 10; i++ {
+				_, _ = r.Admit(stream.R, kS, true, 0, false)
+			}
+			for i := 0; i < 80; i++ {
+				_, _ = r.Admit(stream.R, kOther, true, 0, false)
+			}
+		})
+		return begins
+	}
+	// Donor 110, receiver 80: a real but small gap (30 < 0.5 x mean 95).
+	if begins := run(0); begins == 0 {
+		t.Fatal("setup has no teeth: even without a noise floor nothing migrated")
+	}
+	if begins := run(0.5); begins != 0 {
+		t.Fatalf("noise-floor gap still started %d migrations", begins)
+	}
+}
+
+func TestControllerRefusedStartDoesNotBurnRateToken(t *testing.T) {
+	// The hottest candidate's begin is refused; the burst token must
+	// survive so the next candidate in the same cycle can still start.
+	floor := int64(0)
+	r := newTestRouter(2, 16, &floor)
+	g0 := uint32(0)
+	k0 := keyInGroup(r, g0)
+	from := r.Of(k0)
+	g1 := uint32(1)
+	for r.table.Load().ShardOfGroup(g1) != from || g1 == g0 {
+		g1++
+	}
+	k1 := keyInGroup(r, g1)
+
+	var begins []uint32
+	c := NewController(r, nil, nil, Config{
+		SkewThreshold:       1.05,
+		MinCycleTuples:      1,
+		MigrateAfterCycles:  2,
+		MigrateBudget:       100,
+		MaxMigrationsPerSec: 1e-6, // no refill within the test's runtime
+		BeginHandoff: func(group uint32, to int) bool {
+			begins = append(begins, group)
+			if group == g0 {
+				return false // hottest candidate refused
+			}
+			_, ok := r.BeginHandoff(group, to)
+			return ok
+		},
+		AdvanceHandoff: func(group uint32, maxTuples int) (int, bool, bool) {
+			r.FinishHandoff(group)
+			return 1, true, true
+		},
+	})
+	stepN(c, 20, func() {
+		for i := 0; i < 32; i++ {
+			_, _ = r.Admit(stream.R, k0, true, 0, false)
+		}
+		for i := 0; i < 16; i++ {
+			_, _ = r.Admit(stream.R, k1, true, 0, false)
+		}
+	})
+	// g0 refused (token kept), g1 started on the same token, and the
+	// empty bucket blocks everything afterwards. g0 may be re-attempted
+	// after its deferral only while the token lasted — it did not.
+	started := 0
+	for _, g := range begins {
+		if g == g1 {
+			started++
+		}
+	}
+	if started != 1 {
+		t.Fatalf("successful starts = %d (begins %v), want exactly 1: the refusal must not burn the token, and the spent token must block later starts", started, begins)
+	}
+	if begins[0] != g0 || len(begins) < 2 || begins[1] != g1 {
+		t.Fatalf("begins = %v, want refused g%d then started g%d in the same cycle", begins, g0, g1)
+	}
+}

@@ -64,12 +64,49 @@ type Config struct {
 	// (0, 1]. A ratio of 1 collapses the hysteresis band.
 	DisengageRatio float64
 
-	// Migrator, when set, executes a state migration of one group to a
-	// target shard under the given tuple budget, returning the number
-	// of tuples moved and whether the migration ran (false: refused,
-	// e.g. over budget). Migration escalation is disabled when nil or
-	// when MigrateBudget is 0.
+	// Migrator, when set, executes a freezing state migration of one
+	// group to a target shard under the given tuple budget, returning
+	// the number of tuples moved and whether the migration ran (false:
+	// refused, e.g. over budget) — the all-or-nothing escalation path.
+	// When BeginHandoff/AdvanceHandoff are set they take precedence and
+	// escalation is incremental instead. Escalation is disabled when
+	// no executor is set or MigrateBudget is 0.
 	Migrator func(group uint32, to int, budget int) (tuples int, ok bool)
+
+	// BeginHandoff commits an incremental migration of one group: the
+	// routing table swaps to the target shard and the data plane starts
+	// probe-only double-reads to the old one. It returns false when the
+	// handoff cannot start (group already in handoff, engine closing);
+	// the controller then backs the group off for MigrateAfterCycles.
+	BeginHandoff func(group uint32, to int) bool
+	// AdvanceHandoff moves one bounded slice (at most maxTuples window
+	// tuples) of the group's state to its new shard. done tells the
+	// scheduler to stop advancing this handoff; completed additionally
+	// reports that it actually finished (the old shard is empty of the
+	// group) rather than being dropped by the engine (e.g. shutdown) —
+	// only completed handoffs count as migrations. The controller
+	// advances the active handoff every cycle under the MigrateBudget
+	// until done.
+	AdvanceHandoff func(group uint32, maxTuples int) (moved int, done, completed bool)
+	// SliceTuples bounds one slice hop of an incremental migration —
+	// the longest ingress freeze a hop may cost, in window tuples (the
+	// per-cycle total is still MigrateBudget). Default 1024.
+	SliceTuples int
+
+	// MinGapRatio is a noise floor on the migration gap check: a
+	// candidate migrates only when the donor/receiver load gap exceeds
+	// MinGapRatio times the mean shard load (in addition to exceeding
+	// the group's own load). Zero disables the floor. Under heavy skew
+	// the steady-state sample keeps jittering around the unsplittable
+	// hot groups; without a floor that noise reads as an actionable gap
+	// and migrations churn forever.
+	MinGapRatio float64
+	// MaxMigrationsPerSec rate-limits migration starts (handoff begins
+	// and freezing migrations alike) with a burst of one. Zero means
+	// unlimited. This is the churn cap: skew that survives the noise
+	// floor can still only trigger a bounded number of moves per
+	// second.
+	MaxMigrationsPerSec float64
 	// MigrateBudget is the per-cycle tuple budget for migrations; a
 	// single move may finish the budget but never start beyond it, so
 	// ingress stalls stay bounded.
@@ -108,10 +145,20 @@ type Controller struct {
 	sample   []LaneSample
 
 	// migDeferred maps a group whose migration was refused (over
-	// budget) to the cycle at which it may be retried, so a too-big
-	// group does not pay the freeze-and-count probe every cycle.
+	// budget, or a handoff that could not start) to the cycle at which
+	// it may be retried, so a too-big group does not pay the
+	// freeze-and-count probe every cycle.
 	migDeferred map[uint32]uint64
 	migrations  uint64
+
+	// Active incremental handoff (at most one at a time): the slice
+	// scheduler advances it every cycle under the budget until done.
+	hActive bool
+	hGroup  uint32
+
+	// Migration-start token bucket (MaxMigrationsPerSec), burst one.
+	migTokens float64
+	migLast   time.Time
 
 	// Plan backoff: when full staleness horizons pass with proposals
 	// but no applied cut-over, the skew is beyond what safe moves can
@@ -158,6 +205,9 @@ func NewController(r *Router, probes []Probe, lastTS func(lane int) int64, cfg C
 	if cfg.MinMigrateLoad <= 0 {
 		cfg.MinMigrateLoad = 1
 	}
+	if cfg.SliceTuples <= 0 {
+		cfg.SliceTuples = 1024
+	}
 	return &Controller{r: r, cfg: cfg, probes: probes, lastTS: lastTS}
 }
 
@@ -191,7 +241,7 @@ func (c *Controller) Step() (proposed, applied int) {
 		}
 		total += c.delta[i]
 	}
-	if c.cfg.Migrator != nil {
+	if c.migrationEnabled() {
 		// Per-group EWMAs exist to prove a group never drains; the
 		// O(groups) float pass is only paid when migration can use it.
 		for i, d := range c.delta {
@@ -328,8 +378,16 @@ func (c *Controller) refreshPlanLoad() {
 //     refusals, so a group settles before it can be judged
 //     hot-and-misplaced again.
 func (c *Controller) migrate(appliedThisCycle int) int {
-	if c.cfg.Migrator == nil || c.cfg.MigrateBudget <= 0 {
+	if !c.migrationEnabled() || c.cfg.MigrateBudget <= 0 {
 		return 0
+	}
+	incremental := c.cfg.BeginHandoff != nil && c.cfg.AdvanceHandoff != nil
+	// An in-flight handoff advances every cycle, before anything else
+	// and regardless of drain-path progress: the double-read window it
+	// holds open costs one extra probe per arrival of the group, so
+	// finishing in-flight work beats starting new work.
+	if incremental && c.hActive {
+		return c.advanceActive()
 	}
 	if appliedThisCycle > 0 || c.cycle%c.cfg.MigrateAfterCycles != 0 {
 		return 0
@@ -357,9 +415,16 @@ func (c *Controller) migrate(appliedThisCycle int) int {
 	assign := c.r.AssignmentView()
 	shards := c.r.Shards()
 	shardLoad := make([]uint64, shards)
+	var totalLoad uint64
 	for g, s := range assign {
 		shardLoad[s] += c.planLoad[g]
 	}
+	for _, l := range shardLoad {
+		totalLoad += l
+	}
+	// Noise floor: gaps below this fraction of the mean shard load are
+	// sample jitter, not actionable skew.
+	noiseFloor := uint64(c.cfg.MinGapRatio * float64(totalLoad) / float64(shards))
 	budget := c.cfg.MigrateBudget
 	migrated := 0
 	for _, mv := range hot {
@@ -369,15 +434,34 @@ func (c *Controller) migrate(appliedThisCycle int) int {
 		from := int(assign[mv.Group])
 		gl := c.planLoad[mv.Group]
 		if mv.To == from || mv.To < 0 || mv.To >= shards ||
-			shardLoad[from] <= shardLoad[mv.To] || shardLoad[from]-shardLoad[mv.To] <= gl {
+			shardLoad[from] <= shardLoad[mv.To] ||
+			shardLoad[from]-shardLoad[mv.To] <= gl ||
+			shardLoad[from]-shardLoad[mv.To] < noiseFloor {
 			// The intent went stale: the move no longer shrinks the
-			// donor/receiver gap. Leave it to the drain path (or to
-			// stale-move cancellation).
+			// donor/receiver gap (or the gap is below the noise
+			// floor). Leave it to the drain path (or to stale-move
+			// cancellation).
 			continue
+		}
+		if !c.migTokenAvailable() {
+			break // rate limiter: no further starts this cycle
+		}
+		if incremental {
+			if !c.cfg.BeginHandoff(mv.Group, mv.To) {
+				// A refused begin moved nothing: back the group off
+				// without burning the start token.
+				c.migDeferred[mv.Group] = c.cycle + c.cfg.MigrateAfterCycles
+				continue
+			}
+			c.consumeMigToken()
+			c.hActive, c.hGroup = true, mv.Group
+			// One handoff at a time; spend this cycle's budget on it.
+			return 1 + c.advanceActive()
 		}
 		n, ok := c.cfg.Migrator(mv.Group, mv.To, budget)
 		c.migDeferred[mv.Group] = c.cycle + c.cfg.MigrateAfterCycles
 		if ok {
+			c.consumeMigToken()
 			budget -= n
 			migrated++
 			shardLoad[from] -= gl
@@ -386,6 +470,82 @@ func (c *Controller) migrate(appliedThisCycle int) int {
 	}
 	c.migrations += uint64(migrated)
 	return migrated
+}
+
+// advanceActive moves slices of the active handoff until the cycle's
+// tuple budget is spent or the handoff finishes, returning the number
+// of hops that made progress. Callers hold c.mu.
+func (c *Controller) advanceActive() int {
+	budget := c.cfg.MigrateBudget
+	progress := 0
+	for budget > 0 {
+		slice := c.cfg.SliceTuples
+		if slice > budget {
+			slice = budget
+		}
+		n, done, completed := c.cfg.AdvanceHandoff(c.hGroup, slice)
+		budget -= n
+		if n > 0 {
+			progress++
+		}
+		if done {
+			c.hActive = false
+			// The same cooldown as a freezing migration either way:
+			// the group settles before it can be judged
+			// hot-and-misplaced again.
+			c.migDeferred[c.hGroup] = c.cycle + c.cfg.MigrateAfterCycles
+			if !completed {
+				// Dropped by the engine (shutdown, handoff gone):
+				// not a migration.
+				return progress
+			}
+			c.migrations++
+			if progress == 0 {
+				progress = 1 // an empty final hop still finishes the move
+			}
+			return progress
+		}
+		if n == 0 {
+			return progress // no forward progress; retry next cycle
+		}
+	}
+	return progress
+}
+
+// migrationEnabled reports whether any migration executor is wired.
+func (c *Controller) migrationEnabled() bool {
+	return c.cfg.Migrator != nil || (c.cfg.BeginHandoff != nil && c.cfg.AdvanceHandoff != nil)
+}
+
+// migTokenAvailable refills and checks the MaxMigrationsPerSec token
+// bucket (burst one) without consuming: a refused start must not burn
+// the token, or repeated refusals would throttle the effective start
+// rate toward zero. Callers hold c.mu and call consumeMigToken once a
+// start actually succeeds.
+func (c *Controller) migTokenAvailable() bool {
+	rate := c.cfg.MaxMigrationsPerSec
+	if rate <= 0 {
+		return true
+	}
+	now := time.Now()
+	if c.migLast.IsZero() {
+		c.migTokens = 1
+	} else {
+		c.migTokens += now.Sub(c.migLast).Seconds() * rate
+		if c.migTokens > 1 {
+			c.migTokens = 1
+		}
+	}
+	c.migLast = now
+	return c.migTokens >= 1
+}
+
+// consumeMigToken spends the start token for one successful migration
+// start. Callers hold c.mu.
+func (c *Controller) consumeMigToken() {
+	if c.cfg.MaxMigrationsPerSec > 0 {
+		c.migTokens--
+	}
 }
 
 // Migrations returns the number of state migrations this controller

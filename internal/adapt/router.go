@@ -107,6 +107,16 @@ type Router struct {
 	moveSeq  uint64          // control cycle stamp for stale-move cancellation
 	cycles   atomic.Uint64   // control cycles that registered >= 1 move
 	applied  atomic.Uint64   // key-group moves cut over
+
+	// In-flight incremental handoffs: handoffFrom[g] is the shard a
+	// group's not-yet-moved window slices still occupy (-1: none). The
+	// data plane reads it under the group's stripe (ProbeLane) to
+	// duplicate probe-only reads to the old shard; mutations hold both
+	// mu and the stripe, so the control plane can enumerate under mu
+	// alone. handoffN is the fast-path gate: zero means no arrival pays
+	// a handoff lookup.
+	handoffFrom []int32
+	handoffN    atomic.Int32
 }
 
 // move is one pending cut-over: the target shard and the control cycle
@@ -139,6 +149,10 @@ func NewRouter(p shard.Partitioner, adaptive bool, floor func() int64) *Router {
 			r.dueBound[i] = -1 << 62
 		}
 		r.moves = map[uint32]move{}
+		r.handoffFrom = make([]int32, g)
+		for i := range r.handoffFrom {
+			r.handoffFrom[i] = -1
+		}
 	}
 	return r
 }
@@ -265,6 +279,9 @@ func (r *Router) applyIfSafe(g uint32, to int, floor int64) bool {
 	st := &r.stripes[g%stripeCount]
 	st.Lock()
 	defer st.Unlock()
+	if r.handoffFrom[g] >= 0 {
+		return false // an incremental handoff owns the group's route
+	}
 	if r.rLive[g] != 0 || r.sLive[g] != 0 || r.dueBound[g] > floor {
 		return false
 	}
@@ -323,6 +340,83 @@ func (r *Router) Relocate(g uint32, to int) (from int) {
 	return from
 }
 
+// BeginHandoff commits the routing half of an incremental migration:
+// group g is atomically rerouted to shard to — every arrival admitted
+// afterwards lands there as an ordinary full arrival — while the group
+// is marked in-handoff, so the data plane (ProbeLane) duplicates each
+// of its arrivals as a probe-only read to the old shard until the last
+// window slice has left it and FinishHandoff clears the mark. Any
+// pending drain-based move for the group is cancelled. It returns the
+// group's previous shard and reports false (no state change) when the
+// group already lives on to, is already in handoff, or the router is
+// not adaptive — without the footprint accounting there is no probe
+// duplication, so an incremental handoff could miss pairs.
+//
+// The caller must freeze both ingress sides across the call (the
+// sharded engine holds its stream-side locks), so no arrival is
+// admitted while the route and the handoff mark change.
+func (r *Router) BeginHandoff(g uint32, to int) (from int, ok bool) {
+	if !r.adaptive {
+		return -1, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &r.stripes[g%stripeCount]
+	st.Lock()
+	defer st.Unlock()
+	cur := r.table.Load()
+	from = cur.ShardOfGroup(g)
+	if from == to || r.handoffFrom[g] >= 0 {
+		return from, false
+	}
+	next := cur.Move(g, to)
+	r.table.Store(&next)
+	r.handoffFrom[g] = int32(from)
+	r.handoffN.Add(1)
+	delete(r.moves, g)
+	r.pendingN.Store(int32(len(r.moves)))
+	return from, true
+}
+
+// FinishHandoff clears group g's in-handoff mark; the data plane stops
+// duplicating its probes. Call once the old shard holds none of the
+// group's window tuples (same freeze contract as BeginHandoff).
+func (r *Router) FinishHandoff(g uint32) {
+	if !r.adaptive {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &r.stripes[g%stripeCount]
+	st.Lock()
+	defer st.Unlock()
+	if r.handoffFrom[g] >= 0 {
+		r.handoffFrom[g] = -1
+		r.handoffN.Add(-1)
+	}
+}
+
+// ProbeLane returns the shard that must receive a probe-only
+// double-read for an arrival of group g, or -1 when the group is not
+// in handoff. The uncontended fast path is one atomic load.
+func (r *Router) ProbeLane(g uint32) int {
+	if r.handoffN.Load() == 0 {
+		return -1
+	}
+	st := &r.stripes[g%stripeCount]
+	st.Lock()
+	lane := int(r.handoffFrom[g])
+	st.Unlock()
+	return lane
+}
+
+// InHandoff reports whether group g has an incremental handoff in
+// flight.
+func (r *Router) InHandoff(g uint32) bool { return r.ProbeLane(g) >= 0 }
+
+// Handoffs returns the number of in-flight incremental handoffs.
+func (r *Router) Handoffs() int { return int(r.handoffN.Load()) }
+
 // MigrationCandidates returns the pending moves that have waited at
 // least minAge control cycles for their drain-based cut-over — the
 // groups whose windows never empty, which only a state migration can
@@ -337,6 +431,9 @@ func (r *Router) MigrationCandidates(minAge uint64) []Move {
 	var out []Move
 	cur := r.table.Load()
 	for g, mv := range r.moves {
+		if r.handoffFrom[g] >= 0 {
+			continue
+		}
 		if r.moveSeq-mv.seq >= minAge {
 			out = append(out, Move{Group: g, From: cur.ShardOfGroup(g), To: mv.to})
 		}
@@ -377,6 +474,9 @@ func (r *Router) Propose(moves []Move) int {
 	for _, m := range moves {
 		if _, dup := r.moves[m.Group]; dup {
 			continue
+		}
+		if r.handoffFrom[m.Group] >= 0 {
+			continue // in incremental handoff: its route is spoken for
 		}
 		if m.To < 0 || m.To >= r.shards || cur.ShardOfGroup(m.Group) == m.To {
 			continue
@@ -420,7 +520,7 @@ func (r *Router) TryApply() int {
 	var assign []uint32
 	applied := 0
 	for g, mv := range r.moves {
-		if r.rLive[g] != 0 || r.sLive[g] != 0 || r.dueBound[g] > floor {
+		if r.handoffFrom[g] >= 0 || r.rLive[g] != 0 || r.sLive[g] != 0 || r.dueBound[g] > floor {
 			continue
 		}
 		if assign == nil {

@@ -38,3 +38,27 @@ type StateExtractor[L, R any] interface {
 	// tuples of both sides.
 	ExtractMatching(matchR func(L) bool, matchS func(R) bool) ([]stream.Tuple[L], []stream.Tuple[R])
 }
+
+// SliceExtractor is the incremental-migration extension of
+// StateExtractor: the two halves of a slice cursor over
+// ExtractMatching. A slice driver peeks every node's oldest matching
+// tuples without modifying anything, picks a bounded, oldest-first
+// subset across the whole pipeline (home nodes are round-robin, so
+// each node holds every n-th tuple of a group and the cut cannot be
+// made per-node), and then removes exactly that subset by sequence
+// number. The same quiescence contract as StateExtractor applies to
+// both calls.
+type SliceExtractor[L, R any] interface {
+	StateExtractor[L, R]
+	// PeekOldestMatching returns up to max of the node's oldest live
+	// matching window tuples per side (arrival order) without
+	// removing them, plus the total number of matching tuples per
+	// side. Each node's oldest max per side together form a superset
+	// of the pipeline's oldest max overall, so the driver's merge
+	// stays bounded by the slice size, not the group size.
+	PeekOldestMatching(matchR func(L) bool, matchS func(R) bool, max int) (rs []stream.Tuple[L], ss []stream.Tuple[R], nr, ns int)
+	// ExtractSeqs removes and returns the live window tuples with the
+	// given sequence numbers; sequence numbers homed on other nodes
+	// are ignored.
+	ExtractSeqs(rSeqs, sSeqs map[uint64]struct{}) ([]stream.Tuple[L], []stream.Tuple[R])
+}

@@ -506,6 +506,55 @@ func (n *Node[L, R]) ExtractMatching(matchR func(L) bool, matchS func(R) bool) (
 	return rs, ss
 }
 
+// PeekOldestMatching returns up to max of the node's oldest live
+// matching window tuples per side, plus the per-side totals, without
+// modifying any state — the read half of a slice cursor over
+// ExtractMatching. Windows scan in arrival order, so the first max
+// matches are the oldest; the scan still visits every live entry (the
+// totals tell the driver how much group state remains), but the
+// collected — and later sorted — candidates stay bounded by the slice
+// size. Call only on a quiescent pipeline; incremental migration
+// peeks all nodes, merges a bounded oldest-first subset across the
+// pipeline, and removes it with ExtractSeqs.
+func (n *Node[L, R]) PeekOldestMatching(matchR func(L) bool, matchS func(R) bool, max int) (rs []stream.Tuple[L], ss []stream.Tuple[R], nr, ns int) {
+	n.wR.ScanAll(func(t stream.Tuple[L]) {
+		if matchR(t.Payload) {
+			if nr < max {
+				rs = append(rs, t)
+			}
+			nr++
+		}
+	})
+	n.wS.ScanAll(func(t stream.Tuple[R]) {
+		if matchS(t.Payload) {
+			if ns < max {
+				ss = append(ss, t)
+			}
+			ns++
+		}
+	})
+	return rs, ss, nr, ns
+}
+
+// ExtractSeqs removes and returns the live window tuples with the
+// given sequence numbers — the write half of a slice cursor. Sequence
+// numbers stored on other nodes (or already expired) are ignored, so a
+// slice driver may offer the same set to every node of the pipeline.
+// The quiescence contract of ExtractMatching applies.
+func (n *Node[L, R]) ExtractSeqs(rSeqs, sSeqs map[uint64]struct{}) (rs []stream.Tuple[L], ss []stream.Tuple[R]) {
+	for seq := range rSeqs {
+		if t, ok := n.wR.Remove(seq); ok {
+			rs = append(rs, t)
+		}
+	}
+	for seq := range sSeqs {
+		if t, ok := n.wS.Remove(seq); ok {
+			ss = append(ss, t)
+		}
+	}
+	return rs, ss
+}
+
 // IWSLen returns the current size of the in-flight S buffer; it must be
 // zero whenever the pipeline is quiescent (every forwarded tuple has
 // been acknowledged).

@@ -477,3 +477,59 @@ func TestArrivalModeString(t *testing.T) {
 		}
 	}
 }
+
+func TestPeekOldestMatchingIsNonDestructiveAndBounded(t *testing.T) {
+	c := cfg3()
+	n0 := NewNode(c, 0)
+	var em capture
+	// Home tuples of node 0: R seqs 0 and 3, S seq 0.
+	n0.HandleLeft(rArr(tpl(0, 7, 0), tpl(3, 7, 0), tpl(1, 8, 1)), &em)
+	n0.HandleRight(sArr(tpl(0, 7, 0)), &em)
+	match7 := func(v int) bool { return v == 7 }
+	rs, ss, nr, ns := n0.PeekOldestMatching(match7, match7, 10)
+	if len(rs) != 2 || len(ss) != 1 || nr != 2 || ns != 1 {
+		t.Fatalf("peeked %d/%d R, %d/%d S, want 2/2 and 1/1", len(rs), nr, len(ss), ns)
+	}
+	wr, ws := n0.WindowSizes()
+	if wr != 2 || ws != 1 {
+		t.Fatalf("peek modified the windows: wr=%d ws=%d", wr, ws)
+	}
+	// A bounded peek keeps the oldest per side but still counts all.
+	rs, ss, nr, ns = n0.PeekOldestMatching(match7, match7, 1)
+	if len(rs) != 1 || rs[0].Seq != 0 || len(ss) != 1 || nr != 2 || ns != 1 {
+		t.Fatalf("bounded peek = R%v (nr=%d) S%v (ns=%d), want oldest R seq 0 and full counts", rs, nr, ss, ns)
+	}
+	// A second peek sees the same state.
+	if _, _, nr2, ns2 := n0.PeekOldestMatching(match7, match7, 10); nr2 != nr || ns2 != ns {
+		t.Fatal("repeated peek diverged")
+	}
+}
+
+func TestExtractSeqsRemovesOnlyOwnedSeqs(t *testing.T) {
+	c := cfg3()
+	n0 := NewNode(c, 0)
+	var em capture
+	n0.HandleLeft(rArr(tpl(0, 7, 0), tpl(3, 7, 0)), &em)
+	n0.HandleRight(sArr(tpl(0, 7, 0)), &em)
+	// Offer a superset: seq 1 homes elsewhere, seq 99 never existed.
+	rSet := map[uint64]struct{}{0: {}, 1: {}, 99: {}}
+	sSet := map[uint64]struct{}{0: {}}
+	rs, ss := n0.ExtractSeqs(rSet, sSet)
+	if len(rs) != 1 || rs[0].Seq != 0 {
+		t.Fatalf("extracted R %+v, want exactly seq 0", rs)
+	}
+	if len(ss) != 1 || ss[0].Seq != 0 {
+		t.Fatalf("extracted S %+v, want exactly seq 0", ss)
+	}
+	wr, ws := n0.WindowSizes()
+	if wr != 1 || ws != 0 {
+		t.Fatalf("windows after extract: wr=%d ws=%d, want 1 / 0", wr, ws)
+	}
+	// The remaining tuple is untouched and a repeat extract is a no-op.
+	if rs, ss = n0.ExtractSeqs(rSet, sSet); len(rs) != 0 || len(ss) != 0 {
+		t.Fatal("repeated extract found tuples again")
+	}
+	if rs, _, _, _ := n0.PeekOldestMatching(func(v int) bool { return v == 7 }, func(int) bool { return false }, 10); len(rs) != 1 || rs[0].Seq != 3 {
+		t.Fatalf("survivor = %+v, want seq 3", rs)
+	}
+}

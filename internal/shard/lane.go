@@ -206,6 +206,50 @@ func (l *Lane[L, R]) tickLocked(ts int64) {
 	}
 }
 
+// Settle flushes both batch buffers and waits for the pipeline to
+// quiesce, without injecting any expiries. Migration drivers use it to
+// retire the lane's in-flight arrivals before a handoff commit or a
+// slice injection; the cost is bounded by the batch size plus the
+// pipeline's in-flight cap, never by the window footprint.
+func (l *Lane[L, R]) Settle() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flushR()
+	l.flushS()
+	l.lv.Quiesce()
+}
+
+// ProbeR injects t as a probe-only R arrival (core.ArriveProbeOnly):
+// it probes the lane's S windows and emits matches, but stores
+// nothing, acknowledges nothing and advances no high-water mark. Due S
+// expiries are popped first, so the probe cannot match tuples whose
+// window closed at or before t.TS — the same boundary rule flushR
+// applies to full arrivals. The incremental-migration driver
+// double-reads a key-group's arrivals this way while the group's
+// window state is split across two lanes.
+//
+// Probe-only arrivals bypass the batch buffers: they must never be
+// batched with full arrivals (Mode is per-message), and buffered
+// arrivals of other key-groups cannot join them anyway.
+func (l *Lane[L, R]) ProbeR(t stream.Tuple[L]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seqs := l.popDueS(t.TS); len(seqs) > 0 {
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+	}
+	l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveProbeOnly, Side: stream.R, R: []stream.Tuple[L]{t}})
+}
+
+// ProbeS injects t as a probe-only S arrival; see ProbeR.
+func (l *Lane[L, R]) ProbeS(t stream.Tuple[R]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seqs := l.popDueR(t.TS); len(seqs) > 0 {
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+	}
+	l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveProbeOnly, Side: stream.S, S: []stream.Tuple[R]{t}})
+}
+
 // Heartbeat advances stream time to ts like Tick and additionally
 // promises ts on both high-water marks, so the lane's collector can
 // punctuate even though no tuple flowed through the pipeline.
@@ -343,6 +387,121 @@ func (l *Lane[L, R]) Inject(st *GroupState[L, R]) {
 	l.sExp.AbsorbCnt(st.SCnt)
 	l.expMu.Unlock()
 }
+
+// ExtractSlice removes and returns up to max of the oldest live window
+// tuples of one key-group — one bounded hop of an incremental
+// migration — and reports how many matching tuples remain. With max
+// <= 0 the whole group is taken. "Oldest" is stream order across both
+// sides (timestamp, ties R before S, then sequence number), so the
+// slices a handoff moves are deterministic given the push schedule.
+//
+// Unlike Extract, ExtractSlice never flushes the batch buffers and
+// never counts against a budget: the caller has already committed the
+// handoff, so no full arrival of the group can be buffered here
+// (buffered arrivals belong to other key-groups, which cannot join the
+// extracted tuples), and every hop makes progress. It does wait for
+// the pipeline to quiesce — the group's only in-flight traffic are
+// probe-only double-reads, which must finish probing the tuples about
+// to leave — but that wait is bounded by the in-flight cap, not by the
+// group's window footprint, and the expedition flags of the group's
+// settled tuples cannot reappear. One hop's work is one pass over the
+// lane's windows (the scan that finds the group's tuples) plus
+// sorting and moving at most the slice: nothing a hop allocates,
+// sorts or extracts grows with the group's remaining size.
+//
+// The caller must hold off pushes for the duration (the sharded engine
+// holds both stream-side locks) and must have settled the lane once at
+// handoff commit, so the group's pre-handoff tuples are out of the
+// in-flight buffers and their expedition flags are cleared.
+func (l *Lane[L, R]) ExtractSlice(matchR func(L) bool, matchS func(R) bool, max int) (*GroupState[L, R], int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lv.Quiesce()
+
+	nodes := make([]core.SliceExtractor[L, R], 0, len(l.lv.Nodes()))
+	for _, nl := range l.lv.Nodes() {
+		ex, ok := nl.(core.SliceExtractor[L, R])
+		if !ok {
+			return nil, 0, ErrNoExtractor
+		}
+		nodes = append(nodes, ex)
+	}
+	// Peek each node's oldest candidates, then cut the oldest slice
+	// across the whole pipeline: homes are round-robin, so each node
+	// holds every n-th tuple of the group and no per-node cut is
+	// oldest-first globally — but every tuple of the global oldest max
+	// is among its own node's oldest max of its side, so the bounded
+	// per-node peeks form a sufficient candidate pool.
+	type cand struct {
+		ts   int64
+		side stream.Side
+		seq  uint64
+	}
+	var cands []cand
+	total := 0
+	perNode := max
+	if perNode <= 0 {
+		perNode = int(^uint(0) >> 1) // max <= 0: take the whole group
+	}
+	for _, ex := range nodes {
+		rs, ss, nr, ns := ex.PeekOldestMatching(matchR, matchS, perNode)
+		total += nr + ns
+		for _, t := range rs {
+			cands = append(cands, cand{ts: t.TS, side: stream.R, seq: t.Seq})
+		}
+		for _, t := range ss {
+			cands = append(cands, cand{ts: t.TS, side: stream.S, seq: t.Seq})
+		}
+	}
+	if total == 0 {
+		return &GroupState[L, R]{}, 0, nil
+	}
+	if max <= 0 || max > total {
+		max = total
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.side != b.side {
+			return a.side == stream.R
+		}
+		return a.seq < b.seq
+	})
+	rSet := make(map[uint64]struct{})
+	sSet := make(map[uint64]struct{})
+	for _, c := range cands[:max] {
+		if c.side == stream.R {
+			rSet[c.seq] = struct{}{}
+		} else {
+			sSet[c.seq] = struct{}{}
+		}
+	}
+
+	st := &GroupState[L, R]{}
+	for _, ex := range nodes {
+		rs, ss := ex.ExtractSeqs(rSet, sSet)
+		st.R = append(st.R, rs...)
+		st.S = append(st.S, ss...)
+	}
+	sort.Slice(st.R, func(i, j int) bool { return st.R[i].Seq < st.R[j].Seq })
+	sort.Slice(st.S, func(i, j int) bool { return st.S[i].Seq < st.S[j].Seq })
+
+	l.expMu.Lock()
+	st.RDur, st.RCnt = l.rExp.TakeMatching(func(seq uint64) bool { _, ok := rSet[seq]; return ok })
+	st.SDur, st.SCnt = l.sExp.TakeMatching(func(seq uint64) bool { _, ok := sSet[seq]; return ok })
+	l.expMu.Unlock()
+	return st, total - max, nil
+}
+
+// InjectSlice replays one extracted slice into this lane, with the
+// same mechanics and contract as Inject. The slice-migration driver
+// must Settle this lane first: the store-only copies may only land
+// once every in-flight full arrival of the group — whose probe-only
+// double-read already saw the slice on the source lane — has finished
+// probing here, or a pair would be emitted twice.
+func (l *Lane[L, R]) InjectSlice(st *GroupState[L, R]) { l.Inject(st) }
 
 // Close flushes buffered batches, waits for the pipeline to quiesce,
 // and stops the node and collector goroutines. The lane cannot be

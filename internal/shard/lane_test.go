@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/clock"
+	"handshakejoin/internal/collect"
+	"handshakejoin/internal/core"
+	"handshakejoin/internal/hsj"
+	"handshakejoin/internal/stream"
+)
+
+// newTestLane builds a Batch-1 LLHJ lane over int payloads with an
+// equi-join predicate, delivering output to out (nil discards).
+func newTestLane(workers int, out func(collect.Item[int, int])) *Lane[int, int] {
+	ccfg := &core.Config[int, int]{Nodes: workers, Pred: func(r, s int) bool { return r == s }}
+	build := func(k int) core.NodeLogic[int, int] { return core.NewNode(ccfg, k) }
+	if out == nil {
+		out = func(collect.Item[int, int]) {}
+	}
+	return NewLane[int, int](LaneConfig{
+		Workers:       workers,
+		Batch:         1,
+		MaxInFlight:   8,
+		CollectPeriod: 100 * time.Microsecond,
+		Clock:         clock.NewWall(),
+	}, build, out)
+}
+
+func rt(seq uint64, ts int64, v int) stream.Tuple[int] {
+	return stream.Tuple[int]{Seq: seq, TS: ts, Home: stream.NoHome, Payload: v}
+}
+
+func matchVal(v int) func(int) bool { return func(p int) bool { return p == v } }
+
+func TestLaneExtractBudgetRefusalLeavesStateUntouched(t *testing.T) {
+	// The budget refusal must happen before anything is modified: a
+	// refused Extract reports the group's size and a later unbounded
+	// Extract still finds every tuple.
+	l := newTestLane(3, nil)
+	defer l.Close()
+	for i := uint64(0); i < 4; i++ {
+		l.PushR(rt(i, int64(i)*10, 7))
+	}
+	l.PushS(rt(0, 5, 7))
+	l.PushS(rt(1, 15, 7))
+	l.PushR(rt(4, 40, 8)) // another group, must never be touched
+
+	st, n, err := l.Extract(matchVal(7), matchVal(7), 3)
+	if !errors.Is(err, ErrMigrationBudget) {
+		t.Fatalf("Extract over budget: err = %v, want ErrMigrationBudget", err)
+	}
+	if st != nil || n != 6 {
+		t.Fatalf("refused Extract returned (%v, %d), want (nil, 6)", st, n)
+	}
+
+	st, n, err = l.Extract(matchVal(7), matchVal(7), 0)
+	if err != nil || n != 6 || st.Tuples() != 6 {
+		t.Fatalf("post-refusal Extract = (%d tuples, n=%d, %v), want all 6", st.Tuples(), n, err)
+	}
+	if st2, _, err := l.Extract(matchVal(8), matchVal(8), 0); err != nil || st2.Tuples() != 1 {
+		t.Fatalf("other group state = (%d, %v), want the 1 untouched tuple", st2.Tuples(), err)
+	}
+}
+
+func TestLaneExtractNoExtractorForHSJ(t *testing.T) {
+	// The original handshake join keeps windows in the pipeline
+	// segments; state extraction must be refused, not panic.
+	hcfg := &hsj.Config[int, int]{Nodes: 2, Pred: func(r, s int) bool { return r == s }, CapR: 8, CapS: 8}
+	build := func(k int) core.NodeLogic[int, int] { return hsj.NewNode(hcfg, k) }
+	l := NewLane[int, int](LaneConfig{
+		Workers: 2, Batch: 1, MaxInFlight: 8,
+		CollectPeriod: 100 * time.Microsecond, Clock: clock.NewWall(),
+	}, build, func(collect.Item[int, int]) {})
+	defer l.Close()
+	l.PushR(rt(0, 0, 7))
+	if _, _, err := l.Extract(matchVal(7), matchVal(7), 0); !errors.Is(err, ErrNoExtractor) {
+		t.Fatalf("Extract on HSJ lane: err = %v, want ErrNoExtractor", err)
+	}
+	if _, _, err := l.ExtractSlice(matchVal(7), matchVal(7), 2); !errors.Is(err, ErrNoExtractor) {
+		t.Fatalf("ExtractSlice on HSJ lane: err = %v, want ErrNoExtractor", err)
+	}
+}
+
+func TestLaneExtractSliceOldestFirstWithRemaining(t *testing.T) {
+	l := newTestLane(3, nil)
+	defer l.Close()
+	// Interleaved stream order: R0(10) S0(15) R1(20) S1(25) R2(30).
+	l.PushR(rt(0, 10, 7))
+	l.PushS(rt(0, 15, 7))
+	l.PushR(rt(1, 20, 7))
+	l.PushS(rt(1, 25, 7))
+	l.PushR(rt(2, 30, 7))
+	l.PushR(rt(9, 31, 8)) // other group
+	// Pending expiries of the group move with their tuples.
+	for i := uint64(0); i < 3; i++ {
+		l.QueueExpiry(stream.R, i, int64(i)*10+1000, false, false)
+	}
+	l.Settle()
+
+	st, remaining, err := l.ExtractSlice(matchVal(7), matchVal(7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remaining != 2 || st.Tuples() != 3 {
+		t.Fatalf("slice = %d tuples, remaining %d; want 3 moved, 2 left", st.Tuples(), remaining)
+	}
+	// Oldest three in stream order: R0, S0, R1.
+	if len(st.R) != 2 || st.R[0].Seq != 0 || st.R[1].Seq != 1 || len(st.S) != 1 || st.S[0].Seq != 0 {
+		t.Fatalf("slice contents R=%v S=%v, want R[0,1] S[0]", st.R, st.S)
+	}
+	// Partial expiry take: entries of the moved tuples only.
+	if len(st.RDur) != 2 || st.RDur[0].Seq != 0 || st.RDur[1].Seq != 1 {
+		t.Fatalf("moved R expiries = %v, want seqs 0,1", st.RDur)
+	}
+
+	st2, remaining2, err := l.ExtractSlice(matchVal(7), matchVal(7), 0)
+	if err != nil || remaining2 != 0 || st2.Tuples() != 2 {
+		t.Fatalf("final slice = (%d, %d, %v), want the last 2 tuples", st2.Tuples(), remaining2, err)
+	}
+	if len(st2.R) != 1 || st2.R[0].Seq != 2 || len(st2.S) != 1 || st2.S[0].Seq != 1 {
+		t.Fatalf("final slice contents R=%v S=%v, want R[2] S[1]", st2.R, st2.S)
+	}
+	if len(st2.RDur) != 1 || st2.RDur[0].Seq != 2 {
+		t.Fatalf("final moved R expiries = %v, want seq 2", st2.RDur)
+	}
+}
+
+func TestLaneExtractSliceEmptyGroupAndEmptyInject(t *testing.T) {
+	l := newTestLane(2, nil)
+	defer l.Close()
+	l.PushR(rt(0, 10, 8))
+	st, remaining, err := l.ExtractSlice(matchVal(7), matchVal(7), 4)
+	if err != nil || remaining != 0 || st.Tuples() != 0 {
+		t.Fatalf("empty-group slice = (%d, %d, %v), want nothing", st.Tuples(), remaining, err)
+	}
+	// Injecting an empty state is a no-op on windows and expiry queues.
+	l.InjectSlice(st)
+	if st2, _, err := l.Extract(matchVal(8), matchVal(8), 0); err != nil || st2.Tuples() != 1 {
+		t.Fatalf("bystander group disturbed: (%d, %v)", st2.Tuples(), err)
+	}
+}
+
+func TestLaneProbeOnlyEmitsWithoutEnteringWindows(t *testing.T) {
+	var mu sync.Mutex
+	var results []stream.Pair[int, int]
+	l := newTestLane(3, func(it collect.Item[int, int]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		results = append(results, it.Result.Pair)
+		mu.Unlock()
+	})
+	l.PushR(rt(0, 10, 7))
+	l.Settle()
+	// The probe-only S must match the stored R exactly once...
+	l.ProbeS(rt(100, 20, 7))
+	l.Settle()
+	// ...and a later R arrival must not find the probe-only S stored.
+	l.PushR(rt(1, 30, 7))
+	l.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != 1 {
+		t.Fatalf("results = %d (%v), want exactly the probe match", len(results), results)
+	}
+	if results[0].R.Seq != 0 || results[0].S.Seq != 100 {
+		t.Fatalf("probe match = %+v, want R0 x S100", results[0])
+	}
+}
+
+func TestExpiryQueueAbsorbEdgeCases(t *testing.T) {
+	// Empty absorb is a no-op.
+	q := NewExpiryQueue(false)
+	q.AbsorbDur(nil)
+	q.AbsorbCnt([]ExpiryEntry{})
+	if q.Len() != 0 {
+		t.Fatalf("empty absorb grew the queue: %d", q.Len())
+	}
+	// Absorb into an empty queue: the entries become settled and must
+	// drain even though the lane has injected nothing (injectedBelow 0)
+	// — the heartbeat-idle destination case.
+	q.AbsorbDur([]ExpiryEntry{{Seq: 5, Due: 10}, {Seq: 6, Due: 20}})
+	if got := q.PopDue(15, 0); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("settled-only PopDue(15, 0) = %v, want [5]", got)
+	}
+	if got := q.PopDue(25, 0); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("settled-only PopDue(25, 0) = %v, want [6]", got)
+	}
+	// TakeMatching that empties the queue leaves it reusable.
+	q2 := NewExpiryQueue(false)
+	q2.PushDur(1, 10, false)
+	q2.PushCnt(1, 12, false)
+	dur, cnt := q2.TakeMatching(func(uint64) bool { return true })
+	if len(dur) != 1 || len(cnt) != 1 || q2.Len() != 0 {
+		t.Fatalf("full take = %v/%v, len %d", dur, cnt, q2.Len())
+	}
+	q2.PushDur(2, 30, false)
+	if got := q2.PopDue(30, 10); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("queue unusable after full take: %v", got)
+	}
+}

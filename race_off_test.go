@@ -1,0 +1,5 @@
+//go:build !race
+
+package handshakejoin
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package handshakejoin
+
+// raceEnabled lets wall-clock-paced tests stretch their deadlines
+// under the race detector, which slows execution by an order of
+// magnitude.
+const raceEnabled = true

@@ -101,6 +101,10 @@ type ShardedEngine[L, RT any] struct {
 
 	stateMigrations atomic.Uint64
 	migratedTuples  atomic.Uint64
+	sliceMigrations atomic.Uint64
+	freezeStalls    atomic.Uint64
+	maxStallNs      atomic.Int64
+	sliceTuples     int
 
 	sorter  *order.Sorter[L, RT]
 	sortMu  sync.Mutex // sorter access: merge callbacks vs Close's final Flush
@@ -181,6 +185,10 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 		adaptive: cfg.Adapt.Enable,
 		stop:     make(chan struct{}),
 	}
+	e.sliceTuples = cfg.Adapt.Migration.SliceTuples
+	if e.sliceTuples == 0 {
+		e.sliceTuples = 1024
+	}
 	e.rLastAt.Store(minTS)
 	e.sLastAt.Store(minTS)
 	part := shard.NewPartitionerGroups(cfg.Shards, groups)
@@ -237,9 +245,27 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 			}
 			acfg.MigrateAfterCycles = uint64(max(cfg.Adapt.Migration.AfterCycles, 0))
 			acfg.MinMigrateLoad = cfg.Adapt.Migration.MinGroupLoad
-			acfg.Migrator = func(group uint32, to int, budget int) (int, bool) {
-				n, err := e.migrate(group, to, budget)
-				return n, err == nil
+			acfg.MinGapRatio = cfg.Adapt.Migration.MinGapRatio
+			acfg.MaxMigrationsPerSec = cfg.Adapt.Migration.MaxMigrationsPerSec
+			if cfg.Adapt.Migration.Freezing {
+				acfg.Migrator = func(group uint32, to int, budget int) (int, bool) {
+					n, err := e.migrate(group, to, budget)
+					return n, err == nil
+				}
+			} else {
+				acfg.SliceTuples = e.sliceTuples
+				acfg.BeginHandoff = func(group uint32, to int) bool {
+					return e.beginHandoff(group, to) == nil
+				}
+				acfg.AdvanceHandoff = func(group uint32, maxTuples int) (int, bool, bool) {
+					n, done, err := e.advanceHandoff(group, maxTuples)
+					if err != nil {
+						// Closing, or the handoff is gone: drop it
+						// without counting a migration.
+						return 0, true, false
+					}
+					return n, done, done
+				}
 			}
 		}
 		e.ctrl = adapt.NewController(e.router, probes,
@@ -289,8 +315,10 @@ func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 	e.rLastAt.Store(ts)
 	var lane int
 	var group uint32
+	probeLane := -1
 	if e.adaptive {
 		lane, group = e.router.Admit(stream.R, e.keyR(payload), e.rCnt, ts+e.rDur, e.rDur > 0)
+		probeLane = e.router.ProbeLane(group)
 	} else {
 		lane = e.router.Of(e.keyR(payload))
 	}
@@ -301,11 +329,35 @@ func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 	raiseInt64(&e.laneTS[lane], ts)
 	gate := e.gates[lane][0]
 	ticket := gate.issue()
+	// The group is mid-handoff: its window state is split between two
+	// lanes. The arrival is stored and probed at its new lane above;
+	// a probe-only double-read covers the slices still on the old one.
+	// Both tickets are issued under the side lock, so ticket order on
+	// every gate agrees with stream order and the two-gate walk cannot
+	// deadlock. The double-read does not count as lane activity:
+	// probe-only arrivals advance no high-water mark, so a source lane
+	// living on double-reads alone still needs its heartbeat to keep
+	// the merged punctuation floor — and Ordered-mode output — moving
+	// while the handoff is open (the heartbeat's flush-and-quiesce
+	// retires in-flight probes before promising, so the promise stays
+	// sound), and Stats.ShardIngress keeps counting routed tuples
+	// only.
+	var pGate *ingressGate
+	var pTicket uint64
+	if probeLane >= 0 {
+		pGate = e.gates[probeLane][0]
+		pTicket = pGate.issue()
+	}
 	e.rmu.Unlock()
 
 	gate.enter(ticket)
 	e.lanes[lane].PushR(t)
 	gate.leave()
+	if pGate != nil {
+		pGate.enter(pTicket)
+		e.lanes[probeLane].ProbeR(t)
+		pGate.leave()
+	}
 	return nil
 }
 
@@ -324,8 +376,10 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	e.sLastAt.Store(ts)
 	var lane int
 	var group uint32
+	probeLane := -1
 	if e.adaptive {
 		lane, group = e.router.Admit(stream.S, e.keyS(payload), e.sCnt, ts+e.sDur, e.sDur > 0)
+		probeLane = e.router.ProbeLane(group)
 	} else {
 		lane = e.router.Of(e.keyS(payload))
 	}
@@ -336,11 +390,24 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	raiseInt64(&e.laneTS[lane], ts)
 	gate := e.gates[lane][1]
 	ticket := gate.issue()
+	// Probe-only double-read during a handoff; see PushR (including
+	// why it must not count as lane activity).
+	var pGate *ingressGate
+	var pTicket uint64
+	if probeLane >= 0 {
+		pGate = e.gates[probeLane][1]
+		pTicket = pGate.issue()
+	}
 	e.smu.Unlock()
 
 	gate.enter(ticket)
 	e.lanes[lane].PushS(t)
 	gate.leave()
+	if pGate != nil {
+		pGate.enter(pTicket)
+		e.lanes[probeLane].ProbeS(t)
+		pGate.leave()
+	}
 	return nil
 }
 
@@ -438,11 +505,8 @@ func (e *ShardedEngine[L, RT]) Migrate(group uint32, to int) (int, error) {
 // state is touched, so the control loop's per-cycle budget bounds the
 // ingress stall.
 func (e *ShardedEngine[L, RT]) migrate(group uint32, to int, max int) (int, error) {
-	if int(group) >= e.router.Groups() {
-		return 0, fmt.Errorf("handshakejoin: Migrate: group %d out of range [0,%d)", group, e.router.Groups())
-	}
-	if to < 0 || to >= len(e.lanes) {
-		return 0, fmt.Errorf("handshakejoin: Migrate: shard %d out of range [0,%d)", to, len(e.lanes))
+	if err := e.checkMigrationTarget(group, to); err != nil {
+		return 0, err
 	}
 	e.rmu.Lock()
 	defer e.rmu.Unlock()
@@ -451,10 +515,14 @@ func (e *ShardedEngine[L, RT]) migrate(group uint32, to int, max int) (int, erro
 	if e.closed.Load() {
 		return 0, fmt.Errorf("handshakejoin: engine closed")
 	}
+	if e.router.InHandoff(group) {
+		return 0, fmt.Errorf("handshakejoin: Migrate: group %d has an incremental handoff in flight", group)
+	}
 	from := e.router.Partitioner().ShardOfGroup(group)
 	if from == to {
 		return 0, nil
 	}
+	defer e.recordStall(time.Now())
 	// Freeze: with both side locks held no tuple can be admitted;
 	// drain the ingress gates so in-flight pushes have fully entered
 	// their lanes before the cut.
@@ -470,23 +538,195 @@ func (e *ShardedEngine[L, RT]) migrate(group uint32, to int, max int) (int, erro
 	// router's control mutex and cancels the pending move.
 	e.router.Relocate(group, to)
 	if n > 0 {
-		rSeqs := make(map[uint64]struct{}, len(st.R))
-		for _, t := range st.R {
-			rSeqs[t.Seq] = struct{}{}
-		}
-		sSeqs := make(map[uint64]struct{}, len(st.S))
-		for _, t := range st.S {
-			sSeqs[t.Seq] = struct{}{}
-		}
-		// Future count-bound expiries of the moved tuples must route
-		// to the new lane.
-		e.rWin.rebind(rSeqs, to)
-		e.sWin.rebind(sSeqs, to)
-		e.lanes[to].Inject(st)
+		e.rebindAndInject(st, to)
 	}
 	e.stateMigrations.Add(1)
 	e.migratedTuples.Add(uint64(n))
+	e.freezeStalls.Add(1)
 	return n, nil
+}
+
+// checkMigrationTarget validates a migration's group and shard.
+func (e *ShardedEngine[L, RT]) checkMigrationTarget(group uint32, to int) error {
+	if int(group) >= e.router.Groups() {
+		return fmt.Errorf("handshakejoin: Migrate: group %d out of range [0,%d)", group, e.router.Groups())
+	}
+	if to < 0 || to >= len(e.lanes) {
+		return fmt.Errorf("handshakejoin: Migrate: shard %d out of range [0,%d)", to, len(e.lanes))
+	}
+	return nil
+}
+
+// rebindAndInject re-attributes the moved tuples' future count-bound
+// expiries to their new lane and replays the state there. Callers hold
+// both side locks.
+func (e *ShardedEngine[L, RT]) rebindAndInject(st *shard.GroupState[L, RT], to int) {
+	rSeqs := make(map[uint64]struct{}, len(st.R))
+	for _, t := range st.R {
+		rSeqs[t.Seq] = struct{}{}
+	}
+	sSeqs := make(map[uint64]struct{}, len(st.S))
+	for _, t := range st.S {
+		sSeqs[t.Seq] = struct{}{}
+	}
+	e.rWin.rebind(rSeqs, to)
+	e.sWin.rebind(sSeqs, to)
+	e.lanes[to].InjectSlice(st)
+}
+
+// recordStall folds one migration operation's ingress-freeze duration
+// into the stall high-water mark; call via defer with the instant the
+// freeze began.
+func (e *ShardedEngine[L, RT]) recordStall(start time.Time) {
+	ns := time.Since(start).Nanoseconds()
+	for {
+		cur := e.maxStallNs.Load()
+		if ns <= cur || e.maxStallNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// BeginMigration commits an incremental (non-freezing) migration of
+// key-group group to shard to: the routing table swaps — every arrival
+// of the group admitted afterwards lands on the new shard as an
+// ordinary full arrival — and until the migration finishes each of the
+// group's arrivals is additionally duplicated as a probe-only read to
+// the old shard, so pairs against the window slices still parked there
+// are found exactly once (the probe-only copy stores nothing and the
+// slices move atomically between probe visibility on the two lanes).
+// The group's window tuples then move in bounded hops via
+// AdvanceMigration; MigrateIncremental wraps the whole protocol.
+//
+// The commit itself freezes ingress only long enough to flush and
+// settle the old shard's in-flight arrivals — work bounded by the
+// batch size and the pipeline's in-flight cap, independent of the
+// group's window footprint. Requires Adapt.Enable (the probe
+// duplication runs on the adaptive admission path).
+func (e *ShardedEngine[L, RT]) BeginMigration(group uint32, to int) error {
+	return e.beginHandoff(group, to)
+}
+
+func (e *ShardedEngine[L, RT]) beginHandoff(group uint32, to int) error {
+	if err := e.checkMigrationTarget(group, to); err != nil {
+		return err
+	}
+	if !e.adaptive {
+		return fmt.Errorf("handshakejoin: incremental migration requires Adapt.Enable")
+	}
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	e.smu.Lock()
+	defer e.smu.Unlock()
+	if e.closed.Load() {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if e.router.InHandoff(group) {
+		return fmt.Errorf("handshakejoin: group %d already has a handoff in flight", group)
+	}
+	from := e.router.Partitioner().ShardOfGroup(group)
+	if from == to {
+		return fmt.Errorf("handshakejoin: group %d already lives on shard %d", group, to)
+	}
+	defer e.recordStall(time.Now())
+	e.drainGates()
+	// Settle the source once: the group's pre-handoff arrivals leave
+	// the batch buffers and the in-flight links, their expedition
+	// flags clear and the IWS empties — from here on, probe-only
+	// double-reads see exactly the group's settled window state, and
+	// no full arrival of the group ever enters this lane again.
+	e.lanes[from].Settle()
+	if _, ok := e.router.BeginHandoff(group, to); !ok {
+		return fmt.Errorf("handshakejoin: group %d handoff refused", group)
+	}
+	return nil
+}
+
+// AdvanceMigration moves one bounded slice — at most
+// Adapt.Migration.SliceTuples of the group's oldest window tuples —
+// from the old shard to the new one, returning the number moved and
+// whether the migration is complete (the old shard holds none of the
+// group's state; the probe duplication has been switched off). Each
+// call freezes ingress only for its one slice plus two bounded
+// pipeline settles, so a mega-group relocates without ever stalling
+// the source shard for the whole copy.
+func (e *ShardedEngine[L, RT]) AdvanceMigration(group uint32) (moved int, done bool, err error) {
+	return e.advanceHandoff(group, e.sliceTuples)
+}
+
+func (e *ShardedEngine[L, RT]) advanceHandoff(group uint32, maxTuples int) (moved int, done bool, err error) {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	e.smu.Lock()
+	defer e.smu.Unlock()
+	if e.closed.Load() {
+		return 0, false, fmt.Errorf("handshakejoin: engine closed")
+	}
+	from := e.router.ProbeLane(group)
+	if from < 0 {
+		return 0, false, fmt.Errorf("handshakejoin: group %d has no handoff in flight", group)
+	}
+	to := e.router.Partitioner().ShardOfGroup(group)
+	defer e.recordStall(time.Now())
+	e.drainGates()
+	matchR := func(p L) bool { return e.router.GroupOf(e.keyR(p)) == group }
+	matchS := func(p RT) bool { return e.router.GroupOf(e.keyS(p)) == group }
+	// ExtractSlice retires the in-flight probe-only double-reads (they
+	// must finish probing the tuples about to leave), then removes the
+	// oldest slice.
+	st, remaining, err := e.lanes[from].ExtractSlice(matchR, matchS, maxTuples)
+	if err != nil {
+		return 0, false, err
+	}
+	moved = st.Tuples()
+	if moved > 0 {
+		// Settle the destination before the copies land: an in-flight
+		// full arrival of the group already saw this slice through its
+		// probe-only double-read on the source, so it must finish
+		// probing the destination while the slice is still absent — or
+		// a pair would be emitted twice.
+		e.lanes[to].Settle()
+		e.rebindAndInject(st, to)
+		e.sliceMigrations.Add(1)
+		e.migratedTuples.Add(uint64(moved))
+	}
+	if remaining == 0 {
+		e.router.FinishHandoff(group)
+		e.stateMigrations.Add(1)
+		return moved, true, nil
+	}
+	return moved, false, nil
+}
+
+// MigrateIncremental relocates key-group group to shard to by
+// incremental slice migration, running BeginMigration and then
+// AdvanceMigration to completion. Unlike Migrate it never freezes
+// ingress for the whole group: between hops both lanes serve arrivals
+// live, with the router double-reading the group's probes. It returns
+// the number of window tuples moved. The result multiset and the
+// Ordered-mode sequence are unaffected, and the cut points are
+// deterministic given the push schedule.
+func (e *ShardedEngine[L, RT]) MigrateIncremental(group uint32, to int) (int, error) {
+	if err := e.checkMigrationTarget(group, to); err != nil {
+		return 0, err
+	}
+	if e.adaptive && !e.router.InHandoff(group) && e.router.Partitioner().ShardOfGroup(group) == to {
+		return 0, nil
+	}
+	if err := e.beginHandoff(group, to); err != nil {
+		return 0, err
+	}
+	total := 0
+	for {
+		n, done, err := e.advanceHandoff(group, e.sliceTuples)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if done {
+			return total, nil
+		}
+	}
 }
 
 // drainGates waits until every issued ingress ticket has completed.
@@ -561,17 +801,20 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 	sIn := e.sSeq
 	e.smu.Unlock()
 	st := Stats{
-		RIn:             rIn,
-		SIn:             sIn,
-		Results:         e.merge.Results(),
-		Punctuations:    e.merge.Punctuations(),
-		Comparisons:     agg.Comparisons,
-		PendingExpiries: agg.PendingExpiries,
-		ShardResults:    e.merge.ShardResults(),
-		Rebalances:      e.router.Rebalances(),
-		KeyGroupMoves:   e.router.Applied(),
-		StateMigrations: e.stateMigrations.Load(),
-		MigratedTuples:  e.migratedTuples.Load(),
+		RIn:                 rIn,
+		SIn:                 sIn,
+		Results:             e.merge.Results(),
+		Punctuations:        e.merge.Punctuations(),
+		Comparisons:         agg.Comparisons,
+		PendingExpiries:     agg.PendingExpiries,
+		ShardResults:        e.merge.ShardResults(),
+		Rebalances:          e.router.Rebalances(),
+		KeyGroupMoves:       e.router.Applied(),
+		StateMigrations:     e.stateMigrations.Load(),
+		MigratedTuples:      e.migratedTuples.Load(),
+		SliceMigrations:     e.sliceMigrations.Load(),
+		SourceFreezeStalls:  e.freezeStalls.Load(),
+		MaxMigrationStallNs: e.maxStallNs.Load(),
 	}
 	st.ShardIngress = make([]uint64, len(e.lanes))
 	for i := range e.activity {

@@ -49,9 +49,10 @@ func TestShardedConcurrentPushersAdaptive(t *testing.T) {
 // the concurrent-pusher workload: windows hold every tuple, so no
 // drain cut-over can ever become safe and every planned move stalls —
 // exactly the regime that escalates to migration. The background
-// control loop freezes ingress and moves live window state between
-// pipelines while pushers hammer both sides; the race detector
-// watches, and the result multiset must still be exact.
+// control loop moves live window state between pipelines (by
+// incremental handoffs, the default escalation) while pushers hammer
+// both sides; the race detector watches, and the result multiset must
+// still be exact.
 func TestShardedConcurrentPushersMigrating(t *testing.T) {
 	runShardedConcurrentPushers(t, AdaptConfig{
 		Enable:           true,
@@ -64,11 +65,39 @@ func TestShardedConcurrentPushersMigrating(t *testing.T) {
 			MaxTuplesPerCycle: 1 << 20, // every group fits: maximal churn
 			AfterCycles:       2,
 			MinGroupLoad:      0.01,
+			SliceTuples:       128, // hot groups need several live hops
+		},
+	})
+}
+
+// TestShardedConcurrentPushersMigratingFreezing repeats the workload
+// with the all-or-nothing escalation (Migration.Freezing), keeping the
+// PR 3 freezing path race-covered.
+func TestShardedConcurrentPushersMigratingFreezing(t *testing.T) {
+	runShardedConcurrentPushers(t, AdaptConfig{
+		Enable:           true,
+		SamplePeriod:     100 * time.Microsecond,
+		SkewThreshold:    1.01,
+		MaxMovesPerCycle: 8,
+		StaleMoveCycles:  1 << 20,
+		Migration: MigrationConfig{
+			Enable:            true,
+			MaxTuplesPerCycle: 1 << 20,
+			AfterCycles:       2,
+			MinGroupLoad:      0.01,
+			Freezing:          true,
 		},
 	})
 }
 
 func runShardedConcurrentPushers(t *testing.T, acfg AdaptConfig) {
+	runShardedConcurrentPushersWith(t, acfg, nil)
+}
+
+// runShardedConcurrentPushersWith optionally runs bg on its own
+// goroutine against the engine while the pushers are live; it is
+// stopped (and joined) before Close.
+func runShardedConcurrentPushersWith(t *testing.T, acfg AdaptConfig, bg func(*ShardedEngine[cidR, cidS], <-chan struct{})) {
 	const (
 		pushers = 4
 		perSide = 600 // per pusher goroutine
@@ -102,6 +131,16 @@ func runShardedConcurrentPushers(t *testing.T, acfg AdaptConfig) {
 	eng, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var bgWg sync.WaitGroup
+	if bg != nil {
+		se := eng.(*ShardedEngine[cidR, cidS])
+		bgWg.Add(1)
+		go func() {
+			defer bgWg.Done()
+			bg(se, stop)
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -139,6 +178,8 @@ func runShardedConcurrentPushers(t *testing.T, acfg AdaptConfig) {
 		}
 	}()
 	wg.Wait()
+	close(stop)
+	bgWg.Wait()
 	if err := eng.Close(); err != nil {
 		t.Fatal(err)
 	}
