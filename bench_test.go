@@ -452,6 +452,72 @@ func BenchmarkShardedConcurrentPush(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedPushBatch measures the sharded ingress path by
+// caller-batch size: the same tuple stream submitted per-tuple
+// (batch-of-one) and in caller batches of 64 and 256. The predicate
+// never matches and the nodes are hash-indexed over disjoint key
+// domains, so probes are O(1) misses and the measured cost is the
+// admission tax itself — side lock, routing, window accounting, expiry
+// scheduling, gate tickets and lane hand-off. Run with -benchmem: the
+// allocs/op contrast is the slice-pool and bulk-scheduling win.
+// cmd/llhjbench's `ingest` experiment runs the same comparison at
+// fixed scale and records BENCH_ingest.json.
+func BenchmarkShardedPushBatch(b *testing.B) {
+	const (
+		shards = 4
+		keys   = 1024
+	)
+	for _, cb := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("callerBatch=%d", cb), func(b *testing.B) {
+			cfg := Config[cidR, cidS]{
+				Workers:     1,
+				Shards:      shards,
+				Predicate:   func(r cidR, s cidS) bool { return r.Key == s.Key },
+				WindowR:     Window{Count: 4096},
+				WindowS:     Window{Count: 4096},
+				Batch:       64,
+				MaxInFlight: 16,
+				Index:       HashIndex,
+				KeyR:        func(r cidR) uint64 { return r.Key },
+				KeyS:        func(s cidS) uint64 { return s.Key },
+				OnOutput:    func(Item[cidR, cidS]) {},
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rBuf := make([]Stamped[cidR], 0, cb)
+			sBuf := make([]Stamped[cidS], 0, cb)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts := int64(i) * 1000
+				// Disjoint domains: R keys and S keys never meet.
+				r := cidR{Key: uint64(i*31) % keys, ID: i}
+				s := cidS{Key: keys + uint64(i*17)%keys, ID: i}
+				if cb == 1 {
+					eng.PushR(r, ts)
+					eng.PushS(s, ts)
+					continue
+				}
+				rBuf = append(rBuf, Stamped[cidR]{Payload: r, TS: ts})
+				sBuf = append(sBuf, Stamped[cidS]{Payload: s, TS: ts})
+				if len(rBuf) == cb {
+					eng.PushRBatch(rBuf)
+					eng.PushSBatch(sBuf)
+					rBuf = rBuf[:0]
+					sBuf = sBuf[:0]
+				}
+			}
+			eng.PushRBatch(rBuf)
+			eng.PushSBatch(sBuf)
+			b.StopTimer()
+			eng.Close()
+			b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+		})
+	}
+}
+
 // BenchmarkNodeScan measures the raw per-arrival cost of an LLHJ node
 // scanning its window fragment (the inner loop of everything above).
 func BenchmarkNodeScan(b *testing.B) {

@@ -24,6 +24,9 @@
 //	skew     uniform vs Zipf-skewed keys, static vs adaptive routing
 //	         (-json BENCH_skew.json) — what the adaptive shard runtime
 //	         recovers when hot keys collide on one shard
+//	ingest   per-tuple vs batched ingress on the sharded driver
+//	         (-json BENCH_ingest.json) — what PushRBatch/PushSBatch
+//	         amortization recovers on the admission path
 //	all      run everything
 //
 // Common flags: -scale, -quick, -csv (see -h).
@@ -65,9 +68,10 @@ func main() {
 		"table2": table2,
 		"shard":  shardScaling,
 		"skew":   skewExperiment,
+		"ingest": ingestExperiment,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew"} {
+		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew", "ingest"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := run[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "llhjbench %s: %v\n", name, err)
@@ -92,7 +96,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `llhjbench — reproduce the evaluation of "Low-Latency Handshake Join" (PVLDB 7(9), 2014)
 
-usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|skew|all> [flags]
+usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|skew|ingest|all> [flags]
 
 flags:
 `)

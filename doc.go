@@ -37,6 +37,10 @@
 //	eng.PushS(quote, ts)
 //	eng.Close()
 //
+// When tuples arrive in batches upstream, PushRBatch/PushSBatch admit
+// a whole batch for the cost of roughly one push (see "Batched
+// ingress" below).
+//
 // The engine runs one goroutine per worker plus a collector; results
 // and (optionally) punctuations arrive on the OnOutput callback.
 // Everything under internal/ — the protocol state machines, the
@@ -76,6 +80,40 @@
 // accounting, routing), then hands the tuple to the owning shard
 // through a per-shard ingress gate, so a push blocked on one saturated
 // shard's back-pressure does not stall pushers bound for other shards.
+//
+// # Batched ingress
+//
+// Every push pays an admission tax — the serial section, a routing
+// lookup, expiry scheduling, a gate ticket, a lane-buffer append —
+// and when the upstream already delivers tuples in batches (a Kafka
+// poll, a WAL segment, a network read), paying it per tuple is waste.
+// PushRBatch/PushSBatch (on both engines, via the Joiner interface)
+// admit a whole caller batch — one side's tuples in non-decreasing
+// timestamp order — under a single admission: one serial section, one
+// routing pass that locks each touched accounting stripe once, one
+// window-accounting pass scheduling the batch's expiries per lane in
+// bulk, and one gate ticket plus one bulk lane hand-off per
+// destination shard. The lane replays the exact per-tuple flush
+// schedule (flushes are triggered by buffer length alone), and while
+// an incremental handoff is open, the batch's probe-only double-reads
+// travel to the source shard as one slice message per batch instead
+// of one message per arrival, split only where a due expiry would
+// have been injected between two per-tuple probes. Flushed batch,
+// probe-slice and expiry-message backings are pooled per lane and
+// recycled once the last pipeline node finishes with them, so the
+// steady-state push path allocates nothing.
+//
+// Batching is a pure amortization: PushR is semantically a batch of
+// one, and a batch call is semantically the per-tuple call sequence —
+// the same
+// result multiset, the same exact Ordered-mode sequence, the same
+// ingress counters; a timestamp regression anywhere in a batch
+// rejects the whole batch before any state changes. The only
+// semantic footprint is the batching blur all driver batching has:
+// see the window-granularity note at the end of this page. Batches
+// of different sides may be pushed concurrently, like per-tuple
+// pushes; all tuples of a batch share one admission wall-clock stamp
+// for latency accounting.
 //
 // # Adaptive shard runtime
 //
@@ -205,8 +243,11 @@
 // Window boundaries remain batch-granular, and the granularity grows
 // with the fan-out: each shard flushes after collecting Batch of its
 // own tuples, so boundaries blur by up to Shards*Batch tuples of the
-// global stream. Keep windows much larger than Shards*Batch (and than
-// Shards*Batch*MaxInFlight, which bounds the in-flight volume expiries
-// must never race) — the same windows-dominate-batching regime the
-// paper's single pipeline assumes.
+// global stream — and a caller batch (PushRBatch/PushSBatch) defers
+// its expiry pops to the same flush points, widening the blur to
+// Shards*max(Batch, callerBatch) tuples. Keep windows much larger
+// than Shards*max(Batch, callerBatch) (and than
+// Shards*Batch*MaxInFlight, which bounds the in-flight volume
+// expiries must never race) — the same windows-dominate-batching
+// regime the paper's single pipeline assumes.
 package handshakejoin

@@ -18,9 +18,10 @@ import (
 //
 // Tuples of each stream must be pushed in non-decreasing timestamp
 // order (the punctuation mechanism relies on monotonic streams). PushR,
-// PushS, Tick and Close must be called from a single goroutine; the
-// OnOutput callback runs on the collector goroutine. For a driver that
-// accepts concurrent pushes, see ShardedEngine (Config.Shards).
+// PushS, their batch variants, Tick and Close must be called from a
+// single goroutine; the OnOutput callback runs on the collector
+// goroutine. For a driver that accepts concurrent pushes, see
+// ShardedEngine (Config.Shards).
 type Engine[L, RT any] struct {
 	lane *shard.Lane[L, RT]
 	clk  clock.Clock
@@ -29,6 +30,18 @@ type Engine[L, RT any] struct {
 	rLastTS    int64
 	sLastTS    int64
 	rWin, sWin windowTracker
+
+	// Batched-ingress scratch, reused across calls (the Engine is
+	// single-goroutine by contract). expireR/expireS are bound once so
+	// the hot path allocates no closures.
+	rOne             [1]Stamped[L]
+	sOne             [1]Stamped[RT]
+	tss              []int64
+	rTuples          []stream.Tuple[L]
+	sTuples          []stream.Tuple[RT]
+	rDurSc, rCntSc   []shard.ExpiryEntry
+	sDurSc, sCntSc   []shard.ExpiryEntry
+	expireR, expireS expireFn
 
 	sorter *order.Sorter[L, RT]
 	closed bool
@@ -43,9 +56,16 @@ type Engine[L, RT any] struct {
 // (lane, group, seq, due, counted); with both bounds active a tuple is
 // scheduled once per bound and the lane's expiry queue deduplicates
 // (earliest due wins).
+//
+// The in-window FIFO keeps its live entries at buf[head:]: pops
+// advance head and appends compact the survivors back to the front
+// when the backing fills, so the steady state recycles one backing
+// array instead of sliding an append window rightward through ever new
+// allocations.
 type windowTracker struct {
-	spec     Window
-	inWindow []windowEntry
+	spec Window
+	buf  []windowEntry // live in-window entries at buf[head:]
+	head int
 }
 
 type windowEntry struct {
@@ -58,16 +78,68 @@ type windowEntry struct {
 	settled bool
 }
 
-func (w *windowTracker) onArrival(seq uint64, ts int64, lane int, group uint32, expire func(lane int, group uint32, seq uint64, due int64, counted, settled bool)) {
+func (w *windowTracker) size() int { return len(w.buf) - w.head }
+
+func (w *windowTracker) push(e windowEntry) {
+	if w.head > 0 && len(w.buf) == cap(w.buf) {
+		n := copy(w.buf, w.buf[w.head:])
+		w.buf = w.buf[:n]
+		w.head = 0
+	}
+	w.buf = append(w.buf, e)
+}
+
+func (w *windowTracker) pop() windowEntry {
+	e := w.buf[w.head]
+	w.head++
+	return e
+}
+
+// expireFn receives one scheduled expiry; see windowTracker.
+type expireFn func(lane int, group uint32, seq uint64, due int64, counted, settled bool)
+
+func (w *windowTracker) onArrival(seq uint64, ts int64, lane int, group uint32, expire expireFn) {
 	if w.spec.Duration > 0 {
 		expire(lane, group, seq, ts+int64(w.spec.Duration), false, false)
 	}
 	if c := w.spec.Count; c > 0 {
-		w.inWindow = append(w.inWindow, windowEntry{seq: seq, lane: lane, group: group})
-		for len(w.inWindow) > c {
-			e := w.inWindow[0]
-			w.inWindow = w.inWindow[1:]
+		w.push(windowEntry{seq: seq, lane: lane, group: group})
+		for w.size() > c {
+			e := w.pop()
 			expire(e.lane, e.group, e.seq, ts, true, e.settled)
+		}
+	}
+}
+
+// onArrivalBulk records one caller batch of arrivals — sequence
+// numbers seq0, seq0+1, ... with timestamps tss — in a single pass,
+// emitting exactly the expire calls the equivalent per-tuple onArrival
+// sequence would: each arrival's duration deadline, then the count
+// overflows it causes, attributed with that arrival's timestamp. lanes
+// and groups may be nil when every tuple belongs to lane 0, group 0
+// (the single-pipeline engine).
+func (w *windowTracker) onArrivalBulk(seq0 uint64, tss []int64, lanes []int, groups []uint32, expire expireFn) {
+	entry := func(i int) windowEntry {
+		e := windowEntry{seq: seq0 + uint64(i)}
+		if lanes != nil {
+			e.lane, e.group = lanes[i], groups[i]
+		}
+		return e
+	}
+	if w.spec.Duration > 0 {
+		d := int64(w.spec.Duration)
+		for i, ts := range tss {
+			e := entry(i)
+			expire(e.lane, e.group, e.seq, ts+d, false, false)
+		}
+	}
+	if c := w.spec.Count; c > 0 {
+		for i, ts := range tss {
+			w.push(entry(i))
+			for w.size() > c {
+				e := w.pop()
+				expire(e.lane, e.group, e.seq, ts, true, e.settled)
+			}
 		}
 	}
 }
@@ -84,10 +156,11 @@ func (w *windowTracker) rebind(seqs map[uint64]struct{}, lane int) {
 	if len(seqs) == 0 {
 		return
 	}
-	for i := range w.inWindow {
-		if _, ok := seqs[w.inWindow[i].seq]; ok {
-			w.inWindow[i].lane = lane
-			w.inWindow[i].settled = true
+	live := w.buf[w.head:]
+	for i := range live {
+		if _, ok := seqs[live[i].seq]; ok {
+			live[i].lane = lane
+			live[i].settled = true
 		}
 	}
 }
@@ -135,6 +208,10 @@ func laneConfig[L, RT any](cfg *Config[L, RT], clk clock.Clock, punctuate bool) 
 		Clock:         clk,
 		DedupeR:       cfg.WindowR.dualBound(),
 		DedupeS:       cfg.WindowS.dualBound(),
+		// The LLHJ node forwards arrival batches unmodified and keeps
+		// tuples by value, so flushed backings can be pooled; the
+		// original handshake join re-batches window overflow.
+		Recycle: cfg.Algorithm == LLHJ,
 	}
 }
 
@@ -169,6 +246,20 @@ func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 		rWin:    windowTracker{spec: cfg.WindowR},
 		sWin:    windowTracker{spec: cfg.WindowS},
 	}
+	e.expireR = func(_ int, _ uint32, seq uint64, due int64, counted, settled bool) {
+		if counted {
+			e.rCntSc = append(e.rCntSc, shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+		} else {
+			e.rDurSc = append(e.rDurSc, shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+		}
+	}
+	e.expireS = func(_ int, _ uint32, seq uint64, due int64, counted, settled bool) {
+		if counted {
+			e.sCntSc = append(e.sCntSc, shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+		} else {
+			e.sDurSc = append(e.sDurSc, shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+		}
+	}
 	out := cfg.OnOutput
 	if cfg.Ordered {
 		out, e.sorter = sortedOutput(cfg.OnOutput)
@@ -195,39 +286,89 @@ func windowCapacity(w Window, rate float64) int {
 }
 
 // PushR submits an R tuple with the given timestamp (nanoseconds, any
-// monotonic origin). Timestamps must be non-decreasing per stream.
+// monotonic origin). Timestamps must be non-decreasing per stream. It
+// is a batch-of-one PushRBatch.
 func (e *Engine[L, RT]) PushR(payload L, ts int64) error {
-	if e.closed {
-		return fmt.Errorf("handshakejoin: engine closed")
-	}
-	if ts < e.rLastTS {
-		return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", ts, e.rLastTS)
-	}
-	e.rLastTS = ts
-	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
-	e.rSeq++
-	e.rWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted, settled bool) {
-		e.lane.QueueExpiry(stream.R, seq, due, counted, settled)
-	})
-	e.lane.PushR(t)
-	return nil
+	e.rOne[0] = Stamped[L]{Payload: payload, TS: ts}
+	return e.PushRBatch(e.rOne[:])
 }
 
 // PushS submits an S tuple with the given timestamp.
 func (e *Engine[L, RT]) PushS(payload RT, ts int64) error {
+	e.sOne[0] = Stamped[RT]{Payload: payload, TS: ts}
+	return e.PushSBatch(e.sOne[:])
+}
+
+// PushRBatch submits a batch of R tuples in non-decreasing timestamp
+// order under one driver admission: the whole batch is validated
+// first (a regression anywhere rejects it before any state changes),
+// window accounting runs in one pass, the expiry schedule enters the
+// lane queue in one bulk push, and the tuples append to the lane
+// buffer in one bulk hand-off flushing at every Batch boundary — the
+// exact per-tuple schedule, amortized. Results (and the Ordered-mode
+// sequence) are identical to pushing the elements one by one; all
+// tuples of a batch share one admission wall-clock stamp for latency
+// accounting.
+func (e *Engine[L, RT]) PushRBatch(batch []Stamped[L]) error {
 	if e.closed {
 		return fmt.Errorf("handshakejoin: engine closed")
 	}
-	if ts < e.sLastTS {
-		return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", ts, e.sLastTS)
+	if len(batch) == 0 {
+		return nil
 	}
-	e.sLastTS = ts
-	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
-	e.sSeq++
-	e.sWin.onArrival(t.Seq, ts, 0, 0, func(_ int, _ uint32, seq uint64, due int64, counted, settled bool) {
-		e.lane.QueueExpiry(stream.S, seq, due, counted, settled)
-	})
-	e.lane.PushS(t)
+	last := e.rLastTS
+	for i := range batch {
+		if batch[i].TS < last {
+			return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", batch[i].TS, last)
+		}
+		last = batch[i].TS
+	}
+	now := e.clk.Now()
+	seq0 := e.rSeq
+	e.tss = e.tss[:0]
+	e.rTuples = e.rTuples[:0]
+	for i := range batch {
+		e.tss = append(e.tss, batch[i].TS)
+		e.rTuples = append(e.rTuples, stream.Tuple[L]{Seq: seq0 + uint64(i), TS: batch[i].TS, Wall: now, Home: stream.NoHome, Payload: batch[i].Payload})
+	}
+	e.rSeq += uint64(len(batch))
+	e.rLastTS = last
+	e.rWin.onArrivalBulk(seq0, e.tss, nil, nil, e.expireR)
+	e.lane.QueueExpiryBulk(stream.R, e.rDurSc, e.rCntSc)
+	e.rDurSc, e.rCntSc = e.rDurSc[:0], e.rCntSc[:0]
+	e.lane.PushRBulk(e.rTuples)
+	return nil
+}
+
+// PushSBatch submits a batch of S tuples; see PushRBatch.
+func (e *Engine[L, RT]) PushSBatch(batch []Stamped[RT]) error {
+	if e.closed {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	last := e.sLastTS
+	for i := range batch {
+		if batch[i].TS < last {
+			return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", batch[i].TS, last)
+		}
+		last = batch[i].TS
+	}
+	now := e.clk.Now()
+	seq0 := e.sSeq
+	e.tss = e.tss[:0]
+	e.sTuples = e.sTuples[:0]
+	for i := range batch {
+		e.tss = append(e.tss, batch[i].TS)
+		e.sTuples = append(e.sTuples, stream.Tuple[RT]{Seq: seq0 + uint64(i), TS: batch[i].TS, Wall: now, Home: stream.NoHome, Payload: batch[i].Payload})
+	}
+	e.sSeq += uint64(len(batch))
+	e.sLastTS = last
+	e.sWin.onArrivalBulk(seq0, e.tss, nil, nil, e.expireS)
+	e.lane.QueueExpiryBulk(stream.S, e.sDurSc, e.sCntSc)
+	e.sDurSc, e.sCntSc = e.sDurSc[:0], e.sCntSc[:0]
+	e.lane.PushSBulk(e.sTuples)
 	return nil
 }
 

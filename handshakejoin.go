@@ -25,6 +25,13 @@ type Tuple[T any] = stream.Tuple[T]
 // Pair is one join match.
 type Pair[L, R any] = stream.Pair[L, R]
 
+// Stamped couples a payload with its stream timestamp — the element of
+// a batched push (Joiner.PushRBatch/PushSBatch).
+type Stamped[T any] struct {
+	Payload T
+	TS      int64
+}
+
 // Result couples a match with its emission time.
 type Result[L, R any] = core.Result[L, R]
 
@@ -355,6 +362,19 @@ type Joiner[L, RT any] interface {
 	PushR(payload L, ts int64) error
 	// PushS submits an S tuple.
 	PushS(payload RT, ts int64) error
+	// PushRBatch submits a batch of R tuples in non-decreasing
+	// timestamp order under one driver admission — one serial section,
+	// one routing pass, one expiry-schedule pass, and (sharded) one
+	// gate ticket and one bulk hand-off per destination shard —
+	// amortizing the per-tuple ingress cost. It is semantically
+	// equivalent to calling PushR for each element in order: the same
+	// results, and in Ordered mode the same exact sequence. A timestamp
+	// regression anywhere in the batch rejects the whole batch before
+	// any state changes. The batch slice is copied and may be reused by
+	// the caller immediately.
+	PushRBatch(batch []Stamped[L]) error
+	// PushSBatch submits a batch of S tuples; see PushRBatch.
+	PushSBatch(batch []Stamped[RT]) error
 	// Tick advances stream time without submitting a tuple, so windows
 	// keep sliding on idle streams.
 	Tick(ts int64)

@@ -227,6 +227,96 @@ func (r *Router) Admit(side stream.Side, key uint64, countBound bool, durDue int
 	return lane, g
 }
 
+// AdmitBatch routes one caller batch of admitted tuples of one side
+// and records their residency footprints — the amortized form of one
+// Admit call per tuple. The touched stripes are locked once, in
+// ascending order (the TryApply order, so no cycle with the control
+// plane), the routing snapshot is read once, and the per-group load
+// counters take one atomic add per run of consecutive same-group
+// tuples instead of one per tuple. tss carries the tuples' timestamps
+// in arrival order; dur is the side's duration-window span (0 when
+// absent), so tuple i's duration expiry deadline is tss[i]+dur.
+//
+// lanes, groups and probes must have the length of keys; on return
+// groups[i] and lanes[i] are tuple i's key-group and shard, and
+// probes[i] is the shard owed a probe-only double-read for tuple i
+// (-1 when its group is not in an incremental handoff).
+//
+// Holding every touched stripe across the batch gives the same
+// cut-over atomicity as per-tuple admission — a concurrent cut-over or
+// handoff of a batched group either sees the whole batch's footprint
+// or routes the group's next batch through the new table — it only
+// widens the exclusion window from one tuple to one batch. On a
+// non-adaptive router AdmitBatch degrades to a plain bulk table
+// lookup with no accounting.
+func (r *Router) AdmitBatch(side stream.Side, keys []uint64, countBound bool, tss []int64, dur int64, lanes []int, groups []uint32, probes []int) {
+	p := r.table.Load()
+	for i, k := range keys {
+		// The key → group hash is assignment-independent, so any
+		// snapshot serves; the authoritative shard lookup below re-reads
+		// under the stripes.
+		groups[i] = p.GroupOf(k)
+	}
+	if !r.adaptive {
+		for i := range keys {
+			lanes[i] = p.ShardOfGroup(groups[i])
+			probes[i] = -1
+		}
+		return
+	}
+	var mask uint64 // stripeCount == 64: one bit per stripe
+	for _, g := range groups[:len(keys)] {
+		mask |= 1 << (g % stripeCount)
+	}
+	for s := 0; s < stripeCount; s++ {
+		if mask&(1<<uint(s)) != 0 {
+			r.stripes[s].Lock()
+		}
+	}
+	cur := r.table.Load()
+	handoffs := r.handoffN.Load() > 0
+	live := r.rLive
+	if side == stream.S {
+		live = r.sLive
+	}
+	var runG uint32
+	var runN uint64
+	for i, g := range groups[:len(keys)] {
+		if countBound {
+			live[g]++
+		}
+		if dur > 0 {
+			if due := tss[i] + dur; due > r.dueBound[g] {
+				r.dueBound[g] = due
+			}
+		}
+		if runN > 0 && g == runG {
+			runN++
+		} else {
+			if runN > 0 {
+				atomic.AddUint64(&r.load[runG], runN)
+			}
+			runG, runN = g, 1
+		}
+		lanes[i] = cur.ShardOfGroup(g)
+		if handoffs {
+			probes[i] = int(r.handoffFrom[g])
+		} else {
+			// No handoff exists anywhere, and none can start for a
+			// batched group while its stripe is held.
+			probes[i] = -1
+		}
+	}
+	if runN > 0 {
+		atomic.AddUint64(&r.load[runG], runN)
+	}
+	for s := stripeCount - 1; s >= 0; s-- {
+		if mask&(1<<uint(s)) != 0 {
+			r.stripes[s].Unlock()
+		}
+	}
+}
+
 // ObserveCountExpire releases the live count a count-bound tuple of
 // the group acquired at admission and raises the group's due bound to
 // the expiry deadline: the tuple leaves its window only once stream

@@ -13,7 +13,11 @@
 // protocol code. See package runtime for both.
 package core
 
-import "handshakejoin/internal/stream"
+import (
+	"sync/atomic"
+
+	"handshakejoin/internal/stream"
+)
 
 // Kind enumerates the message types that travel between neighbouring
 // pipeline nodes. All kinds share each directed link's single FIFO
@@ -124,6 +128,41 @@ type Msg[L, R any] struct {
 	// Seqs identifies the subject tuples of KindAck, KindExpEnd and
 	// KindExpiry messages.
 	Seqs []uint64
+	// Free, when non-nil on a KindArrival message, is the recycling
+	// token through which the runtime returns the batch's backing slice
+	// to the driver that allocated it. nil messages are simply garbage
+	// collected.
+	Free *Free[L, R]
+}
+
+// Free tracks how many node handlers an in-flight arrival message
+// still has ahead of it. The runtime decrements Refs after each node's
+// handler returns and calls Put with the message when the count
+// reaches zero — the first instant no node can still be reading the
+// batch slice. The hook must be this late: nodes forward an arrival to
+// their neighbour *before* scanning it (expedition), so when the exit
+// node finishes, earlier nodes may still be mid-scan on the same
+// backing array, and a pipeline-exit hook alone would recycle a slice
+// that is still being read.
+//
+// Drivers arm Refs with the number of nodes that will handle the
+// message — the pipeline length for LLHJ arrivals, which every node
+// forwards unmodified. Node logic that re-batches instead of
+// forwarding (the original handshake join) must not arm tokens: the
+// count would never reach zero and the slice would fall back to the
+// garbage collector, which is safe but pointless.
+type Free[L, R any] struct {
+	// Refs is the number of handlers that have not yet finished with
+	// the message.
+	Refs atomic.Int32
+	// Put receives the fully handled message; implementations
+	// typically return m.R / m.S to a pool. It runs on whichever node
+	// goroutine handled the message last. The message is passed by
+	// value on purpose: handing the runtime's local copy out by
+	// pointer would make every dequeued message escape to the heap —
+	// one allocation per message per node, the very cost this token
+	// exists to remove.
+	Put func(m Msg[L, R])
 }
 
 // Len returns the number of tuples or references the message carries.

@@ -162,11 +162,13 @@ func (lv *Live[L, R]) nodeLoop(k int) {
 		progress := false
 		if m, ok, _ := left.TryGet(); ok {
 			lv.nodes[k].HandleLeft(m, em)
+			lv.release(m)
 			lv.depth.Add(-1)
 			progress = true
 		}
 		if m, ok, _ := right.TryGet(); ok {
 			lv.nodes[k].HandleRight(m, em)
+			lv.release(m)
 			lv.depth.Add(-1)
 			progress = true
 		}
@@ -184,6 +186,16 @@ func (lv *Live[L, R]) nodeLoop(k int) {
 		}
 		<-lv.notify[k]
 		lv.idle[k].Store(false)
+	}
+}
+
+// release retires one handled message against its recycling token, if
+// any: the last handler to finish hands the backing slice back to the
+// driver (see core.Free for why this must wait for every handler, not
+// just the exit node's, and why the message travels by value).
+func (lv *Live[L, R]) release(m core.Msg[L, R]) {
+	if m.Free != nil && m.Free.Refs.Add(-1) == 0 {
+		m.Free.Put(m)
 	}
 }
 

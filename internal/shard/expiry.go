@@ -27,8 +27,61 @@ type ExpiryEntry struct {
 // constructed with dedupe tracks seen sequence numbers so whichever
 // bound fires first wins and the later entry is dropped.
 type ExpiryQueue struct {
-	dur, cnt []ExpiryEntry
+	dur, cnt entryList
 	seen     map[uint64]struct{}
+}
+
+// entryList is a FIFO of expiry entries consumed from the front: live
+// entries sit at buf[head:], pops advance head, and a push against a
+// full backing slides the live region down instead of letting append
+// re-allocate rightward forever (only when the reclaimable prefix is
+// worth the copy, so the slide stays amortized O(1)).
+type entryList struct {
+	buf  []ExpiryEntry
+	head int
+}
+
+func (l *entryList) size() int           { return len(l.buf) - l.head }
+func (l *entryList) live() []ExpiryEntry { return l.buf[l.head:] }
+func (l *entryList) peek() *ExpiryEntry  { return &l.buf[l.head] }
+func (l *entryList) pop()                { l.head++ }
+
+// slideIfWorthIt compacts ahead of an n-entry append that would
+// otherwise overflow the backing, when the reclaimable prefix is worth
+// the copy (at least a quarter of the array).
+func (l *entryList) slideIfWorthIt(n int) {
+	if len(l.buf)+n > cap(l.buf) && l.head*4 >= len(l.buf) {
+		k := copy(l.buf, l.buf[l.head:])
+		l.buf = l.buf[:k]
+		l.head = 0
+	}
+}
+
+func (l *entryList) push(e ExpiryEntry) {
+	l.slideIfWorthIt(1)
+	l.buf = append(l.buf, e)
+}
+
+func (l *entryList) pushBulk(es []ExpiryEntry) {
+	l.slideIfWorthIt(len(es))
+	l.buf = append(l.buf, es...)
+}
+
+// takeMatching removes and returns the live entries whose sequence
+// number satisfies match, preserving order; kept entries compact into
+// the same backing.
+func (l *entryList) takeMatching(match func(uint64) bool) (taken []ExpiryEntry) {
+	live := l.live()
+	kept := live[:0]
+	for _, e := range live {
+		if match(e.Seq) {
+			taken = append(taken, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	l.buf = l.buf[:l.head+len(kept)]
+	return taken
 }
 
 // NewExpiryQueue returns an empty queue. Pass dedupe when both window
@@ -46,13 +99,46 @@ func NewExpiryQueue(dedupe bool) *ExpiryQueue {
 // already in the pipeline's windows (state migration), exempt from
 // PopDue's injection gate.
 func (q *ExpiryQueue) PushDur(seq uint64, due int64, settled bool) {
-	q.dur = append(q.dur, ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+	q.dur.push(ExpiryEntry{Seq: seq, Due: due, Settled: settled})
 }
 
 // PushCnt schedules a count-bound expiry. Calls must carry
 // non-decreasing due times.
 func (q *ExpiryQueue) PushCnt(seq uint64, due int64, settled bool) {
-	q.cnt = append(q.cnt, ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+	q.cnt.push(ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+}
+
+// PushBulk schedules a caller batch's expiries of both flavors in two
+// appends — the amortized form of per-entry PushDur/PushCnt calls.
+// Each slice must be in non-decreasing due order and follow the
+// entries already queued (both hold when entries are generated in
+// arrival order, as the engines' window accounting does); the input
+// slices are copied, so callers may reuse their scratch buffers.
+func (q *ExpiryQueue) PushBulk(dur, cnt []ExpiryEntry) {
+	if len(dur) > 0 {
+		q.dur.pushBulk(dur)
+	}
+	if len(cnt) > 0 {
+		q.cnt.pushBulk(cnt)
+	}
+}
+
+// HasDue reports whether PopDue(t, injectedBelow) would consume at
+// least one entry — the peek a batched probe path uses to find the
+// exact points at which a per-tuple schedule would have injected
+// expiries between two probes.
+func (q *ExpiryQueue) HasDue(t int64, injectedBelow uint64) bool {
+	if q.dur.size() > 0 {
+		if e := q.dur.peek(); e.Due <= t && (e.Settled || e.Seq < injectedBelow) {
+			return true
+		}
+	}
+	if q.cnt.size() > 0 {
+		if e := q.cnt.peek(); e.Due <= t && (e.Settled || e.Seq < injectedBelow) {
+			return true
+		}
+	}
+	return false
 }
 
 // PopDue removes and returns the sequence numbers of all entries due
@@ -67,18 +153,32 @@ func (q *ExpiryQueue) PushCnt(seq uint64, due int64, settled bool) {
 // follow arrival order), so holding back the head holds back only
 // tuples that are equally uninjected.
 func (q *ExpiryQueue) PopDue(t int64, injectedBelow uint64) []uint64 {
-	var seqs []uint64
-	for len(q.dur) > 0 && q.dur[0].Due <= t && (q.dur[0].Settled || q.dur[0].Seq < injectedBelow) {
-		if q.take(q.dur[0].Seq) {
-			seqs = append(seqs, q.dur[0].Seq)
+	return q.PopDueInto(t, injectedBelow, nil)
+}
+
+// PopDueInto is PopDue appending into a caller-supplied backing
+// (pooled by the lane so a flush does not allocate a fresh expiry
+// message payload per batch).
+func (q *ExpiryQueue) PopDueInto(t int64, injectedBelow uint64, seqs []uint64) []uint64 {
+	for q.dur.size() > 0 {
+		e := q.dur.peek()
+		if e.Due > t || !(e.Settled || e.Seq < injectedBelow) {
+			break
 		}
-		q.dur = q.dur[1:]
+		if q.take(e.Seq) {
+			seqs = append(seqs, e.Seq)
+		}
+		q.dur.pop()
 	}
-	for len(q.cnt) > 0 && q.cnt[0].Due <= t && (q.cnt[0].Settled || q.cnt[0].Seq < injectedBelow) {
-		if q.take(q.cnt[0].Seq) {
-			seqs = append(seqs, q.cnt[0].Seq)
+	for q.cnt.size() > 0 {
+		e := q.cnt.peek()
+		if e.Due > t || !(e.Settled || e.Seq < injectedBelow) {
+			break
 		}
-		q.cnt = q.cnt[1:]
+		if q.take(e.Seq) {
+			seqs = append(seqs, e.Seq)
+		}
+		q.cnt.pop()
 	}
 	return seqs
 }
@@ -90,24 +190,7 @@ func (q *ExpiryQueue) PopDue(t int64, injectedBelow uint64) []uint64 {
 // tuple has fired neither bound, so no dedupe bookkeeping can exist
 // for it and none needs to move.
 func (q *ExpiryQueue) TakeMatching(match func(uint64) bool) (dur, cnt []ExpiryEntry) {
-	q.dur, dur = filterEntries(q.dur, match)
-	q.cnt, cnt = filterEntries(q.cnt, match)
-	return dur, cnt
-}
-
-// filterEntries splits entries into kept (match false) and taken
-// (match true), both in original order, reusing the backing array for
-// the kept slice.
-func filterEntries(entries []ExpiryEntry, match func(uint64) bool) (kept, taken []ExpiryEntry) {
-	kept = entries[:0]
-	for _, e := range entries {
-		if match(e.Seq) {
-			taken = append(taken, e)
-		} else {
-			kept = append(kept, e)
-		}
-	}
-	return kept, taken
+	return q.dur.takeMatching(match), q.cnt.takeMatching(match)
 }
 
 // AbsorbDur merges migrated duration-bound entries into the queue,
@@ -115,11 +198,17 @@ func filterEntries(entries []ExpiryEntry, match func(uint64) bool) (kept, taken 
 // the injection gate must not hold them back). Both inputs are sorted
 // by due time; the merge keeps the queue sorted, which PopDue's
 // head-only drain requires.
-func (q *ExpiryQueue) AbsorbDur(entries []ExpiryEntry) { q.dur = mergeByDue(q.dur, entries) }
+func (q *ExpiryQueue) AbsorbDur(entries []ExpiryEntry) {
+	q.dur.buf = mergeByDue(q.dur.live(), entries)
+	q.dur.head = 0
+}
 
 // AbsorbCnt merges migrated count-bound entries into the queue,
 // marking them settled.
-func (q *ExpiryQueue) AbsorbCnt(entries []ExpiryEntry) { q.cnt = mergeByDue(q.cnt, entries) }
+func (q *ExpiryQueue) AbsorbCnt(entries []ExpiryEntry) {
+	q.cnt.buf = mergeByDue(q.cnt.live(), entries)
+	q.cnt.head = 0
+}
 
 // mergeByDue merges two due-sorted entry lists, marking the absorbed
 // list settled. Existing entries win ties, so an absorbed entry never
@@ -168,4 +257,4 @@ func (q *ExpiryQueue) take(seq uint64) bool {
 
 // Len returns the number of queued entries (including entries that
 // dedupe will drop).
-func (q *ExpiryQueue) Len() int { return len(q.dur) + len(q.cnt) }
+func (q *ExpiryQueue) Len() int { return q.dur.size() + q.cnt.size() }

@@ -42,6 +42,48 @@ type LaneConfig struct {
 	// respective side (needed when that window combines Duration and
 	// Count bounds).
 	DedupeR, DedupeS bool
+	// Recycle enables arrival-slice pooling: the backing slice of every
+	// flushed batch and probe-only slice returns to a per-lane free
+	// list once all Workers nodes have handled the message, so the
+	// flush path stops allocating a fresh backing per batch. Only valid
+	// for node logic that forwards arrival messages unmodified and
+	// retains tuples by value (the LLHJ node); the original handshake
+	// join re-batches window overflow into new messages, so its lanes
+	// must leave this off.
+	Recycle bool
+}
+
+// poolCap bounds each free list so a burst cannot pin unbounded
+// backing memory; beyond it, slices fall back to the garbage
+// collector.
+const poolCap = 32
+
+// pool is a small mutex-guarded free list. The pipeline recycler puts
+// from node goroutines while the driver gets under the lane mutex, so
+// it must be its own lock.
+type pool[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+func (p *pool[T]) get() (x T, ok bool) {
+	p.mu.Lock()
+	if n := len(p.items); n > 0 {
+		x, ok = p.items[n-1], true
+		var zero T
+		p.items[n-1] = zero
+		p.items = p.items[:n-1]
+	}
+	p.mu.Unlock()
+	return x, ok
+}
+
+func (p *pool[T]) put(x T) {
+	p.mu.Lock()
+	if len(p.items) < poolCap {
+		p.items = append(p.items, x)
+	}
+	p.mu.Unlock()
 }
 
 // Lane is one shard of a sharded engine — or the single pipeline of an
@@ -70,6 +112,15 @@ type Lane[L, R any] struct {
 
 	expMu      sync.Mutex // expiry queues only; never held across Inject
 	rExp, sExp *ExpiryQueue
+
+	// Arrival-slice recycling (cfg.Recycle): flushed batch and probe
+	// slices come from these free lists and return through recycleFn
+	// once every node has handled the message (core.Free).
+	rBufs     pool[[]stream.Tuple[L]]
+	sBufs     pool[[]stream.Tuple[R]]
+	seqBufs   pool[[]uint64]
+	frees     pool[*core.Free[L, R]]
+	recycleFn func(core.Msg[L, R])
 }
 
 // NewLane builds a lane and starts its pipeline and collector
@@ -81,6 +132,7 @@ func NewLane[L, R any](cfg LaneConfig, build core.Builder[L, R], out func(collec
 		rExp: NewExpiryQueue(cfg.DedupeR),
 		sExp: NewExpiryQueue(cfg.DedupeS),
 	}
+	l.recycleFn = l.recycle
 	l.lv = pipeline.NewLive(cfg.Workers, build, cfg.Clock, pipeline.LiveConfig{DepthCap: cfg.MaxInFlight})
 	l.coll = collect.New(l.lv.ResultQueues(), func() (int64, int64) {
 		return l.lv.HWMR(), l.lv.HWMS()
@@ -93,11 +145,74 @@ func NewLane[L, R any](cfg LaneConfig, build core.Builder[L, R], out func(collec
 	return l
 }
 
+// takeRBuf returns an empty R-side batch backing, pooled when
+// recycling is on.
+func (l *Lane[L, R]) takeRBuf() []stream.Tuple[L] {
+	if b, ok := l.rBufs.get(); ok {
+		return b
+	}
+	return make([]stream.Tuple[L], 0, l.cfg.Batch)
+}
+
+func (l *Lane[L, R]) takeSBuf() []stream.Tuple[R] {
+	if b, ok := l.sBufs.get(); ok {
+		return b
+	}
+	return make([]stream.Tuple[R], 0, l.cfg.Batch)
+}
+
+// newFree arms a recycling token for one arrival message: every one of
+// the Workers nodes handles (and forwards) an arrival exactly once, so
+// the slice is free after the Workers-th handler returns.
+func (l *Lane[L, R]) newFree() *core.Free[L, R] { return l.newFreeRefs(int32(l.cfg.Workers)) }
+
+// newFreeExpiry arms a token for an expiry message, which only its
+// entry node handles — every node it does not home forwards the
+// remainder as a fresh message, so the injected backing is free after
+// one handler.
+func (l *Lane[L, R]) newFreeExpiry() *core.Free[L, R] { return l.newFreeRefs(1) }
+
+func (l *Lane[L, R]) newFreeRefs(refs int32) *core.Free[L, R] {
+	if !l.cfg.Recycle {
+		return nil
+	}
+	f, ok := l.frees.get()
+	if !ok {
+		f = &core.Free[L, R]{Put: l.recycleFn}
+	}
+	f.Refs.Store(refs)
+	return f
+}
+
+// recycle receives a fully handled message from the pipeline runtime
+// (on a node goroutine) and returns its backing slice and token to the
+// lane's free lists.
+func (l *Lane[L, R]) recycle(m core.Msg[L, R]) {
+	switch {
+	case m.Kind == core.KindExpiry:
+		if m.Seqs != nil {
+			l.seqBufs.put(m.Seqs[:0])
+		}
+	case m.Side == stream.R:
+		if m.R != nil {
+			l.rBufs.put(m.R[:0])
+		}
+	default:
+		if m.S != nil {
+			l.sBufs.put(m.S[:0])
+		}
+	}
+	l.frees.put(m.Free)
+}
+
 // PushR submits one R tuple; a full batch is flushed into the
 // pipeline.
 func (l *Lane[L, R]) PushR(t stream.Tuple[L]) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.rBatch == nil {
+		l.rBatch = l.takeRBuf()
+	}
 	l.rBatch = append(l.rBatch, t)
 	if len(l.rBatch) >= l.cfg.Batch {
 		l.flushR()
@@ -108,10 +223,184 @@ func (l *Lane[L, R]) PushR(t stream.Tuple[L]) {
 func (l *Lane[L, R]) PushS(t stream.Tuple[R]) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.sBatch == nil {
+		l.sBatch = l.takeSBuf()
+	}
 	l.sBatch = append(l.sBatch, t)
 	if len(l.sBatch) >= l.cfg.Batch {
 		l.flushS()
 	}
+}
+
+// PushRBulk submits a batch of R tuples in sequence order under one
+// mutex acquisition, flushing at every Batch boundary — the exact
+// flush schedule of the equivalent PushR sequence (flushing is
+// triggered by buffer length alone, so bulk and per-tuple appends
+// inject identical batches at identical stream points).
+func (l *Lane[L, R]) PushRBulk(batch []stream.Tuple[L]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendR(batch)
+}
+
+// PushSBulk submits a batch of S tuples; see PushRBulk.
+func (l *Lane[L, R]) PushSBulk(batch []stream.Tuple[R]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendS(batch)
+}
+
+// appendR buffers a bulk of R tuples, flushing whenever the batch
+// fills. Callers hold l.mu. The input is copied; callers may reuse it.
+func (l *Lane[L, R]) appendR(batch []stream.Tuple[L]) {
+	for len(batch) > 0 {
+		space := l.cfg.Batch - len(l.rBatch)
+		if space <= 0 {
+			l.flushR()
+			continue
+		}
+		if space > len(batch) {
+			space = len(batch)
+		}
+		if l.rBatch == nil {
+			l.rBatch = l.takeRBuf()
+		}
+		l.rBatch = append(l.rBatch, batch[:space]...)
+		batch = batch[space:]
+		if len(l.rBatch) >= l.cfg.Batch {
+			l.flushR()
+		}
+	}
+}
+
+func (l *Lane[L, R]) appendS(batch []stream.Tuple[R]) {
+	for len(batch) > 0 {
+		space := l.cfg.Batch - len(l.sBatch)
+		if space <= 0 {
+			l.flushS()
+			continue
+		}
+		if space > len(batch) {
+			space = len(batch)
+		}
+		if l.sBatch == nil {
+			l.sBatch = l.takeSBuf()
+		}
+		l.sBatch = append(l.sBatch, batch[:space]...)
+		batch = batch[space:]
+		if len(l.sBatch) >= l.cfg.Batch {
+			l.flushS()
+		}
+	}
+}
+
+// IngestR submits one caller batch's R-side traffic for this lane
+// under a single mutex acquisition: the full arrivals routed here plus
+// the probe-only double-reads of in-handoff groups whose window slices
+// still live here. Both inputs are in arrival (sequence) order and
+// disjoint — a tuple is either routed here or double-read here, never
+// both — and the method replays the exact per-tuple schedule: appends
+// flush at every Batch boundary, pending probes are injected before
+// any flush they precede, and a probe slice is split exactly where the
+// per-tuple path would have injected a due expiry between two probes.
+// In the common case (no expiry due inside the batch's timestamp span)
+// the whole probe set rides in one message — the per-arrival
+// double-read message of a long handoff becomes per-batch.
+func (l *Lane[L, R]) IngestR(full, probes []stream.Tuple[L]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(probes) == 0 {
+		l.appendR(full)
+		return
+	}
+	var run []stream.Tuple[L]
+	i, j := 0, 0
+	for i < len(full) || j < len(probes) {
+		if j >= len(probes) || (i < len(full) && full[i].Seq < probes[j].Seq) {
+			if l.rBatch == nil {
+				l.rBatch = l.takeRBuf()
+			}
+			l.rBatch = append(l.rBatch, full[i])
+			i++
+			if len(l.rBatch) >= l.cfg.Batch {
+				run = l.injectProbeR(run)
+				l.flushR()
+			}
+		} else {
+			t := probes[j]
+			if l.hasDueS(t.TS) {
+				// A per-tuple ProbeR would pop these expiries before
+				// probing t: emit the probes that preceded them first,
+				// then the expiries, then start a fresh slice.
+				run = l.injectProbeR(run)
+				if seqs := l.popDueS(t.TS); len(seqs) > 0 {
+					l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs, Free: l.newFreeExpiry()})
+				}
+			}
+			if run == nil {
+				run = l.takeRBuf()
+			}
+			run = append(run, t)
+			j++
+		}
+	}
+	l.injectProbeR(run)
+}
+
+// IngestS is the S-side mirror of IngestR.
+func (l *Lane[L, R]) IngestS(full, probes []stream.Tuple[R]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(probes) == 0 {
+		l.appendS(full)
+		return
+	}
+	var run []stream.Tuple[R]
+	i, j := 0, 0
+	for i < len(full) || j < len(probes) {
+		if j >= len(probes) || (i < len(full) && full[i].Seq < probes[j].Seq) {
+			if l.sBatch == nil {
+				l.sBatch = l.takeSBuf()
+			}
+			l.sBatch = append(l.sBatch, full[i])
+			i++
+			if len(l.sBatch) >= l.cfg.Batch {
+				run = l.injectProbeS(run)
+				l.flushS()
+			}
+		} else {
+			t := probes[j]
+			if l.hasDueR(t.TS) {
+				run = l.injectProbeS(run)
+				if seqs := l.popDueR(t.TS); len(seqs) > 0 {
+					l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs, Free: l.newFreeExpiry()})
+				}
+			}
+			if run == nil {
+				run = l.takeSBuf()
+			}
+			run = append(run, t)
+			j++
+		}
+	}
+	l.injectProbeS(run)
+}
+
+// injectProbeR injects the accumulated probe-only slice, if any, and
+// returns a nil accumulator: the injected backing belongs to the
+// pipeline now and comes back through the recycler.
+func (l *Lane[L, R]) injectProbeR(run []stream.Tuple[L]) []stream.Tuple[L] {
+	if len(run) > 0 {
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveProbeOnly, Side: stream.R, R: run, Free: l.newFree()})
+	}
+	return nil
+}
+
+func (l *Lane[L, R]) injectProbeS(run []stream.Tuple[R]) []stream.Tuple[R] {
+	if len(run) > 0 {
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveProbeOnly, Side: stream.S, S: run, Free: l.newFree()})
+	}
+	return nil
 }
 
 // QueueExpiry schedules the removal of tuple seq of the given side at
@@ -139,19 +428,78 @@ func (l *Lane[L, R]) QueueExpiry(side stream.Side, seq uint64, due int64, counte
 	}
 }
 
-// popDueR / popDueS drain the due expiries of one side under the
-// expiry lock, so the subsequent Inject (which may block on pipeline
-// back-pressure) never holds it.
-func (l *Lane[L, R]) popDueR(t int64) []uint64 {
+// QueueExpiryBulk schedules one caller batch's expiries for one side
+// under a single expiry-lock acquisition — the amortized form of
+// per-entry QueueExpiry calls, with the same ordering contract per
+// (side, flavor). The input slices are copied.
+func (l *Lane[L, R]) QueueExpiryBulk(side stream.Side, dur, cnt []ExpiryEntry) {
+	if len(dur) == 0 && len(cnt) == 0 {
+		return
+	}
 	l.expMu.Lock()
 	defer l.expMu.Unlock()
-	return l.rExp.PopDue(t, l.rInj)
+	q := l.rExp
+	if side == stream.S {
+		q = l.sExp
+	}
+	q.PushBulk(dur, cnt)
+}
+
+// popDueR / popDueS drain the due expiries of one side under the
+// expiry lock, so the subsequent Inject (which may block on pipeline
+// back-pressure) never holds it. The returned backing is pooled (see
+// recycle); an empty pop costs no pool traffic.
+func (l *Lane[L, R]) popDueR(t int64) []uint64 {
+	l.expMu.Lock()
+	if !l.rExp.HasDue(t, l.rInj) {
+		l.expMu.Unlock()
+		return nil
+	}
+	seqs := l.rExp.PopDueInto(t, l.rInj, l.takeSeqBuf())
+	l.expMu.Unlock()
+	if len(seqs) == 0 { // everything popped was deduped
+		l.seqBufs.put(seqs)
+		return nil
+	}
+	return seqs
 }
 
 func (l *Lane[L, R]) popDueS(t int64) []uint64 {
 	l.expMu.Lock()
+	if !l.sExp.HasDue(t, l.sInj) {
+		l.expMu.Unlock()
+		return nil
+	}
+	seqs := l.sExp.PopDueInto(t, l.sInj, l.takeSeqBuf())
+	l.expMu.Unlock()
+	if len(seqs) == 0 {
+		l.seqBufs.put(seqs)
+		return nil
+	}
+	return seqs
+}
+
+func (l *Lane[L, R]) takeSeqBuf() []uint64 {
+	if b, ok := l.seqBufs.get(); ok {
+		return b
+	}
+	return make([]uint64, 0, l.cfg.Batch)
+}
+
+// hasDueR / hasDueS report whether a pop at stream time t would
+// consume at least one entry — the boundary check the batched probe
+// path uses to split probe slices exactly where per-tuple probes would
+// have interleaved expiries.
+func (l *Lane[L, R]) hasDueR(t int64) bool {
+	l.expMu.Lock()
 	defer l.expMu.Unlock()
-	return l.sExp.PopDue(t, l.sInj)
+	return l.rExp.HasDue(t, l.rInj)
+}
+
+func (l *Lane[L, R]) hasDueS(t int64) bool {
+	l.expMu.Lock()
+	defer l.expMu.Unlock()
+	return l.sExp.HasDue(t, l.sInj)
 }
 
 // flushR injects pending S expiries (left end, so that R tuples behind
@@ -163,10 +511,10 @@ func (l *Lane[L, R]) flushR() {
 	}
 	due := l.rBatch[len(l.rBatch)-1].TS
 	if seqs := l.popDueS(due); len(seqs) > 0 {
-		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs, Free: l.newFreeExpiry()})
 	}
-	l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.R, R: l.rBatch})
 	l.rInj = l.rBatch[len(l.rBatch)-1].Seq + 1
+	l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.R, R: l.rBatch, Free: l.newFree()})
 	l.rBatch = nil
 }
 
@@ -178,10 +526,10 @@ func (l *Lane[L, R]) flushS() {
 	}
 	due := l.sBatch[len(l.sBatch)-1].TS
 	if seqs := l.popDueR(due); len(seqs) > 0 {
-		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs, Free: l.newFreeExpiry()})
 	}
-	l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.S, S: l.sBatch})
 	l.sInj = l.sBatch[len(l.sBatch)-1].Seq + 1
+	l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Side: stream.S, S: l.sBatch, Free: l.newFree()})
 	l.sBatch = nil
 }
 
@@ -199,10 +547,10 @@ func (l *Lane[L, R]) tickLocked(ts int64) {
 	l.flushS()
 	l.lv.Quiesce()
 	if seqs := l.popDueS(ts); len(seqs) > 0 {
-		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs, Free: l.newFreeExpiry()})
 	}
 	if seqs := l.popDueR(ts); len(seqs) > 0 {
-		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs, Free: l.newFreeExpiry()})
 	}
 }
 
@@ -235,9 +583,9 @@ func (l *Lane[L, R]) ProbeR(t stream.Tuple[L]) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if seqs := l.popDueS(t.TS); len(seqs) > 0 {
-		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs})
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.S, Seqs: seqs, Free: l.newFreeExpiry()})
 	}
-	l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveProbeOnly, Side: stream.R, R: []stream.Tuple[L]{t}})
+	l.injectProbeR(append(l.takeRBuf(), t))
 }
 
 // ProbeS injects t as a probe-only S arrival; see ProbeR.
@@ -245,9 +593,9 @@ func (l *Lane[L, R]) ProbeS(t stream.Tuple[R]) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if seqs := l.popDueR(t.TS); len(seqs) > 0 {
-		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs})
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindExpiry, Side: stream.R, Seqs: seqs, Free: l.newFreeExpiry()})
 	}
-	l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveProbeOnly, Side: stream.S, S: []stream.Tuple[R]{t}})
+	l.injectProbeS(append(l.takeSBuf(), t))
 }
 
 // Heartbeat advances stream time to ts like Tick and additionally

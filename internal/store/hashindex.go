@@ -7,7 +7,16 @@ package store
 type HashIndex struct {
 	m    map[uint64][]uint64
 	size int
+	// spare recycles the chain backings of emptied keys: a sliding
+	// window cycles the same keys in and out constantly, and without
+	// reuse every re-appearance of a key re-grows its chain from nil.
+	// Bounded, so the map's own no-empty-chains memory guarantee (no
+	// growth with the lifetime key domain) is preserved.
+	spare [][]uint64
 }
+
+// spareChains bounds the recycled chain backings kept per index.
+const spareChains = 64
 
 // NewHashIndex returns an empty index.
 func NewHashIndex() *HashIndex {
@@ -16,7 +25,14 @@ func NewHashIndex() *HashIndex {
 
 // Insert adds seq under key k.
 func (h *HashIndex) Insert(k, seq uint64) {
-	h.m[k] = append(h.m[k], seq)
+	seqs, ok := h.m[k]
+	if !ok && len(h.spare) > 0 {
+		n := len(h.spare) - 1
+		seqs = h.spare[n]
+		h.spare[n] = nil
+		h.spare = h.spare[:n]
+	}
+	h.m[k] = append(seqs, seq)
 	h.size++
 }
 
@@ -35,6 +51,9 @@ func (h *HashIndex) Remove(k, seq uint64) {
 	}
 	if len(seqs) == 0 {
 		delete(h.m, k)
+		if cap(seqs) > 0 && len(h.spare) < spareChains {
+			h.spare = append(h.spare, seqs[:0])
+		}
 	} else {
 		h.m[k] = seqs
 	}

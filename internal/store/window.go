@@ -74,6 +74,14 @@ func (w *Window[T]) SettledLen() int { return w.settled }
 
 // Insert stores t with the expedition flag set.
 func (w *Window[T]) Insert(t stream.Tuple[T]) {
+	if len(w.entries) == cap(w.entries) && w.head*4 >= len(w.entries) {
+		// The backing is full but at least a quarter is leading
+		// tombstones (the sliding-window steady state): slide the live
+		// region to the front and recycle the array instead of letting
+		// append re-allocate rightward forever. Amortized O(1) — a
+		// compaction reclaims ≥ len/4 slots.
+		w.compactInPlace()
+	}
 	slot := len(w.entries)
 	w.entries = append(w.entries, entry[T]{tuple: t, expedited: true})
 	w.slots[t.Seq] = slot
@@ -247,8 +255,13 @@ func (w *Window[T]) RangeProbe(lo, hi uint64, settledOnly bool, fn func(stream.T
 	return n
 }
 
-// maybeCompact rebuilds the entry slice when more than half the slots are
-// tombstones, keeping memory and scan cost proportional to live entries.
+// maybeCompact rebuilds the entry slice when more than half the slots
+// are tombstones, keeping memory and scan cost proportional to live
+// entries. Compaction is in place: live entries slide to the front of
+// the same backing array, so a steady-state window recycles one
+// allocation forever instead of growing rightward and re-allocating on
+// every compaction cycle (memory stays bounded by the window's
+// high-water mark).
 func (w *Window[T]) maybeCompact() {
 	// Advance head over leading tombstones first (the common case:
 	// expiries remove oldest entries).
@@ -258,13 +271,26 @@ func (w *Window[T]) maybeCompact() {
 	if len(w.entries)-w.head <= 2*w.live || len(w.entries) < 64 {
 		return
 	}
-	fresh := make([]entry[T], 0, w.live)
+	w.compactInPlace()
+}
+
+// compactInPlace slides the live entries to the front of the existing
+// backing array and re-points the slot map.
+func (w *Window[T]) compactInPlace() {
+	n := 0
 	for i := w.head; i < len(w.entries); i++ {
 		if !w.entries[i].dead {
-			fresh = append(fresh, w.entries[i])
+			w.entries[n] = w.entries[i]
+			n++
 		}
 	}
-	w.entries = fresh
+	// Zero the vacated tail so dead payloads do not pin memory through
+	// the retained backing array.
+	tail := w.entries[n:cap(w.entries)]
+	for i := range tail {
+		tail[i] = entry[T]{}
+	}
+	w.entries = w.entries[:n]
 	w.head = 0
 	for i := range w.entries {
 		w.slots[w.entries[i].tuple.Seq] = i

@@ -3,6 +3,7 @@ package handshakejoin
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,19 @@ type ShardedEngine[L, RT any] struct {
 	activity []atomic.Uint64   // pushes routed per lane (idle detection)
 	laneTS   []atomic.Int64    // latest ingress ts routed per lane
 
+	// Batched-ingress state. rsc/ssc are the per-side routing and
+	// expiry-schedule scratch, consumed entirely under that side's
+	// stream lock; rOne/sOne back the batch-of-one per-tuple wrappers
+	// (also guarded by the side locks). The fan-out plans outlive the
+	// side lock — the gate walk reads them after unlock, and another
+	// pusher may refill the scratch meanwhile — so they are pooled per
+	// call. expireRBulk/expireSBulk are bound once so admission
+	// allocates no closures.
+	rsc, ssc                 admitScratch
+	rPlans, sPlans           sync.Pool
+	expireRBulk, expireSBulk expireFn
+	expireROne, expireSOne   expireFn
+
 	ctrl     *adapt.Controller
 	hbPeriod time.Duration
 	stop     chan struct{}
@@ -159,6 +173,77 @@ func (g *ingressGate) waitDrained() {
 	}
 }
 
+// admitScratch is one stream side's batched-admission scratch: keys,
+// timestamps, per-tuple routing results, and the per-lane expiry
+// entries one caller batch schedules. Everything here is written and
+// consumed under the side's stream lock.
+type admitScratch struct {
+	keys   []uint64
+	tss    []int64
+	lanes  []int
+	groups []uint32
+	probes []int
+	dur    [][]shard.ExpiryEntry // per-lane duration-bound entries
+	cnt    [][]shard.ExpiryEntry // per-lane count-bound entries
+}
+
+func (sc *admitScratch) ensure(n, shards int) {
+	if cap(sc.keys) < n {
+		sc.keys = make([]uint64, n)
+		sc.tss = make([]int64, n)
+		sc.lanes = make([]int, n)
+		sc.groups = make([]uint32, n)
+		sc.probes = make([]int, n)
+	}
+	sc.keys = sc.keys[:n]
+	sc.tss = sc.tss[:n]
+	sc.lanes = sc.lanes[:n]
+	sc.groups = sc.groups[:n]
+	sc.probes = sc.probes[:n]
+	if sc.dur == nil {
+		sc.dur = make([][]shard.ExpiryEntry, shards)
+		sc.cnt = make([][]shard.ExpiryEntry, shards)
+	}
+}
+
+// fanPlan is the fan-out of one caller batch: each touched lane's
+// sub-batch of full arrivals, its probe-only double-read slice, and
+// the gate ticket covering both. A plan outlives the side lock (the
+// gate walk reads it after unlock), so plans are pooled per call; the
+// tuple slices are safe to reuse once the walk completes because
+// lanes copy tuples into their own buffers.
+type fanPlan[T any] struct {
+	full    [][]stream.Tuple[T]
+	probe   [][]stream.Tuple[T]
+	tickets []uint64
+	used    []bool
+	touched []int
+}
+
+func (p *fanPlan[T]) reset(shards int) {
+	if len(p.full) != shards {
+		p.full = make([][]stream.Tuple[T], shards)
+		p.probe = make([][]stream.Tuple[T], shards)
+		p.tickets = make([]uint64, shards)
+		p.used = make([]bool, shards)
+		p.touched = p.touched[:0]
+		return
+	}
+	for _, lane := range p.touched {
+		p.full[lane] = p.full[lane][:0]
+		p.probe[lane] = p.probe[lane][:0]
+		p.used[lane] = false
+	}
+	p.touched = p.touched[:0]
+}
+
+func (p *fanPlan[T]) mark(lane int) {
+	if !p.used[lane] {
+		p.used[lane] = true
+		p.touched = append(p.touched, lane)
+	}
+}
+
 // newSharded builds and starts a ShardedEngine from a validated
 // configuration with cfg.Shards > 1.
 func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
@@ -191,6 +276,42 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 	}
 	e.rLastAt.Store(minTS)
 	e.sLastAt.Store(minTS)
+	e.rPlans.New = func() any { return &fanPlan[L]{} }
+	e.sPlans.New = func() any { return &fanPlan[RT]{} }
+	e.expireRBulk = func(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
+		if counted {
+			e.rsc.cnt[lane] = append(e.rsc.cnt[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+			if e.adaptive {
+				e.router.ObserveCountExpire(stream.R, group, due)
+			}
+		} else {
+			e.rsc.dur[lane] = append(e.rsc.dur[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+		}
+	}
+	e.expireSBulk = func(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
+		if counted {
+			e.ssc.cnt[lane] = append(e.ssc.cnt[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+			if e.adaptive {
+				e.router.ObserveCountExpire(stream.S, group, due)
+			}
+		} else {
+			e.ssc.dur[lane] = append(e.ssc.dur[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
+		}
+	}
+	// The single-tuple fast path queues straight to the lane; no
+	// scratch, no fan-out plan.
+	e.expireROne = func(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
+		e.lanes[lane].QueueExpiry(stream.R, seq, due, counted, settled)
+		if counted && e.adaptive {
+			e.router.ObserveCountExpire(stream.R, group, due)
+		}
+	}
+	e.expireSOne = func(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
+		e.lanes[lane].QueueExpiry(stream.S, seq, due, counted, settled)
+		if counted && e.adaptive {
+			e.router.ObserveCountExpire(stream.S, group, due)
+		}
+	}
 	part := shard.NewPartitionerGroups(cfg.Shards, groups)
 	e.router = adapt.NewRouter(part, cfg.Adapt.Enable, e.ingressFloor)
 	out := cfg.OnOutput
@@ -301,6 +422,9 @@ func (e *ShardedEngine[L, RT]) ingressFloor() int64 {
 // PushR submits an R tuple. Safe for concurrent use; concurrent
 // callers must still jointly respect the per-stream timestamp
 // monotonicity (the driver serializes them in lock-acquisition order).
+// Semantically a one-element PushRBatch, on a dedicated single-tuple
+// path that skips the fan-out machinery (the oracle suites pin the
+// two paths to the same results, Ordered sequence and counters).
 func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 	e.rmu.Lock()
 	if e.closed.Load() {
@@ -324,7 +448,7 @@ func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 	}
 	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.rSeq++
-	e.rWin.onArrival(t.Seq, ts, lane, group, e.expireR)
+	e.rWin.onArrival(t.Seq, ts, lane, group, e.expireROne)
 	e.activity[lane].Add(1)
 	raiseInt64(&e.laneTS[lane], ts)
 	gate := e.gates[lane][0]
@@ -385,7 +509,7 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	}
 	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.sSeq++
-	e.sWin.onArrival(t.Seq, ts, lane, group, e.expireS)
+	e.sWin.onArrival(t.Seq, ts, lane, group, e.expireSOne)
 	e.activity[lane].Add(1)
 	raiseInt64(&e.laneTS[lane], ts)
 	gate := e.gates[lane][1]
@@ -411,6 +535,193 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	return nil
 }
 
+// PushRBatch submits a batch of R tuples in non-decreasing timestamp
+// order under one admission: one side-lock acquisition, one routing
+// pass (adapt.Router.AdmitBatch locks each touched stripe once), one
+// window-accounting pass with per-lane bulk expiry scheduling, and —
+// per destination shard — one gate ticket and one bulk hand-off that
+// replays the exact per-tuple flush schedule. Probe-only double-reads
+// of in-handoff groups ride as one slice message per (batch, source
+// lane) instead of one message per arrival. Results, and the
+// Ordered-mode sequence, are exactly those of pushing the elements one
+// by one; all tuples of a batch share one admission wall-clock stamp.
+// Safe for concurrent use, with the same joint-monotonicity contract
+// as PushR; a timestamp regression anywhere in the batch rejects the
+// whole batch before any state changes.
+func (e *ShardedEngine[L, RT]) PushRBatch(batch []Stamped[L]) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	e.rmu.Lock()
+	return e.pushRBatchLocked(batch)
+}
+
+// PushSBatch submits a batch of S tuples; see PushRBatch.
+func (e *ShardedEngine[L, RT]) PushSBatch(batch []Stamped[RT]) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	e.smu.Lock()
+	return e.pushSBatchLocked(batch)
+}
+
+// pushRBatchLocked admits one R caller batch. The caller holds rmu;
+// the method releases it before the gate walk, so a lane append
+// blocked on back-pressure stalls only pushers bound for the same
+// lanes, exactly like the per-tuple path.
+func (e *ShardedEngine[L, RT]) pushRBatchLocked(batch []Stamped[L]) error {
+	if e.closed.Load() {
+		e.rmu.Unlock()
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	last := e.rLastTS
+	for i := range batch {
+		if batch[i].TS < last {
+			e.rmu.Unlock()
+			return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", batch[i].TS, last)
+		}
+		last = batch[i].TS
+	}
+	n := len(batch)
+	sc := &e.rsc
+	sc.ensure(n, len(e.lanes))
+	for i := range batch {
+		sc.keys[i] = e.keyR(batch[i].Payload)
+		sc.tss[i] = batch[i].TS
+	}
+	e.rLastTS = last
+	// The atomic ingress mirror advances only to the batch's first
+	// timestamp here: it must stay a lower bound on every tuple not
+	// yet inside a lane, and this batch's earlier tuples are about to
+	// spend time in the gate walk (with only the first timestamp
+	// published, a heartbeat that races the walk can promise nothing
+	// the in-flight tuples would violate). It catches up to the last
+	// timestamp once the walk completes.
+	e.rLastAt.Store(sc.tss[0])
+	e.router.AdmitBatch(stream.R, sc.keys, e.rCnt, sc.tss, e.rDur, sc.lanes, sc.groups, sc.probes)
+	seq0 := e.rSeq
+	e.rSeq += uint64(n)
+	e.rWin.onArrivalBulk(seq0, sc.tss, sc.lanes, sc.groups, e.expireRBulk)
+	for lane := range e.lanes {
+		if len(sc.dur[lane]) > 0 || len(sc.cnt[lane]) > 0 {
+			e.lanes[lane].QueueExpiryBulk(stream.R, sc.dur[lane], sc.cnt[lane])
+			sc.dur[lane] = sc.dur[lane][:0]
+			sc.cnt[lane] = sc.cnt[lane][:0]
+		}
+	}
+	now := e.clk.Now()
+	plan := e.rPlans.Get().(*fanPlan[L])
+	plan.reset(len(e.lanes))
+	for i := range batch {
+		t := stream.Tuple[L]{Seq: seq0 + uint64(i), TS: sc.tss[i], Wall: now, Home: stream.NoHome, Payload: batch[i].Payload}
+		lane := sc.lanes[i]
+		plan.mark(lane)
+		plan.full[lane] = append(plan.full[lane], t)
+		// The tuple's group is mid-handoff: its window state is split
+		// between two lanes. The arrival is stored and probed at its
+		// new lane; the probe-only slice covers the window slices still
+		// on the old one. Double-reads count neither as lane activity
+		// nor toward Stats.ShardIngress (probe-only arrivals advance no
+		// high-water mark, so the source lane still needs its heartbeat
+		// while the handoff is open).
+		if p := sc.probes[i]; p >= 0 {
+			plan.mark(p)
+			plan.probe[p] = append(plan.probe[p], t)
+		}
+	}
+	// One ticket per touched lane, all issued under the side lock, so
+	// ticket order on every gate agrees with stream order: the pusher
+	// with the earliest serial section precedes later pushers on every
+	// shared gate, and the multi-gate walk cannot deadlock.
+	sort.Ints(plan.touched)
+	for _, lane := range plan.touched {
+		if nf := len(plan.full[lane]); nf > 0 {
+			e.activity[lane].Add(uint64(nf))
+			raiseInt64(&e.laneTS[lane], plan.full[lane][nf-1].TS)
+		}
+		plan.tickets[lane] = e.gates[lane][0].issue()
+	}
+	e.rmu.Unlock()
+
+	for _, lane := range plan.touched {
+		g := e.gates[lane][0]
+		g.enter(plan.tickets[lane])
+		e.lanes[lane].IngestR(plan.full[lane], plan.probe[lane])
+		g.leave()
+	}
+	raiseInt64(&e.rLastAt, last)
+	e.rPlans.Put(plan)
+	return nil
+}
+
+// pushSBatchLocked is the S-side mirror of pushRBatchLocked.
+func (e *ShardedEngine[L, RT]) pushSBatchLocked(batch []Stamped[RT]) error {
+	if e.closed.Load() {
+		e.smu.Unlock()
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	last := e.sLastTS
+	for i := range batch {
+		if batch[i].TS < last {
+			e.smu.Unlock()
+			return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", batch[i].TS, last)
+		}
+		last = batch[i].TS
+	}
+	n := len(batch)
+	sc := &e.ssc
+	sc.ensure(n, len(e.lanes))
+	for i := range batch {
+		sc.keys[i] = e.keyS(batch[i].Payload)
+		sc.tss[i] = batch[i].TS
+	}
+	e.sLastTS = last
+	e.sLastAt.Store(sc.tss[0]) // see pushRBatchLocked
+	e.router.AdmitBatch(stream.S, sc.keys, e.sCnt, sc.tss, e.sDur, sc.lanes, sc.groups, sc.probes)
+	seq0 := e.sSeq
+	e.sSeq += uint64(n)
+	e.sWin.onArrivalBulk(seq0, sc.tss, sc.lanes, sc.groups, e.expireSBulk)
+	for lane := range e.lanes {
+		if len(sc.dur[lane]) > 0 || len(sc.cnt[lane]) > 0 {
+			e.lanes[lane].QueueExpiryBulk(stream.S, sc.dur[lane], sc.cnt[lane])
+			sc.dur[lane] = sc.dur[lane][:0]
+			sc.cnt[lane] = sc.cnt[lane][:0]
+		}
+	}
+	now := e.clk.Now()
+	plan := e.sPlans.Get().(*fanPlan[RT])
+	plan.reset(len(e.lanes))
+	for i := range batch {
+		t := stream.Tuple[RT]{Seq: seq0 + uint64(i), TS: sc.tss[i], Wall: now, Home: stream.NoHome, Payload: batch[i].Payload}
+		lane := sc.lanes[i]
+		plan.mark(lane)
+		plan.full[lane] = append(plan.full[lane], t)
+		if p := sc.probes[i]; p >= 0 {
+			plan.mark(p)
+			plan.probe[p] = append(plan.probe[p], t)
+		}
+	}
+	sort.Ints(plan.touched)
+	for _, lane := range plan.touched {
+		if nf := len(plan.full[lane]); nf > 0 {
+			e.activity[lane].Add(uint64(nf))
+			raiseInt64(&e.laneTS[lane], plan.full[lane][nf-1].TS)
+		}
+		plan.tickets[lane] = e.gates[lane][1].issue()
+	}
+	e.smu.Unlock()
+
+	for _, lane := range plan.touched {
+		g := e.gates[lane][1]
+		g.enter(plan.tickets[lane])
+		e.lanes[lane].IngestS(plan.full[lane], plan.probe[lane])
+		g.leave()
+	}
+	raiseInt64(&e.sLastAt, last)
+	e.sPlans.Put(plan)
+	return nil
+}
+
 // raiseInt64 lifts an atomic to ts if larger (lane watermarks are fed
 // by both sides, whose timestamps are only monotonic separately).
 func raiseInt64(a *atomic.Int64, ts int64) {
@@ -419,20 +730,6 @@ func raiseInt64(a *atomic.Int64, ts int64) {
 		if ts <= cur || a.CompareAndSwap(cur, ts) {
 			return
 		}
-	}
-}
-
-func (e *ShardedEngine[L, RT]) expireR(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
-	e.lanes[lane].QueueExpiry(stream.R, seq, due, counted, settled)
-	if counted && e.adaptive {
-		e.router.ObserveCountExpire(stream.R, group, due)
-	}
-}
-
-func (e *ShardedEngine[L, RT]) expireS(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
-	e.lanes[lane].QueueExpiry(stream.S, seq, due, counted, settled)
-	if counted && e.adaptive {
-		e.router.ObserveCountExpire(stream.S, group, due)
 	}
 }
 

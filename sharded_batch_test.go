@@ -1,0 +1,448 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/workload"
+)
+
+// The tests in this file establish the correctness claim of the
+// batched ingress fast path: PushRBatch/PushSBatch are *exactly*
+// equivalent to the corresponding per-tuple push sequence — the same
+// result multiset, the same exact Ordered-mode sequence, and (with a
+// static table) the same per-shard ingress counts — including while an
+// incremental handoff is held open across caller batches, where the
+// batch path coalesces the probe-only double-reads into one slice
+// message per (batch, source lane).
+
+// batchRecorder captures the output of one engine run: the pair
+// multiset and the emitted Ordered sequence.
+type batchRecorder struct {
+	mu    sync.Mutex
+	pairs map[stream.PairKey]int
+	seq   []orderedKey
+}
+
+func newBatchRecorder() *batchRecorder {
+	return &batchRecorder{pairs: map[stream.PairKey]int{}}
+}
+
+func (r *batchRecorder) add(it Item[okR, okS]) {
+	if it.Punct {
+		return
+	}
+	p := it.Result.Pair
+	r.mu.Lock()
+	r.pairs[p.Key()]++
+	r.seq = append(r.seq, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+	r.mu.Unlock()
+}
+
+// batchOp is one step of a deterministic ingress schedule: a run of
+// same-side tuples (pushed one by one on the per-tuple engine, as one
+// PushRBatch/PushSBatch call on the batch engine), or a Tick.
+type batchOp struct {
+	side stream.Side
+	rs   []Stamped[okR]
+	ss   []Stamped[okS]
+	tick int64 // advance stream time instead, when > 0
+}
+
+// batchSchedule builds a run-structured workload: alternating bursts
+// of R and S tuples with Zipf-distributed keys (theta 0 = uniform),
+// shared timestamps inside a burst (equality edge cases), and
+// periodic idle ticks. Run lengths vary from 1 to beyond the lane
+// batch size so caller batches split across every boundary flavor.
+func batchSchedule(tuples int, theta float64, seed uint64) []batchOp {
+	const step = int64(1e6)
+	const keys = 24
+	rnd := workload.NewRand(seed)
+	var zr *workload.Zipf
+	if theta > 0 {
+		zr = workload.NewZipf(workload.NewRand(seed+1), theta, keys)
+	}
+	nextKey := func() uint64 {
+		if zr == nil {
+			return uint64(rnd.Intn(keys))
+		}
+		return zr.Next()
+	}
+	var ops []batchOp
+	ts := int64(0)
+	pushed := 0
+	for pushed < tuples {
+		// Caller batches stay well below the windows: boundary blur
+		// grows to Shards*max(Batch, callerBatch) tuples, and an
+		// in-flight arrival must never overlap its own expiry (the
+		// windows-dominate-batching contract of the package docs).
+		run := 1 + rnd.Intn(48)
+		if run > tuples-pushed {
+			run = tuples - pushed
+		}
+		side := stream.R
+		if rnd.Intn(5) >= 3 { // mild rate skew between the streams
+			side = stream.S
+		}
+		op := batchOp{side: side}
+		for i := 0; i < run; i++ {
+			ts += int64(rnd.Intn(3)) * step / 2
+			if side == stream.R {
+				op.rs = append(op.rs, Stamped[okR]{Payload: okR{Key: nextKey(), Val: int32(rnd.Intn(12))}, TS: ts})
+			} else {
+				op.ss = append(op.ss, Stamped[okS]{Payload: okS{Key: nextKey(), Val: int32(rnd.Intn(12))}, TS: ts})
+			}
+		}
+		ops = append(ops, op)
+		pushed += run
+		if rnd.Intn(11) == 0 { // idle period: advance time without tuples
+			ts += 20 * step
+			ops = append(ops, batchOp{tick: ts})
+		}
+	}
+	return ops
+}
+
+// runBatchSchedule drives ops into eng. With perTuple the runs are
+// replayed element by element through PushR/PushS; otherwise each run
+// is one batch call. between, when non-nil, runs after every op with
+// its index — both replays see it at identical schedule points.
+func runBatchSchedule(t *testing.T, eng Joiner[okR, okS], ops []batchOp, perTuple bool, between func(i int)) {
+	t.Helper()
+	for i, op := range ops {
+		switch {
+		case op.tick > 0:
+			eng.Tick(op.tick)
+		case perTuple:
+			for _, r := range op.rs {
+				if err := eng.PushR(r.Payload, r.TS); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, s := range op.ss {
+				if err := eng.PushS(s.Payload, s.TS); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case op.side == stream.R:
+			if err := eng.PushRBatch(op.rs); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := eng.PushSBatch(op.ss); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if between != nil {
+			between(i)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func batchCfg(shards int, out func(Item[okR, okS])) Config[okR, okS] {
+	const step = int64(1e6)
+	cfg := Config[okR, okS]{
+		Workers:       3,
+		Shards:        shards,
+		Predicate:     shardedEqui,
+		WindowR:       Window{Duration: time.Duration(500 * step), Count: 900},
+		WindowS:       Window{Count: 850},
+		Batch:         4,
+		MaxInFlight:   2,
+		Ordered:       true,
+		CollectPeriod: 200 * time.Microsecond,
+		KeyR:          okRKey,
+		KeyS:          okSKey,
+		OnOutput:      out,
+		// Heartbeats flush partial batches on wall-clock time; both
+		// replays must share one deterministic flush schedule.
+		Adapt: AdaptConfig{DisableHeartbeat: true},
+	}
+	return cfg
+}
+
+// compareBatchRuns checks exact multiset and exact Ordered-sequence
+// equality between the per-tuple and batch replays.
+func compareBatchRuns(t *testing.T, ref, got *batchRecorder) {
+	t.Helper()
+	missing, extra, dups := diffPairMultiset(ref.pairs, got.pairs)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("batch vs per-tuple multiset: %d missing, %d extra, %d duplicates (per-tuple %d distinct, batch %d distinct)",
+			missing, extra, dups, len(ref.pairs), len(got.pairs))
+	}
+	if len(got.seq) != len(ref.seq) {
+		t.Fatalf("batch emitted %d results, per-tuple %d", len(got.seq), len(ref.seq))
+	}
+	for i := range ref.seq {
+		if got.seq[i] != ref.seq[i] {
+			t.Fatalf("ordered position %d: batch %+v, per-tuple %+v", i, got.seq[i], ref.seq[i])
+		}
+	}
+	if len(ref.seq) == 0 {
+		t.Fatal("workload produced no results; test has no teeth")
+	}
+}
+
+func TestShardedBatchMatchesPerTupleExactly(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		for _, theta := range []float64{0, 1.0, 1.5} {
+			t.Run(fmt.Sprintf("shards=%d/theta=%.1f", shards, theta), func(t *testing.T) {
+				ops := batchSchedule(2600, theta, uint64(1000*shards)+uint64(theta*10))
+
+				ref := newBatchRecorder()
+				refEng, err := New(batchCfg(shards, ref.add))
+				if err != nil {
+					t.Fatal(err)
+				}
+				runBatchSchedule(t, refEng, ops, true, nil)
+
+				got := newBatchRecorder()
+				gotEng, err := New(batchCfg(shards, got.add))
+				if err != nil {
+					t.Fatal(err)
+				}
+				runBatchSchedule(t, gotEng, ops, false, nil)
+
+				compareBatchRuns(t, ref, got)
+				refSt, gotSt := refEng.Stats(), gotEng.Stats()
+				if refSt.RIn != gotSt.RIn || refSt.SIn != gotSt.SIn || refSt.Results != gotSt.Results {
+					t.Fatalf("stats diverged: per-tuple in=%d/%d out=%d, batch in=%d/%d out=%d",
+						refSt.RIn, refSt.SIn, refSt.Results, gotSt.RIn, gotSt.SIn, gotSt.Results)
+				}
+				if gotSt.PendingExpiries != 0 {
+					t.Errorf("batch run pending expiries: %d", gotSt.PendingExpiries)
+				}
+				// With the static table, routing is identical tuple by
+				// tuple, so the per-lane batch deltas must reproduce the
+				// per-tuple ingress counters exactly.
+				for i := range refSt.ShardIngress {
+					if refSt.ShardIngress[i] != gotSt.ShardIngress[i] {
+						t.Fatalf("ShardIngress[%d]: per-tuple %d, batch %d", i, refSt.ShardIngress[i], gotSt.ShardIngress[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedBatchHandoffOpenAcrossBatches pins the batched probe-only
+// double-read path: incremental handoffs of the hottest key-groups are
+// held open across many caller batches (advanced in small slices), so
+// whole batches are admitted while a group's window state is split
+// between two lanes — the regime where the batch path must coalesce
+// the double-reads without losing or duplicating a single pair.
+func TestShardedBatchHandoffOpenAcrossBatches(t *testing.T) {
+	const shards = 4
+	ops := batchSchedule(2600, 1.5, 77)
+
+	// migration drives BeginMigration/AdvanceMigration at fixed op
+	// indices, targeting the groups of the hottest Zipf keys so the
+	// open handoff always has live traffic. Routing changes only
+	// through these calls (no planner, no drain moves), so both
+	// replays perform identical migrations.
+	migration := func(se *ShardedEngine[okR, okS]) func(i int) {
+		move := 0
+		active := -1
+		return func(i int) {
+			if active < 0 && i%7 == 6 {
+				g := se.router.GroupOf(uint64(move % 4)) // hot keys 0..3
+				to := (se.router.Partitioner().ShardOfGroup(g) + 1 + move%(shards-1)) % shards
+				if err := se.BeginMigration(g, to); err != nil {
+					t.Fatalf("BeginMigration(%d, %d): %v", g, to, err)
+				}
+				active = int(g)
+				move++
+				return
+			}
+			if active >= 0 && i%2 == 1 {
+				_, done, err := se.AdvanceMigration(uint32(active))
+				if err != nil {
+					t.Fatalf("AdvanceMigration(%d): %v", active, err)
+				}
+				if done {
+					active = -1
+				}
+			}
+		}
+	}
+
+	newEng := func(out func(Item[okR, okS])) *ShardedEngine[okR, okS] {
+		cfg := batchCfg(shards, out)
+		cfg.Adapt.Enable = true
+		cfg.Adapt.SamplePeriod = -1 // no background control loop
+		cfg.Adapt.KeyGroups = 8 * shards
+		cfg.Adapt.Migration.SliceTuples = 64 // several hops per handoff
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.(*ShardedEngine[okR, okS])
+	}
+
+	ref := newBatchRecorder()
+	refEng := newEng(ref.add)
+	runBatchSchedule(t, refEng, ops, true, migration(refEng))
+
+	got := newBatchRecorder()
+	gotEng := newEng(got.add)
+	runBatchSchedule(t, gotEng, ops, false, migration(gotEng))
+
+	compareBatchRuns(t, ref, got)
+	st := gotEng.Stats()
+	if st.SliceMigrations < 4 || st.MigratedTuples == 0 {
+		t.Fatalf("handoffs did not exercise the slice path: %d hops, %d tuples moved", st.SliceMigrations, st.MigratedTuples)
+	}
+	if st.SourceFreezeStalls != 0 {
+		t.Fatalf("incremental handoffs froze a source shard %d times", st.SourceFreezeStalls)
+	}
+	if st.PendingExpiries != 0 {
+		t.Errorf("pending expiries: %d", st.PendingExpiries)
+	}
+}
+
+// TestShardedBatchConcurrentPushers hammers the batch admission path
+// from concurrent goroutines on both sides while incremental
+// migrations run — the locking structure (side locks, stripe batches,
+// multi-gate ticket walks, slice recycling) under the race detector.
+func TestShardedBatchConcurrentPushers(t *testing.T) {
+	const (
+		shards  = 4
+		pushers = 2
+		batches = 120
+		size    = 17
+		keys    = 64
+	)
+	cfg := Config[okR, okS]{
+		Workers:     2,
+		Shards:      shards,
+		Predicate:   shardedEqui,
+		WindowR:     Window{Count: 600},
+		WindowS:     Window{Count: 600},
+		Batch:       8,
+		MaxInFlight: 4,
+		KeyR:        okRKey,
+		KeyS:        okSKey,
+		Adapt: AdaptConfig{
+			Enable:       true,
+			SamplePeriod: -1,
+			KeyGroups:    8 * shards,
+			Migration:    MigrationConfig{SliceTuples: 32},
+		},
+		OnOutput: func(Item[okR, okS]) {},
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		p := p
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rnd := workload.NewRand(uint64(100 + p))
+			buf := make([]Stamped[okR], size)
+			for b := 0; b < batches; b++ {
+				for i := range buf {
+					buf[i] = Stamped[okR]{Payload: okR{Key: uint64(rnd.Intn(keys)), Val: int32(i)}}
+				}
+				if err := se.PushRBatch(buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			rnd := workload.NewRand(uint64(200 + p))
+			buf := make([]Stamped[okS], size)
+			for b := 0; b < batches; b++ {
+				for i := range buf {
+					buf[i] = Stamped[okS]{Payload: okS{Key: uint64(rnd.Intn(keys)), Val: int32(i)}}
+				}
+				if err := se.PushSBatch(buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for g := 0; g < 24; g++ {
+			to := g % shards
+			// Concurrent with pushers: same-shard and in-handoff
+			// refusals are expected, data loss is not.
+			se.MigrateIncremental(uint32(g%se.KeyGroups()), to)
+		}
+	}()
+	wg.Wait()
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := se.Stats()
+	want := uint64(pushers * batches * size)
+	if st.RIn != want || st.SIn != want {
+		t.Fatalf("ingress lost tuples: RIn=%d SIn=%d want %d", st.RIn, st.SIn, want)
+	}
+	var routed uint64
+	for _, n := range st.ShardIngress {
+		routed += n
+	}
+	if routed != 2*want {
+		t.Fatalf("ShardIngress sums to %d, want %d (probe double-reads must not count)", routed, 2*want)
+	}
+	if st.PendingExpiries != 0 {
+		t.Errorf("pending expiries: %d", st.PendingExpiries)
+	}
+}
+
+// TestBatchRejectsRegressionAtomically verifies the all-or-nothing
+// batch contract: a timestamp regression anywhere in the batch leaves
+// the engine exactly as it was — no tuples admitted, no sequence
+// numbers burned — for both engine flavors.
+func TestBatchRejectsRegressionAtomically(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			eng, err := New(batchCfg(shards, func(Item[okR, okS]) {}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.PushRBatch([]Stamped[okR]{
+				{Payload: okR{Key: 1}, TS: 10},
+				{Payload: okR{Key: 2}, TS: 30},
+				{Payload: okR{Key: 3}, TS: 20}, // regresses inside the batch
+			}); err == nil {
+				t.Fatal("regressing batch was accepted")
+			}
+			// An empty batch is a no-op, not an error.
+			if err := eng.PushRBatch(nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.PushSBatch(nil); err != nil {
+				t.Fatal(err)
+			}
+			// The rejected batch must not have advanced the stream: a
+			// tuple at the pre-batch floor is still admissible.
+			if err := eng.PushR(okR{Key: 4}, 0); err != nil {
+				t.Fatalf("engine state changed by rejected batch: %v", err)
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st := eng.Stats()
+			if st.RIn != 1 || st.SIn != 0 {
+				t.Fatalf("rejected batch admitted tuples: RIn=%d SIn=%d", st.RIn, st.SIn)
+			}
+		})
+	}
+}
