@@ -11,6 +11,7 @@ package handshakejoin
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -637,4 +638,85 @@ func BenchmarkStoreIndexes(b *testing.B) {
 			})
 		}
 	})
+}
+
+// measurePipelineAllocsPerTuple pushes batched tuples through a
+// single-shard engine with the given pipeline width and returns the
+// steady-state allocations per tuple. Disjoint key domains keep the
+// predicate cold, isolating admission + window maintenance + the
+// interior protocol traffic (acks, expedition-ends, expiry forwards)
+// that multi-node pipelines generate per batch.
+func measurePipelineAllocsPerTuple(t *testing.T, workers int) float64 {
+	t.Helper()
+	const (
+		keys      = 512
+		warm      = 20000
+		measured  = 100000
+		callerCap = 256
+	)
+	cfg := Config[cidR, cidS]{
+		Workers:     workers,
+		Predicate:   func(r cidR, s cidS) bool { return r.Key == s.Key },
+		WindowR:     Window{Count: 2048},
+		WindowS:     Window{Count: 2048},
+		Batch:       64,
+		MaxInFlight: 16,
+		Index:       HashIndex,
+		KeyR:        func(r cidR) uint64 { return r.Key },
+		KeyS:        func(s cidS) uint64 { return s.Key },
+		OnOutput:    func(Item[cidR, cidS]) {},
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rBuf := make([]Stamped[cidR], 0, callerCap)
+	sBuf := make([]Stamped[cidS], 0, callerCap)
+	push := func(from, to int) {
+		for i := from; i < to; i++ {
+			ts := int64(i) * 1000
+			rBuf = append(rBuf, Stamped[cidR]{Payload: cidR{Key: uint64(i*31) % keys, ID: i}, TS: ts})
+			sBuf = append(sBuf, Stamped[cidS]{Payload: cidS{Key: keys + uint64(i*17)%keys, ID: i}, TS: ts})
+			if len(rBuf) == callerCap {
+				if err := eng.PushRBatch(rBuf); err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.PushSBatch(sBuf); err != nil {
+					t.Fatal(err)
+				}
+				rBuf, sBuf = rBuf[:0], sBuf[:0]
+			}
+		}
+	}
+	push(0, warm) // fill windows, warm every pool
+	time.Sleep(50 * time.Millisecond)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	push(warm, warm+measured)
+	time.Sleep(50 * time.Millisecond) // let interior traffic settle
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(2*measured)
+}
+
+// TestMultiWorkerAllocsMatchSingleWorker pins the interior-pipeline
+// alloc fix: acks, expedition-end batches and expiry forwards travel in
+// pooled buffers, so widening a pipeline from one node to three must
+// not reintroduce per-batch-per-node allocations.
+func TestMultiWorkerAllocsMatchSingleWorker(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	single := measurePipelineAllocsPerTuple(t, 1)
+	multi := measurePipelineAllocsPerTuple(t, 3)
+	t.Logf("allocs/tuple: single-worker %.4f, multi-worker %.4f", single, multi)
+	// Identical modulo measurement noise: a per-node-per-batch leak at
+	// batch 64 would add >= 3/64 ≈ 0.047 allocs/tuple on its own.
+	if multi > single+0.02 {
+		t.Fatalf("multi-worker allocs/tuple %.4f exceeds single-worker %.4f + 0.02: interior forwards are allocating again", multi, single)
+	}
 }

@@ -48,6 +48,7 @@ var (
 	cores      = flag.String("cores", "4,8,12,16,20,24,28,32,36,40", "core counts for the scaling experiments")
 	shardsFlag = flag.String("shards", "1,2,4,8", "shard counts for the shard experiment (must divide the worker budget)")
 	jsonOut    = flag.String("json", "", "write the shard experiment report to this JSON file (e.g. BENCH_shard.json)")
+	maxAllocs  = flag.Float64("maxallocs", 0, "ingest only: fail (exit 1) if any row's allocs/tuple exceeds this; 0 disables — the CI sanity step pins the push path's allocation budget with it")
 )
 
 func main() {

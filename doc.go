@@ -115,6 +115,45 @@
 // pushes; all tuples of a batch share one admission wall-clock stamp
 // for latency accounting.
 //
+// # Storage layout: the ring-slot window store
+//
+// Each pipeline node stores its share of a window in internal/store's
+// Window: a circular arrival-ordered entry array (scan order is
+// arrival order, which probes and expiries rely on) plus a directory
+// that resolves a sequence number to its slot. The directory is not a
+// hash map. Node k of an n-node pipeline only ever stores tuples whose
+// home is k — seq % n == k — so the seqs a window holds form a sparse
+// subsequence of one arithmetic progression with stride n. The
+// directory exploits that: a circular int32 ring indexed by
+// (seq − base)/stride, where base advances past expired entries and
+// slot+1 is stored so that zero means "no entry here". Lookup, insert
+// and delete are one array access with no hashing, no map churn and no
+// per-entry heap boxes; gaps (seqs homed elsewhere, or holes left by
+// extracted migration slices) simply stay zero.
+//
+// The layout leans on a seq-contiguity invariant: the live seqs of one
+// window stay within a bounded span of the progression. Normal
+// operation preserves it — arrivals append near the top, expiries
+// retire the bottom, and base slides forward over the zeros they
+// leave. Two things break it. A migration's store-only injection can
+// land below base (an older group's state arriving on a lane whose own
+// entries are newer); the ring re-anchors backwards when the distance
+// is small and otherwise parks the entry in a spill map. And a lane
+// can go idle while the global seq space races ahead (count-window
+// expiries only fire on arrivals), so the next arrival may be an
+// unbounded distance above base; the ring is capped (1 Mi slots), and
+// a jump beyond the cap spills the stranded old entries to the map and
+// re-anchors at the new seq. The spill tier is cold by construction —
+// it is consulted only when non-empty — so the paper's steady-state
+// path never pays for it.
+//
+// Equi-join probes use an intrusive hash index over the same entries:
+// an open-addressing key table holds each key's chain head and tail,
+// and the chain links live in a slice parallel to the entry array, so
+// probing walks indices, insertion is a tail append touching one
+// bucket, and interior deletions (expired or extracted tuples) relink
+// neighbours without touching the table at all.
+//
 // # Adaptive shard runtime
 //
 // Routing goes through a key-group indirection: a key hashes onto one

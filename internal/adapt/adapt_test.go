@@ -832,3 +832,87 @@ func TestControllerRefusedStartDoesNotBurnRateToken(t *testing.T) {
 		t.Fatalf("begins = %v, want refused g%d then started g%d in the same cycle", begins, g0, g1)
 	}
 }
+
+// TestObserveCountExpireBulkLockBudget pins the batched release path's
+// lock cost: one stripe lock per touched stripe per batch, not one per
+// expired tuple, and byte-for-byte the same accounting as the
+// per-entry path.
+func TestObserveCountExpireBulkLockBudget(t *testing.T) {
+	floor := int64(0)
+	r := newTestRouter(4, 256, &floor)
+	twin := newTestRouter(4, 256, &floor)
+
+	// Admit the same count-bound tuples on both routers: 64 tuples over
+	// 8 groups (8 distinct stripes, groups 256 stripes 64 ⇒ stripe =
+	// g%64, pick groups 0..7).
+	var groups []uint32
+	var dues []int64
+	for i := 0; i < 64; i++ {
+		g := uint32(i % 8)
+		key := keyInGroup(r, g)
+		r.Admit(stream.R, key, true, 0, false)
+		twin.Admit(stream.R, key, true, 0, false)
+		groups = append(groups, g)
+		dues = append(dues, int64(i))
+	}
+
+	before := releaseStripeLocks.Load()
+	r.ObserveCountExpireBulk(stream.R, groups, dues)
+	bulkLocks := releaseStripeLocks.Load() - before
+
+	before = releaseStripeLocks.Load()
+	for i := range groups {
+		twin.ObserveCountExpire(stream.R, groups[i], dues[i])
+	}
+	perEntryLocks := releaseStripeLocks.Load() - before
+
+	if bulkLocks != 8 {
+		t.Fatalf("bulk release took %d stripe locks for 64 entries over 8 stripes, want 8", bulkLocks)
+	}
+	if perEntryLocks != 64 {
+		t.Fatalf("per-entry release took %d stripe locks, want 64", perEntryLocks)
+	}
+
+	// Both paths fully drained the groups: identical counters, and a
+	// pending move applies immediately on either router.
+	for g := uint32(0); g < 8; g++ {
+		if r.rLive[g] != 0 || r.rLive[g] != twin.rLive[g] {
+			t.Fatalf("group %d rLive = %d (bulk) vs %d (per-entry), want 0", g, r.rLive[g], twin.rLive[g])
+		}
+		if r.dueBound[g] != twin.dueBound[g] {
+			t.Fatalf("group %d dueBound = %d (bulk) vs %d (per-entry)", g, r.dueBound[g], twin.dueBound[g])
+		}
+	}
+	floor = 1000
+	from := r.Of(keyInGroup(r, 3))
+	if n := r.Propose([]Move{{Group: 3, From: from, To: (from + 1) % 4}}); n != 1 {
+		t.Fatal("Propose rejected the move")
+	}
+	if r.TryApply() != 1 {
+		t.Fatal("cut-over did not apply after bulk release drained the group")
+	}
+}
+
+// TestObserveCountExpireBulkAppliesDrainedCutover verifies the bulk
+// path keeps the per-entry path's responsiveness: a pending move whose
+// group drains inside the batch cuts over without waiting for the next
+// control cycle.
+func TestObserveCountExpireBulkAppliesDrainedCutover(t *testing.T) {
+	floor := int64(100)
+	r := newTestRouter(2, 8, &floor)
+	g := uint32(2)
+	key := keyInGroup(r, g)
+	from := r.Of(key)
+	r.Admit(stream.R, key, true, 0, false)
+	r.Admit(stream.R, key, true, 0, false)
+	if n := r.Propose([]Move{{Group: g, From: from, To: 1 - from}}); n != 1 {
+		t.Fatal("Propose rejected the move")
+	}
+	if r.TryApply() != 0 {
+		t.Fatal("cut-over applied while tuples are live")
+	}
+	r.ObserveCountExpireBulk(stream.R, []uint32{g, g}, []int64{40, 41})
+	if r.Of(key) != 1-from {
+		t.Fatal("bulk release drained the group but the pending cut-over did not apply")
+	}
+}

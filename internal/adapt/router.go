@@ -329,6 +329,7 @@ func (r *Router) AdmitBatch(side stream.Side, keys []uint64, countBound bool, ts
 // control cycle would miss short-lived empty windows on busier groups.
 func (r *Router) ObserveCountExpire(side stream.Side, g uint32, due int64) {
 	st := &r.stripes[g%stripeCount]
+	releaseStripeLocks.Add(1)
 	st.Lock()
 	if side == stream.R {
 		r.rLive[g]--
@@ -341,6 +342,83 @@ func (r *Router) ObserveCountExpire(side stream.Side, g uint32, due int64) {
 	drained := r.rLive[g] == 0 && r.sLive[g] == 0
 	st.Unlock()
 	if drained && r.pendingN.Load() > 0 {
+		r.tryApplyGroup(g)
+	}
+}
+
+// releaseStripeLocks counts stripe-lock acquisitions on the
+// count-expiry release paths (ObserveCountExpire and its bulk form).
+// Tests read it to pin the batched path's lock budget; it is not part
+// of the API.
+var releaseStripeLocks atomic.Uint64
+
+// ObserveCountExpireBulk releases the live counts of one batch of
+// count-bound expiries of one side — the amortized form of one
+// ObserveCountExpire call per entry. groups and dues run in batch
+// order. Each touched stripe is locked once, in ascending order
+// (AdmitBatch's discipline, so no ordering cycle with the control
+// plane), and the per-group decrements coalesce over runs of
+// consecutive same-group entries, so a caller batch costs O(stripes
+// touched) lock operations instead of O(entries). Groups drained by
+// the batch attempt their pending cut-overs after the stripes are
+// released, exactly like the per-entry path.
+func (r *Router) ObserveCountExpireBulk(side stream.Side, groups []uint32, dues []int64) {
+	if len(groups) == 0 {
+		return
+	}
+	live := r.rLive
+	if side == stream.S {
+		live = r.sLive
+	}
+	var mask uint64 // stripeCount == 64: one bit per stripe
+	for _, g := range groups {
+		mask |= 1 << (g % stripeCount)
+	}
+	for s := 0; s < stripeCount; s++ {
+		if mask&(1<<uint(s)) != 0 {
+			releaseStripeLocks.Add(1)
+			r.stripes[s].Lock()
+		}
+	}
+	var runG uint32
+	var runN int64
+	for i, g := range groups {
+		if runN > 0 && g != runG {
+			live[runG] -= runN
+			runN = 0
+		}
+		runG = g
+		runN++
+		if due := dues[i]; due > r.dueBound[g] {
+			r.dueBound[g] = due
+		}
+	}
+	live[runG] -= runN
+	// Collect newly drained groups while the stripes pin the counters;
+	// the cut-over attempts happen outside (lock order is mu → stripe).
+	var drained []uint32
+	if r.pendingN.Load() > 0 {
+		for _, g := range groups {
+			if r.rLive[g] == 0 && r.sLive[g] == 0 {
+				dup := false
+				for _, d := range drained {
+					if d == g {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					drained = append(drained, g)
+				}
+			}
+		}
+	}
+	for s := stripeCount - 1; s >= 0; s-- {
+		if mask&(1<<uint(s)) != 0 {
+			r.stripes[s].Unlock()
+		}
+	}
+	for _, g := range drained {
 		r.tryApplyGroup(g)
 	}
 }

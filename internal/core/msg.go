@@ -200,6 +200,26 @@ type Emitter[L, R any] interface {
 	Cost(entries int)
 }
 
+// SeqBufSource is optionally implemented by emitters whose runtime
+// pools the seq-slice messages nodes originate themselves: batch acks,
+// expedition-end batches, and the per-node forward remainders of expiry
+// and expedition-end messages. A node that needs such a slice asks the
+// emitter for a pooled buffer and attaches a one-handler recycling
+// token (each hop re-batches, so exactly one neighbour reads the
+// message before the runtime releases it). Emitters that do not
+// implement the interface — the simulator, test doubles — simply leave
+// nodes on the allocate-and-let-GC-collect path.
+type SeqBufSource[L, R any] interface {
+	// TakeSeqBuf returns an empty slice with free capacity for the node
+	// to fill and emit.
+	TakeSeqBuf() []uint64
+	// PutSeqBuf returns a taken buffer that ended up not being emitted.
+	PutSeqBuf(b []uint64)
+	// NewSeqFree returns a recycling token armed for one handler whose
+	// Put returns the message's Seqs buffer (and the token) to the pool.
+	NewSeqFree() *Free[L, R]
+}
+
 // Result couples a join pair with the time at which it was emitted;
 // runtimes produce Results by stamping Emitter.EmitResult calls.
 type Result[L, R any] struct {

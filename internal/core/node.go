@@ -137,8 +137,11 @@ func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
 	if k < 0 || k >= cfg.Nodes {
 		panic(fmt.Sprintf("core: node index %d out of range [0,%d)", k, cfg.Nodes))
 	}
-	var optsR []store.Option[L]
-	var optsS []store.Option[R]
+	// Node k only ever stores seqs with HomeOf(seq) == k, so its windows
+	// declare the pipeline width as their ring stride: one directory slot
+	// per owned seq instead of one per global seq.
+	optsR := []store.Option[L]{store.WithStride[L](cfg.Nodes)}
+	optsS := []store.Option[R]{store.WithStride[R](cfg.Nodes)}
 	switch cfg.Index {
 	case IndexHash:
 		optsR = append(optsR, store.WithHashIndex(cfg.KeyR))
@@ -224,6 +227,7 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 		em.EmitRight(m)
 	}
 	var expEnds []uint64
+	src, pooled := em.(SeqBufSource[L, R])
 	for i := range rs {
 		r := rs[i]
 		n.stats.RArrivals++
@@ -255,13 +259,20 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 					// (Figure 13 line 12) resolves locally.
 					n.wR.ClearExpedition(r.Seq)
 				} else {
+					if pooled && expEnds == nil {
+						expEnds = src.TakeSeqBuf()
+					}
 					expEnds = append(expEnds, r.Seq)
 				}
 			}
 		}
 	}
 	if len(expEnds) > 0 {
-		em.EmitLeft(Msg[L, R]{Kind: KindExpEnd, Side: stream.R, Seqs: expEnds})
+		fm := Msg[L, R]{Kind: KindExpEnd, Side: stream.R, Seqs: expEnds}
+		if pooled {
+			fm.Free = src.NewSeqFree()
+		}
+		em.EmitLeft(fm)
 	}
 }
 
@@ -346,15 +357,23 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 			em.StreamEnd(stream.S, s.TS)
 		}
 	}
-	if mode == ArriveFull && !n.cfg.DisableAck && !n.rightmost() {
+	if mode == ArriveFull && !n.cfg.DisableAck && !n.rightmost() && len(ss) > 0 {
 		// Acknowledge the whole batch to the sender (Figure 14 line 13).
 		// The rightmost node received the batch from the driver, which
 		// needs no acknowledgement.
-		seqs := make([]uint64, len(ss))
-		for i := range ss {
-			seqs[i] = ss[i].Seq
+		var seqs []uint64
+		am := Msg[L, R]{Kind: KindAck, Side: stream.S}
+		if src, ok := em.(SeqBufSource[L, R]); ok {
+			seqs = src.TakeSeqBuf()
+			am.Free = src.NewSeqFree()
+		} else {
+			seqs = make([]uint64, 0, len(ss))
 		}
-		em.EmitRight(Msg[L, R]{Kind: KindAck, Side: stream.S, Seqs: seqs})
+		for i := range ss {
+			seqs = append(seqs, ss[i].Seq)
+		}
+		am.Seqs = seqs
+		em.EmitRight(am)
 	}
 }
 
@@ -402,17 +421,30 @@ func (n *Node[L, R]) handleAckS(m Msg[L, R]) {
 // (Figure 14 lines 14–19). Deterministic home assignment lets every
 // node decide locally whether to consume or forward each entry.
 func (n *Node[L, R]) handleExpEndR(m Msg[L, R], em Emitter[L, R]) {
+	// Seqs homed further left are re-batched into a fresh message per
+	// hop (the incoming buffer is the sender's; the runtime releases it
+	// when this handler returns). A leftmost node would emit the
+	// remainder into the pipeline exit, so it skips collecting one.
 	var forward []uint64
+	src, pooled := em.(SeqBufSource[L, R])
+	canFwd := !n.leftmost()
 	for _, seq := range m.Seqs {
 		if n.cfg.HomeOf(seq) == n.k {
 			// Consume even if the copy is gone (already expired).
 			n.wR.ClearExpedition(seq)
-		} else {
+		} else if canFwd {
+			if pooled && forward == nil {
+				forward = src.TakeSeqBuf()
+			}
 			forward = append(forward, seq)
 		}
 	}
-	if len(forward) > 0 && !n.leftmost() {
-		em.EmitLeft(Msg[L, R]{Kind: KindExpEnd, Side: stream.R, Seqs: forward})
+	if len(forward) > 0 {
+		fm := Msg[L, R]{Kind: KindExpEnd, Side: stream.R, Seqs: forward}
+		if pooled {
+			fm.Free = src.NewSeqFree()
+		}
+		em.EmitLeft(fm)
 	}
 }
 
@@ -420,18 +452,27 @@ func (n *Node[L, R]) handleExpEndR(m Msg[L, R], em Emitter[L, R]) {
 // (Figure 14 lines 20–25, with deterministic routing).
 func (n *Node[L, R]) handleExpiryR(m Msg[L, R], em Emitter[L, R]) {
 	var forward []uint64
+	src, pooled := em.(SeqBufSource[L, R])
+	canFwd := !n.leftmost()
 	for _, seq := range m.Seqs {
 		if n.cfg.HomeOf(seq) == n.k {
 			if _, ok := n.wR.Remove(seq); !ok {
 				n.pendExpR[seq] = struct{}{}
 				n.stats.PendingExpiries++
 			}
-		} else {
+		} else if canFwd {
+			if pooled && forward == nil {
+				forward = src.TakeSeqBuf()
+			}
 			forward = append(forward, seq)
 		}
 	}
-	if len(forward) > 0 && !n.leftmost() {
-		em.EmitLeft(Msg[L, R]{Kind: KindExpiry, Side: stream.R, Seqs: forward})
+	if len(forward) > 0 {
+		fm := Msg[L, R]{Kind: KindExpiry, Side: stream.R, Seqs: forward}
+		if pooled {
+			fm.Free = src.NewSeqFree()
+		}
+		em.EmitLeft(fm)
 	}
 }
 
@@ -439,18 +480,27 @@ func (n *Node[L, R]) handleExpiryR(m Msg[L, R], em Emitter[L, R]) {
 // (Figure 13 lines 15–20, with deterministic routing).
 func (n *Node[L, R]) handleExpiryS(m Msg[L, R], em Emitter[L, R]) {
 	var forward []uint64
+	src, pooled := em.(SeqBufSource[L, R])
+	canFwd := !n.rightmost()
 	for _, seq := range m.Seqs {
 		if n.cfg.HomeOf(seq) == n.k {
 			if _, ok := n.wS.Remove(seq); !ok {
 				n.pendExpS[seq] = struct{}{}
 				n.stats.PendingExpiries++
 			}
-		} else {
+		} else if canFwd {
+			if pooled && forward == nil {
+				forward = src.TakeSeqBuf()
+			}
 			forward = append(forward, seq)
 		}
 	}
-	if len(forward) > 0 && !n.rightmost() {
-		em.EmitRight(Msg[L, R]{Kind: KindExpiry, Side: stream.S, Seqs: forward})
+	if len(forward) > 0 {
+		fm := Msg[L, R]{Kind: KindExpiry, Side: stream.S, Seqs: forward}
+		if pooled {
+			fm.Free = src.NewSeqFree()
+		}
+		em.EmitRight(fm)
 	}
 }
 

@@ -43,9 +43,23 @@ type Live[L, R any] struct {
 
 	depth atomic.Int64 // messages in flight across all links
 
+	// Pooled seq buffers and recycling tokens for the messages nodes
+	// originate per batch (acks, expedition-ends, expiry forwards).
+	// These are taken on one node's goroutine and released on its
+	// neighbour's, so the pool is shared pipeline-wide under one mutex —
+	// the traffic is one take/put pair per node per batch, far off the
+	// per-tuple path.
+	seqMu    sync.Mutex
+	seqBufs  [][]uint64
+	seqFrees []*core.Free[L, R]
+
 	stop atomic.Bool
 	wg   sync.WaitGroup
 }
+
+// seqPoolCap bounds both pools; overflow falls back to the garbage
+// collector.
+const seqPoolCap = 64
 
 // LiveConfig tunes the live runtime.
 type LiveConfig struct {
@@ -199,10 +213,64 @@ func (lv *Live[L, R]) release(m core.Msg[L, R]) {
 	}
 }
 
-// liveEmitter implements core.Emitter for node k.
+// liveEmitter implements core.Emitter (and core.SeqBufSource) for
+// node k.
 type liveEmitter[L, R any] struct {
 	lv *Live[L, R]
 	k  int
+}
+
+// TakeSeqBuf implements core.SeqBufSource.
+func (e *liveEmitter[L, R]) TakeSeqBuf() []uint64 {
+	lv := e.lv
+	lv.seqMu.Lock()
+	if n := len(lv.seqBufs); n > 0 {
+		b := lv.seqBufs[n-1]
+		lv.seqBufs = lv.seqBufs[:n-1]
+		lv.seqMu.Unlock()
+		return b
+	}
+	lv.seqMu.Unlock()
+	return make([]uint64, 0, 64)
+}
+
+// PutSeqBuf implements core.SeqBufSource.
+func (e *liveEmitter[L, R]) PutSeqBuf(b []uint64) {
+	lv := e.lv
+	lv.seqMu.Lock()
+	if len(lv.seqBufs) < seqPoolCap {
+		lv.seqBufs = append(lv.seqBufs, b[:0])
+	}
+	lv.seqMu.Unlock()
+}
+
+// NewSeqFree implements core.SeqBufSource: a token armed for the one
+// neighbour handler that will read the message. Its Put returns both
+// the Seqs buffer and the token itself to the shared pools.
+func (e *liveEmitter[L, R]) NewSeqFree() *core.Free[L, R] {
+	lv := e.lv
+	lv.seqMu.Lock()
+	var f *core.Free[L, R]
+	if n := len(lv.seqFrees); n > 0 {
+		f = lv.seqFrees[n-1]
+		lv.seqFrees = lv.seqFrees[:n-1]
+		lv.seqMu.Unlock()
+	} else {
+		lv.seqMu.Unlock()
+		f = &core.Free[L, R]{}
+		f.Put = func(m core.Msg[L, R]) {
+			lv.seqMu.Lock()
+			if len(lv.seqBufs) < seqPoolCap {
+				lv.seqBufs = append(lv.seqBufs, m.Seqs[:0])
+			}
+			if len(lv.seqFrees) < seqPoolCap {
+				lv.seqFrees = append(lv.seqFrees, f)
+			}
+			lv.seqMu.Unlock()
+		}
+	}
+	f.Refs.Store(1)
+	return f
 }
 
 func (e *liveEmitter[L, R]) EmitLeft(m core.Msg[L, R]) {

@@ -207,29 +207,45 @@ func TestBTreePropertyAgainstSortedSlice(t *testing.T) {
 
 func TestHashIndexBasics(t *testing.T) {
 	h := NewHashIndex()
-	h.Insert(5, 100)
-	h.Insert(5, 101)
-	h.Insert(7, 102)
+	if prev := h.InsertTail(5, 100); prev != NoSeq {
+		t.Fatalf("InsertTail(5,100) prev = %d, want NoSeq", prev)
+	}
+	if prev := h.InsertTail(5, 101); prev != 100 {
+		t.Fatalf("InsertTail(5,101) prev = %d, want 100", prev)
+	}
+	if prev := h.InsertTail(7, 102); prev != NoSeq {
+		t.Fatalf("InsertTail(7,102) prev = %d, want NoSeq", prev)
+	}
 	if h.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", h.Len())
 	}
-	var got []uint64
-	h.Lookup(5, func(seq uint64) { got = append(got, seq) })
-	if len(got) != 2 || got[0] != 100 || got[1] != 101 {
-		t.Fatalf("Lookup(5) = %v, want [100 101] in insertion order", got)
+	if got := h.Head(5); got != 100 {
+		t.Fatalf("Head(5) = %d, want 100", got)
 	}
-	h.Remove(5, 100)
-	h.Remove(5, 100) // idempotent
-	got = nil
-	h.Lookup(5, func(seq uint64) { got = append(got, seq) })
-	if len(got) != 1 || got[0] != 101 {
-		t.Fatalf("Lookup(5) after remove = %v", got)
+	// Remove the head of 5's chain: its neighbours are (NoSeq, 101).
+	h.Remove(5, NoSeq, 101)
+	if got := h.Head(5); got != 101 {
+		t.Fatalf("Head(5) after head removal = %d, want 101", got)
 	}
-	h.Remove(5, 101)
-	if _, ok := h.m[5]; ok {
-		t.Fatal("empty key not deleted from map")
+	// Remove the last entry of the chain: the key disappears.
+	h.Remove(5, NoSeq, NoSeq)
+	if got := h.Head(5); got != NoSeq {
+		t.Fatalf("Head(5) after chain drain = %d, want NoSeq", got)
 	}
 	if h.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+	// The tombstoned bucket is reused, and heavy key churn triggers
+	// rehashes without losing live chains.
+	for i := uint64(0); i < 10000; i++ {
+		k := 1000 + i%97
+		h.InsertTail(k, 1000+i)
+		h.Remove(k, NoSeq, NoSeq)
+	}
+	if got := h.Head(7); got != 102 {
+		t.Fatalf("Head(7) after churn = %d, want 102", got)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len after churn = %d, want 1", h.Len())
 	}
 }

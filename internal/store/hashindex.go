@@ -1,70 +1,178 @@
 package store
 
-// HashIndex is a multimap from join key to tuple sequence numbers,
-// backing the node-local hash acceleration of §7.6 (Table 2). Collisions
-// within one key keep arrival order, so probes emit matches in a
-// deterministic order.
+// NoSeq is the nil sentinel of the intrusive per-key chains: an entry
+// whose link is NoSeq has no neighbour on that side, and a key whose
+// head is NoSeq is absent.
+const NoSeq = ^uint64(0)
+
+// HashIndex is the key table of the window's equi-join acceleration
+// (§7.6, Table 2): an open-addressing map from join key to the head and
+// tail of that key's chain of live window entries. The chain itself is
+// intrusive — each window entry carries prev/next sequence numbers,
+// resolved through the window's ring in O(1) — so the index holds no
+// per-key slice, allocates nothing per tuple, and a probe walks a key's
+// matches in arrival order without a single map lookup past the head.
+//
+// The table uses linear probing over a power-of-two bucket array with
+// tombstoned deletion; it rehashes (dropping tombstones) when occupied
+// plus tombstoned buckets exceed 3/4 of the capacity. Removing an
+// interior chain entry does not touch the table at all: only head/tail
+// changes need the bucket.
 type HashIndex struct {
-	m    map[uint64][]uint64
-	size int
-	// spare recycles the chain backings of emptied keys: a sliding
-	// window cycles the same keys in and out constantly, and without
-	// reuse every re-appearance of a key re-grows its chain from nil.
-	// Bounded, so the map's own no-empty-chains memory guarantee (no
-	// growth with the lifetime key domain) is preserved.
-	spare [][]uint64
+	buckets []hBucket
+	used    int // occupied buckets
+	tombs   int // tombstoned buckets
+	size    int // (key, seq) entries across all chains
 }
 
-// spareChains bounds the recycled chain backings kept per index.
-const spareChains = 64
+type hBucket struct {
+	key        uint64
+	head, tail uint64
+	state      uint8 // bEmpty | bUsed | bTomb
+}
+
+const (
+	bEmpty uint8 = iota
+	bUsed
+	bTomb
+)
+
+const minBuckets = 16
 
 // NewHashIndex returns an empty index.
-func NewHashIndex() *HashIndex {
-	return &HashIndex{m: make(map[uint64][]uint64)}
+func NewHashIndex() *HashIndex { return &HashIndex{} }
+
+// mix is the splitmix64 finalizer: join keys are often small dense
+// integers, and linear probing needs their hashes spread over the whole
+// bucket space.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
 }
 
-// Insert adds seq under key k.
-func (h *HashIndex) Insert(k, seq uint64) {
-	seqs, ok := h.m[k]
-	if !ok && len(h.spare) > 0 {
-		n := len(h.spare) - 1
-		seqs = h.spare[n]
-		h.spare[n] = nil
-		h.spare = h.spare[:n]
+// find returns the bucket index of key k, or -1 when absent.
+func (h *HashIndex) find(k uint64) int {
+	if len(h.buckets) == 0 {
+		return -1
 	}
-	h.m[k] = append(seqs, seq)
-	h.size++
-}
-
-// Remove deletes seq from key k, if present.
-func (h *HashIndex) Remove(k, seq uint64) {
-	seqs, ok := h.m[k]
-	if !ok {
-		return
-	}
-	for i, s := range seqs {
-		if s == seq {
-			seqs = append(seqs[:i], seqs[i+1:]...)
-			h.size--
-			break
+	mask := uint64(len(h.buckets) - 1)
+	for i := mix(k) & mask; ; i = (i + 1) & mask {
+		b := &h.buckets[i]
+		switch b.state {
+		case bEmpty:
+			return -1
+		case bUsed:
+			if b.key == k {
+				return int(i)
+			}
 		}
 	}
-	if len(seqs) == 0 {
-		delete(h.m, k)
-		if cap(seqs) > 0 && len(h.spare) < spareChains {
-			h.spare = append(h.spare, seqs[:0])
+}
+
+// InsertTail appends seq as the new tail of key k's chain and returns
+// the previous tail, or NoSeq when k had no chain. The caller links the
+// entries (the chain is intrusive; the index only tracks endpoints).
+func (h *HashIndex) InsertTail(k, seq uint64) (prevTail uint64) {
+	if (h.used+h.tombs+1)*4 > len(h.buckets)*3 {
+		h.grow()
+	}
+	mask := uint64(len(h.buckets) - 1)
+	firstTomb := -1
+	for i := mix(k) & mask; ; i = (i + 1) & mask {
+		b := &h.buckets[i]
+		switch b.state {
+		case bUsed:
+			if b.key == k {
+				prevTail = b.tail
+				b.tail = seq
+				h.size++
+				return prevTail
+			}
+		case bTomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case bEmpty:
+			if firstTomb >= 0 {
+				b = &h.buckets[firstTomb]
+				h.tombs--
+			}
+			b.state = bUsed
+			b.key = k
+			b.head, b.tail = seq, seq
+			h.used++
+			h.size++
+			return NoSeq
 		}
-	} else {
-		h.m[k] = seqs
 	}
 }
 
-// Lookup calls fn for every seq stored under k, in insertion order.
-func (h *HashIndex) Lookup(k uint64, fn func(seq uint64)) {
-	for _, s := range h.m[k] {
-		fn(s)
+// Remove retires one (k, seq) entry whose chain neighbours are prev and
+// next (NoSeq at the chain ends). The caller has already unlinked the
+// entry; Remove repairs the endpoints — interior removals never touch
+// the table.
+func (h *HashIndex) Remove(k, prev, next uint64) {
+	h.size--
+	if prev != NoSeq && next != NoSeq {
+		return // interior: head and tail unchanged
 	}
+	i := h.find(k)
+	if i < 0 {
+		panic("store: HashIndex.Remove of absent key")
+	}
+	b := &h.buckets[i]
+	switch {
+	case prev == NoSeq && next == NoSeq:
+		b.state = bTomb
+		h.used--
+		h.tombs++
+	case prev == NoSeq:
+		b.head = next
+	default:
+		b.tail = prev
+	}
+}
+
+// Head returns the oldest seq stored under k, or NoSeq when the key is
+// absent; probes walk the chain from here via the entries' next links.
+func (h *HashIndex) Head(k uint64) uint64 {
+	i := h.find(k)
+	if i < 0 {
+		return NoSeq
+	}
+	return h.buckets[i].head
 }
 
 // Len returns the number of (key, seq) entries.
 func (h *HashIndex) Len() int { return h.size }
+
+// grow rehashes into a table sized for the occupied buckets, dropping
+// tombstones. A table dominated by tombstones (the sliding-window
+// steady state cycles keys in and out constantly) rehashes into the
+// same capacity instead of doubling.
+func (h *HashIndex) grow() {
+	newCap := minBuckets
+	for newCap*4 <= (h.used+1)*8 { // target load <= 1/2 after rehash
+		newCap *= 2
+	}
+	old := h.buckets
+	h.buckets = make([]hBucket, newCap)
+	h.tombs = 0
+	mask := uint64(newCap - 1)
+	for i := range old {
+		b := &old[i]
+		if b.state != bUsed {
+			continue
+		}
+		for j := mix(b.key) & mask; ; j = (j + 1) & mask {
+			if h.buckets[j].state == bEmpty {
+				h.buckets[j] = *b
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"handshakejoin/internal/stream"
+)
+
+// refWindow is the map-backed reference the ring store is checked
+// against: the naive arrival-ordered slice + per-op linear scans that
+// the pre-ring Window was, kept test-only. Every observable of the real
+// Window is derived from first principles here.
+type refWindow struct {
+	ents []refEnt
+	key  func(int) uint64
+}
+
+type refEnt struct {
+	seq       uint64
+	pay       int
+	expedited bool
+}
+
+func (r *refWindow) find(seq uint64) int {
+	for i := range r.ents {
+		if r.ents[i].seq == seq {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refWindow) insert(seq uint64, pay int, expedited bool) {
+	r.ents = append(r.ents, refEnt{seq: seq, pay: pay, expedited: expedited})
+}
+
+func (r *refWindow) remove(seq uint64) (int, bool) {
+	i := r.find(seq)
+	if i < 0 {
+		return 0, false
+	}
+	pay := r.ents[i].pay
+	r.ents = append(r.ents[:i], r.ents[i+1:]...)
+	return pay, true
+}
+
+func (r *refWindow) clear(seq uint64) bool {
+	i := r.find(seq)
+	if i < 0 {
+		return false
+	}
+	r.ents[i].expedited = false
+	return true
+}
+
+func (r *refWindow) settled() int {
+	n := 0
+	for i := range r.ents {
+		if !r.ents[i].expedited {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *refWindow) probe(k uint64, settledOnly bool) []uint64 {
+	var seqs []uint64
+	for i := range r.ents {
+		if r.key(r.ents[i].pay) != k {
+			continue
+		}
+		if settledOnly && r.ents[i].expedited {
+			continue
+		}
+		seqs = append(seqs, r.ents[i].seq)
+	}
+	return seqs
+}
+
+// compareWindows checks every observable of w against ref.
+func compareWindows(t *testing.T, step int, w *Window[int], ref *refWindow, hashKeys int) {
+	t.Helper()
+	if w.Len() != len(ref.ents) {
+		t.Fatalf("step %d: Len = %d, ref %d", step, w.Len(), len(ref.ents))
+	}
+	if w.SettledLen() != ref.settled() {
+		t.Fatalf("step %d: SettledLen = %d, ref %d", step, w.SettledLen(), ref.settled())
+	}
+	var got []uint64
+	w.ScanAll(func(tp stream.Tuple[int]) { got = append(got, tp.Seq) })
+	if len(got) != len(ref.ents) {
+		t.Fatalf("step %d: ScanAll %d entries, ref %d", step, len(got), len(ref.ents))
+	}
+	for i := range got {
+		if got[i] != ref.ents[i].seq {
+			t.Fatalf("step %d: ScanAll[%d] = %d, ref %d (arrival order broken)", step, i, got[i], ref.ents[i].seq)
+		}
+	}
+	if seq, ok := w.OldestSeq(); ok != (len(ref.ents) > 0) || (ok && seq != ref.ents[0].seq) {
+		t.Fatalf("step %d: OldestSeq = (%d, %v)", step, seq, ok)
+	}
+	// Point lookups: every ref entry resolves, with payload intact.
+	for i := range ref.ents {
+		v, ok := w.Get(ref.ents[i].seq)
+		if !ok || v.Payload != ref.ents[i].pay {
+			t.Fatalf("step %d: Get(%d) = (%v, %v), ref payload %d", step, ref.ents[i].seq, v, ok, ref.ents[i].pay)
+		}
+	}
+	if hashKeys > 0 {
+		for k := 0; k < hashKeys; k++ {
+			for _, settledOnly := range []bool{false, true} {
+				var hits []uint64
+				w.Probe(uint64(k), settledOnly, func(tp stream.Tuple[int]) { hits = append(hits, tp.Seq) })
+				want := ref.probe(uint64(k), settledOnly)
+				if len(hits) != len(want) {
+					t.Fatalf("step %d: Probe(%d, %v) = %v, ref %v", step, k, settledOnly, hits, want)
+				}
+				for i := range hits {
+					if hits[i] != want[i] {
+						t.Fatalf("step %d: Probe(%d, %v) = %v, ref %v (order)", step, k, settledOnly, hits, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRingStorePropertyVsMapReference drives the ring-slot store and
+// the map-backed reference through identical random schedules: sparse
+// monotone inserts (a lane sees a gapped subsequence of the global seq
+// space), expedite/settle flips, random removals (extracted-slice
+// holes), front removals (expiry), bulk extraction, below-base
+// injections (migration), and long-idle-then-burst seq jumps big enough
+// to overflow the bounded ring into the spill map — under stride 1 and
+// a 3-node home residue.
+func TestRingStorePropertyVsMapReference(t *testing.T) {
+	const hashKeys = 5
+	for _, stride := range []int{1, 3} {
+		for seed := int64(1); seed <= 6; seed++ {
+			rnd := rand.New(rand.NewSource(seed * 7919))
+			keyFn := func(v int) uint64 { return uint64(v) % hashKeys }
+			w := NewWindow(
+				WithStride[int](stride),
+				WithHashIndex(keyFn),
+			)
+			ref := &refWindow{key: func(v int) uint64 { return keyFn(v) }}
+			// next is the lane's cursor into the global seq space; the
+			// window owns seqs ≡ residue (mod stride).
+			residue := uint64(0)
+			if stride > 1 {
+				residue = uint64(rnd.Intn(stride))
+			}
+			next := residue
+			st := uint64(stride)
+			used := map[uint64]bool{}
+			pay := 0
+			insertAt := func(seq uint64, settledFlag bool) {
+				pay++
+				used[seq] = true
+				tpl := tup(seq, pay)
+				if settledFlag {
+					w.InsertSettled(tpl)
+				} else {
+					w.Insert(tpl)
+				}
+				ref.insert(seq, pay, !settledFlag)
+			}
+			for step := 0; step < 900; step++ {
+				switch op := rnd.Intn(100); {
+				case op < 40: // sparse monotone insert: skip 0..7 owned seqs
+					next += st * uint64(1+rnd.Intn(8))
+					insertAt(next, rnd.Intn(2) == 0)
+				case op < 50: // expedite flip on a random live entry
+					if len(ref.ents) > 0 {
+						seq := ref.ents[rnd.Intn(len(ref.ents))].seq
+						ref.clear(seq)
+						if !w.ClearExpedition(seq) {
+							t.Fatalf("seed %d step %d: ClearExpedition(%d) missed a live entry", seed, step, seq)
+						}
+					}
+				case op < 65: // expiry: remove from the front
+					if len(ref.ents) > 0 {
+						seq := ref.ents[0].seq
+						wantPay, _ := ref.remove(seq)
+						v, ok := w.Remove(seq)
+						if !ok || v.Payload != wantPay {
+							t.Fatalf("seed %d step %d: front Remove(%d) = (%v, %v)", seed, step, seq, v, ok)
+						}
+					}
+				case op < 80: // extraction hole: remove a random live entry
+					if len(ref.ents) > 0 {
+						seq := ref.ents[rnd.Intn(len(ref.ents))].seq
+						wantPay, _ := ref.remove(seq)
+						v, ok := w.Remove(seq)
+						if !ok || v.Payload != wantPay {
+							t.Fatalf("seed %d step %d: hole Remove(%d) = (%v, %v)", seed, step, seq, v, ok)
+						}
+					}
+				case op < 85: // bulk extract: a slice of up to 6 random entries
+					for j := 0; j < 6 && len(ref.ents) > 0; j++ {
+						seq := ref.ents[rnd.Intn(len(ref.ents))].seq
+						ref.remove(seq)
+						if _, ok := w.Remove(seq); !ok {
+							t.Fatalf("seed %d step %d: bulk Remove(%d) missing", seed, step, seq)
+						}
+					}
+				case op < 92: // below-base injection (migration of an older group)
+					if len(ref.ents) > 0 {
+						oldest := ref.ents[0].seq
+						back := st * uint64(1+rnd.Intn(64))
+						if rnd.Intn(4) == 0 {
+							// Occasionally far below: beyond the ring's
+							// reach, into the overflow tier.
+							back = st * uint64(maxRingSlots+rnd.Intn(1000))
+						}
+						if oldest >= back+residue {
+							seq := oldest - back
+							if !used[seq] {
+								insertAt(seq, true)
+							}
+						}
+					}
+				default: // long idle then burst: the seq space raced ahead
+					jump := st * uint64(rnd.Intn(3*maxRingSlots))
+					next += jump
+					insertAt(next+st, rnd.Intn(2) == 0)
+					next += st
+				}
+				compareWindows(t, step, w, ref, hashKeys)
+			}
+			// Drain completely: every entry must come back out.
+			for len(ref.ents) > 0 {
+				seq := ref.ents[0].seq
+				wantPay, _ := ref.remove(seq)
+				v, ok := w.Remove(seq)
+				if !ok || v.Payload != wantPay {
+					t.Fatalf("seed %d drain: Remove(%d) = (%v, %v)", seed, seq, v, ok)
+				}
+			}
+			if w.Len() != 0 || w.SettledLen() != 0 {
+				t.Fatalf("seed %d: drained window reports Len=%d SettledLen=%d", seed, w.Len(), w.SettledLen())
+			}
+		}
+	}
+}

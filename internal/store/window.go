@@ -11,9 +11,45 @@
 // matches. Expiry may remove entries anywhere (normally near the front,
 // since expiries arrive in arrival order); removal uses tombstones with
 // amortized compaction so that secondary indexes stay valid.
+//
+// # Storage layout: the ring-slot directory
+//
+// Entries live in a dense append-only slice (`entries`) compacted in
+// place; the seq → slot directory is not a hash map but a circular array
+// (`ring`) indexed by (seq-base)/stride. The layout relies on the
+// sequencing contract of this repository: seqs are assigned densely per
+// stream side, a lane observes an increasing subsequence of them, and
+// within a pipeline every node k stores only seqs with seq%Nodes == k
+// (homes are a pure function of seq). A window configured with
+// WithStride(Nodes) therefore spends one ring slot per seq it could ever
+// own, and lookup/remove/settle are single array reads — zero map
+// traffic on the per-tuple hot path.
+//
+// Ring positions for seqs the window never stored (routed to another
+// lane, or holes punched by slice extraction) simply stay empty; the
+// base advances lazily past leading empties, and migration may insert
+// seqs below the current base (a moved key-group is older than the
+// destination's content), which re-anchors the ring backwards. Both
+// directions preserve the one invariant callers depend on: a seq is a
+// stable handle. Open slice cursors (PeekMatching/ExtractSeqs hold seqs
+// across settles and compactions) survive base advance and in-place
+// compaction because both only re-point slots, never re-key them.
+//
+// The ring's footprint is bounded by maxRingSlots. A window that idles
+// with live entries while the global seq space races ahead (count
+// windows only expire on arrivals) would otherwise need an arbitrarily
+// long ring when the burst finally lands; instead the stale span spills
+// into a small overflow map and the ring re-anchors at the burst. The
+// overflow is strictly a cold path: it holds entries only until their
+// (already overdue) expiries drain them.
 package store
 
 import "handshakejoin/internal/stream"
+
+// maxRingSlots caps the seq span (in stride units) the ring directory
+// covers: 1<<20 slots is 4 MiB of int32 directory per window at the
+// high-water mark. Spans beyond the cap spill to the overflow map.
+const maxRingSlots = 1 << 20
 
 type entry[T any] struct {
 	tuple     stream.Tuple[T]
@@ -21,14 +57,41 @@ type entry[T any] struct {
 	dead      bool
 }
 
+// hLink is an intrusive per-key hash-chain node: the seqs of the
+// previous and next live entries sharing this entry's join key (NoSeq at
+// the chain ends). Kept in a slice parallel to entries — allocated only
+// when a hash index is attached — so index maintenance is two ring
+// lookups and no heap traffic.
+type hLink struct {
+	prev, next uint64
+}
+
 // Window is a node-local window fragment for one stream on one core.
 // It is not safe for concurrent use; each pipeline node owns its windows.
 type Window[T any] struct {
 	entries []entry[T]
-	head    int            // first live slot candidate
-	slots   map[uint64]int // seq → slot (live entries only)
+	links   []hLink // parallel to entries; non-nil iff hash != nil
+	head    int     // first live slot candidate
 	live    int
 	settled int // live entries with expedition flag cleared
+
+	// Ring-slot directory: ring[(start+(seq-base)/stride) & mask] holds
+	// slot+1 for live seqs, 0 for absent ones. All positions outside the
+	// span [start, start+span) are zero — growth into the free arc and
+	// Go's zeroed allocation keep gap positions empty without explicit
+	// clearing, so a sparse lane (stride 1 over a striped seq space)
+	// never pays for the seqs it does not own.
+	ring   []int32
+	start  int    // ring position of base
+	span   int    // ring slots covered: (maxSeq-base)/stride + 1; 0 ⇒ empty
+	base   uint64 // seq mapped to ring[start]; valid iff span > 0
+	stride uint64 // seq distance between adjacent ring slots
+
+	// over holds the rare live seqs the ring cannot reach: entries
+	// stranded behind a > maxRingSlots seq jump, or migration injections
+	// anchored far below base. Values are slot+1, like ring. Nil until
+	// first needed; never touched on the per-tuple fast path.
+	over map[uint64]int32
 
 	hash  *HashIndex
 	btree *BTreeIndex
@@ -56,9 +119,24 @@ func WithBTreeIndex[T any](key stream.KeyFunc[T]) Option[T] {
 	}
 }
 
+// WithStride declares that every seq stored in this window is congruent
+// modulo n (the LLHJ home-node residue: node k of an n-node pipeline
+// only ever stores seqs with seq%n == k). The ring directory then spends
+// one slot per owned seq instead of one per global seq. Inserting a seq
+// that violates the declared residue panics: it means tuples are being
+// routed to the wrong home.
+func WithStride[T any](n int) Option[T] {
+	return func(w *Window[T]) {
+		if n < 1 {
+			n = 1
+		}
+		w.stride = uint64(n)
+	}
+}
+
 // NewWindow returns an empty window.
 func NewWindow[T any](opts ...Option[T]) *Window[T] {
-	w := &Window[T]{slots: make(map[uint64]int)}
+	w := &Window[T]{stride: 1}
 	for _, o := range opts {
 		o(w)
 	}
@@ -72,8 +150,207 @@ func (w *Window[T]) Len() int { return w.live }
 // been cleared.
 func (w *Window[T]) SettledLen() int { return w.settled }
 
+// pos maps a span offset to a ring position.
+func (w *Window[T]) pos(i int) int { return (w.start + i) & (len(w.ring) - 1) }
+
+// lookup resolves seq to its entry slot, or -1 when absent.
+func (w *Window[T]) lookup(seq uint64) int {
+	if w.span > 0 && seq >= w.base {
+		d := seq - w.base
+		if w.stride > 1 {
+			if d%w.stride != 0 {
+				return -1
+			}
+			d /= w.stride
+		}
+		if d < uint64(w.span) {
+			if s := w.ring[w.pos(int(d))]; s != 0 {
+				return int(s) - 1
+			}
+			return -1
+		}
+	}
+	if len(w.over) > 0 {
+		if s, ok := w.over[seq]; ok {
+			return int(s) - 1
+		}
+	}
+	return -1
+}
+
+// setSlot records seq → slot in whichever directory tier holds seq.
+func (w *Window[T]) setSlot(seq uint64, slot int32) {
+	if w.span > 0 && seq >= w.base {
+		d := seq - w.base
+		if w.stride > 1 {
+			d /= w.stride
+		}
+		if d < uint64(w.span) {
+			w.ring[w.pos(int(d))] = slot + 1
+			return
+		}
+	}
+	w.over[seq] = slot + 1
+}
+
+// clearSeq removes seq from the directory.
+func (w *Window[T]) clearSeq(seq uint64) {
+	if w.span > 0 && seq >= w.base {
+		d := seq - w.base
+		if w.stride > 1 {
+			d /= w.stride
+		}
+		if d < uint64(w.span) && w.ring[w.pos(int(d))] != 0 {
+			w.ring[w.pos(int(d))] = 0
+			return
+		}
+	}
+	delete(w.over, seq)
+}
+
+// checkStride panics when d (a seq distance from base) violates the
+// declared residue, returning d in stride units otherwise.
+func (w *Window[T]) checkStride(d uint64) uint64 {
+	if w.stride > 1 {
+		if d%w.stride != 0 {
+			panic("store: seq violates window stride")
+		}
+		d /= w.stride
+	}
+	return d
+}
+
+// place extends the directory to cover seq and stores slot+1 there,
+// panicking on a duplicate. The common case (next owned seq, one past
+// the current maximum) is a bounds check and one array write.
+func (w *Window[T]) place(seq uint64, slot int32) {
+	if w.span == 0 {
+		if len(w.ring) == 0 {
+			w.ring = make([]int32, 16)
+		}
+		w.start, w.span, w.base = 0, 1, seq
+		w.ring[w.pos(0)] = slot + 1
+		return
+	}
+	if seq >= w.base {
+		d := w.checkStride(seq - w.base)
+		if d < uint64(w.span) {
+			p := w.pos(int(d))
+			if w.ring[p] != 0 {
+				panic("store: duplicate seq inserted")
+			}
+			w.ring[p] = slot + 1
+			return
+		}
+		if d >= maxRingSlots {
+			// The burst after a long idle: the ring cannot stretch from
+			// the stale span to here. Strand the old span in the
+			// overflow map and re-anchor at the burst.
+			w.spillAll()
+			w.start, w.span, w.base = 0, 1, seq
+			w.ring[w.pos(0)] = slot + 1
+			return
+		}
+		if d >= uint64(len(w.ring)) {
+			w.growRing(int(d) + 1)
+		}
+		w.span = int(d) + 1
+		w.ring[w.pos(int(d))] = slot + 1
+		return
+	}
+	// Below base: slice injection of an older key-group.
+	d := w.checkStride(w.base - seq)
+	if int(d)+w.span > maxRingSlots {
+		// Too far below to re-anchor; park the outlier in the overflow.
+		if w.over == nil {
+			w.over = make(map[uint64]int32)
+		}
+		if _, dup := w.over[seq]; dup {
+			panic("store: duplicate seq inserted")
+		}
+		w.over[seq] = slot + 1
+		return
+	}
+	if int(d)+w.span > len(w.ring) {
+		w.growRing(int(d) + w.span)
+	}
+	w.start = (w.start - int(d)) & (len(w.ring) - 1)
+	w.span += int(d)
+	w.base = seq
+	if w.ring[w.start] != 0 {
+		panic("store: duplicate seq inserted")
+	}
+	w.ring[w.start] = slot + 1
+	return
+}
+
+// spillAll moves every occupied ring slot into the overflow map and
+// empties the ring. O(span) ≤ maxRingSlots, and only ever paid on a
+// seq jump that dwarfs the walk.
+func (w *Window[T]) spillAll() {
+	if w.over == nil {
+		w.over = make(map[uint64]int32)
+	}
+	for i := 0; i < w.span; i++ {
+		p := w.pos(i)
+		if w.ring[p] != 0 {
+			w.over[w.base+uint64(i)*w.stride] = w.ring[p]
+			w.ring[p] = 0
+		}
+	}
+	w.span = 0
+}
+
+// growRing linearizes the span into a zeroed power-of-two array of at
+// least need slots.
+func (w *Window[T]) growRing(need int) {
+	newCap := len(w.ring)
+	if newCap == 0 {
+		newCap = 16
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	fresh := make([]int32, newCap)
+	for i := 0; i < w.span; i++ {
+		fresh[i] = w.ring[w.pos(i)]
+	}
+	w.ring = fresh
+	w.start = 0
+}
+
+// advanceBase slides base past leading empty ring positions so the span
+// tracks the live seq range. All skipped positions are already zero, so
+// a later wrap-around reuses them without cleanup.
+func (w *Window[T]) advanceBase() {
+	if w.live == 0 {
+		// Fully drained: re-anchor at the next insert. This makes a
+		// long-idle window cheap to revive after a seq burst — no walk
+		// across the dead range.
+		w.start, w.span = 0, 0
+		return
+	}
+	mask := len(w.ring) - 1
+	for w.span > 0 && w.ring[w.start] == 0 {
+		w.start = (w.start + 1) & mask
+		w.span--
+		w.base += w.stride
+	}
+}
+
 // Insert stores t with the expedition flag set.
 func (w *Window[T]) Insert(t stream.Tuple[T]) {
+	w.insert(t, true)
+}
+
+// InsertSettled stores t with the expedition flag already cleared (used
+// for the S side, which carries no flags, and by baseline operators).
+func (w *Window[T]) InsertSettled(t stream.Tuple[T]) {
+	w.insert(t, false)
+	w.settled++
+}
+
+func (w *Window[T]) insert(t stream.Tuple[T], expedited bool) {
 	if len(w.entries) == cap(w.entries) && w.head*4 >= len(w.entries) {
 		// The backing is full but at least a quarter is leading
 		// tombstones (the sliding-window steady state): slide the live
@@ -83,13 +360,18 @@ func (w *Window[T]) Insert(t stream.Tuple[T]) {
 		w.compactInPlace()
 	}
 	slot := len(w.entries)
-	w.entries = append(w.entries, entry[T]{tuple: t, expedited: true})
-	w.slots[t.Seq] = slot
+	w.entries = append(w.entries, entry[T]{tuple: t, expedited: expedited})
+	w.place(t.Seq, int32(slot))
 	w.live++
 	if w.key != nil {
 		k := w.key(t.Payload)
 		if w.hash != nil {
-			w.hash.Insert(k, t.Seq)
+			w.links = append(w.links, hLink{prev: NoSeq, next: NoSeq})
+			prevTail := w.hash.InsertTail(k, t.Seq)
+			w.links[slot].prev = prevTail
+			if prevTail != NoSeq {
+				w.links[w.lookup(prevTail)].next = t.Seq
+			}
 		}
 		if w.btree != nil {
 			w.btree.Insert(k, t.Seq)
@@ -98,24 +380,16 @@ func (w *Window[T]) Insert(t stream.Tuple[T]) {
 	w.maybeCompact()
 }
 
-// InsertSettled stores t with the expedition flag already cleared (used
-// for the S side, which carries no flags, and by baseline operators).
-func (w *Window[T]) InsertSettled(t stream.Tuple[T]) {
-	w.Insert(t)
-	w.entries[w.slots[t.Seq]].expedited = false
-	w.settled++
-}
-
 // ClearExpedition clears the flag of the entry with the given sequence
 // number; it reports whether the entry was present (and flagged).
 func (w *Window[T]) ClearExpedition(seq uint64) bool {
-	slot, ok := w.slots[seq]
-	if !ok {
+	slot := w.lookup(seq)
+	if slot < 0 {
 		return false
 	}
 	e := &w.entries[slot]
-	if e.dead || !e.expedited {
-		return !e.dead // present but already settled: still "found"
+	if !e.expedited {
+		return true // present but already settled: still "found"
 	}
 	e.expedited = false
 	w.settled++
@@ -125,15 +399,15 @@ func (w *Window[T]) ClearExpedition(seq uint64) bool {
 // Remove deletes the entry with the given sequence number, returning the
 // tuple and whether it was present.
 func (w *Window[T]) Remove(seq uint64) (stream.Tuple[T], bool) {
-	slot, ok := w.slots[seq]
-	if !ok {
+	slot := w.lookup(seq)
+	if slot < 0 {
 		var zero stream.Tuple[T]
 		return zero, false
 	}
 	e := &w.entries[slot]
 	t := e.tuple
 	e.dead = true
-	delete(w.slots, seq)
+	w.clearSeq(seq)
 	w.live--
 	if !e.expedited {
 		w.settled--
@@ -141,12 +415,20 @@ func (w *Window[T]) Remove(seq uint64) (stream.Tuple[T], bool) {
 	if w.key != nil {
 		k := w.key(t.Payload)
 		if w.hash != nil {
-			w.hash.Remove(k, seq)
+			lnk := w.links[slot]
+			if lnk.prev != NoSeq {
+				w.links[w.lookup(lnk.prev)].next = lnk.next
+			}
+			if lnk.next != NoSeq {
+				w.links[w.lookup(lnk.next)].prev = lnk.prev
+			}
+			w.hash.Remove(k, lnk.prev, lnk.next)
 		}
 		if w.btree != nil {
 			w.btree.Remove(k, seq)
 		}
 	}
+	w.advanceBase()
 	w.maybeCompact()
 	return t, true
 }
@@ -166,8 +448,8 @@ func (w *Window[T]) OldestSeq() (seq uint64, ok bool) {
 
 // Get returns the live tuple with the given sequence number.
 func (w *Window[T]) Get(seq uint64) (stream.Tuple[T], bool) {
-	slot, ok := w.slots[seq]
-	if !ok {
+	slot := w.lookup(seq)
+	if slot < 0 {
 		var zero stream.Tuple[T]
 		return zero, false
 	}
@@ -210,25 +492,23 @@ func (w *Window[T]) ScanSettled(fn func(stream.Tuple[T])) int {
 }
 
 // Probe calls fn for every live entry whose key equals k, optionally
-// restricted to settled entries. It returns the number of index entries
-// inspected. Requires WithHashIndex.
+// restricted to settled entries, in arrival order. It returns the number
+// of index entries inspected. Requires WithHashIndex.
 func (w *Window[T]) Probe(k uint64, settledOnly bool, fn func(stream.Tuple[T])) int {
 	if w.hash == nil {
 		panic("store: Probe without WithHashIndex")
 	}
 	n := 0
-	w.hash.Lookup(k, func(seq uint64) {
+	for seq := w.hash.Head(k); seq != NoSeq; {
 		n++
-		slot, ok := w.slots[seq]
-		if !ok {
-			return
-		}
+		slot := w.lookup(seq)
 		e := &w.entries[slot]
-		if e.dead || (settledOnly && e.expedited) {
-			return
+		seq = w.links[slot].next
+		if settledOnly && e.expedited {
+			continue
 		}
 		fn(e.tuple)
-	})
+	}
 	return n
 }
 
@@ -242,8 +522,8 @@ func (w *Window[T]) RangeProbe(lo, hi uint64, settledOnly bool, fn func(stream.T
 	n := 0
 	w.btree.Range(lo, hi, func(_ uint64, seq uint64) {
 		n++
-		slot, ok := w.slots[seq]
-		if !ok {
+		slot := w.lookup(seq)
+		if slot < 0 {
 			return
 		}
 		e := &w.entries[slot]
@@ -275,12 +555,19 @@ func (w *Window[T]) maybeCompact() {
 }
 
 // compactInPlace slides the live entries to the front of the existing
-// backing array and re-points the slot map.
+// backing array and re-points their directory slots. Seqs — the handles
+// held by open slice cursors and hash chains — are untouched; only the
+// seq → slot mapping changes.
 func (w *Window[T]) compactInPlace() {
 	n := 0
 	for i := w.head; i < len(w.entries); i++ {
 		if !w.entries[i].dead {
-			w.entries[n] = w.entries[i]
+			if n != i {
+				w.entries[n] = w.entries[i]
+				if w.links != nil {
+					w.links[n] = w.links[i]
+				}
+			}
 			n++
 		}
 	}
@@ -291,8 +578,11 @@ func (w *Window[T]) compactInPlace() {
 		tail[i] = entry[T]{}
 	}
 	w.entries = w.entries[:n]
+	if w.links != nil {
+		w.links = w.links[:n]
+	}
 	w.head = 0
 	for i := range w.entries {
-		w.slots[w.entries[i].tuple.Seq] = i
+		w.setSlot(w.entries[i].tuple.Seq, int32(i))
 	}
 }

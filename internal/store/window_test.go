@@ -260,3 +260,95 @@ func TestWindowPropertyAgainstReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWindowOpenCursorSurvivesCompaction pins the invariant slice
+// migration depends on: seqs held by an open cursor (PeekMatching /
+// ExtractSeqs peek first, remove later) stay valid handles across
+// in-place compactions and ring base advances that happen between the
+// peek and the removals — including compactions triggered mid-removal
+// by the removals themselves.
+func TestWindowOpenCursorSurvivesCompaction(t *testing.T) {
+	w := NewWindow(WithHashIndex(func(v int) uint64 { return uint64(v) % 7 }))
+	const n = 600
+	for i := 0; i < n; i++ {
+		w.InsertSettled(tup(uint64(i), i))
+	}
+	// The "cursor": every 3rd seq, peeked up front, removed at the end.
+	var held []uint64
+	for i := 0; i < n; i += 3 {
+		held = append(held, uint64(i))
+	}
+	// Churn everything else away. These removals tombstone two thirds of
+	// the entries array, forcing multiple in-place compactions and base
+	// advances while the cursor is open.
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			if _, ok := w.Remove(uint64(i)); !ok {
+				t.Fatalf("churn Remove(%d) missing", i)
+			}
+		}
+	}
+	if w.Len() != len(held) {
+		t.Fatalf("Len = %d, want %d held entries", w.Len(), len(held))
+	}
+	// Drain the cursor. Each removal can itself trigger a compaction
+	// that re-points the slots of the seqs still held; the exact
+	// tuple multiset must come back regardless.
+	got := map[uint64]int{}
+	for _, seq := range held {
+		v, ok := w.Remove(seq)
+		if !ok {
+			t.Fatalf("held seq %d vanished across compaction", seq)
+		}
+		if v.Seq != seq || v.Payload != int(seq) {
+			t.Fatalf("held seq %d resolved to tuple {Seq:%d Payload:%d}", seq, v.Seq, v.Payload)
+		}
+		got[seq]++
+	}
+	for _, seq := range held {
+		if got[seq] != 1 {
+			t.Fatalf("seq %d extracted %d times", seq, got[seq])
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("window not empty after cursor drain: %d", w.Len())
+	}
+}
+
+// TestWindowCursorSurvivesBelowBaseInjection drives the migration
+// arrival order: store-only injections land below the destination
+// window's ring base while older holes exist, and previously peeked
+// seqs must keep resolving.
+func TestWindowCursorSurvivesBelowBaseInjection(t *testing.T) {
+	w := NewWindow[int](WithStride[int](3)) // node 0 of a 3-node pipeline
+	// Recent arrivals anchor the ring high.
+	for i := 300; i < 330; i += 3 {
+		w.InsertSettled(tup(uint64(i), i))
+	}
+	held := []uint64{303, 309, 327}
+	// An injected slice of an older key-group arrives below base, out of
+	// the blue but home-aligned.
+	for i := 30; i < 60; i += 3 {
+		w.InsertSettled(tup(uint64(i), i))
+	}
+	if seq, ok := w.OldestSeq(); !ok || seq != 300 {
+		t.Fatalf("OldestSeq = (%d, %v); arrival order must be preserved", seq, ok)
+	}
+	for _, seq := range held {
+		if v, ok := w.Get(seq); !ok || v.Payload != int(seq) {
+			t.Fatalf("held seq %d broken after below-base injection: (%v, %v)", seq, v, ok)
+		}
+	}
+	// And the injected entries expire first (they are older), advancing
+	// nothing the cursor depends on.
+	for i := 30; i < 60; i += 3 {
+		if _, ok := w.Remove(uint64(i)); !ok {
+			t.Fatalf("injected seq %d missing", i)
+		}
+	}
+	for _, seq := range held {
+		if _, ok := w.Remove(seq); !ok {
+			t.Fatalf("held seq %d lost after injected slice expired", seq)
+		}
+	}
+}

@@ -185,6 +185,8 @@ type admitScratch struct {
 	probes []int
 	dur    [][]shard.ExpiryEntry // per-lane duration-bound entries
 	cnt    [][]shard.ExpiryEntry // per-lane count-bound entries
+	relG   []uint32              // count-release groups, batch order
+	relDue []int64               // matching expiry deadlines
 }
 
 func (sc *admitScratch) ensure(n, shards int) {
@@ -278,11 +280,16 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 	e.sLastAt.Store(minTS)
 	e.rPlans.New = func() any { return &fanPlan[L]{} }
 	e.sPlans.New = func() any { return &fanPlan[RT]{} }
+	// The bulk closures defer the router's count releases into the
+	// side's scratch: one ObserveCountExpireBulk call per caller batch
+	// locks each touched stripe once, instead of one stripe lock per
+	// expired tuple (the per-entry path's cost).
 	e.expireRBulk = func(lane int, group uint32, seq uint64, due int64, counted, settled bool) {
 		if counted {
 			e.rsc.cnt[lane] = append(e.rsc.cnt[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
 			if e.adaptive {
-				e.router.ObserveCountExpire(stream.R, group, due)
+				e.rsc.relG = append(e.rsc.relG, group)
+				e.rsc.relDue = append(e.rsc.relDue, due)
 			}
 		} else {
 			e.rsc.dur[lane] = append(e.rsc.dur[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
@@ -292,7 +299,8 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 		if counted {
 			e.ssc.cnt[lane] = append(e.ssc.cnt[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
 			if e.adaptive {
-				e.router.ObserveCountExpire(stream.S, group, due)
+				e.ssc.relG = append(e.ssc.relG, group)
+				e.ssc.relDue = append(e.ssc.relDue, due)
 			}
 		} else {
 			e.ssc.dur[lane] = append(e.ssc.dur[lane], shard.ExpiryEntry{Seq: seq, Due: due, Settled: settled})
@@ -602,6 +610,11 @@ func (e *ShardedEngine[L, RT]) pushRBatchLocked(batch []Stamped[L]) error {
 	seq0 := e.rSeq
 	e.rSeq += uint64(n)
 	e.rWin.onArrivalBulk(seq0, sc.tss, sc.lanes, sc.groups, e.expireRBulk)
+	if len(sc.relG) > 0 {
+		e.router.ObserveCountExpireBulk(stream.R, sc.relG, sc.relDue)
+		sc.relG = sc.relG[:0]
+		sc.relDue = sc.relDue[:0]
+	}
 	for lane := range e.lanes {
 		if len(sc.dur[lane]) > 0 || len(sc.cnt[lane]) > 0 {
 			e.lanes[lane].QueueExpiryBulk(stream.R, sc.dur[lane], sc.cnt[lane])
@@ -681,6 +694,11 @@ func (e *ShardedEngine[L, RT]) pushSBatchLocked(batch []Stamped[RT]) error {
 	seq0 := e.sSeq
 	e.sSeq += uint64(n)
 	e.sWin.onArrivalBulk(seq0, sc.tss, sc.lanes, sc.groups, e.expireSBulk)
+	if len(sc.relG) > 0 {
+		e.router.ObserveCountExpireBulk(stream.S, sc.relG, sc.relDue)
+		sc.relG = sc.relG[:0]
+		sc.relDue = sc.relDue[:0]
+	}
 	for lane := range e.lanes {
 		if len(sc.dur[lane]) > 0 || len(sc.cnt[lane]) > 0 {
 			e.lanes[lane].QueueExpiryBulk(stream.S, sc.dur[lane], sc.cnt[lane])

@@ -532,3 +532,58 @@ func TestOrderedOutputFlowsWhileHandoffOpen(t *testing.T) {
 		t.Fatal("workload produced no results; test has no teeth")
 	}
 }
+
+// TestSliceMigrationSurvivesWindowCompaction is the regression test for
+// the compaction-vs-open-cursor hazard: slice extraction peeks seqs,
+// then removes them one by one, and every removal can trigger an
+// in-place window compaction (or a ring base advance) that re-points
+// the slots of the seqs still held. Tiny 2-tuple slices maximise the
+// number of peek/extract rounds, heavy expiry churn between hops keeps
+// the source windows tombstone-rich (so compactions actually fire
+// mid-handoff), and the result multiset must still be exact.
+func TestSliceMigrationSurvivesWindowCompaction(t *testing.T) {
+	cfg := sliceCfg(4, 2)
+	// Small count windows churn hard: two thirds of each entries array
+	// is tombstones within a few hundred pushes, the compaction
+	// threshold territory.
+	cfg.WindowR = Window{Count: 96}
+	cfg.WindowS = Window{Count: 90}
+	var mu sync.Mutex
+	got := map[stream.PairKey]int{}
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		got[it.Result.Pair.Key()]++
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+	o := newOracleEngine(cfg, shardedEqui)
+	// Handoffs begin often and advance rarely: each stays open across
+	// ~dozens of pushes of churn, with 2-tuple slices forcing many
+	// peek/extract rounds against freshly compacted windows.
+	between, maxHops := driveSliceMigrations(t, se, 4, 90, 11)
+	zipfSchedule(t, 2600, 1.2, 96, 4242, eng, o, between)
+
+	missing, extra, dups := diffPairMultiset(o.pairs, got)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("compaction × slice migration: %d missing, %d extra, %d duplicates (oracle %d distinct)",
+			missing, extra, dups, len(o.pairs))
+	}
+	st := eng.Stats()
+	if st.SliceMigrations == 0 || st.MigratedTuples == 0 {
+		t.Fatalf("no sliced state moved (hops %d, tuples %d); test has no teeth",
+			st.SliceMigrations, st.MigratedTuples)
+	}
+	if *maxHops < 2 {
+		t.Fatalf("no handoff needed more than %d hops: slices were not actually small", *maxHops)
+	}
+	if st.PendingExpiries != 0 {
+		t.Errorf("pending expiries: %d (an expiry raced its migrated tuple)", st.PendingExpiries)
+	}
+}
