@@ -126,6 +126,93 @@ func compareWindows(t *testing.T, step int, w *Window[int], ref *refWindow, hash
 	}
 }
 
+// TestRingSpillThenReanchorReachesSpilledEntries pins the schedule from
+// REVIEW: an idle-then-burst insert past maxRingSlots spills a wide live
+// span into the overflow map, and a below-base migration injection then
+// re-anchors the ring backwards over the spilled seqs. Every spilled
+// entry must stay reachable through the in-span-but-empty ring slots —
+// lookup has to fall through to the overflow tier, and a compaction that
+// re-points slots must migrate covered overflow entries into the ring
+// without leaving a stale copy behind.
+func TestRingSpillThenReanchorReachesSpilledEntries(t *testing.T) {
+	keyFn := func(v int) uint64 { return uint64(v) % 3 }
+	schedule := func() *Window[int] {
+		w := NewWindow(WithHashIndex(keyFn))
+		w.Insert(tup(0, 100))
+		w.Insert(tup(1000000, 101))
+		w.Insert(tup(1<<20, 102))  // jump ≥ maxRingSlots: spills 0 and 1000000
+		w.Insert(tup(500000, 103)) // re-anchor backwards: span re-covers 1000000
+		return w
+	}
+	live := []struct {
+		seq uint64
+		pay int
+	}{{0, 100}, {1000000, 101}, {1 << 20, 102}, {500000, 103}}
+
+	checkAll := func(w *Window[int], when string) {
+		t.Helper()
+		for _, c := range live {
+			if v, ok := w.Get(c.seq); !ok || v.Payload != c.pay {
+				t.Fatalf("%s: Get(%d) = (%v, %v), want payload %d", when, c.seq, v.Payload, ok, c.pay)
+			}
+		}
+		// The spilled entry's hash chain must resolve through the
+		// overflow (101 is the only payload with key 2).
+		var hits []uint64
+		w.Probe(2, false, func(tp stream.Tuple[int]) { hits = append(hits, tp.Seq) })
+		if len(hits) != 1 || hits[0] != 1000000 {
+			t.Fatalf("%s: Probe(2) = %v, want [1000000]", when, hits)
+		}
+	}
+
+	w := schedule()
+	checkAll(w, "after re-anchor")
+	for _, c := range live {
+		if !w.ClearExpedition(c.seq) {
+			t.Fatalf("ClearExpedition(%d) missed a live entry", c.seq)
+		}
+	}
+	if w.SettledLen() != len(live) {
+		t.Fatalf("SettledLen = %d, want %d", w.SettledLen(), len(live))
+	}
+
+	// Force in-place compaction while the overflow entry's seq is
+	// span-covered: setSlot must move it into the ring, not strand a
+	// stale overflow copy for clearSeq to resurrect later.
+	const extras = 100
+	for i := 1; i <= extras; i++ {
+		w.InsertSettled(tup(uint64(1<<20+i), 3*i)) // key 0: stays off chain 2
+	}
+	for i := 1; i <= extras; i++ {
+		if _, ok := w.Remove(uint64(1<<20 + i)); !ok {
+			t.Fatalf("Remove(extra %d) missing", i)
+		}
+	}
+	checkAll(w, "after compaction")
+
+	// Drain, stranded entry first: expiry must actually free it.
+	for _, c := range live {
+		if v, ok := w.Remove(c.seq); !ok || v.Payload != c.pay {
+			t.Fatalf("drain: Remove(%d) = (%v, %v), want payload %d", c.seq, v.Payload, ok, c.pay)
+		}
+	}
+	if w.Len() != 0 || w.SettledLen() != 0 {
+		t.Fatalf("drained window reports Len=%d SettledLen=%d", w.Len(), w.SettledLen())
+	}
+
+	// Re-inserting a seq whose live entry sits in the overflow behind an
+	// empty in-span ring slot must still panic as a duplicate.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("duplicate insert of a spill-covered seq did not panic")
+			}
+		}()
+		w2 := schedule()
+		w2.Insert(tup(1000000, 999))
+	}()
+}
+
 // TestRingStorePropertyVsMapReference drives the ring-slot store and
 // the map-backed reference through identical random schedules: sparse
 // monotone inserts (a lane sees a gapped subsequence of the global seq
@@ -208,11 +295,20 @@ func TestRingStorePropertyVsMapReference(t *testing.T) {
 				case op < 92: // below-base injection (migration of an older group)
 					if len(ref.ents) > 0 {
 						oldest := ref.ents[0].seq
-						back := st * uint64(1+rnd.Intn(64))
-						if rnd.Intn(4) == 0 {
-							// Occasionally far below: beyond the ring's
-							// reach, into the overflow tier.
+						var back uint64
+						switch rnd.Intn(8) {
+						case 0, 1:
+							// Far below: beyond the ring's reach, into
+							// the overflow tier.
 							back = st * uint64(maxRingSlots+rnd.Intn(1000))
+						case 2, 3:
+							// Mid-range: still ring-reachable, but far
+							// enough back that the re-anchored span can
+							// sweep over seqs an earlier burst spilled
+							// into the overflow.
+							back = st * uint64(1+rnd.Intn(maxRingSlots-1))
+						default:
+							back = st * uint64(1+rnd.Intn(64))
 						}
 						if oldest >= back+residue {
 							seq := oldest - back

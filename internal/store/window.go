@@ -167,7 +167,9 @@ func (w *Window[T]) lookup(seq uint64) int {
 			if s := w.ring[w.pos(int(d))]; s != 0 {
 				return int(s) - 1
 			}
-			return -1
+			// In-span but empty: a below-base re-anchor may have swept
+			// the span back over seqs an earlier spillAll parked in the
+			// overflow — fall through and consult it, like clearSeq.
 		}
 	}
 	if len(w.over) > 0 {
@@ -178,7 +180,10 @@ func (w *Window[T]) lookup(seq uint64) int {
 	return -1
 }
 
-// setSlot records seq → slot in whichever directory tier holds seq.
+// setSlot records seq → slot in whichever directory tier holds seq. A
+// seq lives in exactly one tier: writing an in-span ring position also
+// evicts any overflow copy, so a spilled entry whose seq the span later
+// re-covered migrates back into the ring on the next compaction.
 func (w *Window[T]) setSlot(seq uint64, slot int32) {
 	if w.span > 0 && seq >= w.base {
 		d := seq - w.base
@@ -187,6 +192,9 @@ func (w *Window[T]) setSlot(seq uint64, slot int32) {
 		}
 		if d < uint64(w.span) {
 			w.ring[w.pos(int(d))] = slot + 1
+			if len(w.over) > 0 {
+				delete(w.over, seq)
+			}
 			return
 		}
 	}
@@ -220,6 +228,17 @@ func (w *Window[T]) checkStride(d uint64) uint64 {
 	return d
 }
 
+// checkOverDup panics when seq is already parked in the overflow tier:
+// the ring-write paths of place only inspect the ring position, which is
+// empty for a spilled seq the span has since re-covered.
+func (w *Window[T]) checkOverDup(seq uint64) {
+	if len(w.over) > 0 {
+		if _, dup := w.over[seq]; dup {
+			panic("store: duplicate seq inserted")
+		}
+	}
+}
+
 // place extends the directory to cover seq and stores slot+1 there,
 // panicking on a duplicate. The common case (next owned seq, one past
 // the current maximum) is a bounds check and one array write.
@@ -228,6 +247,7 @@ func (w *Window[T]) place(seq uint64, slot int32) {
 		if len(w.ring) == 0 {
 			w.ring = make([]int32, 16)
 		}
+		w.checkOverDup(seq)
 		w.start, w.span, w.base = 0, 1, seq
 		w.ring[w.pos(0)] = slot + 1
 		return
@@ -239,6 +259,7 @@ func (w *Window[T]) place(seq uint64, slot int32) {
 			if w.ring[p] != 0 {
 				panic("store: duplicate seq inserted")
 			}
+			w.checkOverDup(seq)
 			w.ring[p] = slot + 1
 			return
 		}
@@ -254,6 +275,7 @@ func (w *Window[T]) place(seq uint64, slot int32) {
 		if d >= uint64(len(w.ring)) {
 			w.growRing(int(d) + 1)
 		}
+		w.checkOverDup(seq)
 		w.span = int(d) + 1
 		w.ring[w.pos(int(d))] = slot + 1
 		return
@@ -280,6 +302,7 @@ func (w *Window[T]) place(seq uint64, slot int32) {
 	if w.ring[w.start] != 0 {
 		panic("store: duplicate seq inserted")
 	}
+	w.checkOverDup(seq)
 	w.ring[w.start] = slot + 1
 	return
 }
@@ -317,6 +340,18 @@ func (w *Window[T]) growRing(need int) {
 	}
 	w.ring = fresh
 	w.start = 0
+}
+
+// chainSlot resolves a seq referenced by a hash-chain link. Chains only
+// ever name live entries, so a miss means the directory and the index
+// have desynced; panic with a diagnosis rather than letting the caller
+// index entries[-1].
+func (w *Window[T]) chainSlot(seq uint64) int {
+	slot := w.lookup(seq)
+	if slot < 0 {
+		panic("store: hash chain references a seq missing from the directory")
+	}
+	return slot
 }
 
 // advanceBase slides base past leading empty ring positions so the span
@@ -370,7 +405,7 @@ func (w *Window[T]) insert(t stream.Tuple[T], expedited bool) {
 			prevTail := w.hash.InsertTail(k, t.Seq)
 			w.links[slot].prev = prevTail
 			if prevTail != NoSeq {
-				w.links[w.lookup(prevTail)].next = t.Seq
+				w.links[w.chainSlot(prevTail)].next = t.Seq
 			}
 		}
 		if w.btree != nil {
@@ -417,10 +452,10 @@ func (w *Window[T]) Remove(seq uint64) (stream.Tuple[T], bool) {
 		if w.hash != nil {
 			lnk := w.links[slot]
 			if lnk.prev != NoSeq {
-				w.links[w.lookup(lnk.prev)].next = lnk.next
+				w.links[w.chainSlot(lnk.prev)].next = lnk.next
 			}
 			if lnk.next != NoSeq {
-				w.links[w.lookup(lnk.next)].prev = lnk.prev
+				w.links[w.chainSlot(lnk.next)].prev = lnk.prev
 			}
 			w.hash.Remove(k, lnk.prev, lnk.next)
 		}
@@ -501,7 +536,7 @@ func (w *Window[T]) Probe(k uint64, settledOnly bool, fn func(stream.Tuple[T])) 
 	n := 0
 	for seq := w.hash.Head(k); seq != NoSeq; {
 		n++
-		slot := w.lookup(seq)
+		slot := w.chainSlot(seq)
 		e := &w.entries[slot]
 		seq = w.links[slot].next
 		if settledOnly && e.expedited {
