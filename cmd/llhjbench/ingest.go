@@ -77,6 +77,7 @@ func runIngestRow(mode string, callerBatch, tuples int) (ingestRow, error) {
 		Index:       handshakejoin.HashIndex,
 		KeyR:        func(r igR) uint64 { return r.Key },
 		KeyS:        func(s igS) uint64 { return s.Key },
+		Obs:         obsCfg(),
 		OnOutput:    func(handshakejoin.Item[igR, igS]) {},
 	}
 	eng, err := handshakejoin.New(cfg)

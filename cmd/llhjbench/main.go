@@ -35,9 +35,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"handshakejoin"
 	"handshakejoin/internal/experiments"
 	"handshakejoin/internal/pipeline"
 )
@@ -49,17 +54,61 @@ var (
 	shardsFlag = flag.String("shards", "1,2,4,8", "shard counts for the shard experiment (must divide the worker budget)")
 	jsonOut    = flag.String("json", "", "write the shard experiment report to this JSON file (e.g. BENCH_shard.json)")
 	maxAllocs  = flag.Float64("maxallocs", 0, "ingest only: fail (exit 1) if any row's allocs/tuple exceeds this; 0 disables — the CI sanity step pins the push path's allocation budget with it")
+	obsAddr    = flag.String("obs", "", "serve each live engine's observability endpoint (/metrics, /events, /debug/pprof) on this address while its row runs (shard/skew/ingest experiments; e.g. 127.0.0.1:9177)")
+	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the life of the process")
 )
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	os.Exit(run())
+}
+
+// run carries the whole invocation so the profile teardown runs on
+// every exit path (os.Exit skips defers).
+func run() int {
 	if flag.NArg() < 1 {
 		usage()
-		os.Exit(2)
+		return 2
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "llhjbench: pprof endpoint: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llhjbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "llhjbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "llhjbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "llhjbench: %v\n", err)
+			}
+		}()
 	}
 	cmd := flag.Arg(0)
-	run := map[string]func() error{
+	runners := map[string]func() error{
 		"fig5":   fig5,
 		"fig17":  fig17,
 		"fig18":  fig18,
@@ -74,24 +123,33 @@ func main() {
 	if cmd == "all" {
 		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew", "ingest"} {
 			fmt.Printf("==== %s ====\n", name)
-			if err := run[name](); err != nil {
+			if err := runners[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "llhjbench %s: %v\n", name, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 		}
-		return
+		return 0
 	}
-	fn, ok := run[cmd]
+	fn, ok := runners[cmd]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "llhjbench: unknown experiment %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err := fn(); err != nil {
 		fmt.Fprintf(os.Stderr, "llhjbench %s: %v\n", cmd, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// obsCfg is the observability configuration every live-engine row
+// applies: with -obs unset it is zero and the layer stays off. Rows run
+// sequentially and each engine closes its listener on Close, so one
+// address serves whichever engine is currently live.
+func obsCfg() handshakejoin.ObsConfig {
+	return handshakejoin.ObsConfig{Addr: *obsAddr}
 }
 
 func usage() {

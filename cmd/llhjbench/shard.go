@@ -115,6 +115,7 @@ func runShardRow(totalWorkers, shards, window, batch, tuples int) (shardRow, err
 		MaxInFlight: 8,
 		KeyR:        workload.RKey,
 		KeyS:        workload.SKey,
+		Obs:         obsCfg(),
 		OnOutput: func(it handshakejoin.Item[workload.RTuple, workload.STuple]) {
 			if it.Punct {
 				return

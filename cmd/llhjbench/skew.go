@@ -170,6 +170,7 @@ func runSkewRow(dist string, theta float64, adaptive, migrate, slice bool, tuple
 				SliceTuples:       2048,
 			},
 		},
+		Obs: obsCfg(),
 		OnOutput: func(it handshakejoin.Item[skR, skS]) {
 			if it.Punct {
 				return

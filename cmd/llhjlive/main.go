@@ -20,7 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -38,7 +42,44 @@ func main() {
 	duration := flag.Duration("duration", 15*time.Second, "run length")
 	ordered := flag.Bool("ordered", false, "punctuated ordered output (llhj only)")
 	index := flag.Bool("index", false, "node-local hash index, equi-join predicate (llhj only)")
+	obsAddr := flag.String("obs", "", "serve the engine's observability endpoint (/metrics, /events, /debug/pprof) on this address for the run")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the life of the process")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof endpoint: %v", err)
+			}
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	cfg := handshakejoin.Config[workload.RTuple, workload.STuple]{
 		Workers:      *workers,
@@ -46,6 +87,7 @@ func main() {
 		WindowS:      handshakejoin.Window{Duration: *window},
 		Batch:        *batch,
 		ExpectedRate: *rate,
+		Obs:          handshakejoin.ObsConfig{Addr: *obsAddr},
 	}
 	switch *algo {
 	case "llhj":
@@ -81,6 +123,9 @@ func main() {
 	eng, err := handshakejoin.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if addr := eng.ObsAddr(); addr != "" {
+		fmt.Printf("observability endpoint: http://%s/metrics\n", addr)
 	}
 
 	gen := workload.NewGenerator(workload.Config{Seed: 42, Domain: 10000, RatePerSec: *rate})

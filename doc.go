@@ -289,4 +289,62 @@
 // Shards*Batch*MaxInFlight, which bounds the in-flight volume
 // expiries must never race) — the same windows-dominate-batching
 // regime the paper's single pipeline assumes.
+//
+// # Observability
+//
+// Both engines expose a live observability layer, opt-in via
+// Config.Obs. Three surfaces share one contract — all of them are safe
+// to use mid-run, from any goroutine, while pushers are active:
+//
+// Joiner.StatsSnapshot returns a Snapshot: the cumulative Stats
+// counters plus live gauges a post-Close Stats call cannot answer —
+// the punctuation-floor lag (Snapshot.FloorLagNs, the paper's latency
+// proxy: newest admitted timestamp minus the merged floor), per-shard
+// live window footprints, per-shard expiry-queue depth, and the number
+// of key-groups currently mid-handoff. Stats itself is also sound
+// mid-run: every counter is an atomic, cumulative totals lag
+// concurrent pushers by at most the in-flight batches, and the
+// conservation invariant Σ ShardIngress ≤ RIn+SIn holds in every
+// snapshot (exactly equal once the engine is closed).
+//
+// Joiner.Events drains the control-plane event trace: a bounded
+// lock-free ring (Config.Obs.EventBuffer) of structured TraceEvents
+// recording what the control plane did and when. Kinds and their A/B
+// operands:
+//
+//	rebalance_applied  shard=-1            A=moves proposed   B=moves applied
+//	handoff_begin      shard=to,   group   A=source shard     B=0
+//	slice_hop          shard=to,   group   A=tuples moved     B=tuples remaining
+//	handoff_settle     shard=to,   group   A=tuples moved     B=source shard
+//	migrate_freeze     shard=to,   group   A=tuples moved     B=source shard
+//	heartbeat_stall    shard=idle, group=-1  A=floor ticked   B=0  (once per stall episode)
+//	ring_spill         shard=lane          A=entries spilled  B=ring span at spill
+//	ring_reanchor      shard=lane          A=distance below base  B=new span
+//	window_compact     shard=lane          A=slots reclaimed  B=live entries kept
+//
+// Config.Obs.Addr serves both over HTTP for the engine's lifetime:
+// /metrics in Prometheus text exposition, /events as JSONL
+// (?since=N resumes from a sequence number), /debug/vars (expvar) and
+// /debug/pprof. The exported names: llhj_ingress_total{side},
+// llhj_results_total, llhj_punctuations_total, llhj_comparisons_total,
+// llhj_pending_expiries_total, llhj_shard_ingress_total{shard},
+// llhj_shard_results_total{shard}, llhj_live_window{side,shard},
+// llhj_expiry_depth{shard}, llhj_floor_lag_ns, llhj_handoffs_inflight,
+// llhj_rebalances_total, llhj_keygroup_moves_total,
+// llhj_state_migrations_total, llhj_migrated_tuples_total,
+// llhj_slice_migrations_total, llhj_store_{spills,reanchors,
+// compactions,parks}_total, llhj_store_overflow, llhj_max_sort_buffer,
+// llhj_trace_events_total, and the llhj_output_latency_ns histogram —
+// result latency from admission of the later input tuple to delivery
+// on the serving path.
+//
+// The overhead contract: the layer never touches the per-tuple hot
+// path. Counters are per-lane single-writer atomics (plain read,
+// atomic store — no read-modify-write in the push path beyond what the
+// engine already did); trace events are emitted only from cold
+// control-plane branches (rebalance cut-overs, handoff hops, freezes,
+// ring spills and re-anchors, slab compactions, heartbeat stalls); and
+// scrapes read without taking the ingress locks, so a tight scrape
+// loop cannot stall admission. cmd/llhjbench and cmd/llhjlive wire the
+// layer up behind -obs, alongside -cpuprofile, -memprofile and -pprof.
 package handshakejoin

@@ -2,11 +2,14 @@ package handshakejoin
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"handshakejoin/internal/clock"
 	"handshakejoin/internal/collect"
 	"handshakejoin/internal/core"
 	"handshakejoin/internal/hsj"
+	"handshakejoin/internal/metrics"
+	"handshakejoin/internal/obs"
 	"handshakejoin/internal/order"
 	"handshakejoin/internal/shard"
 	"handshakejoin/internal/stream"
@@ -26,10 +29,15 @@ type Engine[L, RT any] struct {
 	lane *shard.Lane[L, RT]
 	clk  clock.Clock
 
-	rSeq, sSeq uint64
-	rLastTS    int64
-	sLastTS    int64
-	rWin, sWin windowTracker
+	// rSeq/sSeq are the per-side sequence counters: written only by the
+	// pusher goroutine (plain load + atomic store), read lock-free by
+	// mid-run snapshots. rLastAt/sLastAt mirror the pusher-private
+	// rLastTS/sLastTS the same way.
+	rSeq, sSeq       atomic.Uint64
+	rLastTS          int64
+	sLastTS          int64
+	rLastAt, sLastAt atomic.Int64
+	rWin, sWin       windowTracker
 
 	// Batched-ingress scratch, reused across calls (the Engine is
 	// single-goroutine by contract). expireR/expireS are bound once so
@@ -45,6 +53,11 @@ type Engine[L, RT any] struct {
 
 	sorter *order.Sorter[L, RT]
 	closed bool
+
+	// Observability layer (Config.Obs); all nil/absent when disabled.
+	ring    *obs.Ring
+	obsSrv  *obs.Server
+	outHist *metrics.AtomicHistogram
 }
 
 // windowTracker turns one stream's arrivals into expiry entries
@@ -170,8 +183,10 @@ func (w *windowTracker) rebind(seqs map[uint64]struct{}, lane int) {
 func (w Window) dualBound() bool { return w.Duration > 0 && w.Count > 0 }
 
 // builderFor translates the public configuration into the node logic
-// builder of the selected algorithm.
-func builderFor[L, RT any](cfg *Config[L, RT]) (core.Builder[L, RT], error) {
+// builder of the selected algorithm. trace, when non-nil, receives the
+// window stores' rare-path events (LLHJ only; the reference HSJ
+// pipeline has no instrumented store).
+func builderFor[L, RT any](cfg *Config[L, RT], trace func(kind string, a, b int64)) (core.Builder[L, RT], error) {
 	switch cfg.Algorithm {
 	case LLHJ:
 		ccfg := &core.Config[L, RT]{
@@ -181,6 +196,7 @@ func builderFor[L, RT any](cfg *Config[L, RT]) (core.Builder[L, RT], error) {
 			KeyR:  cfg.KeyR,
 			KeyS:  cfg.KeyS,
 			Band:  cfg.Band,
+			Trace: trace,
 		}
 		return func(k int) core.NodeLogic[L, RT] { return core.NewNode(ccfg, k) }, nil
 	case HSJ:
@@ -235,16 +251,26 @@ func sortedOutput[L, RT any](final func(Item[L, RT])) (func(Item[L, RT]), *order
 // newEngine builds and starts a single-pipeline Engine from a
 // validated configuration.
 func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
-	build, err := builderFor(&cfg)
-	if err != nil {
-		return nil, err
-	}
 	e := &Engine[L, RT]{
 		clk:     clock.NewWall(),
-		rLastTS: -1 << 62,
-		sLastTS: -1 << 62,
+		rLastTS: minTS,
+		sLastTS: minTS,
 		rWin:    windowTracker{spec: cfg.WindowR},
 		sWin:    windowTracker{spec: cfg.WindowS},
+	}
+	e.rLastAt.Store(minTS)
+	e.sLastAt.Store(minTS)
+	if cfg.Obs.enabled() {
+		e.ring = obs.NewRing(cfg.Obs.ringSize())
+		e.outHist = &metrics.AtomicHistogram{}
+	}
+	var trace func(kind string, a, b int64)
+	if e.ring != nil {
+		trace = func(kind string, a, b int64) { e.ring.Emit(kind, 0, -1, a, b) }
+	}
+	build, err := builderFor(&cfg, trace)
+	if err != nil {
+		return nil, err
 	}
 	e.expireR = func(_ int, _ uint32, seq uint64, due int64, counted, settled bool) {
 		if counted {
@@ -264,8 +290,21 @@ func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 	if cfg.Ordered {
 		out, e.sorter = sortedOutput(cfg.OnOutput)
 	}
+	if e.outHist != nil {
+		out = wrapLatency(e.outHist, e.clk.Now, out)
+	}
 	e.lane = shard.NewLane(laneConfig(&cfg, e.clk, cfg.Punctuate), build,
 		func(it collect.Item[L, RT]) { out(it) })
+	if cfg.Obs.Addr != "" {
+		srv, err := obs.Serve(cfg.Obs.Addr, func() obs.Dump {
+			return gatherDump(e.StatsSnapshot(), e.outHist, e.ring)
+		}, e.ring)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("handshakejoin: observability endpoint: %w", err)
+		}
+		e.obsSrv = srv
+	}
 	return e, nil
 }
 
@@ -324,15 +363,16 @@ func (e *Engine[L, RT]) PushRBatch(batch []Stamped[L]) error {
 		last = batch[i].TS
 	}
 	now := e.clk.Now()
-	seq0 := e.rSeq
+	seq0 := e.rSeq.Load()
 	e.tss = e.tss[:0]
 	e.rTuples = e.rTuples[:0]
 	for i := range batch {
 		e.tss = append(e.tss, batch[i].TS)
 		e.rTuples = append(e.rTuples, stream.Tuple[L]{Seq: seq0 + uint64(i), TS: batch[i].TS, Wall: now, Home: stream.NoHome, Payload: batch[i].Payload})
 	}
-	e.rSeq += uint64(len(batch))
+	e.rSeq.Store(seq0 + uint64(len(batch)))
 	e.rLastTS = last
+	e.rLastAt.Store(last)
 	e.rWin.onArrivalBulk(seq0, e.tss, nil, nil, e.expireR)
 	e.lane.QueueExpiryBulk(stream.R, e.rDurSc, e.rCntSc)
 	e.rDurSc, e.rCntSc = e.rDurSc[:0], e.rCntSc[:0]
@@ -356,15 +396,16 @@ func (e *Engine[L, RT]) PushSBatch(batch []Stamped[RT]) error {
 		last = batch[i].TS
 	}
 	now := e.clk.Now()
-	seq0 := e.sSeq
+	seq0 := e.sSeq.Load()
 	e.tss = e.tss[:0]
 	e.sTuples = e.sTuples[:0]
 	for i := range batch {
 		e.tss = append(e.tss, batch[i].TS)
 		e.sTuples = append(e.sTuples, stream.Tuple[RT]{Seq: seq0 + uint64(i), TS: batch[i].TS, Wall: now, Home: stream.NoHome, Payload: batch[i].Payload})
 	}
-	e.sSeq += uint64(len(batch))
+	e.sSeq.Store(seq0 + uint64(len(batch)))
 	e.sLastTS = last
+	e.sLastAt.Store(last)
 	e.sWin.onArrivalBulk(seq0, e.tss, nil, nil, e.expireS)
 	e.lane.QueueExpiryBulk(stream.S, e.sDurSc, e.sCntSc)
 	e.sDurSc, e.sCntSc = e.sDurSc[:0], e.sCntSc[:0]
@@ -399,22 +440,77 @@ func (e *Engine[L, RT]) Close() error {
 	if e.sorter != nil {
 		e.sorter.Flush()
 	}
+	if e.obsSrv != nil {
+		e.obsSrv.Close()
+	}
 	return nil
 }
 
-// Stats returns run counters; call after Close for exact values.
+// Stats returns run counters. Safe to call mid-run from any goroutine:
+// every counter is an atomic, so the read is race-free; cumulative
+// totals lag in-flight batches at most, and are exact once the engine
+// is closed.
 func (e *Engine[L, RT]) Stats() Stats {
 	agg := e.lane.PipelineStats()
 	st := Stats{
-		RIn:             e.rSeq,
-		SIn:             e.sSeq,
-		Results:         e.lane.Collected(),
-		Punctuations:    e.lane.Punctuations(),
-		Comparisons:     agg.Comparisons,
-		PendingExpiries: agg.PendingExpiries,
+		RIn:              e.rSeq.Load(),
+		SIn:              e.sSeq.Load(),
+		Results:          e.lane.Collected(),
+		Punctuations:     e.lane.Punctuations(),
+		Comparisons:      agg.Comparisons,
+		PendingExpiries:  agg.PendingExpiries,
+		StoreSpills:      agg.StoreSpills,
+		StoreReanchors:   agg.StoreReanchors,
+		StoreCompactions: agg.StoreCompactions,
+		StoreParks:       agg.StoreParks,
+		StoreOverflow:    agg.StoreOverflow,
 	}
 	if e.sorter != nil {
 		st.MaxSortBuffer = e.sorter.MaxBuffer()
 	}
 	return st
+}
+
+// StatsSnapshot returns a race-safe mid-run view; see
+// ShardedEngine.StatsSnapshot. The single-pipeline engine reports one
+// shard (index 0), and its punctuation-floor proxy is the smaller of
+// the two stream high-water marks.
+func (e *Engine[L, RT]) StatsSnapshot() Snapshot {
+	agg := e.lane.PipelineStats()
+	snap := Snapshot{
+		Stats:       e.Stats(),
+		FloorLagNs:  -1,
+		LiveWindowR: []int64{int64(agg.LiveWR)},
+		LiveWindowS: []int64{int64(agg.LiveWS)},
+		ExpiryDepth: []int64{int64(e.lane.ExpiryDepth())},
+	}
+	newest := e.rLastAt.Load()
+	if s := e.sLastAt.Load(); s > newest {
+		newest = s
+	}
+	if newest != minTS {
+		snap.FloorLagNs = newest - e.lane.HWMFloor()
+	}
+	if e.ring != nil {
+		snap.NextEventSeq = e.ring.Next()
+	}
+	return snap
+}
+
+// Events drains the control-plane trace events with sequence >= since,
+// oldest first; see ShardedEngine.Events. Nil when tracing is disabled.
+func (e *Engine[L, RT]) Events(since uint64) []TraceEvent {
+	if e.ring == nil {
+		return nil
+	}
+	return e.ring.Drain(since)
+}
+
+// ObsAddr returns the bound address of the observability endpoint, or
+// "" when the server is disabled.
+func (e *Engine[L, RT]) ObsAddr() string {
+	if e.obsSrv == nil {
+		return ""
+	}
+	return e.obsSrv.Addr()
 }

@@ -143,6 +143,11 @@ type Config[L, RT any] struct {
 	// off.
 	Adapt AdaptConfig
 
+	// Obs opts the engine into the live observability layer: an HTTP
+	// metrics/pprof endpoint and a control-plane event trace. The zero
+	// value disables both; see ObsConfig.
+	Obs ObsConfig
+
 	// CollectPeriod is how often the collector vacuums the result
 	// queues (and punctuates). Default 1ms.
 	CollectPeriod time.Duration
@@ -381,8 +386,23 @@ type Joiner[L, RT any] interface {
 	// Close flushes, stops all goroutines and releases remaining
 	// ordered output.
 	Close() error
-	// Stats returns run counters; call after Close for exact values.
+	// Stats returns run counters. Safe to call mid-run from any
+	// goroutine: every counter is read atomically, so the view lags
+	// the pushers by at most the in-flight batches and is exact once
+	// the engine is closed.
 	Stats() Stats
+	// StatsSnapshot returns Stats plus the live gauges of the
+	// observability layer (punctuation-floor lag, per-shard window
+	// footprints, expiry backlog, in-flight handoffs). Same mid-run
+	// safety as Stats.
+	StatsSnapshot() Snapshot
+	// Events drains the control-plane trace events with sequence
+	// number >= since that are still inside the bounded ring, oldest
+	// first. Nil when tracing is disabled (see ObsConfig).
+	Events(since uint64) []TraceEvent
+	// ObsAddr returns the bound address of the observability HTTP
+	// endpoint, or "" when it is disabled.
+	ObsAddr() string
 }
 
 // New builds and starts the engine selected by cfg: a single-pipeline
@@ -454,4 +474,19 @@ type Stats struct {
 	// migration operation held, in nanoseconds (freezing extracts and
 	// slice hops alike).
 	MaxMigrationStallNs int64
+	// StoreSpills counts whole-ring directory spills into the window
+	// stores' overflow maps (a seq burst after a long idle).
+	StoreSpills uint64
+	// StoreReanchors counts below-base ring re-anchors (migration
+	// injected state older than the destination window's base).
+	StoreReanchors uint64
+	// StoreCompactions counts window entry-slab compactions.
+	StoreCompactions uint64
+	// StoreParks counts entries parked in window overflow maps — the
+	// stores' cold tier; sustained growth marks a pathological seq
+	// pattern.
+	StoreParks uint64
+	// StoreOverflow is the current number of entries across all window
+	// overflow maps (a gauge, exact when quiescent).
+	StoreOverflow int
 }

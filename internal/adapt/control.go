@@ -7,9 +7,10 @@ import (
 )
 
 // Probe exposes the race-safe load signals of one shard lane to the
-// sampler. (Per-node comparison counters are deliberately absent: they
-// are plain ints owned by the pipeline goroutines and are only exact
-// after a quiesce, so a live control loop must not read them.)
+// sampler. (Per-node comparison counters are deliberately absent: even
+// now that they are atomics, they lag the pushers by the in-flight
+// batches, while the control loop needs signals that lead — routed
+// load and queue depth.)
 type Probe interface {
 	// Results returns the number of results the lane has assembled.
 	Results() uint64
@@ -121,6 +122,12 @@ type Config struct {
 	// fresh tuples) and worth a migration; colder stalled groups drain
 	// eventually on their own. Default 1.
 	MinMigrateLoad float64
+
+	// Trace, when set, receives control-plane trace events from the
+	// loop itself: ("rebalance_applied", proposed, applied) whenever a
+	// cycle applies at least one drain cut-over. Called under the
+	// controller mutex on cold cycles only; nil disables.
+	Trace func(kind string, a, b int64)
 }
 
 // Controller runs the sample → plan → cut-over loop against a Router.
@@ -308,6 +315,9 @@ func (c *Controller) Step() (proposed, applied int) {
 		}
 	}
 	applied = c.r.TryApply()
+	if applied > 0 && c.cfg.Trace != nil {
+		c.cfg.Trace("rebalance_applied", int64(proposed), int64(applied))
+	}
 	migrated := c.migrate(applied)
 	switch {
 	case applied > 0 || migrated > 0:

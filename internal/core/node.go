@@ -50,6 +50,12 @@ type Config[L, R any] struct {
 	// Used only by ablation experiments: stored copies then stay
 	// flagged forever and S arrivals can never match them.
 	DisableExpEnd bool
+
+	// Trace, when set, receives the window stores' rare-path events
+	// ("ring_spill", "ring_reanchor", "window_compact") with their
+	// kind-specific integer arguments. It is called from the node's
+	// worker on cold paths only; nil disables tracing.
+	Trace func(kind string, a, b int64)
 }
 
 // Validate reports whether the configuration is self-consistent.
@@ -90,6 +96,18 @@ type Stats struct {
 	MaxWR     int // high-water mark of the node-local R window
 	MaxWS     int // high-water mark of the node-local S window
 	MaxIWS    int // high-water mark of the in-flight S buffer
+	LiveWR    int // current size of the node-local R window (gauge)
+	LiveWS    int // current size of the node-local S window (gauge)
+
+	// Ring-store rare-path counters, aggregated from the node's two
+	// windows. A pathological workload (huge sequence gaps, heavy
+	// deletion churn) exercises these silently-degrading paths; the
+	// counters make a spill storm visible from a live snapshot.
+	StoreSpills      uint64 // whole-ring spills of the slot directory
+	StoreReanchors   uint64 // below-base directory re-anchors
+	StoreCompactions uint64 // entry-slab compactions
+	StoreParks       uint64 // entries parked in the overflow map
+	StoreOverflow    int    // current overflow-map entries (gauge)
 }
 
 // Add accumulates other into s.
@@ -109,6 +127,13 @@ func (s *Stats) Add(other Stats) {
 	if other.MaxIWS > s.MaxIWS {
 		s.MaxIWS = other.MaxIWS
 	}
+	s.LiveWR += other.LiveWR
+	s.LiveWS += other.LiveWS
+	s.StoreSpills += other.StoreSpills
+	s.StoreReanchors += other.StoreReanchors
+	s.StoreCompactions += other.StoreCompactions
+	s.StoreParks += other.StoreParks
+	s.StoreOverflow += other.StoreOverflow
 }
 
 // Node is one processing core of the LLHJ pipeline, holding the
@@ -126,7 +151,7 @@ type Node[L, R any] struct {
 	pendExpR map[uint64]struct{} // expiries that raced ahead of their tuple
 	pendExpS map[uint64]struct{}
 
-	stats Stats
+	stats StatsCell
 }
 
 // NewNode returns node k of an n-node pipeline configured by cfg.
@@ -142,6 +167,10 @@ func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
 	// per owned seq instead of one per global seq.
 	optsR := []store.Option[L]{store.WithStride[L](cfg.Nodes)}
 	optsS := []store.Option[R]{store.WithStride[R](cfg.Nodes)}
+	if cfg.Trace != nil {
+		optsR = append(optsR, store.WithTrace[L](cfg.Trace))
+		optsS = append(optsS, store.WithTrace[R](cfg.Trace))
+	}
 	switch cfg.Index {
 	case IndexHash:
 		optsR = append(optsR, store.WithHashIndex(cfg.KeyR))
@@ -160,8 +189,20 @@ func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
 	}
 }
 
-// Stats returns a snapshot of the node's counters.
-func (n *Node[L, R]) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the node's counters. It is safe to call
+// from any goroutine while the node is running: the counters are
+// single-writer atomics, so the snapshot is exact at read time (skewed
+// by at most the batch in flight).
+func (n *Node[L, R]) Stats() Stats {
+	s := n.stats.Snapshot()
+	rr, sr := n.wR.Rare(), n.wS.Rare()
+	s.StoreSpills = rr.Spills.Load() + sr.Spills.Load()
+	s.StoreReanchors = rr.Reanchors.Load() + sr.Reanchors.Load()
+	s.StoreCompactions = rr.Compactions.Load() + sr.Compactions.Load()
+	s.StoreParks = rr.Parks.Load() + sr.Parks.Load()
+	s.StoreOverflow = int(rr.Overflow.Load() + sr.Overflow.Load())
+	return s
+}
 
 // WindowSizes returns the current sizes of the node-local windows.
 func (n *Node[L, R]) WindowSizes() (wr, ws int) { return n.wR.Len(), n.wS.Len() }
@@ -226,13 +267,19 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 	if !n.rightmost() {
 		em.EmitRight(m)
 	}
+	// Counter updates accumulate in locals and publish once per
+	// message: even a fence-light atomic store per tuple is measurable
+	// at the admission-bound throughput ceiling, one per batch is not.
 	var expEnds []uint64
+	var comparisons, results, storeOnly uint64
+	stored := false
 	src, pooled := em.(SeqBufSource[L, R])
 	for i := range rs {
 		r := rs[i]
-		n.stats.RArrivals++
 		if mode != ArriveStoreOnly {
-			n.scanForR(r, em)
+			ins, res := n.scanForR(r, em)
+			comparisons += uint64(ins)
+			results += uint64(res)
 		}
 		if mode != ArriveProbeOnly && r.Home == n.k {
 			if _, pending := n.pendExpR[r.Seq]; pending {
@@ -241,14 +288,12 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 				delete(n.pendExpR, r.Seq)
 			} else {
 				if mode == ArriveStoreOnly {
-					n.stats.StoreOnly++
+					storeOnly++
 					n.wR.InsertSettled(r)
 				} else {
 					n.wR.Insert(r)
 				}
-				if n.wR.Len() > n.stats.MaxWR {
-					n.stats.MaxWR = n.wR.Len()
-				}
+				stored = true
 			}
 		}
 		if n.rightmost() && mode == ArriveFull {
@@ -267,6 +312,23 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 			}
 		}
 	}
+	Inc(&n.stats.RArrivals, uint64(len(rs)))
+	if comparisons > 0 {
+		Inc(&n.stats.Comparisons, comparisons)
+	}
+	if results > 0 {
+		Inc(&n.stats.Results, results)
+	}
+	if storeOnly > 0 {
+		Inc(&n.stats.StoreOnly, storeOnly)
+	}
+	if stored {
+		// The window only grew inside the loop, so the final length is
+		// the message's high-water mark.
+		wl := int64(n.wR.Len())
+		n.stats.LiveWR.Store(wl)
+		Raise(&n.stats.MaxWR, wl)
+	}
 	if len(expEnds) > 0 {
 		fm := Msg[L, R]{Kind: KindExpEnd, Side: stream.R, Seqs: expEnds}
 		if pooled {
@@ -277,12 +339,13 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 }
 
 // scanForR finds matches for r in the node-local S window and the
-// in-flight buffer (Figure 13 line 8).
-func (n *Node[L, R]) scanForR(r stream.Tuple[L], em Emitter[L, R]) {
-	inspected := 0
+// in-flight buffer (Figure 13 line 8). It returns the entry and result
+// counts for the caller to publish, accumulated per message.
+func (n *Node[L, R]) scanForR(r stream.Tuple[L], em Emitter[L, R]) (int, int) {
+	inspected, results := 0, 0
 	emit := func(s stream.Tuple[R]) {
 		if n.cfg.Pred(r.Payload, s.Payload) {
-			n.stats.Results++
+			results++
 			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
 		}
 	}
@@ -303,8 +366,8 @@ func (n *Node[L, R]) scanForR(r stream.Tuple[L], em Emitter[L, R]) {
 		inspected++
 		emit(s)
 	}
-	n.stats.Comparisons += uint64(inspected)
 	em.Cost(inspected)
+	return inspected, results
 }
 
 // handleArrivalS implements the arrival branch of Figure 14: tag homes
@@ -323,11 +386,15 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 	if !n.leftmost() {
 		em.EmitLeft(m)
 	}
+	// Per-message counter accumulation, as in handleArrivalR.
+	var comparisons, results, storeOnly uint64
+	stored, retained := false, false
 	for i := range ss {
 		s := ss[i]
-		n.stats.SArrivals++
 		if mode != ArriveStoreOnly {
-			n.scanForS(s, em)
+			ins, res := n.scanForS(s, em)
+			comparisons += uint64(ins)
+			results += uint64(res)
 		}
 		if mode == ArriveFull && !n.cfg.DisableAck && n.k > s.Home {
 			// s is fresh here: keep it visible until the left
@@ -336,26 +403,42 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 			// nothing and, under the quiescent-injection contract, no
 			// in-flight arrival can be crossing them.
 			n.iwS = append(n.iwS, s)
-			if len(n.iwS) > n.stats.MaxIWS {
-				n.stats.MaxIWS = len(n.iwS)
-			}
+			retained = true
 		}
 		if mode != ArriveProbeOnly && s.Home == n.k {
 			if _, pending := n.pendExpS[s.Seq]; pending {
 				delete(n.pendExpS, s.Seq)
 			} else {
 				if mode == ArriveStoreOnly {
-					n.stats.StoreOnly++
+					storeOnly++
 				}
 				n.wS.InsertSettled(s)
-				if n.wS.Len() > n.stats.MaxWS {
-					n.stats.MaxWS = n.wS.Len()
-				}
+				stored = true
 			}
 		}
 		if n.leftmost() && mode == ArriveFull {
 			em.StreamEnd(stream.S, s.TS)
 		}
+	}
+	Inc(&n.stats.SArrivals, uint64(len(ss)))
+	if comparisons > 0 {
+		Inc(&n.stats.Comparisons, comparisons)
+	}
+	if results > 0 {
+		Inc(&n.stats.Results, results)
+	}
+	if storeOnly > 0 {
+		Inc(&n.stats.StoreOnly, storeOnly)
+	}
+	if retained {
+		// iwS only grows inside the loop; acks shrink it in a separate
+		// message, so the final length is this message's high-water mark.
+		Raise(&n.stats.MaxIWS, int64(len(n.iwS)))
+	}
+	if stored {
+		wl := int64(n.wS.Len())
+		n.stats.LiveWS.Store(wl)
+		Raise(&n.stats.MaxWS, wl)
 	}
 	if mode == ArriveFull && !n.cfg.DisableAck && !n.rightmost() && len(ss) > 0 {
 		// Acknowledge the whole batch to the sender (Figure 14 line 13).
@@ -378,12 +461,13 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 }
 
 // scanForS finds matches for s among the *non-expedited* entries of the
-// node-local R window (Figure 14 line 8).
-func (n *Node[L, R]) scanForS(s stream.Tuple[R], em Emitter[L, R]) {
-	inspected := 0
+// node-local R window (Figure 14 line 8). It returns the entry and
+// result counts for the caller to publish, accumulated per message.
+func (n *Node[L, R]) scanForS(s stream.Tuple[R], em Emitter[L, R]) (int, int) {
+	inspected, results := 0, 0
 	emit := func(r stream.Tuple[L]) {
 		if n.cfg.Pred(r.Payload, s.Payload) {
-			n.stats.Results++
+			results++
 			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
 		}
 	}
@@ -400,8 +484,8 @@ func (n *Node[L, R]) scanForS(s stream.Tuple[R], em Emitter[L, R]) {
 	default:
 		inspected += n.wR.ScanSettled(emit)
 	}
-	n.stats.Comparisons += uint64(inspected)
 	em.Cost(inspected)
+	return inspected, results
 }
 
 // handleAckS removes acknowledged tuples from the in-flight buffer
@@ -454,11 +538,12 @@ func (n *Node[L, R]) handleExpiryR(m Msg[L, R], em Emitter[L, R]) {
 	var forward []uint64
 	src, pooled := em.(SeqBufSource[L, R])
 	canFwd := !n.leftmost()
+	var pending uint64
 	for _, seq := range m.Seqs {
 		if n.cfg.HomeOf(seq) == n.k {
 			if _, ok := n.wR.Remove(seq); !ok {
 				n.pendExpR[seq] = struct{}{}
-				n.stats.PendingExpiries++
+				pending++
 			}
 		} else if canFwd {
 			if pooled && forward == nil {
@@ -467,6 +552,10 @@ func (n *Node[L, R]) handleExpiryR(m Msg[L, R], em Emitter[L, R]) {
 			forward = append(forward, seq)
 		}
 	}
+	if pending > 0 {
+		Inc(&n.stats.PendingExpiries, pending)
+	}
+	n.stats.LiveWR.Store(int64(n.wR.Len()))
 	if len(forward) > 0 {
 		fm := Msg[L, R]{Kind: KindExpiry, Side: stream.R, Seqs: forward}
 		if pooled {
@@ -482,11 +571,12 @@ func (n *Node[L, R]) handleExpiryS(m Msg[L, R], em Emitter[L, R]) {
 	var forward []uint64
 	src, pooled := em.(SeqBufSource[L, R])
 	canFwd := !n.rightmost()
+	var pending uint64
 	for _, seq := range m.Seqs {
 		if n.cfg.HomeOf(seq) == n.k {
 			if _, ok := n.wS.Remove(seq); !ok {
 				n.pendExpS[seq] = struct{}{}
-				n.stats.PendingExpiries++
+				pending++
 			}
 		} else if canFwd {
 			if pooled && forward == nil {
@@ -495,6 +585,10 @@ func (n *Node[L, R]) handleExpiryS(m Msg[L, R], em Emitter[L, R]) {
 			forward = append(forward, seq)
 		}
 	}
+	if pending > 0 {
+		Inc(&n.stats.PendingExpiries, pending)
+	}
+	n.stats.LiveWS.Store(int64(n.wS.Len()))
 	if len(forward) > 0 {
 		fm := Msg[L, R]{Kind: KindExpiry, Side: stream.S, Seqs: forward}
 		if pooled {
@@ -553,7 +647,16 @@ func (n *Node[L, R]) ExtractMatching(matchR func(L) bool, matchS func(R) bool) (
 			ss = append(ss, t)
 		}
 	}
+	n.syncLiveGauges()
 	return rs, ss
+}
+
+// syncLiveGauges republishes the live window-size gauges after a
+// quiescent extraction (which bypasses the arrival/expiry paths that
+// normally keep them fresh).
+func (n *Node[L, R]) syncLiveGauges() {
+	n.stats.LiveWR.Store(int64(n.wR.Len()))
+	n.stats.LiveWS.Store(int64(n.wS.Len()))
 }
 
 // PeekOldestMatching returns up to max of the node's oldest live
@@ -602,6 +705,7 @@ func (n *Node[L, R]) ExtractSeqs(rSeqs, sSeqs map[uint64]struct{}) (rs []stream.
 			ss = append(ss, t)
 		}
 	}
+	n.syncLiveGauges()
 	return rs, ss
 }
 

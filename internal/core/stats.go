@@ -1,0 +1,62 @@
+package core
+
+import "sync/atomic"
+
+// StatsCell is the live, race-safe form of Stats: the counters a node
+// mutates on its hot path, held as atomics so any goroutine may read a
+// consistent snapshot mid-run.
+//
+// Every cell has exactly one writer at a time — the runtime serializes
+// all calls into one NodeLogic, and the quiescent extract/inject paths
+// run only while the worker is parked — so writers publish with
+// Inc/Raise (a plain load plus an atomic store) instead of atomic
+// read-modify-write. On the admission-bound hot path that distinction
+// is the whole overhead budget: an uncontended atomic add is a locked
+// RMW (~5-10ns), while a store after a plain load costs about as much
+// as the plain increment it replaces.
+type StatsCell struct {
+	RArrivals       atomic.Uint64
+	SArrivals       atomic.Uint64
+	Comparisons     atomic.Uint64
+	Results         atomic.Uint64
+	PendingExpiries atomic.Uint64
+	StoreOnly       atomic.Uint64
+	MaxWR           atomic.Int64
+	MaxWS           atomic.Int64
+	MaxIWS          atomic.Int64
+	// LiveWR / LiveWS mirror the current node-local window sizes —
+	// gauges the worker refreshes after every window mutation, so a
+	// mid-run snapshot never has to touch the (goroutine-owned) stores.
+	LiveWR atomic.Int64
+	LiveWS atomic.Int64
+}
+
+// Inc publishes c+n. Safe only for a cell's single writer.
+func Inc(c *atomic.Uint64, n uint64) { c.Store(c.Load() + n) }
+
+// Raise publishes v if it exceeds the current value. Safe only for a
+// cell's single writer.
+func Raise(c *atomic.Int64, v int64) {
+	if v > c.Load() {
+		c.Store(v)
+	}
+}
+
+// Snapshot returns a consistent-enough point-in-time copy: each field
+// is read atomically; cross-field skew is bounded by one in-flight
+// batch.
+func (c *StatsCell) Snapshot() Stats {
+	return Stats{
+		RArrivals:       c.RArrivals.Load(),
+		SArrivals:       c.SArrivals.Load(),
+		Comparisons:     c.Comparisons.Load(),
+		Results:         c.Results.Load(),
+		PendingExpiries: c.PendingExpiries.Load(),
+		StoreOnly:       c.StoreOnly.Load(),
+		MaxWR:           int(c.MaxWR.Load()),
+		MaxWS:           int(c.MaxWS.Load()),
+		MaxIWS:          int(c.MaxIWS.Load()),
+		LiveWR:          int(c.LiveWR.Load()),
+		LiveWS:          int(c.LiveWS.Load()),
+	}
+}

@@ -90,7 +90,7 @@ type Node[L, R any] struct {
 	chaseR map[uint64]struct{}
 	chaseS map[uint64]struct{}
 
-	stats core.Stats
+	stats core.StatsCell
 }
 
 // NewNode returns node k of the pipeline configured by cfg.
@@ -111,8 +111,19 @@ func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
 	}
 }
 
-// Stats implements core.NodeLogic.
-func (n *Node[L, R]) Stats() core.Stats { return n.stats }
+// Stats implements core.NodeLogic. Like the LLHJ node's, it is safe
+// to call from any goroutine mid-run: the counters are single-writer
+// atomics.
+func (n *Node[L, R]) Stats() core.Stats {
+	s := n.stats.Snapshot()
+	rr, sr := n.wR.Rare(), n.wS.Rare()
+	s.StoreSpills = rr.Spills.Load() + sr.Spills.Load()
+	s.StoreReanchors = rr.Reanchors.Load() + sr.Reanchors.Load()
+	s.StoreCompactions = rr.Compactions.Load() + sr.Compactions.Load()
+	s.StoreParks = rr.Parks.Load() + sr.Parks.Load()
+	s.StoreOverflow = int(rr.Overflow.Load() + sr.Overflow.Load())
+	return s
+}
 
 // WindowSizes returns the current sizes of the node-local segments.
 func (n *Node[L, R]) WindowSizes() (wr, ws int) { return n.wR.Len(), n.wS.Len() }
@@ -168,13 +179,11 @@ func (n *Node[L, R]) handleArrivalR(m core.Msg[L, R], em core.Emitter[L, R]) {
 	rs := m.R
 	for i := range rs {
 		r := rs[i]
-		n.stats.RArrivals++
+		core.Inc(&n.stats.RArrivals, 1)
 		n.scanForR(r, em)
 		n.wR.InsertSettled(r)
 	}
-	if n.wR.Len() > n.stats.MaxWR {
-		n.stats.MaxWR = n.wR.Len()
-	}
+	core.Raise(&n.stats.MaxWR, int64(n.wR.Len()))
 	if !n.cfg.DisableAck && !n.leftmost() {
 		seqs := make([]uint64, len(rs))
 		for i := range rs {
@@ -185,6 +194,7 @@ func (n *Node[L, R]) handleArrivalR(m core.Msg[L, R], em core.Emitter[L, R]) {
 	// Pop overflow. The rightmost node holds R until expiry deletes it
 	// (the pipeline exit is where the oldest window portion lives).
 	if n.rightmost() {
+		n.stats.LiveWR.Store(int64(n.wR.Len()))
 		return
 	}
 	var popped []stream.Tuple[L]
@@ -195,6 +205,7 @@ func (n *Node[L, R]) handleArrivalR(m core.Msg[L, R], em core.Emitter[L, R]) {
 		}
 		popped = append(popped, t)
 	}
+	n.stats.LiveWR.Store(int64(n.wR.Len()))
 	if len(popped) > 0 {
 		if !n.cfg.DisableAck {
 			n.iwR = append(n.iwR, popped...)
@@ -209,13 +220,11 @@ func (n *Node[L, R]) handleArrivalS(m core.Msg[L, R], em core.Emitter[L, R]) {
 	ss := m.S
 	for i := range ss {
 		s := ss[i]
-		n.stats.SArrivals++
+		core.Inc(&n.stats.SArrivals, 1)
 		n.scanForS(s, em)
 		n.wS.InsertSettled(s)
 	}
-	if n.wS.Len() > n.stats.MaxWS {
-		n.stats.MaxWS = n.wS.Len()
-	}
+	core.Raise(&n.stats.MaxWS, int64(n.wS.Len()))
 	if !n.cfg.DisableAck && !n.rightmost() {
 		seqs := make([]uint64, len(ss))
 		for i := range ss {
@@ -224,6 +233,7 @@ func (n *Node[L, R]) handleArrivalS(m core.Msg[L, R], em core.Emitter[L, R]) {
 		em.EmitRight(core.Msg[L, R]{Kind: core.KindAck, Side: stream.S, Seqs: seqs})
 	}
 	if n.leftmost() {
+		n.stats.LiveWS.Store(int64(n.wS.Len()))
 		return
 	}
 	var popped []stream.Tuple[R]
@@ -234,12 +244,11 @@ func (n *Node[L, R]) handleArrivalS(m core.Msg[L, R], em core.Emitter[L, R]) {
 		}
 		popped = append(popped, t)
 	}
+	n.stats.LiveWS.Store(int64(n.wS.Len()))
 	if len(popped) > 0 {
 		if !n.cfg.DisableAck {
 			n.iwS = append(n.iwS, popped...)
-			if len(n.iwS) > n.stats.MaxIWS {
-				n.stats.MaxIWS = len(n.iwS)
-			}
+			core.Raise(&n.stats.MaxIWS, int64(len(n.iwS)))
 		}
 		em.EmitLeft(core.Msg[L, R]{Kind: core.KindArrival, Side: stream.S, S: popped})
 	}
@@ -248,18 +257,18 @@ func (n *Node[L, R]) handleArrivalS(m core.Msg[L, R], em core.Emitter[L, R]) {
 func (n *Node[L, R]) scanForR(r stream.Tuple[L], em core.Emitter[L, R]) {
 	inspected := n.wS.ScanAll(func(s stream.Tuple[R]) {
 		if n.cfg.Pred(r.Payload, s.Payload) {
-			n.stats.Results++
+			core.Inc(&n.stats.Results, 1)
 			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
 		}
 	})
 	for _, s := range n.iwS {
 		inspected++
 		if n.cfg.Pred(r.Payload, s.Payload) {
-			n.stats.Results++
+			core.Inc(&n.stats.Results, 1)
 			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
 		}
 	}
-	n.stats.Comparisons += uint64(inspected)
+	core.Inc(&n.stats.Comparisons, uint64(inspected))
 	em.Cost(inspected)
 }
 
@@ -269,11 +278,11 @@ func (n *Node[L, R]) scanForS(s stream.Tuple[R], em core.Emitter[L, R]) {
 	// both buffers would allow the same pair to match twice.
 	inspected := n.wR.ScanAll(func(r stream.Tuple[L]) {
 		if n.cfg.Pred(r.Payload, s.Payload) {
-			n.stats.Results++
+			core.Inc(&n.stats.Results, 1)
 			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
 		}
 	})
-	n.stats.Comparisons += uint64(inspected)
+	core.Inc(&n.stats.Comparisons, uint64(inspected))
 	em.Cost(inspected)
 }
 
@@ -335,11 +344,12 @@ func (n *Node[L, R]) handleExpiry(m core.Msg[L, R], em core.Emitter[L, R], rever
 			}
 			if n.inFlightR(seq) {
 				n.chaseR[seq] = struct{}{}
-				n.stats.PendingExpiries++
+				core.Inc(&n.stats.PendingExpiries, 1)
 				continue
 			}
 			forward = append(forward, seq)
 		}
+		n.stats.LiveWR.Store(int64(n.wR.Len()))
 		if len(forward) == 0 {
 			return
 		}
@@ -360,11 +370,12 @@ func (n *Node[L, R]) handleExpiry(m core.Msg[L, R], em core.Emitter[L, R], rever
 		}
 		if n.inFlightS(seq) {
 			n.chaseS[seq] = struct{}{}
-			n.stats.PendingExpiries++
+			core.Inc(&n.stats.PendingExpiries, 1)
 			continue
 		}
 		forward = append(forward, seq)
 	}
+	n.stats.LiveWS.Store(int64(n.wS.Len()))
 	if len(forward) == 0 {
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // LatencyPoint is one point of a latency-over-time series: statistics of
@@ -191,6 +192,50 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.max
+}
+
+// AtomicHistogram is the multi-writer form of Histogram: the same
+// base-2 buckets, safe for concurrent Add and Snapshot. The engines'
+// observability layer records output latencies with it on the serving
+// path, where several collector goroutines deliver concurrently. The
+// zero value is ready to use.
+type AtomicHistogram struct {
+	buckets [64]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Add records one sample.
+func (h *AtomicHistogram) Add(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *AtomicHistogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest sample.
+func (h *AtomicHistogram) Max() int64 { return h.max.Load() }
+
+// Buckets returns the per-bucket counts; bucket i counts samples in
+// [2^i, 2^(i+1)) nanoseconds (bucket 0 includes non-positive samples).
+func (h *AtomicHistogram) Buckets() [64]uint64 {
+	var out [64]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
 }
 
 // Throughput measures sustained tuples/second over a run.

@@ -1,0 +1,103 @@
+// Package obs is the engine's live observability layer: a bounded
+// lock-free ring of structured control-plane events (rebalances,
+// handoff slices, ring-store spills, heartbeat stalls) and a minimal
+// HTTP export surface serving Prometheus text exposition, expvar,
+// net/http/pprof and a JSONL event drain.
+//
+// The package is deliberately dumb about what it exports: engines hand
+// it a gather function producing already-read samples, so nothing here
+// ever touches engine internals or takes engine locks. Emitting an
+// event allocates one Event (control-plane events are rare — a busy
+// run produces a few per control cycle, not per tuple); the data-plane
+// hot path never calls into this package.
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured control-plane event. Kind names the event
+// ("rebalance_applied", "handoff_begin", "slice_hop", "handoff_settle",
+// "migrate_freeze", "heartbeat_stall", "ring_spill", "ring_reanchor",
+// "window_compact"); Shard and Group
+// are -1 when the event is not scoped to one. A and B carry
+// kind-specific integers (counts, shard ids, timestamps) documented at
+// the emission site.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Wall  int64  `json:"wall_ns"`
+	Kind  string `json:"kind"`
+	Shard int    `json:"shard"`
+	Group int64  `json:"group"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+}
+
+// Ring is a bounded, lock-free, multi-producer event buffer. Writers
+// claim a slot with one atomic add and publish a fully built Event
+// with one atomic pointer store; readers (Drain) see either a slot's
+// old event or its new one, never a torn mix, so the ring is exact
+// under the race detector with zero locks. When the ring wraps, the
+// oldest events are overwritten — Drain reports at most the last cap
+// events.
+type Ring struct {
+	mask  uint64
+	pos   atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewRing returns a ring holding the last size events (rounded up to a
+// power of two, minimum 64).
+func NewRing(size int) *Ring {
+	cap := 64
+	for cap < size {
+		cap <<= 1
+	}
+	return &Ring{mask: uint64(cap - 1), slots: make([]atomic.Pointer[Event], cap)}
+}
+
+// Emit publishes one event. A nil ring drops it — callers thread a
+// single possibly-nil *Ring instead of guarding every emission site.
+func (r *Ring) Emit(kind string, shard int, group int64, a, b int64) {
+	if r == nil {
+		return
+	}
+	ev := &Event{
+		Wall:  time.Now().UnixNano(),
+		Kind:  kind,
+		Shard: shard,
+		Group: group,
+		A:     a,
+		B:     b,
+	}
+	ev.Seq = r.pos.Add(1) - 1
+	r.slots[ev.Seq&r.mask].Store(ev)
+}
+
+// Next returns the sequence number the next emitted event will carry;
+// Drain(Next()) returns only events emitted after the call.
+func (r *Ring) Next() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.pos.Load()
+}
+
+// Drain returns the buffered events with Seq >= since, oldest first.
+// Events overwritten by ring wrap-around are gone; callers resume with
+// since = last.Seq+1.
+func (r *Ring) Drain(since uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.slots {
+		if ev := r.slots[i].Load(); ev != nil && ev.Seq >= since {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

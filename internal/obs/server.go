@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Sample is one Prometheus sample: a counter or gauge with optional
+// labels. Help is emitted on the first sample of each metric name.
+type Sample struct {
+	Name   string
+	Help   string
+	Gauge  bool
+	Labels [][2]string
+	Value  float64
+}
+
+// Hist is one Prometheus histogram: per-bucket (non-cumulative) counts
+// with ascending upper bounds; the +Inf bucket is implied by Count.
+type Hist struct {
+	Name, Help string
+	Bounds     []float64
+	Counts     []uint64
+	Sum        float64
+	Count      uint64
+}
+
+// Dump is everything one scrape exports.
+type Dump struct {
+	Samples []Sample
+	Hists   []Hist
+}
+
+// WriteProm writes the dump in the Prometheus text exposition format.
+func WriteProm(w io.Writer, d Dump) {
+	seen := map[string]bool{}
+	for _, s := range d.Samples {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			if s.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help)
+			}
+			typ := "counter"
+			if s.Gauge {
+				typ = "gauge"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, typ)
+		}
+		fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Value))
+	}
+	for _, h := range d.Hists {
+		if h.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", h.Name, h.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name)
+		var cum uint64
+		for i, b := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, promFloat(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", h.Name, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
+	}
+}
+
+func promLabels(ls [][2]string) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l[0], l[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Server is the engine's HTTP export surface. Endpoints:
+//
+//	/metrics        Prometheus text exposition of the gather dump
+//	/events         JSONL drain of the event ring (?since=N resumes)
+//	/debug/vars     expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/   net/http/pprof profiles
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9177"; ":0" picks a free port) and
+// serves the export surface on its own goroutine until Close. gather
+// is called per scrape; ring may be nil (the /events drain is then
+// empty).
+func Serve(addr string, gather func() Dump, ring *Ring) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteProm(w, gather())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		var since uint64
+		if s := req.URL.Query().Get("since"); s != "" {
+			since, _ = strconv.ParseUint(s, 10, 64)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range ring.Drain(since) {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes the listener.
+func (s *Server) Close() error { return s.srv.Close() }

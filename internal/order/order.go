@@ -13,6 +13,7 @@ package order
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"handshakejoin/internal/collect"
 	"handshakejoin/internal/core"
@@ -22,8 +23,10 @@ import (
 type Sorter[L, R any] struct {
 	out func(core.Result[L, R])
 
-	buf       []core.Result[L, R]
-	maxBuffer int
+	buf []core.Result[L, R]
+	// maxBuffer is written only by the Push/Flush caller (plain load +
+	// atomic store) so MaxBuffer is race-safe from snapshot readers.
+	maxBuffer atomic.Int64
 	released  uint64
 	lastPunct int64
 	lastTS    int64
@@ -39,8 +42,8 @@ func NewSorter[L, R any](out func(core.Result[L, R])) *Sorter[L, R] {
 func (s *Sorter[L, R]) Push(it collect.Item[L, R]) {
 	if !it.Punct {
 		s.buf = append(s.buf, it.Result)
-		if len(s.buf) > s.maxBuffer {
-			s.maxBuffer = len(s.buf)
+		if n := int64(len(s.buf)); n > s.maxBuffer.Load() {
+			s.maxBuffer.Store(n)
 		}
 		return
 	}
@@ -92,8 +95,8 @@ func (s *Sorter[L, R]) Flush() {
 }
 
 // MaxBuffer returns the high-water mark of buffered results — the
-// series Figure 21 plots.
-func (s *Sorter[L, R]) MaxBuffer() int { return s.maxBuffer }
+// series Figure 21 plots. Safe to call concurrently with Push.
+func (s *Sorter[L, R]) MaxBuffer() int { return int(s.maxBuffer.Load()) }
 
 // Released returns the number of results emitted.
 func (s *Sorter[L, R]) Released() uint64 { return s.released }

@@ -378,8 +378,9 @@ func (lv *Live[L, R]) Stop() {
 	lv.wg.Wait()
 }
 
-// Stats aggregates all node counters. Only meaningful after Stop or
-// Quiesce.
+// Stats aggregates all node counters. The counters are atomics, so the
+// aggregation is race-safe mid-run; it is exact once the pipeline is
+// quiescent (after Stop or Quiesce).
 func (lv *Live[L, R]) Stats() core.Stats {
 	var agg core.Stats
 	for _, n := range lv.nodes {

@@ -864,9 +864,31 @@ func (l *Lane[L, R]) Close() {
 	l.wg.Wait() // collector drains the closed queues, then exits
 }
 
-// PipelineStats aggregates this lane's node counters; exact after
-// Close or Tick.
+// PipelineStats aggregates this lane's node counters. The counters are
+// atomics, so a mid-run read is race-safe; cumulative totals lag the
+// pushers by at most the in-flight batches, and gauges reflect the last
+// published value of each node.
 func (l *Lane[L, R]) PipelineStats() core.Stats { return l.lv.Stats() }
+
+// ExpiryDepth reports the number of pending (not yet due) expiry
+// entries across both of the lane's scheduling queues — a backlog gauge
+// for live snapshots. Safe to call from any goroutine.
+func (l *Lane[L, R]) ExpiryDepth() int {
+	l.expMu.Lock()
+	defer l.expMu.Unlock()
+	return l.rExp.Len() + l.sExp.Len()
+}
+
+// HWMFloor returns the smaller of the lane's two stream high-water
+// marks — the bound every future punctuation promise clears. Race-safe
+// (two atomic loads).
+func (l *Lane[L, R]) HWMFloor() int64 {
+	r, s := l.lv.HWMR(), l.lv.HWMS()
+	if s < r {
+		return s
+	}
+	return r
+}
 
 // Collected returns the number of results this lane's collector
 // assembled.

@@ -67,6 +67,15 @@ func (m *Merge[L, R]) Punctuations() uint64 {
 	return m.puncts
 }
 
+// Floor returns the current merged punctuation floor: the timestamp
+// below which the merged output stream is complete. Before every lane
+// has promised a punctuation it is math.MinInt64.
+func (m *Merge[L, R]) Floor() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.floor.Floor()
+}
+
 // ShardResults returns a copy of the per-shard result counts — the
 // load-balance view of the partitioner.
 func (m *Merge[L, R]) ShardResults() []uint64 {

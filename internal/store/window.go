@@ -44,7 +44,11 @@
 // (already overdue) expiries drain them.
 package store
 
-import "handshakejoin/internal/stream"
+import (
+	"sync/atomic"
+
+	"handshakejoin/internal/stream"
+)
 
 // maxRingSlots caps the seq span (in stride units) the ring directory
 // covers: 1<<20 slots is 4 MiB of int32 directory per window at the
@@ -96,6 +100,40 @@ type Window[T any] struct {
 	hash  *HashIndex
 	btree *BTreeIndex
 	key   stream.KeyFunc[T]
+
+	rare  RareStats
+	trace func(kind string, a, b int64)
+}
+
+// RareStats counts the window's rare-path events. Without them a
+// pathological spill storm (huge seq jumps, far-below-base injections)
+// degrades silently; with them it shows up in any live snapshot. The
+// fields are atomics written only by the window's owning worker (reads
+// may come from any goroutine), so updates are a plain load plus an
+// atomic store — nothing the race detector or the hot path notices.
+type RareStats struct {
+	Spills      atomic.Uint64 // whole-ring spills into the overflow map
+	Reanchors   atomic.Uint64 // below-base directory re-anchors
+	Compactions atomic.Uint64 // entry-slab compactions
+	Parks       atomic.Uint64 // entries parked in the overflow map
+	Overflow    atomic.Int64  // current overflow-map entries (gauge)
+}
+
+func rareInc(c *atomic.Uint64, n uint64) { c.Store(c.Load() + n) }
+
+// Rare returns the window's rare-path counters for race-safe reading.
+func (w *Window[T]) Rare() *RareStats { return &w.rare }
+
+// syncOverflow republishes the overflow-map size gauge; call after any
+// mutation of w.over (all cold paths).
+func (w *Window[T]) syncOverflow() {
+	w.rare.Overflow.Store(int64(len(w.over)))
+}
+
+func (w *Window[T]) traceEvent(kind string, a, b int64) {
+	if w.trace != nil {
+		w.trace(kind, a, b)
+	}
 }
 
 // Option configures a Window.
@@ -131,6 +169,17 @@ func WithStride[T any](n int) Option[T] {
 			n = 1
 		}
 		w.stride = uint64(n)
+	}
+}
+
+// WithTrace registers a callback for the window's rare-path events:
+// "ring_spill" (entries spilled, span at spill), "ring_reanchor"
+// (slots swept back, new span) and "window_compact" (slots reclaimed,
+// live entries). The callback runs on the owning worker, cold paths
+// only.
+func WithTrace[T any](fn func(kind string, a, b int64)) Option[T] {
+	return func(w *Window[T]) {
+		w.trace = fn
 	}
 }
 
@@ -194,6 +243,7 @@ func (w *Window[T]) setSlot(seq uint64, slot int32) {
 			w.ring[w.pos(int(d))] = slot + 1
 			if len(w.over) > 0 {
 				delete(w.over, seq)
+				w.syncOverflow()
 			}
 			return
 		}
@@ -213,7 +263,10 @@ func (w *Window[T]) clearSeq(seq uint64) {
 			return
 		}
 	}
-	delete(w.over, seq)
+	if w.over != nil {
+		delete(w.over, seq)
+		w.syncOverflow()
+	}
 }
 
 // checkStride panics when d (a seq distance from base) violates the
@@ -291,6 +344,8 @@ func (w *Window[T]) place(seq uint64, slot int32) {
 			panic("store: duplicate seq inserted")
 		}
 		w.over[seq] = slot + 1
+		rareInc(&w.rare.Parks, 1)
+		w.syncOverflow()
 		return
 	}
 	if int(d)+w.span > len(w.ring) {
@@ -304,6 +359,8 @@ func (w *Window[T]) place(seq uint64, slot int32) {
 	}
 	w.checkOverDup(seq)
 	w.ring[w.start] = slot + 1
+	rareInc(&w.rare.Reanchors, 1)
+	w.traceEvent("ring_reanchor", int64(d), int64(w.span))
 	return
 }
 
@@ -314,14 +371,21 @@ func (w *Window[T]) spillAll() {
 	if w.over == nil {
 		w.over = make(map[uint64]int32)
 	}
+	moved := 0
 	for i := 0; i < w.span; i++ {
 		p := w.pos(i)
 		if w.ring[p] != 0 {
 			w.over[w.base+uint64(i)*w.stride] = w.ring[p]
 			w.ring[p] = 0
+			moved++
 		}
 	}
+	spanAt := w.span
 	w.span = 0
+	rareInc(&w.rare.Spills, 1)
+	rareInc(&w.rare.Parks, uint64(moved))
+	w.syncOverflow()
+	w.traceEvent("ring_spill", int64(moved), int64(spanAt))
 }
 
 // growRing linearizes the span into a zeroed power-of-two array of at
@@ -594,6 +658,7 @@ func (w *Window[T]) maybeCompact() {
 // held by open slice cursors and hash chains — are untouched; only the
 // seq → slot mapping changes.
 func (w *Window[T]) compactInPlace() {
+	before := len(w.entries)
 	n := 0
 	for i := w.head; i < len(w.entries); i++ {
 		if !w.entries[i].dead {
@@ -619,5 +684,11 @@ func (w *Window[T]) compactInPlace() {
 	w.head = 0
 	for i := range w.entries {
 		w.setSlot(w.entries[i].tuple.Seq, int32(i))
+	}
+	// The empty-slab call insert makes on a fresh window is not a
+	// compaction worth reporting.
+	if before > 0 {
+		rareInc(&w.rare.Compactions, 1)
+		w.traceEvent("window_compact", int64(before-n), int64(n))
 	}
 }

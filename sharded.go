@@ -2,6 +2,7 @@ package handshakejoin
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +13,8 @@ import (
 	"handshakejoin/internal/clock"
 	"handshakejoin/internal/collect"
 	"handshakejoin/internal/core"
+	"handshakejoin/internal/metrics"
+	"handshakejoin/internal/obs"
 	"handshakejoin/internal/order"
 	"handshakejoin/internal/shard"
 	"handshakejoin/internal/stream"
@@ -75,11 +78,14 @@ type ShardedEngine[L, RT any] struct {
 
 	clk clock.Clock
 
-	rmu        sync.Mutex // serializes the R side: seq, ts check, window accounting, routing
-	smu        sync.Mutex // serializes the S side
-	rSeq, sSeq uint64
-	rLastTS    int64
-	sLastTS    int64
+	rmu     sync.Mutex // serializes the R side: seq, ts check, window accounting, routing
+	smu     sync.Mutex // serializes the S side
+	rLastTS int64
+	sLastTS int64
+	// rSeq/sSeq are the per-side sequence counters: written only under
+	// the side lock (plain load + atomic store), read lock-free by
+	// mid-run snapshots.
+	rSeq, sSeq atomic.Uint64
 	rWin, sWin windowTracker
 
 	// Atomic mirrors of the per-side ingress timestamps: any load is a
@@ -124,6 +130,11 @@ type ShardedEngine[L, RT any] struct {
 	sortMu  sync.Mutex // sorter access: merge callbacks vs Close's final Flush
 	closed  atomic.Bool
 	closeMu sync.Mutex
+
+	// Observability layer (Config.Obs); all nil/absent when disabled.
+	ring    *obs.Ring
+	obsSrv  *obs.Server
+	outHist *metrics.AtomicHistogram
 }
 
 // ingressGate serializes same-lane pushes of one stream side in ticket
@@ -249,10 +260,6 @@ func (p *fanPlan[T]) mark(lane int) {
 // newSharded builds and starts a ShardedEngine from a validated
 // configuration with cfg.Shards > 1.
 func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
-	build, err := builderFor(&cfg)
-	if err != nil {
-		return nil, err
-	}
 	groups := cfg.Adapt.KeyGroups
 	if groups == 0 {
 		groups = shard.DefaultGroups(cfg.Shards)
@@ -275,6 +282,10 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 	e.sliceTuples = cfg.Adapt.Migration.SliceTuples
 	if e.sliceTuples == 0 {
 		e.sliceTuples = 1024
+	}
+	if cfg.Obs.enabled() {
+		e.ring = obs.NewRing(cfg.Obs.ringSize())
+		e.outHist = &metrics.AtomicHistogram{}
 	}
 	e.rLastAt.Store(minTS)
 	e.sLastAt.Store(minTS)
@@ -332,6 +343,9 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 			sorted(it)
 		}
 	}
+	if e.outHist != nil {
+		out = wrapLatency(e.outHist, e.clk.Now, out)
+	}
 	e.merge = shard.NewMerge[L, RT](cfg.Shards, func(it collect.Item[L, RT]) { out(it) })
 	e.lanes = make([]*shard.Lane[L, RT], cfg.Shards)
 	e.gates = make([][2]*ingressGate, cfg.Shards)
@@ -340,6 +354,12 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 	lcfg := laneConfig(&cfg, e.clk, cfg.Punctuate)
 	for i := range e.lanes {
 		i := i
+		// Each lane gets its own builder so the window stores' rare-path
+		// trace events carry the shard they happened on.
+		build, err := builderFor(&cfg, e.laneTrace(i))
+		if err != nil {
+			return nil, err
+		}
 		e.lanes[i] = shard.NewLane(lcfg, build, func(it collect.Item[L, RT]) {
 			e.merge.FromShard(i, it)
 		})
@@ -366,6 +386,11 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 			StaleMoveCycles:  uint64(max(cfg.Adapt.StaleMoveCycles, 0)),
 			EngageThreshold:  cfg.Adapt.EngageThreshold,
 			DisengageRatio:   cfg.Adapt.DisengageRatio,
+		}
+		if e.ring != nil {
+			acfg.Trace = func(kind string, a, b int64) {
+				e.ring.Emit(kind, -1, -1, a, b)
+			}
 		}
 		if cfg.Adapt.Migration.Enable {
 			acfg.MigrateBudget = cfg.Adapt.Migration.MaxTuplesPerCycle
@@ -408,7 +433,35 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 			}()
 		}
 	}
+	if cfg.Obs.Addr != "" {
+		srv, err := obs.Serve(cfg.Obs.Addr, func() obs.Dump {
+			return gatherDump(e.StatsSnapshot(), e.outHist, e.ring)
+		}, e.ring)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("handshakejoin: observability endpoint: %w", err)
+		}
+		e.obsSrv = srv
+	}
 	return e, nil
+}
+
+// laneTrace returns the rare-path trace sink for one lane's window
+// stores (nil when tracing is off, which also disables the stores'
+// callback entirely).
+func (e *ShardedEngine[L, RT]) laneTrace(lane int) func(kind string, a, b int64) {
+	if e.ring == nil {
+		return nil
+	}
+	return func(kind string, a, b int64) {
+		e.ring.Emit(kind, lane, -1, a, b)
+	}
+}
+
+// emit records one control-plane trace event; a no-op when tracing is
+// off.
+func (e *ShardedEngine[L, RT]) emit(kind string, shard int, group int64, a, b int64) {
+	e.ring.Emit(kind, shard, group, a, b)
 }
 
 // laneProbe adapts a Lane to the adapt.Probe sampling interface.
@@ -454,8 +507,9 @@ func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 	} else {
 		lane = e.router.Of(e.keyR(payload))
 	}
-	t := stream.Tuple[L]{Seq: e.rSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
-	e.rSeq++
+	seq := e.rSeq.Load()
+	e.rSeq.Store(seq + 1)
+	t := stream.Tuple[L]{Seq: seq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.rWin.onArrival(t.Seq, ts, lane, group, e.expireROne)
 	e.activity[lane].Add(1)
 	raiseInt64(&e.laneTS[lane], ts)
@@ -515,8 +569,9 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	} else {
 		lane = e.router.Of(e.keyS(payload))
 	}
-	t := stream.Tuple[RT]{Seq: e.sSeq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
-	e.sSeq++
+	seq := e.sSeq.Load()
+	e.sSeq.Store(seq + 1)
+	t := stream.Tuple[RT]{Seq: seq, TS: ts, Wall: e.clk.Now(), Home: stream.NoHome, Payload: payload}
 	e.sWin.onArrival(t.Seq, ts, lane, group, e.expireSOne)
 	e.activity[lane].Add(1)
 	raiseInt64(&e.laneTS[lane], ts)
@@ -607,8 +662,8 @@ func (e *ShardedEngine[L, RT]) pushRBatchLocked(batch []Stamped[L]) error {
 	// timestamp once the walk completes.
 	e.rLastAt.Store(sc.tss[0])
 	e.router.AdmitBatch(stream.R, sc.keys, e.rCnt, sc.tss, e.rDur, sc.lanes, sc.groups, sc.probes)
-	seq0 := e.rSeq
-	e.rSeq += uint64(n)
+	seq0 := e.rSeq.Load()
+	e.rSeq.Store(seq0 + uint64(n))
 	e.rWin.onArrivalBulk(seq0, sc.tss, sc.lanes, sc.groups, e.expireRBulk)
 	if len(sc.relG) > 0 {
 		e.router.ObserveCountExpireBulk(stream.R, sc.relG, sc.relDue)
@@ -691,8 +746,8 @@ func (e *ShardedEngine[L, RT]) pushSBatchLocked(batch []Stamped[RT]) error {
 	e.sLastTS = last
 	e.sLastAt.Store(sc.tss[0]) // see pushRBatchLocked
 	e.router.AdmitBatch(stream.S, sc.keys, e.sCnt, sc.tss, e.sDur, sc.lanes, sc.groups, sc.probes)
-	seq0 := e.sSeq
-	e.sSeq += uint64(n)
+	seq0 := e.sSeq.Load()
+	e.sSeq.Store(seq0 + uint64(n))
 	e.sWin.onArrivalBulk(seq0, sc.tss, sc.lanes, sc.groups, e.expireSBulk)
 	if len(sc.relG) > 0 {
 		e.router.ObserveCountExpireBulk(stream.S, sc.relG, sc.relDue)
@@ -762,6 +817,7 @@ func (e *ShardedEngine[L, RT]) heartbeatLoop() {
 	t := time.NewTicker(e.hbPeriod)
 	defer t.Stop()
 	prev := make([]uint64, len(e.lanes))
+	stalled := make([]bool, len(e.lanes))
 	for {
 		select {
 		case <-e.stop:
@@ -775,12 +831,23 @@ func (e *ShardedEngine[L, RT]) heartbeatLoop() {
 		for i, l := range e.lanes {
 			if cur := e.activity[i].Load(); cur != prev[i] {
 				prev[i] = cur // lane saw traffic this period
+				stalled[i] = false
 				continue
 			}
 			if !e.gates[i][0].drained() || !e.gates[i][1].drained() {
 				continue // an admitted push is still entering the lane
 			}
 			l.Heartbeat(floor)
+			// An idle lane started needing heartbeats to keep the
+			// punctuation floor moving — the stall signal operators watch
+			// when Ordered output seems stuck. Edge-triggered: one event
+			// per stall episode, not one per heartbeat tick, so a long
+			// idle period cannot wash the handoff history out of the
+			// bounded trace ring.
+			if !stalled[i] {
+				stalled[i] = true
+				e.emit("heartbeat_stall", i, -1, floor, 0)
+			}
 		}
 	}
 }
@@ -858,6 +925,7 @@ func (e *ShardedEngine[L, RT]) migrate(group uint32, to int, max int) (int, erro
 	e.stateMigrations.Add(1)
 	e.migratedTuples.Add(uint64(n))
 	e.freezeStalls.Add(1)
+	e.emit("migrate_freeze", to, int64(group), int64(n), int64(from))
 	return n, nil
 }
 
@@ -954,6 +1022,7 @@ func (e *ShardedEngine[L, RT]) beginHandoff(group uint32, to int) error {
 	if _, ok := e.router.BeginHandoff(group, to); !ok {
 		return fmt.Errorf("handshakejoin: group %d handoff refused", group)
 	}
+	e.emit("handoff_begin", to, int64(group), int64(from), 0)
 	return nil
 }
 
@@ -1004,10 +1073,12 @@ func (e *ShardedEngine[L, RT]) advanceHandoff(group uint32, maxTuples int) (move
 		e.rebindAndInject(st, to)
 		e.sliceMigrations.Add(1)
 		e.migratedTuples.Add(uint64(moved))
+		e.emit("slice_hop", to, int64(group), int64(moved), int64(remaining))
 	}
 	if remaining == 0 {
 		e.router.FinishHandoff(group)
 		e.stateMigrations.Add(1)
+		e.emit("handoff_settle", to, int64(group), int64(moved), int64(from))
 		return moved, true, nil
 	}
 	return moved, false, nil
@@ -1098,26 +1169,34 @@ func (e *ShardedEngine[L, RT]) Close() error {
 		e.sorter.Flush()
 		e.sortMu.Unlock()
 	}
+	if e.obsSrv != nil {
+		e.obsSrv.Close()
+	}
 	return nil
 }
 
-// Stats aggregates run counters across shards; call after Close for
-// exact values.
+// Stats aggregates run counters across shards. Safe to call mid-run
+// from any goroutine: every counter is an atomic, so the read is
+// race-free; cumulative totals lag concurrent pushers by at most the
+// in-flight batches, and are exact once the engine is closed.
 func (e *ShardedEngine[L, RT]) Stats() Stats {
 	var agg core.Stats
 	for _, l := range e.lanes {
 		a := l.PipelineStats()
 		agg.Add(a)
 	}
-	e.rmu.Lock()
-	rIn := e.rSeq
-	e.rmu.Unlock()
-	e.smu.Lock()
-	sIn := e.sSeq
-	e.smu.Unlock()
+	// Read the per-lane routing counters before the admission counters:
+	// every push path stores the seq counter first and adds lane
+	// activity second, so this read order keeps the conservation
+	// invariant Σ ShardIngress <= RIn+SIn visible in every mid-run
+	// snapshot (with equality once the engine is quiescent).
+	shardIngress := make([]uint64, len(e.lanes))
+	for i := range e.activity {
+		shardIngress[i] = e.activity[i].Load()
+	}
 	st := Stats{
-		RIn:                 rIn,
-		SIn:                 sIn,
+		RIn:                 e.rSeq.Load(),
+		SIn:                 e.sSeq.Load(),
 		Results:             e.merge.Results(),
 		Punctuations:        e.merge.Punctuations(),
 		Comparisons:         agg.Comparisons,
@@ -1130,17 +1209,74 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 		SliceMigrations:     e.sliceMigrations.Load(),
 		SourceFreezeStalls:  e.freezeStalls.Load(),
 		MaxMigrationStallNs: e.maxStallNs.Load(),
+		StoreSpills:         agg.StoreSpills,
+		StoreReanchors:      agg.StoreReanchors,
+		StoreCompactions:    agg.StoreCompactions,
+		StoreParks:          agg.StoreParks,
+		StoreOverflow:       agg.StoreOverflow,
 	}
-	st.ShardIngress = make([]uint64, len(e.lanes))
-	for i := range e.activity {
-		st.ShardIngress[i] = e.activity[i].Load()
-	}
+	st.ShardIngress = shardIngress
 	if e.sorter != nil {
 		e.sortMu.Lock()
 		st.MaxSortBuffer = e.sorter.MaxBuffer()
 		e.sortMu.Unlock()
 	}
 	return st
+}
+
+// StatsSnapshot returns a race-safe mid-run view: the cumulative Stats
+// plus the live gauges (floor lag, in-flight handoffs, per-shard window
+// footprints and expiry depths). Safe to call concurrently with pushes
+// from any goroutine.
+func (e *ShardedEngine[L, RT]) StatsSnapshot() Snapshot {
+	snap := Snapshot{
+		Stats:            e.Stats(),
+		InFlightHandoffs: e.router.Handoffs(),
+		FloorLagNs:       -1,
+		LiveWindowR:      make([]int64, len(e.lanes)),
+		LiveWindowS:      make([]int64, len(e.lanes)),
+		ExpiryDepth:      make([]int64, len(e.lanes)),
+	}
+	for i, l := range e.lanes {
+		ps := l.PipelineStats()
+		snap.LiveWindowR[i] = int64(ps.LiveWR)
+		snap.LiveWindowS[i] = int64(ps.LiveWS)
+		snap.ExpiryDepth[i] = int64(l.ExpiryDepth())
+	}
+	newest := e.rLastAt.Load()
+	if s := e.sLastAt.Load(); s > newest {
+		newest = s
+	}
+	floor := e.merge.Floor()
+	if newest != minTS && floor != math.MinInt64 {
+		snap.FloorLagNs = newest - floor
+	}
+	if e.ring != nil {
+		snap.NextEventSeq = e.ring.Next()
+	}
+	return snap
+}
+
+// Events drains the control-plane trace events with sequence >= since,
+// oldest first. The ring is bounded: events older than the buffer's
+// capacity are overwritten; a caller polling with the previous
+// snapshot's NextEventSeq sees every event the ring still holds. Nil
+// when tracing is disabled (zero Config.Obs).
+func (e *ShardedEngine[L, RT]) Events(since uint64) []TraceEvent {
+	if e.ring == nil {
+		return nil
+	}
+	return e.ring.Drain(since)
+}
+
+// ObsAddr returns the bound address of the observability endpoint
+// ("host:port", useful with Config.Obs.Addr ":0"), or "" when the
+// server is disabled.
+func (e *ShardedEngine[L, RT]) ObsAddr() string {
+	if e.obsSrv == nil {
+		return ""
+	}
+	return e.obsSrv.Addr()
 }
 
 // Shards returns the shard count.
