@@ -189,11 +189,32 @@ func ingestExperiment() error {
 		{"batch-64", 64},
 		{"batch-256", 256},
 	}
+	// Best-of-reps, as in the probe experiment: a single row is a few
+	// hundred milliseconds of wall clock, which on a shared CI core is
+	// inside scheduler-noise territory. Each mode reruns (identical
+	// stream, fresh engine) until the cumulative wall clock clears
+	// minWall or the rep cap, and the fastest rep is reported.
+	minWall := 800 * time.Millisecond
+	maxReps := 5
+	if *quick {
+		minWall, maxReps = 200*time.Millisecond, 3
+	}
 	var base ingestRow
 	for i, m := range modes {
-		row, err := runIngestRow(m.name, m.cb, tuples)
-		if err != nil {
-			return err
+		var row ingestRow
+		var wall time.Duration
+		for rep := 0; rep < maxReps; rep++ {
+			r, err := runIngestRow(m.name, m.cb, tuples)
+			if err != nil {
+				return err
+			}
+			wall += time.Duration(float64(2*tuples) / r.TuplesPerSec * float64(time.Second))
+			if rep == 0 || r.TuplesPerSec > row.TuplesPerSec {
+				row = r
+			}
+			if wall >= minWall {
+				break
+			}
 		}
 		if i == 0 {
 			base = row

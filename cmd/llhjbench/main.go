@@ -27,6 +27,9 @@
 //	ingest   per-tuple vs batched ingress on the sharded driver
 //	         (-json BENCH_ingest.json) — what PushRBatch/PushSBatch
 //	         amortization recovers on the admission path
+//	probe    static scan/hash/btree access paths vs the IndexAuto
+//	         per-key-group strategy selector across selectivity mixes
+//	         (-json BENCH_probe.json), with enforced crossover checks
 //	all      run everything
 //
 // Common flags: -scale, -quick, -csv (see -h).
@@ -53,7 +56,7 @@ var (
 	cores      = flag.String("cores", "4,8,12,16,20,24,28,32,36,40", "core counts for the scaling experiments")
 	shardsFlag = flag.String("shards", "1,2,4,8", "shard counts for the shard experiment (must divide the worker budget)")
 	jsonOut    = flag.String("json", "", "write the shard experiment report to this JSON file (e.g. BENCH_shard.json)")
-	maxAllocs  = flag.Float64("maxallocs", 0, "ingest only: fail (exit 1) if any row's allocs/tuple exceeds this; 0 disables — the CI sanity step pins the push path's allocation budget with it")
+	maxAllocs  = flag.Float64("maxallocs", 0, "ingest/probe: fail (exit 1) if a row exceeds its allocation budget (ingest: absolute allocs/tuple per row; probe: auto's allocs/tuple over the best static's); 0 disables — the CI sanity steps pin the hot paths' allocation budgets with it")
 	obsAddr    = flag.String("obs", "", "serve each live engine's observability endpoint (/metrics, /events, /debug/pprof) on this address while its row runs (shard/skew/ingest experiments; e.g. 127.0.0.1:9177)")
 	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -119,9 +122,10 @@ func run() int {
 		"shard":  shardScaling,
 		"skew":   skewExperiment,
 		"ingest": ingestExperiment,
+		"probe":  probeExperiment,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew", "ingest"} {
+		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew", "ingest", "probe"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "llhjbench %s: %v\n", name, err)
@@ -155,7 +159,7 @@ func obsCfg() handshakejoin.ObsConfig {
 func usage() {
 	fmt.Fprintf(os.Stderr, `llhjbench — reproduce the evaluation of "Low-Latency Handshake Join" (PVLDB 7(9), 2014)
 
-usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|skew|ingest|all> [flags]
+usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|skew|ingest|probe|all> [flags]
 
 flags:
 `)

@@ -1,0 +1,356 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"handshakejoin"
+	"handshakejoin/internal/workload"
+)
+
+// probeExperiment measures the selectivity-adaptive probe engine: the
+// same workload joined under each static access path (ScanIndex,
+// HashIndex, BTreeIndex) and under IndexAuto, across key mixes chosen
+// so that no single static path wins everywhere — a selective equi
+// mix (hash territory), a band join (B-tree territory, hash is
+// inadmissible), a mixed equi join with a residual (hash, but with
+// fatter chains), and a hard-skewed mix whose hot key-group's matches
+// dominate its window fragment (scan territory for the hot group,
+// hash for the cold ones — only a per-group decision gets both).
+// Tracked across PRs via BENCH_probe.json; the enforced checks pin
+// the tentpole claims (band-heavy auto >= 2x scan, auto within 10% of
+// the best static everywhere).
+type probeRow struct {
+	Mix          string  `json:"mix"`
+	Index        string  `json:"index"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// AllocsPerTuple is heap allocations per pushed tuple over the whole
+	// run (runtime.MemStats deltas, engine close included): the adaptive
+	// dispatcher must not re-introduce per-probe closure churn.
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	Results        uint64  `json:"results"`
+	// ProbeScan/Hash/BTree are the engine's strategy-mix counters: which
+	// access path the row's probes actually took (their sum is the probe
+	// dispatch count — conserved by construction).
+	ProbeScan        uint64  `json:"probe_scan"`
+	ProbeHash        uint64  `json:"probe_hash"`
+	ProbeBTree       uint64  `json:"probe_btree"`
+	StrategySwitches uint64  `json:"strategy_switches"`
+	SpeedupVsScan    float64 `json:"speedup_vs_scan"`
+}
+
+type probeReport struct {
+	Experiment string     `json:"experiment"`
+	Workers    int        `json:"workers"`
+	LaneBatch  int        `json:"lane_batch"`
+	Note       string     `json:"note"`
+	Rows       []probeRow `json:"rows"`
+}
+
+// pbR / pbS carry a join key and a residual value.
+type pbR struct {
+	Key uint64
+	Val int32
+}
+type pbS struct {
+	Key uint64
+	Val int32
+}
+
+// probeMix is one workload shape: a key/value generator pair, the
+// predicate, its declared class, and the admissible static rows.
+type probeMix struct {
+	name    string
+	tuples  int // per stream, non-quick
+	window  int
+	band    uint64
+	class   handshakejoin.PredicateClass
+	pred    func(pbR, pbS) bool
+	gen     func(rnd *workload.Rand, i int) (uint64, int32)
+	statics []handshakejoin.IndexKind
+}
+
+func probeMixes() []probeMix {
+	const bandW = 32
+	return []probeMix{
+		{
+			// Selective equi join: 4096 uniform keys over a 4096-tuple
+			// window — one-entry chains, the paper's §7.6 hash-index case.
+			name: "equi_heavy", tuples: 30000, window: 4096,
+			class: handshakejoin.PredEqui,
+			pred:  func(r pbR, s pbS) bool { return r.Key == s.Key },
+			gen: func(rnd *workload.Rand, _ int) (uint64, int32) {
+				return uint64(rnd.Intn(4096)), 0
+			},
+			statics: []handshakejoin.IndexKind{handshakejoin.ScanIndex, handshakejoin.HashIndex, handshakejoin.BTreeIndex},
+		},
+		{
+			// Band join over a wide key domain: |kR − kS| <= 32. Hash is
+			// inadmissible (equality never holds to narrow on), so the
+			// contest is scan vs ordered range probe.
+			name: "band_heavy", tuples: 24000, window: 4096, band: bandW,
+			class: handshakejoin.PredBand,
+			pred: func(r pbR, s pbS) bool {
+				d := int64(r.Key) - int64(s.Key)
+				if d < 0 {
+					d = -d
+				}
+				return d <= bandW
+			},
+			gen: func(rnd *workload.Rand, _ int) (uint64, int32) {
+				return uint64(rnd.Intn(1 << 20)), 0
+			},
+			statics: []handshakejoin.IndexKind{handshakejoin.ScanIndex, handshakejoin.BTreeIndex},
+		},
+		{
+			// Equi join with a residual: 512 keys over 2048 tuples (fatter
+			// chains) and a value-band residual that passes ~1 in 4.
+			name: "mixed", tuples: 48000, window: 2048,
+			class: handshakejoin.PredEqui,
+			pred: func(r pbR, s pbS) bool {
+				if r.Key != s.Key {
+					return false
+				}
+				d := r.Val - s.Val
+				if d < 0 {
+					d = -d
+				}
+				return d <= 8
+			},
+			gen: func(rnd *workload.Rand, _ int) (uint64, int32) {
+				return uint64(rnd.Intn(512)), int32(rnd.Intn(64))
+			},
+			statics: []handshakejoin.IndexKind{handshakejoin.ScanIndex, handshakejoin.HashIndex, handshakejoin.BTreeIndex},
+		},
+		{
+			// Hard skew: 90% of tuples share one hot key, the rest spread
+			// over 64. The hot group's chain is most of its window
+			// fragment (scan territory); cold groups want the hash. A
+			// global static choice loses one side or the other. The window
+			// stays well above batch x MaxInFlight (the operator's
+			// in-flight contract) so the multiset is schedule-independent.
+			name: "skewed_card", tuples: 16000, window: 1024,
+			class: handshakejoin.PredEqui,
+			pred:  func(r pbR, s pbS) bool { return r.Key == s.Key },
+			gen: func(rnd *workload.Rand, _ int) (uint64, int32) {
+				if rnd.Intn(32) != 0 {
+					return 7, 0 // the hot key: ~97% of both streams
+				}
+				return 100 + uint64(rnd.Intn(64)), 0
+			},
+			statics: []handshakejoin.IndexKind{handshakejoin.ScanIndex, handshakejoin.HashIndex, handshakejoin.BTreeIndex},
+		},
+	}
+}
+
+func probeIndexName(k handshakejoin.IndexKind) string {
+	switch k {
+	case handshakejoin.ScanIndex:
+		return "scan"
+	case handshakejoin.HashIndex:
+		return "hash"
+	case handshakejoin.BTreeIndex:
+		return "btree"
+	case handshakejoin.IndexAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("index(%d)", k)
+	}
+}
+
+func runProbeRow(m probeMix, index handshakejoin.IndexKind, tuples int) (probeRow, error) {
+	cfg := handshakejoin.Config[pbR, pbS]{
+		Workers:     2,
+		Predicate:   m.pred,
+		WindowR:     handshakejoin.Window{Count: m.window},
+		WindowS:     handshakejoin.Window{Count: m.window},
+		Batch:       64,
+		MaxInFlight: 4, // batch x in-flight stays ~4x under the smallest window
+		Index:       index,
+		Band:        m.band,
+		KeyR:        func(r pbR) uint64 { return r.Key },
+		KeyS:        func(s pbS) uint64 { return s.Key },
+		// Deterministic batch boundaries: every row must produce the
+		// identical result multiset, and the wall-clock heartbeat would
+		// flush partial batches at timing-dependent points.
+		Adapt:    handshakejoin.AdaptConfig{DisableHeartbeat: true},
+		Obs:      obsCfg(),
+		OnOutput: func(handshakejoin.Item[pbR, pbS]) {},
+	}
+	if index == handshakejoin.IndexAuto {
+		cfg.Class = m.class
+	}
+	eng, err := handshakejoin.New(cfg)
+	if err != nil {
+		return probeRow{}, err
+	}
+	rnd := workload.NewRand(17)
+	rK := make([]uint64, tuples)
+	rV := make([]int32, tuples)
+	sK := make([]uint64, tuples)
+	sV := make([]int32, tuples)
+	for i := 0; i < tuples; i++ {
+		rK[i], rV[i] = m.gen(rnd, i)
+		sK[i], sV[i] = m.gen(rnd, i)
+	}
+	const period = int64(1e3)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < tuples; i++ {
+		ts := int64(i) * period
+		if err := eng.PushR(pbR{Key: rK[i], Val: rV[i]}, ts); err != nil {
+			return probeRow{}, err
+		}
+		if err := eng.PushS(pbS{Key: sK[i], Val: sV[i]}, ts); err != nil {
+			return probeRow{}, err
+		}
+	}
+	if err := eng.Close(); err != nil {
+		return probeRow{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	st := eng.Stats()
+	n := float64(2 * tuples)
+	return probeRow{
+		Mix:              m.name,
+		Index:            probeIndexName(index),
+		TuplesPerSec:     n / elapsed.Seconds(),
+		AllocsPerTuple:   float64(m1.Mallocs-m0.Mallocs) / n,
+		Results:          st.Results,
+		ProbeScan:        st.ProbeScan,
+		ProbeHash:        st.ProbeHash,
+		ProbeBTree:       st.ProbeBTree,
+		StrategySwitches: st.StrategySwitches,
+	}, nil
+}
+
+func probeExperiment() error {
+	div := 1
+	if *quick {
+		div = 4
+	}
+	// The enforced bars relax under -quick: shorter runs leave the
+	// crossover model less settling time and more timer noise.
+	bandBar, autoBar := 2.0, 0.9
+	if *quick {
+		bandBar, autoBar = 1.5, 0.8
+	}
+	rep := probeReport{
+		Experiment: "adaptive-probe",
+		Workers:    2,
+		LaneBatch:  64,
+		Note: "Each mix joined under every admissible static access path " +
+			"and under IndexAuto (per-key-group strategy selection with a " +
+			"measured crossover model and hysteresis). Rows run " +
+			"sequentially on the same generated streams; results verify " +
+			"the paths agree (same predicate, same schedule). The " +
+			"probe_scan/hash/btree columns are the engine's strategy-mix " +
+			"counters; their sum is the probe dispatch count. Enforced: " +
+			"band-heavy auto >= 2x scan (the B-tree claim), auto >= 0.9x " +
+			"the best static on every mix (the adaptivity claim).",
+	}
+	fmt.Printf("# adaptive probe strategies, 2 workers, lane batch 64\n")
+	emit("mix", "index", "tuples/sec", "allocs/tuple", "results", "scan", "hash", "btree", "switches")
+	// Fast rows finish in tens of milliseconds, where timer noise swamps
+	// a single measurement; each row repeats (identical schedule, fresh
+	// engine) until it has minWall of wall time or the rep cap, and
+	// reports its best rep — max is robust against slow outliers and
+	// both sides of every enforced ratio get the same treatment.
+	minWall := 400 * time.Millisecond
+	if *quick {
+		minWall = 200 * time.Millisecond
+	}
+	type checkErr struct{ msg string }
+	var failures []checkErr
+	for _, m := range probeMixes() {
+		tuples := m.tuples / div
+		rows := map[string]probeRow{}
+		var wantResults uint64
+		for i, idx := range append(append([]handshakejoin.IndexKind{}, m.statics...), handshakejoin.IndexAuto) {
+			var row probeRow
+			start := time.Now()
+			for rep := 0; rep < 5 && (rep == 0 || time.Since(start) < minWall); rep++ {
+				r, err := runProbeRow(m, idx, tuples)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", m.name, probeIndexName(idx), err)
+				}
+				if rep > 0 && r.Results != row.Results {
+					return fmt.Errorf("%s/%s: results differ across identical reps (%d vs %d)",
+						m.name, r.Index, r.Results, row.Results)
+				}
+				if rep == 0 || r.TuplesPerSec > row.TuplesPerSec {
+					row = r
+				}
+			}
+			if i == 0 {
+				wantResults = row.Results
+			} else if row.Results != wantResults {
+				return fmt.Errorf("%s/%s produced %d results, scan produced %d: access paths disagree",
+					m.name, row.Index, row.Results, wantResults)
+			}
+			if scan, ok := rows["scan"]; ok && scan.TuplesPerSec > 0 {
+				row.SpeedupVsScan = row.TuplesPerSec / scan.TuplesPerSec
+			} else {
+				row.SpeedupVsScan = 1
+			}
+			rows[row.Index] = row
+			rep.Rows = append(rep.Rows, row)
+			emit(row.Mix, row.Index,
+				fmt.Sprintf("%.0f", row.TuplesPerSec),
+				fmt.Sprintf("%.4f", row.AllocsPerTuple),
+				row.Results, row.ProbeScan, row.ProbeHash, row.ProbeBTree, row.StrategySwitches)
+		}
+		bestStatic := rows[probeIndexName(m.statics[0])]
+		for _, idx := range m.statics {
+			if r := rows[probeIndexName(idx)]; r.TuplesPerSec > bestStatic.TuplesPerSec {
+				bestStatic = r
+			}
+		}
+		auto := rows["auto"]
+		if m.name == "band_heavy" && auto.SpeedupVsScan < bandBar {
+			failures = append(failures, checkErr{fmt.Sprintf(
+				"band_heavy: auto is %.2fx scan, want >= %.1fx", auto.SpeedupVsScan, bandBar)})
+		}
+		if auto.TuplesPerSec < autoBar*bestStatic.TuplesPerSec {
+			failures = append(failures, checkErr{fmt.Sprintf(
+				"%s: auto %.0f t/s vs best static (%s) %.0f t/s — below %.0f%%",
+				m.name, auto.TuplesPerSec, bestStatic.Index, bestStatic.TuplesPerSec, autoBar*100)})
+		}
+		// -maxallocs extends the ingest guard to the probe path: the
+		// adaptive dispatcher's per-arrival work is supposed to be
+		// closure-free, so auto may not out-allocate the best static by
+		// more than the flag's slack.
+		if *maxAllocs > 0 && auto.AllocsPerTuple > bestStatic.AllocsPerTuple+*maxAllocs {
+			failures = append(failures, checkErr{fmt.Sprintf(
+				"%s: auto allocs/tuple %.4f exceeds best static %.4f + budget %.4f",
+				m.name, auto.AllocsPerTuple, bestStatic.AllocsPerTuple, *maxAllocs)})
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", *jsonOut)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "llhjbench probe: FAIL %s\n", f.msg)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d enforced check(s) failed", len(failures))
+	}
+	fmt.Printf("# enforced checks passed (band >= %.1fx scan, auto >= %.0f%% of best static)\n", bandBar, autoBar*100)
+	return nil
+}

@@ -152,7 +152,73 @@
 // and the chain links live in a slice parallel to the entry array, so
 // probing walks indices, insertion is a tail append touching one
 // bucket, and interior deletions (expired or extracted tuples) relink
-// neighbours without touching the table at all.
+// neighbours without touching the table at all. An ordered B-tree
+// index over the same entries serves range probes (RangeProbe) for
+// band and inequality predicates; like the hash index it tracks
+// interior deletions and compactions, and a held probe cursor stays
+// coherent across both.
+//
+// # Probe strategies
+//
+// The paper's inner loop — every arrival probing every node's window
+// fragment — admits three access paths with very different cost
+// shapes: a full scan is O(window/nodes) but has no maintenance cost
+// and wins when nearly everything matches; a hash probe is O(chain)
+// and wins for selective equi-joins; a B-tree range probe is
+// O(log w + range) and is the only sublinear option for band and
+// inequality predicates. No single choice is right across a stream
+// whose selectivity drifts, so the choice is made at runtime,
+// per key-group.
+//
+// Config.Index picks the regime. The static kinds (ScanIndex,
+// HashIndex, BTreeIndex) are explicit overrides: every node uses that
+// one path for the engine's lifetime, the strategy machinery is not
+// even constructed, and dispatch costs nothing — the right call when
+// the workload is known. IndexAuto replaces the static choice with a
+// shared strategy table (internal/probe): each probe reads the
+// current strategy for the arrival's key-group (one atomic load from
+// a read-mostly array) and takes that path.
+//
+// Config.Class bounds what IndexAuto may do. It declares what the
+// predicate implies about the two keys — PredEqui (matches share a
+// key), PredBand (keys within Config.Band), PredLE/PredGE (key
+// inequality), PredOpaque (no promise) — and with it the admissible
+// strategies: an equi group may scan, hash-probe, or range-probe the
+// point range [k,k]; a band group may scan or range-probe
+// [k−Band, k+Band]; inequality groups may scan or range-probe the
+// half-line; an opaque predicate can only scan (IndexAuto rejects
+// PredOpaque at validation). The class must under-promise, never
+// over-promise: PredEqui with an extra value condition nested under
+// the key equality is fine, because the declared relation only
+// narrows which window entries are inspected, and the full predicate
+// still runs on each.
+//
+// Selection is a sampled crossover model in scan-entry cost units.
+// Nodes feed one probe in four into the table's per-group sample
+// (live window size, entries inspected, matches), and every 128
+// sampled probes a group runs a decision epoch: price each admissible
+// path — scan at avgLive+1, hash at est×1.25+12, B-tree at
+// est + 2·log2(avgLive+2) + const — where est is the measured
+// per-probe footprint, floored by observed matches while scanning and
+// capped by the router-fed group cardinality's per-node share. The
+// constants charge each indexed path its amortized maintenance, so a
+// mostly-idle index cannot look free. A challenger must beat the
+// incumbent by a 1.2× margin for two consecutive epochs before the
+// group flips — hysteresis that keeps near-ties from oscillating.
+// Stats.StrategySwitches counts applied flips; Stats.ProbeScan/
+// ProbeHash/ProbeBTree report the realized dispatch mix.
+//
+// Indexes follow the strategies lazily. A window builds its hash
+// table or B-tree the first time a probe needs it (backfilled from
+// the live entries in one pass) and tears it down after sitting
+// unused for thousands of arrivals, so a pipeline whose groups all
+// settle on scanning pays no maintenance at all, and a flip back
+// simply rebuilds. Correctness never depends on which path runs: all
+// three inspect supersets of the matching entries and apply the full
+// predicate, so the result multiset — and the Ordered-mode sequence —
+// is invariant under any interleaving of strategy flips, which the
+// oracle suites pin with forced mid-stream flips across shard counts,
+// open handoffs and slice migrations.
 //
 // # Adaptive shard runtime
 //
@@ -321,6 +387,7 @@
 //	ring_spill         shard=lane          A=entries spilled  B=ring span at spill
 //	ring_reanchor      shard=lane          A=distance below base  B=new span
 //	window_compact     shard=lane          A=slots reclaimed  B=live entries kept
+//	strategy_switch    shard=-1,   group   A=from strategy    B=to strategy
 //
 // Config.Obs.Addr serves both over HTTP for the engine's lifetime:
 // /metrics in Prometheus text exposition, /events as JSONL
@@ -332,7 +399,9 @@
 // llhj_expiry_depth{shard}, llhj_floor_lag_ns, llhj_handoffs_inflight,
 // llhj_rebalances_total, llhj_keygroup_moves_total,
 // llhj_state_migrations_total, llhj_migrated_tuples_total,
-// llhj_slice_migrations_total, llhj_store_{spills,reanchors,
+// llhj_slice_migrations_total, llhj_probe_dispatch_total{strategy},
+// llhj_probe_dispatches_total, llhj_strategy_switches_total,
+// llhj_store_{spills,reanchors,
 // compactions,parks}_total, llhj_store_overflow, llhj_max_sort_buffer,
 // llhj_trace_events_total, and the llhj_output_latency_ns histogram —
 // result latency from admission of the later input tuple to delivery

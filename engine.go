@@ -11,6 +11,7 @@ import (
 	"handshakejoin/internal/metrics"
 	"handshakejoin/internal/obs"
 	"handshakejoin/internal/order"
+	"handshakejoin/internal/probe"
 	"handshakejoin/internal/shard"
 	"handshakejoin/internal/stream"
 )
@@ -53,6 +54,10 @@ type Engine[L, RT any] struct {
 
 	sorter *order.Sorter[L, RT]
 	closed bool
+
+	// probeTab is the IndexAuto strategy table shared by the pipeline's
+	// nodes; nil under a static Index.
+	probeTab *probe.Table
 
 	// Observability layer (Config.Obs); all nil/absent when disabled.
 	ring    *obs.Ring
@@ -182,11 +187,31 @@ func (w *windowTracker) rebind(seqs map[uint64]struct{}, lane int) {
 // deduplication (both bounds schedule every tuple).
 func (w Window) dualBound() bool { return w.Duration > 0 && w.Count > 0 }
 
+// probeClass maps the public predicate declaration onto the strategy
+// table's class enum.
+func probeClass(c PredicateClass) probe.Class {
+	switch c {
+	case PredEqui:
+		return probe.ClassEqui
+	case PredBand:
+		return probe.ClassBand
+	case PredLE:
+		return probe.ClassLE
+	case PredGE:
+		return probe.ClassGE
+	default:
+		return probe.ClassOpaque
+	}
+}
+
 // builderFor translates the public configuration into the node logic
 // builder of the selected algorithm. trace, when non-nil, receives the
 // window stores' rare-path events (LLHJ only; the reference HSJ
-// pipeline has no instrumented store).
-func builderFor[L, RT any](cfg *Config[L, RT], trace func(kind string, a, b int64)) (core.Builder[L, RT], error) {
+// pipeline has no instrumented store). pt, when non-nil, is the
+// IndexAuto strategy table the pipeline's nodes dispatch through — the
+// static Index kind is then ignored entirely (IndexAuto must never be
+// cast into core.IndexKind).
+func builderFor[L, RT any](cfg *Config[L, RT], trace func(kind string, a, b int64), pt *probe.Table) (core.Builder[L, RT], error) {
 	switch cfg.Algorithm {
 	case LLHJ:
 		ccfg := &core.Config[L, RT]{
@@ -197,6 +222,10 @@ func builderFor[L, RT any](cfg *Config[L, RT], trace func(kind string, a, b int6
 			KeyS:  cfg.KeyS,
 			Band:  cfg.Band,
 			Trace: trace,
+		}
+		if pt != nil {
+			ccfg.Index = core.IndexNone
+			ccfg.Probe = pt
 		}
 		return func(k int) core.NodeLogic[L, RT] { return core.NewNode(ccfg, k) }, nil
 	case HSJ:
@@ -268,7 +297,23 @@ func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 	if e.ring != nil {
 		trace = func(kind string, a, b int64) { e.ring.Emit(kind, 0, -1, a, b) }
 	}
-	build, err := builderFor(&cfg, trace)
+	if cfg.Index == IndexAuto {
+		pcfg := probe.Config{
+			Groups: 64,
+			Class:  probeClass(cfg.Class),
+			Band:   cfg.Band,
+			Lanes:  1,
+			Nodes:  cfg.Workers,
+		}
+		if e.ring != nil {
+			ring := e.ring
+			pcfg.OnSwitch = func(g uint32, from, to probe.Strategy) {
+				ring.Emit("strategy_switch", -1, int64(g), int64(from), int64(to))
+			}
+		}
+		e.probeTab = probe.NewTable(pcfg)
+	}
+	build, err := builderFor(&cfg, trace, e.probeTab)
 	if err != nil {
 		return nil, err
 	}
@@ -458,6 +503,9 @@ func (e *Engine[L, RT]) Stats() Stats {
 		Results:          e.lane.Collected(),
 		Punctuations:     e.lane.Punctuations(),
 		Comparisons:      agg.Comparisons,
+		ProbeScan:        agg.ProbeScan,
+		ProbeHash:        agg.ProbeHash,
+		ProbeBTree:       agg.ProbeBTree,
 		PendingExpiries:  agg.PendingExpiries,
 		StoreSpills:      agg.StoreSpills,
 		StoreReanchors:   agg.StoreReanchors,
@@ -467,6 +515,9 @@ func (e *Engine[L, RT]) Stats() Stats {
 	}
 	if e.sorter != nil {
 		st.MaxSortBuffer = e.sorter.MaxBuffer()
+	}
+	if e.probeTab != nil {
+		st.StrategySwitches = e.probeTab.Switches()
 	}
 	return st
 }

@@ -66,7 +66,10 @@ func (a Algorithm) String() string {
 	}
 }
 
-// IndexKind selects the node-local access path of LLHJ workers.
+// IndexKind selects the node-local access path of LLHJ workers. The
+// static kinds (ScanIndex, HashIndex, BTreeIndex) are explicit
+// overrides fixed for the engine's lifetime; IndexAuto replaces the
+// fixed choice with per-key-group runtime selection.
 type IndexKind uint8
 
 const (
@@ -78,6 +81,37 @@ const (
 	// BTreeIndex probes node-local B-trees with the band
 	// [key−Band, key+Band] — for band predicates on an integer key.
 	BTreeIndex
+	// IndexAuto makes probe strategy a per-(key-group, predicate-class)
+	// runtime decision: each arrival's probe dispatches through a
+	// strategy table that measures window cardinality and probe
+	// selectivity per key-group and flips between scan, hash, and
+	// B-tree range probes on sustained evidence (crossover model with
+	// hysteresis). Requires KeyR/KeyS and a declared predicate Class;
+	// node-local indexes are built lazily when a strategy first demands
+	// them and dropped when no group uses them. See the "Probe
+	// strategies" section of the package documentation.
+	IndexAuto
+)
+
+// PredicateClass declares what the join predicate implies about the
+// two tuples' keys — the license IndexAuto needs to narrow a probe to
+// an index without losing matches. The predicate itself is always
+// applied to candidates as a residual, so a class may safely
+// under-promise (PredEqui with an extra value condition is fine);
+// promising a relation the predicate does not imply loses matches.
+type PredicateClass uint8
+
+const (
+	// PredOpaque promises nothing; every probe must scan.
+	PredOpaque PredicateClass = iota
+	// PredEqui promises matches have KeyR(r) == KeyS(s).
+	PredEqui
+	// PredBand promises matches have |KeyR(r) − KeyS(s)| <= Band.
+	PredBand
+	// PredLE promises matches have KeyR(r) <= KeyS(s).
+	PredLE
+	// PredGE promises matches have KeyR(r) >= KeyS(s).
+	PredGE
 )
 
 // Window specifies one stream's sliding window. Duration and Count may
@@ -128,13 +162,21 @@ type Config[L, RT any] struct {
 	// goroutine. Required.
 	OnOutput func(Item[L, RT])
 
-	// Index selects the node-local access path (LLHJ only).
+	// Index selects the node-local access path (LLHJ only). The static
+	// kinds are explicit overrides, fixed for the engine's lifetime;
+	// IndexAuto selects per key-group at runtime and additionally
+	// requires Class.
 	Index IndexKind
-	// KeyR extracts the join key of an R payload (HashIndex/BTreeIndex).
+	// Class declares the predicate's key relation for IndexAuto (it has
+	// no effect with a static Index kind). Band/LE/GE classes get
+	// B-tree range probes instead of full scans.
+	Class PredicateClass
+	// KeyR extracts the join key of an R payload (any non-scan Index).
 	KeyR func(L) uint64
 	// KeyS extracts the join key of an S payload.
 	KeyS func(RT) uint64
-	// Band is the half-width of the BTreeIndex key range probe.
+	// Band is the half-width of the BTreeIndex key range probe, and of
+	// PredBand range probes under IndexAuto.
 	Band uint64
 
 	// Adapt tunes the adaptive shard runtime (ShardedEngine only):
@@ -317,6 +359,12 @@ func (c *Config[L, RT]) validate() error {
 	if c.Index != ScanIndex && (c.KeyR == nil || c.KeyS == nil) {
 		return fmt.Errorf("handshakejoin: Index requires KeyR and KeyS")
 	}
+	if c.Index == IndexAuto && c.Class == PredOpaque {
+		return fmt.Errorf("handshakejoin: IndexAuto requires a declared predicate Class")
+	}
+	if c.Index > IndexAuto {
+		return fmt.Errorf("handshakejoin: unknown Index kind %d", c.Index)
+	}
 	if c.Shards < 0 {
 		return fmt.Errorf("handshakejoin: Shards must be >= 0, got %d", c.Shards)
 	}
@@ -326,6 +374,12 @@ func (c *Config[L, RT]) validate() error {
 		}
 		if c.KeyR == nil || c.KeyS == nil {
 			return fmt.Errorf("handshakejoin: Shards > 1 requires KeyR and KeyS")
+		}
+		if c.Class == PredBand || c.Class == PredLE || c.Class == PredGE {
+			// Hash routing sends the two sides of a match to the same
+			// shard only when their keys are equal; range classes would
+			// silently lose cross-shard matches.
+			return fmt.Errorf("handshakejoin: Shards > 1 requires key equality; Class %d implies range matches across shards", c.Class)
 		}
 		if c.Adapt.KeyGroups != 0 && c.Adapt.KeyGroups < c.Shards {
 			return fmt.Errorf("handshakejoin: Adapt.KeyGroups (%d) must be >= Shards (%d)", c.Adapt.KeyGroups, c.Shards)
@@ -428,6 +482,14 @@ type Stats struct {
 	Punctuations uint64
 	// Comparisons counts window entries inspected across all workers.
 	Comparisons uint64
+	// ProbeScan, ProbeHash and ProbeBTree count window probes by the
+	// access path actually taken — the strategy mix. Under a static
+	// Index exactly one of them moves; under IndexAuto their sum equals
+	// the total probe count, so a mid-run scrape can check conservation.
+	ProbeScan, ProbeHash, ProbeBTree uint64
+	// StrategySwitches counts per-key-group probe-strategy flips
+	// applied by IndexAuto's crossover model (plus any forced flips).
+	StrategySwitches uint64
 	// MaxSortBuffer is the ordered-output buffer high-water mark
 	// (meaningful with Ordered; the quantity of Figure 21).
 	MaxSortBuffer int

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"handshakejoin/internal/probe"
 )
 
 // Probe exposes the race-safe load signals of one shard lane to the
@@ -128,6 +130,13 @@ type Config struct {
 	// cycle applies at least one drain cut-over. Called under the
 	// controller mutex on cold cycles only; nil disables.
 	Trace func(kind string, a, b int64)
+
+	// ProbeTable, when set, receives the router's per-group live window
+	// cardinality every control cycle — the control-plane statistics
+	// feed of the adaptive probe engine (its crossover model uses the
+	// cardinality to ceiling chain-length estimates for groups
+	// currently scanning). Nil disables the feed.
+	ProbeTable *probe.Table
 }
 
 // Controller runs the sample → plan → cut-over loop against a Router.
@@ -277,6 +286,10 @@ func (c *Controller) Step() (proposed, applied int) {
 		if c.lastTS != nil {
 			c.sample[s].LastAdvance = c.lastTS(s)
 		}
+	}
+
+	if c.cfg.ProbeTable != nil {
+		c.r.FeedProbe(c.cfg.ProbeTable, c.live)
 	}
 
 	c.r.AdvanceCycle(c.cfg.StaleMoveCycles)

@@ -64,6 +64,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"handshakejoin/internal/probe"
 	"handshakejoin/internal/shard"
 	"handshakejoin/internal/stream"
 )
@@ -481,6 +482,17 @@ func (r *Router) LiveLoadInto(dst []uint64) {
 		}
 		r.stripes[st].Unlock()
 	}
+}
+
+// FeedProbe samples each group's live window cardinality into scratch
+// (length >= Groups) and publishes it to the probe strategy table —
+// the router's half of the adaptive probe statistics. The table uses
+// the cardinality as a ceiling on chain-length estimates for groups
+// whose probes are currently scanning (a scan observes matches, not
+// chain lengths). Called from the controller's sampling cycle.
+func (r *Router) FeedProbe(t *probe.Table, scratch []uint64) {
+	r.LiveLoadInto(scratch)
+	t.FeedCardinality(scratch)
 }
 
 // Relocate atomically reroutes group g to shard to, cancelling any

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 
+	"handshakejoin/internal/probe"
 	"handshakejoin/internal/store"
 	"handshakejoin/internal/stream"
 )
 
-// IndexKind selects the access path for node-local window scans.
+// IndexKind selects a static access path for node-local window scans;
+// Config.Probe replaces it with per-key-group runtime dispatch.
 type IndexKind uint8
 
 const (
@@ -32,13 +34,24 @@ type Config[L, R any] struct {
 	// Pred is the join predicate p(r, s).
 	Pred stream.Predicate[L, R]
 
-	// Index selects the node-local access path.
+	// Index selects a static node-local access path, fixed for the
+	// pipeline's lifetime. Ignored when Probe is set.
 	Index IndexKind
-	// KeyR and KeyS extract the join key for IndexHash / IndexBTree.
+	// Probe, when set, makes the access path a per-arrival decision:
+	// each probe consults the shared strategy table for the tuple's
+	// key-group and dispatches to scan, hash, or B-tree accordingly,
+	// with the node-local indexes built lazily on first demand and
+	// dropped when a group's strategy stops using them. Requires KeyR
+	// and KeyS; Index is ignored.
+	Probe *probe.Table
+	// KeyR and KeyS extract the join key for IndexHash / IndexBTree /
+	// Probe dispatch.
 	KeyR stream.KeyFunc[L]
 	// KeyS extracts the S-side key.
 	KeyS stream.KeyFunc[R]
 	// Band is the half-width of the key range probed by IndexBTree.
+	// (Adaptive dispatch takes its band from the strategy table's
+	// predicate class instead.)
 	Band uint64
 
 	// DisableAck turns off the acknowledgement mechanism of §4.2.2
@@ -68,6 +81,9 @@ func (c *Config[L, R]) Validate() error {
 	}
 	if c.Index != IndexNone && (c.KeyR == nil || c.KeyS == nil) {
 		return fmt.Errorf("core: Index %d requires KeyR and KeyS", c.Index)
+	}
+	if c.Probe != nil && (c.KeyR == nil || c.KeyS == nil) {
+		return fmt.Errorf("core: Probe dispatch requires KeyR and KeyS")
 	}
 	return nil
 }
@@ -99,6 +115,13 @@ type Stats struct {
 	LiveWR    int // current size of the node-local R window (gauge)
 	LiveWS    int // current size of the node-local S window (gauge)
 
+	// Strategy-mix counters: window probes by the access path actually
+	// taken. In static Index modes exactly one moves; under adaptive
+	// dispatch their sum equals the probe count.
+	ProbeScan  uint64
+	ProbeHash  uint64
+	ProbeBTree uint64
+
 	// Ring-store rare-path counters, aggregated from the node's two
 	// windows. A pathological workload (huge sequence gaps, heavy
 	// deletion churn) exercises these silently-degrading paths; the
@@ -129,6 +152,9 @@ func (s *Stats) Add(other Stats) {
 	}
 	s.LiveWR += other.LiveWR
 	s.LiveWS += other.LiveWS
+	s.ProbeScan += other.ProbeScan
+	s.ProbeHash += other.ProbeHash
+	s.ProbeBTree += other.ProbeBTree
 	s.StoreSpills += other.StoreSpills
 	s.StoreReanchors += other.StoreReanchors
 	s.StoreCompactions += other.StoreCompactions
@@ -151,8 +177,37 @@ type Node[L, R any] struct {
 	pendExpR map[uint64]struct{} // expiries that raced ahead of their tuple
 	pendExpS map[uint64]struct{}
 
+	// Reusable probe contexts: the match callbacks passed to the window
+	// probes are bound once at construction and read the current
+	// arrival from these fields, so a probe allocates nothing — a
+	// per-arrival closure over (r, em, results) would escape on every
+	// tuple.
+	curR   stream.Tuple[L]
+	curS   stream.Tuple[R]
+	curEm  Emitter[L, R]
+	curRes int
+	emitS  func(stream.Tuple[R]) // probe callback for R arrivals scanning wS
+	emitR  func(stream.Tuple[L]) // probe callback for S arrivals scanning wR
+
+	// Adaptive-dispatch bookkeeping (Probe mode): arrivals counts
+	// tuples processed, the *At stamps record the arrival count at each
+	// index's last use, and an index idle for dropIndexAfter arrivals is
+	// dropped — its maintenance is pure waste once every group probing
+	// this window has moved off it.
+	arrivals                  uint64
+	wrHashAt, wrTreeAt        uint64
+	wsHashAt, wsTreeAt        uint64
+	mixScan, mixHash, mixTree uint64 // per-message scratch, published in batch
+	obsTick                   uint64 // probe counter driving the 1-in-4 Observe sample
+
 	stats StatsCell
 }
+
+// dropIndexAfter is how many arrivals an adaptively built index may sit
+// unused before the node drops it (rebuilding is O(live), so the
+// threshold is set high enough that strategy hysteresis cannot thrash
+// a build/drop cycle).
+const dropIndexAfter = 4096
 
 // NewNode returns node k of an n-node pipeline configured by cfg.
 func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
@@ -171,15 +226,23 @@ func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
 		optsR = append(optsR, store.WithTrace[L](cfg.Trace))
 		optsS = append(optsS, store.WithTrace[R](cfg.Trace))
 	}
-	switch cfg.Index {
-	case IndexHash:
-		optsR = append(optsR, store.WithHashIndex(cfg.KeyR))
-		optsS = append(optsS, store.WithHashIndex(cfg.KeyS))
-	case IndexBTree:
-		optsR = append(optsR, store.WithBTreeIndex(cfg.KeyR))
-		optsS = append(optsS, store.WithBTreeIndex(cfg.KeyS))
+	if cfg.Probe != nil {
+		// Adaptive dispatch: start every window in scan mode with the
+		// key declared, and let the per-group strategies build indexes
+		// lazily on first demand.
+		optsR = append(optsR, store.WithKeyFunc(cfg.KeyR))
+		optsS = append(optsS, store.WithKeyFunc(cfg.KeyS))
+	} else {
+		switch cfg.Index {
+		case IndexHash:
+			optsR = append(optsR, store.WithHashIndex(cfg.KeyR))
+			optsS = append(optsS, store.WithHashIndex(cfg.KeyS))
+		case IndexBTree:
+			optsR = append(optsR, store.WithBTreeIndex(cfg.KeyR))
+			optsS = append(optsS, store.WithBTreeIndex(cfg.KeyS))
+		}
 	}
-	return &Node[L, R]{
+	n := &Node[L, R]{
 		cfg:      cfg,
 		k:        k,
 		wR:       store.NewWindow(optsR...),
@@ -187,6 +250,19 @@ func NewNode[L, R any](cfg *Config[L, R], k int) *Node[L, R] {
 		pendExpR: make(map[uint64]struct{}),
 		pendExpS: make(map[uint64]struct{}),
 	}
+	n.emitS = func(s stream.Tuple[R]) {
+		if n.cfg.Pred(n.curR.Payload, s.Payload) {
+			n.curRes++
+			n.curEm.EmitResult(stream.Pair[L, R]{R: n.curR, S: s})
+		}
+	}
+	n.emitR = func(r stream.Tuple[L]) {
+		if n.cfg.Pred(r.Payload, n.curS.Payload) {
+			n.curRes++
+			n.curEm.EmitResult(stream.Pair[L, R]{R: r, S: n.curS})
+		}
+	}
+	return n
 }
 
 // Stats returns a snapshot of the node's counters. It is safe to call
@@ -312,6 +388,7 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 			}
 		}
 	}
+	n.arrivals += uint64(len(rs))
 	Inc(&n.stats.RArrivals, uint64(len(rs)))
 	if comparisons > 0 {
 		Inc(&n.stats.Comparisons, comparisons)
@@ -322,6 +399,8 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 	if storeOnly > 0 {
 		Inc(&n.stats.StoreOnly, storeOnly)
 	}
+	n.publishMix()
+	n.maybeDropIndexes()
 	if stored {
 		// The window only grew inside the loop, so the final length is
 		// the message's high-water mark.
@@ -340,34 +419,69 @@ func (n *Node[L, R]) handleArrivalR(m Msg[L, R], em Emitter[L, R]) {
 
 // scanForR finds matches for r in the node-local S window and the
 // in-flight buffer (Figure 13 line 8). It returns the entry and result
-// counts for the caller to publish, accumulated per message.
+// counts for the caller to publish, accumulated per message. The probe
+// goes through the reusable per-node context (n.curR/n.emitS) — no
+// per-arrival closure — and under adaptive dispatch the access path is
+// whatever the strategy table currently says for r's key-group.
 func (n *Node[L, R]) scanForR(r stream.Tuple[L], em Emitter[L, R]) (int, int) {
-	inspected, results := 0, 0
-	emit := func(s stream.Tuple[R]) {
-		if n.cfg.Pred(r.Payload, s.Payload) {
-			results++
-			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
-		}
-	}
-	switch n.cfg.Index {
-	case IndexHash:
-		inspected += n.wS.Probe(n.cfg.KeyR(r.Payload), false, emit)
-	case IndexBTree:
+	n.curR, n.curEm, n.curRes = r, em, 0
+	inspected := 0
+	if t := n.cfg.Probe; t != nil {
 		key := n.cfg.KeyR(r.Payload)
-		lo := uint64(0)
-		if key > n.cfg.Band {
-			lo = key - n.cfg.Band
+		g := t.GroupOf(key)
+		switch t.StrategyOf(g) {
+		case probe.UseHash:
+			if !n.wS.HasHash() {
+				n.wS.EnableHash()
+			}
+			n.wsHashAt = n.arrivals
+			inspected += n.wS.Probe(key, false, n.emitS)
+			n.mixHash++
+		case probe.UseBTree:
+			if !n.wS.HasBTree() {
+				n.wS.EnableBTree()
+			}
+			n.wsTreeAt = n.arrivals
+			lo, hi := t.RangeFromR(key)
+			inspected += n.wS.RangeProbe(lo, hi, false, n.emitS)
+			n.mixTree++
+		default:
+			inspected += n.wS.ScanAll(n.emitS)
+			n.mixScan++
 		}
-		inspected += n.wS.RangeProbe(lo, key+n.cfg.Band, false, emit)
-	default:
-		inspected += n.wS.ScanAll(emit)
+		// Sampled observation: the table's counters live on shared cache
+		// lines, and feeding every probe from every node turns them into
+		// a line ping-pong between workers that costs more than the
+		// probes themselves. 1-in-4 keeps the sample unbiased and the
+		// decision cadence at 4x DecideEvery probes per group.
+		if n.obsTick&3 == 0 {
+			t.Observe(g, n.wS.Len(), inspected, n.curRes)
+		}
+		n.obsTick++
+	} else {
+		switch n.cfg.Index {
+		case IndexHash:
+			inspected += n.wS.Probe(n.cfg.KeyR(r.Payload), false, n.emitS)
+			n.mixHash++
+		case IndexBTree:
+			key := n.cfg.KeyR(r.Payload)
+			lo := uint64(0)
+			if key > n.cfg.Band {
+				lo = key - n.cfg.Band
+			}
+			inspected += n.wS.RangeProbe(lo, key+n.cfg.Band, false, n.emitS)
+			n.mixTree++
+		default:
+			inspected += n.wS.ScanAll(n.emitS)
+			n.mixScan++
+		}
 	}
 	for _, s := range n.iwS {
 		inspected++
-		emit(s)
+		n.emitS(s)
 	}
 	em.Cost(inspected)
-	return inspected, results
+	return inspected, n.curRes
 }
 
 // handleArrivalS implements the arrival branch of Figure 14: tag homes
@@ -420,6 +534,7 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 			em.StreamEnd(stream.S, s.TS)
 		}
 	}
+	n.arrivals += uint64(len(ss))
 	Inc(&n.stats.SArrivals, uint64(len(ss)))
 	if comparisons > 0 {
 		Inc(&n.stats.Comparisons, comparisons)
@@ -430,6 +545,8 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 	if storeOnly > 0 {
 		Inc(&n.stats.StoreOnly, storeOnly)
 	}
+	n.publishMix()
+	n.maybeDropIndexes()
 	if retained {
 		// iwS only grows inside the loop; acks shrink it in a separate
 		// message, so the final length is this message's high-water mark.
@@ -463,29 +580,98 @@ func (n *Node[L, R]) handleArrivalS(m Msg[L, R], em Emitter[L, R]) {
 // scanForS finds matches for s among the *non-expedited* entries of the
 // node-local R window (Figure 14 line 8). It returns the entry and
 // result counts for the caller to publish, accumulated per message.
+// Mirrors scanForR: reusable probe context, adaptive dispatch when
+// Config.Probe is set.
 func (n *Node[L, R]) scanForS(s stream.Tuple[R], em Emitter[L, R]) (int, int) {
-	inspected, results := 0, 0
-	emit := func(r stream.Tuple[L]) {
-		if n.cfg.Pred(r.Payload, s.Payload) {
-			results++
-			em.EmitResult(stream.Pair[L, R]{R: r, S: s})
-		}
-	}
-	switch n.cfg.Index {
-	case IndexHash:
-		inspected += n.wR.Probe(n.cfg.KeyS(s.Payload), true, emit)
-	case IndexBTree:
+	n.curS, n.curEm, n.curRes = s, em, 0
+	inspected := 0
+	if t := n.cfg.Probe; t != nil {
 		key := n.cfg.KeyS(s.Payload)
-		lo := uint64(0)
-		if key > n.cfg.Band {
-			lo = key - n.cfg.Band
+		g := t.GroupOf(key)
+		switch t.StrategyOf(g) {
+		case probe.UseHash:
+			if !n.wR.HasHash() {
+				n.wR.EnableHash()
+			}
+			n.wrHashAt = n.arrivals
+			inspected += n.wR.Probe(key, true, n.emitR)
+			n.mixHash++
+		case probe.UseBTree:
+			if !n.wR.HasBTree() {
+				n.wR.EnableBTree()
+			}
+			n.wrTreeAt = n.arrivals
+			lo, hi := t.RangeFromS(key)
+			inspected += n.wR.RangeProbe(lo, hi, true, n.emitR)
+			n.mixTree++
+		default:
+			inspected += n.wR.ScanSettled(n.emitR)
+			n.mixScan++
 		}
-		inspected += n.wR.RangeProbe(lo, key+n.cfg.Band, true, emit)
-	default:
-		inspected += n.wR.ScanSettled(emit)
+		// Sampled 1-in-4, as in scanForR.
+		if n.obsTick&3 == 0 {
+			t.Observe(g, n.wR.Len(), inspected, n.curRes)
+		}
+		n.obsTick++
+	} else {
+		switch n.cfg.Index {
+		case IndexHash:
+			inspected += n.wR.Probe(n.cfg.KeyS(s.Payload), true, n.emitR)
+			n.mixHash++
+		case IndexBTree:
+			key := n.cfg.KeyS(s.Payload)
+			lo := uint64(0)
+			if key > n.cfg.Band {
+				lo = key - n.cfg.Band
+			}
+			inspected += n.wR.RangeProbe(lo, key+n.cfg.Band, true, n.emitR)
+			n.mixTree++
+		default:
+			inspected += n.wR.ScanSettled(n.emitR)
+			n.mixScan++
+		}
 	}
 	em.Cost(inspected)
-	return inspected, results
+	return inspected, n.curRes
+}
+
+// publishMix flushes the per-message strategy-mix scratch counters into
+// the stats cell — one atomic store per path used, per message.
+func (n *Node[L, R]) publishMix() {
+	if n.mixScan > 0 {
+		Inc(&n.stats.ProbeScan, n.mixScan)
+		n.mixScan = 0
+	}
+	if n.mixHash > 0 {
+		Inc(&n.stats.ProbeHash, n.mixHash)
+		n.mixHash = 0
+	}
+	if n.mixTree > 0 {
+		Inc(&n.stats.ProbeBTree, n.mixTree)
+		n.mixTree = 0
+	}
+}
+
+// maybeDropIndexes drops adaptively built indexes that have sat unused
+// for dropIndexAfter arrivals: once every group probing a window has
+// moved off a path, its per-insert maintenance is pure waste. Static
+// Index modes never drop (the configuration promised the index).
+func (n *Node[L, R]) maybeDropIndexes() {
+	if n.cfg.Probe == nil {
+		return
+	}
+	if n.wS.HasHash() && n.arrivals-n.wsHashAt > dropIndexAfter {
+		n.wS.DisableHash()
+	}
+	if n.wS.HasBTree() && n.arrivals-n.wsTreeAt > dropIndexAfter {
+		n.wS.DisableBTree()
+	}
+	if n.wR.HasHash() && n.arrivals-n.wrHashAt > dropIndexAfter {
+		n.wR.DisableHash()
+	}
+	if n.wR.HasBTree() && n.arrivals-n.wrTreeAt > dropIndexAfter {
+		n.wR.DisableBTree()
+	}
 }
 
 // handleAckS removes acknowledged tuples from the in-flight buffer

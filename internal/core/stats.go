@@ -29,6 +29,14 @@ type StatsCell struct {
 	// mid-run snapshot never has to touch the (goroutine-owned) stores.
 	LiveWR atomic.Int64
 	LiveWS atomic.Int64
+	// ProbeScan / ProbeHash / ProbeBTree count window probes by the
+	// access path actually taken — the strategy-mix counters. In static
+	// Index modes exactly one of them moves; under adaptive dispatch
+	// (Config.Probe) their sum equals the probe count, so a mid-run
+	// scrape can check conservation.
+	ProbeScan  atomic.Uint64
+	ProbeHash  atomic.Uint64
+	ProbeBTree atomic.Uint64
 }
 
 // Inc publishes c+n. Safe only for a cell's single writer.
@@ -58,5 +66,8 @@ func (c *StatsCell) Snapshot() Stats {
 		MaxIWS:          int(c.MaxIWS.Load()),
 		LiveWR:          int(c.LiveWR.Load()),
 		LiveWS:          int(c.LiveWS.Load()),
+		ProbeScan:       c.ProbeScan.Load(),
+		ProbeHash:       c.ProbeHash.Load(),
+		ProbeBTree:      c.ProbeBTree.Load(),
 	}
 }

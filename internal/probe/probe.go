@@ -1,0 +1,445 @@
+// Package probe implements the selectivity-adaptive probe engine: a
+// per-key-group strategy table that decides, at runtime and from
+// measured statistics, which access path each window probe should take
+// — a full scan, a hash probe, or a B-tree range probe.
+//
+// The paper fixes the access path at configuration time (§7.6 evaluates
+// a global hash index against the default scan); this package makes it
+// a per-(key-group, predicate-class) runtime decision in the spirit of
+// measured strategy selection: each group's probes are sampled for
+// window footprint, entries inspected and matches produced, a crossover
+// cost model compares the candidate paths in scan-entry units, and a
+// hysteresis streak lets a group flip only on sustained evidence, so
+// the lazily built node-local indexes are never thrashed.
+//
+// The package is a leaf: internal/core dispatches through a Table on
+// the data plane, internal/adapt feeds it the router's authoritative
+// per-group window cardinality from the control plane, and the public
+// engines own it (Config.IndexAuto). It must not import either.
+package probe
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Strategy is one access path for a node-local window probe.
+type Strategy uint32
+
+const (
+	// UseScan walks the whole node-local window fragment linearly (the
+	// paper's default path; optimal for tiny fragments and for groups
+	// whose matches dominate the window).
+	UseScan Strategy = iota
+	// UseHash walks the key's hash chain (equi-class groups whose
+	// chains are short relative to the window fragment).
+	UseHash
+	// UseBTree walks the B-tree over the class's key range (band and
+	// inequality classes, and equi groups on windows where an ordered
+	// probe beats its maintenance).
+	UseBTree
+
+	numStrategies = 3
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case UseScan:
+		return "scan"
+	case UseHash:
+		return "hash"
+	case UseBTree:
+		return "btree"
+	default:
+		return "strategy(?)"
+	}
+}
+
+// Class declares the key relation a join predicate implies — what the
+// engine is allowed to assume when it narrows a probe to an index.
+type Class uint8
+
+const (
+	// ClassOpaque promises nothing: every probe must scan.
+	ClassOpaque Class = iota
+	// ClassEqui promises matches have equal keys.
+	ClassEqui
+	// ClassBand promises matches have |keyR − keyS| <= Band.
+	ClassBand
+	// ClassLE promises matches have keyR <= keyS.
+	ClassLE
+	// ClassGE promises matches have keyR >= keyS.
+	ClassGE
+)
+
+// allows reports whether a class admits a strategy: hash probes need
+// key equality, range probes need any declared key relation.
+func (c Class) allows(s Strategy) bool {
+	switch s {
+	case UseScan:
+		return true
+	case UseHash:
+		return c == ClassEqui
+	case UseBTree:
+		return c == ClassEqui || c == ClassBand || c == ClassLE || c == ClassGE
+	default:
+		return false
+	}
+}
+
+// initial is the prior before any statistics exist: the path the class
+// structurally favors. Starting from the indexed path and flipping to
+// scan on evidence is far cheaper than the reverse — mis-priced index
+// probes cost a chain walk each, mis-priced scans cost the whole
+// window fragment each — so the warm-up burns the cheap kind of error.
+func (c Class) initial() Strategy {
+	switch c {
+	case ClassEqui:
+		return UseHash
+	case ClassBand, ClassLE, ClassGE:
+		return UseBTree
+	default:
+		return UseScan
+	}
+}
+
+// Mix is the splitmix64 finalizer, the key mixer shared with
+// internal/shard's Partitioner (which delegates here): the data plane
+// recomputes a tuple's key-group from its join key, and both sides must
+// agree on group identity for the router-fed cardinality to line up.
+func Mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Crossover-model constants, in scan-entry cost units (one unit = one
+// linear window entry visited). Calibrated against cmd/llhjbench's
+// probe experiment (BENCH_probe.json pins the measured crossover
+// points): a hash-chain entry costs more than a scan entry (pointer
+// chase vs sequential walk), and each indexed path carries a constant
+// per-probe charge covering its amortized per-insert maintenance.
+const (
+	hashEntryCost = 1.25 // per chain entry walked
+	hashUpkeep    = 12.0 // per probe: bucket lookup + amortized insert/remove
+	treeDescent   = 2.0  // per level of the B-tree descent
+	treeUpkeep    = 24.0 // per probe: amortized ordered-insert/remove
+	// margin is the hysteresis band: a candidate path must beat the
+	// current one by this factor before it counts toward a flip, so
+	// near-ties never oscillate.
+	margin = 1.2
+	// flipStreak is how many consecutive decision epochs the same
+	// challenger must win before the group flips — the "sustained
+	// evidence" half of the hysteresis.
+	flipStreak = 2
+	// defaultEpoch is the probes-per-group decision cadence.
+	defaultEpoch = 128
+)
+
+// groupState is one key-group's sample slot: the since-last-epoch
+// counters and hysteresis state. The group's current strategy lives in
+// the Table's separate strats array — the hot path reads strategies on
+// every probe, and if they shared these write-heavy lines, every
+// sampled Observe on one core would invalidate the dispatch read on
+// every other. Counters are updated with plain-load + atomic-store from
+// whichever node is probing the group; concurrent nodes may lose
+// increments, which only blurs the sample — the decision consumes
+// averages and flips on streaks, so a lossy sample costs at most one
+// extra epoch of evidence. Padded so neighbouring groups hammered by
+// different lanes do not share a line.
+type groupState struct {
+	streak    atomic.Uint32
+	want      atomic.Uint32 // challenger the current streak is counting for
+	probes    atomic.Uint64
+	inspected atomic.Uint64
+	matched   atomic.Uint64
+	liveSum   atomic.Uint64
+	card      atomic.Uint64 // router-fed live group cardinality (0 = unfed)
+	_         [16]byte
+}
+
+// Config parameterizes a Table.
+type Config struct {
+	// Groups is the key-group count; must match the routing
+	// partitioner's group count when a router feeds the table.
+	Groups int
+	// Class declares the predicate's key relation.
+	Class Class
+	// Band is the half-width for ClassBand range probes.
+	Band uint64
+	// Lanes and Nodes describe the fleet sharing the table (shard
+	// count × pipeline length); the model uses them to convert the
+	// router's global group cardinality into a per-node chain ceiling.
+	Lanes, Nodes int
+	// OnSwitch, when set, receives every applied strategy flip (forced
+	// or decided). Called from whichever goroutine applied the flip, on
+	// the cold decision path only.
+	OnSwitch func(group uint32, from, to Strategy)
+	// DecideEvery overrides the probes-per-group decision epoch.
+	DecideEvery int
+}
+
+// Table is the shared per-key-group strategy table. Reads on the probe
+// hot path are one atomic load; statistics updates are a handful of
+// single-writer-style stores; decisions run amortized, every
+// DecideEvery probes of a group.
+type Table struct {
+	groups uint32
+	class  Class
+	band   uint64
+	epoch  uint64
+	share  float64 // global cardinality → per-node fragment factor
+
+	// strats is the per-group current strategy, kept apart from the
+	// sample counters: it is read on every probe and written only on a
+	// flip, so its cache lines stay shared across cores instead of
+	// ping-ponging with the Observe traffic.
+	strats   []atomic.Uint32
+	gs       []groupState
+	switches atomic.Uint64
+	onSwitch func(group uint32, from, to Strategy)
+}
+
+// NewTable returns a Table with every group on its class's prior
+// strategy.
+func NewTable(cfg Config) *Table {
+	if cfg.Groups < 1 {
+		cfg.Groups = 1
+	}
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 1
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.DecideEvery <= 0 {
+		cfg.DecideEvery = defaultEpoch
+	}
+	t := &Table{
+		groups:   uint32(cfg.Groups),
+		class:    cfg.Class,
+		band:     cfg.Band,
+		epoch:    uint64(cfg.DecideEvery),
+		share:    1 / float64(cfg.Lanes*cfg.Nodes),
+		strats:   make([]atomic.Uint32, cfg.Groups),
+		gs:       make([]groupState, cfg.Groups),
+		onSwitch: cfg.OnSwitch,
+	}
+	init := uint32(cfg.Class.initial())
+	for i := range t.strats {
+		t.strats[i].Store(init)
+	}
+	return t
+}
+
+// Groups returns the key-group count.
+func (t *Table) Groups() int { return int(t.groups) }
+
+// Class returns the declared predicate class.
+func (t *Table) Class() Class { return t.class }
+
+// GroupOf maps a join key to its key-group — the same assignment the
+// shard partitioner uses.
+func (t *Table) GroupOf(key uint64) uint32 { return uint32(Mix(key) % uint64(t.groups)) }
+
+// StrategyOf returns the group's current strategy: one atomic load.
+func (t *Table) StrategyOf(g uint32) Strategy { return Strategy(t.strats[g].Load()) }
+
+// RangeFromR returns the S-window key range an R arrival with the given
+// key must probe under the declared class.
+func (t *Table) RangeFromR(key uint64) (lo, hi uint64) {
+	switch t.class {
+	case ClassBand:
+		return satLo(key, t.band), satHi(key, t.band)
+	case ClassLE: // keyR <= keyS: S candidates at or above key
+		return key, math.MaxUint64
+	case ClassGE: // keyR >= keyS: S candidates at or below key
+		return 0, key
+	default: // equi
+		return key, key
+	}
+}
+
+// RangeFromS returns the R-window key range an S arrival with the given
+// key must probe — the mirror of RangeFromR.
+func (t *Table) RangeFromS(key uint64) (lo, hi uint64) {
+	switch t.class {
+	case ClassBand:
+		return satLo(key, t.band), satHi(key, t.band)
+	case ClassLE: // keyR <= keyS: R candidates at or below key
+		return 0, key
+	case ClassGE:
+		return key, math.MaxUint64
+	default:
+		return key, key
+	}
+}
+
+func satLo(k, b uint64) uint64 {
+	if k < b {
+		return 0
+	}
+	return k - b
+}
+
+func satHi(k, b uint64) uint64 {
+	if k > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return k + b
+}
+
+// Observe records one window probe of the group — the fragment size the
+// probing node saw, the index/scan entries it inspected, and the
+// matches it emitted — and runs the group's crossover decision once per
+// epoch. Safe to call from concurrent nodes; see groupState.
+func (t *Table) Observe(g uint32, live, inspected, matched int) {
+	gs := &t.gs[g]
+	p := gs.probes.Load() + 1
+	gs.probes.Store(p)
+	gs.liveSum.Store(gs.liveSum.Load() + uint64(live))
+	gs.inspected.Store(gs.inspected.Load() + uint64(inspected))
+	gs.matched.Store(gs.matched.Load() + uint64(matched))
+	if p >= t.epoch {
+		t.decide(g)
+	}
+}
+
+// decide runs one crossover epoch for the group: average the sample,
+// price each admissible path in scan-entry units, and advance (or
+// reset) the hysteresis streak. Two nodes may race into a decide for
+// the same group; the epoch then just consumes a split sample — every
+// transition below is idempotent and monotone per epoch.
+func (t *Table) decide(g uint32) {
+	gs := &t.gs[g]
+	p := gs.probes.Load()
+	if p == 0 {
+		return
+	}
+	insp := gs.inspected.Load()
+	match := gs.matched.Load()
+	liveSum := gs.liveSum.Load()
+	gs.probes.Store(0)
+	gs.inspected.Store(0)
+	gs.matched.Store(0)
+	gs.liveSum.Store(0)
+
+	fp := float64(p)
+	avgLive := float64(liveSum) / fp
+	cur := Strategy(t.strats[g].Load())
+
+	// Chain/range footprint estimate: exact while an index is probing
+	// (inspected counts its entries); while scanning, the matches are a
+	// floor (every key-range entry that passed the residual) and the
+	// router-fed group cardinality, scaled to one node's share, is a
+	// ceiling (a chain cannot exceed the group's node-local footprint).
+	est := float64(match) / fp
+	if cur != UseScan {
+		est = float64(insp) / fp
+	}
+	if est < 1 {
+		est = 1
+	}
+	if card := gs.card.Load(); card > 0 {
+		if share := float64(card)*t.share + 1; est > share {
+			est = share
+		}
+	}
+
+	costOf := func(s Strategy) float64 {
+		switch s {
+		case UseHash:
+			return est*hashEntryCost + hashUpkeep
+		case UseBTree:
+			return est + treeDescent*math.Log2(avgLive+2) + treeUpkeep
+		default:
+			return avgLive + 1
+		}
+	}
+	best, bestCost := cur, costOf(cur)
+	for s := Strategy(0); s < numStrategies; s++ {
+		if s == cur || !t.class.allows(s) {
+			continue
+		}
+		if c := costOf(s); c*margin < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	if best == cur {
+		gs.streak.Store(0)
+		return
+	}
+	if gs.want.Load() != uint32(best) {
+		gs.want.Store(uint32(best))
+		gs.streak.Store(1)
+		return
+	}
+	streak := gs.streak.Load() + 1
+	if streak < flipStreak {
+		gs.streak.Store(streak)
+		return
+	}
+	gs.streak.Store(0)
+	t.apply(g, cur, best)
+}
+
+// apply flips the group and reports the switch. Cold path.
+func (t *Table) apply(g uint32, from, to Strategy) {
+	if from == to {
+		return
+	}
+	t.strats[g].Store(uint32(to))
+	t.switches.Add(1)
+	if t.onSwitch != nil {
+		t.onSwitch(g, from, to)
+	}
+}
+
+// SetStrategy forces the group onto a strategy immediately, bypassing
+// the evidence streak (tests and operational overrides). Strategies the
+// class cannot answer are ignored. The crossover model keeps running
+// and may flip the group back once the evidence says so.
+func (t *Table) SetStrategy(g uint32, s Strategy) {
+	if !t.class.allows(s) {
+		return
+	}
+	t.gs[g].streak.Store(0)
+	t.apply(g, Strategy(t.strats[g].Load()), s)
+}
+
+// FeedCardinality publishes the router's authoritative per-group live
+// window cardinality (len >= Groups; extra entries ignored) — the
+// control-plane half of the statistics. Called from the adapt
+// controller's sampling cycle.
+func (t *Table) FeedCardinality(live []uint64) {
+	n := int(t.groups)
+	if len(live) < n {
+		n = len(live)
+	}
+	for g := 0; g < n; g++ {
+		t.gs[g].card.Store(live[g])
+	}
+}
+
+// Switches returns the number of strategy flips applied so far.
+func (t *Table) Switches() uint64 { return t.switches.Load() }
+
+// MixCounts returns how many groups currently sit on each strategy —
+// a cheap census for snapshots and experiments.
+func (t *Table) MixCounts() (scan, hash, btree int) {
+	for i := range t.strats {
+		switch Strategy(t.strats[i].Load()) {
+		case UseHash:
+			hash++
+		case UseBTree:
+			btree++
+		default:
+			scan++
+		}
+	}
+	return scan, hash, btree
+}

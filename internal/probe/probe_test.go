@@ -1,0 +1,155 @@
+package probe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInitialStrategyFollowsClass(t *testing.T) {
+	cases := []struct {
+		class Class
+		want  Strategy
+	}{
+		{ClassOpaque, UseScan},
+		{ClassEqui, UseHash},
+		{ClassBand, UseBTree},
+		{ClassLE, UseBTree},
+		{ClassGE, UseBTree},
+	}
+	for _, c := range cases {
+		tab := NewTable(Config{Groups: 8, Class: c.class})
+		for g := uint32(0); g < 8; g++ {
+			if got := tab.StrategyOf(g); got != c.want {
+				t.Fatalf("class %d group %d: initial strategy %v, want %v", c.class, g, got, c.want)
+			}
+		}
+	}
+}
+
+func TestGroupOfMatchesMix(t *testing.T) {
+	tab := NewTable(Config{Groups: 64, Class: ClassEqui})
+	for k := uint64(0); k < 1000; k++ {
+		want := uint32(Mix(k) % 64)
+		if got := tab.GroupOf(k); got != want {
+			t.Fatalf("GroupOf(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestRanges(t *testing.T) {
+	band := NewTable(Config{Groups: 1, Class: ClassBand, Band: 10})
+	if lo, hi := band.RangeFromR(5); lo != 0 || hi != 15 {
+		t.Fatalf("band RangeFromR(5) = [%d,%d], want [0,15]", lo, hi)
+	}
+	if lo, hi := band.RangeFromS(math.MaxUint64 - 3); lo != math.MaxUint64-13 || hi != math.MaxUint64 {
+		t.Fatalf("band RangeFromS saturation broken: [%d,%d]", lo, hi)
+	}
+	le := NewTable(Config{Groups: 1, Class: ClassLE})
+	if lo, hi := le.RangeFromR(42); lo != 42 || hi != math.MaxUint64 {
+		t.Fatalf("LE RangeFromR(42) = [%d,%d]", lo, hi)
+	}
+	if lo, hi := le.RangeFromS(42); lo != 0 || hi != 42 {
+		t.Fatalf("LE RangeFromS(42) = [%d,%d]", lo, hi)
+	}
+	ge := NewTable(Config{Groups: 1, Class: ClassGE})
+	if lo, hi := ge.RangeFromR(42); lo != 0 || hi != 42 {
+		t.Fatalf("GE RangeFromR(42) = [%d,%d]", lo, hi)
+	}
+	if lo, hi := ge.RangeFromS(42); lo != 42 || hi != math.MaxUint64 {
+		t.Fatalf("GE RangeFromS(42) = [%d,%d]", lo, hi)
+	}
+	eq := NewTable(Config{Groups: 1, Class: ClassEqui})
+	if lo, hi := eq.RangeFromR(7); lo != 7 || hi != 7 {
+		t.Fatalf("equi RangeFromR(7) = [%d,%d]", lo, hi)
+	}
+}
+
+// A hot equi group whose matches dominate the window should flip from
+// the hash prior to scan — and only after the hysteresis streak.
+func TestDecideFlipsHotGroupToScan(t *testing.T) {
+	var flips []Strategy
+	tab := NewTable(Config{Groups: 4, Class: ClassEqui, DecideEvery: 16,
+		OnSwitch: func(g uint32, from, to Strategy) {
+			if g != 0 {
+				t.Fatalf("unexpected flip on group %d", g)
+			}
+			flips = append(flips, to)
+		}})
+	// Group 0: window of 40, hash chains inspect ~38 of them (nearly
+	// every entry shares the hot key) → scan is cheaper than 38 chain
+	// hops + upkeep. One epoch must NOT flip (streak), two must.
+	for i := 0; i < 16; i++ {
+		tab.Observe(0, 40, 38, 30)
+	}
+	if got := tab.StrategyOf(0); got != UseHash {
+		t.Fatalf("flipped after a single epoch: %v", got)
+	}
+	for i := 0; i < 16; i++ {
+		tab.Observe(0, 40, 38, 30)
+	}
+	if got := tab.StrategyOf(0); got != UseScan {
+		t.Fatalf("no flip after sustained evidence: %v", got)
+	}
+	if len(flips) != 1 || flips[0] != UseScan || tab.Switches() != 1 {
+		t.Fatalf("flips=%v switches=%d", flips, tab.Switches())
+	}
+}
+
+// A selective equi group on a large window must stay on hash.
+func TestDecideKeepsSelectiveGroupOnHash(t *testing.T) {
+	tab := NewTable(Config{Groups: 4, Class: ClassEqui, DecideEvery: 16})
+	for i := 0; i < 200; i++ {
+		tab.Observe(1, 4096, 2, 1)
+	}
+	if got := tab.StrategyOf(1); got != UseHash {
+		t.Fatalf("selective group left hash: %v", got)
+	}
+	if tab.Switches() != 0 {
+		t.Fatalf("unexpected switches: %d", tab.Switches())
+	}
+}
+
+// While a group scans, matched-per-probe floors the chain estimate; the
+// router-fed cardinality ceilings it. A selective group that was forced
+// to scan must find its way back to hash.
+func TestScanGroupRecoversToHash(t *testing.T) {
+	tab := NewTable(Config{Groups: 4, Class: ClassEqui, DecideEvery: 16, Lanes: 1, Nodes: 1})
+	tab.SetStrategy(2, UseScan)
+	if tab.StrategyOf(2) != UseScan {
+		t.Fatal("SetStrategy did not apply")
+	}
+	card := make([]uint64, 4)
+	card[2] = 8 // group holds 8 live tuples → short chains
+	tab.FeedCardinality(card)
+	for i := 0; i < 64; i++ {
+		tab.Observe(2, 4096, 4096, 2)
+	}
+	if got := tab.StrategyOf(2); got != UseHash {
+		t.Fatalf("scan group did not recover to hash: %v", got)
+	}
+}
+
+func TestSetStrategyRespectsClass(t *testing.T) {
+	tab := NewTable(Config{Groups: 2, Class: ClassBand, Band: 4})
+	tab.SetStrategy(0, UseHash) // hash cannot answer a band predicate
+	if got := tab.StrategyOf(0); got != UseBTree {
+		t.Fatalf("band group accepted hash: %v", got)
+	}
+	tab.SetStrategy(0, UseScan)
+	if got := tab.StrategyOf(0); got != UseScan {
+		t.Fatalf("band group rejected scan: %v", got)
+	}
+	if tab.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1", tab.Switches())
+	}
+}
+
+func TestMixCounts(t *testing.T) {
+	tab := NewTable(Config{Groups: 6, Class: ClassEqui})
+	tab.SetStrategy(0, UseScan)
+	tab.SetStrategy(1, UseBTree)
+	scan, hash, btree := tab.MixCounts()
+	if scan != 1 || hash != 4 || btree != 1 {
+		t.Fatalf("mix = %d/%d/%d, want 1/4/1", scan, hash, btree)
+	}
+}

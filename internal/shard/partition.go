@@ -13,17 +13,16 @@
 // the minimum punctuation high-water mark across shards.
 package shard
 
+import "handshakejoin/internal/probe"
+
 // mix is the splitmix64 finalizer — a full-avalanche mixer so that
 // join keys drawn from small or structured domains (symbol ids,
-// sensor numbers) still spread evenly across key-groups.
-func mix(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// sensor numbers) still spread evenly across key-groups. It delegates
+// to probe.Mix, the single definition every layer shares: the adaptive
+// probe engine recomputes a tuple's key-group on the data plane, and a
+// divergent mixer would silently desync its statistics from the
+// router's.
+func mix(x uint64) uint64 { return probe.Mix(x) }
 
 // Mix exposes the key mixer so that routing layers built on top of the
 // Partitioner (internal/adapt) group keys identically.

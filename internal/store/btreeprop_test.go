@@ -1,0 +1,294 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"handshakejoin/internal/stream"
+)
+
+// The tests in this file pin the ordered-index half of the window
+// store's maintenance contract: a B-tree attached to a window — at
+// construction or lazily mid-life — must answer every RangeProbe
+// exactly like a linear scan of the live entries would, through random
+// insert/remove/expedite schedules, in-place compactions, overflow
+// spills, and Enable/Disable rebuild cycles of both indexes. This is
+// the foundation the adaptive probe engine stands on when it flips a
+// key-group onto UseBTree against a window that has lived through
+// arbitrary churn.
+
+// rangeProbeRef derives RangeProbe's exact answer from first
+// principles: the live entries with lo <= key <= hi, in the B-tree's
+// (key, seq) iteration order.
+func (r *refWindow) rangeProbeRef(lo, hi uint64, settledOnly bool) []uint64 {
+	type ks struct {
+		key, seq uint64
+	}
+	var hits []ks
+	for i := range r.ents {
+		k := r.key(r.ents[i].pay)
+		if k < lo || k > hi {
+			continue
+		}
+		if settledOnly && r.ents[i].expedited {
+			continue
+		}
+		hits = append(hits, ks{key: k, seq: r.ents[i].seq})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].key != hits[b].key {
+			return hits[a].key < hits[b].key
+		}
+		return hits[a].seq < hits[b].seq
+	})
+	seqs := make([]uint64, len(hits))
+	for i := range hits {
+		seqs[i] = hits[i].seq
+	}
+	return seqs
+}
+
+// compareRange checks RangeProbe over a band against the reference.
+func compareRange(t *testing.T, seed int64, step int, w *Window[int], ref *refWindow, lo, hi uint64, settledOnly bool) {
+	t.Helper()
+	var got []uint64
+	w.RangeProbe(lo, hi, settledOnly, func(tp stream.Tuple[int]) { got = append(got, tp.Seq) })
+	want := ref.rangeProbeRef(lo, hi, settledOnly)
+	if len(got) != len(want) {
+		t.Fatalf("seed %d step %d: RangeProbe(%d, %d, %v) = %v, ref %v", seed, step, lo, hi, settledOnly, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d step %d: RangeProbe(%d, %d, %v) = %v, ref %v (order)", seed, step, lo, hi, settledOnly, got, want)
+		}
+	}
+}
+
+// TestBTreeRangePropertyVsScanReference drives a lazily indexed window
+// and the map-backed reference through identical random schedules —
+// sparse monotone inserts, expedite flips, front expiries, extraction
+// holes, below-base injections, idle-then-burst seq jumps — while
+// periodically tearing the hash and B-tree indexes down and rebuilding
+// them mid-life, exactly as the adaptive dispatcher does. After every
+// step, RangeProbe over random bands (stride 1 and a 3-node residue)
+// must equal the linear-scan reference, and when the hash index is up,
+// Probe must too.
+func TestBTreeRangePropertyVsScanReference(t *testing.T) {
+	const keySpace = 11
+	for _, stride := range []int{1, 3} {
+		for seed := int64(1); seed <= 4; seed++ {
+			rnd := rand.New(rand.NewSource(seed * 6143))
+			keyFn := func(v int) uint64 { return uint64(v) % keySpace }
+			w := NewWindow(
+				WithStride[int](stride),
+				WithKeyFunc(keyFn), // scan mode: indexes attach lazily below
+			)
+			w.EnableBTree()
+			ref := &refWindow{key: keyFn}
+			residue := uint64(0)
+			if stride > 1 {
+				residue = uint64(rnd.Intn(stride))
+			}
+			next := residue
+			st := uint64(stride)
+			used := map[uint64]bool{}
+			pay := 0
+			insertAt := func(seq uint64, settledFlag bool) {
+				pay++
+				used[seq] = true
+				tpl := tup(seq, pay)
+				if settledFlag {
+					w.InsertSettled(tpl)
+				} else {
+					w.Insert(tpl)
+				}
+				ref.insert(seq, pay, !settledFlag)
+			}
+			for step := 0; step < 700; step++ {
+				switch op := rnd.Intn(100); {
+				case op < 40: // sparse monotone insert
+					next += st * uint64(1+rnd.Intn(8))
+					insertAt(next, rnd.Intn(2) == 0)
+				case op < 48: // expedite flip
+					if len(ref.ents) > 0 {
+						seq := ref.ents[rnd.Intn(len(ref.ents))].seq
+						ref.clear(seq)
+						if !w.ClearExpedition(seq) {
+							t.Fatalf("seed %d step %d: ClearExpedition(%d) missed", seed, step, seq)
+						}
+					}
+				case op < 62: // expiry from the front
+					if len(ref.ents) > 0 {
+						seq := ref.ents[0].seq
+						wantPay, _ := ref.remove(seq)
+						v, ok := w.Remove(seq)
+						if !ok || v.Payload != wantPay {
+							t.Fatalf("seed %d step %d: front Remove(%d) = (%v, %v)", seed, step, seq, v, ok)
+						}
+					}
+				case op < 76: // extraction hole
+					if len(ref.ents) > 0 {
+						seq := ref.ents[rnd.Intn(len(ref.ents))].seq
+						wantPay, _ := ref.remove(seq)
+						v, ok := w.Remove(seq)
+						if !ok || v.Payload != wantPay {
+							t.Fatalf("seed %d step %d: hole Remove(%d) = (%v, %v)", seed, step, seq, v, ok)
+						}
+					}
+				case op < 82: // below-base injection (migration)
+					if len(ref.ents) > 0 {
+						oldest := ref.ents[0].seq
+						back := st * uint64(1+rnd.Intn(2*maxRingSlots))
+						if oldest >= back+residue {
+							seq := oldest - back
+							if !used[seq] {
+								insertAt(seq, true)
+							}
+						}
+					}
+				case op < 88: // idle then burst: seq space races ahead
+					next += st * uint64(rnd.Intn(3*maxRingSlots))
+					insertAt(next+st, rnd.Intn(2) == 0)
+					next += st
+				case op < 94: // lazy index churn: tear down / rebuild mid-life
+					if w.HasBTree() {
+						w.DisableBTree()
+					}
+					w.EnableBTree()
+					if rnd.Intn(2) == 0 {
+						if w.HasHash() {
+							w.DisableHash()
+						} else {
+							w.EnableHash()
+						}
+					}
+				default: // hash toggle alone: B-tree must be unaffected
+					if w.HasHash() {
+						w.DisableHash()
+					} else {
+						w.EnableHash()
+					}
+				}
+				// Random bands each step: point, narrow, wide, unbounded.
+				settledOnly := rnd.Intn(2) == 0
+				k := uint64(rnd.Intn(keySpace))
+				compareRange(t, seed, step, w, ref, k, k, settledOnly)
+				lo := uint64(rnd.Intn(keySpace))
+				compareRange(t, seed, step, w, ref, lo, lo+uint64(rnd.Intn(4)), !settledOnly)
+				compareRange(t, seed, step, w, ref, 0, ^uint64(0), settledOnly)
+				if w.HasHash() {
+					var hits []uint64
+					w.Probe(k, settledOnly, func(tp stream.Tuple[int]) { hits = append(hits, tp.Seq) })
+					want := ref.probe(k, settledOnly)
+					if len(hits) != len(want) {
+						t.Fatalf("seed %d step %d: Probe(%d, %v) = %v, ref %v", seed, step, k, settledOnly, hits, want)
+					}
+					for i := range hits {
+						if hits[i] != want[i] {
+							t.Fatalf("seed %d step %d: Probe(%d, %v) = %v, ref %v (order)", seed, step, k, settledOnly, hits, want)
+						}
+					}
+				}
+			}
+			// Drain: every entry comes back out, and the emptied B-tree
+			// answers nothing.
+			for len(ref.ents) > 0 {
+				seq := ref.ents[0].seq
+				wantPay, _ := ref.remove(seq)
+				v, ok := w.Remove(seq)
+				if !ok || v.Payload != wantPay {
+					t.Fatalf("seed %d drain: Remove(%d) = (%v, %v)", seed, seq, v, ok)
+				}
+			}
+			compareRange(t, seed, -1, w, ref, 0, ^uint64(0), false)
+			if w.Len() != 0 || w.SettledLen() != 0 {
+				t.Fatalf("seed %d: drained window reports Len=%d SettledLen=%d", seed, w.Len(), w.SettledLen())
+			}
+		}
+	}
+}
+
+// TestBTreeWindowHeldCursorSurvivesCompaction is the ordered-index twin
+// of TestWindowOpenCursorSurvivesCompaction: seqs peeked by an open
+// slice cursor stay valid handles across the in-place compactions its
+// own removals trigger, and the B-tree keeps answering range probes
+// coherently the whole way down.
+func TestBTreeWindowHeldCursorSurvivesCompaction(t *testing.T) {
+	const keys = 7
+	keyFn := func(v int) uint64 { return uint64(v) % keys }
+	w := NewWindow(WithBTreeIndex(keyFn))
+	const n = 600
+	for i := 0; i < n; i++ {
+		w.InsertSettled(tup(uint64(i), i))
+	}
+	// The "cursor": every 3rd seq, peeked up front, removed at the end.
+	var held []uint64
+	for i := 0; i < n; i += 3 {
+		held = append(held, uint64(i))
+	}
+	// Churn everything else away, tombstoning two thirds of the entries
+	// array: multiple in-place compactions fire while the cursor is open.
+	for i := 0; i < n; i++ {
+		if i%3 != 0 {
+			if _, ok := w.Remove(uint64(i)); !ok {
+				t.Fatalf("churn Remove(%d) missing", i)
+			}
+		}
+	}
+	if w.Len() != len(held) {
+		t.Fatalf("Len = %d, want %d held entries", w.Len(), len(held))
+	}
+	// Range-probe coherence after the churn: each key class must return
+	// exactly the held seqs of that class, in seq order.
+	for k := uint64(0); k < keys; k++ {
+		var got []uint64
+		w.RangeProbe(k, k, false, func(tp stream.Tuple[int]) { got = append(got, tp.Seq) })
+		var want []uint64
+		for _, seq := range held {
+			if keyFn(int(seq)) == k {
+				want = append(want, seq)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("RangeProbe(%d) after churn = %v, want %v", k, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("RangeProbe(%d) after churn = %v, want %v (order)", k, got, want)
+			}
+		}
+	}
+	// Drain the cursor; every removal can trigger a compaction that
+	// re-points the slots of the seqs still held. Spot-check the B-tree
+	// against the shrinking held set as it goes.
+	remaining := map[uint64]bool{}
+	for _, seq := range held {
+		remaining[seq] = true
+	}
+	for i, seq := range held {
+		v, ok := w.Remove(seq)
+		if !ok {
+			t.Fatalf("held seq %d vanished across compaction", seq)
+		}
+		if v.Seq != seq || v.Payload != int(seq) {
+			t.Fatalf("held seq %d resolved to tuple {Seq:%d Payload:%d}", seq, v.Seq, v.Payload)
+		}
+		delete(remaining, seq)
+		if i%32 == 31 {
+			count := 0
+			w.RangeProbe(0, ^uint64(0), false, func(tp stream.Tuple[int]) {
+				if !remaining[tp.Seq] {
+					t.Fatalf("RangeProbe returned removed seq %d mid-drain", tp.Seq)
+				}
+				count++
+			})
+			if count != len(remaining) {
+				t.Fatalf("RangeProbe mid-drain saw %d entries, want %d", count, len(remaining))
+			}
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("window not empty after cursor drain: %d", w.Len())
+	}
+}

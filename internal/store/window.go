@@ -157,6 +157,16 @@ func WithBTreeIndex[T any](key stream.KeyFunc[T]) Option[T] {
 	}
 }
 
+// WithKeyFunc declares the join-key extractor without attaching any
+// index. The window starts in scan mode with zero index maintenance;
+// EnableHash/EnableBTree may attach (and backfill) indexes later when
+// an adaptive probe strategy demands them.
+func WithKeyFunc[T any](key stream.KeyFunc[T]) Option[T] {
+	return func(w *Window[T]) {
+		w.key = key
+	}
+}
+
 // WithStride declares that every seq stored in this window is congruent
 // modulo n (the LLHJ home-node residue: node k of an n-node pipeline
 // only ever stores seqs with seq%n == k). The ring directory then spends
@@ -462,7 +472,7 @@ func (w *Window[T]) insert(t stream.Tuple[T], expedited bool) {
 	w.entries = append(w.entries, entry[T]{tuple: t, expedited: expedited})
 	w.place(t.Seq, int32(slot))
 	w.live++
-	if w.key != nil {
+	if w.hash != nil || w.btree != nil {
 		k := w.key(t.Payload)
 		if w.hash != nil {
 			w.links = append(w.links, hLink{prev: NoSeq, next: NoSeq})
@@ -511,7 +521,7 @@ func (w *Window[T]) Remove(seq uint64) (stream.Tuple[T], bool) {
 	if !e.expedited {
 		w.settled--
 	}
-	if w.key != nil {
+	if w.hash != nil || w.btree != nil {
 		k := w.key(t.Payload)
 		if w.hash != nil {
 			lnk := w.links[slot]
@@ -592,7 +602,8 @@ func (w *Window[T]) ScanSettled(fn func(stream.Tuple[T])) int {
 
 // Probe calls fn for every live entry whose key equals k, optionally
 // restricted to settled entries, in arrival order. It returns the number
-// of index entries inspected. Requires WithHashIndex.
+// of index entries inspected. Requires an attached hash index
+// (WithHashIndex at construction, or EnableHash later).
 func (w *Window[T]) Probe(k uint64, settledOnly bool, fn func(stream.Tuple[T])) int {
 	if w.hash == nil {
 		panic("store: Probe without WithHashIndex")
@@ -613,7 +624,8 @@ func (w *Window[T]) Probe(k uint64, settledOnly bool, fn func(stream.Tuple[T])) 
 
 // RangeProbe calls fn for every live entry with lo ≤ key ≤ hi, optionally
 // restricted to settled entries. It returns the number of index entries
-// inspected. Requires WithBTreeIndex.
+// inspected. Requires an attached ordered index (WithBTreeIndex at
+// construction, or EnableBTree later).
 func (w *Window[T]) RangeProbe(lo, hi uint64, settledOnly bool, fn func(stream.Tuple[T])) int {
 	if w.btree == nil {
 		panic("store: RangeProbe without WithBTreeIndex")
@@ -632,6 +644,75 @@ func (w *Window[T]) RangeProbe(lo, hi uint64, settledOnly bool, fn func(stream.T
 		fn(e.tuple)
 	})
 	return n
+}
+
+// HasHash reports whether a hash index is currently attached.
+func (w *Window[T]) HasHash() bool { return w.hash != nil }
+
+// HasBTree reports whether a B-tree index is currently attached.
+func (w *Window[T]) HasBTree() bool { return w.btree != nil }
+
+// EnableHash attaches a hash index, backfilling it from the live
+// entries in arrival order so chains read exactly as if the index had
+// been present since the first insert. No-op when already attached;
+// requires a key function (WithKeyFunc or an index option). O(live).
+func (w *Window[T]) EnableHash() {
+	if w.hash != nil {
+		return
+	}
+	if w.key == nil {
+		panic("store: EnableHash without a key function")
+	}
+	w.hash = NewHashIndex()
+	w.links = make([]hLink, len(w.entries))
+	for i := range w.links {
+		w.links[i] = hLink{prev: NoSeq, next: NoSeq}
+	}
+	for i := w.head; i < len(w.entries); i++ {
+		e := &w.entries[i]
+		if e.dead {
+			continue
+		}
+		k := w.key(e.tuple.Payload)
+		prevTail := w.hash.InsertTail(k, e.tuple.Seq)
+		w.links[i].prev = prevTail
+		if prevTail != NoSeq {
+			w.links[w.chainSlot(prevTail)].next = e.tuple.Seq
+		}
+	}
+}
+
+// DisableHash drops the hash index and its chain links; Probe becomes
+// unavailable until EnableHash. No-op when not attached.
+func (w *Window[T]) DisableHash() {
+	w.hash = nil
+	w.links = nil
+}
+
+// EnableBTree attaches an ordered index, backfilling it from the live
+// entries. No-op when already attached; requires a key function.
+// O(live · log live).
+func (w *Window[T]) EnableBTree() {
+	if w.btree != nil {
+		return
+	}
+	if w.key == nil {
+		panic("store: EnableBTree without a key function")
+	}
+	w.btree = NewBTreeIndex(32)
+	for i := w.head; i < len(w.entries); i++ {
+		e := &w.entries[i]
+		if e.dead {
+			continue
+		}
+		w.btree.Insert(w.key(e.tuple.Payload), e.tuple.Seq)
+	}
+}
+
+// DisableBTree drops the ordered index; RangeProbe becomes unavailable
+// until EnableBTree. No-op when not attached.
+func (w *Window[T]) DisableBTree() {
+	w.btree = nil
 }
 
 // maybeCompact rebuilds the entry slice when more than half the slots

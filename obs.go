@@ -46,9 +46,9 @@ func (o ObsConfig) ringSize() int {
 // TraceEvent is one control-plane trace event. Kind names the event
 // ("rebalance_applied", "handoff_begin", "slice_hop", "handoff_settle",
 // "migrate_freeze", "heartbeat_stall", "ring_spill", "ring_reanchor",
-// "window_compact"); Shard and Group locate it (-1 when not
-// applicable); A and B are kind-specific operands (see the package
-// documentation's Observability section for the schema).
+// "window_compact", "strategy_switch"); Shard and Group locate it (-1
+// when not applicable); A and B are kind-specific operands (see the
+// package documentation's Observability section for the schema).
 type TraceEvent = obs.Event
 
 // Snapshot is a race-safe mid-run view of an engine: the cumulative
@@ -123,6 +123,13 @@ func gatherDump(snap Snapshot, hist *metrics.AtomicHistogram, ring *obs.Ring) ob
 	counter("llhj_results_total", "Join results emitted.", snap.Results)
 	counter("llhj_punctuations_total", "Punctuations emitted.", snap.Punctuations)
 	counter("llhj_comparisons_total", "Window entries inspected across all workers.", snap.Comparisons)
+	counter("llhj_probe_dispatch_total", "Window probes by the access path taken.", snap.ProbeScan, [2]string{"strategy", "scan"})
+	counter("llhj_probe_dispatch_total", "", snap.ProbeHash, [2]string{"strategy", "hash"})
+	counter("llhj_probe_dispatch_total", "", snap.ProbeBTree, [2]string{"strategy", "btree"})
+	// The unlabeled sum is computed from the same snapshot, so a scrape
+	// can assert the labeled series are conserved against it exactly.
+	counter("llhj_probe_dispatches_total", "Window probes dispatched (sum over strategies).", snap.ProbeScan+snap.ProbeHash+snap.ProbeBTree)
+	counter("llhj_strategy_switches_total", "Per-key-group probe strategy flips applied by IndexAuto.", snap.StrategySwitches)
 	counter("llhj_pending_expiries_total", "Expiry messages that raced ahead of their tuple.", snap.PendingExpiries)
 	for i, v := range snap.ShardIngress {
 		counter("llhj_shard_ingress_total", "Tuples routed to each shard.", v, [2]string{"shard", strconv.Itoa(i)})

@@ -260,8 +260,8 @@ func TestObsEndpoint(t *testing.T) {
 			KeyGroups:    16,
 			Migration:    MigrationConfig{SliceTuples: 64},
 		},
-		Obs: ObsConfig{Addr: "127.0.0.1:0"},
-		OnOutput:  func(Item[cidR, cidS]) {},
+		Obs:      ObsConfig{Addr: "127.0.0.1:0"},
+		OnOutput: func(Item[cidR, cidS]) {},
 	}
 	eng, err := New(cfg)
 	if err != nil {

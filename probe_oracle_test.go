@@ -1,0 +1,302 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/probe"
+	"handshakejoin/internal/stream"
+)
+
+// The tests in this file establish the correctness claim of the
+// selectivity-adaptive probe engine: whichever access path a key-group
+// is on — and however often it flips mid-stream, including while a
+// slice handoff is held open — the result multiset (and the exact
+// Ordered-mode sequence) matches the sequential Kang oracle. Strategy
+// flips are forced every ~150 pushes via SetStrategy waves cycling
+// every class-admissible strategy across all groups, so probes land on
+// freshly built lazy indexes, half-dropped indexes, and plain scans in
+// the same run.
+
+// shardedLEWithinKey joins tuples of equal key whose values are
+// ordered — an inequality residual under a key-equality class.
+func shardedLEWithinKey(r okR, s okS) bool { return r.Key == s.Key && r.Val <= s.Val }
+
+// probeBandOverKey is a true band predicate over the join key itself
+// (|keyR − keyS| <= 2): single-pipeline only, Class PredBand.
+func probeBandOverKey(r okR, s okS) bool {
+	d := int64(r.Key) - int64(s.Key)
+	if d < 0 {
+		d = -d
+	}
+	return d <= 2
+}
+
+// probeLEOverKey is a true inequality over the join key (keyR <= keyS):
+// single-pipeline only, Class PredLE.
+func probeLEOverKey(r okR, s okS) bool { return r.Key <= s.Key }
+
+// probeTableOf reaches the engine's shared strategy table.
+func probeTableOf(t *testing.T, eng Joiner[okR, okS]) *probe.Table {
+	t.Helper()
+	var tab *probe.Table
+	switch e := eng.(type) {
+	case *Engine[okR, okS]:
+		tab = e.probeTab
+	case *ShardedEngine[okR, okS]:
+		tab = e.probeTab
+	default:
+		t.Fatalf("unexpected engine type %T", eng)
+	}
+	if tab == nil {
+		t.Fatal("IndexAuto engine has no probe table")
+	}
+	return tab
+}
+
+// forceFlips pushes every key-group onto a new strategy, cycling the
+// class-admissible set so consecutive waves move every group.
+func forceFlips(tab *probe.Table, round int) {
+	var cycle []probe.Strategy
+	if tab.Class() == probe.ClassEqui {
+		cycle = []probe.Strategy{probe.UseScan, probe.UseBTree, probe.UseHash}
+	} else {
+		cycle = []probe.Strategy{probe.UseScan, probe.UseBTree}
+	}
+	for g := 0; g < tab.Groups(); g++ {
+		tab.SetStrategy(uint32(g), cycle[(round+g)%len(cycle)])
+	}
+}
+
+// probeFlipSchedule is shardedSchedule with a forced strategy-flip wave
+// every `every` pushes, so flips land mid-window with live index state.
+func probeFlipSchedule(t *testing.T, tuples int, seed uint64, eng Joiner[okR, okS], o *oracleEngine, every int, flip func(round int)) {
+	t.Helper()
+	shardedScheduleBetween(t, tuples, seed, eng, o, func(i int) {
+		if i%every == every-1 {
+			flip(i / every)
+		}
+	})
+}
+
+func TestProbeAutoOracleMultiset(t *testing.T) {
+	// IndexAuto across shard counts and predicate classes, with strategy
+	// flips forced mid-stream: the multiset must stay exact. The window
+	// mixes duration and count bounds so expiries slide entries out of
+	// live hash chains and B-trees, not just out of scans.
+	const step = int64(1e6)
+	cases := []struct {
+		name   string
+		pred   func(okR, okS) bool
+		class  PredicateClass
+		band   uint64
+		shards []int
+	}{
+		{"equi", shardedEqui, PredEqui, 0, []int{1, 4, 8}},
+		{"band-within-key", shardedBandWithinKey, PredEqui, 0, []int{1, 4, 8}},
+		{"le-within-key", shardedLEWithinKey, PredEqui, 0, []int{1, 4, 8}},
+		{"band-over-key", probeBandOverKey, PredBand, 2, []int{1}},
+		{"le-over-key", probeLEOverKey, PredLE, 0, []int{1}},
+	}
+	for _, tc := range cases {
+		for _, shards := range tc.shards {
+			t.Run(fmt.Sprintf("%s/shards=%d", tc.name, shards), func(t *testing.T) {
+				cfg := Config[okR, okS]{
+					Workers:     3,
+					Shards:      shards,
+					Predicate:   tc.pred,
+					WindowR:     Window{Duration: time.Duration(140 * step), Count: 210},
+					WindowS:     Window{Duration: time.Duration(160 * step), Count: 190},
+					Batch:       4,
+					MaxInFlight: 2,
+					KeyR:        okRKey,
+					KeyS:        okSKey,
+					Index:       IndexAuto,
+					Class:       tc.class,
+					Band:        tc.band,
+					// The oracle replays the exact batch-flush schedule
+					// (see TestShardedMatchesOracleExactly).
+					Adapt: AdaptConfig{DisableHeartbeat: true},
+				}
+				var mu sync.Mutex
+				got := map[stream.PairKey]int{}
+				cfg.OnOutput = func(it Item[okR, okS]) {
+					if it.Punct {
+						return
+					}
+					mu.Lock()
+					got[it.Result.Pair.Key()]++
+					mu.Unlock()
+				}
+				eng, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tab := probeTableOf(t, eng)
+				o := newOracleEngine(cfg, tc.pred)
+				probeFlipSchedule(t, 900, uint64(shards)*733+tc.band+uint64(tc.class), eng, o, 150, func(round int) {
+					forceFlips(tab, round)
+				})
+
+				missing, extra, dups := diffPairMultiset(o.pairs, got)
+				if missing != 0 || extra != 0 || dups != 0 {
+					t.Fatalf("IndexAuto vs oracle: %d missing, %d extra, %d duplicates (oracle %d distinct)",
+						missing, extra, dups, len(o.pairs))
+				}
+				if len(o.pairs) == 0 {
+					t.Fatal("workload produced no results; test has no teeth")
+				}
+				st := eng.Stats()
+				if st.Results != sum(o.pairs) {
+					t.Fatalf("Stats.Results = %d, oracle produced %d", st.Results, sum(o.pairs))
+				}
+				if st.StrategySwitches == 0 {
+					t.Fatal("no strategy switches recorded: the forced flips never applied")
+				}
+				// Conservation: every probe dispatched took exactly one
+				// path, and the forced waves exercised every admissible
+				// one.
+				if st.ProbeScan+st.ProbeHash+st.ProbeBTree == 0 {
+					t.Fatal("no probe dispatches counted")
+				}
+				if st.ProbeScan == 0 || st.ProbeBTree == 0 {
+					t.Fatalf("strategy mix has dead paths: scan=%d hash=%d btree=%d",
+						st.ProbeScan, st.ProbeHash, st.ProbeBTree)
+				}
+				if tc.class == PredEqui && st.ProbeHash == 0 {
+					t.Fatalf("equi class never hash-probed: scan=%d hash=%d btree=%d",
+						st.ProbeScan, st.ProbeHash, st.ProbeBTree)
+				}
+			})
+		}
+	}
+}
+
+func TestProbeAutoOrderedExactSequence(t *testing.T) {
+	// Ordered mode under forced flips: the merged, punctuation-sorted
+	// output must remain the exact deterministic sequence regardless of
+	// which access path produced each result.
+	const step = int64(1e6)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := Config[okR, okS]{
+				Workers:       3,
+				Shards:        shards,
+				Predicate:     shardedBandWithinKey,
+				WindowR:       Window{Duration: time.Duration(120 * step), Count: 200},
+				WindowS:       Window{Duration: time.Duration(160 * step), Count: 200},
+				Batch:         4,
+				MaxInFlight:   2,
+				Ordered:       true,
+				CollectPeriod: 200 * time.Microsecond,
+				KeyR:          okRKey,
+				KeyS:          okSKey,
+				Index:         IndexAuto,
+				Class:         PredEqui,
+				Adapt:         AdaptConfig{DisableHeartbeat: true},
+			}
+			var mu sync.Mutex
+			var gotSeq []orderedKey
+			cfg.OnOutput = func(it Item[okR, okS]) {
+				mu.Lock()
+				defer mu.Unlock()
+				if it.Punct {
+					return
+				}
+				p := it.Result.Pair
+				gotSeq = append(gotSeq, orderedKey{TS: p.TS(), RSeq: p.R.Seq, SSeq: p.S.Seq})
+			}
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := probeTableOf(t, eng)
+			o := newOracleEngine(cfg, shardedBandWithinKey)
+			probeFlipSchedule(t, 900, uint64(shards)*41+7, eng, o, 140, func(round int) {
+				forceFlips(tab, round)
+			})
+
+			want := o.orderedResults()
+			if len(gotSeq) != len(want) {
+				t.Fatalf("emitted %d results, oracle expects %d", len(gotSeq), len(want))
+			}
+			for i := range want {
+				if gotSeq[i] != want[i] {
+					t.Fatalf("position %d: got %+v, want %+v", i, gotSeq[i], want[i])
+				}
+			}
+			if len(want) == 0 {
+				t.Fatal("workload produced no results; test has no teeth")
+			}
+			if eng.Stats().StrategySwitches == 0 {
+				t.Fatal("no strategy switches recorded: the forced flips never applied")
+			}
+		})
+	}
+}
+
+func TestProbeFlipsDuringSliceMigration(t *testing.T) {
+	// Strategy flips while slice handoffs are held open across live
+	// traffic: extracted tuples leave through (and re-enter into) lazy
+	// indexes in arbitrary build states, windows compact under churn,
+	// and the multiset must still be exact. Adapt is live here, so the
+	// controller also feeds the router's group cardinality into the
+	// strategy table every cycle.
+	cfg := sliceCfg(4, 2)
+	cfg.WindowR = Window{Count: 96}
+	cfg.WindowS = Window{Count: 90}
+	cfg.Index = IndexAuto
+	cfg.Class = PredEqui
+	var mu sync.Mutex
+	got := map[stream.PairKey]int{}
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		got[it.Result.Pair.Key()]++
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+	tab := probeTableOf(t, eng)
+	o := newOracleEngine(cfg, shardedEqui)
+	between, maxHops := driveSliceMigrations(t, se, 4, 90, 11)
+	flips := 0
+	zipfSchedule(t, 2600, 1.2, 96, 4242, eng, o, func(i int) {
+		between(i)
+		if i%130 == 129 { // flip waves land while handoffs are open
+			forceFlips(tab, flips)
+			flips++
+		}
+	})
+
+	missing, extra, dups := diffPairMultiset(o.pairs, got)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("flips × slice migration: %d missing, %d extra, %d duplicates (oracle %d distinct)",
+			missing, extra, dups, len(o.pairs))
+	}
+	st := eng.Stats()
+	if st.SliceMigrations == 0 || st.MigratedTuples == 0 {
+		t.Fatalf("no sliced state moved (hops %d, tuples %d); test has no teeth",
+			st.SliceMigrations, st.MigratedTuples)
+	}
+	if *maxHops < 2 {
+		t.Fatalf("no handoff needed more than %d hops: slices were not actually small", *maxHops)
+	}
+	if st.StrategySwitches == 0 {
+		t.Fatal("no strategy switches recorded: the forced flips never applied")
+	}
+	if st.ProbeScan == 0 || st.ProbeHash == 0 || st.ProbeBTree == 0 {
+		t.Fatalf("strategy mix has dead paths: scan=%d hash=%d btree=%d",
+			st.ProbeScan, st.ProbeHash, st.ProbeBTree)
+	}
+	if st.PendingExpiries != 0 {
+		t.Errorf("pending expiries: %d (an expiry raced its migrated tuple)", st.PendingExpiries)
+	}
+}

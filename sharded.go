@@ -16,6 +16,7 @@ import (
 	"handshakejoin/internal/metrics"
 	"handshakejoin/internal/obs"
 	"handshakejoin/internal/order"
+	"handshakejoin/internal/probe"
 	"handshakejoin/internal/shard"
 	"handshakejoin/internal/stream"
 )
@@ -125,6 +126,11 @@ type ShardedEngine[L, RT any] struct {
 	freezeStalls    atomic.Uint64
 	maxStallNs      atomic.Int64
 	sliceTuples     int
+
+	// probeTab is the IndexAuto strategy table shared by every lane's
+	// nodes (group IDs align with the router's key-groups); nil under a
+	// static Index.
+	probeTab *probe.Table
 
 	sorter  *order.Sorter[L, RT]
 	sortMu  sync.Mutex // sorter access: merge callbacks vs Close's final Flush
@@ -333,6 +339,25 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 	}
 	part := shard.NewPartitionerGroups(cfg.Shards, groups)
 	e.router = adapt.NewRouter(part, cfg.Adapt.Enable, e.ingressFloor)
+	if cfg.Index == IndexAuto {
+		// The strategy table shares the router's group space, so the
+		// controller can feed it the authoritative per-group window
+		// cardinality it already samples.
+		pcfg := probe.Config{
+			Groups: groups,
+			Class:  probeClass(cfg.Class),
+			Band:   cfg.Band,
+			Lanes:  cfg.Shards,
+			Nodes:  cfg.Workers,
+		}
+		if e.ring != nil {
+			ring := e.ring
+			pcfg.OnSwitch = func(g uint32, from, to probe.Strategy) {
+				ring.Emit("strategy_switch", -1, int64(g), int64(from), int64(to))
+			}
+		}
+		e.probeTab = probe.NewTable(pcfg)
+	}
 	out := cfg.OnOutput
 	if cfg.Ordered {
 		var sorted func(Item[L, RT])
@@ -356,7 +381,7 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 		i := i
 		// Each lane gets its own builder so the window stores' rare-path
 		// trace events carry the shard they happened on.
-		build, err := builderFor(&cfg, e.laneTrace(i))
+		build, err := builderFor(&cfg, e.laneTrace(i), e.probeTab)
 		if err != nil {
 			return nil, err
 		}
@@ -392,6 +417,9 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 				e.ring.Emit(kind, -1, -1, a, b)
 			}
 		}
+		// The controller's sampling cycle feeds the strategy table the
+		// router's per-group live cardinality (IndexAuto only).
+		acfg.ProbeTable = e.probeTab
 		if cfg.Adapt.Migration.Enable {
 			acfg.MigrateBudget = cfg.Adapt.Migration.MaxTuplesPerCycle
 			if acfg.MigrateBudget == 0 {
@@ -1200,6 +1228,9 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 		Results:             e.merge.Results(),
 		Punctuations:        e.merge.Punctuations(),
 		Comparisons:         agg.Comparisons,
+		ProbeScan:           agg.ProbeScan,
+		ProbeHash:           agg.ProbeHash,
+		ProbeBTree:          agg.ProbeBTree,
 		PendingExpiries:     agg.PendingExpiries,
 		ShardResults:        e.merge.ShardResults(),
 		Rebalances:          e.router.Rebalances(),
@@ -1216,6 +1247,9 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 		StoreOverflow:       agg.StoreOverflow,
 	}
 	st.ShardIngress = shardIngress
+	if e.probeTab != nil {
+		st.StrategySwitches = e.probeTab.Switches()
+	}
 	if e.sorter != nil {
 		e.sortMu.Lock()
 		st.MaxSortBuffer = e.sorter.MaxBuffer()

@@ -232,6 +232,14 @@ func (o *oracleEngine) orderedResults() []orderedKey {
 // periodic idle ticks.
 func shardedSchedule(t *testing.T, tuples int, seed uint64, eng Joiner[okR, okS], o *oracleEngine) {
 	t.Helper()
+	shardedScheduleBetween(t, tuples, seed, eng, o, nil)
+}
+
+// shardedScheduleBetween is shardedSchedule with a per-step callback
+// (invoked after each step's pushes), for suites that inject control
+// actions — migrations, strategy flips — at deterministic points.
+func shardedScheduleBetween(t *testing.T, tuples int, seed uint64, eng Joiner[okR, okS], o *oracleEngine, between func(i int)) {
+	t.Helper()
 	rnd := workload.NewRand(seed)
 	const step = int64(1e6)
 	const keys = 24
@@ -254,6 +262,9 @@ func shardedSchedule(t *testing.T, tuples int, seed uint64, eng Joiner[okR, okS]
 			ts += 20 * step
 			eng.Tick(ts)
 			o.tick(ts)
+		}
+		if between != nil {
+			between(i)
 		}
 	}
 	if err := eng.Close(); err != nil {

@@ -587,3 +587,56 @@ func TestSliceMigrationSurvivesWindowCompaction(t *testing.T) {
 		t.Errorf("pending expiries: %d (an expiry raced its migrated tuple)", st.PendingExpiries)
 	}
 }
+
+// TestSliceMigrationSurvivesWindowCompactionBTree is the ordered-index
+// run of the compaction-vs-open-cursor regression above: with every
+// window probe going through the B-tree (static BTreeIndex, Band 0 —
+// an equi range probe), slice extraction and store-only re-injection
+// must keep the per-window B-trees coherent through the same
+// tombstone-heavy compaction churn, or probes of migrated groups lose
+// (or double) matches.
+func TestSliceMigrationSurvivesWindowCompactionBTree(t *testing.T) {
+	cfg := sliceCfg(4, 2)
+	cfg.WindowR = Window{Count: 96}
+	cfg.WindowS = Window{Count: 90}
+	cfg.Index = BTreeIndex
+	var mu sync.Mutex
+	got := map[stream.PairKey]int{}
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		got[it.Result.Pair.Key()]++
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+	o := newOracleEngine(cfg, shardedEqui)
+	between, maxHops := driveSliceMigrations(t, se, 4, 90, 11)
+	zipfSchedule(t, 2600, 1.2, 96, 4243, eng, o, between)
+
+	missing, extra, dups := diffPairMultiset(o.pairs, got)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("compaction × slice migration (btree): %d missing, %d extra, %d duplicates (oracle %d distinct)",
+			missing, extra, dups, len(o.pairs))
+	}
+	st := eng.Stats()
+	if st.SliceMigrations == 0 || st.MigratedTuples == 0 {
+		t.Fatalf("no sliced state moved (hops %d, tuples %d); test has no teeth",
+			st.SliceMigrations, st.MigratedTuples)
+	}
+	if *maxHops < 2 {
+		t.Fatalf("no handoff needed more than %d hops: slices were not actually small", *maxHops)
+	}
+	if st.ProbeBTree == 0 || st.ProbeScan != 0 || st.ProbeHash != 0 {
+		t.Fatalf("static BTreeIndex must dispatch only btree probes: scan=%d hash=%d btree=%d",
+			st.ProbeScan, st.ProbeHash, st.ProbeBTree)
+	}
+	if st.PendingExpiries != 0 {
+		t.Errorf("pending expiries: %d (an expiry raced its migrated tuple)", st.PendingExpiries)
+	}
+}
