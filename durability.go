@@ -1,0 +1,693 @@
+package handshakejoin
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"handshakejoin/internal/adapt"
+	"handshakejoin/internal/obs"
+	"handshakejoin/internal/order"
+	"handshakejoin/internal/shard"
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/wal"
+	"handshakejoin/internal/wire"
+)
+
+// Durability opts an engine into crash recovery: every admitted batch
+// (and every explicit Tick) is appended to a write-ahead log before it
+// mutates engine state, and Checkpoint writes a consistent snapshot of
+// all engine state — window tuples, pending expiries, partial batch
+// buffers, the routing table, and the ordered-output buffer — that,
+// together with a replay of the WAL records logged after the cut,
+// reconstructs the engine exactly.
+//
+// The recovery contract (see the package documentation's Durability
+// section): for a sequential driver killed at a push boundary, the
+// killed run's output filtered to result timestamps < the checkpoint's
+// punctuation floor, concatenated with the restored run's output, is
+// exactly the uninterrupted run's output — the same multiset, and in
+// Ordered mode the same exact sequence. With concurrent pushers the
+// cross-side admission interleaving is not logged, so replay restores a
+// valid (at-least-once between checkpoint and crash) state rather than
+// a bit-exact one.
+//
+// Durability requires the LLHJ algorithm (the reference HSJ pipeline
+// has no state extractor).
+type Durability[L, RT any] struct {
+	// WALDir is the durability root. The engine appends its log under
+	// <WALDir>/wal and auto-checkpoints under <WALDir>/checkpoint.
+	// Empty disables logging and checkpointing (the codecs may still be
+	// set to allow Restore from another engine's directory).
+	WALDir string
+	// SyncEvery fsyncs the log after every n appended records; <= 0
+	// leaves syncing to the OS plus the forced syncs at segment
+	// rotation, checkpoint, and Close. The fsync runs on a background
+	// goroutine (asynchronous group commit): a push hands the sync
+	// window to the OS and continues, so ingest overlaps the disk
+	// instead of serializing behind it, and the loss window is the
+	// records since the last *completed* background fsync. See
+	// internal/wal.
+	SyncEvery int
+	// CheckpointEveryBatches auto-checkpoints after every n admitted
+	// batches (counting per-tuple pushes as batches of one); 0 disables
+	// automatic checkpoints — call Joiner.Checkpoint explicitly.
+	CheckpointEveryBatches int
+	// EncodeR/DecodeR serialize R payloads; EncodeS/DecodeS serialize S
+	// payloads. All four are required when WALDir is set. Encoders must
+	// be pure: equal payloads must encode to equal bytes.
+	EncodeR func(L) []byte
+	DecodeR func([]byte) (L, error)
+	EncodeS func(RT) []byte
+	DecodeS func([]byte) (RT, error)
+}
+
+// enabled reports whether the engine logs and checkpoints.
+func (d *Durability[L, RT]) enabled() bool { return d.WALDir != "" }
+
+// Durability file layout under the root directory.
+const (
+	walSubdir    = "wal"
+	ckptSubdir   = "checkpoint"
+	stateFile    = "state.bin"
+	manifestFile = "MANIFEST"
+
+	snapMagic   uint64 = 0x4c4c484a434b5054 // "LLHJCKPT"
+	maniMagic   uint64 = 0x4c4c484a4d414e49 // "LLHJMANI"
+	snapVersion        = 1
+)
+
+// durState is the runtime half of Durability, embedded in both engines.
+// The log handle and the replaying flag are shared by both stream
+// sides; encR is the WAL-payload scratch of everything serialized under
+// the R-side lock (R pushes and Ticks), encS of S pushes.
+type durState[L, RT any] struct {
+	cfg     Durability[L, RT]
+	fp      uint64 // config fingerprint: a snapshot binds to its config
+	shards  int
+	ordered bool
+
+	log  *wal.Log
+	ring *obs.Ring
+
+	// replaying suppresses WAL appends and auto-checkpoints while
+	// Restore re-pushes the logged records through the ordinary paths.
+	replaying atomic.Bool
+	// batches counts admitted batches for the auto-checkpoint cadence.
+	batches atomic.Uint64
+
+	ckptMu      sync.Mutex // serializes concurrent Checkpoint calls
+	checkpoints atomic.Uint64
+	lastCkptNs  atomic.Int64
+
+	encR, encS *wire.Writer
+}
+
+// init binds the durability configuration and opens the log when
+// enabled. Called from engine constructors after validation.
+func (d *durState[L, RT]) init(cfg *Config[L, RT]) error {
+	d.cfg = cfg.Durability
+	d.fp = cfg.fingerprint()
+	d.shards = cfg.Shards
+	if d.shards < 1 {
+		d.shards = 1
+	}
+	d.ordered = cfg.Ordered
+	if !d.cfg.enabled() {
+		return nil
+	}
+	log, err := wal.Open(filepath.Join(d.cfg.WALDir, walSubdir), wal.Options{
+		SyncEvery: d.cfg.SyncEvery,
+		AsyncSync: true,
+	})
+	if err != nil {
+		return fmt.Errorf("handshakejoin: open WAL: %w", err)
+	}
+	d.log = log
+	d.encR = wire.NewWriter(4096)
+	d.encS = wire.NewWriter(4096)
+	return nil
+}
+
+// active reports whether pushes must be logged right now.
+func (d *durState[L, RT]) active() bool { return d.log != nil && !d.replaying.Load() }
+
+func (d *durState[L, RT]) append(kind byte, payload []byte) error {
+	idx, rotated, err := d.log.Append(kind, payload)
+	if err != nil {
+		return fmt.Errorf("handshakejoin: wal append: %w", err)
+	}
+	if rotated {
+		d.ring.Emit("wal_rotate", -1, -1, int64(idx), 0)
+	}
+	return nil
+}
+
+// appendR logs one admitted R batch; callers hold the R-side serial
+// section, so the scratch writer is single-threaded.
+func (d *durState[L, RT]) appendR(batch []Stamped[L]) error {
+	d.encR.Reset()
+	encodeStampedBatch(d.encR, batch, d.cfg.EncodeR)
+	return d.append(wal.KindR, d.encR.Bytes())
+}
+
+// appendS logs one admitted S batch under the S-side serial section.
+func (d *durState[L, RT]) appendS(batch []Stamped[RT]) error {
+	d.encS.Reset()
+	encodeStampedBatch(d.encS, batch, d.cfg.EncodeS)
+	return d.append(wal.KindS, d.encS.Bytes())
+}
+
+// appendR1/appendS1 log a single-tuple push without building a slice.
+func (d *durState[L, RT]) appendR1(payload L, ts int64) error {
+	d.encR.Reset()
+	d.encR.U32(1)
+	d.encR.I64(ts)
+	d.encR.Blob(d.cfg.EncodeR(payload))
+	return d.append(wal.KindR, d.encR.Bytes())
+}
+
+func (d *durState[L, RT]) appendS1(payload RT, ts int64) error {
+	d.encS.Reset()
+	d.encS.U32(1)
+	d.encS.I64(ts)
+	d.encS.Blob(d.cfg.EncodeS(payload))
+	return d.append(wal.KindS, d.encS.Bytes())
+}
+
+// appendTick logs an explicit Tick; callers hold the R-side serial
+// section (sharded Tick holds both).
+func (d *durState[L, RT]) appendTick(ts int64) error {
+	d.encR.Reset()
+	d.encR.I64(ts)
+	return d.append(wal.KindTick, d.encR.Bytes())
+}
+
+// maybeAutoCheckpoint counts one admitted batch and runs ckpt at the
+// configured cadence. Called after the push has fully completed and no
+// engine locks are held (a checkpoint takes them itself).
+func (d *durState[L, RT]) maybeAutoCheckpoint(ckpt func(string) error) error {
+	if d.log == nil || d.replaying.Load() || d.cfg.CheckpointEveryBatches <= 0 {
+		return nil
+	}
+	if d.batches.Add(1)%uint64(d.cfg.CheckpointEveryBatches) == 0 {
+		return ckpt("")
+	}
+	return nil
+}
+
+// closeLog syncs and closes the log on engine Close.
+func (d *durState[L, RT]) closeLog() {
+	if d.log != nil {
+		d.log.Close() //nolint:errcheck // Close is best-effort teardown
+	}
+}
+
+// encodeStampedBatch is the KindR/KindS record payload: tuple count,
+// then (timestamp, payload blob) per tuple. Sequence numbers are not
+// logged — replay re-derives them, which is exactly why replay must go
+// through the ordinary push paths.
+func encodeStampedBatch[T any](w *wire.Writer, batch []Stamped[T], enc func(T) []byte) {
+	w.U32(uint32(len(batch)))
+	for i := range batch {
+		w.I64(batch[i].TS)
+		w.Blob(enc(batch[i].Payload))
+	}
+}
+
+func decodeStampedBatch[T any](p []byte, dec func([]byte) (T, error)) ([]Stamped[T], error) {
+	r := wire.NewReader(p)
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	out := make([]Stamped[T], 0, n)
+	for i := 0; i < n; i++ {
+		ts := r.I64()
+		blob := r.Blob()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v, err := dec(blob)
+		if err != nil {
+			return nil, fmt.Errorf("handshakejoin: wal replay decode: %w", err)
+		}
+		out = append(out, Stamped[T]{Payload: v, TS: ts})
+	}
+	return out, r.Err()
+}
+
+// fingerprint hashes the configuration facets a snapshot depends on.
+// Restore refuses a snapshot whose fingerprint differs: window specs,
+// shard/worker counts and ordering change what the serialized state
+// means, so loading it into a differently-shaped engine would corrupt
+// silently instead of failing loudly.
+func (c *Config[L, RT]) fingerprint() uint64 {
+	w := wire.NewWriter(96)
+	sh := c.Shards
+	if sh < 1 {
+		sh = 1
+	}
+	w.U32(uint32(sh))
+	w.U32(uint32(c.Workers))
+	w.U32(uint32(c.Batch))
+	w.I64(int64(c.WindowR.Duration))
+	w.U64(uint64(c.WindowR.Count))
+	w.I64(int64(c.WindowS.Duration))
+	w.U64(uint64(c.WindowS.Count))
+	w.U8(uint8(c.Index))
+	w.U8(uint8(c.Class))
+	w.U64(c.Band)
+	w.Bool(c.Ordered)
+	w.Bool(c.Punctuate)
+	kg := c.Adapt.KeyGroups
+	if sh > 1 && kg == 0 {
+		kg = shard.DefaultGroups(sh)
+	}
+	w.U32(uint32(kg))
+	w.Bool(c.Adapt.Enable)
+	h := uint64(14695981039346656037) // FNV-1a
+	for _, b := range w.Bytes() {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// engineSnap is the in-memory form of one checkpoint cut, shared by
+// both engines: driver counters, window-accounting entries, the
+// ordered-output sorter, the routing table (sharded), and every lane's
+// verbatim state.
+type engineSnap[L, RT any] struct {
+	rSeq, sSeq       uint64
+	rLastTS, sLastTS int64
+	rWin, sWin       []windowEntry
+	ordered          bool
+	sorter           order.State[L, RT]
+	lastPunct        int64
+	sharded          bool
+	router           adapt.RouterState
+	lanes            []*shard.LaneState[L, RT]
+}
+
+func encodeWinEntries(w *wire.Writer, es []windowEntry) {
+	w.U32(uint32(len(es)))
+	for _, e := range es {
+		w.U64(e.seq)
+		w.U32(uint32(e.lane))
+		w.U32(e.group)
+		w.Bool(e.settled)
+	}
+}
+
+func decodeWinEntries(r *wire.Reader) []windowEntry {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	out := make([]windowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, windowEntry{
+			seq:     r.U64(),
+			lane:    int(r.U32()),
+			group:   r.U32(),
+			settled: r.Bool(),
+		})
+	}
+	return out
+}
+
+func encodeTupleOne[T any](w *wire.Writer, t stream.Tuple[T], enc func(T) []byte) {
+	w.U64(t.Seq)
+	w.I64(t.TS)
+	w.I64(t.Wall)
+	w.Blob(enc(t.Payload))
+}
+
+func decodeTupleOne[T any](r *wire.Reader, dec func([]byte) (T, error)) (stream.Tuple[T], error) {
+	t := stream.Tuple[T]{Home: stream.NoHome}
+	t.Seq = r.U64()
+	t.TS = r.I64()
+	t.Wall = r.I64()
+	blob := r.Blob()
+	if r.Err() != nil {
+		return t, r.Err()
+	}
+	v, err := dec(blob)
+	t.Payload = v
+	return t, err
+}
+
+func encodeSorterState[L, RT any](w *wire.Writer, st order.State[L, RT], encR func(L) []byte, encS func(RT) []byte) {
+	w.U32(uint32(len(st.Buf)))
+	for _, res := range st.Buf {
+		encodeTupleOne(w, res.Pair.R, encR)
+		encodeTupleOne(w, res.Pair.S, encS)
+		w.I64(res.At)
+	}
+	w.U64(st.Released)
+	w.I64(st.LastPunct)
+	w.I64(st.LastTS)
+	w.Bool(st.Monotonic)
+}
+
+func decodeSorterState[L, RT any](r *wire.Reader, decR func([]byte) (L, error), decS func([]byte) (RT, error)) (order.State[L, RT], error) {
+	var st order.State[L, RT]
+	n := int(r.U32())
+	if r.Err() != nil {
+		return st, r.Err()
+	}
+	for i := 0; i < n; i++ {
+		var res Result[L, RT]
+		var err error
+		if res.Pair.R, err = decodeTupleOne(r, decR); err != nil {
+			return st, err
+		}
+		if res.Pair.S, err = decodeTupleOne(r, decS); err != nil {
+			return st, err
+		}
+		res.At = r.I64()
+		st.Buf = append(st.Buf, res)
+	}
+	st.Released = r.U64()
+	st.LastPunct = r.I64()
+	st.LastTS = r.I64()
+	st.Monotonic = r.Bool()
+	return st, r.Err()
+}
+
+func encodeRouterState(w *wire.Writer, st adapt.RouterState) {
+	w.U32(uint32(len(st.Assign)))
+	for _, s := range st.Assign {
+		w.U32(s)
+	}
+	w.Bool(st.Load != nil)
+	if st.Load == nil {
+		return
+	}
+	for _, v := range st.Load {
+		w.U64(v)
+	}
+	for _, v := range st.RLive {
+		w.I64(v)
+	}
+	for _, v := range st.SLive {
+		w.I64(v)
+	}
+	for _, v := range st.DueBound {
+		w.I64(v)
+	}
+	for _, v := range st.HandoffFrom {
+		w.U32(uint32(v))
+	}
+}
+
+func decodeRouterState(r *wire.Reader) adapt.RouterState {
+	var st adapt.RouterState
+	n := int(r.U32())
+	if r.Err() != nil {
+		return st
+	}
+	st.Assign = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		st.Assign = append(st.Assign, r.U32())
+	}
+	if !r.Bool() {
+		return st
+	}
+	st.Load = make([]uint64, n)
+	st.RLive = make([]int64, n)
+	st.SLive = make([]int64, n)
+	st.DueBound = make([]int64, n)
+	st.HandoffFrom = make([]int32, n)
+	for i := 0; i < n; i++ {
+		st.Load[i] = r.U64()
+	}
+	for i := 0; i < n; i++ {
+		st.RLive[i] = r.I64()
+	}
+	for i := 0; i < n; i++ {
+		st.SLive[i] = r.I64()
+	}
+	for i := 0; i < n; i++ {
+		st.DueBound[i] = r.I64()
+	}
+	for i := 0; i < n; i++ {
+		st.HandoffFrom[i] = int32(r.U32())
+	}
+	return st
+}
+
+// encodeSnap serializes one cut. The layout is deterministic (the same
+// state always yields the same bytes), so the manifest's CRC over it is
+// a meaningful integrity check.
+func (d *durState[L, RT]) encodeSnap(snap *engineSnap[L, RT]) []byte {
+	w := wire.NewWriter(1 << 16)
+	w.U64(snapMagic)
+	w.U32(snapVersion)
+	w.U64(d.fp)
+	if snap.sharded {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.U32(uint32(len(snap.lanes)))
+	w.U64(snap.rSeq)
+	w.U64(snap.sSeq)
+	w.I64(snap.rLastTS)
+	w.I64(snap.sLastTS)
+	encodeWinEntries(w, snap.rWin)
+	encodeWinEntries(w, snap.sWin)
+	w.Bool(snap.ordered)
+	if snap.ordered {
+		encodeSorterState(w, snap.sorter, d.cfg.EncodeR, d.cfg.EncodeS)
+	}
+	w.Bool(snap.sharded)
+	if snap.sharded {
+		encodeRouterState(w, snap.router)
+	}
+	for _, ls := range snap.lanes {
+		shard.EncodeLaneState(w, ls, d.cfg.EncodeR, d.cfg.EncodeS)
+	}
+	return w.Bytes()
+}
+
+func (d *durState[L, RT]) decodeSnap(data []byte) (*engineSnap[L, RT], error) {
+	r := wire.NewReader(data)
+	if r.U64() != snapMagic {
+		return nil, fmt.Errorf("handshakejoin: not a checkpoint state file")
+	}
+	if v := r.U32(); v != snapVersion {
+		return nil, fmt.Errorf("handshakejoin: checkpoint version %d, this build reads %d", v, snapVersion)
+	}
+	if fp := r.U64(); fp != d.fp {
+		return nil, fmt.Errorf("handshakejoin: checkpoint config fingerprint %#x does not match this engine's %#x (windows, shards, workers, batch, ordering and key-groups must be identical)", fp, d.fp)
+	}
+	snap := &engineSnap[L, RT]{}
+	kind := r.U8()
+	snap.sharded = kind == 1
+	if wantSharded := d.shards > 1; snap.sharded != wantSharded {
+		return nil, fmt.Errorf("handshakejoin: checkpoint engine kind mismatch")
+	}
+	nLanes := int(r.U32())
+	if nLanes != d.shards {
+		return nil, fmt.Errorf("handshakejoin: checkpoint has %d lanes, engine has %d", nLanes, d.shards)
+	}
+	snap.rSeq = r.U64()
+	snap.sSeq = r.U64()
+	snap.rLastTS = r.I64()
+	snap.sLastTS = r.I64()
+	snap.rWin = decodeWinEntries(r)
+	snap.sWin = decodeWinEntries(r)
+	snap.ordered = r.Bool()
+	if snap.ordered {
+		var err error
+		if snap.sorter, err = decodeSorterState(r, d.cfg.DecodeR, d.cfg.DecodeS); err != nil {
+			return nil, err
+		}
+	}
+	if r.Bool() {
+		snap.router = decodeRouterState(r)
+	}
+	for i := 0; i < nLanes; i++ {
+		ls, err := shard.DecodeLaneState(r, d.cfg.DecodeR, d.cfg.DecodeS)
+		if err != nil {
+			return nil, fmt.Errorf("handshakejoin: decode lane %d: %w", i, err)
+		}
+		snap.lanes = append(snap.lanes, ls)
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("handshakejoin: checkpoint state truncated: %w", r.Err())
+	}
+	return snap, nil
+}
+
+// writeFileSync writes data to path atomically: temp file, fsync,
+// rename, directory fsync. Readers see the old file or the new one,
+// never a torn mix.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if dirf, err := os.Open(filepath.Dir(path)); err == nil {
+		dirf.Sync() //nolint:errcheck // directory durability is best-effort
+		dirf.Close()
+	}
+	return nil
+}
+
+// writeCheckpoint serializes the cut and commits it: state first, then
+// the manifest — the manifest rename is the commit point, so a crash
+// mid-checkpoint leaves the previous checkpoint intact. Returns the
+// state size in bytes.
+func (d *durState[L, RT]) writeCheckpoint(root string, walFrom uint64, snap *engineSnap[L, RT]) (int, error) {
+	state := d.encodeSnap(snap)
+	dir := filepath.Join(root, ckptSubdir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	if err := writeFileSync(filepath.Join(dir, stateFile), state); err != nil {
+		return 0, fmt.Errorf("handshakejoin: write checkpoint state: %w", err)
+	}
+	mw := wire.NewWriter(64)
+	mw.U64(maniMagic)
+	mw.U32(snapVersion)
+	mw.U64(walFrom)
+	mw.I64(snap.lastPunct)
+	mw.U64(uint64(len(state)))
+	mw.U32(crc32.ChecksumIEEE(state))
+	mw.U32(crc32.ChecksumIEEE(mw.Bytes()))
+	if err := writeFileSync(filepath.Join(dir, manifestFile), mw.Bytes()); err != nil {
+		return 0, fmt.Errorf("handshakejoin: write checkpoint manifest: %w", err)
+	}
+	return len(state), nil
+}
+
+// CheckpointStat describes the committed checkpoint of a durability
+// directory; see CheckpointInfo.
+type CheckpointStat struct {
+	// WALFrom is the index of the first WAL record Restore will replay:
+	// everything before it is covered by the snapshot.
+	WALFrom uint64
+	// LastPunct is the ordered-output punctuation floor at the cut (-1
+	// before the first punctuation, or when the engine is unordered).
+	// Output the crashed run emitted with result timestamps >= LastPunct
+	// is re-emitted by the restored run.
+	LastPunct int64
+	// StateBytes is the size of the serialized engine state.
+	StateBytes uint64
+}
+
+// readManifest parses and verifies <ckptDir>/MANIFEST.
+func readManifest(ckptDir string) (CheckpointStat, uint32, error) {
+	var st CheckpointStat
+	data, err := os.ReadFile(filepath.Join(ckptDir, manifestFile))
+	if err != nil {
+		return st, 0, err
+	}
+	if len(data) < 4 {
+		return st, 0, fmt.Errorf("handshakejoin: checkpoint manifest truncated")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	r := wire.NewReader(data)
+	if r.U64() != maniMagic {
+		return st, 0, fmt.Errorf("handshakejoin: not a checkpoint manifest")
+	}
+	if v := r.U32(); v != snapVersion {
+		return st, 0, fmt.Errorf("handshakejoin: checkpoint manifest version %d, this build reads %d", v, snapVersion)
+	}
+	st.WALFrom = r.U64()
+	st.LastPunct = r.I64()
+	st.StateBytes = r.U64()
+	stateCRC := r.U32()
+	if r.Err() != nil {
+		return st, 0, fmt.Errorf("handshakejoin: checkpoint manifest truncated: %w", r.Err())
+	}
+	want := wire.NewReader(tail).U32()
+	if crc32.ChecksumIEEE(body) != want {
+		return st, 0, fmt.Errorf("handshakejoin: checkpoint manifest CRC mismatch")
+	}
+	return st, stateCRC, nil
+}
+
+// CheckpointInfo reads the committed checkpoint manifest under dir (a
+// Durability.WALDir, or any directory passed to Joiner.Checkpoint)
+// without loading the state. It answers "where would Restore resume"
+// for tooling and tests.
+func CheckpointInfo(dir string) (CheckpointStat, error) {
+	st, _, err := readManifest(filepath.Join(dir, ckptSubdir))
+	return st, err
+}
+
+// readCheckpoint loads and validates the checkpoint under root.
+func (d *durState[L, RT]) readCheckpoint(root string) (CheckpointStat, *engineSnap[L, RT], error) {
+	ckptDir := filepath.Join(root, ckptSubdir)
+	st, stateCRC, err := readManifest(ckptDir)
+	if err != nil {
+		return st, nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(ckptDir, stateFile))
+	if err != nil {
+		return st, nil, err
+	}
+	if uint64(len(data)) != st.StateBytes || crc32.ChecksumIEEE(data) != stateCRC {
+		return st, nil, fmt.Errorf("handshakejoin: checkpoint state does not match its manifest (%d bytes, want %d)", len(data), st.StateBytes)
+	}
+	snap, err := d.decodeSnap(data)
+	if err != nil {
+		return st, nil, err
+	}
+	return st, snap, nil
+}
+
+// replayWAL re-pushes every WAL record with index >= from through the
+// given push callbacks (the engines pass their public push methods,
+// with the replaying flag set so the records are not re-logged).
+func (d *durState[L, RT]) replayWAL(root string, from uint64,
+	pushR func([]Stamped[L]) error, pushS func([]Stamped[RT]) error, tick func(int64)) (int, error) {
+	return wal.Replay(filepath.Join(root, walSubdir), from, func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindR:
+			b, err := decodeStampedBatch(rec.Payload, d.cfg.DecodeR)
+			if err != nil {
+				return err
+			}
+			return pushR(b)
+		case wal.KindS:
+			b, err := decodeStampedBatch(rec.Payload, d.cfg.DecodeS)
+			if err != nil {
+				return err
+			}
+			return pushS(b)
+		case wal.KindTick:
+			r := wire.NewReader(rec.Payload)
+			ts := r.I64()
+			if r.Err() != nil {
+				return fmt.Errorf("handshakejoin: wal tick record truncated")
+			}
+			tick(ts)
+			return nil
+		default:
+			return fmt.Errorf("handshakejoin: unknown wal record kind %d", rec.Kind)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package handshakejoin
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"handshakejoin/internal/clock"
@@ -53,7 +54,16 @@ type Engine[L, RT any] struct {
 	expireR, expireS expireFn
 
 	sorter *order.Sorter[L, RT]
+	// sortMu guards the sorter against the collector goroutine when a
+	// mid-run cut must read or replace it; the output path takes it
+	// only when durability is configured, so the default engine keeps
+	// its lock-free serving path.
+	sortMu sync.Mutex
 	closed bool
+
+	// dur is the durability runtime (Config.Durability): the WAL
+	// handle, the replay flag, and checkpoint bookkeeping.
+	dur durState[L, RT]
 
 	// probeTab is the IndexAuto strategy table shared by the pipeline's
 	// nodes; nil under a static Index.
@@ -111,6 +121,18 @@ func (w *windowTracker) pop() windowEntry {
 	e := w.buf[w.head]
 	w.head++
 	return e
+}
+
+// entries copies out the live in-window entries, oldest first — the
+// checkpoint image of the tracker.
+func (w *windowTracker) entries() []windowEntry {
+	return append([]windowEntry(nil), w.buf[w.head:]...)
+}
+
+// restore replaces the tracker's live entries with a checkpoint image.
+func (w *windowTracker) restore(es []windowEntry) {
+	w.buf = es
+	w.head = 0
 }
 
 // expireFn receives one scheduled expiry; see windowTracker.
@@ -293,6 +315,10 @@ func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 		e.ring = obs.NewRing(cfg.Obs.ringSize())
 		e.outHist = &metrics.AtomicHistogram{}
 	}
+	if err := e.dur.init(&cfg); err != nil {
+		return nil, err
+	}
+	e.dur.ring = e.ring
 	var trace func(kind string, a, b int64)
 	if e.ring != nil {
 		trace = func(kind string, a, b int64) { e.ring.Emit(kind, 0, -1, a, b) }
@@ -334,6 +360,17 @@ func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 	out := cfg.OnOutput
 	if cfg.Ordered {
 		out, e.sorter = sortedOutput(cfg.OnOutput)
+		if cfg.Durability.enabled() || cfg.Durability.DecodeR != nil {
+			// A checkpoint (or restore) reads the sorter mid-run from
+			// the driver goroutine while the collector feeds it, so the
+			// two must serialize.
+			inner := out
+			out = func(it Item[L, RT]) {
+				e.sortMu.Lock()
+				defer e.sortMu.Unlock()
+				inner(it)
+			}
+		}
 	}
 	if e.outHist != nil {
 		out = wrapLatency(e.outHist, e.clk.Now, out)
@@ -407,6 +444,14 @@ func (e *Engine[L, RT]) PushRBatch(batch []Stamped[L]) error {
 		}
 		last = batch[i].TS
 	}
+	if e.dur.active() {
+		// Log before any state changes: a record is durable (or at
+		// least written) before its effects exist, so replay never
+		// needs to undo anything.
+		if err := e.dur.appendR(batch); err != nil {
+			return err
+		}
+	}
 	now := e.clk.Now()
 	seq0 := e.rSeq.Load()
 	e.tss = e.tss[:0]
@@ -422,7 +467,7 @@ func (e *Engine[L, RT]) PushRBatch(batch []Stamped[L]) error {
 	e.lane.QueueExpiryBulk(stream.R, e.rDurSc, e.rCntSc)
 	e.rDurSc, e.rCntSc = e.rDurSc[:0], e.rCntSc[:0]
 	e.lane.PushRBulk(e.rTuples)
-	return nil
+	return e.dur.maybeAutoCheckpoint(e.Checkpoint)
 }
 
 // PushSBatch submits a batch of S tuples; see PushRBatch.
@@ -440,6 +485,11 @@ func (e *Engine[L, RT]) PushSBatch(batch []Stamped[RT]) error {
 		}
 		last = batch[i].TS
 	}
+	if e.dur.active() {
+		if err := e.dur.appendS(batch); err != nil {
+			return err
+		}
+	}
 	now := e.clk.Now()
 	seq0 := e.sSeq.Load()
 	e.tss = e.tss[:0]
@@ -455,7 +505,7 @@ func (e *Engine[L, RT]) PushSBatch(batch []Stamped[RT]) error {
 	e.lane.QueueExpiryBulk(stream.S, e.sDurSc, e.sCntSc)
 	e.sDurSc, e.sCntSc = e.sDurSc[:0], e.sCntSc[:0]
 	e.lane.PushSBulk(e.sTuples)
-	return nil
+	return e.dur.maybeAutoCheckpoint(e.Checkpoint)
 }
 
 // Tick advances stream time to ts without submitting a tuple: partial
@@ -469,6 +519,12 @@ func (e *Engine[L, RT]) PushSBatch(batch []Stamped[RT]) error {
 func (e *Engine[L, RT]) Tick(ts int64) {
 	if e.closed {
 		return
+	}
+	if e.dur.active() {
+		// A tick moves windows, so replay must see it at the same
+		// stream position. Tick cannot report errors; a failed append
+		// surfaces on the next push or checkpoint.
+		e.dur.appendTick(ts) //nolint:errcheck
 	}
 	e.lane.Tick(ts)
 }
@@ -488,6 +544,118 @@ func (e *Engine[L, RT]) Close() error {
 	if e.obsSrv != nil {
 		e.obsSrv.Close()
 	}
+	e.dur.closeLog()
+	return nil
+}
+
+// Checkpoint implements Joiner.Checkpoint: it captures a consistent
+// cut — lane window state, expiry queues, partial batch buffers, the
+// window-accounting trackers, and the ordered-output buffer — writes it
+// under <dir>/checkpoint, and truncates WAL segments the cut covers.
+// Like every driver call on the single-pipeline engine it must run on
+// the driver goroutine; the pipeline quiesces for the capture but the
+// file writes happen after the cut, off the ingress path.
+func (e *Engine[L, RT]) Checkpoint(dir string) error {
+	if e.dur.log == nil {
+		return fmt.Errorf("handshakejoin: Checkpoint requires Config.Durability.WALDir")
+	}
+	if e.closed {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	root := dir
+	if root == "" {
+		root = e.dur.cfg.WALDir
+	}
+	e.dur.ckptMu.Lock()
+	defer e.dur.ckptMu.Unlock()
+	start := e.clk.Now()
+	e.ring.Emit("checkpoint_begin", -1, -1, int64(e.dur.log.Next()), 0)
+	ls, err := e.lane.SnapshotState()
+	if err != nil {
+		return err
+	}
+	// Drain the result queues through the normal output path so every
+	// result produced before the cut is either already delivered or
+	// sitting in the sorter about to be snapshotted.
+	e.lane.CollectOnce()
+	snap := engineSnap[L, RT]{
+		rSeq:      e.rSeq.Load(),
+		sSeq:      e.sSeq.Load(),
+		rLastTS:   e.rLastTS,
+		sLastTS:   e.sLastTS,
+		rWin:      e.rWin.entries(),
+		sWin:      e.sWin.entries(),
+		lastPunct: -1,
+		lanes:     []*shard.LaneState[L, RT]{ls},
+	}
+	e.sortMu.Lock()
+	if e.sorter != nil {
+		snap.ordered = true
+		snap.sorter = e.sorter.Snapshot()
+		snap.lastPunct = snap.sorter.LastPunct
+	}
+	walFrom := e.dur.log.Next()
+	e.sortMu.Unlock()
+	stateBytes, err := e.dur.writeCheckpoint(root, walFrom, &snap)
+	if err != nil {
+		return err
+	}
+	if root == e.dur.cfg.WALDir {
+		if _, err := e.dur.log.TruncateThrough(walFrom); err != nil {
+			return err
+		}
+	}
+	durNs := e.clk.Now() - start
+	e.dur.lastCkptNs.Store(durNs)
+	e.dur.checkpoints.Add(1)
+	e.ring.Emit("checkpoint_complete", -1, -1, durNs, int64(stateBytes))
+	return nil
+}
+
+// Restore implements Joiner.Restore: it loads the checkpoint under dir
+// (dir "" selects Config.Durability.WALDir) into this freshly built
+// engine and replays the WAL tail through the ordinary push paths.
+func (e *Engine[L, RT]) Restore(dir string) error {
+	if e.closed {
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if e.dur.cfg.DecodeR == nil || e.dur.cfg.DecodeS == nil {
+		return fmt.Errorf("handshakejoin: Restore requires the Durability payload codecs")
+	}
+	if dir == "" {
+		dir = e.dur.cfg.WALDir
+	}
+	if dir == "" {
+		return fmt.Errorf("handshakejoin: Restore requires a directory (or Config.Durability.WALDir)")
+	}
+	if e.rSeq.Load() != 0 || e.sSeq.Load() != 0 || e.rLastTS != minTS || e.sLastTS != minTS {
+		return fmt.Errorf("handshakejoin: Restore requires a fresh engine")
+	}
+	man, snap, err := e.dur.readCheckpoint(dir)
+	if err != nil {
+		return err
+	}
+	e.rSeq.Store(snap.rSeq)
+	e.sSeq.Store(snap.sSeq)
+	e.rLastTS, e.sLastTS = snap.rLastTS, snap.sLastTS
+	e.rLastAt.Store(snap.rLastTS)
+	e.sLastAt.Store(snap.sLastTS)
+	e.rWin.restore(snap.rWin)
+	e.sWin.restore(snap.sWin)
+	if e.sorter != nil && snap.ordered {
+		e.sortMu.Lock()
+		e.sorter.Restore(snap.sorter)
+		e.sortMu.Unlock()
+	}
+	e.lane.RestoreState(snap.lanes[0])
+	e.dur.replaying.Store(true)
+	defer e.dur.replaying.Store(false)
+	start := e.clk.Now()
+	n, err := e.dur.replayWAL(dir, man.WALFrom, e.PushRBatch, e.PushSBatch, e.Tick)
+	if err != nil {
+		return fmt.Errorf("handshakejoin: wal replay after %d records: %w", n, err)
+	}
+	e.ring.Emit("restore_replay", -1, -1, int64(n), e.clk.Now()-start)
 	return nil
 }
 
@@ -544,6 +712,11 @@ func (e *Engine[L, RT]) StatsSnapshot() Snapshot {
 	}
 	if e.ring != nil {
 		snap.NextEventSeq = e.ring.Next()
+	}
+	if e.dur.log != nil {
+		snap.WALBytes = e.dur.log.Bytes()
+		snap.Checkpoints = e.dur.checkpoints.Load()
+		snap.LastCheckpointNs = e.dur.lastCkptNs.Load()
 	}
 	return snap
 }

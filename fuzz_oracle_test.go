@@ -32,6 +32,41 @@ func TestFuzzOracle(t *testing.T) {
 	}
 }
 
+// TestFuzzKillRestore is the randomized arm of the durability oracle:
+// each iteration draws a shard count, window shapes, an admission batch
+// size and (sharded) whether an incremental handoff is held open across
+// the kill, then kills a durable engine at a random push boundary,
+// restores a fresh one and checks the recovery contract exactly (see
+// runKillRestore). Seeds are deterministic and named on failure.
+func TestFuzzKillRestore(t *testing.T) {
+	const iters = 6
+	const base = uint64(0xC4A5_2026)
+	for it := 0; it < iters; it++ {
+		seed := base + uint64(it)*104729
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rnd := workload.NewRand(seed)
+			const step = int64(1e6)
+			drawWindow := func() Window {
+				switch rnd.Intn(3) {
+				case 0:
+					return Window{Count: 120 + rnd.Intn(120)}
+				case 1:
+					return Window{Duration: time.Duration((80 + int64(rnd.Intn(140))) * step)}
+				default:
+					return Window{
+						Duration: time.Duration((80 + int64(rnd.Intn(140))) * step),
+						Count:    120 + rnd.Intn(120),
+					}
+				}
+			}
+			shards := []int{1, 2, 4, 8}[rnd.Intn(4)]
+			batch := []int{1, 1, 3}[rnd.Intn(3)]
+			handoff := shards > 1 && rnd.Intn(2) == 0
+			runKillRestore(t, seed+13, shards, batch, drawWindow(), drawWindow(), handoff)
+		})
+	}
+}
+
 func fuzzOracleOnce(t *testing.T, seed uint64) {
 	rnd := workload.NewRand(seed)
 	const step = int64(1e6)

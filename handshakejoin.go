@@ -190,6 +190,11 @@ type Config[L, RT any] struct {
 	// value disables both; see ObsConfig.
 	Obs ObsConfig
 
+	// Durability opts the engine into crash recovery: a write-ahead log
+	// of admitted batches plus consistent checkpoints, restored through
+	// Joiner.Restore. The zero value disables it; see Durability.
+	Durability Durability[L, RT]
+
 	// CollectPeriod is how often the collector vacuums the result
 	// queues (and punctuates). Default 1ms.
 	CollectPeriod time.Duration
@@ -404,6 +409,18 @@ func (c *Config[L, RT]) validate() error {
 		c.Adapt.Migration.SliceTuples < 0 || c.Adapt.Migration.MinGapRatio < 0 || c.Adapt.Migration.MaxMigrationsPerSec < 0 {
 		return fmt.Errorf("handshakejoin: Adapt.Migration knobs must be >= 0")
 	}
+	if c.Durability.enabled() {
+		if c.Algorithm != LLHJ {
+			return fmt.Errorf("handshakejoin: Durability requires the LLHJ algorithm")
+		}
+		if c.Durability.EncodeR == nil || c.Durability.DecodeR == nil ||
+			c.Durability.EncodeS == nil || c.Durability.DecodeS == nil {
+			return fmt.Errorf("handshakejoin: Durability.WALDir requires EncodeR/DecodeR/EncodeS/DecodeS")
+		}
+		if c.Durability.CheckpointEveryBatches < 0 {
+			return fmt.Errorf("handshakejoin: Durability.CheckpointEveryBatches must be >= 0, got %d", c.Durability.CheckpointEveryBatches)
+		}
+	}
 	if c.Ordered {
 		c.Punctuate = true
 	}
@@ -437,6 +454,25 @@ type Joiner[L, RT any] interface {
 	// Tick advances stream time without submitting a tuple, so windows
 	// keep sliding on idle streams.
 	Tick(ts int64)
+	// Checkpoint writes a consistent snapshot of all engine state —
+	// window tuples, pending expiries, partial batch buffers, the
+	// routing table, and the ordered-output buffer — into
+	// <dir>/checkpoint (dir "" selects Durability.WALDir), then
+	// truncates WAL segments the snapshot has made redundant. Requires
+	// Durability.WALDir. The engine is briefly quiesced but not
+	// restarted: ingress resumes as soon as the cut is captured, with
+	// the file writes happening off the ingress path. Single-pipeline
+	// engines must call it from the driver goroutine; sharded engines
+	// accept it from any goroutine.
+	Checkpoint(dir string) error
+	// Restore loads the checkpoint under dir into a freshly built
+	// engine with an identical configuration (window specs, shards,
+	// workers, batch, ordering — enforced by fingerprint) and replays
+	// the WAL records logged after the cut through the ordinary push
+	// paths. The engine must not have admitted anything yet, and the
+	// caller must not push concurrently with Restore. See the package
+	// documentation's Durability section for the recovery contract.
+	Restore(dir string) error
 	// Close flushes, stops all goroutines and releases remaining
 	// ordered output.
 	Close() error

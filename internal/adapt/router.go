@@ -60,6 +60,7 @@
 package adapt
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -766,3 +767,96 @@ func (r *Router) Rebalances() uint64 { return r.cycles.Load() }
 
 // Applied returns the number of key-group moves cut over.
 func (r *Router) Applied() uint64 { return r.applied.Load() }
+
+// RouterState is the serializable routing state a checkpoint captures:
+// the group → shard assignment plus, when the router is adaptive, the
+// per-group footprint accounting and the in-flight incremental-handoff
+// marks. Pending drain-based moves are deliberately NOT captured — they
+// are advisory intents derived from load samples, and a restored
+// controller re-proposes them from fresh samples — but handoffs are:
+// a handoff has already swapped the route, and the restored data plane
+// must keep duplicating the group's probes to the old shard until the
+// remaining window slices finish moving.
+type RouterState struct {
+	Assign      []uint32
+	Load        []uint64
+	RLive       []int64
+	SLive       []int64
+	DueBound    []int64
+	HandoffFrom []int32
+}
+
+// SnapshotState copies the router's state under the control mutex and
+// every stripe (the TryApply lock order), so the assignment, footprint
+// counters and handoff marks form one consistent cut even while the
+// controller runs. The engine additionally holds both stream-side
+// locks, so no admission is in flight.
+func (r *Router) SnapshotState() RouterState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.stripes {
+		r.stripes[i].Lock()
+	}
+	defer func() {
+		for i := len(r.stripes) - 1; i >= 0; i-- {
+			r.stripes[i].Unlock()
+		}
+	}()
+	st := RouterState{Assign: r.table.Load().Assignment()}
+	if r.adaptive {
+		st.Load = append([]uint64(nil), r.load...)
+		st.RLive = append([]int64(nil), r.rLive...)
+		st.SLive = append([]int64(nil), r.sLive...)
+		st.DueBound = append([]int64(nil), r.dueBound...)
+		st.HandoffFrom = append([]int32(nil), r.handoffFrom...)
+	}
+	return st
+}
+
+// RestoreState replaces the router's routing table and accounting with
+// a snapshot taken from a router of the same shape (group count, shard
+// count, adaptivity). Pending moves are cleared; the controller will
+// re-propose from post-restore samples. The engine must hold off
+// admissions for the duration.
+func (r *Router) RestoreState(st RouterState) error {
+	if len(st.Assign) != int(r.groups) {
+		return fmt.Errorf("adapt: snapshot has %d groups, router has %d", len(st.Assign), r.groups)
+	}
+	for _, s := range st.Assign {
+		if int(s) >= r.shards {
+			return fmt.Errorf("adapt: snapshot assigns a group to shard %d of %d", s, r.shards)
+		}
+	}
+	if r.adaptive && st.Load == nil {
+		return fmt.Errorf("adapt: snapshot from a non-adaptive router cannot restore an adaptive one")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.stripes {
+		r.stripes[i].Lock()
+	}
+	defer func() {
+		for i := len(r.stripes) - 1; i >= 0; i-- {
+			r.stripes[i].Unlock()
+		}
+	}()
+	next := r.table.Load().Rewire(append([]uint32(nil), st.Assign...))
+	r.table.Store(&next)
+	if r.adaptive {
+		copy(r.load, st.Load)
+		copy(r.rLive, st.RLive)
+		copy(r.sLive, st.SLive)
+		copy(r.dueBound, st.DueBound)
+		copy(r.handoffFrom, st.HandoffFrom)
+		handoffs := int32(0)
+		for _, from := range r.handoffFrom {
+			if from >= 0 {
+				handoffs++
+			}
+		}
+		r.handoffN.Store(handoffs)
+		clear(r.moves)
+		r.pendingN.Store(0)
+	}
+	return nil
+}

@@ -45,6 +45,13 @@ type Collector[L, R any] struct {
 	out    func(Item[L, R])
 	cfg    Config
 
+	// runMu serializes whole collection passes: the background Run loop
+	// and any synchronous RunOnce caller (a checkpoint draining the
+	// result queues at its cut) take it for the duration of a pass, so
+	// a pass observes the queues and emits downstream atomically with
+	// respect to other passes.
+	runMu sync.Mutex
+
 	mu        sync.Mutex
 	collected uint64
 	puncts    uint64
@@ -61,8 +68,14 @@ func New[L, R any](queues []*fifo.Chan[core.Result[L, R]], hwm func() (r, s int6
 
 // RunOnce performs one collection pass — read high-water marks, vacuum
 // all result queues, then punctuate — and reports whether any queue is
-// exhausted-and-closed. Exposed for deterministic tests; Run loops it.
+// exhausted-and-closed. Exposed for deterministic tests and for
+// checkpoints, which call it synchronously to drain every queued
+// result through the normal output path before snapshotting the
+// downstream sorter; passes are serialized against the background Run
+// loop, so a synchronous pass never interleaves with a periodic one.
 func (c *Collector[L, R]) RunOnce() (done bool) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
 	var tp int64
 	if c.cfg.Punctuate && c.hwm != nil {
 		r, s := c.hwm()

@@ -88,16 +88,53 @@ func (r *Ring) Next() uint64 {
 // Drain returns the buffered events with Seq >= since, oldest first.
 // Events overwritten by ring wrap-around are gone; callers resume with
 // since = last.Seq+1.
+//
+// Drain never skips over an unpublished event: Emit claims a sequence
+// number with one atomic add and publishes the built event with a
+// second atomic store, so a concurrent writer can hold a claimed-but-
+// unpublished slot — a hole — between the two. A drain that returned
+// the events around such a hole would make the caller resume past it,
+// and the event would be lost forever once published. Instead, the
+// result is truncated at the first missing sequence number at or above
+// the wrap floor (below the floor the ring legitimately forgets, so
+// gaps there are expected overwrites, not in-flight writers); the
+// in-flight event is simply reported by the next drain after its
+// publish lands.
 func (r *Ring) Drain(since uint64) []Event {
 	if r == nil {
 		return nil
 	}
+	// Snapshot the claim counter first: events claimed after this point
+	// are the next drain's business, and any seq below pos0 that is
+	// absent from the slots is either overwritten (below the wrap
+	// floor) or an in-flight writer (at or above it).
+	pos0 := r.pos.Load()
+	if since >= pos0 {
+		return nil
+	}
 	var out []Event
 	for i := range r.slots {
-		if ev := r.slots[i].Load(); ev != nil && ev.Seq >= since {
+		if ev := r.slots[i].Load(); ev != nil && ev.Seq >= since && ev.Seq < pos0 {
 			out = append(out, *ev)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out
+	floor := since
+	if pos0 > uint64(len(r.slots)) && pos0-uint64(len(r.slots)) > floor {
+		floor = pos0 - uint64(len(r.slots))
+	}
+	// Keep survivors below the floor unconditionally (their slot has
+	// been re-claimed but the new event hasn't landed, so the old one
+	// is still readable — returning it is strictly better than losing
+	// it); from the floor upward require contiguity.
+	keep := 0
+	for keep < len(out) && out[keep].Seq < floor {
+		keep++
+	}
+	expect := floor
+	for keep < len(out) && out[keep].Seq == expect {
+		keep++
+		expect++
+	}
+	return out[:keep]
 }

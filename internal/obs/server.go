@@ -103,8 +103,9 @@ func promFloat(v float64) string {
 //	/debug/vars     expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/   net/http/pprof profiles
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
 }
 
 // Serve binds addr (e.g. "127.0.0.1:9177"; ":0" picks a free port) and
@@ -140,13 +141,24 @@ func Serve(addr string, gather func() Dump, ring *Ring) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	}()
 	return s, nil
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and closes the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server, closes the listener and every open
+// connection, and waits for the serving goroutine to exit — so an
+// engine that creates and closes observability endpoints in a loop
+// (tests, short-lived jobs) leaks neither goroutines nor file
+// descriptors.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -108,3 +108,40 @@ func (s *Sorter[L, R]) Monotonic() bool { return s.monotonic }
 
 // Buffered returns the number of results currently held.
 func (s *Sorter[L, R]) Buffered() int { return len(s.buf) }
+
+// State is the serializable sorter state: the held results (in arrival
+// order, as buffered) and the release cursors. A checkpoint snapshots
+// it after the collectors have drained every result queue, so the held
+// set is exactly the results with timestamp >= the last punctuation.
+type State[L, R any] struct {
+	Buf       []core.Result[L, R]
+	Released  uint64
+	LastPunct int64
+	LastTS    int64
+	Monotonic bool
+}
+
+// Snapshot copies the sorter's state. The caller must serialize it
+// against Push/Flush (the engines hold their sort mutex).
+func (s *Sorter[L, R]) Snapshot() State[L, R] {
+	return State[L, R]{
+		Buf:       append([]core.Result[L, R](nil), s.buf...),
+		Released:  s.released,
+		LastPunct: s.lastPunct,
+		LastTS:    s.lastTS,
+		Monotonic: s.monotonic,
+	}
+}
+
+// Restore replaces the sorter's state with a snapshot. Same
+// serialization contract as Snapshot.
+func (s *Sorter[L, R]) Restore(st State[L, R]) {
+	s.buf = append(s.buf[:0], st.Buf...)
+	s.released = st.Released
+	s.lastPunct = st.LastPunct
+	s.lastTS = st.LastTS
+	s.monotonic = st.Monotonic
+	if n := int64(len(s.buf)); n > s.maxBuffer.Load() {
+		s.maxBuffer.Store(n)
+	}
+}

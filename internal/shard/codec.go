@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"fmt"
+
+	"handshakejoin/internal/stream"
+	"handshakejoin/internal/wire"
+)
+
+// This file is the durability wire codec for lane state: deterministic
+// binary serialization of window tuples, expiry-queue entries, and the
+// driver's batch/injection bookkeeping. Payloads are opaque here —
+// callers supply per-side encode/decode functions — and nothing derived
+// is written: home nodes are re-tagged at the pipeline entry on
+// injection, and window indexes (hash, B-tree) rebuild lazily on the
+// first probe that wants them. The same encoding serves checkpoints
+// today and is deliberately shaped to carry migration slices across a
+// transport later (ROADMAP: cross-process migration).
+
+func encodeTuples[T any](w *wire.Writer, ts []stream.Tuple[T], enc func(T) []byte) {
+	w.U32(uint32(len(ts)))
+	for _, t := range ts {
+		w.U64(t.Seq)
+		w.I64(t.TS)
+		w.I64(t.Wall)
+		w.Blob(enc(t.Payload))
+	}
+}
+
+func decodeTuples[T any](r *wire.Reader, dec func([]byte) (T, error)) ([]stream.Tuple[T], error) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	var out []stream.Tuple[T]
+	for i := 0; i < n; i++ {
+		t := stream.Tuple[T]{Home: stream.NoHome}
+		t.Seq = r.U64()
+		t.TS = r.I64()
+		t.Wall = r.I64()
+		blob := r.Blob()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		p, err := dec(blob)
+		if err != nil {
+			return nil, fmt.Errorf("shard: decode tuple seq %d: %w", t.Seq, err)
+		}
+		t.Payload = p
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func encodeEntries(w *wire.Writer, es []ExpiryEntry) {
+	w.U32(uint32(len(es)))
+	for _, e := range es {
+		w.U64(e.Seq)
+		w.I64(e.Due)
+		w.Bool(e.Settled)
+	}
+}
+
+func decodeEntries(r *wire.Reader) []ExpiryEntry {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	var out []ExpiryEntry
+	for i := 0; i < n; i++ {
+		out = append(out, ExpiryEntry{Seq: r.U64(), Due: r.I64(), Settled: r.Bool()})
+	}
+	return out
+}
+
+func encodeQueueState(w *wire.Writer, st ExpiryQueueState) {
+	encodeEntries(w, st.Dur)
+	encodeEntries(w, st.Cnt)
+	w.U32(uint32(len(st.Seen)))
+	for _, seq := range st.Seen {
+		w.U64(seq)
+	}
+}
+
+func decodeQueueState(r *wire.Reader) ExpiryQueueState {
+	st := ExpiryQueueState{Dur: decodeEntries(r), Cnt: decodeEntries(r)}
+	n := int(r.U32())
+	if r.Err() != nil {
+		return st
+	}
+	for i := 0; i < n; i++ {
+		st.Seen = append(st.Seen, r.U64())
+	}
+	return st
+}
+
+// EncodeLaneState appends the deterministic binary form of st to w.
+// encR/encS serialize the two payload types; they must be pure
+// (equal payloads encode to equal bytes) for the encoding to be
+// deterministic.
+func EncodeLaneState[L, R any](w *wire.Writer, st *LaneState[L, R], encR func(L) []byte, encS func(R) []byte) {
+	encodeTuples(w, st.R, encR)
+	encodeTuples(w, st.S, encS)
+	encodeQueueState(w, st.RExp)
+	encodeQueueState(w, st.SExp)
+	encodeTuples(w, st.RBatch, encR)
+	encodeTuples(w, st.SBatch, encS)
+	w.U64(st.RInj)
+	w.U64(st.SInj)
+	w.I64(st.HWMR)
+	w.I64(st.HWMS)
+}
+
+// DecodeLaneState decodes one lane's state written by EncodeLaneState.
+func DecodeLaneState[L, R any](r *wire.Reader, decR func([]byte) (L, error), decS func([]byte) (R, error)) (*LaneState[L, R], error) {
+	st := &LaneState[L, R]{}
+	var err error
+	if st.R, err = decodeTuples(r, decR); err != nil {
+		return nil, err
+	}
+	if st.S, err = decodeTuples(r, decS); err != nil {
+		return nil, err
+	}
+	st.RExp = decodeQueueState(r)
+	st.SExp = decodeQueueState(r)
+	if st.RBatch, err = decodeTuples(r, decR); err != nil {
+		return nil, err
+	}
+	if st.SBatch, err = decodeTuples(r, decS); err != nil {
+		return nil, err
+	}
+	st.RInj = r.U64()
+	st.SInj = r.U64()
+	st.HWMR = r.I64()
+	st.HWMS = r.I64()
+	return st, r.Err()
+}

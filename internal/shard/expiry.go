@@ -1,5 +1,7 @@
 package shard
 
+import "sort"
+
 // ExpiryEntry schedules the removal of one tuple: the tuple leaves the
 // window as soon as stream time reaches Due.
 type ExpiryEntry struct {
@@ -258,3 +260,54 @@ func (q *ExpiryQueue) take(seq uint64) bool {
 // Len returns the number of queued entries (including entries that
 // dedupe will drop).
 func (q *ExpiryQueue) Len() int { return q.dur.size() + q.cnt.size() }
+
+// ExpiryQueueState is the verbatim serializable state of an
+// ExpiryQueue: both entry flavors exactly as queued (Settled flags
+// included) plus the dedupe bookkeeping. A checkpoint needs the
+// verbatim form — TakeMatching/Absorb exist for migration, where only
+// live-window entries move and everything absorbed is forced settled;
+// restoring a cut must instead reproduce PopDue's future behaviour
+// bit-for-bit, injection gate and once-per-seq accounting included.
+type ExpiryQueueState struct {
+	Dur, Cnt []ExpiryEntry
+	// Seen holds the sequence numbers whose first scheduled entry has
+	// already fired (dedupe bookkeeping), sorted ascending for
+	// deterministic encoding. Nil when dedupe is off.
+	Seen []uint64
+}
+
+// Snapshot copies the queue's state. The receiver is unchanged.
+func (q *ExpiryQueue) Snapshot() ExpiryQueueState {
+	var st ExpiryQueueState
+	if n := q.dur.size(); n > 0 {
+		st.Dur = append(make([]ExpiryEntry, 0, n), q.dur.live()...)
+	}
+	if n := q.cnt.size(); n > 0 {
+		st.Cnt = append(make([]ExpiryEntry, 0, n), q.cnt.live()...)
+	}
+	if q.seen != nil {
+		st.Seen = make([]uint64, 0, len(q.seen))
+		for seq := range q.seen {
+			st.Seen = append(st.Seen, seq)
+		}
+		sortUint64s(st.Seen)
+	}
+	return st
+}
+
+// RestoreSnapshot replaces the queue's state with a snapshot taken
+// from a queue of the same dedupe mode. The input slices are copied.
+func (q *ExpiryQueue) RestoreSnapshot(st ExpiryQueueState) {
+	q.dur = entryList{buf: append([]ExpiryEntry(nil), st.Dur...)}
+	q.cnt = entryList{buf: append([]ExpiryEntry(nil), st.Cnt...)}
+	if q.seen != nil {
+		clear(q.seen)
+		for _, seq := range st.Seen {
+			q.seen[seq] = struct{}{}
+		}
+	}
+}
+
+func sortUint64s(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -890,6 +890,104 @@ func (l *Lane[L, R]) HWMFloor() int64 {
 	return r
 }
 
+// CollectOnce synchronously runs one collector pass on the caller's
+// goroutine: read high-water marks, vacuum every result queue through
+// the normal output path, punctuate. A checkpoint calls it after the
+// pipeline has quiesced, so that no result is stranded in a queue when
+// the downstream sorter state is snapshotted; the pass is serialized
+// against the collector's background loop.
+func (l *Lane[L, R]) CollectOnce() { l.coll.RunOnce() }
+
+// LaneState is the verbatim serializable state of one lane under a
+// consistent cut: the live window tuples of both sides (copies, in
+// arrival order), both expiry queues exactly as scheduled, the partial
+// batch buffers with their injection high-water marks, and the stream
+// high-water marks. Unlike GroupState — migration state, which is
+// always flushed, settled, and re-absorbed — LaneState preserves the
+// flush schedule itself: buffered tuples stay buffered and unflushed
+// expiries stay gated, so a restored lane's future injections happen at
+// exactly the stream points the original lane's would have.
+type LaneState[L, R any] struct {
+	R []stream.Tuple[L]
+	S []stream.Tuple[R]
+	RExp, SExp ExpiryQueueState
+	RBatch     []stream.Tuple[L]
+	SBatch     []stream.Tuple[R]
+	RInj, SInj uint64
+	HWMR, HWMS int64
+}
+
+// SnapshotState copies the lane's state under a consistent cut without
+// modifying it: batch buffers are NOT flushed (the cut preserves them
+// verbatim), the pipeline quiesces, and every live window tuple is
+// peeked out by copy. The caller must hold off pushes for the duration
+// (the sharded engine holds both stream-side locks), exactly as for
+// Extract.
+func (l *Lane[L, R]) SnapshotState() (*LaneState[L, R], error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lv.Quiesce()
+
+	allR := func(L) bool { return true }
+	allS := func(R) bool { return true }
+	st := &LaneState[L, R]{}
+	for _, nl := range l.lv.Nodes() {
+		ex, ok := nl.(core.SliceExtractor[L, R])
+		if !ok {
+			return nil, ErrNoExtractor
+		}
+		rs, ss, _, _ := ex.PeekOldestMatching(allR, allS, int(^uint(0)>>1))
+		st.R = append(st.R, rs...)
+		st.S = append(st.S, ss...)
+	}
+	sort.Slice(st.R, func(i, j int) bool { return st.R[i].Seq < st.R[j].Seq })
+	sort.Slice(st.S, func(i, j int) bool { return st.S[i].Seq < st.S[j].Seq })
+
+	l.expMu.Lock()
+	st.RExp = l.rExp.Snapshot()
+	st.SExp = l.sExp.Snapshot()
+	l.expMu.Unlock()
+
+	st.RBatch = append([]stream.Tuple[L](nil), l.rBatch...)
+	st.SBatch = append([]stream.Tuple[R](nil), l.sBatch...)
+	st.RInj, st.SInj = l.rInj, l.sInj
+	st.HWMR, st.HWMS = l.lv.HWMR(), l.lv.HWMS()
+	return st, nil
+}
+
+// RestoreState replays a snapshot into a fresh lane: window tuples
+// enter as store-only arrivals and settle (indexes rebuild lazily on
+// first indexed probe — index structures are never serialized), the
+// expiry queues are restored verbatim (injection gates included, so
+// entries of still-buffered tuples stay held exactly as they were),
+// the batch buffers and injection marks come back, and the high-water
+// marks re-advance. The lane must not have admitted any tuple yet, and
+// the caller must hold off pushes for the duration.
+func (l *Lane[L, R]) RestoreState(st *LaneState[L, R]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(st.R) > 0 {
+		l.lv.Inject(pipeline.LeftEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveStoreOnly, Side: stream.R, R: st.R})
+	}
+	if len(st.S) > 0 {
+		l.lv.Inject(pipeline.RightEnd, core.Msg[L, R]{Kind: core.KindArrival, Mode: core.ArriveStoreOnly, Side: stream.S, S: st.S})
+	}
+	l.lv.Quiesce()
+	l.expMu.Lock()
+	l.rExp.RestoreSnapshot(st.RExp)
+	l.sExp.RestoreSnapshot(st.SExp)
+	l.expMu.Unlock()
+	if len(st.RBatch) > 0 {
+		l.rBatch = append(l.takeRBuf(), st.RBatch...)
+	}
+	if len(st.SBatch) > 0 {
+		l.sBatch = append(l.takeSBuf(), st.SBatch...)
+	}
+	l.rInj, l.sInj = st.RInj, st.SInj
+	l.lv.AdvanceHWM(stream.R, st.HWMR)
+	l.lv.AdvanceHWM(stream.S, st.HWMS)
+}
+
 // Collected returns the number of results this lane's collector
 // assembled.
 func (l *Lane[L, R]) Collected() uint64 { return l.coll.Collected() }

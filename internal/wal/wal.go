@@ -1,0 +1,517 @@
+// Package wal is the engine's append-only ingress log: every admitted
+// batch (and every explicit Tick) becomes one CRC-framed record in a
+// sequence of segment files, so that recovery can restore the last
+// checkpoint's consistent cut and replay the records admitted after it
+// through the ordinary push paths.
+//
+// # Record framing
+//
+// A record is
+//
+//	u64 idx | u8 kind | u32 len | payload[len] | u32 crc
+//
+// little-endian, where idx is the record's position in the global
+// record sequence (the first record ever appended has idx 0), kind is
+// one of the Kind* constants, and crc is IEEE CRC-32 over everything
+// before it (header plus payload). The global index is redundant with
+// the record's position in the file — that redundancy is the point:
+// a record is accepted on read only when its CRC verifies and its idx
+// matches the position implied by the segment name, so a torn write,
+// a truncated tail, or a misdirected block all read as "log ends
+// here", never as a silently wrong record.
+//
+// # Segments
+//
+// Records are packed into segment files named wal-%016x.seg by the
+// global index of their first record. When the active segment reaches
+// the segment-size threshold it is fsynced and closed, and the next
+// record starts a new segment; because rotation always syncs, only the
+// final segment of a crashed process can have a torn tail. Open scans
+// that final segment, truncates it at the first invalid record, and
+// resumes appending after the last valid one. TruncateThrough deletes
+// segments whose records are all covered by a checkpoint.
+//
+// # Sync policy
+//
+// SyncEvery = n fsyncs the active segment after every n appended
+// records; n <= 0 leaves syncing to the OS (plus the forced syncs at
+// rotation, checkpoint and Close). Durability of the tail is exactly
+// the usual group-commit trade: records since the last fsync can be
+// lost with the process, which recovery tolerates by construction —
+// the log is replayed as far as it verifiably extends.
+//
+// Appends are group-committed: with SyncEvery > 0 record frames
+// accumulate in a process-local buffer and reach the file in one write
+// immediately before each fsync, so a sync window costs one write and
+// one sync syscall instead of n writes — the loss window is unchanged
+// (everything since the last fsync, already the documented contract).
+// With SyncEvery <= 0 every append is flushed to the OS at once, so
+// the tail survives a process crash as long as the kernel does.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record kinds. The payload of KindR/KindS is an encoded batch of R/S
+// tuples (the engine's batch codec); KindTick carries the 8-byte
+// timestamp of an explicit Tick.
+const (
+	KindR    byte = 1
+	KindS    byte = 2
+	KindTick byte = 3
+)
+
+const (
+	headerLen = 8 + 1 + 4 // idx + kind + len
+	crcLen    = 4
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+
+	// DefaultSegmentBytes rotates segments at 4 MiB.
+	DefaultSegmentBytes = 4 << 20
+)
+
+// Record is one decoded log record.
+type Record struct {
+	Idx     uint64
+	Kind    byte
+	Payload []byte
+}
+
+// Options parameterize Open.
+type Options struct {
+	// SyncEvery fsyncs after every n appended records; <= 0 syncs only
+	// at rotation, Sync and Close.
+	SyncEvery int
+	// AsyncSync moves the SyncEvery fsync off the append path: at each
+	// sync point the accumulated frames reach the file in one buffered
+	// write and a background goroutine runs the fsync, so appends
+	// overlap the disk instead of serializing behind it. The loss
+	// window grows to "since the last *completed* background fsync" —
+	// when the disk keeps up, one sync window; when it falls behind,
+	// pending sync points coalesce and the window stretches with the
+	// disk's backlog, which recovery tolerates by construction. A
+	// failed background fsync is sticky: the next Append, Sync or
+	// Close reports it. Ignored when SyncEvery <= 0.
+	AsyncSync bool
+	// SegmentBytes is the rotation threshold; <= 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// Log is an append-only segment log. Appends are serialized by an
+// internal mutex; reads (Replay) open the files independently.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer // group-commit buffer over f; see package doc
+	segStart uint64        // idx of the active segment's first record
+	segSize  int64         // bytes written to the active segment
+	next     uint64        // idx the next Append returns
+	unsynced int
+	bytes    uint64 // total bytes appended this process
+	scratch  []byte
+
+	// Background syncer state (Options.AsyncSync). syncReq carries
+	// coalesced sync requests; syncDone closes when the goroutine
+	// exits; asyncErr is the sticky first background-fsync failure.
+	syncReq  chan struct{}
+	syncDone chan struct{}
+	asyncErr error
+}
+
+// walBufBytes sizes the group-commit buffer: large enough that a sync
+// window of typical batch records reaches the file in one write.
+const walBufBytes = 64 << 10
+
+// setFile points the log at a (re)opened active segment, resetting the
+// group-commit buffer onto it.
+func (l *Log) setFile(f *os.File) {
+	l.f = f
+	if l.w == nil {
+		l.w = bufio.NewWriterSize(f, walBufBytes)
+	} else {
+		l.w.Reset(f)
+	}
+}
+
+// flushSync drains the group-commit buffer and fsyncs the active
+// segment. Callers hold l.mu.
+func (l *Log) flushSync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// startSyncer launches the background fsync goroutine (AsyncSync): it
+// drains coalesced requests from syncReq, flushes the buffer under the
+// lock, and runs the fsync with the lock released so appends proceed
+// while the disk works.
+func (l *Log) startSyncer() {
+	l.syncReq = make(chan struct{}, 1)
+	l.syncDone = make(chan struct{})
+	go func() {
+		defer close(l.syncDone)
+		for range l.syncReq {
+			l.mu.Lock()
+			f := l.f
+			var err error
+			if f != nil {
+				err = l.w.Flush()
+			}
+			l.mu.Unlock()
+			if f == nil {
+				continue
+			}
+			if err == nil {
+				err = f.Sync() // off-lock: the disk and appends overlap
+			}
+			if err != nil {
+				l.mu.Lock()
+				// Rotation and Close both fsync before closing the
+				// file, so an error against a since-replaced file is
+				// the close racing the sync, not lost data.
+				if l.asyncErr == nil && l.f == f {
+					l.asyncErr = err
+				}
+				l.mu.Unlock()
+			}
+		}
+	}()
+}
+
+func segName(first uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listSegments returns the segment first-indexes in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if first, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, first)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// scanSegment reads records from path expecting the first record to
+// carry idx first. It returns the records (payloads copied), and the
+// byte offset of the first invalid frame — the valid prefix length.
+func scanSegment(path string, first uint64) (recs []Record, validBytes int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := int64(0)
+	idx := first
+	for int64(len(buf))-off >= headerLen+crcLen {
+		h := buf[off:]
+		gotIdx := binary.LittleEndian.Uint64(h)
+		kind := h[8]
+		plen := int64(binary.LittleEndian.Uint32(h[9:]))
+		if gotIdx != idx || kind < KindR || kind > KindTick {
+			break
+		}
+		end := off + headerLen + plen + crcLen
+		if plen < 0 || end > int64(len(buf)) {
+			break
+		}
+		body := buf[off : off+headerLen+plen]
+		want := binary.LittleEndian.Uint32(buf[off+headerLen+plen:])
+		if crc32.ChecksumIEEE(body) != want {
+			break
+		}
+		payload := make([]byte, plen)
+		copy(payload, buf[off+headerLen:])
+		recs = append(recs, Record{Idx: idx, Kind: kind, Payload: payload})
+		off = end
+		idx++
+	}
+	return recs, off, nil
+}
+
+// Open creates dir if needed, truncates any torn tail of the last
+// segment, and returns a log appending after the last valid record.
+func Open(dir string, opt Options) (*Log, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegment(0); err != nil {
+			return nil, err
+		}
+		if opt.SyncEvery > 0 && opt.AsyncSync {
+			l.startSyncer()
+		}
+		return l, nil
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(dir, segName(last))
+	recs, valid, err := scanSegment(path, last)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.setFile(f)
+	l.segStart = last
+	l.segSize = valid
+	l.next = last + uint64(len(recs))
+	if opt.SyncEvery > 0 && opt.AsyncSync {
+		l.startSyncer()
+	}
+	return l, nil
+}
+
+func (l *Log) openSegment(first uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(first)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	l.setFile(f)
+	l.segStart = first
+	l.segSize = 0
+	return nil
+}
+
+// Next returns the index the next appended record will carry.
+func (l *Log) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Bytes returns the total bytes appended by this process.
+func (l *Log) Bytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Append writes one record and returns its index. rotated reports that
+// the append closed the previous segment and started a new one (the
+// closed segment was fsynced first).
+func (l *Log) Append(kind byte, payload []byte) (idx uint64, rotated bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, false, fmt.Errorf("wal: log closed")
+	}
+	if l.asyncErr != nil {
+		return 0, false, l.asyncErr
+	}
+	idx = l.next
+	need := headerLen + len(payload) + crcLen
+	if cap(l.scratch) < need {
+		l.scratch = make([]byte, 0, need*2)
+	}
+	b := l.scratch[:0]
+	b = binary.LittleEndian.AppendUint64(b, idx)
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	l.scratch = b
+	if _, err := l.w.Write(b); err != nil {
+		return 0, false, err
+	}
+	l.next++
+	l.segSize += int64(len(b))
+	l.bytes += uint64(len(b))
+	l.unsynced++
+	if l.opt.SyncEvery > 0 {
+		if l.unsynced >= l.opt.SyncEvery {
+			if l.syncReq != nil {
+				// Async group commit: hand the window to the OS here,
+				// let the background goroutine pay the fsync.
+				if err := l.w.Flush(); err != nil {
+					return 0, false, err
+				}
+				l.unsynced = 0
+				select {
+				case l.syncReq <- struct{}{}:
+				default: // a request is already pending; coalesce
+				}
+			} else if err := l.flushSync(); err != nil {
+				return 0, false, err
+			}
+		}
+	} else if err := l.w.Flush(); err != nil {
+		// No group commit without a sync cadence: hand every record to
+		// the OS so the tail survives a process crash.
+		return 0, false, err
+	}
+	if l.segSize >= l.opt.SegmentBytes {
+		if err := l.flushSync(); err != nil {
+			return 0, false, err
+		}
+		if err := l.f.Close(); err != nil {
+			return 0, false, err
+		}
+		if err := l.openSegment(l.next); err != nil {
+			l.f = nil
+			return 0, false, err
+		}
+		rotated = true
+	}
+	return idx, rotated, nil
+}
+
+// Sync flushes buffered appends and fsyncs the active segment. A
+// sticky background-fsync failure is reported even when this sync
+// succeeds: pages a failed fsync dropped are not recovered by a later
+// one.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.asyncErr
+	}
+	if err := l.flushSync(); err != nil {
+		return err
+	}
+	return l.asyncErr
+}
+
+// Close syncs and closes the active segment, stopping the background
+// syncer if one is running. The log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.flushSync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = l.asyncErr
+	}
+	l.f = nil
+	req, done := l.syncReq, l.syncDone
+	l.syncReq = nil
+	l.mu.Unlock()
+	if req != nil {
+		close(req)
+		<-done
+	}
+	return err
+}
+
+// TruncateThrough deletes segments all of whose records have index
+// < idx — the segments a checkpoint at replay position idx has made
+// redundant. The active segment is never deleted. It returns the
+// number of segments removed.
+func (l *Log) TruncateThrough(idx uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, first := range segs {
+		if first == l.segStart || i == len(segs)-1 {
+			break
+		}
+		// The segment's records span [first, segs[i+1]).
+		if segs[i+1] > idx {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// Replay streams every valid record with index >= from to fn, oldest
+// first, and returns the count delivered. A torn tail of the final
+// segment ends the replay silently (those records did not durably
+// happen); an invalid record anywhere else is reported as corruption.
+// fn errors abort the replay.
+func Replay(dir string, from uint64, fn func(Record) error) (int, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for i, first := range segs {
+		recs, _, err := scanSegment(filepath.Join(dir, segName(first)), first)
+		if err != nil {
+			return n, err
+		}
+		if i < len(segs)-1 && first+uint64(len(recs)) != segs[i+1] {
+			return n, fmt.Errorf("wal: segment %s corrupt mid-log (%d records, next segment starts at %d)",
+				segName(first), len(recs), segs[i+1])
+		}
+		for _, rec := range recs {
+			if rec.Idx < from {
+				continue
+			}
+			if err := fn(rec); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,158 @@
+// Package wire is the deterministic little-endian binary framing
+// shared by the durability codecs: the lane GroupState codec
+// (internal/shard), the router table snapshot (internal/adapt) and the
+// engine-level checkpoint files. It is intentionally tiny — fixed-width
+// integers, length-prefixed blobs, a sticky-error reader — because the
+// property the checkpoint oracle needs is determinism: the same state
+// always encodes to the same bytes, so a CRC over the encoding is a
+// meaningful integrity check and two encodes of one cut can be compared
+// byte-for-byte in tests.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShort is reported by Reader when a decode runs past the buffer.
+var ErrShort = errors.New("wire: short buffer")
+
+// Writer appends fixed-width little-endian values to a growing buffer.
+// The zero value is ready to use.
+type Writer struct {
+	b []byte
+}
+
+// NewWriter returns a writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{b: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice aliases the writer's
+// backing array; it is valid until the next append.
+func (w *Writer) Bytes() []byte { return w.b }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.b) }
+
+// Reset truncates the buffer, keeping its capacity, so one writer can
+// be reused across encodes without reallocating.
+func (w *Writer) Reset() { w.b = w.b[:0] }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.b = append(w.b, v) }
+
+// Bool appends a bool as one byte (1/0).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+
+// I64 appends an int64 (two's-complement, little-endian).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64 by IEEE-754 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Blob appends a u32 length prefix followed by the bytes.
+func (w *Writer) Blob(p []byte) {
+	w.U32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Reader decodes a buffer written by Writer. Errors are sticky: after
+// the first short read every accessor returns the zero value, and Err
+// reports ErrShort. Callers check Err once at the end of a decode.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf;
+// Blob results alias it.
+func NewReader(buf []byte) *Reader { return &Reader{b: buf} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off < n {
+		r.err = ErrShort
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// Bool decodes one byte as a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 decodes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I64 decodes an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 decodes a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Blob decodes a length-prefixed byte slice. The result aliases the
+// reader's buffer. A length running past the buffer is a short read.
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string { return string(r.Blob()) }

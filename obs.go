@@ -80,6 +80,13 @@ type Snapshot struct {
 	// get; pass it to Events as since to drain only newer events. 0
 	// when tracing is disabled.
 	NextEventSeq uint64
+	// WALBytes is the cumulative byte count appended to the write-ahead
+	// log; Checkpoints the number of completed checkpoints; and
+	// LastCheckpointNs the wall duration of the most recent one. All
+	// zero when durability is disabled.
+	WALBytes         uint64
+	Checkpoints      uint64
+	LastCheckpointNs int64
 }
 
 // latencyHist converts the engine's output-latency histogram to the
@@ -159,6 +166,9 @@ func gatherDump(snap Snapshot, hist *metrics.AtomicHistogram, ring *obs.Ring) ob
 	counter("llhj_store_parks_total", "Entries parked in window overflow maps.", snap.StoreParks)
 	gauge("llhj_store_overflow", "Current entries across all window overflow maps.", int64(snap.StoreOverflow))
 	gauge("llhj_max_sort_buffer", "Ordered-output buffer high-water mark.", int64(snap.MaxSortBuffer))
+	counter("llhj_wal_bytes_total", "Bytes appended to the write-ahead log.", snap.WALBytes)
+	counter("llhj_checkpoints_total", "Checkpoints completed.", snap.Checkpoints)
+	gauge("llhj_checkpoint_duration_ns", "Wall duration of the most recent checkpoint.", snap.LastCheckpointNs)
 	if ring != nil {
 		counter("llhj_trace_events_total", "Control-plane trace events emitted.", ring.Next())
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -457,5 +459,89 @@ func checkExposition(t *testing.T, body string) {
 	}
 	if lines == 0 {
 		t.Fatal("empty exposition")
+	}
+}
+
+// engineFDs counts this process's open file descriptors, skipping the
+// test on platforms without /proc.
+func engineFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd on this platform: %v", err)
+	}
+	return len(ents)
+}
+
+// TestObsServerClosedWithEngine creates engines that serve the export
+// endpoint — alternating single-lane and sharded — scrapes each once,
+// closes them, and asserts that neither goroutines nor file descriptors
+// accumulate: Joiner.Close must tear down the HTTP listener, its
+// connections, and the serving goroutine along with the pipeline.
+func TestObsServerClosedWithEngine(t *testing.T) {
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	mk := func(shards int) Joiner[cidR, cidS] {
+		t.Helper()
+		eng, err := New(Config[cidR, cidS]{
+			Workers:   2,
+			Shards:    shards,
+			Predicate: func(r cidR, s cidS) bool { return r.Key == s.Key },
+			WindowR:   Window{Count: 256},
+			WindowS:   Window{Count: 256},
+			KeyR:      func(r cidR) uint64 { return r.Key },
+			KeyS:      func(s cidS) uint64 { return s.Key },
+			Obs:       ObsConfig{Addr: "127.0.0.1:0", EventBuffer: 64},
+			OnOutput:  func(Item[cidR, cidS]) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	// One warm-up round so lazily initialized runtime state (resolver,
+	// pollers) does not count as a leak.
+	if err := mk(2).Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	goroutines0 := runtime.NumGoroutine()
+	fds0 := engineFDs(t)
+	for i := 0; i < 12; i++ {
+		eng := mk(1 + i%2)
+		for j := 0; j < 8; j++ {
+			if err := eng.PushR(cidR{Key: uint64(j), ID: j}, int64(j)); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.PushS(cidS{Key: uint64(j), ID: j}, int64(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp, err := client.Get("http://" + eng.ObsAddr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.CloseIdleConnections()
+
+	// Connections close asynchronously on the client side; allow the
+	// counts a moment to settle before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		goroutines := runtime.NumGoroutine()
+		fds := engineFDs(t)
+		if goroutines <= goroutines0+2 && fds <= fds0+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak after 12 create/close cycles: goroutines %d -> %d, fds %d -> %d",
+				goroutines0, goroutines, fds0, fds)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

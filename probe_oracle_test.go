@@ -237,6 +237,96 @@ func TestProbeAutoOrderedExactSequence(t *testing.T) {
 	}
 }
 
+func TestIdleIndexTeardownDuringSliceMigration(t *testing.T) {
+	// The idle-index teardown (an adaptively built index unused for 4096
+	// arrivals is dropped) interleaved with incremental migration:
+	// indexes are force-built everywhere (hash on even groups, B-tree on
+	// odd), every group is then forced onto scans so the builds sit
+	// idle, and the filler traffic that follows pushes each node's
+	// arrival counter past the teardown threshold mid-run — while
+	// handoffs held open across the same stretch keep extracting window
+	// slices from, and injecting them into, stores whose index set is
+	// mid-teardown. Re-forcing hash afterwards rebuilds lazily over the
+	// migrated entries. The multiset must stay exact throughout.
+	cfg := sliceCfg(2, 16)
+	cfg.WindowR = Window{Count: 300}
+	cfg.WindowS = Window{Count: 280}
+	cfg.Index = IndexAuto
+	cfg.Class = PredEqui
+	var mu sync.Mutex
+	got := map[stream.PairKey]int{}
+	cfg.OnOutput = func(it Item[okR, okS]) {
+		if it.Punct {
+			return
+		}
+		mu.Lock()
+		got[it.Result.Pair.Key()]++
+		mu.Unlock()
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := eng.(*ShardedEngine[okR, okS])
+	tab := probeTableOf(t, eng)
+	o := newOracleEngine(cfg, shardedEqui)
+	between, maxHops := driveSliceMigrations(t, se, 2, 450, 17)
+	zipfSchedule(t, 7000, 1.2, 64, 777, eng, o, func(i int) {
+		between(i)
+		switch {
+		case i == 300: // force-build: hash on even groups, B-tree on odd
+			for g := 0; g < tab.Groups(); g++ {
+				if g%2 == 0 {
+					tab.SetStrategy(uint32(g), probe.UseHash)
+				} else {
+					tab.SetStrategy(uint32(g), probe.UseBTree)
+				}
+			}
+		case i >= 500 && i < 6400:
+			// Pin every group to scan, every iteration: the crossover
+			// model keeps wanting hash back under an equi zipf load, and
+			// a one-shot force would be undone within a couple of
+			// epochs. Re-forcing resets the evidence streak faster than
+			// flipStreak epochs can accumulate, so the built indexes sit
+			// genuinely idle. Each iteration admits up to two tuples
+			// across two shards, so the per-node arrival counters cross
+			// the 4096-arrival teardown threshold near i ≈ 5400 — with a
+			// slice handoff from the migration driver held open there.
+			for g := 0; g < tab.Groups(); g++ {
+				tab.SetStrategy(uint32(g), probe.UseScan)
+			}
+		case i == 6400: // rebuild lazily over the migrated window state
+			for g := 0; g < tab.Groups(); g++ {
+				tab.SetStrategy(uint32(g), probe.UseHash)
+			}
+		}
+	})
+
+	missing, extra, dups := diffPairMultiset(o.pairs, got)
+	if missing != 0 || extra != 0 || dups != 0 {
+		t.Fatalf("teardown × slice migration: %d missing, %d extra, %d duplicates (oracle %d distinct)",
+			missing, extra, dups, len(o.pairs))
+	}
+	if len(o.pairs) == 0 {
+		t.Fatal("workload produced no results; test has no teeth")
+	}
+	st := eng.Stats()
+	if st.SliceMigrations == 0 || st.MigratedTuples == 0 {
+		t.Fatalf("no sliced state moved (hops %d, tuples %d); test has no teeth",
+			st.SliceMigrations, st.MigratedTuples)
+	}
+	if *maxHops < 2 {
+		t.Fatalf("no handoff needed more than %d hops: slices were not actually small", *maxHops)
+	}
+	if st.ProbeScan == 0 || st.ProbeHash == 0 || st.ProbeBTree == 0 {
+		t.Fatalf("strategy phases have dead paths: scan=%d hash=%d btree=%d",
+			st.ProbeScan, st.ProbeHash, st.ProbeBTree)
+	}
+	if st.PendingExpiries != 0 {
+		t.Errorf("pending expiries: %d (an expiry raced its migrated tuple)", st.PendingExpiries)
+	}
+}
+
 func TestProbeFlipsDuringSliceMigration(t *testing.T) {
 	// Strategy flips while slice handoffs are held open across live
 	// traffic: extracted tuples leave through (and re-enter into) lazy

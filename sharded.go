@@ -137,6 +137,10 @@ type ShardedEngine[L, RT any] struct {
 	closed  atomic.Bool
 	closeMu sync.Mutex
 
+	// dur is the durability runtime (Config.Durability): the WAL
+	// handle, the replay flag, and checkpoint bookkeeping.
+	dur durState[L, RT]
+
 	// Observability layer (Config.Obs); all nil/absent when disabled.
 	ring    *obs.Ring
 	obsSrv  *obs.Server
@@ -293,6 +297,10 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 		e.ring = obs.NewRing(cfg.Obs.ringSize())
 		e.outHist = &metrics.AtomicHistogram{}
 	}
+	if err := e.dur.init(&cfg); err != nil {
+		return nil, err
+	}
+	e.dur.ring = e.ring
 	e.rLastAt.Store(minTS)
 	e.sLastAt.Store(minTS)
 	e.rPlans.New = func() any { return &fanPlan[L]{} }
@@ -524,6 +532,14 @@ func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 		e.rmu.Unlock()
 		return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", ts, e.rLastTS)
 	}
+	if e.dur.active() {
+		// Log before any state changes, under the side lock so the WAL
+		// order of one side is the admission order.
+		if err := e.dur.appendR1(payload, ts); err != nil {
+			e.rmu.Unlock()
+			return err
+		}
+	}
 	e.rLastTS = ts
 	e.rLastAt.Store(ts)
 	var lane int
@@ -572,7 +588,7 @@ func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 		e.lanes[probeLane].ProbeR(t)
 		pGate.leave()
 	}
-	return nil
+	return e.dur.maybeAutoCheckpoint(e.Checkpoint)
 }
 
 // PushS submits an S tuple. Safe for concurrent use.
@@ -585,6 +601,12 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	if ts < e.sLastTS {
 		e.smu.Unlock()
 		return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", ts, e.sLastTS)
+	}
+	if e.dur.active() {
+		if err := e.dur.appendS1(payload, ts); err != nil {
+			e.smu.Unlock()
+			return err
+		}
 	}
 	e.sLastTS = ts
 	e.sLastAt.Store(ts)
@@ -623,7 +645,7 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 		e.lanes[probeLane].ProbeS(t)
 		pGate.leave()
 	}
-	return nil
+	return e.dur.maybeAutoCheckpoint(e.Checkpoint)
 }
 
 // PushRBatch submits a batch of R tuples in non-decreasing timestamp
@@ -672,6 +694,13 @@ func (e *ShardedEngine[L, RT]) pushRBatchLocked(batch []Stamped[L]) error {
 			return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", batch[i].TS, last)
 		}
 		last = batch[i].TS
+	}
+	if e.dur.active() {
+		// Log before any state changes; see PushR.
+		if err := e.dur.appendR(batch); err != nil {
+			e.rmu.Unlock()
+			return err
+		}
 	}
 	n := len(batch)
 	sc := &e.rsc
@@ -747,7 +776,7 @@ func (e *ShardedEngine[L, RT]) pushRBatchLocked(batch []Stamped[L]) error {
 	}
 	raiseInt64(&e.rLastAt, last)
 	e.rPlans.Put(plan)
-	return nil
+	return e.dur.maybeAutoCheckpoint(e.Checkpoint)
 }
 
 // pushSBatchLocked is the S-side mirror of pushRBatchLocked.
@@ -763,6 +792,12 @@ func (e *ShardedEngine[L, RT]) pushSBatchLocked(batch []Stamped[RT]) error {
 			return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", batch[i].TS, last)
 		}
 		last = batch[i].TS
+	}
+	if e.dur.active() {
+		if err := e.dur.appendS(batch); err != nil {
+			e.smu.Unlock()
+			return err
+		}
 	}
 	n := len(batch)
 	sc := &e.ssc
@@ -820,7 +855,7 @@ func (e *ShardedEngine[L, RT]) pushSBatchLocked(batch []Stamped[RT]) error {
 	}
 	raiseInt64(&e.sLastAt, last)
 	e.sPlans.Put(plan)
-	return nil
+	return e.dur.maybeAutoCheckpoint(e.Checkpoint)
 }
 
 // raiseInt64 lifts an atomic to ts if larger (lane watermarks are fed
@@ -1166,6 +1201,12 @@ func (e *ShardedEngine[L, RT]) Tick(ts int64) {
 		return
 	}
 	e.drainGates() // in-flight pushes precede the tick in stream order
+	if e.dur.active() {
+		// Both side locks are held, so the tick's WAL position matches
+		// its stream position. Tick cannot report errors; a failed
+		// append surfaces on the next push or checkpoint.
+		e.dur.appendTick(ts) //nolint:errcheck
+	}
 	for _, l := range e.lanes {
 		l.Tick(ts)
 	}
@@ -1200,6 +1241,154 @@ func (e *ShardedEngine[L, RT]) Close() error {
 	if e.obsSrv != nil {
 		e.obsSrv.Close()
 	}
+	e.dur.closeLog()
+	return nil
+}
+
+// Checkpoint implements Joiner.Checkpoint: it freezes admission just
+// long enough to capture a consistent cut — both side locks, gates
+// drained, every lane snapshotted under its own quiesce, result queues
+// drained into the sorter, and the routing table read under the same
+// cut — then releases the locks and writes the files off the ingress
+// path. Safe to call from any goroutine, concurrently with pushes.
+func (e *ShardedEngine[L, RT]) Checkpoint(dir string) error {
+	if e.dur.log == nil {
+		return fmt.Errorf("handshakejoin: Checkpoint requires Config.Durability.WALDir")
+	}
+	root := dir
+	if root == "" {
+		root = e.dur.cfg.WALDir
+	}
+	e.dur.ckptMu.Lock()
+	defer e.dur.ckptMu.Unlock()
+	start := e.clk.Now()
+	e.rmu.Lock()
+	e.smu.Lock()
+	if e.closed.Load() {
+		e.smu.Unlock()
+		e.rmu.Unlock()
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	e.drainGates()
+	e.emit("checkpoint_begin", -1, -1, int64(e.dur.log.Next()), 0)
+	snap := engineSnap[L, RT]{
+		rSeq:      e.rSeq.Load(),
+		sSeq:      e.sSeq.Load(),
+		rLastTS:   e.rLastTS,
+		sLastTS:   e.sLastTS,
+		rWin:      e.rWin.entries(),
+		sWin:      e.sWin.entries(),
+		lastPunct: -1,
+		sharded:   true,
+	}
+	for _, l := range e.lanes {
+		ls, err := l.SnapshotState()
+		if err != nil {
+			e.smu.Unlock()
+			e.rmu.Unlock()
+			return err
+		}
+		snap.lanes = append(snap.lanes, ls)
+	}
+	// Drain the result queues through the merge into the sorter so
+	// every result produced before the cut is either already delivered
+	// or sitting in the sorter about to be snapshotted.
+	for _, l := range e.lanes {
+		l.CollectOnce()
+	}
+	e.sortMu.Lock()
+	if e.sorter != nil {
+		snap.ordered = true
+		snap.sorter = e.sorter.Snapshot()
+		snap.lastPunct = snap.sorter.LastPunct
+	}
+	// The WAL resume point is read under sortMu, atomically with the
+	// sorter snapshot: any output released after this instant has a
+	// timestamp >= the manifest's punctuation floor, which is exactly
+	// what makes the recovery filter sound.
+	walFrom := e.dur.log.Next()
+	e.sortMu.Unlock()
+	snap.router = e.router.SnapshotState()
+	e.smu.Unlock()
+	e.rmu.Unlock()
+	stateBytes, err := e.dur.writeCheckpoint(root, walFrom, &snap)
+	if err != nil {
+		return err
+	}
+	if root == e.dur.cfg.WALDir {
+		if _, err := e.dur.log.TruncateThrough(walFrom); err != nil {
+			return err
+		}
+	}
+	durNs := e.clk.Now() - start
+	e.dur.lastCkptNs.Store(durNs)
+	e.dur.checkpoints.Add(1)
+	e.emit("checkpoint_complete", -1, -1, durNs, int64(stateBytes))
+	return nil
+}
+
+// Restore implements Joiner.Restore: it loads the checkpoint under dir
+// (dir "" selects Config.Durability.WALDir) into this freshly built
+// engine and replays the WAL tail through the ordinary push paths. No
+// pushes may run concurrently.
+func (e *ShardedEngine[L, RT]) Restore(dir string) error {
+	if e.dur.cfg.DecodeR == nil || e.dur.cfg.DecodeS == nil {
+		return fmt.Errorf("handshakejoin: Restore requires the Durability payload codecs")
+	}
+	if dir == "" {
+		dir = e.dur.cfg.WALDir
+	}
+	if dir == "" {
+		return fmt.Errorf("handshakejoin: Restore requires a directory (or Config.Durability.WALDir)")
+	}
+	e.rmu.Lock()
+	e.smu.Lock()
+	if e.closed.Load() {
+		e.smu.Unlock()
+		e.rmu.Unlock()
+		return fmt.Errorf("handshakejoin: engine closed")
+	}
+	if e.rSeq.Load() != 0 || e.sSeq.Load() != 0 || e.rLastTS != minTS || e.sLastTS != minTS {
+		e.smu.Unlock()
+		e.rmu.Unlock()
+		return fmt.Errorf("handshakejoin: Restore requires a fresh engine")
+	}
+	man, snap, err := e.dur.readCheckpoint(dir)
+	if err != nil {
+		e.smu.Unlock()
+		e.rmu.Unlock()
+		return err
+	}
+	if err := e.router.RestoreState(snap.router); err != nil {
+		e.smu.Unlock()
+		e.rmu.Unlock()
+		return err
+	}
+	for i, l := range e.lanes {
+		l.RestoreState(snap.lanes[i])
+	}
+	e.rSeq.Store(snap.rSeq)
+	e.sSeq.Store(snap.sSeq)
+	e.rLastTS, e.sLastTS = snap.rLastTS, snap.sLastTS
+	e.rLastAt.Store(snap.rLastTS)
+	e.sLastAt.Store(snap.sLastTS)
+	e.rWin.restore(snap.rWin)
+	e.sWin.restore(snap.sWin)
+	if e.sorter != nil && snap.ordered {
+		e.sortMu.Lock()
+		e.sorter.Restore(snap.sorter)
+		e.sortMu.Unlock()
+	}
+	e.smu.Unlock()
+	e.rmu.Unlock()
+	e.dur.replaying.Store(true)
+	defer e.dur.replaying.Store(false)
+	start := e.clk.Now()
+	n, err := e.dur.replayWAL(dir, man.WALFrom, e.PushRBatch, e.PushSBatch, e.Tick)
+	if err != nil {
+		return fmt.Errorf("handshakejoin: wal replay after %d records: %w", n, err)
+	}
+	e.emit("restore_replay", -1, -1, int64(n), e.clk.Now()-start)
 	return nil
 }
 
@@ -1287,6 +1476,11 @@ func (e *ShardedEngine[L, RT]) StatsSnapshot() Snapshot {
 	}
 	if e.ring != nil {
 		snap.NextEventSeq = e.ring.Next()
+	}
+	if e.dur.log != nil {
+		snap.WALBytes = e.dur.log.Bytes()
+		snap.Checkpoints = e.dur.checkpoints.Load()
+		snap.LastCheckpointNs = e.dur.lastCkptNs.Load()
 	}
 	return snap
 }
