@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"handshakejoin"
+	"handshakejoin/internal/fault"
 	"handshakejoin/internal/workload"
 )
 
@@ -37,6 +39,9 @@ type recoverRow struct {
 	WALBytes uint64 `json:"wal_bytes"`
 	// Checkpoints is how many auto-checkpoints the run cut (0 when off).
 	Checkpoints uint64 `json:"checkpoints"`
+	// Sheds counts transitions into the degraded durability state
+	// (only the degrade row injects a fault, so only it sheds).
+	Sheds uint64 `json:"sheds,omitempty"`
 }
 
 type restoreRow struct {
@@ -63,9 +68,15 @@ type recoverReport struct {
 	Note            string `json:"note"`
 	// CheckpointOverheadPct is the acceptance figure: the wal+checkpoint
 	// row's throughput tax relative to the wal-only row (<= 10 passes).
-	CheckpointOverheadPct float64      `json:"checkpoint_overhead_pct"`
-	Ingest                []recoverRow `json:"ingest"`
-	Restore               []restoreRow `json:"restore"`
+	CheckpointOverheadPct float64 `json:"checkpoint_overhead_pct"`
+	// SeamOverheadPct is the fault-seam acceptance figure: the wal+seam
+	// row (WAL behind an armed, empty fault plan) against the wal row.
+	// The seam's steady-state cost is one interface indirection per file
+	// op plus an empty rule scan, so the target is ~1%; the gate is a
+	// soft <= 10 to ride out single-core CI jitter.
+	SeamOverheadPct float64      `json:"seam_overhead_pct"`
+	Ingest          []recoverRow `json:"ingest"`
+	Restore         []restoreRow `json:"restore"`
 }
 
 const (
@@ -143,7 +154,9 @@ func recoverDur(dir string, ckptBatches int) handshakejoin.Durability[igR, igS] 
 // runRecoverIngestRow pushes the disjoint-key stream in caller batches
 // and reports throughput; with durable set, the engine logs every batch
 // and auto-checkpoints every ckptBatches admitted batches (0 = WAL only).
-func runRecoverIngestRow(mode string, durable bool, ckptBatches, tuples int) (recoverRow, error) {
+// fs, when non-nil, is threaded through Durability.FS — the wal+seam
+// row passes an armed empty fault plan to price the injection seam.
+func runRecoverIngestRow(mode string, durable bool, ckptBatches, tuples int, fs fault.FS) (recoverRow, error) {
 	var dur handshakejoin.Durability[igR, igS]
 	if durable {
 		dir, err := os.MkdirTemp("", "llhj-recover-*")
@@ -152,6 +165,7 @@ func runRecoverIngestRow(mode string, durable bool, ckptBatches, tuples int) (re
 		}
 		defer os.RemoveAll(dir)
 		dur = recoverDur(dir, ckptBatches)
+		dur.FS = fs
 	}
 	eng, err := handshakejoin.New(recoverCfg(ingWindow, dur))
 	if err != nil {
@@ -198,6 +212,115 @@ func runRecoverIngestRow(mode string, durable bool, ckptBatches, tuples int) (re
 		TuplesPerSec: float64(2*tuples) / elapsed.Seconds(),
 		WALBytes:     snap.WALBytes,
 		Checkpoints:  snap.Checkpoints,
+	}, nil
+}
+
+// runRecoverDegradeRow runs the ingest workload with a persistent
+// fsync fault injected against the primary WAL directory about a third
+// of the way in. With OnError: DurDegrade the engine must shed
+// durability and keep serving (Health().WALFailed set, pushes keep
+// succeeding); two thirds in, a Checkpoint into a healthy directory
+// re-arms the log there and Health must come back clean. Any other
+// sequence is an error.
+func runRecoverDegradeRow(tuples int) (recoverRow, error) {
+	dir1, err := os.MkdirTemp("", "llhj-degrade1-*")
+	if err != nil {
+		return recoverRow{}, err
+	}
+	defer os.RemoveAll(dir1)
+	dir2, err := os.MkdirTemp("", "llhj-degrade2-*")
+	if err != nil {
+		return recoverRow{}, err
+	}
+	defer os.RemoveAll(dir2)
+
+	// Denser group commits than the priced rows so the fault (scoped to
+	// dir1's WAL, fired on a mid-run fsync, persistent) lands well
+	// before the re-arm point even in the -quick stream.
+	const syncEvery = 64
+	records := 2 * tuples / recCallerBatch
+	nth := records / syncEvery / 3
+	if nth < 1 {
+		nth = 1
+	}
+	plan := fault.NewPlan(fault.Rule{
+		Op:     fault.OpSync,
+		Path:   filepath.Join(dir1, "wal") + string(filepath.Separator),
+		Nth:    nth,
+		Repeat: true,
+		Err:    fault.ErrInjected,
+	})
+	dur := recoverDur(dir1, 0)
+	dur.SyncEvery = syncEvery
+	dur.OnError = handshakejoin.DurDegrade
+	dur.FS = fault.Inject(nil, plan)
+
+	eng, err := handshakejoin.New(recoverCfg(ingWindow, dur))
+	if err != nil {
+		return recoverRow{}, err
+	}
+	rnd := workload.NewRand(13)
+	rKeys := make([]uint64, tuples)
+	sKeys := make([]uint64, tuples)
+	for i := range rKeys {
+		rKeys[i] = uint64(rnd.Intn(ingKeys))
+		sKeys[i] = uint64(ingKeys + rnd.Intn(ingKeys))
+	}
+	const period = int64(1e3)
+	rearmAt := 2 * tuples / 3
+	shed, rearmed := false, false
+	start := time.Now()
+	bufR := make([]handshakejoin.Stamped[igR], 0, recCallerBatch)
+	bufS := make([]handshakejoin.Stamped[igS], 0, recCallerBatch)
+	for i := 0; i < tuples; i++ {
+		ts := int64(i) * period
+		bufR = append(bufR, handshakejoin.Stamped[igR]{Payload: igR{Key: rKeys[i]}, TS: ts})
+		bufS = append(bufS, handshakejoin.Stamped[igS]{Payload: igS{Key: sKeys[i]}, TS: ts})
+		if len(bufR) == recCallerBatch {
+			if err := eng.PushRBatch(bufR); err != nil {
+				return recoverRow{}, fmt.Errorf("degrade mode must keep serving, push %d failed: %w", i, err)
+			}
+			if err := eng.PushSBatch(bufS); err != nil {
+				return recoverRow{}, fmt.Errorf("degrade mode must keep serving, push %d failed: %w", i, err)
+			}
+			bufR, bufS = bufR[:0], bufS[:0]
+			if !shed && eng.Health().WALFailed {
+				shed = true
+			}
+			if shed && !rearmed && i >= rearmAt {
+				if err := eng.Checkpoint(dir2); err != nil {
+					return recoverRow{}, fmt.Errorf("re-arm checkpoint into the healthy dir: %w", err)
+				}
+				if h := eng.Health(); !h.Ok() {
+					return recoverRow{}, fmt.Errorf("health still %v after the re-arm checkpoint", h)
+				}
+				rearmed = true
+			}
+		}
+	}
+	if !shed {
+		return recoverRow{}, fmt.Errorf("injected fsync fault (sync #%d, %d records) never shed durability", nth, records)
+	}
+	if !rearmed {
+		return recoverRow{}, fmt.Errorf("shed happened past the re-arm point (%d tuples): widen the stream", rearmAt)
+	}
+	snap := eng.StatsSnapshot()
+	if err := eng.Close(); err != nil {
+		return recoverRow{}, err
+	}
+	elapsed := time.Since(start)
+	if snap.WALSheds < 1 {
+		return recoverRow{}, fmt.Errorf("Health flagged the shed but WALSheds = %d", snap.WALSheds)
+	}
+	if !snap.Health.Ok() {
+		return recoverRow{}, fmt.Errorf("final health %v, want clean after re-arm", snap.Health)
+	}
+	return recoverRow{
+		Mode:         "degrade",
+		TuplesPerSec: float64(2*tuples) / elapsed.Seconds(),
+		WALBytes:     snap.WALBytes,
+		Checkpoints:  snap.Checkpoints,
+		Sheds:        snap.WALSheds,
 	}, nil
 }
 
@@ -311,7 +434,17 @@ func recoverExperiment() error {
 			"wal+checkpoint row's overhead_pct (vs the wal row) is what " +
 			"checkpointing itself adds on top of logging — the " +
 			"non-freezing cut promise, and the checkpoint_overhead_pct " +
-			"acceptance figure (<= 10). Restore: count windows filled to " +
+			"acceptance figure (<= 10). The wal+seam row reruns the wal row " +
+			"behind an armed, empty fault-injection plan: its overhead_pct " +
+			"prices the seam itself against an interleaved wal reference " +
+			"(alternating reps sample the same writeback conditions), gated " +
+			"soft at <= 10 for CI jitter with a ~1% steady-state target. " +
+			"The degrade row is a " +
+			"behavior demo: a persistent fsync fault lands ~1/3 in, the " +
+			"engine sheds durability (OnError: DurDegrade) without dropping " +
+			"a push, and a mid-run Checkpoint into a healthy directory " +
+			"re-arms the WAL — Health transitions are asserted, throughput " +
+			"is informational. Restore: count windows filled to " +
 			"capacity, explicit checkpoint (truncates the WAL, so restore " +
 			"is a pure state load), Restore timed on a fresh engine.",
 	}
@@ -327,26 +460,13 @@ func recoverExperiment() error {
 	if *quick {
 		minWall, maxReps = 200*time.Millisecond, 3
 	}
-	// Each durable row is priced against the row that differs by one
-	// knob: wal against baseline (the logging tax), wal+checkpoint
-	// against wal (the checkpoint cost — the acceptance figure).
-	modes := []struct {
-		name    string
-		durable bool
-		ckpt    int
-		baseIdx int
-	}{
-		{"baseline", false, 0, -1},
-		{"wal", true, 0, 0},
-		{"wal+checkpoint", true, ckptBatches, 1},
-	}
-	for _, m := range modes {
+	bestOf := func(mode string, durable bool, ckpt int, fs fault.FS) (recoverRow, error) {
 		var row recoverRow
 		var wall time.Duration
 		for r := 0; r < maxReps; r++ {
-			got, err := runRecoverIngestRow(m.name, m.durable, m.ckpt, tuples)
+			got, err := runRecoverIngestRow(mode, durable, ckpt, tuples, fs)
 			if err != nil {
-				return err
+				return recoverRow{}, err
 			}
 			wall += time.Duration(float64(2*tuples) / got.TuplesPerSec * float64(time.Second))
 			if r == 0 || got.TuplesPerSec > row.TuplesPerSec {
@@ -356,11 +476,9 @@ func recoverExperiment() error {
 				break
 			}
 		}
-		if m.baseIdx >= 0 {
-			if ref := rep.Ingest[m.baseIdx]; ref.TuplesPerSec > 0 {
-				row.OverheadPct = (ref.TuplesPerSec - row.TuplesPerSec) / ref.TuplesPerSec * 100
-			}
-		}
+		return row, nil
+	}
+	emitRow := func(row recoverRow) {
 		rep.Ingest = append(rep.Ingest, row)
 		emit(row.Mode,
 			fmt.Sprintf("%.0f", row.TuplesPerSec),
@@ -368,7 +486,80 @@ func recoverExperiment() error {
 			fmt.Sprintf("%d", row.WALBytes),
 			fmt.Sprintf("%d", row.Checkpoints))
 	}
-	rep.CheckpointOverheadPct = rep.Ingest[2].OverheadPct
+	overhead := func(ref, row recoverRow) float64 {
+		if ref.TuplesPerSec <= 0 {
+			return 0
+		}
+		return (ref.TuplesPerSec - row.TuplesPerSec) / ref.TuplesPerSec * 100
+	}
+
+	// Each durable row is priced against the row that differs by one
+	// knob: wal against baseline (the logging tax), wal+seam and
+	// wal+checkpoint against wal (the seam tax and the checkpoint cost
+	// — the two acceptance figures).
+	baseRow, err := bestOf("baseline", false, 0, nil)
+	if err != nil {
+		return err
+	}
+	emitRow(baseRow)
+	walRow, err := bestOf("wal", true, 0, nil)
+	if err != nil {
+		return err
+	}
+	walRow.OverheadPct = overhead(baseRow, walRow)
+	emitRow(walRow)
+
+	// The seam row is priced against its own interleaved wal reference,
+	// not the wal row above: these disk-bound runs drift with writeback
+	// backlog from earlier rows (run-to-run spread above the seam's real
+	// cost), and alternating seam and reference reps samples the same
+	// disk conditions for both sides of the comparison.
+	seamFS := fault.Inject(nil, fault.NewPlan())
+	var seamRow, seamRef recoverRow
+	for r := 0; r < maxReps; r++ {
+		ref, err := runRecoverIngestRow("wal", true, 0, tuples, nil)
+		if err != nil {
+			return err
+		}
+		got, err := runRecoverIngestRow("wal+seam", true, 0, tuples, seamFS)
+		if err != nil {
+			return err
+		}
+		if r == 0 || ref.TuplesPerSec > seamRef.TuplesPerSec {
+			seamRef = ref
+		}
+		if r == 0 || got.TuplesPerSec > seamRow.TuplesPerSec {
+			seamRow = got
+		}
+	}
+	seamRow.OverheadPct = overhead(seamRef, seamRow)
+	emitRow(seamRow)
+
+	ckptRow, err := bestOf("wal+checkpoint", true, ckptBatches, nil)
+	if err != nil {
+		return err
+	}
+	ckptRow.OverheadPct = overhead(walRow, ckptRow)
+	emitRow(ckptRow)
+
+	rep.SeamOverheadPct = seamRow.OverheadPct
+	rep.CheckpointOverheadPct = ckptRow.OverheadPct
+	if rep.SeamOverheadPct > 10 {
+		return fmt.Errorf("disarmed fault seam costs %.1f%% vs its paired wal reference (soft gate 10%%)",
+			rep.SeamOverheadPct)
+	}
+
+	// The degrade row is a behavior demo, not a perf figure: a
+	// persistent fsync fault fires ~1/3 into the run, the engine sheds
+	// durability (OnError: DurDegrade) and keeps serving, and at ~2/3 a
+	// Checkpoint into a healthy directory re-arms the WAL. The row
+	// errors unless the Health transitions happen in that order.
+	degRow, err := runRecoverDegradeRow(tuples)
+	if err != nil {
+		return err
+	}
+	degRow.OverheadPct = overhead(walRow, degRow)
+	emitRow(degRow)
 
 	fmt.Println("# restore time vs state size")
 	emit("window", "state-bytes", "checkpoint-ms", "restore-ms")

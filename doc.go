@@ -411,6 +411,78 @@
 // pin this exactly; `llhjbench recover` prices the ingest tax and
 // restore time (BENCH_recover.json).
 //
+// # Failure modes
+//
+// The durable engine's behavior under disk and overload faults is a
+// contract, pinned by a deterministic fault-injection harness
+// (internal/fault: a pluggable filesystem seam plus a rule plan —
+// fail the Nth fsync, return ENOSPC, tear a write short, add latency
+// — threaded in via Durability.FS) and the chaos oracle suite.
+//
+// Per-fault contract. A transient WAL append or fsync failure is
+// retried with backoff (Durability.RetryAttempts, RetryBackoff,
+// RetryBackoffMax); between attempts the log is reseated against
+// what actually reached the disk, so a record is never applied twice
+// and never silently lost — the retried push either lands the record
+// exactly once or fails. ENOSPC and torn writes follow the same path:
+// the partial frame is truncated away on reseat, and replay treats a
+// torn tail as a clean end of log (a corrupt frame before an intact
+// one — real mid-log damage — is salvaged through the last intact
+// prefix by wal.Replay). A failed segment-rotation create is
+// non-fatal by construction: the record that triggered rotation is
+// durable in the old segment before the new one is created, so the
+// engine keeps serving from the over-full segment and retries the
+// rotation on the next append. Directory entries are fsynced after
+// segment create, rotation, and manifest rename, so a crash cannot
+// orphan a just-created file; checkpoint state files are written to
+// temp names and atomically renamed, so a crash mid-checkpoint
+// leaves the previous checkpoint intact.
+//
+// When retries exhaust, Durability.OnError picks the policy. DurFail
+// (default): the failing push returns the error, every later push
+// fails sticky, and Health().WALFailed is set — the caller decides
+// whether to Checkpoint into a healthy directory (which re-arms the
+// WAL there and clears the flag) or drain and restart. DurDegrade:
+// the engine sheds durability instead — the unloggable record is
+// dropped from the log (never from the join: the push still
+// applies), pushes keep succeeding undurably, WALFailed is set and a
+// wal_degraded event fires. A later successful Checkpoint into a
+// healthy directory re-arms logging there (wal_rearmed), and because
+// the checkpoint snapshots full engine state, restore from the new
+// directory is exact — the shed window costs redo-durability, not
+// correctness.
+//
+// Overload is bounded by Config.MaxLiveTuples: admission control
+// rejects a push with ErrOverloaded before any state changes (a
+// batch rejects whole — no partial application) once the live window
+// footprint would exceed the cap. The bound counts settled window
+// tuples, lane batch buffers, and tuples admitted since the last
+// footprint sample, so it is conservative by at most the pipeline's
+// in-flight volume; WAL replay bypasses it (acknowledged records are
+// re-admitted unconditionally, and Restore re-seeds the bound from
+// the restored footprint after the replay settles).
+// Health().Overloaded is set while the last admission decision was a
+// rejection and clears on the next accepted push — expiries drain
+// the windows, so overload is self-healing once ingress pauses or
+// the window bounds pass.
+//
+// Health() reports the three sticky conditions — WALFailed,
+// Overloaded, FloorStalled — and Snapshot.Health carries the same
+// through the observability surfaces (llhj_health, llhj_health_flag,
+// llhj_wal_retries_total, llhj_wal_sheds_total,
+// llhj_admission_rejects_total). FloorStalled is the sharded
+// engine's watchdog (AdaptConfig.StallWatchdog) for a merged
+// punctuation floor that stops advancing while ingress runs ahead —
+// the symptom of a wedged collector or a shard that stopped
+// promising floors; it fires a floor_stalled event, and clears
+// itself (floor_recovered) if the floor moves again. The chaos
+// suite (chaos_test.go) holds the whole contract together: killed
+// runs under injected fsync/ENOSPC/torn-write faults restore to the
+// oracle's exact output, rotation faults keep the engine serving,
+// degrade runs shed and re-arm without losing a result, and
+// `llhjbench recover` prices the disarmed seam (wal+seam row) and
+// demos the shed/re-arm cycle (degrade row).
+//
 // # Observability
 //
 // Both engines expose a live observability layer, opt-in via

@@ -1,20 +1,44 @@
 package handshakejoin
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"handshakejoin/internal/adapt"
+	"handshakejoin/internal/fault"
 	"handshakejoin/internal/obs"
 	"handshakejoin/internal/order"
 	"handshakejoin/internal/shard"
 	"handshakejoin/internal/stream"
 	"handshakejoin/internal/wal"
 	"handshakejoin/internal/wire"
+)
+
+// DurPolicy selects the engine's response to a persistent WAL failure
+// — one that survives the bounded retry-with-backoff recovery loop.
+type DurPolicy uint8
+
+const (
+	// DurFail (the default) fails the push that hit the persistent
+	// fault and every push after it: the engine refuses to acknowledge
+	// work it cannot make durable. The failed batch is rejected
+	// atomically — the WAL record is taken back and no engine state
+	// changed — so a restore replays exactly the acknowledged history.
+	DurFail DurPolicy = iota
+	// DurDegrade sheds durability instead: on persistent WAL failure
+	// the engine stops logging, keeps serving, and reports the shed
+	// through Health().WALFailed and the wal_degraded trace event. A
+	// later successful Checkpoint to a healthy directory re-arms
+	// logging. Output while degraded is exact for the live run, but a
+	// crash during the shed window loses the records admitted since
+	// the last checkpoint.
+	DurDegrade
 )
 
 // Durability opts an engine into crash recovery: every admitted batch
@@ -63,6 +87,36 @@ type Durability[L, RT any] struct {
 	DecodeR func([]byte) (L, error)
 	EncodeS func(RT) []byte
 	DecodeS func([]byte) (RT, error)
+	// OnError selects what a persistent WAL failure does to the
+	// engine: DurFail (default) makes pushes fail, DurDegrade sheds
+	// durability and keeps serving. See the DurPolicy constants.
+	OnError DurPolicy
+	// SyncBlocking runs the SyncEvery fsync on the append path instead
+	// of the background group-commit goroutine: a push returns only
+	// after its sync window is durable, so a disk fault surfaces on
+	// the failing push itself rather than as a later sticky error.
+	// Required for exact kill/restore recovery under injected disk
+	// faults; costs ingest throughput by serializing behind the disk.
+	SyncBlocking bool
+	// RetryAttempts bounds the in-line recovery loop a failing WAL
+	// append or checkpoint write runs before OnError applies: each
+	// attempt re-derives the durable log tail from disk and retries.
+	// <= 0 means 4 attempts total.
+	RetryAttempts int
+	// RetryBackoff is the backoff before the second attempt (doubled
+	// each retry), RetryBackoffMax its cap. <= 0 selects 1ms and 50ms.
+	// Pushes block for the duration of the loop — at the defaults a
+	// worst-case recovery holds the side lock for a few milliseconds.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// SegmentBytes overrides the WAL segment rotation threshold; <= 0
+	// selects the wal package default (4 MiB). Chaos tests use tiny
+	// segments to exercise rotation under injected faults.
+	SegmentBytes int64
+	// FS overrides the filesystem seam for the WAL and checkpoint
+	// files; nil selects the real filesystem. Tests and chaos benches
+	// arm it with fault.Inject.
+	FS fault.FS
 }
 
 // enabled reports whether the engine logs and checkpoints.
@@ -89,6 +143,7 @@ type durState[L, RT any] struct {
 	fp      uint64 // config fingerprint: a snapshot binds to its config
 	shards  int
 	ordered bool
+	fs      fault.FS
 
 	log  *wal.Log
 	ring *obs.Ring
@@ -98,6 +153,23 @@ type durState[L, RT any] struct {
 	replaying atomic.Bool
 	// batches counts admitted batches for the auto-checkpoint cadence.
 	batches atomic.Uint64
+
+	// walMu serializes WAL appends across both stream sides, so that
+	// a failing record is always the newest in the log and its
+	// recovery (Reseat, re-append, DropFrom) never interleaves with
+	// another side's append. Ordering: side locks are taken before
+	// walMu, never after.
+	walMu sync.Mutex
+	// failErr is the DurFail sticky error (walMu); shedCause records
+	// why DurDegrade shed (walMu). failed/degraded mirror them for
+	// lock-free Health reads.
+	failErr   error
+	shedCause error
+	failed    atomic.Bool
+	degraded  atomic.Bool
+
+	walRetries atomic.Uint64
+	sheds      atomic.Uint64
 
 	ckptMu      sync.Mutex // serializes concurrent Checkpoint calls
 	checkpoints atomic.Uint64
@@ -116,12 +188,18 @@ func (d *durState[L, RT]) init(cfg *Config[L, RT]) error {
 		d.shards = 1
 	}
 	d.ordered = cfg.Ordered
+	d.fs = cfg.Durability.FS
+	if d.fs == nil {
+		d.fs = fault.OS
+	}
 	if !d.cfg.enabled() {
 		return nil
 	}
 	log, err := wal.Open(filepath.Join(d.cfg.WALDir, walSubdir), wal.Options{
-		SyncEvery: d.cfg.SyncEvery,
-		AsyncSync: true,
+		SyncEvery:    d.cfg.SyncEvery,
+		AsyncSync:    !d.cfg.SyncBlocking,
+		SegmentBytes: d.cfg.SegmentBytes,
+		FS:           d.cfg.FS,
 	})
 	if err != nil {
 		return fmt.Errorf("handshakejoin: open WAL: %w", err)
@@ -132,18 +210,166 @@ func (d *durState[L, RT]) init(cfg *Config[L, RT]) error {
 	return nil
 }
 
-// active reports whether pushes must be logged right now.
-func (d *durState[L, RT]) active() bool { return d.log != nil && !d.replaying.Load() }
+// active reports whether pushes must be logged right now. A degraded
+// (shed) engine keeps serving without logging.
+func (d *durState[L, RT]) active() bool {
+	return d.log != nil && !d.replaying.Load() && !d.degraded.Load()
+}
+
+// logHandle returns the current log under walMu. Push paths read
+// d.log directly — they hold a side lock, which every rearm also
+// holds — but snapshot readers run lock-free on arbitrary goroutines
+// and must not race the rearm swap.
+func (d *durState[L, RT]) logHandle() *wal.Log {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	return d.log
+}
+
+// walFailed reports the sticky WAL failure state for Health: either
+// the engine shed durability (DurDegrade) or pushes are failing
+// against a dead log (DurFail).
+func (d *durState[L, RT]) walFailed() bool {
+	return d.degraded.Load() || d.failed.Load()
+}
+
+// retryPolicy is the shared recovery policy for WAL appends and
+// checkpoint writes; event names the trace event each retry emits.
+func (d *durState[L, RT]) retryPolicy(event string) fault.Retry {
+	return fault.Retry{
+		Attempts: d.cfg.RetryAttempts,
+		Base:     d.cfg.RetryBackoff,
+		Max:      d.cfg.RetryBackoffMax,
+		OnRetry: func(attempt int, err error) {
+			d.walRetries.Add(1)
+			if d.ring != nil {
+				d.ring.Emit(event, -1, -1, int64(attempt), 0)
+			}
+		},
+	}
+}
 
 func (d *durState[L, RT]) append(kind byte, payload []byte) error {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if d.degraded.Load() {
+		return nil // shed: keep serving, stop logging
+	}
+	if d.failErr != nil {
+		return fmt.Errorf("handshakejoin: wal failed: %w", d.failErr)
+	}
 	idx, rotated, err := d.log.Append(kind, payload)
 	if err != nil {
-		return fmt.Errorf("handshakejoin: wal append: %w", err)
+		if err = d.recoverAppend(idx, kind, payload, err); err != nil {
+			return d.failOrShedLocked(idx, err)
+		}
+		return nil
 	}
 	if rotated {
 		d.ring.Emit("wal_rotate", -1, -1, int64(idx), 0)
 	}
 	return nil
+}
+
+// recoverAppend runs the bounded retry loop after a failed append of
+// record idx: each attempt reseats the log on the durable tail it
+// re-derives from disk, then decides from Next() whether the record
+// survived (the failure hit after its bytes and fsync landed), must
+// be re-appended, or whether older acknowledged records are gone —
+// which no retry can fix.
+func (d *durState[L, RT]) recoverAppend(idx uint64, kind byte, payload []byte, cause error) error {
+	return d.retryPolicy("wal_retry").Do(func() error {
+		if _, err := d.log.Reseat(); err != nil {
+			return err
+		}
+		switch next := d.log.Next(); {
+		case next == idx+1:
+			return nil // record durable after all; Reseat fsynced it
+		case next == idx:
+			_, _, err := d.log.Append(kind, payload)
+			return err
+		default:
+			return fault.Permanent(fmt.Errorf("%d acknowledged records lost (log resumes at %d, record %d failing): %w",
+				idx-next, next, idx, cause))
+		}
+	})
+}
+
+// failOrShedLocked applies OnError once the recovery loop is spent.
+// Callers hold walMu. The rejected record is dropped from the log so
+// a later replay cannot resurrect a push the caller saw fail; on
+// DurFail the error is sticky, on DurDegrade the engine sheds
+// durability and the push succeeds unlogged.
+func (d *durState[L, RT]) failOrShedLocked(idx uint64, cause error) error {
+	d.log.DropFrom(idx) //nolint:errcheck // best-effort on a failing disk
+	if d.cfg.OnError == DurDegrade {
+		d.shedLocked(cause)
+		return nil
+	}
+	d.failErr = cause
+	d.failed.Store(true)
+	d.ring.Emit("wal_failed", -1, -1, int64(idx), 0)
+	return fmt.Errorf("handshakejoin: wal append failed after retries: %w", cause)
+}
+
+// shedLocked flips the engine into the degraded (shed) state. Callers
+// hold walMu. Idempotent; the first shed emits wal_degraded.
+func (d *durState[L, RT]) shedLocked(cause error) {
+	if d.degraded.Swap(true) {
+		return
+	}
+	d.shedCause = cause
+	d.sheds.Add(1)
+	d.ring.Emit("wal_degraded", -1, -1, 0, 0)
+}
+
+// rearm reopens logging under root after a shed or sticky failure and
+// clears the degraded state. Callers must have the engine's admission
+// paths blocked (both side locks held, or the single engine's driver
+// goroutine) so that the swap is atomic with respect to pushes: every
+// record admitted after the checkpoint cut lands in the new log.
+func (d *durState[L, RT]) rearm(root string) error {
+	log, err := wal.Open(filepath.Join(root, walSubdir), wal.Options{
+		SyncEvery:    d.cfg.SyncEvery,
+		AsyncSync:    !d.cfg.SyncBlocking,
+		SegmentBytes: d.cfg.SegmentBytes,
+		FS:           d.cfg.FS,
+	})
+	if err != nil {
+		return fmt.Errorf("handshakejoin: re-arm WAL: %w", err)
+	}
+	d.walMu.Lock()
+	old := d.log
+	d.log = log
+	d.failErr = nil
+	d.shedCause = nil
+	d.failed.Store(false)
+	d.degraded.Store(false)
+	// The durability root follows the re-arm: later auto-checkpoints
+	// and TruncateThrough target the healthy directory.
+	d.cfg.WALDir = root
+	d.walMu.Unlock()
+	if old != nil {
+		old.Close() //nolint:errcheck // the old disk is failing; best-effort
+	}
+	d.ring.Emit("wal_rearmed", -1, -1, int64(log.Next()), 0)
+	return nil
+}
+
+// disarm re-enters the OnError failure state after a re-arm whose
+// checkpoint failed to commit: the fresh log has no checkpoint
+// beneath it, so acknowledging records into it would make them
+// unrecoverable. The caller surfaces the checkpoint error itself.
+func (d *durState[L, RT]) disarm(cause error) {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if d.cfg.OnError == DurDegrade {
+		d.shedLocked(cause)
+		return
+	}
+	d.failErr = cause
+	d.failed.Store(true)
+	d.ring.Emit("wal_failed", -1, -1, 0, 0)
 }
 
 // appendR logs one admitted R batch; callers hold the R-side serial
@@ -193,8 +419,22 @@ func (d *durState[L, RT]) maybeAutoCheckpoint(ckpt func(string) error) error {
 	if d.log == nil || d.replaying.Load() || d.cfg.CheckpointEveryBatches <= 0 {
 		return nil
 	}
+	if d.degraded.Load() {
+		// Shed: auto-checkpoints target the failing directory, and a
+		// re-arm there would immediately shed again. Re-arming is the
+		// operator's explicit Checkpoint(healthyDir) call.
+		return nil
+	}
 	if d.batches.Add(1)%uint64(d.cfg.CheckpointEveryBatches) == 0 {
-		return ckpt("")
+		if err := ckpt(""); err != nil {
+			if d.cfg.OnError == DurDegrade {
+				d.walMu.Lock()
+				d.shedLocked(err)
+				d.walMu.Unlock()
+				return nil
+			}
+			return err
+		}
 	}
 	return nil
 }
@@ -527,10 +767,12 @@ func (d *durState[L, RT]) decodeSnap(data []byte) (*engineSnap[L, RT], error) {
 
 // writeFileSync writes data to path atomically: temp file, fsync,
 // rename, directory fsync. Readers see the old file or the new one,
-// never a torn mix.
-func writeFileSync(path string, data []byte) error {
+// never a torn mix. The directory fsync is load-bearing — without it
+// a crash can erase the renamed entry, un-committing the write — so
+// its failure is an error, not advice.
+func writeFileSync(fsys fault.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -545,27 +787,27 @@ func writeFileSync(path string, data []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
-	if dirf, err := os.Open(filepath.Dir(path)); err == nil {
-		dirf.Sync() //nolint:errcheck // directory durability is best-effort
-		dirf.Close()
-	}
-	return nil
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // writeCheckpoint serializes the cut and commits it: state first, then
 // the manifest — the manifest rename is the commit point, so a crash
-// mid-checkpoint leaves the previous checkpoint intact. Returns the
-// state size in bytes.
+// mid-checkpoint leaves the previous checkpoint intact. Each file
+// write runs under the shared retry policy; a transient disk fault
+// costs a backoff, not the checkpoint. Returns the state size.
 func (d *durState[L, RT]) writeCheckpoint(root string, walFrom uint64, snap *engineSnap[L, RT]) (int, error) {
 	state := d.encodeSnap(snap)
 	dir := filepath.Join(root, ckptSubdir)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := d.fs.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
-	if err := writeFileSync(filepath.Join(dir, stateFile), state); err != nil {
+	pol := d.retryPolicy("ckpt_retry")
+	if err := pol.Do(func() error {
+		return writeFileSync(d.fs, filepath.Join(dir, stateFile), state)
+	}); err != nil {
 		return 0, fmt.Errorf("handshakejoin: write checkpoint state: %w", err)
 	}
 	mw := wire.NewWriter(64)
@@ -576,7 +818,9 @@ func (d *durState[L, RT]) writeCheckpoint(root string, walFrom uint64, snap *eng
 	mw.U64(uint64(len(state)))
 	mw.U32(crc32.ChecksumIEEE(state))
 	mw.U32(crc32.ChecksumIEEE(mw.Bytes()))
-	if err := writeFileSync(filepath.Join(dir, manifestFile), mw.Bytes()); err != nil {
+	if err := pol.Do(func() error {
+		return writeFileSync(d.fs, filepath.Join(dir, manifestFile), mw.Bytes())
+	}); err != nil {
 		return 0, fmt.Errorf("handshakejoin: write checkpoint manifest: %w", err)
 	}
 	return len(state), nil
@@ -598,9 +842,9 @@ type CheckpointStat struct {
 }
 
 // readManifest parses and verifies <ckptDir>/MANIFEST.
-func readManifest(ckptDir string) (CheckpointStat, uint32, error) {
+func readManifest(fsys fault.FS, ckptDir string) (CheckpointStat, uint32, error) {
 	var st CheckpointStat
-	data, err := os.ReadFile(filepath.Join(ckptDir, manifestFile))
+	data, err := fsys.ReadFile(filepath.Join(ckptDir, manifestFile))
 	if err != nil {
 		return st, 0, err
 	}
@@ -634,18 +878,18 @@ func readManifest(ckptDir string) (CheckpointStat, uint32, error) {
 // without loading the state. It answers "where would Restore resume"
 // for tooling and tests.
 func CheckpointInfo(dir string) (CheckpointStat, error) {
-	st, _, err := readManifest(filepath.Join(dir, ckptSubdir))
+	st, _, err := readManifest(fault.OS, filepath.Join(dir, ckptSubdir))
 	return st, err
 }
 
 // readCheckpoint loads and validates the checkpoint under root.
 func (d *durState[L, RT]) readCheckpoint(root string) (CheckpointStat, *engineSnap[L, RT], error) {
 	ckptDir := filepath.Join(root, ckptSubdir)
-	st, stateCRC, err := readManifest(ckptDir)
+	st, stateCRC, err := readManifest(d.fs, ckptDir)
 	if err != nil {
 		return st, nil, err
 	}
-	data, err := os.ReadFile(filepath.Join(ckptDir, stateFile))
+	data, err := d.fs.ReadFile(filepath.Join(ckptDir, stateFile))
 	if err != nil {
 		return st, nil, err
 	}
@@ -661,10 +905,12 @@ func (d *durState[L, RT]) readCheckpoint(root string) (CheckpointStat, *engineSn
 
 // replayWAL re-pushes every WAL record with index >= from through the
 // given push callbacks (the engines pass their public push methods,
-// with the replaying flag set so the records are not re-logged).
+// with the replaying flag set so the records are not re-logged). On a
+// corrupt mid-log segment the valid prefix has already been pushed;
+// the error then reports exactly how much acknowledged data is gone.
 func (d *durState[L, RT]) replayWAL(root string, from uint64,
 	pushR func([]Stamped[L]) error, pushS func([]Stamped[RT]) error, tick func(int64)) (int, error) {
-	return wal.Replay(filepath.Join(root, walSubdir), from, func(rec wal.Record) error {
+	n, err := wal.ReplayFS(d.fs, filepath.Join(root, walSubdir), from, func(rec wal.Record) error {
 		switch rec.Kind {
 		case wal.KindR:
 			b, err := decodeStampedBatch(rec.Payload, d.cfg.DecodeR)
@@ -690,4 +936,8 @@ func (d *durState[L, RT]) replayWAL(root string, from uint64,
 			return fmt.Errorf("handshakejoin: unknown wal record kind %d", rec.Kind)
 		}
 	})
+	if errors.Is(err, wal.ErrCorrupt) {
+		err = fmt.Errorf("handshakejoin: wal replay salvaged %d records, then hit corruption — acknowledged data beyond them is lost: %w", n, err)
+	}
+	return n, err
 }

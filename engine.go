@@ -65,6 +65,10 @@ type Engine[L, RT any] struct {
 	// handle, the replay flag, and checkpoint bookkeeping.
 	dur durState[L, RT]
 
+	// guard enforces Config.MaxLiveTuples at admission; nil when
+	// admission control is disabled.
+	guard *overloadGuard
+
 	// probeTab is the IndexAuto strategy table shared by the pipeline's
 	// nodes; nil under a static Index.
 	probeTab *probe.Table
@@ -377,6 +381,17 @@ func newEngine[L, RT any](cfg Config[L, RT]) (*Engine[L, RT], error) {
 	}
 	e.lane = shard.NewLane(laneConfig(&cfg, e.clk, cfg.Punctuate), build,
 		func(it collect.Item[L, RT]) { out(it) })
+	if cfg.MaxLiveTuples > 0 {
+		e.guard = newOverloadGuard(cfg.MaxLiveTuples, func() int64 {
+			// Batch buffer before window gauges: a tuple flushed
+			// between the two reads is seen by the gauge walk, never
+			// dropped from both. Tuples in flight between flush and
+			// node processing are the guard's documented slack.
+			buffered := e.lane.Buffered()
+			agg := e.lane.PipelineStats()
+			return buffered + int64(agg.LiveWR) + int64(agg.LiveWS)
+		})
+	}
 	if cfg.Obs.Addr != "" {
 		srv, err := obs.Serve(cfg.Obs.Addr, func() obs.Dump {
 			return gatherDump(e.StatsSnapshot(), e.outHist, e.ring)
@@ -444,6 +459,12 @@ func (e *Engine[L, RT]) PushRBatch(batch []Stamped[L]) error {
 		}
 		last = batch[i].TS
 	}
+	// Admission control runs before the WAL append: a rejected batch
+	// was never logged, so replay cannot resurrect it. Replay itself
+	// bypasses the check — its records were already acknowledged.
+	if err := e.guard.admit(len(batch), e.dur.replaying.Load()); err != nil {
+		return err
+	}
 	if e.dur.active() {
 		// Log before any state changes: a record is durable (or at
 		// least written) before its effects exist, so replay never
@@ -484,6 +505,10 @@ func (e *Engine[L, RT]) PushSBatch(batch []Stamped[RT]) error {
 			return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", batch[i].TS, last)
 		}
 		last = batch[i].TS
+	}
+	// Admission control before the WAL append; see PushRBatch.
+	if err := e.guard.admit(len(batch), e.dur.replaying.Load()); err != nil {
+		return err
 	}
 	if e.dur.active() {
 		if err := e.dur.appendS(batch); err != nil {
@@ -596,8 +621,26 @@ func (e *Engine[L, RT]) Checkpoint(dir string) error {
 	}
 	walFrom := e.dur.log.Next()
 	e.sortMu.Unlock()
+	// A checkpoint against a failed or shed WAL re-arms logging under
+	// root: the cut just captured covers everything admitted so far,
+	// and — this being the driver goroutine — no push can slip in
+	// between the re-arm and the manifest commit, so every later
+	// record lands in the new log at or after walFrom.
+	rearmed := false
+	if e.dur.walFailed() {
+		if err := e.dur.rearm(root); err != nil {
+			return err
+		}
+		rearmed = true
+		walFrom = e.dur.log.Next()
+	}
 	stateBytes, err := e.dur.writeCheckpoint(root, walFrom, &snap)
 	if err != nil {
+		if rearmed {
+			// The re-armed log has no committed checkpoint beneath it;
+			// logging to it would acknowledge unrecoverable records.
+			e.dur.disarm(err)
+		}
 		return err
 	}
 	if root == e.dur.cfg.WALDir {
@@ -655,8 +698,28 @@ func (e *Engine[L, RT]) Restore(dir string) error {
 	if err != nil {
 		return fmt.Errorf("handshakejoin: wal replay after %d records: %w", n, err)
 	}
+	if e.guard != nil {
+		// Seed the admission bound from the restored footprint: the
+		// checkpoint's tuples entered the windows without passing the
+		// guard's accounting. Replayed arrivals may still be in flight
+		// in the pipeline, where the window gauges cannot see them, so
+		// quiesce first — otherwise the sampled base undercounts by up
+		// to the whole replay volume and the guard admits past the cap.
+		e.lane.Quiesce()
+		e.guard.resample()
+	}
 	e.ring.Emit("restore_replay", -1, -1, int64(n), e.clk.Now()-start)
 	return nil
+}
+
+// Health implements Joiner.Health. The single-pipeline engine has no
+// punctuation-floor watchdog (its one pipeline cannot stall behind
+// another), so FloorStalled is always false.
+func (e *Engine[L, RT]) Health() Health {
+	return Health{
+		WALFailed:  e.dur.walFailed(),
+		Overloaded: e.guard.overloaded(),
+	}
 }
 
 // Stats returns run counters. Safe to call mid-run from any goroutine:
@@ -680,6 +743,9 @@ func (e *Engine[L, RT]) Stats() Stats {
 		StoreCompactions: agg.StoreCompactions,
 		StoreParks:       agg.StoreParks,
 		StoreOverflow:    agg.StoreOverflow,
+		WALRetries:       e.dur.walRetries.Load(),
+		WALSheds:         e.dur.sheds.Load(),
+		AdmissionRejects: e.guard.rejected(),
 	}
 	if e.sorter != nil {
 		st.MaxSortBuffer = e.sorter.MaxBuffer()
@@ -713,11 +779,12 @@ func (e *Engine[L, RT]) StatsSnapshot() Snapshot {
 	if e.ring != nil {
 		snap.NextEventSeq = e.ring.Next()
 	}
-	if e.dur.log != nil {
-		snap.WALBytes = e.dur.log.Bytes()
+	if log := e.dur.logHandle(); log != nil {
+		snap.WALBytes = log.Bytes()
 		snap.Checkpoints = e.dur.checkpoints.Load()
 		snap.LastCheckpointNs = e.dur.lastCkptNs.Load()
 	}
+	snap.Health = e.Health()
 	return snap
 }
 

@@ -195,6 +195,16 @@ type Config[L, RT any] struct {
 	// Joiner.Restore. The zero value disables it; see Durability.
 	Durability Durability[L, RT]
 
+	// MaxLiveTuples, when > 0, bounds the engine's live window
+	// footprint: a push that would lift the total in-window tuple count
+	// (both sides, all shards) above the bound is rejected with
+	// ErrOverloaded before it reaches the WAL or any engine state, and
+	// Health().Overloaded is set until admission succeeds again. The
+	// bound is enforced within the pipeline's in-flight volume (tuples
+	// admitted but not yet published by their node are counted against
+	// it conservatively). 0 disables admission control.
+	MaxLiveTuples int
+
 	// CollectPeriod is how often the collector vacuums the result
 	// queues (and punctuates). Default 1ms.
 	CollectPeriod time.Duration
@@ -261,6 +271,15 @@ type AdaptConfig struct {
 	// HeartbeatPeriod overrides the idle-shard heartbeat cadence.
 	// Default CollectPeriod.
 	HeartbeatPeriod time.Duration
+	// StallWatchdog, when > 0, arms a watchdog on the heartbeat loop:
+	// if the merged punctuation floor fails to advance for this long
+	// while ingress is ahead of it, Health().FloorStalled is set and a
+	// floor_stalled trace event fires (edge-triggered; floor_recovered
+	// when it moves again). Ordered-mode output visibly stuck is
+	// exactly this condition. Requires heartbeats (the default) and
+	// Punctuate (without punctuations there is no floor to watch); 0
+	// disables the watchdog.
+	StallWatchdog time.Duration
 	// DisableHeartbeat turns idle-shard heartbeats off, restoring the
 	// PR-1 behaviour in which a quiet shard holds back the merged
 	// punctuation floor until Close.
@@ -409,6 +428,12 @@ func (c *Config[L, RT]) validate() error {
 		c.Adapt.Migration.SliceTuples < 0 || c.Adapt.Migration.MinGapRatio < 0 || c.Adapt.Migration.MaxMigrationsPerSec < 0 {
 		return fmt.Errorf("handshakejoin: Adapt.Migration knobs must be >= 0")
 	}
+	if c.MaxLiveTuples < 0 {
+		return fmt.Errorf("handshakejoin: MaxLiveTuples must be >= 0, got %d", c.MaxLiveTuples)
+	}
+	if c.Adapt.StallWatchdog < 0 {
+		return fmt.Errorf("handshakejoin: Adapt.StallWatchdog must be >= 0, got %v", c.Adapt.StallWatchdog)
+	}
 	if c.Durability.enabled() {
 		if c.Algorithm != LLHJ {
 			return fmt.Errorf("handshakejoin: Durability requires the LLHJ algorithm")
@@ -486,6 +511,10 @@ type Joiner[L, RT any] interface {
 	// footprints, expiry backlog, in-flight handoffs). Same mid-run
 	// safety as Stats.
 	StatsSnapshot() Snapshot
+	// Health returns the engine's degradation flags — WAL failure or
+	// shed, overload rejection, stalled punctuation floor. Safe to
+	// call mid-run from any goroutine; the zero value means healthy.
+	Health() Health
 	// Events drains the control-plane trace events with sequence
 	// number >= since that are still inside the bounded ring, oldest
 	// first. Nil when tracing is disabled (see ObsConfig).
@@ -587,4 +616,15 @@ type Stats struct {
 	// StoreOverflow is the current number of entries across all window
 	// overflow maps (a gauge, exact when quiescent).
 	StoreOverflow int
+	// WALRetries counts in-line WAL append and checkpoint-write retry
+	// attempts the durability layer's recovery loop performed;
+	// non-zero values mean the disk faulted but the fault was ridden
+	// out (or escalated to the OnError policy).
+	WALRetries uint64
+	// WALSheds counts transitions into the degraded (shed) durability
+	// state under DurDegrade.
+	WALSheds uint64
+	// AdmissionRejects counts pushes rejected with ErrOverloaded
+	// against Config.MaxLiveTuples.
+	AdmissionRejects uint64
 }

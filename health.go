@@ -1,0 +1,133 @@
+package handshakejoin
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned (wrapped) by the push paths when admitting
+// the batch would lift the engine's live window footprint above
+// Config.MaxLiveTuples. The rejection is batch-atomic and happens
+// before the batch reaches the WAL or any engine state: nothing was
+// logged, nothing changed, and the caller may retry after the windows
+// drain. Test with errors.Is.
+var ErrOverloaded = errors.New("handshakejoin: overloaded")
+
+// Health is an engine's condition flags, read with Joiner.Health. The
+// zero value is a healthy engine; each flag marks one degradation an
+// operator can act on. See the package documentation's "Failure modes"
+// section for the runbook.
+type Health struct {
+	// WALFailed is set while the write-ahead log is in its persistent
+	// failure state: under DurFail pushes are failing, under DurDegrade
+	// the engine is serving without durability (shed). A successful
+	// Checkpoint to a healthy directory clears it by re-arming the log.
+	WALFailed bool
+	// Overloaded is set while admission is rejecting pushes against
+	// Config.MaxLiveTuples; it clears as soon as a push is admitted
+	// again.
+	Overloaded bool
+	// FloorStalled is set by the sharded engine's watchdog
+	// (AdaptConfig.StallWatchdog) when the merged punctuation floor has
+	// not advanced for the configured duration even though ingress has:
+	// Ordered-mode output is stuck behind a shard that is not
+	// promising. It clears when the floor moves again.
+	FloorStalled bool
+}
+
+// Ok reports whether no degradation flag is set.
+func (h Health) Ok() bool { return !h.WALFailed && !h.Overloaded && !h.FloorStalled }
+
+// String renders the health state for logs: "ok", or the set flags.
+func (h Health) String() string {
+	if h.Ok() {
+		return "ok"
+	}
+	var f []string
+	if h.WALFailed {
+		f = append(f, "wal_failed")
+	}
+	if h.Overloaded {
+		f = append(f, "overloaded")
+	}
+	if h.FloorStalled {
+		f = append(f, "floor_stalled")
+	}
+	return "degraded(" + strings.Join(f, ",") + ")"
+}
+
+// overloadGuard enforces Config.MaxLiveTuples at admission. It keeps a
+// sound upper bound on the live window footprint without touching the
+// pipeline on every push: live tuples only enter through admission, so
+// (footprint at last sample) + (tuples admitted since) can never
+// undercount, and the pipeline's per-node counters are walked only
+// when that cheap bound crosses the limit. The bound is conservative
+// by at most the in-flight volume (tuples admitted but not yet
+// published by their node), so rejection triggers within the
+// pipeline's in-flight cap of the true limit.
+type overloadGuard struct {
+	max      int64
+	sample   func() int64 // Σ live window tuples across the pipeline(s)
+	mu       sync.Mutex   // serializes resamples (both sides can hit the limit at once)
+	base     atomic.Int64 // footprint at the last resample
+	admitted atomic.Int64 // tuples admitted since the last resample
+	rejects  atomic.Uint64
+	loaded   atomic.Bool // last admission decision was a rejection
+}
+
+func newOverloadGuard(max int, sample func() int64) *overloadGuard {
+	return &overloadGuard{max: int64(max), sample: sample}
+}
+
+// admit accounts n tuples about to be admitted, rejecting with
+// ErrOverloaded when they would exceed the limit. force bypasses the
+// check but keeps the accounting exact — WAL replay re-admits tuples
+// that were already acknowledged, which overload must not reject.
+// Callers hold their side's serial section; the two sides may call
+// concurrently.
+func (g *overloadGuard) admit(n int, force bool) error {
+	if g == nil {
+		return nil
+	}
+	if force {
+		g.admitted.Add(int64(n))
+		return nil
+	}
+	if g.base.Load()+g.admitted.Load()+int64(n) > g.max {
+		g.resample()
+		if g.base.Load()+g.admitted.Load()+int64(n) > g.max {
+			g.rejects.Add(1)
+			g.loaded.Store(true)
+			return fmt.Errorf("%w: %d live window tuples + %d admitting > MaxLiveTuples %d",
+				ErrOverloaded, g.base.Load()+g.admitted.Load(), n, g.max)
+		}
+	}
+	g.admitted.Add(int64(n))
+	g.loaded.Store(false)
+	return nil
+}
+
+// resample re-derives the footprint from the pipeline counters. The
+// admitted counter is cleared before the walk: an admission racing in
+// from the other side lands after the clear and is counted (possibly
+// twice, once in the walk — conservative), never dropped.
+func (g *overloadGuard) resample() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.admitted.Store(0)
+	g.base.Store(g.sample())
+}
+
+func (g *overloadGuard) overloaded() bool {
+	return g != nil && g.loaded.Load()
+}
+
+func (g *overloadGuard) rejected() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.rejects.Load()
+}

@@ -1,0 +1,383 @@
+// Package fault is the deterministic fault-injection seam under the
+// durability stack. The WAL and checkpoint writers perform every
+// filesystem operation through an FS value; production code uses the
+// passthrough OS implementation, while tests and chaos benches wrap it
+// with Inject and a seeded Plan that fails the Nth matching operation
+// with an fsync error, ENOSPC, a torn write, or a latency spike.
+//
+// Plans are deterministic and replayable: rules fire on operation
+// counts, not timers or randomness, so a chaos run is a regression
+// test, not a flake. A nil plan never allocates a wrapper — Inject
+// returns the base FS unchanged, keeping the disarmed fast path at
+// zero cost.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op identifies one class of filesystem operation crossing the seam.
+type Op uint8
+
+const (
+	// OpCreate fires on OpenFile calls that carry O_CREATE — segment
+	// creation, checkpoint temp files.
+	OpCreate Op = iota
+	// OpWrite fires on file writes. With Rule.TornBytes it models a
+	// torn write: a prefix reaches the disk, the rest does not.
+	OpWrite
+	// OpSync fires on file fsync.
+	OpSync
+	// OpRead fires on whole-file reads (replay, manifest loads).
+	OpRead
+	// OpRename fires on renames — the checkpoint commit point.
+	OpRename
+	// OpRemove fires on file removal (segment truncation).
+	OpRemove
+	// OpSyncDir fires on directory fsync — the operation that makes a
+	// create or rename durable.
+	OpSyncDir
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRead:
+		return "read"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// File is the writable-file surface the WAL needs from a filesystem.
+// *os.File satisfies it.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Name() string
+}
+
+// FS is the filesystem seam. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(name string, perm os.FileMode) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs a directory, making previously created or renamed
+	// entries in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Rule injects one fault. A rule matches operations by Op and an
+// optional path substring; it counts its matches and fires at the Nth.
+type Rule struct {
+	// Op selects the operation class the rule watches.
+	Op Op
+	// Path, when non-empty, restricts the rule to operations whose
+	// path contains it as a substring (e.g. "/wal" to spare
+	// checkpoint files).
+	Path string
+	// Nth fires the rule at the Nth matching operation, 1-based,
+	// counted from when the plan was armed. Zero means the first.
+	Nth int
+	// Repeat keeps the rule firing on every matching operation from
+	// the Nth on — a persistent fault (dead disk) rather than a
+	// transient one.
+	Repeat bool
+	// Err is the injected error. The operation does not reach the
+	// real filesystem, except for torn writes (below). Nil with a
+	// Delay makes the rule a pure latency spike.
+	Err error
+	// TornBytes applies to OpWrite rules: this many bytes of the
+	// buffer are written to the real file before Err is returned, so
+	// the on-disk state honestly reflects a torn write.
+	TornBytes int
+	// Delay stalls the operation before the fault check resolves —
+	// a latency spike. Delays from multiple firing rules accumulate.
+	Delay time.Duration
+}
+
+// Plan is a set of rules plus the operation counters they fire on.
+// One Plan arms one Inject FS; it is safe for concurrent use and
+// keeps a log of every injection for assertions and debugging.
+//
+// The plan also tracks directory entries (creates and renames) that
+// have not yet been covered by a directory fsync: UnsyncedEntries
+// reports the files a crash at this instant could erase from their
+// parent directory, letting tests emulate exactly that crash.
+type Plan struct {
+	mu       sync.Mutex
+	rules    []Rule
+	counts   []int
+	fired    []string
+	unsynced map[string]map[string]struct{} // dir -> entry names
+}
+
+// NewPlan arms a plan with the given rules.
+func NewPlan(rules ...Rule) *Plan {
+	return &Plan{
+		rules:    rules,
+		counts:   make([]int, len(rules)),
+		unsynced: make(map[string]map[string]struct{}),
+	}
+}
+
+// check consults the plan for one operation. It returns the
+// accumulated latency to inject, the torn-write byte count (OpWrite
+// only), and the injected error, if any.
+func (p *Plan) check(op Op, path string) (delay time.Duration, torn int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		p.counts[i]++
+		nth := r.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		if p.counts[i] != nth && !(r.Repeat && p.counts[i] > nth) {
+			continue
+		}
+		delay += r.Delay
+		if r.Err != nil && err == nil {
+			torn = r.TornBytes
+			err = r.Err
+			p.fired = append(p.fired, fmt.Sprintf("%s#%d %s: %v", op, p.counts[i], filepath.Base(path), r.Err))
+		}
+	}
+	return delay, torn, err
+}
+
+// Injections returns how many error injections have fired so far.
+func (p *Plan) Injections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fired)
+}
+
+// Log returns a copy of the injection log, one line per fired fault,
+// in firing order.
+func (p *Plan) Log() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.fired...)
+}
+
+func (p *Plan) noteEntry(path string) {
+	dir := filepath.Dir(path)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.unsynced[dir]
+	if m == nil {
+		m = make(map[string]struct{})
+		p.unsynced[dir] = m
+	}
+	m[filepath.Base(path)] = struct{}{}
+}
+
+func (p *Plan) noteDirSync(dir string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.unsynced, dir)
+}
+
+// UnsyncedEntries returns the full paths of files whose directory
+// entry is not yet covered by a directory fsync — the entries a crash
+// right now could lose. Sorted for determinism.
+func (p *Plan) UnsyncedEntries() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for dir, names := range p.unsynced {
+		for name := range names {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inject wraps base so every operation consults plan first. A nil
+// plan returns base unchanged (nil base means OS) — the disarmed path
+// adds no indirection at all.
+func Inject(base FS, plan *Plan) FS {
+	if base == nil {
+		base = OS
+	}
+	if plan == nil {
+		return base
+	}
+	return &injectFS{base: base, plan: plan}
+}
+
+type injectFS struct {
+	base FS
+	plan *Plan
+}
+
+func (f *injectFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		if err := f.fire(OpCreate, name); err != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&os.O_CREATE != 0 {
+		f.plan.noteEntry(name)
+	}
+	return &injectFile{file: file, plan: f.plan, name: name}, nil
+}
+
+func (f *injectFS) ReadFile(name string) ([]byte, error) {
+	if err := f.fire(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *injectFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return f.base.ReadDir(name)
+}
+
+func (f *injectFS) MkdirAll(name string, perm os.FileMode) error {
+	return f.base.MkdirAll(name, perm)
+}
+
+func (f *injectFS) Remove(name string) error {
+	if err := f.fire(OpRemove, name); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.base.Remove(name)
+}
+
+func (f *injectFS) Rename(oldpath, newpath string) error {
+	if err := f.fire(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	if err := f.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.plan.noteEntry(newpath)
+	return nil
+}
+
+func (f *injectFS) SyncDir(dir string) error {
+	if err := f.fire(OpSyncDir, dir); err != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	if err := f.base.SyncDir(dir); err != nil {
+		return err
+	}
+	f.plan.noteDirSync(dir)
+	return nil
+}
+
+func (f *injectFS) fire(op Op, path string) error {
+	delay, _, err := f.plan.check(op, path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+type injectFile struct {
+	file File
+	plan *Plan
+	name string
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	delay, torn, err := f.plan.check(OpWrite, f.name)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		n := 0
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			// Honest torn write: the prefix really lands on disk so
+			// replay sees exactly what a crashed kernel would leave.
+			n, _ = f.file.Write(p[:torn])
+		}
+		return n, err
+	}
+	return f.file.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	delay, _, err := f.plan.check(OpSync, f.name)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return err
+	}
+	return f.file.Sync()
+}
+
+func (f *injectFile) Close() error                       { return f.file.Close() }
+func (f *injectFile) Truncate(size int64) error          { return f.file.Truncate(size) }
+func (f *injectFile) Seek(o int64, w int) (int64, error) { return f.file.Seek(o, w) }
+func (f *injectFile) Name() string                       { return f.name }
+
+// ErrInjected is a convenience sentinel for tests that don't care
+// which errno a fault models.
+var ErrInjected = errors.New("fault: injected error")

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// drive runs a fixed little script of filesystem operations against
+// an injected FS and returns the per-op outcomes, so two identically
+// armed plans can be compared for determinism.
+func drive(t *testing.T, fsys FS, dir string) []string {
+	t.Helper()
+	var out []string
+	note := func(step string, err error) {
+		// Record pass/fail only: real error strings embed the per-run
+		// temp dir, which would fail the determinism comparison.
+		if err != nil {
+			out = append(out, step+":fail")
+		} else {
+			out = append(out, step+":ok")
+		}
+	}
+	path := filepath.Join(dir, "a.seg")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	note("create", err)
+	if err != nil {
+		return out
+	}
+	for i := 0; i < 4; i++ {
+		_, werr := f.Write([]byte("0123456789"))
+		note("write", werr)
+		note("sync", f.Sync())
+	}
+	note("close", f.Close())
+	note("syncdir", fsys.SyncDir(dir))
+	note("rename", fsys.Rename(path, filepath.Join(dir, "b.seg")))
+	_, rerr := fsys.ReadFile(filepath.Join(dir, "b.seg"))
+	note("read", rerr)
+	return out
+}
+
+func TestPlanDeterministicReplay(t *testing.T) {
+	rules := []Rule{
+		{Op: OpSync, Nth: 2, Err: ErrInjected},
+		{Op: OpWrite, Nth: 3, TornBytes: 4, Err: syscall.ENOSPC},
+		{Op: OpRename, Err: syscall.EIO},
+	}
+	planA, planB := NewPlan(rules...), NewPlan(rules...)
+	runA := drive(t, Inject(OS, planA), t.TempDir())
+	runB := drive(t, Inject(OS, planB), t.TempDir())
+	if !reflect.DeepEqual(runA, runB) {
+		t.Fatalf("same plan, different outcomes:\n%v\n%v", runA, runB)
+	}
+	if !reflect.DeepEqual(planA.Log(), planB.Log()) {
+		t.Fatalf("same plan, different injection logs:\n%v\n%v", planA.Log(), planB.Log())
+	}
+	if planA.Injections() != 3 {
+		t.Fatalf("want exactly 3 injections, got %d: %v", planA.Injections(), planA.Log())
+	}
+}
+
+func TestTornWriteLeavesPrefixOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(Rule{Op: OpWrite, Nth: 1, TornBytes: 3, Err: syscall.EIO})
+	fsys := Inject(OS, plan)
+	f, err := fsys.OpenFile(filepath.Join(dir, "t.seg"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("ABCDEFGH"))
+	if !errors.Is(werr, syscall.EIO) || n != 3 {
+		t.Fatalf("torn write: n=%d err=%v, want 3, EIO", n, werr)
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "t.seg"))
+	if err != nil || string(got) != "ABC" {
+		t.Fatalf("on-disk content %q err=%v, want torn prefix \"ABC\"", got, err)
+	}
+	if plan.Injections() != 1 {
+		t.Fatalf("Injections() = %d, want 1", plan.Injections())
+	}
+}
+
+func TestRepeatRuleIsPersistent(t *testing.T) {
+	plan := NewPlan(Rule{Op: OpSync, Nth: 2, Repeat: true, Err: ErrInjected})
+	fsys := Inject(OS, plan)
+	f, err := fsys.OpenFile(filepath.Join(t.TempDir(), "p.seg"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	for i := 2; i <= 5; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: %v, want persistent injected error", i, err)
+		}
+	}
+}
+
+func TestUnsyncedEntriesTracking(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan()
+	fsys := Inject(OS, plan)
+	f, err := fsys.OpenFile(filepath.Join(dir, "wal-0.seg"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := plan.UnsyncedEntries(); len(got) != 1 || got[0] != filepath.Join(dir, "wal-0.seg") {
+		t.Fatalf("UnsyncedEntries after create = %v", got)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.UnsyncedEntries(); len(got) != 0 {
+		t.Fatalf("UnsyncedEntries after dir sync = %v, want none", got)
+	}
+}
+
+func TestPathScopedRule(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(Rule{Op: OpCreate, Path: "/wal/", Repeat: true, Err: syscall.ENOSPC})
+	fsys := Inject(OS, plan)
+	if err := fsys.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.OpenFile(filepath.Join(dir, "wal", "x.seg"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("scoped create should fail: %v", err)
+	}
+	f, err := fsys.OpenFile(filepath.Join(dir, "state.tmp"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("out-of-scope create should pass: %v", err)
+	}
+	f.Close()
+}
+
+func TestRetryBackoffAttemptsAndCap(t *testing.T) {
+	var delays []time.Duration
+	var attempts int
+	pol := Retry{
+		Attempts: 5,
+		Base:     1 * time.Millisecond,
+		Max:      4 * time.Millisecond,
+		Sleep:    func(d time.Duration) { delays = append(delays, d) },
+	}
+	err := pol.Do(func() error { attempts++; return ErrInjected })
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Do = %v", err)
+	}
+	if attempts != 5 {
+		t.Fatalf("attempts = %d, want exactly 5", attempts)
+	}
+	// 4 backoffs between 5 attempts: 1ms, 2ms, 4ms, then capped at 4ms.
+	want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	if !reflect.DeepEqual(delays, want) {
+		t.Fatalf("backoffs = %v, want %v", delays, want)
+	}
+}
+
+func TestRetryStopsOnSuccessAndPermanent(t *testing.T) {
+	calls := 0
+	pol := Retry{Attempts: 10, Sleep: func(time.Duration) {}}
+	if err := pol.Do(func() error {
+		calls++
+		if calls < 3 {
+			return ErrInjected
+		}
+		return nil
+	}); err != nil || calls != 3 {
+		t.Fatalf("transient recovery: err=%v calls=%d", err, calls)
+	}
+
+	calls = 0
+	sentinel := errors.New("lost acked data")
+	err := pol.Do(func() error { calls++; return Permanent(sentinel) })
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("permanent: err=%v calls=%d, want immediate stop", err, calls)
+	}
+	if IsPermanent(err) {
+		t.Fatal("Do must unwrap the Permanent marker")
+	}
+
+	var seen []int
+	pol.OnRetry = func(a int, err error) { seen = append(seen, a) }
+	calls = 0
+	_ = pol.Do(func() error {
+		calls++
+		if calls < 4 {
+			return ErrInjected
+		}
+		return nil
+	})
+	if !reflect.DeepEqual(seen, []int{1, 2, 3}) {
+		t.Fatalf("OnRetry attempts = %v, want [1 2 3]", seen)
+	}
+}
+
+func TestRetryDefaults(t *testing.T) {
+	calls := 0
+	err := Retry{Sleep: func(time.Duration) {}}.Do(func() error { calls++; return ErrInjected })
+	if !errors.Is(err, ErrInjected) || calls != 4 {
+		t.Fatalf("zero-value policy: err=%v calls=%d, want 4 attempts", err, calls)
+	}
+}

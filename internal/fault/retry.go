@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"errors"
+	"time"
+)
+
+// Retry is a bounded retry-with-exponential-backoff policy for
+// operations against a possibly-faulty disk. The zero value retries 4
+// times total with a 1ms first backoff capped at 50ms. Backoff doubles
+// between attempts and saturates at Max.
+//
+// Retry is shared by the WAL append recovery loop and checkpoint
+// writes so every durability-path retry follows one policy.
+type Retry struct {
+	// Attempts is the total number of attempts including the first.
+	// Values <= 0 mean 4.
+	Attempts int
+	// Base is the backoff before the second attempt; <= 0 means 1ms.
+	Base time.Duration
+	// Max caps the doubled backoff; <= 0 means 50ms.
+	Max time.Duration
+	// Sleep replaces time.Sleep in tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+	// OnRetry, when non-nil, observes each failed attempt before its
+	// backoff: attempt is 1-based, err is what the attempt returned.
+	OnRetry func(attempt int, err error)
+}
+
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as non-retryable: Retry.Do returns it (unwrapped)
+// immediately instead of burning the remaining attempts. Use it for
+// failures more retries cannot fix — acknowledged data already lost,
+// configuration errors.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs op until it succeeds, the attempt budget is spent, or op
+// returns a Permanent error. It returns op's last error, with any
+// Permanent marker unwrapped.
+func (r Retry) Do(op func() error) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	base := r.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxDelay := r.Max
+	if maxDelay <= 0 {
+		maxDelay = 50 * time.Millisecond
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay := base
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var pe permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		if attempt >= attempts {
+			return err
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, err)
+		}
+		sleep(delay)
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}

@@ -567,6 +567,28 @@ func (l *Lane[L, R]) Settle() {
 	l.lv.Quiesce()
 }
 
+// Buffered reports the number of tuples sitting in the lane's batch
+// buffers: admitted, not yet handed to the pipeline, and therefore
+// invisible to the window gauges. Admission control adds it to the
+// live footprint so a resample cannot lose tuples parked between
+// admission and the next flush.
+func (l *Lane[L, R]) Buffered() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.rBatch) + len(l.sBatch))
+}
+
+// Quiesce waits for the pipeline to drain its in-flight messages
+// without flushing the batch buffers. Restore uses it to let replayed
+// arrivals land in the window stores before sampling the live footprint;
+// the partial batch buffers are reconstructed checkpoint state and must
+// stay buffered until the next caller-driven flush.
+func (l *Lane[L, R]) Quiesce() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lv.Quiesce()
+}
+
 // ProbeR injects t as a probe-only R arrival (core.ArriveProbeOnly):
 // it probes the lane's S windows and emits matches, but stores
 // nothing, acknowledges nothing and advances no high-water mark. Due S
@@ -908,8 +930,8 @@ func (l *Lane[L, R]) CollectOnce() { l.coll.RunOnce() }
 // expiries stay gated, so a restored lane's future injections happen at
 // exactly the stream points the original lane's would have.
 type LaneState[L, R any] struct {
-	R []stream.Tuple[L]
-	S []stream.Tuple[R]
+	R          []stream.Tuple[L]
+	S          []stream.Tuple[R]
 	RExp, SExp ExpiryQueueState
 	RBatch     []stream.Tuple[L]
 	SBatch     []stream.Tuple[R]

@@ -47,11 +47,27 @@
 // (everything since the last fsync, already the documented contract).
 // With SyncEvery <= 0 every append is flushed to the OS at once, so
 // the tail survives a process crash as long as the kernel does.
+//
+// # Crash consistency and fault recovery
+//
+// Directory entries are fsynced where they matter: segment creation
+// (first open and every rotation) syncs the WAL directory before the
+// append that caused it returns, so an acknowledged record can never
+// sit in a segment whose directory entry a crash could erase.
+//
+// All filesystem access goes through a fault.FS (Options.FS), the
+// injection seam used by the fault-matrix and chaos tests. After a
+// failed Append the log may hold a torn frame and carries a sticky
+// error; Reseat re-derives the durable tail from disk and re-arms
+// appending, and DropFrom removes records the caller has decided to
+// reject (an append that could not be made durable), so replay never
+// resurrects a push the caller saw fail.
 package wal
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -61,6 +77,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"handshakejoin/internal/fault"
 )
 
 // Record kinds. The payload of KindR/KindS is an encoded batch of R/S
@@ -108,20 +126,31 @@ type Options struct {
 	// SegmentBytes is the rotation threshold; <= 0 selects
 	// DefaultSegmentBytes.
 	SegmentBytes int64
+	// FS is the filesystem seam; nil selects the real filesystem
+	// (fault.OS). Tests arm it with fault.Inject to drive disk faults
+	// deterministically.
+	FS fault.FS
 }
+
+// ErrCorrupt marks a replay that hit an invalid record before the
+// final segment's tail — acknowledged data is missing. Replay still
+// delivers the valid prefix before reporting it.
+var ErrCorrupt = errors.New("wal: corrupt mid-log")
 
 // Log is an append-only segment log. Appends are serialized by an
 // internal mutex; reads (Replay) open the files independently.
 type Log struct {
 	dir string
 	opt Options
+	fs  fault.FS
 
 	mu       sync.Mutex
-	f        *os.File
+	f        fault.File
 	w        *bufio.Writer // group-commit buffer over f; see package doc
-	segStart uint64        // idx of the active segment's first record
-	segSize  int64         // bytes written to the active segment
-	next     uint64        // idx the next Append returns
+	closed   bool
+	segStart uint64 // idx of the active segment's first record
+	segSize  int64  // bytes written to the active segment
+	next     uint64 // idx the next Append returns
 	unsynced int
 	bytes    uint64 // total bytes appended this process
 	scratch  []byte
@@ -140,7 +169,7 @@ const walBufBytes = 64 << 10
 
 // setFile points the log at a (re)opened active segment, resetting the
 // group-commit buffer onto it.
-func (l *Log) setFile(f *os.File) {
+func (l *Log) setFile(f fault.File) {
 	l.f = f
 	if l.w == nil {
 		l.w = bufio.NewWriterSize(f, walBufBytes)
@@ -167,11 +196,16 @@ func (l *Log) flushSync() error {
 // lock, and runs the fsync with the lock released so appends proceed
 // while the disk works.
 func (l *Log) startSyncer() {
-	l.syncReq = make(chan struct{}, 1)
+	// The goroutine ranges over its own copy of the channel: Close nils
+	// l.syncReq, and an immediate Close could otherwise win that race
+	// before the goroutine first reads the field, leaving it blocked on
+	// a nil channel forever.
+	req := make(chan struct{}, 1)
+	l.syncReq = req
 	l.syncDone = make(chan struct{})
 	go func() {
 		defer close(l.syncDone)
-		for range l.syncReq {
+		for range req {
 			l.mu.Lock()
 			f := l.f
 			var err error
@@ -214,8 +248,8 @@ func parseSegName(name string) (uint64, bool) {
 }
 
 // listSegments returns the segment first-indexes in dir, ascending.
-func listSegments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys fault.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -232,8 +266,8 @@ func listSegments(dir string) ([]uint64, error) {
 // scanSegment reads records from path expecting the first record to
 // carry idx first. It returns the records (payloads copied), and the
 // byte offset of the first invalid frame — the valid prefix length.
-func scanSegment(path string, first uint64) (recs []Record, validBytes int64, err error) {
-	buf, err := os.ReadFile(path)
+func scanSegment(fsys fault.FS, path string, first uint64) (recs []Record, validBytes int64, err error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -271,11 +305,15 @@ func Open(dir string, opt Options) (*Log, error) {
 	if opt.SegmentBytes <= 0 {
 		opt.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opt: opt}
-	segs, err := listSegments(dir)
+	l := &Log{dir: dir, opt: opt, fs: fsys}
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -290,11 +328,11 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	last := segs[len(segs)-1]
 	path := filepath.Join(dir, segName(last))
-	recs, valid, err := scanSegment(path, last)
+	recs, valid, err := scanSegment(fsys, path, last)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -317,14 +355,19 @@ func Open(dir string, opt Options) (*Log, error) {
 }
 
 func (l *Log) openSegment(first uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(first)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segName(first)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	l.setFile(f)
 	l.segStart = first
 	l.segSize = 0
-	return nil
+	// Make the new segment's directory entry durable before any record
+	// in it is acknowledged: without this, a crash after rotation could
+	// erase the entry and Replay would silently report a shorter log
+	// than was acked. A failure surfaces on the append that rotated;
+	// Reseat re-syncs the directory when it recovers.
+	return l.fs.SyncDir(l.dir)
 }
 
 // Next returns the index the next appended record will carry.
@@ -344,14 +387,22 @@ func (l *Log) Bytes() uint64 {
 // Append writes one record and returns its index. rotated reports that
 // the append closed the previous segment and started a new one (the
 // closed segment was fsynced first).
+//
+// On error idx still reports the index the record would have carried:
+// after a Reseat the caller compares it against Next() to learn whether
+// the record survived (Next == idx+1), must be re-appended (Next ==
+// idx), or whether earlier acknowledged records were lost (Next < idx).
 func (l *Log) Append(kind byte, payload []byte) (idx uint64, rotated bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return l.next, false, fault.Permanent(fmt.Errorf("wal: log closed"))
+	}
 	if l.f == nil {
-		return 0, false, fmt.Errorf("wal: log closed")
+		return l.next, false, fmt.Errorf("wal: log needs reseat after failed rotation")
 	}
 	if l.asyncErr != nil {
-		return 0, false, l.asyncErr
+		return l.next, false, l.asyncErr
 	}
 	idx = l.next
 	need := headerLen + len(payload) + crcLen
@@ -366,7 +417,7 @@ func (l *Log) Append(kind byte, payload []byte) (idx uint64, rotated bool, err e
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 	l.scratch = b
 	if _, err := l.w.Write(b); err != nil {
-		return 0, false, err
+		return idx, false, err
 	}
 	l.next++
 	l.segSize += int64(len(b))
@@ -378,7 +429,7 @@ func (l *Log) Append(kind byte, payload []byte) (idx uint64, rotated bool, err e
 				// Async group commit: hand the window to the OS here,
 				// let the background goroutine pay the fsync.
 				if err := l.w.Flush(); err != nil {
-					return 0, false, err
+					return idx, false, err
 				}
 				l.unsynced = 0
 				select {
@@ -386,24 +437,24 @@ func (l *Log) Append(kind byte, payload []byte) (idx uint64, rotated bool, err e
 				default: // a request is already pending; coalesce
 				}
 			} else if err := l.flushSync(); err != nil {
-				return 0, false, err
+				return idx, false, err
 			}
 		}
 	} else if err := l.w.Flush(); err != nil {
 		// No group commit without a sync cadence: hand every record to
 		// the OS so the tail survives a process crash.
-		return 0, false, err
+		return idx, false, err
 	}
 	if l.segSize >= l.opt.SegmentBytes {
 		if err := l.flushSync(); err != nil {
-			return 0, false, err
+			return idx, false, err
 		}
 		if err := l.f.Close(); err != nil {
-			return 0, false, err
+			return idx, false, err
 		}
+		l.f = nil // restored by openSegment on create success
 		if err := l.openSegment(l.next); err != nil {
-			l.f = nil
-			return 0, false, err
+			return idx, false, err
 		}
 		rotated = true
 	}
@@ -428,11 +479,28 @@ func (l *Log) Sync() error {
 
 // Close syncs and closes the active segment, stopping the background
 // syncer if one is running. The log is unusable afterwards.
+//
+// The syncer goroutine is joined before the file is closed: its fsync
+// runs with the lock released, so closing the file first would race
+// the in-flight sync against the close on the same descriptor.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	if l.f == nil {
+	if l.closed {
 		l.mu.Unlock()
 		return nil
+	}
+	l.closed = true
+	req, done := l.syncReq, l.syncDone
+	l.syncReq = nil
+	l.mu.Unlock()
+	if req != nil {
+		close(req)
+		<-done
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.asyncErr
 	}
 	err := l.flushSync()
 	if cerr := l.f.Close(); err == nil {
@@ -442,14 +510,157 @@ func (l *Log) Close() error {
 		err = l.asyncErr
 	}
 	l.f = nil
-	req, done := l.syncReq, l.syncDone
-	l.syncReq = nil
-	l.mu.Unlock()
-	if req != nil {
-		close(req)
-		<-done
-	}
 	return err
+}
+
+// Reseat recovers the log after a failed Append or a sticky background
+// fsync error: it discards the group-commit buffer and the sticky
+// error, re-derives the valid tail of the last segment from disk,
+// truncates any torn frame, reopens the segment for appending, and
+// fsyncs both the file and the directory so the re-derived tail is
+// actually durable before any further record is acknowledged.
+//
+// It returns how many records the log lost relative to the highest
+// index this process had handed out (torn frames, async-sync windows
+// that never reached the disk). The caller decides what a loss means:
+// records whose Append returned an error were never acknowledged, so
+// losing those costs nothing.
+//
+// After a real (non-injected) fsync failure the kernel may still cache
+// pages it can no longer write back; Reseat treats the readable prefix
+// as authoritative and forces a fresh fsync over it, which is as much
+// as any process can re-assert post-fsync-failure.
+func (l *Log) Reseat() (lost int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fault.Permanent(fmt.Errorf("wal: log closed"))
+	}
+	prevNext := l.next
+	if l.f != nil {
+		l.f.Close() // ignore error: the handle may already be poisoned
+		l.f = nil
+	}
+	l.asyncErr = nil
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		// Catastrophic: every segment vanished. Start a fresh log.
+		if err := l.openSegment(0); err != nil {
+			return 0, err
+		}
+		l.next = 0
+		l.unsynced = 0
+		return int(prevNext), l.flushSync()
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(l.dir, segName(last))
+	recs, valid, err := scanSegment(l.fs, path, last)
+	if err != nil {
+		return 0, err
+	}
+	f, err := l.fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return 0, err
+	}
+	l.setFile(f)
+	l.segStart = last
+	l.segSize = valid
+	l.next = last + uint64(len(recs))
+	l.unsynced = 0
+	if err := l.flushSync(); err != nil {
+		return 0, err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return 0, err
+	}
+	if l.next < prevNext {
+		lost = int(prevNext - l.next)
+	}
+	return lost, nil
+}
+
+// DropFrom truncates the log so the next index is at most idx: records
+// idx and later are removed. The durability layer uses it to take back
+// a record whose append could not be made durable after retries, so a
+// later replay cannot resurrect a push the caller saw fail. Segments
+// past idx are deleted outright; the segment containing idx becomes
+// the active segment, truncated at idx's frame.
+func (l *Log) DropFrom(idx uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fault.Permanent(fmt.Errorf("wal: log closed"))
+	}
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.asyncErr = nil
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	// Remove whole trailing segments that start at or past idx, keeping
+	// at least one segment to stay the active one.
+	for len(segs) > 1 && segs[len(segs)-1] >= idx {
+		first := segs[len(segs)-1]
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+			return err
+		}
+		segs = segs[:len(segs)-1]
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(l.dir, segName(last))
+	recs, valid, err := scanSegment(l.fs, path, last)
+	if err != nil {
+		return err
+	}
+	keep := valid
+	if last >= idx {
+		keep, recs = 0, recs[:0]
+	} else if last+uint64(len(recs)) > idx {
+		// Walk frames to the byte offset where record idx starts.
+		keep = 0
+		for _, r := range recs {
+			if r.Idx >= idx {
+				break
+			}
+			keep += int64(headerLen + len(r.Payload) + crcLen)
+		}
+		recs = recs[:idx-last]
+	}
+	f, err := l.fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	l.setFile(f)
+	l.segStart = last
+	l.segSize = keep
+	l.next = last + uint64(len(recs))
+	l.unsynced = 0
+	if err := l.flushSync(); err != nil {
+		return err
+	}
+	return l.fs.SyncDir(l.dir)
 }
 
 // TruncateThrough deletes segments all of whose records have index
@@ -459,7 +670,7 @@ func (l *Log) Close() error {
 func (l *Log) TruncateThrough(idx uint64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	segs, err := listSegments(l.dir)
+	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
 		return 0, err
 	}
@@ -472,7 +683,7 @@ func (l *Log) TruncateThrough(idx uint64) (int, error) {
 		if segs[i+1] > idx {
 			break
 		}
-		if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(first))); err != nil {
 			return removed, err
 		}
 		removed++
@@ -483,10 +694,18 @@ func (l *Log) TruncateThrough(idx uint64) (int, error) {
 // Replay streams every valid record with index >= from to fn, oldest
 // first, and returns the count delivered. A torn tail of the final
 // segment ends the replay silently (those records did not durably
-// happen); an invalid record anywhere else is reported as corruption.
-// fn errors abort the replay.
+// happen); an invalid record anywhere else is reported as corruption
+// wrapping ErrCorrupt — but only after the corrupt segment's valid
+// prefix has been delivered, so n tells the caller exactly how much
+// acknowledged data survives and the error how much was lost. fn
+// errors abort the replay.
 func Replay(dir string, from uint64, fn func(Record) error) (int, error) {
-	segs, err := listSegments(dir)
+	return ReplayFS(fault.OS, dir, from, fn)
+}
+
+// ReplayFS is Replay through an explicit filesystem seam.
+func ReplayFS(fsys fault.FS, dir string, from uint64, fn func(Record) error) (int, error) {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -495,13 +714,9 @@ func Replay(dir string, from uint64, fn func(Record) error) (int, error) {
 	}
 	n := 0
 	for i, first := range segs {
-		recs, _, err := scanSegment(filepath.Join(dir, segName(first)), first)
+		recs, _, err := scanSegment(fsys, filepath.Join(dir, segName(first)), first)
 		if err != nil {
 			return n, err
-		}
-		if i < len(segs)-1 && first+uint64(len(recs)) != segs[i+1] {
-			return n, fmt.Errorf("wal: segment %s corrupt mid-log (%d records, next segment starts at %d)",
-				segName(first), len(recs), segs[i+1])
 		}
 		for _, rec := range recs {
 			if rec.Idx < from {
@@ -511,6 +726,12 @@ func Replay(dir string, from uint64, fn func(Record) error) (int, error) {
 				return n, err
 			}
 			n++
+		}
+		if i < len(segs)-1 && first+uint64(len(recs)) != segs[i+1] {
+			// The valid prefix above was delivered first: the caller
+			// keeps everything that survives and learns the exact gap.
+			return n, fmt.Errorf("%w: segment %s ends at record %d but the next segment starts at %d (%d records lost)",
+				ErrCorrupt, segName(first), first+uint64(len(recs)), segs[i+1], segs[i+1]-(first+uint64(len(recs))))
 		}
 	}
 	return n, nil

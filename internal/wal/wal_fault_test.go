@@ -1,0 +1,423 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"handshakejoin/internal/fault"
+)
+
+// TestWALFaultMatrix drives the documented recovery outcome for each
+// injected disk fault: what is lost, what Reseat recovers, and what a
+// crash at the worst instant leaves behind.
+func TestWALFaultMatrix(t *testing.T) {
+	t.Run("fsync fail at op N, transient", func(t *testing.T) {
+		dir := t.TempDir()
+		plan := fault.NewPlan(fault.Rule{Op: fault.OpSync, Nth: 3, Err: fault.ErrInjected})
+		l, err := Open(dir, Options{SyncEvery: 1, FS: fault.Inject(nil, plan)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var failedIdx uint64
+		fails := 0
+		for i := 0; i < 6; i++ {
+			idx, _, err := l.Append(KindR, []byte(fmt.Sprintf("rec-%d", i)))
+			if err != nil {
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("append %d: %v", i, err)
+				}
+				fails++
+				failedIdx = idx
+				// The write reached the file; only the fsync failed.
+				// Reseat re-anchors and forces a fresh fsync, after
+				// which the record counts as durable: Next == idx+1.
+				lost, rerr := l.Reseat()
+				if rerr != nil || lost != 0 {
+					t.Fatalf("Reseat: lost=%d err=%v", lost, rerr)
+				}
+				if l.Next() != idx+1 {
+					t.Fatalf("Next after reseat = %d, want %d", l.Next(), idx+1)
+				}
+			}
+		}
+		if fails != 1 || failedIdx != 2 {
+			t.Fatalf("fails=%d failedIdx=%d, want one failure at idx 2", fails, failedIdx)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(replayAll(t, dir, 0)); got != 6 {
+			t.Fatalf("replayed %d, want all 6 (transient fsync fault loses nothing)", got)
+		}
+	})
+
+	t.Run("ENOSPC during rotation", func(t *testing.T) {
+		dir := t.TempDir()
+		plan := fault.NewPlan(fault.Rule{Op: fault.OpCreate, Nth: 2, Err: syscall.ENOSPC})
+		l, err := Open(dir, Options{SyncEvery: 1, SegmentBytes: 64, FS: fault.Inject(nil, plan)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appended, fails := 0, 0
+		for i := 0; i < 12; i++ {
+			idx, _, err := l.Append(KindS, []byte(fmt.Sprintf("payload-%02d", i)))
+			if err != nil {
+				if !errors.Is(err, syscall.ENOSPC) {
+					t.Fatalf("append %d: %v", i, err)
+				}
+				fails++
+				// The record itself was written and fsynced into the
+				// old segment before the new segment's create failed.
+				lost, rerr := l.Reseat()
+				if rerr != nil || lost != 0 {
+					t.Fatalf("Reseat: lost=%d err=%v", lost, rerr)
+				}
+				if l.Next() != idx+1 {
+					t.Fatalf("Next after reseat = %d, want %d (record survived)", l.Next(), idx+1)
+				}
+			}
+			appended++
+		}
+		if fails != 1 {
+			t.Fatalf("fails = %d, want exactly one ENOSPC rotation failure", fails)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(replayAll(t, dir, 0)); got != appended {
+			t.Fatalf("replayed %d, want %d (ENOSPC at rotation loses nothing)", got, appended)
+		}
+	})
+
+	t.Run("torn write in final frame, crash", func(t *testing.T) {
+		dir := t.TempDir()
+		plan := fault.NewPlan(fault.Rule{Op: fault.OpWrite, Nth: 4, TornBytes: 5, Err: syscall.EIO})
+		l, err := Open(dir, Options{SyncEvery: 1, FS: fault.Inject(nil, plan)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, err := l.Append(KindR, []byte(fmt.Sprintf("ok-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := l.Append(KindR, []byte("torn-record")); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("append 3 = %v, want injected EIO", err)
+		}
+		// Crash here: no Reseat, no Close. The unacknowledged record's
+		// torn 5 bytes are on disk; replay must end cleanly before it.
+		if got := replayAll(t, dir, 0); len(got) != 3 {
+			t.Fatalf("replayed %d, want the 3 acked records (torn tail dropped)", len(got))
+		}
+		// And a reopened log appends over the torn tail.
+		l2, err := Open(dir, Options{SyncEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2.Next() != 3 {
+			t.Fatalf("Next after reopen = %d, want 3", l2.Next())
+		}
+		appendN(t, l2, 2, 3)
+		l2.Close()
+		if got := len(replayAll(t, dir, 0)); got != 5 {
+			t.Fatalf("replayed %d, want 5", got)
+		}
+	})
+
+	t.Run("torn write recovered by reseat and re-append", func(t *testing.T) {
+		dir := t.TempDir()
+		plan := fault.NewPlan(fault.Rule{Op: fault.OpWrite, Nth: 3, TornBytes: 7, Err: syscall.EIO})
+		l, err := Open(dir, Options{SyncEvery: 1, FS: fault.Inject(nil, plan)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			payload := []byte(fmt.Sprintf("rec-%d", i))
+			idx, _, err := l.Append(KindR, payload)
+			if err != nil {
+				if !errors.Is(err, syscall.EIO) {
+					t.Fatal(err)
+				}
+				// lost == 1 is the torn record itself, which was never
+				// acknowledged: Append had already claimed its index
+				// before the flush tore.
+				lost, rerr := l.Reseat()
+				if rerr != nil || lost != 1 {
+					t.Fatalf("Reseat: lost=%d err=%v, want lost=1 (the unacked torn record)", lost, rerr)
+				}
+				if l.Next() != idx {
+					t.Fatalf("Next after reseat = %d, want %d (torn record gone)", l.Next(), idx)
+				}
+				if _, _, err := l.Append(KindR, payload); err != nil {
+					t.Fatalf("re-append: %v", err)
+				}
+			}
+		}
+		l.Close()
+		if got := len(replayAll(t, dir, 0)); got != 5 {
+			t.Fatalf("replayed %d, want 5 after reseat + re-append", got)
+		}
+	})
+
+	t.Run("crash between segment create and dir sync", func(t *testing.T) {
+		dir := t.TempDir()
+		plan := fault.NewPlan(fault.Rule{Op: fault.OpSyncDir, Nth: 2, Err: syscall.EIO})
+		l, err := Open(dir, Options{SyncEvery: 1, SegmentBytes: 64, FS: fault.Inject(nil, plan)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		var ferr error
+		for i := 0; i < 12 && ferr == nil; i++ {
+			_, _, err := l.Append(KindR, []byte(fmt.Sprintf("payload-%02d", i)))
+			if err != nil {
+				ferr = err
+				// The record that triggered the rotation was fsynced
+				// into the old segment before the dir sync failed, so
+				// it is durable even though this Append errored.
+				acked++
+				break
+			}
+			acked++
+		}
+		if !errors.Is(ferr, syscall.EIO) {
+			t.Fatalf("expected dir-sync failure, got %v after %d appends", ferr, acked)
+		}
+		// Crash now: the new segment's directory entry was never made
+		// durable. Emulate the loss precisely from the plan's records.
+		lostEntries := plan.UnsyncedEntries()
+		if len(lostEntries) == 0 {
+			t.Fatal("plan tracked no unsynced entries at the failed rotation")
+		}
+		for _, p := range lostEntries {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := len(replayAll(t, dir, 0)); got != acked {
+			t.Fatalf("replayed %d, want every durable record (%d)", got, acked)
+		}
+	})
+
+	t.Run("successful rotation leaves no unsynced entries", func(t *testing.T) {
+		dir := t.TempDir()
+		plan := fault.NewPlan() // armed but empty: pure tracking
+		l, err := Open(dir, Options{SyncEvery: 1, SegmentBytes: 64, FS: fault.Inject(nil, plan)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rotations := 0
+		for i := 0; i < 20; i++ {
+			_, rot, err := l.Append(KindR, []byte(fmt.Sprintf("payload-%02d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rot {
+				rotations++
+			}
+			if got := plan.UnsyncedEntries(); len(got) != 0 {
+				t.Fatalf("unsynced dir entries after append %d: %v (segment create must dir-sync)", i, got)
+			}
+		}
+		if rotations == 0 {
+			t.Fatal("expected rotations")
+		}
+		l.Close()
+	})
+}
+
+// TestReplayDeliversPrefixOnMidLogCorruption pins the salvage
+// contract: a corrupt mid-log segment still yields its valid prefix
+// (and all earlier segments) before the ErrCorrupt error, with the
+// error spelling out how many acknowledged records are gone.
+func TestReplayDeliversPrefixOnMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 1, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := l.Append(KindR, []byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs := mustSegments(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Corrupt the second segment's first frame: everything in it and
+	// after it is lost, everything before survives.
+	mid := segs[1]
+	path := dir + "/" + segName(mid)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[headerLen+1] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	n, rerr := Replay(dir, 0, func(r Record) error {
+		got = append(got, r.Idx)
+		return nil
+	})
+	if !errors.Is(rerr, ErrCorrupt) {
+		t.Fatalf("Replay error = %v, want ErrCorrupt", rerr)
+	}
+	if n != int(mid) || len(got) != int(mid) {
+		t.Fatalf("delivered %d records (n=%d), want the full prefix %d", len(got), n, mid)
+	}
+	for i, idx := range got {
+		if idx != uint64(i) {
+			t.Fatalf("prefix record %d has idx %d", i, idx)
+		}
+	}
+}
+
+func TestDropFromRemovesRejectedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 6, 0)
+	if err := l.DropFrom(4); err != nil {
+		t.Fatal(err)
+	}
+	if l.Next() != 4 {
+		t.Fatalf("Next after DropFrom(4) = %d, want 4", l.Next())
+	}
+	// The log must keep appending cleanly at the new tail.
+	appendN(t, l, 3, 4)
+	l.Close()
+	recs := replayAll(t, dir, 0)
+	if len(recs) != 7 || recs[6].Idx != 6 {
+		t.Fatalf("replayed %d records, last idx %d; want 7 ending at 6", len(recs), recs[len(recs)-1].Idx)
+	}
+}
+
+func TestDropFromAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 1, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := l.Append(KindR, []byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := mustSegments(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	cut := segs[1] + 1 // one record into the second segment
+	if err := l.DropFrom(cut); err != nil {
+		t.Fatal(err)
+	}
+	if l.Next() != cut {
+		t.Fatalf("Next = %d, want %d", l.Next(), cut)
+	}
+	appendN(t, l, 2, int(cut))
+	l.Close()
+	recs := replayAll(t, dir, 0)
+	if len(recs) != int(cut)+2 {
+		t.Fatalf("replayed %d, want %d", len(recs), int(cut)+2)
+	}
+}
+
+// recordFS wraps the real filesystem and logs sync/close events per
+// file so tests can pin teardown ordering.
+type recordFS struct {
+	fault.FS
+	mu        sync.Mutex
+	events    []string
+	syncDelay time.Duration
+}
+
+func (r *recordFS) note(ev string) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func (r *recordFS) OpenFile(name string, flag int, perm os.FileMode) (fault.File, error) {
+	f, err := r.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &recordFile{File: f, fs: r}, nil
+}
+
+type recordFile struct {
+	fault.File
+	fs *recordFS
+}
+
+func (f *recordFile) Sync() error {
+	f.fs.note("sync-start")
+	if f.fs.syncDelay > 0 {
+		time.Sleep(f.fs.syncDelay)
+	}
+	err := f.File.Sync()
+	f.fs.note("sync-end")
+	return err
+}
+
+func (f *recordFile) Close() error {
+	f.fs.note("close")
+	return f.File.Close()
+}
+
+// TestCloseJoinsAsyncSyncer pins the teardown order of the background
+// fsync goroutine: Close must join it before closing the file, so no
+// fsync ever starts after — or runs concurrently with — the close of
+// the descriptor it targets.
+func TestCloseJoinsAsyncSyncer(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		dir := t.TempDir()
+		rfs := &recordFS{FS: fault.OS, syncDelay: 2 * time.Millisecond}
+		l, err := Open(dir, Options{SyncEvery: 1, AsyncSync: true, FS: rfs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Queue a sync request and close immediately, while the slow
+		// background fsync is still in flight.
+		for i := 0; i < 3; i++ {
+			if _, _, err := l.Append(KindR, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rfs.mu.Lock()
+		events := append([]string(nil), rfs.events...)
+		rfs.mu.Unlock()
+		closed := false
+		for _, ev := range events {
+			switch ev {
+			case "close":
+				closed = true
+			case "sync-start":
+				if closed {
+					t.Fatalf("round %d: fsync started after file close: %v", round, events)
+				}
+			case "sync-end":
+				if closed {
+					t.Fatalf("round %d: fsync still in flight across file close: %v", round, events)
+				}
+			}
+		}
+		if !closed {
+			t.Fatalf("round %d: no close recorded: %v", round, events)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"handshakejoin/internal/fault"
 )
 
 func appendN(t *testing.T, l *Log, n int, start int) {
@@ -104,7 +106,7 @@ func TestRotationAndTruncateThrough(t *testing.T) {
 	if rotations == 0 {
 		t.Fatal("expected rotations with 64-byte segments")
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS, dir)
 	if err != nil || len(segs) < 3 {
 		t.Fatalf("want >= 3 segments, got %d (%v)", len(segs), err)
 	}
@@ -133,7 +135,7 @@ func TestRotationAndTruncateThrough(t *testing.T) {
 
 func mustSegments(t *testing.T, dir string) []uint64 {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,6 +87,9 @@ type Snapshot struct {
 	WALBytes         uint64
 	Checkpoints      uint64
 	LastCheckpointNs int64
+	// Health is the engine's degradation flags at the snapshot instant
+	// (the same view Joiner.Health returns).
+	Health Health
 }
 
 // latencyHist converts the engine's output-latency histogram to the
@@ -169,6 +172,19 @@ func gatherDump(snap Snapshot, hist *metrics.AtomicHistogram, ring *obs.Ring) ob
 	counter("llhj_wal_bytes_total", "Bytes appended to the write-ahead log.", snap.WALBytes)
 	counter("llhj_checkpoints_total", "Checkpoints completed.", snap.Checkpoints)
 	gauge("llhj_checkpoint_duration_ns", "Wall duration of the most recent checkpoint.", snap.LastCheckpointNs)
+	counter("llhj_wal_retries_total", "WAL append and checkpoint-write retry attempts.", snap.WALRetries)
+	counter("llhj_wal_sheds_total", "Transitions into the degraded (shed) durability state.", snap.WALSheds)
+	counter("llhj_admission_rejects_total", "Pushes rejected against MaxLiveTuples.", snap.AdmissionRejects)
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	gauge("llhj_health", "1 while no degradation flag is set, else 0.", b2i(snap.Health.Ok()))
+	gauge("llhj_health_flag", "Individual degradation flags (1 = raised).", b2i(snap.Health.WALFailed), [2]string{"flag", "wal_failed"})
+	gauge("llhj_health_flag", "", b2i(snap.Health.Overloaded), [2]string{"flag", "overloaded"})
+	gauge("llhj_health_flag", "", b2i(snap.Health.FloorStalled), [2]string{"flag", "floor_stalled"})
 	if ring != nil {
 		counter("llhj_trace_events_total", "Control-plane trace events emitted.", ring.Next())
 	}

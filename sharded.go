@@ -117,8 +117,14 @@ type ShardedEngine[L, RT any] struct {
 
 	ctrl     *adapt.Controller
 	hbPeriod time.Duration
+	watchdog time.Duration // AdaptConfig.StallWatchdog (0 = off)
 	stop     chan struct{}
 	bg       sync.WaitGroup
+
+	// guard enforces Config.MaxLiveTuples at admission (nil when
+	// disabled); floorStalled is the heartbeat loop's watchdog verdict.
+	guard        *overloadGuard
+	floorStalled atomic.Bool
 
 	stateMigrations atomic.Uint64
 	migratedTuples  atomic.Uint64
@@ -399,10 +405,29 @@ func newSharded[L, RT any](cfg Config[L, RT]) (*ShardedEngine[L, RT], error) {
 		e.gates[i] = [2]*ingressGate{newIngressGate(), newIngressGate()}
 		e.laneTS[i].Store(minTS)
 	}
+	if cfg.MaxLiveTuples > 0 {
+		e.guard = newOverloadGuard(cfg.MaxLiveTuples, func() int64 {
+			var live int64
+			for _, l := range e.lanes {
+				// Batch buffer before window gauges: a tuple flushed
+				// between the two reads is seen by the gauge walk,
+				// never dropped from both.
+				live += l.Buffered()
+				agg := l.PipelineStats()
+				live += int64(agg.LiveWR) + int64(agg.LiveWS)
+			}
+			return live
+		})
+	}
 	if !cfg.Adapt.DisableHeartbeat {
 		e.hbPeriod = cfg.Adapt.HeartbeatPeriod
 		if e.hbPeriod <= 0 {
 			e.hbPeriod = cfg.CollectPeriod
+		}
+		if cfg.Punctuate {
+			// Without punctuations the merged floor never advances, so
+			// the watchdog would only ever cry wolf.
+			e.watchdog = cfg.Adapt.StallWatchdog
 		}
 		e.bg.Add(1)
 		go e.heartbeatLoop()
@@ -532,6 +557,12 @@ func (e *ShardedEngine[L, RT]) PushR(payload L, ts int64) error {
 		e.rmu.Unlock()
 		return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", ts, e.rLastTS)
 	}
+	// Admission control runs before the WAL append: a rejected push
+	// was never logged, so replay cannot resurrect it.
+	if err := e.guard.admit(1, e.dur.replaying.Load()); err != nil {
+		e.rmu.Unlock()
+		return err
+	}
 	if e.dur.active() {
 		// Log before any state changes, under the side lock so the WAL
 		// order of one side is the admission order.
@@ -601,6 +632,11 @@ func (e *ShardedEngine[L, RT]) PushS(payload RT, ts int64) error {
 	if ts < e.sLastTS {
 		e.smu.Unlock()
 		return fmt.Errorf("handshakejoin: S timestamp regressed: %d after %d", ts, e.sLastTS)
+	}
+	// Admission control before the WAL append; see PushR.
+	if err := e.guard.admit(1, e.dur.replaying.Load()); err != nil {
+		e.smu.Unlock()
+		return err
 	}
 	if e.dur.active() {
 		if err := e.dur.appendS1(payload, ts); err != nil {
@@ -694,6 +730,11 @@ func (e *ShardedEngine[L, RT]) pushRBatchLocked(batch []Stamped[L]) error {
 			return fmt.Errorf("handshakejoin: R timestamp regressed: %d after %d", batch[i].TS, last)
 		}
 		last = batch[i].TS
+	}
+	// Batch-atomic admission control before the WAL append; see PushR.
+	if err := e.guard.admit(len(batch), e.dur.replaying.Load()); err != nil {
+		e.rmu.Unlock()
+		return err
 	}
 	if e.dur.active() {
 		// Log before any state changes; see PushR.
@@ -793,6 +834,11 @@ func (e *ShardedEngine[L, RT]) pushSBatchLocked(batch []Stamped[RT]) error {
 		}
 		last = batch[i].TS
 	}
+	// Batch-atomic admission control before the WAL append; see PushR.
+	if err := e.guard.admit(len(batch), e.dur.replaying.Load()); err != nil {
+		e.smu.Unlock()
+		return err
+	}
 	if e.dur.active() {
 		if err := e.dur.appendS(batch); err != nil {
 			e.smu.Unlock()
@@ -881,6 +927,18 @@ func (e *ShardedEngine[L, RT]) heartbeatLoop() {
 	defer t.Stop()
 	prev := make([]uint64, len(e.lanes))
 	stalled := make([]bool, len(e.lanes))
+	// Watchdog state (AdaptConfig.StallWatchdog): the merged floor's
+	// last observed value and how many consecutive ticks it has failed
+	// to advance while ingress was ahead of it.
+	wdTicks := 0
+	wdThreshold := 0
+	if e.watchdog > 0 {
+		wdThreshold = int((e.watchdog + e.hbPeriod - 1) / e.hbPeriod)
+		if wdThreshold < 1 {
+			wdThreshold = 1
+		}
+	}
+	lastFloor := int64(math.MinInt64)
 	for {
 		select {
 		case <-e.stop:
@@ -888,6 +946,9 @@ func (e *ShardedEngine[L, RT]) heartbeatLoop() {
 		case <-t.C:
 		}
 		floor := e.ingressFloor()
+		if wdThreshold > 0 {
+			e.watchFloor(floor, &lastFloor, &wdTicks, wdThreshold)
+		}
 		if floor == minTS {
 			continue // a side has not pushed yet: no promise possible
 		}
@@ -912,6 +973,32 @@ func (e *ShardedEngine[L, RT]) heartbeatLoop() {
 				e.emit("heartbeat_stall", i, -1, floor, 0)
 			}
 		}
+	}
+}
+
+// watchFloor is the heartbeat loop's stall watchdog: one tick of
+// comparing the merged punctuation floor against ingress. The floor
+// advancing (or nothing being owed — ingress at or behind the floor)
+// resets the stall count; threshold consecutive stalled ticks set
+// Health().FloorStalled and emit floor_stalled, both edge-triggered
+// and cleared with a floor_recovered event when the floor moves again.
+func (e *ShardedEngine[L, RT]) watchFloor(ingress int64, lastFloor *int64, ticks *int, threshold int) {
+	merged := e.merge.Floor()
+	if merged > *lastFloor {
+		*lastFloor = merged
+		*ticks = 0
+		if e.floorStalled.Swap(false) {
+			e.emit("floor_recovered", -1, -1, merged, 0)
+		}
+		return
+	}
+	if ingress == minTS || merged >= ingress {
+		*ticks = 0 // nothing admitted beyond the floor: no promise owed
+		return
+	}
+	*ticks++
+	if *ticks >= threshold && !e.floorStalled.Swap(true) {
+		e.emit("floor_stalled", -1, -1, merged, ingress)
 	}
 }
 
@@ -1309,10 +1396,31 @@ func (e *ShardedEngine[L, RT]) Checkpoint(dir string) error {
 	walFrom := e.dur.log.Next()
 	e.sortMu.Unlock()
 	snap.router = e.router.SnapshotState()
+	// A checkpoint against a failed or shed WAL re-arms logging under
+	// root. It must happen before the side locks release: the first
+	// push admitted after the cut already logs to the new log, so the
+	// snapshot plus a replay from walFrom is complete. While the WAL
+	// was down nothing was appended, so re-reading walFrom from the
+	// fresh log keeps it atomic with the sorter snapshot above.
+	rearmed := false
+	if e.dur.walFailed() {
+		if err := e.dur.rearm(root); err != nil {
+			e.smu.Unlock()
+			e.rmu.Unlock()
+			return err
+		}
+		rearmed = true
+		walFrom = e.dur.log.Next()
+	}
 	e.smu.Unlock()
 	e.rmu.Unlock()
 	stateBytes, err := e.dur.writeCheckpoint(root, walFrom, &snap)
 	if err != nil {
+		if rearmed {
+			// The re-armed log has no committed checkpoint beneath it;
+			// logging to it would acknowledge unrecoverable records.
+			e.dur.disarm(err)
+		}
 		return err
 	}
 	if root == e.dur.cfg.WALDir {
@@ -1388,8 +1496,31 @@ func (e *ShardedEngine[L, RT]) Restore(dir string) error {
 	if err != nil {
 		return fmt.Errorf("handshakejoin: wal replay after %d records: %w", n, err)
 	}
+	if e.guard != nil {
+		// Seed the admission bound from the restored footprint: the
+		// checkpoint's tuples entered the windows without passing the
+		// guard's accounting. Replayed arrivals may still be in flight
+		// in the lane pipelines, where the window gauges cannot see
+		// them, so quiesce every lane first — otherwise the sampled
+		// base undercounts by up to the whole replay volume and the
+		// guard admits past the cap.
+		for _, ln := range e.lanes {
+			ln.Quiesce()
+		}
+		e.guard.resample()
+	}
 	e.emit("restore_replay", -1, -1, int64(n), e.clk.Now()-start)
 	return nil
+}
+
+// Health implements Joiner.Health; safe to call mid-run from any
+// goroutine.
+func (e *ShardedEngine[L, RT]) Health() Health {
+	return Health{
+		WALFailed:    e.dur.walFailed(),
+		Overloaded:   e.guard.overloaded(),
+		FloorStalled: e.floorStalled.Load(),
+	}
 }
 
 // Stats aggregates run counters across shards. Safe to call mid-run
@@ -1434,6 +1565,9 @@ func (e *ShardedEngine[L, RT]) Stats() Stats {
 		StoreCompactions:    agg.StoreCompactions,
 		StoreParks:          agg.StoreParks,
 		StoreOverflow:       agg.StoreOverflow,
+		WALRetries:          e.dur.walRetries.Load(),
+		WALSheds:            e.dur.sheds.Load(),
+		AdmissionRejects:    e.guard.rejected(),
 	}
 	st.ShardIngress = shardIngress
 	if e.probeTab != nil {
@@ -1477,11 +1611,12 @@ func (e *ShardedEngine[L, RT]) StatsSnapshot() Snapshot {
 	if e.ring != nil {
 		snap.NextEventSeq = e.ring.Next()
 	}
-	if e.dur.log != nil {
-		snap.WALBytes = e.dur.log.Bytes()
+	if log := e.dur.logHandle(); log != nil {
+		snap.WALBytes = log.Bytes()
 		snap.Checkpoints = e.dur.checkpoints.Load()
 		snap.LastCheckpointNs = e.dur.lastCkptNs.Load()
 	}
+	snap.Health = e.Health()
 	return snap
 }
 
